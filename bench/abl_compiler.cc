@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: the compiler design choices DESIGN.md calls out.
+ *
+ *  1. eBUG vs plain BUG for decoupled strands (the paper's §4.1 claim:
+ *     likely-missing-load weights and memory balancing matter).
+ *  2. The TM resolve cost: how expensive ordered commit may get before
+ *     statistical DOALL stops paying off.
+ */
+
+#include "common.hh"
+
+using namespace voltron;
+using namespace voltron::bench;
+
+int
+main()
+{
+    banner("Ablation: compiler and TM design choices",
+           "paper §4.1 (eBUG) and §3 (low-cost TM)");
+
+    std::cout << "TLP (strands/DSWP) 4-core speedup, eBUG vs plain BUG "
+                 "weights:\n";
+    label("benchmark");
+    std::cout << std::setw(8) << "eBUG" << std::setw(8) << "BUG" << "\n";
+    for (const std::string &name :
+         {std::string("164.gzip"), std::string("179.art"),
+          std::string("197.parser"), std::string("epic")}) {
+        VoltronSystem sys(build_benchmark(name, bench_scale()));
+        CompileOptions ebug;
+        ebug.strategy = Strategy::TlpOnly;
+        ebug.numCores = 4;
+        CompileOptions plain = ebug;
+        plain.partition.missEdgeWeight = 0;
+        plain.partition.memImbalancePenalty = 0;
+        RunOutcome with_ebug = sys.run(ebug);
+        RunOutcome with_plain = sys.run(plain);
+        label(name) << std::fixed << std::setprecision(2) << std::setw(8)
+                    << sys.speedup(with_ebug) << std::setw(8)
+                    << sys.speedup(with_plain)
+                    << (with_ebug.correct() && with_plain.correct()
+                            ? ""
+                            : "  MISMATCH")
+                    << "\n";
+    }
+
+    std::cout << "\nLLP 4-core speedup vs XVALIDATE base cost (cycles):\n";
+    label("benchmark");
+    for (u32 cost : {0, 20, 100, 400})
+        std::cout << std::setw(8) << cost;
+    std::cout << "\n";
+    for (const std::string &name :
+         {std::string("171.swim"), std::string("mpeg2enc")}) {
+        VoltronSystem sys(build_benchmark(name, bench_scale()));
+        label(name) << std::fixed << std::setprecision(2);
+        for (u32 cost : {0, 20, 100, 400}) {
+            MachineConfig config = MachineConfig::forCores(4);
+            config.tmResolveBase = cost;
+            CompileOptions opts;
+            opts.strategy = Strategy::LlpOnly;
+            opts.numCores = 4;
+            RunOutcome outcome = sys.run(opts, config);
+            std::cout << std::setw(8)
+                      << (outcome.correct() ? sys.speedup(outcome) : -1.0);
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

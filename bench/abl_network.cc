@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: sensitivity of each execution mode to the scalar operand
+ * network parameters — queue-mode hop latency and per-pair queue
+ * capacity. The paper's design argument is that decoupled execution
+ * tolerates latency while coupled execution needs the 1-cycle direct
+ * mode; this harness quantifies that trade-off on our suite sample.
+ */
+
+#include "common.hh"
+
+using namespace voltron;
+using namespace voltron::bench;
+
+namespace {
+
+const std::vector<std::string> kSample = {"171.swim", "164.gzip",
+                                          "gsmdecode", "epic"};
+
+double
+hybrid_speedup(const std::string &name, u32 hop_latency, u32 capacity)
+{
+    VoltronSystem sys(build_benchmark(name, bench_scale()));
+    MachineConfig config = MachineConfig::forCores(4);
+    config.net.hopLatency = hop_latency;
+    config.net.queueCapacity = capacity;
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 4;
+    RunOutcome outcome = sys.run(opts, config);
+    if (!outcome.correct())
+        return -1.0;
+    // Baseline with the default network (serial never uses it anyway).
+    return sys.speedup(outcome);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablation: operand-network latency and buffering",
+           "design discussion in §3.1 of the paper");
+
+    std::cout << "Hybrid 4-core speedup vs queue-mode hop latency "
+                 "(capacity 64):\n";
+    label("benchmark");
+    for (u32 lat : {1, 2, 4, 8})
+        std::cout << std::setw(8) << (std::to_string(lat) + "cyc");
+    std::cout << "\n";
+    for (const std::string &name : kSample) {
+        label(name) << std::fixed << std::setprecision(2);
+        for (u32 lat : {1, 2, 4, 8})
+            std::cout << std::setw(8) << hybrid_speedup(name, lat, 64);
+        std::cout << "\n";
+    }
+
+    std::cout << "\nHybrid 4-core speedup vs per-pair queue capacity "
+                 "(hop latency 1):\n";
+    label("benchmark");
+    for (u32 cap : {2, 4, 16, 64})
+        std::cout << std::setw(8) << cap;
+    std::cout << "\n";
+    for (const std::string &name : kSample) {
+        label(name) << std::fixed << std::setprecision(2);
+        for (u32 cap : {2, 4, 16, 64})
+            std::cout << std::setw(8) << hybrid_speedup(name, 1, cap);
+        std::cout << "\n";
+    }
+    return 0;
+}

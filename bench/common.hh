@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration harnesses.
+ *
+ * Each bench/fig* binary reproduces one figure of the paper's evaluation
+ * (§5): it builds the synthetic suite, compiles it with the relevant
+ * strategies, simulates, and prints the same rows/series the paper
+ * reports. See EXPERIMENTS.md for the paper-vs-measured record.
+ */
+
+#ifndef VOLTRON_BENCH_COMMON_HH_
+#define VOLTRON_BENCH_COMMON_HH_
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/voltron.hh"
+#include "workloads/suite.hh"
+
+namespace voltron::bench {
+
+/** Geometric mean of a series. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Arithmetic mean. */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/** Print a header banner. */
+inline void
+banner(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "==========================================================="
+                 "=====================\n"
+              << title << "\n"
+              << "(reproduces " << paper_ref << ")\n"
+              << "==========================================================="
+                 "=====================\n";
+}
+
+/** Fixed-width left label. */
+inline std::ostream &
+label(const std::string &name, int width = 14)
+{
+    return std::cout << std::left << std::setw(width) << name << std::right;
+}
+
+/** Default scale for the figure harnesses. */
+inline SuiteScale
+bench_scale()
+{
+    SuiteScale scale;
+    scale.targetOps = 120'000;
+    return scale;
+}
+
+} // namespace voltron::bench
+
+#endif // VOLTRON_BENCH_COMMON_HH_

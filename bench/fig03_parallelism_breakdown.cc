@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Figure 3: breakdown of exploitable parallelism for a 4-core system —
+ * the fraction of dynamic execution best accelerated by ILP, fine-grain
+ * TLP, LLP, or none (single core).
+ *
+ * Methodology follows the paper: each benchmark is compiled to exploit
+ * each form of parallelism by itself; on a region-by-region basis the
+ * best-performing method wins and the region's share of dynamic
+ * execution is attributed to it. A parallel technique must beat the
+ * serial region time by >3% to claim a region.
+ *
+ * Paper result: on average 30% ILP, 32% fine-grain TLP (12% DSWP + 20%
+ * strands), 31% LLP, 7% single-core; no type dominates and the mix
+ * varies widely across benchmarks.
+ */
+
+#include "common.hh"
+
+using namespace voltron;
+using namespace voltron::bench;
+
+int
+main()
+{
+    banner("Figure 3: best-technique breakdown of dynamic execution "
+           "(4-core)",
+           "HPCA'07 Voltron paper, Figure 3");
+
+    label("benchmark");
+    std::cout << std::setw(8) << "ILP%" << std::setw(8) << "TLP%"
+              << std::setw(8) << "LLP%" << std::setw(9) << "single%"
+              << "\n";
+
+    std::vector<double> ilp_share, tlp_share, llp_share, single_share;
+    for (const std::string &name : benchmark_names()) {
+        VoltronSystem sys(build_benchmark(name, bench_scale()));
+
+        SelectionReport serial_sel, llp_sel;
+        CompileOptions serial_opts;
+        serial_opts.strategy = Strategy::SerialOnly;
+        serial_opts.numCores = 1;
+        sys.compile(serial_opts, &serial_sel);
+
+        RunOutcome serial = sys.run(Strategy::SerialOnly, 1);
+        RunOutcome ilp = sys.run(Strategy::IlpOnly, 4);
+        RunOutcome tlp = sys.run(Strategy::TlpOnly, 4);
+        CompileOptions llp_opts;
+        llp_opts.strategy = Strategy::LlpOnly;
+        llp_opts.numCores = 4;
+        sys.compile(llp_opts, &llp_sel);
+        RunOutcome llp = sys.run(llp_opts);
+        if (!(serial.correct() && ilp.correct() && tlp.correct() &&
+              llp.correct())) {
+            std::cout << name << "  GOLDEN-MODEL MISMATCH\n";
+            return 1;
+        }
+
+        // Which regions did the LLP compilation actually parallelise?
+        std::map<RegionId, bool> is_doall;
+        for (const auto &entry : llp_sel.entries)
+            is_doall[entry.region] = entry.mode == ExecMode::Doall;
+
+        // Region weights from the serial selection report.
+        double total_ops = 0;
+        for (const auto &entry : serial_sel.entries)
+            total_ops += static_cast<double>(entry.profiledOps);
+
+        double buckets[4] = {0, 0, 0, 0}; // ilp, tlp, llp, single
+        for (const auto &entry : serial_sel.entries) {
+            const RegionId r = entry.region;
+            const double weight =
+                static_cast<double>(entry.profiledOps) / total_ops;
+            auto cycles = [&](const RunOutcome &o) -> double {
+                auto it = o.result.regionCycles.find(r);
+                return it == o.result.regionCycles.end()
+                           ? 0.0
+                           : static_cast<double>(it->second);
+            };
+            const double cs = cycles(serial);
+            if (cs <= 0)
+                continue;
+            const double gate = cs / 1.03; // must beat serial by >3%
+            double best = cs;
+            int winner = 3; // single
+            const double ci = cycles(ilp);
+            if (ci > 0 && ci < gate && ci < best) {
+                best = ci;
+                winner = 0;
+            }
+            const double ct = cycles(tlp);
+            if (ct > 0 && ct < gate && ct < best) {
+                best = ct;
+                winner = 1;
+            }
+            const double cl = cycles(llp);
+            if (is_doall[r] && cl > 0 && cl < gate && cl < best) {
+                best = cl;
+                winner = 2;
+            }
+            buckets[winner] += weight;
+        }
+        const double covered =
+            buckets[0] + buckets[1] + buckets[2] + buckets[3];
+        if (covered > 0)
+            for (double &bucket : buckets)
+                bucket *= 100.0 / covered;
+
+        ilp_share.push_back(buckets[0]);
+        tlp_share.push_back(buckets[1]);
+        llp_share.push_back(buckets[2]);
+        single_share.push_back(buckets[3]);
+        label(name) << std::fixed << std::setprecision(1) << std::setw(8)
+                    << buckets[0] << std::setw(8) << buckets[1]
+                    << std::setw(8) << buckets[2] << std::setw(9)
+                    << buckets[3] << "\n";
+    }
+
+    label("average");
+    std::cout << std::fixed << std::setprecision(1) << std::setw(8)
+              << mean(ilp_share) << std::setw(8) << mean(tlp_share)
+              << std::setw(8) << mean(llp_share) << std::setw(9)
+              << mean(single_share) << "\n";
+    std::cout << "paper:            30.0    32.0    31.0      7.0\n";
+    return 0;
+}

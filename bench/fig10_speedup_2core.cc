@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 10: speedup on a 2-core Voltron exploiting ILP, fine-grain TLP
+ * and LLP separately, relative to the 1-core serial baseline.
+ *
+ * Paper result: averages 1.23 (ILP), 1.16 (fine-grain TLP), 1.18 (LLP);
+ * no single parallelism type dominates across the suite.
+ */
+
+#include "common.hh"
+
+using namespace voltron;
+using namespace voltron::bench;
+
+int
+main()
+{
+    banner("Figure 10: per-type speedup, 2-core Voltron vs 1-core baseline",
+           "HPCA'07 Voltron paper, Figure 10");
+
+    label("benchmark");
+    std::cout << std::setw(8) << "ILP" << std::setw(8) << "TLP"
+              << std::setw(8) << "LLP" << "\n";
+
+    std::vector<double> ilp, tlp, llp;
+    for (const std::string &name : benchmark_names()) {
+        VoltronSystem sys(build_benchmark(name, bench_scale()));
+        label(name) << std::fixed << std::setprecision(2);
+        double row[3];
+        int i = 0;
+        for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly,
+                           Strategy::LlpOnly}) {
+            RunOutcome outcome = sys.run(s, 2);
+            if (!outcome.correct()) {
+                std::cout << "  GOLDEN-MODEL MISMATCH\n";
+                return 1;
+            }
+            row[i++] = sys.speedup(outcome);
+        }
+        ilp.push_back(row[0]);
+        tlp.push_back(row[1]);
+        llp.push_back(row[2]);
+        std::cout << std::setw(8) << row[0] << std::setw(8) << row[1]
+                  << std::setw(8) << row[2] << "\n";
+    }
+
+    label("average");
+    std::cout << std::fixed << std::setprecision(2) << std::setw(8)
+              << mean(ilp) << std::setw(8) << mean(tlp) << std::setw(8)
+              << mean(llp) << "\n";
+    std::cout << "paper:        " << std::setw(8) << 1.23 << std::setw(8)
+              << 1.16 << std::setw(8) << 1.18 << "\n";
+    return 0;
+}

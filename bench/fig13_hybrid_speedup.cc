@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 13: speedup on 2-core and 4-core Voltron exploiting *hybrid*
+ * parallelism — the compiler picks the best technique per region (§4.2)
+ * and the machine switches modes at run time.
+ *
+ * Paper result: 2-core 1.13-1.98 (avg 1.46); 4-core 1.15-3.25
+ * (avg 1.83). Hybrid beats every single-technique compilation.
+ */
+
+#include "common.hh"
+
+using namespace voltron;
+using namespace voltron::bench;
+
+int
+main()
+{
+    banner("Figure 13: hybrid-parallelism speedup, 2 and 4 cores",
+           "HPCA'07 Voltron paper, Figure 13");
+
+    label("benchmark");
+    std::cout << std::setw(9) << "2-core" << std::setw(9) << "4-core"
+              << "\n";
+
+    std::vector<double> two, four;
+    double min2 = 1e9, max2 = 0, min4 = 1e9, max4 = 0;
+    for (const std::string &name : benchmark_names()) {
+        VoltronSystem sys(build_benchmark(name, bench_scale()));
+        RunOutcome o2 = sys.run(Strategy::Hybrid, 2);
+        RunOutcome o4 = sys.run(Strategy::Hybrid, 4);
+        if (!o2.correct() || !o4.correct()) {
+            std::cout << name << "  GOLDEN-MODEL MISMATCH\n";
+            return 1;
+        }
+        const double s2 = sys.speedup(o2), s4 = sys.speedup(o4);
+        two.push_back(s2);
+        four.push_back(s4);
+        min2 = std::min(min2, s2);
+        max2 = std::max(max2, s2);
+        min4 = std::min(min4, s4);
+        max4 = std::max(max4, s4);
+        label(name) << std::fixed << std::setprecision(2) << std::setw(9)
+                    << s2 << std::setw(9) << s4 << "\n";
+    }
+
+    label("average");
+    std::cout << std::fixed << std::setprecision(2) << std::setw(9)
+              << mean(two) << std::setw(9) << mean(four) << "\n";
+    std::cout << "range:        " << std::setprecision(2) << min2 << "-"
+              << max2 << "   " << min4 << "-" << max4 << "\n";
+    std::cout << "paper:            1.46     1.83   (ranges 1.13-1.98, "
+                 "1.15-3.25)\n";
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 14: fraction of execution time spent in coupled vs decoupled
+ * mode during hybrid execution on 4 cores.
+ *
+ * Paper result: significant time in both modes; benchmarks with abundant
+ * fine-grain TLP (epic) live mostly decoupled, while mixed benchmarks
+ * (cjpeg) genuinely alternate.
+ */
+
+#include "common.hh"
+
+using namespace voltron;
+using namespace voltron::bench;
+
+int
+main()
+{
+    banner("Figure 14: time in coupled vs decoupled mode (hybrid, 4-core)",
+           "HPCA'07 Voltron paper, Figure 14");
+
+    label("benchmark");
+    std::cout << std::setw(11) << "coupled%" << std::setw(12)
+              << "decoupled%" << "\n";
+
+    std::vector<double> coupled_share;
+    for (const std::string &name : benchmark_names()) {
+        VoltronSystem sys(build_benchmark(name, bench_scale()));
+        RunOutcome outcome = sys.run(Strategy::Hybrid, 4);
+        if (!outcome.correct()) {
+            std::cout << name << "  GOLDEN-MODEL MISMATCH\n";
+            return 1;
+        }
+        const double total = static_cast<double>(outcome.result.cycles);
+        const double coupled =
+            100.0 * static_cast<double>(outcome.result.coupledCycles) /
+            total;
+        coupled_share.push_back(coupled);
+        label(name) << std::fixed << std::setprecision(1) << std::setw(10)
+                    << coupled << "%" << std::setw(11) << 100.0 - coupled
+                    << "%" << "\n";
+    }
+    label("average");
+    std::cout << std::fixed << std::setprecision(1) << std::setw(10)
+              << mean(coupled_share) << "%" << std::setw(11)
+              << 100.0 - mean(coupled_share) << "%" << "\n";
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrates: cache
+ * hierarchy throughput, operand-network queue operations, the coupled
+ * block scheduler, the reference interpreter, and a full machine tick.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/schedule.hh"
+#include "core/voltron.hh"
+#include "ir/builder.hh"
+#include "mem/hierarchy.hh"
+#include "network/network.hh"
+#include "support/rng.hh"
+
+using namespace voltron;
+
+namespace {
+
+void
+BM_CacheHitAccess(benchmark::State &state)
+{
+    MemHierarchy mem(4);
+    mem.access(0, 0x1000, false, 0);
+    Cycle now = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.access(0, 0x1000, false, now++));
+    }
+}
+BENCHMARK(BM_CacheHitAccess);
+
+void
+BM_CacheMissStream(benchmark::State &state)
+{
+    MemHierarchy mem(4);
+    Addr addr = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.access(0, addr, false, now++));
+        addr += 64;
+    }
+}
+BENCHMARK(BM_CacheMissStream);
+
+void
+BM_CoherenceBounce(benchmark::State &state)
+{
+    MemHierarchy mem(4);
+    Cycle now = 0;
+    CoreId core = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.access(core, 0x2000, true, now++));
+        core = static_cast<CoreId>((core + 1) % 4);
+    }
+}
+BENCHMARK(BM_CoherenceBounce);
+
+void
+BM_NetworkSendRecv(benchmark::State &state)
+{
+    NetworkConfig config;
+    config.rows = 2;
+    config.cols = 2;
+    OperandNetwork net(config);
+    Cycle now = 0;
+    for (auto _ : state) {
+        net.send(0, 3, now, now);
+        benchmark::DoNotOptimize(net.tryRecv(3, 0, now + 10));
+        now += 20;
+    }
+}
+BENCHMARK(BM_NetworkSendRecv);
+
+void
+BM_ScheduleBlock(benchmark::State &state)
+{
+    // A representative 30-op, 4-core block with one transfer.
+    std::vector<ScheduleSlot> slots;
+    Rng rng(1);
+    for (int i = 0; i < 30; ++i) {
+        const CoreId core = static_cast<CoreId>(rng.below(4));
+        slots.push_back(
+            {core, ops::addi(gpr(static_cast<u16>(16 + i)),
+                             gpr(static_cast<u16>(16 + i / 2)), 1)});
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(schedule_block(slots, 4));
+}
+BENCHMARK(BM_ScheduleBlock);
+
+Program
+interp_program()
+{
+    ProgramBuilder b("micro");
+    b.beginFunction("main");
+    RegId sum = b.emitImm(0);
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, 10000);
+    b.emit(ops::add(sum, sum, i));
+    RegId t = b.newGpr();
+    b.emit(ops::alui(Opcode::MUL, t, i, 3));
+    b.emit(ops::alu(Opcode::XOR, sum, sum, t));
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+    return b.take();
+}
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    Program prog = interp_program();
+    u64 ops = 0;
+    for (auto _ : state) {
+        GoldenRun run = run_golden(prog);
+        ops += run.result.dynamicOps;
+        benchmark::DoNotOptimize(run.result.exitValue);
+    }
+    state.SetItemsProcessed(static_cast<i64>(ops));
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void
+BM_MachineSimulationThroughput(benchmark::State &state)
+{
+    VoltronSystem sys(interp_program());
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 4;
+    const MachineProgram &mp = sys.compile(opts);
+    u64 cycles = 0;
+    for (auto _ : state) {
+        Machine machine(mp, MachineConfig::forCores(4));
+        MachineResult result = machine.run();
+        cycles += result.cycles;
+        benchmark::DoNotOptimize(result.exitValue);
+    }
+    state.SetItemsProcessed(static_cast<i64>(cycles));
+}
+BENCHMARK(BM_MachineSimulationThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

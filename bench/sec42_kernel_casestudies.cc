@@ -1,0 +1,81 @@
+/**
+ * @file
+ * §4.2 case studies: the three kernels the paper walks through on a
+ * 2-core system.
+ *
+ *  - Figure 7 (gsmdecode): a statistical DOALL loop, paper speedup 1.9x.
+ *  - Figure 8 (164.gzip): the scan/match strand loop, paper speedup 1.2x.
+ *  - Figure 9 (gsmdecode): the high-ILP recurrence loop, paper 1.78x.
+ */
+
+#include "common.hh"
+#include "workloads/archetypes.hh"
+
+using namespace voltron;
+using namespace voltron::bench;
+
+namespace {
+
+Program
+phase_program(Archetype archetype, const PhaseParams &pp, u64 seed)
+{
+    Rng rng(seed);
+    ProgramBuilder b("case");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    FuncId f = emit_phase(b, archetype, archetype_name(archetype), pp, rng);
+    Program prog = b.take();
+    Function &main_fn = prog.function(0);
+    main_fn.blocks.clear();
+    main_fn.addBlock("entry");
+    BasicBlock &bb = main_fn.block(0);
+    bb.append(ops::movi(gpr(1), 3));
+    RegId bt = main_fn.freshReg(RegClass::BTR);
+    bb.append(ops::pbr(bt, CodeRef::to_function(f)));
+    bb.append(ops::call(bt));
+    bb.append(ops::halt(gpr(0)));
+    return prog;
+}
+
+void
+run_case(const char *title, Archetype archetype, Strategy strategy,
+         const PhaseParams &pp, double paper)
+{
+    VoltronSystem sys(phase_program(archetype, pp, 0xCAFE));
+    RunOutcome outcome = sys.run(strategy, 2);
+    std::cout << std::left << std::setw(44) << title << std::right
+              << std::fixed << std::setprecision(2)
+              << " measured " << sys.speedup(outcome) << "x  paper "
+              << paper << "x"
+              << (outcome.correct() ? "" : "  GOLDEN-MODEL MISMATCH")
+              << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Section 4.2 kernel case studies (2-core)",
+           "HPCA'07 Voltron paper, Figures 7/8/9");
+
+    PhaseParams doall_pp;
+    doall_pp.trips = 2048;
+    run_case("Fig.7  gsmdecode DOALL loop (LLP)", Archetype::DoallStream,
+             Strategy::LlpOnly, doall_pp, 1.9);
+
+    PhaseParams strand_pp;
+    strand_pp.trips = 16384;
+    strand_pp.width = 6;
+    run_case("Fig.8  164.gzip scan/match loop (strands)",
+             Archetype::StrandMatch, Strategy::TlpOnly, strand_pp, 1.2);
+
+    PhaseParams ilp_pp;
+    ilp_pp.trips = 1024;
+    ilp_pp.elems = 256;
+    ilp_pp.width = 8;
+    run_case("Fig.9  gsmdecode recurrence loop (ILP)", Archetype::IlpWide,
+             Strategy::IlpOnly, ilp_pp, 1.78);
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Mode explorer: pick any benchmark from the built-in suite and sweep
+ * every strategy and core count, printing speedups, stall breakdowns and
+ * the coupled/decoupled time split — a one-stop tour of the machine.
+ *
+ *   $ ./build/examples/mode_explorer [benchmark]   (default: gsmdecode)
+ *   $ ./build/examples/mode_explorer --list
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/voltron.hh"
+#include "workloads/suite.hh"
+
+using namespace voltron;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "gsmdecode";
+    if (name == "--list") {
+        for (const std::string &bench : benchmark_names())
+            std::cout << bench << "\n";
+        return 0;
+    }
+
+    VoltronSystem sys(build_benchmark(name));
+    std::cout << "benchmark " << name << ": golden exit "
+              << sys.goldenResult().exitValue << ", "
+              << sys.goldenResult().dynamicOps << " dynamic ops, serial "
+              << sys.baselineCycles() << " cycles\n\n";
+
+    std::cout << std::left << std::setw(10) << "strategy" << std::right
+              << std::setw(7) << "cores" << std::setw(10) << "cycles"
+              << std::setw(9) << "speedup" << std::setw(10) << "coupled%"
+              << std::setw(9) << "dstall%" << std::setw(9) << "recv%"
+              << "  ok\n";
+
+    for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly,
+                       Strategy::LlpOnly, Strategy::Hybrid}) {
+        for (u16 cores : {2, 4}) {
+            RunOutcome o = sys.run(s, cores);
+            const double total =
+                static_cast<double>(o.result.cycles) * cores;
+            u64 dstall = 0, recv = 0;
+            for (CoreId c = 0; c < cores; ++c) {
+                dstall += o.result.stallOf(c, StallCat::DCache);
+                recv += o.result.stallOf(c, StallCat::RecvData) +
+                        o.result.stallOf(c, StallCat::RecvPred) +
+                        o.result.stallOf(c, StallCat::JoinSync);
+            }
+            std::cout << std::left << std::setw(10) << strategy_name(s)
+                      << std::right << std::setw(7) << cores
+                      << std::setw(10) << o.result.cycles << std::fixed
+                      << std::setprecision(2) << std::setw(9)
+                      << sys.speedup(o) << std::setprecision(1)
+                      << std::setw(9)
+                      << 100.0 * static_cast<double>(o.result.coupledCycles) /
+                             static_cast<double>(o.result.cycles)
+                      << "%" << std::setw(8)
+                      << 100.0 * static_cast<double>(dstall) / total << "%"
+                      << std::setw(8)
+                      << 100.0 * static_cast<double>(recv) / total << "%"
+                      << "  " << (o.correct() ? "yes" : "NO") << "\n";
+        }
+    }
+    return 0;
+}

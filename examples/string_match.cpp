@@ -1,0 +1,127 @@
+/**
+ * @file
+ * String matching with fine-grain strands — the paper's Figure 8
+ * (164.gzip longest-match loop) as a standalone application.
+ *
+ * Two long byte-stream stand-ins (`scan` and `match`) are compared until
+ * they diverge. The eBUG partitioner places each stream's loads on a
+ * different core so their cache misses overlap (memory-level
+ * parallelism), with the match outcome exchanged over the queue-mode
+ * operand network — exactly the partition shown in the paper.
+ */
+
+#include <iostream>
+
+#include "core/voltron.hh"
+#include "ir/builder.hh"
+#include "support/rng.hh"
+
+using namespace voltron;
+
+namespace {
+
+Program
+make_matcher(u64 match_length)
+{
+    ProgramBuilder b("string_match");
+    Rng rng(0x6219);
+
+    std::vector<i64> scan(match_length + 8);
+    for (auto &v : scan)
+        v = rng.range(0, 255);
+    std::vector<i64> match = scan;
+    match[match_length] ^= 0x40; // first divergence
+
+    const Addr a_scan = b.allocArrayI64("scan", scan);
+    const Addr a_match = b.allocArrayI64("match", match);
+    const u32 s_scan = b.symbolOf("scan");
+    const u32 s_match = b.symbolOf("match");
+
+    b.beginFunction("main");
+    RegId base_s = b.emitImm(static_cast<i64>(a_scan));
+    RegId base_m = b.emitImm(static_cast<i64>(a_match));
+    RegId i = b.newGpr();
+    b.emit(ops::movi(i, 0));
+    RegId hash = b.newGpr();
+    b.emit(ops::movi(hash, 0));
+
+    BlockId header = b.newBlock("match.header");
+    BlockId cont = b.newBlock("match.cont");
+    BlockId exit = b.newBlock("match.exit");
+    b.fallthroughTo(header);
+
+    // Compare 3 elements per iteration (the paper's loop compares 4
+    // halfword pairs per trip); accumulate a rolling hash.
+    {
+        RegId off = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off, i, 3));
+        RegId addr_s = b.newGpr();
+        b.emit(ops::add(addr_s, base_s, off));
+        RegId addr_m = b.newGpr();
+        b.emit(ops::add(addr_m, base_m, off));
+        RegId diff = b.newGpr();
+        b.emit(ops::movi(diff, 0));
+        for (int k = 0; k < 3; ++k) {
+            RegId a = b.newGpr();
+            b.emitLoad(a, addr_s, 8 * k, s_scan);
+            RegId m = b.newGpr();
+            b.emitLoad(m, addr_m, 8 * k, s_match);
+            RegId d = b.newGpr();
+            b.emit(ops::sub(d, a, m));
+            b.emit(ops::alu(Opcode::OR, diff, diff, d));
+            RegId h = b.newGpr();
+            b.emit(ops::alui(Opcode::MUL, h, a, 31));
+            b.emit(ops::alu(Opcode::XOR, hash, hash, h));
+        }
+        RegId mismatch = b.newPr();
+        b.emit(ops::cmpi(CmpCond::NE, mismatch, diff, 0));
+        b.emitBranch(mismatch, exit);
+        b.fallthroughTo(cont);
+    }
+    {
+        b.emit(ops::addi(i, i, 3));
+        RegId done = b.newPr();
+        b.emit(ops::cmpi(CmpCond::GE, done, i,
+                         static_cast<i64>(match_length + 3)));
+        b.emitBranch(done, exit);
+        b.emitJump(header);
+    }
+    b.setBlock(exit);
+    RegId result = b.newGpr();
+    b.emit(ops::add(result, hash, i)); // hash + matched length
+    b.emitHalt(result);
+    b.endFunction();
+    return b.take();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const u64 length = argc > 1 ? std::strtoull(argv[1], nullptr, 0)
+                                : 12288;
+    VoltronSystem sys(make_matcher(length));
+
+    std::cout << "string_match over " << length << " elements\n"
+              << "serial baseline: " << sys.baselineCycles()
+              << " cycles\n\n";
+
+    RunOutcome strands = sys.run(Strategy::TlpOnly, 2);
+    std::cout << "2-core strands : " << strands.result.cycles
+              << " cycles, speedup " << sys.speedup(strands)
+              << (strands.correct() ? "" : "  GOLDEN MISMATCH") << "\n";
+
+    u64 dstall = 0;
+    for (CoreId c = 0; c < 2; ++c)
+        dstall += strands.result.stallOf(c, StallCat::DCache);
+    std::cout << "cache-miss stall cycles across both cores: " << dstall
+              << " (overlapped: each core only waits for its own "
+                 "stream)\n";
+
+    RunOutcome coupled = sys.run(Strategy::IlpOnly, 2);
+    std::cout << "2-core coupled : " << coupled.result.cycles
+              << " cycles, speedup " << sys.speedup(coupled)
+              << "  (lockstep pays for every miss on both cores)\n";
+    return strands.correct() && coupled.correct() ? 0 : 1;
+}

@@ -1,0 +1,264 @@
+#include <algorithm>
+
+#include "compiler/partition.hh"
+#include "ir/scc.hh"
+#include "isa/latencies.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+/** Skip list: ops codegen replicates rather than assigns. */
+bool
+is_replicated(const Operation &op)
+{
+    return op.op == Opcode::BR || op.op == Opcode::BRU ||
+           op.op == Opcode::PBR;
+}
+
+/** Height (critical-path length to any sink) per node, longest first. */
+std::vector<u64>
+compute_heights(const DepGraph &g)
+{
+    // Heights over forward edges only (ignore cycles by capping passes).
+    std::vector<u64> height(g.nodes.size(), 0);
+    bool changed = true;
+    u32 passes = 0;
+    while (changed && passes < 64) {
+        changed = false;
+        passes++;
+        for (size_t i = g.nodes.size(); i-- > 0;) {
+            u64 h = 0;
+            for (const DepEdge &e : g.succs[i]) {
+                if (e.kind != DepKind::RegFlow)
+                    continue;
+                if (!(g.nodes[i].ref < g.nodes[e.to].ref))
+                    continue; // skip loop-carried back edges
+                h = std::max(h, height[e.to] +
+                                    op_latency(g.nodes[e.to].op->op));
+            }
+            if (h > height[i]) {
+                height[i] = h;
+                changed = true;
+            }
+        }
+    }
+    return height;
+}
+
+} // namespace
+
+Assignment
+partition_bug(const DepGraph &g, const PartitionOptions &opts)
+{
+    fatal_if_not(opts.numCores >= 1, "partitioning for zero cores");
+    Assignment result;
+    if (g.nodes.empty())
+        return result;
+
+    const std::vector<u64> height = compute_heights(g);
+
+    // Visit order: program order refined by height (critical paths first
+    // among independent ops) — the estimate-driven greedy of BUG.
+    std::vector<u32> order;
+    for (u32 i = 0; i < g.nodes.size(); ++i)
+        order.push_back(i);
+    std::stable_sort(order.begin(), order.end(), [&](u32 a, u32 b) {
+        if (g.nodes[a].ref.block != g.nodes[b].ref.block)
+            return g.nodes[a].ref.block < g.nodes[b].ref.block;
+        return g.nodes[a].ref.idx < g.nodes[b].ref.idx;
+    });
+
+    // Greedy state.
+    struct ValueHome
+    {
+        CoreId core = 0;
+        u64 ready = 0;
+        std::set<CoreId> copies; //!< cores holding a transferred copy
+    };
+    std::vector<u64> core_free(opts.numCores, 0);   // next free issue slot
+    std::vector<u64> mem_count(opts.numCores, 0);   // memory ops per core
+    u64 total_mem = 0;
+    std::map<RegId, ValueHome> home;                // reg -> location info
+    std::map<u32, CoreId> class_home;               // alias class -> core
+    std::vector<CoreId> assigned(g.nodes.size(), kNoCore);
+
+    for (u32 node_idx : order) {
+        const DepNode &node = g.nodes[node_idx];
+        const Operation &op = *node.op;
+        if (is_replicated(op))
+            continue;
+
+        // Alias-class pinning (eBUG, decoupled correctness discipline).
+        CoreId forced = kNoCore;
+        if (opts.enhanced && opts.pinAliasClasses && node.aliasClass != 0) {
+            auto it = class_home.find(node.aliasClass);
+            if (it != class_home.end())
+                forced = it->second;
+        }
+
+        CoreId best = 0;
+        u64 best_cost = ~0ULL;
+        u64 best_start = 0;
+        for (CoreId c = 0; c < opts.numCores; ++c) {
+            if (forced != kNoCore && c != forced)
+                continue;
+            // Operand arrival estimate. A copy already transferred to c
+            // (for an earlier consumer) costs nothing extra — the codegen
+            // sends each def to each using core once. eBUG edge weights
+            // are *placement penalties*: they steer the choice but must
+            // not inflate the schedule-time estimates (core_free/ready),
+            // or one weighted edge poisons every later decision.
+            u64 arrival = 0;
+            u64 penalty = 0;
+            for (RegId use : op.uses()) {
+                auto it = home.find(use);
+                if (it == home.end())
+                    continue; // live-in: available everywhere via setup
+                const auto &[home_core, ready, copies] = it->second;
+                u64 when = ready;
+                if (home_core != c && !copies.count(c)) {
+                    when += opts.transferCost;
+                    if (opts.enhanced) {
+                        // Likely-missing-load edge weight: breaking the
+                        // load->consumer edge couples both cores' stalls.
+                        for (const DepEdge &e : g.preds[node_idx]) {
+                            if (e.kind != DepKind::RegFlow)
+                                continue;
+                            const DepNode &pred = g.nodes[e.to];
+                            if (pred.op->def() == use &&
+                                is_load(pred.op->op) &&
+                                pred.missRate > opts.missThreshold) {
+                                penalty += opts.missEdgeWeight;
+                            }
+                        }
+                    }
+                }
+                arrival = std::max(arrival, when);
+            }
+            const u64 start = std::max(arrival, core_free[c]);
+            u64 cost = start + penalty;
+            if (opts.enhanced && is_memory(op.op) && total_mem > 0 &&
+                mem_count[c] * 2 > total_mem) {
+                cost += opts.memImbalancePenalty;
+            }
+            if (cost < best_cost ||
+                (cost == best_cost && core_free[c] < core_free[best])) {
+                best_cost = cost;
+                best_start = start;
+                best = c;
+            }
+        }
+
+        assigned[node_idx] = best;
+        result[node.ref] = best;
+        const u64 start = best_start;
+        core_free[best] = start + 1;
+        // Record the transfers this placement implies.
+        for (RegId use : op.uses()) {
+            auto it = home.find(use);
+            if (it != home.end() && it->second.core != best)
+                it->second.copies.insert(best);
+        }
+        if (op.def().valid()) {
+            ValueHome vh;
+            vh.core = best;
+            vh.ready = start + op_latency(op.op);
+            home[op.def()] = vh;
+        }
+        if (is_memory(op.op)) {
+            mem_count[best]++;
+            total_mem++;
+            if (opts.enhanced && opts.pinAliasClasses &&
+                node.aliasClass != 0) {
+                class_home.emplace(node.aliasClass, best);
+            }
+        }
+    }
+
+    return result;
+}
+
+DswpResult
+partition_dswp(const DepGraph &g, const PartitionOptions &opts)
+{
+    DswpResult result;
+    if (g.nodes.empty())
+        return result;
+
+    const SccResult scc = tarjan_scc(g.adjacency());
+
+    // Condensation weights and topological order.
+    std::vector<u64> scc_weight(scc.numComponents, 0);
+    for (u32 i = 0; i < g.nodes.size(); ++i)
+        scc_weight[scc.componentOf[i]] += g.nodes[i].weight;
+
+    const std::vector<u32> topo = scc.componentsInTopoOrder();
+
+    // Greedy stage fill: walk the condensation in topo order, cutting a
+    // new stage when the running weight exceeds the per-core target.
+    const u64 total = g.totalWeight();
+    const u64 target = (total + opts.numCores - 1) / opts.numCores;
+    std::vector<u32> stage_of(scc.numComponents, 0);
+    u32 stage = 0;
+    u64 fill = 0;
+    for (u32 comp : topo) {
+        if (fill > 0 && fill + scc_weight[comp] > target &&
+            stage + 1 < opts.numCores) {
+            stage++;
+            fill = 0;
+        }
+        stage_of[comp] = stage;
+        fill += scc_weight[comp];
+    }
+    result.stagesUsed = stage + 1;
+
+    // Per-stage weights -> estimated pipeline speedup.
+    std::vector<u64> stage_weight(result.stagesUsed, 0);
+    for (u32 comp = 0; comp < scc.numComponents; ++comp)
+        stage_weight[stage_of[comp]] += scc_weight[comp];
+    const u64 max_stage =
+        *std::max_element(stage_weight.begin(), stage_weight.end());
+    if (max_stage == 0)
+        return result;
+
+    // Per-iteration cross-stage communication burdens the pipeline: each
+    // register value crossing stages costs a SEND slot on the producer
+    // and a RECV slot on the consumer, every iteration. Charge one def's
+    // dynamic execution count per (def, remote stage) pair against the
+    // bottleneck stage — this is what rejects "pipelines" that would
+    // spend their win shipping operands (the paper's compiler makes the
+    // same profitability call before committing to DSWP).
+    u64 comm_weight = 0;
+    {
+        std::set<std::pair<u32, u32>> charged; // (node, remote stage)
+        for (u32 i = 0; i < g.nodes.size(); ++i) {
+            for (const DepEdge &e : g.succs[i]) {
+                if (e.kind != DepKind::RegFlow)
+                    continue;
+                const u32 s_from = stage_of[scc.componentOf[i]];
+                const u32 s_to = stage_of[scc.componentOf[e.to]];
+                if (s_from == s_to)
+                    continue;
+                if (charged.insert({i, s_to}).second)
+                    comm_weight += g.nodes[i].execs;
+            }
+        }
+    }
+    result.estimatedSpeedup =
+        static_cast<double>(total) /
+        static_cast<double>(max_stage + comm_weight);
+    result.feasible = result.stagesUsed >= 2;
+
+    for (u32 i = 0; i < g.nodes.size(); ++i) {
+        const Operation &op = *g.nodes[i].op;
+        if (is_replicated(op))
+            continue;
+        result.assignment[g.nodes[i].ref] =
+            static_cast<CoreId>(stage_of[scc.componentOf[i]]);
+    }
+    return result;
+}
+
+} // namespace voltron

@@ -1,0 +1,1342 @@
+#include "compiler/codegen.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "compiler/schedule.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+/** Identity element of an accumulator operation. */
+i64
+identity_of(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::OR: case Opcode::XOR: return 0;
+      case Opcode::MUL: return 1;
+      case Opcode::AND: return -1;
+      case Opcode::MIN: return std::numeric_limits<i64>::max();
+      case Opcode::MAX: return std::numeric_limits<i64>::min();
+      default: panic("not an accumulator op");
+    }
+}
+
+bool
+is_accumulator_op(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::MUL: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::MIN:
+      case Opcode::MAX:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+DoallPlan
+analyze_doall(const Function &fn, const CompilerRegion &region,
+              const FuncAnalyses &fa, const Liveness &live)
+{
+    DoallPlan plan;
+    if (region.kind != RegionKind::Loop || region.loopIdx < 0) {
+        plan.reason = "not a loop region";
+        return plan;
+    }
+    const Loop &loop = fa.loops->loops()[region.loopIdx];
+    if (!loop.counted.valid()) {
+        plan.reason = "loop is not counted";
+        return plan;
+    }
+    if (loop.counted.step <= 0) {
+        plan.reason = "non-positive step";
+        return plan;
+    }
+    if (loop.exitTargets.size() != 1) {
+        plan.reason = "multiple exit targets";
+        return plan;
+    }
+    plan.counted = loop.counted;
+    const RegId ivar = loop.counted.ivar;
+
+    // Classify loop-carried registers: live into the header and defined
+    // inside the loop. Each must be the induction variable or a pure
+    // integer accumulator (single def `r = r OP x`, OP associative and
+    // commutative, r unused elsewhere in the loop).
+    const std::set<RegId> &header_live = live.liveIn(loop.header);
+    std::set<RegId> defined;
+    for (BlockId b : loop.blocks)
+        for (const Operation &op : fn.block(b).ops)
+            if (op.def().valid())
+                defined.insert(op.def());
+
+    for (RegId r : header_live) {
+        if (!defined.count(r) || r == ivar)
+            continue;
+        // Find all defs/uses of r inside the loop.
+        const Operation *def_op = nullptr;
+        u32 def_count = 0, other_uses = 0;
+        for (BlockId b : loop.blocks) {
+            for (const Operation &op : fn.block(b).ops) {
+                if (op.def() == r) {
+                    def_count++;
+                    def_op = &op;
+                }
+                for (RegId use : op.uses()) {
+                    if (use == r && op.def() != r)
+                        other_uses++;
+                }
+            }
+        }
+        const bool shape_ok =
+            def_count == 1 && other_uses == 0 && def_op &&
+            is_accumulator_op(def_op->op) && r.cls == RegClass::GPR &&
+            (def_op->src0 == r ||
+             (!def_op->immSrc1 && def_op->src1 == r));
+        if (!shape_ok) {
+            plan.reason = "unresolvable loop-carried register";
+            return plan;
+        }
+        // `r OP x` with x also equal to r (r = r OP r) is not expandable.
+        if (def_op->src0 == r && !def_op->immSrc1 && def_op->src1 == r) {
+            plan.reason = "self-squaring recurrence";
+            return plan;
+        }
+        plan.accumulators.push_back(
+            {r, def_op->op, identity_of(def_op->op)});
+    }
+
+    // Live-outs must be covered: not defined in the loop (pass-through),
+    // the induction variable, or an accumulator.
+    std::set<RegId> live_out;
+    for (const auto &[from, to] : region.exitEdges) {
+        (void)from;
+        const auto &in = live.liveIn(to);
+        live_out.insert(in.begin(), in.end());
+    }
+    for (RegId r : live_out) {
+        if (!defined.count(r) || r == ivar)
+            continue;
+        bool is_acc = false;
+        for (const auto &acc : plan.accumulators)
+            if (acc.reg == r)
+                is_acc = true;
+        if (!is_acc) {
+            plan.reason = "loop-defined live-out is not an accumulator";
+            return plan;
+        }
+    }
+
+    // Live-ins the chunk bodies need (everything used in the loop that is
+    // live into the header, minus the chunk-managed registers).
+    std::set<RegId> used;
+    for (BlockId b : loop.blocks)
+        for (const Operation &op : fn.block(b).ops)
+            for (RegId use : op.uses())
+                used.insert(use);
+    for (RegId r : used) {
+        if (r.cls == RegClass::BTR || r == ivar)
+            continue;
+        bool is_acc = false;
+        for (const auto &acc : plan.accumulators)
+            if (acc.reg == r)
+                is_acc = true;
+        if (is_acc || !header_live.count(r))
+            continue;
+        if (loop.counted.boundReg.valid() && r == loop.counted.boundReg)
+            continue; // workers get the chunk bound instead
+        plan.bodyLiveIns.push_back(r);
+    }
+    std::sort(plan.bodyLiveIns.begin(), plan.bodyLiveIns.end());
+
+    plan.feasible = true;
+    return plan;
+}
+
+// ===========================================================================
+
+namespace {
+
+/** The generator. */
+class Codegen
+{
+  public:
+    explicit Codegen(const CodegenInput &in) : in_(in) {}
+
+    MachineProgram
+    run()
+    {
+        const Program &prog = *in_.prog;
+        out_.name = prog.name;
+        out_.numCores = in_.numCores;
+        out_.original = prog;
+        out_.perCore.resize(in_.numCores);
+        for (u16 c = 0; c < in_.numCores; ++c) {
+            out_.perCore[c].name = prog.name + ".core" +
+                                   std::to_string(c);
+        }
+
+        // Region metadata table (ids are already global and dense).
+        size_t num_regions = 0;
+        for (const auto &regions : in_.regionsOf)
+            num_regions += regions.size();
+        out_.regions.resize(num_regions);
+        for (const auto &regions : in_.regionsOf) {
+            for (const CompilerRegion &region : regions) {
+                RegionMeta meta;
+                meta.id = region.id;
+                meta.func = region.func;
+                meta.entry = region.entry;
+                meta.kind = region.kind;
+                meta.mode = region.mode;
+                for (BlockId b : region.blocks) {
+                    meta.profiledOps +=
+                        in_.profile->blockExecs(region.func, b) *
+                        fnOf(region.func).block(b).ops.size();
+                }
+                out_.regions.at(region.id) = meta;
+            }
+        }
+
+        for (FuncId f = 0; f < prog.functions.size(); ++f)
+            genFunction(f);
+
+        return std::move(out_);
+    }
+
+  private:
+    const CodegenInput &in_;
+    MachineProgram out_;
+
+    // Per-function state.
+    const Function *fn_ = nullptr;
+    const FuncAnalyses *fa_ = nullptr;
+    std::unique_ptr<Liveness> live_;
+    u32 nextTransferId_ = kTransferIdBase;
+    /** Master preamble per non-serial region (for the entry rewire). */
+    std::map<RegionId, BlockId> masterPreamble_;
+
+    const Function &fnOf(FuncId f) const { return in_.prog->function(f); }
+
+    Function &clone(CoreId c) { return out_.perCore[c].functions.back(); }
+
+    u16 meshCols() const { return in_.numCores >= 4 ? 2 : in_.numCores; }
+
+    /** XY route: column moves then row moves. */
+    std::vector<Dir>
+    route(CoreId from, CoreId to) const
+    {
+        std::vector<Dir> dirs;
+        const u16 cols = meshCols();
+        int fc = from % cols, fr = from / cols;
+        const int tc = to % cols, tr = to / cols;
+        while (fc < tc) { dirs.push_back(Dir::East); fc++; }
+        while (fc > tc) { dirs.push_back(Dir::West); fc--; }
+        while (fr < tr) { dirs.push_back(Dir::South); fr++; }
+        while (fr > tr) { dirs.push_back(Dir::North); fr--; }
+        return dirs;
+    }
+
+    CoreId
+    stepCore(CoreId from, Dir dir) const
+    {
+        const u16 cols = meshCols();
+        switch (dir) {
+          case Dir::East: return from + 1;
+          case Dir::West: return from - 1;
+          case Dir::South: return static_cast<CoreId>(from + cols);
+          case Dir::North: return static_cast<CoreId>(from - cols);
+          default: panic("bad dir");
+        }
+    }
+
+    void
+    genFunction(FuncId f)
+    {
+        fn_ = &fnOf(f);
+        fa_ = (*in_.analyses)[f].get();
+        live_ = std::make_unique<Liveness>(*in_.prog, *fn_, *fa_->cfg);
+        nextTransferId_ = kTransferIdBase;
+        masterPreamble_.clear();
+
+        // Mirrored skeletons.
+        for (u16 c = 0; c < in_.numCores; ++c) {
+            Function &cf = out_.perCore[c].addFunction(
+                fn_->name, fn_->numArgs, fn_->returnsValue);
+            cf.nextGpr = fn_->nextGpr;
+            cf.nextFpr = fn_->nextFpr;
+            cf.nextPr = fn_->nextPr;
+            cf.nextBtr = fn_->nextBtr;
+            for (const BasicBlock &bb : fn_->blocks) {
+                BlockId nb = cf.addBlock(bb.name);
+                cf.block(nb).fallthrough = bb.fallthrough;
+            }
+        }
+
+        // Stamp mirrored blocks with region ids on every clone.
+        for (const CompilerRegion &region : in_.regionsOf[f]) {
+            for (BlockId b : region.blocks)
+                for (u16 c = 0; c < in_.numCores; ++c)
+                    clone(c).block(b).region = region.id;
+        }
+
+        // Emit region bodies.
+        for (const CompilerRegion &region : in_.regionsOf[f]) {
+            switch (region.mode) {
+              case ExecMode::Serial:
+                genSerial(region);
+                break;
+              case ExecMode::Coupled:
+                genPartitioned(region,
+                               in_.assignments.at(region.id), true);
+                break;
+              case ExecMode::Strands:
+              case ExecMode::Dswp:
+                genPartitioned(region,
+                               in_.assignments.at(region.id), false);
+                break;
+              case ExecMode::Doall:
+                genDoall(region);
+                break;
+            }
+        }
+
+        // Entry rewiring on the master clone: edges from outside a
+        // non-serial region into its entry go to the region preamble.
+        Function &master = clone(0);
+        for (const auto &[region_id, preamble] : masterPreamble_) {
+            const CompilerRegion *region = nullptr;
+            for (const CompilerRegion &r : in_.regionsOf[f])
+                if (r.id == region_id)
+                    region = &r;
+            panic_if_not(region != nullptr, "missing region");
+            for (BasicBlock &bb : master.blocks) {
+                if (bb.region == region_id)
+                    continue;
+                for (Operation &op : bb.ops) {
+                    if (op.op != Opcode::PBR)
+                        continue;
+                    CodeRef ref = op.codeRef();
+                    if (ref.kind == CodeRef::Kind::Block &&
+                        ref.func == f && ref.block == region->entry) {
+                        op.imm = static_cast<i64>(
+                            CodeRef::to_block(f, preamble).encode());
+                    }
+                }
+                if (bb.fallthrough == region->entry)
+                    bb.fallthrough = preamble;
+            }
+        }
+    }
+
+    void
+    genSerial(const CompilerRegion &region)
+    {
+        Function &master = clone(0);
+        for (BlockId b : region.blocks)
+            master.block(b).ops = fn_->block(b).ops;
+    }
+
+    // --- Partitioned regions (Coupled / Strands / Dswp) -------------------
+
+    std::set<RegId>
+    regionLiveOut(const CompilerRegion &region) const
+    {
+        std::set<RegId> out;
+        for (const auto &[from, to] : region.exitEdges) {
+            (void)from;
+            const auto &in = live_->liveIn(to);
+            out.insert(in.begin(), in.end());
+        }
+        return out;
+    }
+
+    /**
+     * The paper's Figure 5(c) optimisation, generalised: the backward
+     * slice of every branch predicate is *replicated* on all participants
+     * when it consists of cheap integer ops whose inputs are region
+     * live-ins or other replicated defs. This removes the per-iteration
+     * predicate broadcast/sends and replicates induction updates, which
+     * is what makes both coupled and decoupled loops profitable.
+     */
+    std::set<OpRef>
+    computeReplicatedSlice(const CompilerRegion &region) const
+    {
+        auto cheap = [](const Operation &op) {
+            switch (op.op) {
+              case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+              case Opcode::AND: case Opcode::OR: case Opcode::XOR:
+              case Opcode::SHL: case Opcode::SHR: case Opcode::SRA:
+              case Opcode::MIN: case Opcode::MAX: case Opcode::MOV:
+              case Opcode::MOVI: case Opcode::CMP:
+                return true;
+              default:
+                return false;
+            }
+        };
+
+        std::map<RegId, std::vector<OpRef>> defs;
+        for (BlockId b : region.blocks) {
+            const BasicBlock &bb = fn_->block(b);
+            for (u32 i = 0; i < bb.ops.size(); ++i)
+                if (bb.ops[i].def().valid())
+                    defs[bb.ops[i].def()].push_back({b, i});
+        }
+
+        // Greatest fixpoint: start from all cheap ops and erode any op
+        // reading a register with a non-replicable region def. Recurrences
+        // (i = i + 1; the compare on i) survive as long as every def in
+        // the cycle is cheap — exactly the induction/predicate chains the
+        // paper replicates.
+        std::set<OpRef> replicable;
+        for (BlockId b : region.blocks) {
+            const BasicBlock &bb = fn_->block(b);
+            for (u32 i = 0; i < bb.ops.size(); ++i)
+                if (cheap(bb.ops[i]))
+                    replicable.insert({b, i});
+        }
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (auto it = replicable.begin(); it != replicable.end();) {
+                const Operation &op = fn_->block(it->block).ops[it->idx];
+                bool ok = true;
+                for (RegId use : op.uses()) {
+                    auto dit = defs.find(use);
+                    if (dit == defs.end())
+                        continue; // pure live-in
+                    for (const OpRef &d : dit->second)
+                        if (!replicable.count(d))
+                            ok = false;
+                }
+                if (!ok) {
+                    it = replicable.erase(it);
+                    changed = true;
+                } else {
+                    ++it;
+                }
+            }
+        }
+
+        // Backward slice from branch predicates and memory-op addresses
+        // through replicable defs. Replicating the address chains is what
+        // lets each core drive its own load stream locally (the per-core
+        // pointer increments of the paper's Figure 8 partition).
+        std::set<RegId> want;
+        for (BlockId b : region.blocks) {
+            for (const Operation &op : fn_->block(b).ops) {
+                if (op.op == Opcode::BR)
+                    want.insert(op.src0);
+                if (is_memory(op.op))
+                    want.insert(op.src0); // address base
+            }
+        }
+        std::set<OpRef> slice;
+        bool grew = true;
+        while (grew) {
+            grew = false;
+            for (RegId reg : std::set<RegId>(want)) {
+                auto it = defs.find(reg);
+                if (it == defs.end())
+                    continue;
+                for (const OpRef &d : it->second) {
+                    if (!replicable.count(d) || !slice.insert(d).second)
+                        continue;
+                    grew = true;
+                    const Operation &op =
+                        fn_->block(d.block).ops[d.idx];
+                    for (RegId use : op.uses())
+                        want.insert(use);
+                }
+            }
+        }
+        return slice;
+    }
+
+    /**
+     * Locally reorder a decoupled block for an in-order core: SENDs
+     * issue as soon as their value is ready (release consumers early),
+     * memory ops hoist above unrelated code (start misses early, so
+     * independent miss streams on different cores overlap — the MLP the
+     * paper's strands exist for), and RECVs sink as late as their first
+     * consumer allows.
+     *
+     * The reorder is a greedy topological schedule that preserves:
+     * register flow/anti/output dependences; program order of aliasing
+     * memory ops; per-pair FIFO order (SEND chains per receiver, RECV
+     * chains per sender); and the position of sequence points (control,
+     * SLEEP, MODE_SWITCH, SPAWN, transactions), which split the block
+     * into independently-reordered segments.
+     */
+    static void
+    reorderDecoupledBlock(std::vector<Operation> &block_ops)
+    {
+        auto is_sequence_point = [](const Operation &op) {
+            switch (op.op) {
+              case Opcode::BR: case Opcode::BRU: case Opcode::CALL:
+              case Opcode::RET: case Opcode::HALT: case Opcode::SLEEP:
+              case Opcode::MODE_SWITCH: case Opcode::SPAWN:
+              case Opcode::XBEGIN: case Opcode::XCOMMIT:
+              case Opcode::XABORT: case Opcode::XVALIDATE:
+                return true;
+              default:
+                return false;
+            }
+        };
+
+        std::vector<Operation> result;
+        result.reserve(block_ops.size());
+
+        auto reorder_segment = [&](size_t begin, size_t end) {
+            const size_t n = end - begin;
+            if (n <= 1) {
+                for (size_t i = begin; i < end; ++i)
+                    result.push_back(block_ops[i]);
+                return;
+            }
+            // Dependence edges within the segment.
+            std::vector<std::vector<u32>> preds(n);
+            std::map<RegId, u32> last_def;
+            std::map<RegId, std::vector<u32>> uses_since;
+            std::map<CoreId, u32> last_send, last_recv;
+            u32 last_mem_store = ~0u;
+            std::map<u32, u32> last_store_of_class;
+            std::vector<u32> loads_since_store;
+
+            for (u32 i = 0; i < n; ++i) {
+                const Operation &op = block_ops[begin + i];
+                for (RegId use : op.uses()) {
+                    auto it = last_def.find(use);
+                    if (it != last_def.end())
+                        preds[i].push_back(it->second);
+                    uses_since[use].push_back(i);
+                }
+                RegId def = op.def();
+                if (def.valid()) {
+                    auto it = last_def.find(def);
+                    if (it != last_def.end())
+                        preds[i].push_back(it->second); // WAW
+                    for (u32 u : uses_since[def])
+                        if (u != i)
+                            preds[i].push_back(u); // WAR
+                    uses_since[def].clear();
+                    last_def[def] = i;
+                }
+                if (op.op == Opcode::SEND) {
+                    auto [it, fresh] = last_send.try_emplace(
+                        static_cast<CoreId>(op.imm), i);
+                    if (!fresh) {
+                        preds[i].push_back(it->second);
+                        it->second = i;
+                    }
+                }
+                if (op.op == Opcode::RECV) {
+                    auto [it, fresh] = last_recv.try_emplace(
+                        static_cast<CoreId>(op.imm), i);
+                    if (!fresh) {
+                        preds[i].push_back(it->second);
+                        it->second = i;
+                    }
+                }
+                if (is_memory(op.op)) {
+                    // Conservative: stores order against every memory op;
+                    // loads order against stores (same or wildcard class
+                    // handled conservatively: any store).
+                    if (is_store(op.op)) {
+                        if (last_mem_store != ~0u)
+                            preds[i].push_back(last_mem_store);
+                        for (u32 l : loads_since_store)
+                            preds[i].push_back(l);
+                        loads_since_store.clear();
+                        last_mem_store = i;
+                    } else {
+                        if (last_mem_store != ~0u)
+                            preds[i].push_back(last_mem_store);
+                        loads_since_store.push_back(i);
+                    }
+                }
+            }
+
+            std::vector<u32> remaining(n, 0);
+            std::vector<std::vector<u32>> succs(n);
+            for (u32 i = 0; i < n; ++i) {
+                for (u32 p : preds[i]) {
+                    succs[p].push_back(i);
+                    remaining[i]++;
+                }
+            }
+
+            auto priority = [&](u32 i) {
+                const Operation &op = block_ops[begin + i];
+                if (op.op == Opcode::SEND)
+                    return 0;
+                if (is_memory(op.op))
+                    return 1;
+                if (op.op == Opcode::RECV)
+                    return 3;
+                return 2;
+            };
+
+            std::vector<bool> emitted(n, false);
+            for (u32 count = 0; count < n; ++count) {
+                u32 pick = ~0u;
+                for (u32 i = 0; i < n; ++i) {
+                    if (emitted[i] || remaining[i] != 0)
+                        continue;
+                    if (pick == ~0u || priority(i) < priority(pick))
+                        pick = i;
+                }
+                panic_if_not(pick != ~0u, "decoupled reorder wedged");
+                emitted[pick] = true;
+                result.push_back(block_ops[begin + pick]);
+                for (u32 s : succs[pick])
+                    remaining[s]--;
+            }
+        };
+
+        size_t seg_start = 0;
+        for (size_t i = 0; i < block_ops.size(); ++i) {
+            if (is_sequence_point(block_ops[i])) {
+                reorder_segment(seg_start, i);
+                result.push_back(block_ops[i]);
+                seg_start = i + 1;
+            }
+        }
+        reorder_segment(seg_start, block_ops.size());
+        block_ops = std::move(result);
+    }
+
+    void
+    genPartitioned(const CompilerRegion &region, const Assignment &assign,
+                   bool coupled)
+    {
+        const FuncId f = fn_->id;
+        const std::set<OpRef> replicated = computeReplicatedSlice(region);
+
+        // Participants.
+        std::set<CoreId> participants;
+        participants.insert(0);
+        if (coupled) {
+            for (u16 c = 0; c < in_.numCores; ++c)
+                participants.insert(c);
+        } else {
+            for (const auto &[ref, core] : assign)
+                participants.insert(core);
+        }
+        std::vector<CoreId> workers(participants.begin(),
+                                    participants.end());
+        workers.erase(workers.begin()); // drop the master
+
+        const std::set<RegId> live_out = regionLiveOut(region);
+
+        // Assignment lookup with replication skipping.
+        auto core_of = [&](const OpRef &ref) -> CoreId {
+            auto it = assign.find(ref);
+            return it == assign.end() ? 0 : it->second;
+        };
+
+        // Classify live-out registers. A register whose in-region defs
+        // all sit on one worker core (and never on a replicated op) is
+        // *exit-owned*: instead of shipping every def to the master, the
+        // worker sends the final value once in its exit epilogue. The
+        // master seeds the worker's copy in the preamble when the value
+        // is live into the region, so the copy is correct along paths
+        // that skip the defs (e.g. zero-trip loops).
+        std::map<RegId, CoreId> exit_owned;
+        std::set<RegId> liveout_fallback; // per-def master transfer
+        {
+            std::map<RegId, std::set<CoreId>> def_cores;
+            std::set<RegId> replicated_def;
+            for (BlockId b : region.blocks) {
+                const BasicBlock &bb = fn_->block(b);
+                for (u32 i = 0; i < bb.ops.size(); ++i) {
+                    const RegId def = bb.ops[i].def();
+                    if (!def.valid())
+                        continue;
+                    if (bb.ops[i].op == Opcode::PBR)
+                        continue; // block-local BTRs never escape
+                    if (replicated.count({b, i}))
+                        replicated_def.insert(def);
+                    else
+                        def_cores[def].insert(core_of({b, i}));
+                }
+            }
+            for (RegId r : live_out) {
+                if (r.cls == RegClass::BTR)
+                    continue;
+                auto it = def_cores.find(r);
+                const bool has_plain = it != def_cores.end();
+                if (!has_plain)
+                    continue; // live-through or replicated: master is current
+                if (replicated_def.count(r) || it->second.size() > 1) {
+                    liveout_fallback.insert(r);
+                } else if (*it->second.begin() != 0) {
+                    exit_owned[r] = *it->second.begin();
+                }
+                // defs only on the master: nothing to do.
+            }
+        }
+
+        // Users per register (any position in the region). Branch
+        // replicas and replicated-slice ops read on every participant.
+        std::map<RegId, std::set<CoreId>> users;
+        for (BlockId b : region.blocks) {
+            const BasicBlock &bb = fn_->block(b);
+            for (u32 i = 0; i < bb.ops.size(); ++i) {
+                const Operation &op = bb.ops[i];
+                if (op.op == Opcode::PBR)
+                    continue;
+                if (op.op == Opcode::BR || replicated.count({b, i})) {
+                    const std::vector<RegId> op_uses =
+                        op.op == Opcode::BR
+                            ? std::vector<RegId>{op.src0}
+                            : op.uses();
+                    for (RegId use : op_uses)
+                        for (CoreId c : participants)
+                            users[use].insert(c);
+                    continue;
+                }
+                if (op.op == Opcode::BRU)
+                    continue;
+                const CoreId c = core_of({b, i});
+                for (RegId use : op.uses())
+                    users[use].insert(c);
+            }
+        }
+        for (RegId r : liveout_fallback)
+            users[r].insert(0);
+
+        // Decoupled alias-class discipline check.
+        if (!coupled) {
+            std::map<u32, CoreId> class_core;
+            bool wildcard_seen = false;
+            CoreId wildcard_core = 0;
+            for (BlockId b : region.blocks) {
+                const BasicBlock &bb = fn_->block(b);
+                for (u32 i = 0; i < bb.ops.size(); ++i) {
+                    if (!is_memory(bb.ops[i].op))
+                        continue;
+                    const CoreId c = core_of({b, i});
+                    const u32 sym = bb.ops[i].memSym;
+                    if (sym == 0) {
+                        if (wildcard_seen && wildcard_core != c &&
+                            !in_.allowCrossCoreMemDep) {
+                            panic("decoupled partition split the wildcard "
+                                  "alias class");
+                        }
+                        wildcard_seen = true;
+                        wildcard_core = c;
+                        continue;
+                    }
+                    auto [it, fresh] = class_core.try_emplace(sym, c);
+                    if (!fresh && it->second != c &&
+                        !in_.allowCrossCoreMemDep) {
+                        // Loads-only classes may split freely.
+                        bool has_store = false;
+                        for (BlockId b2 : region.blocks)
+                            for (const Operation &op2 : fn_->block(b2).ops)
+                                if (is_store(op2.op) && op2.memSym == sym)
+                                    has_store = true;
+                        panic_if_not(!has_store,
+                                     "decoupled partition split alias "
+                                     "class ", sym);
+                    }
+                }
+            }
+        }
+
+        // Per-core epilogue blocks, one per distinct exit target.
+        std::set<BlockId> exit_targets;
+        for (const auto &[from, to] : region.exitEdges)
+            exit_targets.insert(to);
+        // epilogue[(core, target)] -> block id in that core's clone
+        std::map<std::pair<CoreId, BlockId>, BlockId> epilogue;
+        for (CoreId c : participants) {
+            Function &cf = clone(c);
+            for (BlockId t : exit_targets) {
+                BlockId e = cf.addBlock(fn_->block(region.entry).name +
+                                        ".epi" + std::to_string(t) + ".c" +
+                                        std::to_string(c));
+                cf.block(e).region = region.id;
+                epilogue[{c, t}] = e;
+                if (c == 0) {
+                    // Master: switch mode, collect exit-owned live-outs
+                    // from each worker, then joins (decoupled).
+                    if (coupled)
+                        cf.block(e).append(ops::mode_switch(true));
+                    for (CoreId w : workers) {
+                        for (const auto &[reg, owner] : exit_owned) {
+                            if (owner != w)
+                                continue;
+                            Operation recv = ops::recv(w, reg);
+                            recv.commTag = Operation::CommTag::LiveOut;
+                            cf.block(e).append(recv);
+                        }
+                    }
+                    if (!coupled) {
+                        for (CoreId w : workers) {
+                            Operation recv = ops::recv(w, cf.freshReg(
+                                                            RegClass::GPR));
+                            recv.commTag = Operation::CommTag::Join;
+                            cf.block(e).append(recv);
+                        }
+                    }
+                    RegId btr_reg = cf.freshReg(RegClass::BTR);
+                    cf.block(e).append(
+                        ops::pbr(btr_reg, CodeRef::to_block(f, t)));
+                    cf.block(e).append(ops::bru(btr_reg));
+                } else {
+                    if (coupled)
+                        cf.block(e).append(ops::mode_switch(true));
+                    for (const auto &[reg, owner] : exit_owned) {
+                        if (owner != c)
+                            continue;
+                        Operation send = ops::send(0, reg);
+                        send.commTag = Operation::CommTag::LiveOut;
+                        cf.block(e).append(send);
+                    }
+                    if (!coupled) {
+                        Operation send = ops::send(0, gpr(0));
+                        send.commTag = Operation::CommTag::Join;
+                        cf.block(e).append(send);
+                    }
+                    cf.block(e).append(ops::sleep());
+                }
+            }
+        }
+
+        // Retarget an exit CodeRef / fallthrough for a given core.
+        auto retarget = [&](CoreId c, BlockId t) -> BlockId {
+            return epilogue.at({c, t});
+        };
+
+        // --- Joint emission per block ---------------------------------
+        for (BlockId b : region.blocks) {
+            const BasicBlock &bb = fn_->block(b);
+            std::vector<ScheduleSlot> slots;
+
+            auto emit = [&](CoreId c, Operation op) {
+                slots.push_back({c, std::move(op)});
+            };
+
+            for (u32 i = 0; i < bb.ops.size(); ++i) {
+                const Operation &op = bb.ops[i];
+
+                if (op.op == Opcode::PBR) {
+                    // Replicate, retargeting exits per core.
+                    CodeRef ref = op.codeRef();
+                    const bool exit_ref =
+                        ref.kind == CodeRef::Kind::Block &&
+                        !region.contains(ref.block);
+                    for (CoreId c : participants) {
+                        Operation copy = op;
+                        if (exit_ref) {
+                            copy.imm = static_cast<i64>(
+                                CodeRef::to_block(f, retarget(c, ref.block))
+                                    .encode());
+                        }
+                        emit(c, copy);
+                    }
+                    continue;
+                }
+                if (op.op == Opcode::BR || op.op == Opcode::BRU ||
+                    replicated.count({b, i})) {
+                    // Replicas: every participant computes it locally
+                    // (Fig. 5(c)); no transfer needed for their defs.
+                    for (CoreId c : participants)
+                        emit(c, op);
+                    continue;
+                }
+
+                const CoreId home = core_of({b, i});
+                emit(home, op);
+
+                const RegId def = op.def();
+                if (!def.valid())
+                    continue;
+
+                // Flow-sensitive user set: if the register is redefined
+                // later in this block, only the uses up to (and at) that
+                // redefinition can observe this def — transfer to exactly
+                // those cores. Otherwise fall back to the conservative
+                // region-wide user set. (Branches only terminate blocks,
+                // so no control flow escapes the span.)
+                std::set<CoreId> user_set;
+                bool redefined = false;
+                for (u32 j = i + 1; j < bb.ops.size() && !redefined; ++j) {
+                    const Operation &later = bb.ops[j];
+                    bool reads_def = false;
+                    if (later.op == Opcode::BR) {
+                        reads_def = later.src0 == def;
+                    } else {
+                        for (RegId use : later.uses())
+                            if (use == def)
+                                reads_def = true;
+                    }
+                    if (reads_def) {
+                        if (later.op == Opcode::BR ||
+                            replicated.count({b, j})) {
+                            user_set.insert(participants.begin(),
+                                            participants.end());
+                        } else {
+                            user_set.insert(core_of({b, j}));
+                        }
+                    }
+                    if (later.def() == def)
+                        redefined = true;
+                }
+                if (!redefined) {
+                    auto uit = users.find(def);
+                    if (uit != users.end())
+                        user_set.insert(uit->second.begin(),
+                                        uit->second.end());
+                }
+
+                std::vector<CoreId> remote;
+                for (CoreId u : user_set)
+                    if (u != home)
+                        remote.push_back(u);
+                if (remote.empty())
+                    continue;
+
+                if (coupled) {
+                    if (remote.size() >= 2) {
+                        const u32 tid = nextTransferId_++;
+                        Operation bc = ops::bcast(def);
+                        bc.seqId = tid;
+                        emit(home, bc);
+                        for (CoreId u : remote) {
+                            Operation get = ops::get(Dir::East, def);
+                            get.imm = 1; // broadcast GET
+                            get.seqId = tid;
+                            get.commTag = Operation::CommTag::Bcast;
+                            emit(u, get);
+                        }
+                    } else {
+                        CoreId cur = home;
+                        for (Dir dir : route(home, remote[0])) {
+                            const CoreId next = stepCore(cur, dir);
+                            const u32 tid = nextTransferId_++;
+                            Operation put = ops::put(dir, def);
+                            put.seqId = tid;
+                            emit(cur, put);
+                            Operation get = ops::get(opposite(dir), def);
+                            get.seqId = tid;
+                            emit(next, get);
+                            cur = next;
+                        }
+                    }
+                } else {
+                    for (CoreId u : remote) {
+                        Operation send = ops::send(u, def);
+                        Operation recv = ops::recv(home, def);
+                        send.commTag = recv.commTag =
+                            (u == 0 && live_out.count(def))
+                                ? Operation::CommTag::LiveOut
+                                : Operation::CommTag::None;
+                        emit(home, send);
+                        emit(u, recv);
+                    }
+                }
+            }
+
+            // Write back: schedule coupled blocks, stream decoupled ones.
+            if (coupled) {
+                BlockSchedule sched =
+                    schedule_block(slots, in_.numCores);
+                for (CoreId c : participants) {
+                    BasicBlock &cb = clone(c).block(b);
+                    cb.ops = sched.perCore[c].ops;
+                    cb.issueCycles = sched.perCore[c].issueCycles;
+                    cb.schedLen = sched.schedLen;
+                }
+            } else {
+                for (const ScheduleSlot &slot : slots)
+                    clone(slot.core).block(b).append(slot.op);
+                // In-order cores block at a RECV, so a RECV sitting at the
+                // producer's mirrored position serialises the receiver's
+                // *own* later work (e.g. its independent miss-prone
+                // loads) behind the producer. Sink each RECV to just
+                // before its first consumer — this is what lets the two
+                // load streams of the paper's Figure 8 overlap.
+                for (CoreId c : participants)
+                    reorderDecoupledBlock(clone(c).block(b).ops);
+            }
+
+            // Per-core fallthrough exits into epilogues.
+            for (CoreId c : participants) {
+                BasicBlock &cb = clone(c).block(b);
+                if (bb.fallthrough != kNoBlock &&
+                    !region.contains(bb.fallthrough)) {
+                    cb.fallthrough = retarget(c, bb.fallthrough);
+                }
+            }
+        }
+
+        // --- Live-in sets per participant ------------------------------
+        const std::set<RegId> &entry_live = live_->liveIn(region.entry);
+        std::map<CoreId, std::vector<RegId>> live_ins;
+        for (CoreId c : participants) {
+            if (c == 0)
+                continue;
+            std::set<RegId> used;
+            for (BlockId b : region.blocks) {
+                for (const Operation &op : clone(c).block(b).ops) {
+                    if (op.op == Opcode::RECV || op.op == Opcode::GET)
+                        continue; // transferred values, not live-ins
+                    for (RegId use : op.uses())
+                        if (use.cls != RegClass::BTR &&
+                            entry_live.count(use))
+                            used.insert(use);
+                }
+            }
+            // Seed exit-owned registers that are live into the region so
+            // the worker's copy is correct even when no def executes.
+            for (const auto &[reg, owner] : exit_owned)
+                if (owner == c && entry_live.count(reg))
+                    used.insert(reg);
+            live_ins[c].assign(used.begin(), used.end());
+        }
+
+        // --- Preambles --------------------------------------------------
+        // Worker preambles first (the master spawns to their block ids).
+        std::map<CoreId, BlockId> worker_preamble;
+        for (CoreId w : workers) {
+            Function &wf = clone(w);
+            BlockId p = wf.addBlock(fn_->block(region.entry).name +
+                                    ".pre.c" + std::to_string(w));
+            wf.block(p).region = region.id;
+            for (RegId r : live_ins[w]) {
+                Operation recv = ops::recv(0, r);
+                recv.commTag = Operation::CommTag::LiveIn;
+                wf.block(p).append(recv);
+            }
+            if (coupled)
+                wf.block(p).append(ops::mode_switch(false));
+            wf.block(p).fallthrough = region.entry;
+            worker_preamble[w] = p;
+        }
+
+        Function &master = clone(0);
+        BlockId mp = master.addBlock(fn_->block(region.entry).name +
+                                     ".pre.c0");
+        master.block(mp).region = region.id;
+        for (CoreId w : workers) {
+            RegId btr_reg = master.freshReg(RegClass::BTR);
+            master.block(mp).append(ops::pbr(
+                btr_reg, CodeRef::to_block(f, worker_preamble[w])));
+            master.block(mp).append(ops::spawn(w, btr_reg));
+        }
+        for (CoreId w : workers) {
+            for (RegId r : live_ins[w]) {
+                Operation send = ops::send(w, r);
+                send.commTag = Operation::CommTag::LiveIn;
+                master.block(mp).append(send);
+            }
+        }
+        if (coupled)
+            master.block(mp).append(ops::mode_switch(false));
+        master.block(mp).fallthrough = region.entry;
+        masterPreamble_[region.id] = mp;
+    }
+
+    // --- DOALL regions -----------------------------------------------------
+
+    /**
+     * Clone the loop blocks of @p region into @p cf with the header
+     * compare retargeted to @p new_bound. Returns the clone of the
+     * header; all internal branches are remapped, exit branches and
+     * fallthroughs go to @p exit_block.
+     */
+    BlockId
+    cloneChunkLoop(Function &cf, const CompilerRegion &region,
+                   const CountedLoop &counted, RegId new_bound,
+                   BlockId exit_block)
+    {
+        const FuncId f = fn_->id;
+        std::map<BlockId, BlockId> remap;
+        std::vector<BlockId> ordered(region.blocks.begin(),
+                                     region.blocks.end());
+        for (BlockId b : ordered) {
+            BlockId nb = cf.addBlock(fn_->block(b).name + ".chunk");
+            cf.block(nb).region = region.id;
+            remap[b] = nb;
+        }
+        const Loop &loop = fa_->loops->loops()[region.loopIdx];
+        for (BlockId b : ordered) {
+            const BasicBlock &src = fn_->block(b);
+            BasicBlock &dst = cf.block(remap[b]);
+            for (Operation op : src.ops) {
+                if (b == loop.header && op.op == Opcode::CMP &&
+                    op.src0 == counted.ivar &&
+                    op.cond == counted.exitCond) {
+                    op.src1 = new_bound;
+                    op.immSrc1 = false;
+                    op.imm = 0;
+                }
+                if (op.op == Opcode::PBR) {
+                    CodeRef ref = op.codeRef();
+                    if (ref.kind == CodeRef::Kind::Block) {
+                        BlockId target = region.contains(ref.block)
+                                             ? remap[ref.block]
+                                             : exit_block;
+                        op.imm = static_cast<i64>(
+                            CodeRef::to_block(f, target).encode());
+                    }
+                }
+                dst.append(op);
+            }
+            if (src.fallthrough != kNoBlock) {
+                dst.fallthrough = region.contains(src.fallthrough)
+                                      ? remap[src.fallthrough]
+                                      : exit_block;
+            }
+        }
+        return remap[loop.header];
+    }
+
+    void
+    genDoall(const CompilerRegion &region)
+    {
+        const FuncId f = fn_->id;
+        DoallPlan plan = analyze_doall(*fn_, region, *fa_, *live_);
+        panic_if_not(plan.feasible, "DOALL codegen on infeasible loop: ",
+                     plan.reason);
+        const CountedLoop &cl = plan.counted;
+        const u16 cores = in_.numCores;
+        panic_if_not(region.exitEdges.size() >= 1, "DOALL without exit");
+        const BlockId exit_target = region.exitEdges.front().second;
+
+        // Serial recovery copy: master's mirrored region blocks keep the
+        // original ops.
+        Function &master = clone(0);
+        for (BlockId b : region.blocks)
+            master.block(b).ops = fn_->block(b).ops;
+
+        // --- Worker side ------------------------------------------------
+        std::map<CoreId, BlockId> worker_preamble;
+        for (CoreId w = 1; w < cores; ++w) {
+            Function &wf = clone(w);
+            BlockId we = wf.addBlock("doall.epi.c" + std::to_string(w));
+            wf.block(we).region = region.id;
+
+            RegId wbound = wf.freshReg(RegClass::GPR);
+            BlockId chunk_header =
+                cloneChunkLoop(wf, region, cl, wbound, we);
+
+            BlockId wp = wf.addBlock("doall.pre.c" + std::to_string(w));
+            wf.block(wp).region = region.id;
+            {
+                BasicBlock &pb = wf.block(wp);
+                Operation r0 = ops::recv(0, cl.ivar);
+                r0.commTag = Operation::CommTag::LiveIn;
+                pb.append(r0);
+                Operation r1 = ops::recv(0, wbound);
+                r1.commTag = Operation::CommTag::LiveIn;
+                pb.append(r1);
+                for (RegId r : plan.bodyLiveIns) {
+                    Operation rv = ops::recv(0, r);
+                    rv.commTag = Operation::CommTag::LiveIn;
+                    pb.append(rv);
+                }
+                pb.append(ops::xbegin(w));
+                for (const auto &acc : plan.accumulators)
+                    pb.append(ops::movi(acc.reg, acc.identity));
+                pb.fallthrough = chunk_header;
+            }
+            worker_preamble[w] = wp;
+
+            // Epilogue: close the transaction, ship partials + join.
+            BasicBlock &eb = wf.block(we);
+            eb.append(ops::xcommit());
+            for (const auto &acc : plan.accumulators) {
+                Operation send = ops::send(0, acc.reg);
+                send.commTag = Operation::CommTag::LiveOut;
+                eb.append(send);
+            }
+            Operation join = ops::send(0, gpr(0));
+            join.commTag = Operation::CommTag::Join;
+            eb.append(join);
+            eb.append(ops::sleep());
+        }
+
+        // --- Master side --------------------------------------------------
+        // Block set: P (preamble) -> chunk loop -> V (validate) -> J, with
+        // Z (zero-trip) and R (recovery into the serial copy).
+        BlockId vb = master.addBlock("doall.validate");
+        BlockId jb = master.addBlock("doall.join");
+        BlockId zb = master.addBlock("doall.zerotrip");
+        BlockId rb = master.addBlock("doall.recover");
+        for (BlockId x : {vb, jb, zb, rb})
+            master.block(x).region = region.id;
+
+        RegId mbound = master.freshReg(RegClass::GPR);
+        BlockId chunk_header =
+            cloneChunkLoop(master, region, cl, mbound, vb);
+
+        BlockId pb = master.addBlock("doall.pre");
+        master.block(pb).region = region.id;
+        masterPreamble_[region.id] = pb;
+
+        {
+            BasicBlock &p = master.block(pb);
+            // Zero-trip test: ivar already holds the start value.
+            RegId pz = master.freshReg(RegClass::PR);
+            if (cl.boundReg.valid())
+                p.append(ops::cmp(CmpCond::GE, pz, cl.ivar, cl.boundReg));
+            else
+                p.append(ops::cmpi(CmpCond::GE, pz, cl.ivar, cl.boundImm));
+            RegId bz = master.freshReg(RegClass::BTR);
+            p.append(ops::pbr(bz, CodeRef::to_block(f, zb)));
+            p.append(ops::br(pz, bz));
+
+            // Saves for the serial recovery.
+            RegId i_save = master.freshReg(RegClass::GPR);
+            p.append(ops::mov(i_save, cl.ivar));
+            std::vector<RegId> acc_saves;
+            for (const auto &acc : plan.accumulators) {
+                RegId s = master.freshReg(RegClass::GPR);
+                p.append(ops::mov(s, acc.reg));
+                acc_saves.push_back(s);
+            }
+
+            // Trip count N = ceil((bound - ivar) / step).
+            RegId bound_reg = cl.boundReg;
+            if (!bound_reg.valid()) {
+                bound_reg = master.freshReg(RegClass::GPR);
+                p.append(ops::movi(bound_reg, cl.boundImm));
+            }
+            RegId t = master.freshReg(RegClass::GPR);
+            p.append(ops::sub(t, bound_reg, cl.ivar));
+            p.append(ops::addi(t, t, cl.step - 1));
+            RegId n = master.freshReg(RegClass::GPR);
+            p.append(ops::alui(Opcode::DIV, n, t, cl.step));
+            RegId chunk = master.freshReg(RegClass::GPR);
+            p.append(ops::addi(chunk, n, cores - 1));
+            p.append(ops::alui(Opcode::DIV, chunk, chunk, cores));
+
+            // Spawn + parameterise each worker.
+            for (CoreId w = 1; w < cores; ++w) {
+                RegId btr_reg = master.freshReg(RegClass::BTR);
+                p.append(ops::pbr(
+                    btr_reg, CodeRef::to_block(f, worker_preamble[w])));
+                p.append(ops::spawn(w, btr_reg));
+
+                // start_w = ivar + (w * chunk) * step
+                RegId off = master.freshReg(RegClass::GPR);
+                p.append(ops::alui(Opcode::MUL, off, chunk, w));
+                RegId cnt_hi = master.freshReg(RegClass::GPR);
+                p.append(ops::alui(Opcode::MUL, cnt_hi, chunk, w + 1));
+                p.append(ops::alu(Opcode::MIN, cnt_hi, cnt_hi, n));
+                // Clamp the start index too (cnt_lo = min(w*chunk, N)).
+                p.append(ops::alu(Opcode::MIN, off, off, n));
+                RegId start_w = master.freshReg(RegClass::GPR);
+                p.append(ops::alui(Opcode::MUL, start_w, off, cl.step));
+                p.append(ops::add(start_w, start_w, i_save));
+                RegId bound_w = master.freshReg(RegClass::GPR);
+                p.append(ops::alui(Opcode::MUL, bound_w, cnt_hi, cl.step));
+                p.append(ops::add(bound_w, bound_w, i_save));
+
+                Operation s0 = ops::send(w, start_w);
+                s0.commTag = Operation::CommTag::LiveIn;
+                p.append(s0);
+                Operation s1 = ops::send(w, bound_w);
+                s1.commTag = Operation::CommTag::LiveIn;
+                p.append(s1);
+                for (RegId r : plan.bodyLiveIns) {
+                    Operation sv = ops::send(w, r);
+                    sv.commTag = Operation::CommTag::LiveIn;
+                    p.append(sv);
+                }
+            }
+
+            // Master's own chunk: [ivar, ivar + min(chunk, N)*step).
+            RegId cnt0 = master.freshReg(RegClass::GPR);
+            p.append(ops::alu(Opcode::MIN, cnt0, chunk, n));
+            p.append(ops::alui(Opcode::MUL, cnt0, cnt0, cl.step));
+            p.append(ops::add(mbound, cnt0, i_save));
+
+            p.append(ops::xbegin(0));
+            for (const auto &acc : plan.accumulators)
+                p.append(ops::movi(acc.reg, acc.identity));
+            p.fallthrough = chunk_header;
+
+            // Validate block.
+            BasicBlock &v = master.block(vb);
+            v.append(ops::xcommit());
+            std::vector<std::vector<RegId>> partials(cores);
+            for (CoreId w = 1; w < cores; ++w) {
+                for (size_t k = 0; k < plan.accumulators.size(); ++k) {
+                    RegId pr_reg = master.freshReg(RegClass::GPR);
+                    Operation recv = ops::recv(w, pr_reg);
+                    recv.commTag = Operation::CommTag::LiveOut;
+                    v.append(recv);
+                    partials[w].push_back(pr_reg);
+                }
+                RegId jr = master.freshReg(RegClass::GPR);
+                Operation recv = ops::recv(w, jr);
+                recv.commTag = Operation::CommTag::Join;
+                v.append(recv);
+            }
+            RegId pv = master.freshReg(RegClass::PR);
+            {
+                Operation validate;
+                validate.op = Opcode::XVALIDATE;
+                validate.dst = pv;
+                v.append(validate);
+            }
+            // Combine accumulators (exact for the integer ops allowed).
+            for (size_t k = 0; k < plan.accumulators.size(); ++k) {
+                const auto &acc = plan.accumulators[k];
+                v.append(ops::alu(acc.op, acc.reg, acc.reg, acc_saves[k]));
+                for (CoreId w = 1; w < cores; ++w)
+                    v.append(
+                        ops::alu(acc.op, acc.reg, acc.reg, partials[w][k]));
+            }
+            // Final induction value: i_save + N * step.
+            RegId fin = master.freshReg(RegClass::GPR);
+            v.append(ops::alui(Opcode::MUL, fin, n, cl.step));
+            v.append(ops::add(cl.ivar, fin, i_save));
+            RegId br_r = master.freshReg(RegClass::BTR);
+            v.append(ops::pbr(br_r, CodeRef::to_block(f, rb)));
+            v.append(ops::br(pv, br_r));
+            v.fallthrough = jb;
+
+            // Join block: proceed to the exit target.
+            BasicBlock &j = master.block(jb);
+            RegId bj = master.freshReg(RegClass::BTR);
+            j.append(ops::pbr(bj, CodeRef::to_block(f, exit_target)));
+            j.append(ops::bru(bj));
+
+            // Zero-trip block.
+            BasicBlock &z = master.block(zb);
+            RegId bz2 = master.freshReg(RegClass::BTR);
+            z.append(ops::pbr(bz2, CodeRef::to_block(f, exit_target)));
+            z.append(ops::bru(bz2));
+
+            // Recovery: restore state and run the serial copy.
+            BasicBlock &r = master.block(rb);
+            r.append(ops::mov(cl.ivar, i_save));
+            for (size_t k = 0; k < plan.accumulators.size(); ++k)
+                r.append(ops::mov(plan.accumulators[k].reg, acc_saves[k]));
+            RegId br_hdr = master.freshReg(RegClass::BTR);
+            r.append(ops::pbr(br_hdr, CodeRef::to_block(f, region.entry)));
+            r.append(ops::bru(br_hdr));
+        }
+    }
+};
+
+} // namespace
+
+MachineProgram
+generate_machine_program(const CodegenInput &input)
+{
+    return Codegen(input).run();
+}
+
+} // namespace voltron

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Code generation: original program + region modes + partitions ->
+ * MachineProgram (per-core clones).
+ *
+ * Core ideas (paper §3.2/§4.1):
+ *
+ *  - **Mirrored clones.** Every core gets a clone of every function with
+ *    the same block ids; compiler-added blocks (preambles, epilogues,
+ *    chunk loops) are appended per core.
+ *
+ *  - **Transfer-at-def.** When an op defining register r is assigned to
+ *    core A and r has users on other cores (including the master when r
+ *    is live out of the region), the value is transferred right after the
+ *    def: PUT/GET hop chains or a BCAST in coupled mode, SEND/RECV pairs
+ *    in decoupled mode. Receivers take the transfer at the same mirrored
+ *    position, so per-pair FIFO order is globally consistent.
+ *
+ *  - **Branch replication.** Every participating core executes every
+ *    branch of the region against its own PBR targets; branch predicates
+ *    reach remote cores through the same transfer-at-def mechanism
+ *    (BCAST in coupled mode — the paper's Figure 5(b)).
+ *
+ *  - **Region protocol.** The master spawns workers at their region
+ *    preamble, sends live-ins, and (for coupled regions) everyone meets
+ *    at a MODE_SWITCH barrier. Exits run per-core epilogues: workers
+ *    send a join token (decoupled) and SLEEP; the master collects joins
+ *    or switches modes and continues.
+ *
+ *  - **DOALL.** Counted statistical-DOALL loops are chunked across cores
+ *    under transactions, with induction-variable replication and
+ *    accumulator expansion; XVALIDATE orders the commits and branches to
+ *    a serial recovery copy on violation.
+ */
+
+#ifndef VOLTRON_COMPILER_CODEGEN_HH_
+#define VOLTRON_COMPILER_CODEGEN_HH_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "compiler/partition.hh"
+#include "compiler/regions.hh"
+#include "interp/profile.hh"
+#include "ir/liveness.hh"
+#include "sim/machineprog.hh"
+
+namespace voltron {
+
+/** Everything codegen needs, produced by the driver. */
+struct CodegenInput
+{
+    const Program *prog = nullptr;
+    const Profile *profile = nullptr;
+    u16 numCores = 1;
+
+    /** Regions per function, with global ids and modes already chosen. */
+    std::vector<std::vector<CompilerRegion>> regionsOf;
+
+    /** Assignments for Coupled/Strands/Dswp regions, by region id. */
+    std::map<RegionId, Assignment> assignments;
+
+    /** Per-function analyses (owned by the driver). */
+    std::vector<std::unique_ptr<FuncAnalyses>> *analyses = nullptr;
+
+    /** Allow decoupled cross-core memory dependences via sync tokens. */
+    bool allowCrossCoreMemDep = false;
+};
+
+/** DOALL feasibility analysis result (exposed for tests). */
+struct DoallPlan
+{
+    bool feasible = false;
+    std::string reason;            //!< why not, when infeasible
+    CountedLoop counted;
+    struct Accumulator
+    {
+        RegId reg;
+        Opcode op;   //!< ADD/MUL/AND/OR/XOR/MIN/MAX
+        i64 identity;
+    };
+    std::vector<Accumulator> accumulators;
+    std::vector<RegId> bodyLiveIns; //!< to send to workers (sorted)
+};
+
+/** Analyse whether @p region (a Loop region) can run as DOALL. */
+DoallPlan analyze_doall(const Function &fn, const CompilerRegion &region,
+                        const FuncAnalyses &fa, const Liveness &live);
+
+/** Generate the machine program. */
+MachineProgram generate_machine_program(const CodegenInput &input);
+
+} // namespace voltron
+
+#endif // VOLTRON_COMPILER_CODEGEN_HH_

@@ -1,0 +1,225 @@
+#include "compiler/compile.hh"
+
+#include <algorithm>
+
+#include "compiler/reassoc.hh"
+#include "ir/verifier.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+const char *
+strategy_name(Strategy strategy)
+{
+    switch (strategy) {
+      case Strategy::SerialOnly: return "serial";
+      case Strategy::IlpOnly: return "ilp";
+      case Strategy::TlpOnly: return "tlp";
+      case Strategy::LlpOnly: return "llp";
+      case Strategy::Hybrid: return "hybrid";
+      default: return "?";
+    }
+}
+
+namespace {
+
+/** Estimated fraction of region time spent in data-cache miss stalls. */
+double
+miss_fraction(const Function &fn, const CompilerRegion &region,
+              const Profile &profile, u32 miss_penalty)
+{
+    double miss_cycles = 0.0;
+    u64 op_cycles = 0;
+    for (BlockId b : region.blocks) {
+        const BasicBlock &bb = fn.block(b);
+        const u64 execs = profile.blockExecs(fn.id, b);
+        op_cycles += execs * bb.ops.size();
+        for (const Operation &op : bb.ops) {
+            if (!is_memory(op.op))
+                continue;
+            miss_cycles += profile.missRate(fn.id, op.seqId) *
+                           static_cast<double>(execs) * miss_penalty;
+        }
+    }
+    const double total = miss_cycles + static_cast<double>(op_cycles);
+    return total > 0.0 ? miss_cycles / total : 0.0;
+}
+
+u64
+region_ops(const Function &fn, const CompilerRegion &region,
+           const Profile &profile)
+{
+    u64 total = 0;
+    for (BlockId b : region.blocks)
+        total += profile.blockExecs(fn.id, b) * fn.block(b).ops.size();
+    return total;
+}
+
+} // namespace
+
+MachineProgram
+compile_program(const Program &prog, const Profile &profile,
+                const CompileOptions &options, SelectionReport *report)
+{
+    fatal_if_not(options.numCores == 1 || options.numCores == 2 ||
+                     options.numCores == 4,
+                 "supported core counts: 1, 2, 4");
+    verify_or_die(prog, VerifyMode::Sequential);
+
+    // Reassociation preserves exact integer semantics, so the golden
+    // model (run on the untransformed program) still applies.
+    Program optimized = prog;
+    if (options.reassociate)
+        reassociate_program(optimized);
+    const Program &unit = optimized;
+
+    CodegenInput input;
+    input.prog = &unit;
+    input.profile = &profile;
+    input.numCores = options.numCores;
+    input.allowCrossCoreMemDep = options.allowCrossCoreMemDep;
+
+    std::vector<std::unique_ptr<FuncAnalyses>> analyses;
+    input.analyses = &analyses;
+
+    RegionId next_region = 0;
+    const bool parallel =
+        options.numCores > 1 && options.strategy != Strategy::SerialOnly;
+
+    for (const Function &fn : unit.functions) {
+        analyses.push_back(std::make_unique<FuncAnalyses>(fn));
+        FuncAnalyses &fa = *analyses.back();
+        Liveness live(unit, fn, *fa.cfg);
+
+        std::vector<CompilerRegion> regions = form_regions(fn, fa);
+        for (CompilerRegion &region : regions) {
+            region.id = next_region++;
+
+            // --- Technique selection (paper §4.2) -------------------
+            region.mode = ExecMode::Serial;
+            double dswp_estimate = 0.0;
+            double miss_frac = 0.0;
+
+            const u64 ops = region_ops(fn, region, profile);
+            // Entries into the region: loop activations for loops (the
+            // header executes once per *iteration*), entry-block
+            // executions for straightline regions.
+            u64 activations = 1;
+            if (region.kind == RegionKind::Loop) {
+                const LoopProfile *lp = profile.loop(
+                    fn.id, fa.loops->loops()[region.loopIdx].header);
+                if (lp)
+                    activations = std::max<u64>(lp->activations, 1);
+            } else {
+                activations = std::max<u64>(
+                    profile.blockExecs(fn.id, region.entry), 1);
+            }
+            const bool worth =
+                parallel && region.kind != RegionKind::Glue && ops > 0 &&
+                ops / activations >= options.minOpsPerActivation;
+
+            if (worth) {
+                miss_frac = miss_fraction(fn, region, profile,
+                                          options.missPenalty);
+
+                // DOALL eligibility.
+                bool doall_ok = false;
+                if (region.kind == RegionKind::Loop &&
+                    (options.strategy == Strategy::LlpOnly ||
+                     options.strategy == Strategy::Hybrid)) {
+                    const Loop &loop = fa.loops->loops()[region.loopIdx];
+                    const LoopProfile *lp =
+                        profile.loop(fn.id, loop.header);
+                    const double trip =
+                        profile.avgTripCount(fn.id, loop.header);
+                    if (lp && !lp->crossIterDep &&
+                        trip >= options.minDoallTrip) {
+                        DoallPlan plan =
+                            analyze_doall(fn, region, fa, live);
+                        doall_ok = plan.feasible;
+                    }
+                }
+
+                // DSWP estimate (loops, when allowed).
+                DswpResult dswp;
+                if (region.kind == RegionKind::Loop &&
+                    (options.strategy == Strategy::TlpOnly ||
+                     options.strategy == Strategy::Hybrid)) {
+                    DepGraph g = build_dep_graph(fn, region, profile,
+                                                 /*loop_carried=*/true);
+                    PartitionOptions popts = options.partition;
+                    popts.numCores = options.numCores;
+                    dswp = partition_dswp(g, popts);
+                    dswp_estimate = dswp.estimatedSpeedup;
+                }
+
+                switch (options.strategy) {
+                  case Strategy::IlpOnly:
+                    region.mode = ExecMode::Coupled;
+                    break;
+                  case Strategy::LlpOnly:
+                    region.mode =
+                        doall_ok ? ExecMode::Doall : ExecMode::Serial;
+                    break;
+                  case Strategy::TlpOnly:
+                    if (region.kind == RegionKind::Loop && dswp.feasible &&
+                        dswp_estimate > options.dswpThreshold) {
+                        region.mode = ExecMode::Dswp;
+                    } else {
+                        region.mode = ExecMode::Strands;
+                    }
+                    break;
+                  case Strategy::Hybrid:
+                    if (doall_ok) {
+                        region.mode = ExecMode::Doall;
+                    } else if (region.kind == RegionKind::Loop &&
+                               dswp.feasible &&
+                               dswp_estimate > options.dswpThreshold) {
+                        region.mode = ExecMode::Dswp;
+                    } else if (miss_frac > options.missStallFraction) {
+                        region.mode = ExecMode::Strands;
+                    } else {
+                        region.mode = ExecMode::Coupled;
+                    }
+                    break;
+                  case Strategy::SerialOnly:
+                    break;
+                }
+            }
+
+            // --- Partitioning -----------------------------------------
+            if (region.mode == ExecMode::Coupled ||
+                region.mode == ExecMode::Strands) {
+                DepGraph g = build_dep_graph(fn, region, profile,
+                                             /*loop_carried=*/false);
+                PartitionOptions popts = options.partition;
+                popts.numCores = options.numCores;
+                popts.enhanced = region.mode == ExecMode::Strands;
+                input.assignments[region.id] = partition_bug(g, popts);
+            } else if (region.mode == ExecMode::Dswp) {
+                DepGraph g = build_dep_graph(fn, region, profile,
+                                             /*loop_carried=*/true);
+                PartitionOptions popts = options.partition;
+                popts.numCores = options.numCores;
+                input.assignments[region.id] =
+                    partition_dswp(g, popts).assignment;
+            }
+
+            if (report) {
+                report->entries.push_back({region.id, fn.id, region.kind,
+                                           region.mode, ops, dswp_estimate,
+                                           miss_frac});
+            }
+        }
+        input.regionsOf.push_back(std::move(regions));
+    }
+
+    MachineProgram mp = generate_machine_program(input);
+
+    for (const Program &cp : mp.perCore)
+        verify_or_die(cp, VerifyMode::PerCore);
+
+    return mp;
+}
+
+} // namespace voltron

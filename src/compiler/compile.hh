@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Voltron compiler driver: profiles, regions, technique selection
+ * (paper §4.2), partitioning, and code generation.
+ */
+
+#ifndef VOLTRON_COMPILER_COMPILE_HH_
+#define VOLTRON_COMPILER_COMPILE_HH_
+
+#include "compiler/codegen.hh"
+#include "compiler/partition.hh"
+#include "interp/profile.hh"
+#include "sim/machineprog.hh"
+
+namespace voltron {
+
+/** Which parallelism the compilation is allowed to exploit. */
+enum class Strategy : u8 {
+    SerialOnly, //!< baseline: everything on one core
+    IlpOnly,    //!< coupled-mode BUG everywhere (paper Fig. 10/11 "ILP")
+    TlpOnly,    //!< DSWP + strands ("fine-grain TLP")
+    LlpOnly,    //!< statistical DOALL only ("LLP")
+    Hybrid,     //!< paper §4.2 selection (Fig. 13)
+};
+
+const char *strategy_name(Strategy strategy);
+
+/** Compilation options. */
+struct CompileOptions
+{
+    u16 numCores = 4;
+    Strategy strategy = Strategy::Hybrid;
+
+    /** Regions with fewer profiled ops per entry run serially. */
+    u64 minOpsPerActivation = 48;
+
+    /** DOALL needs at least this mean trip count (paper: a threshold). */
+    double minDoallTrip = 8.0;
+
+    /** DSWP estimated-speedup gate (paper: 1.25). */
+    double dswpThreshold = 1.25;
+
+    /** Regions whose miss-stall fraction exceeds this use strands. */
+    double missStallFraction = 0.15;
+
+    /** Miss penalty estimate for the fraction above (cycles). */
+    u32 missPenalty = 30;
+
+    /** Rebalance integer accumulation chains (ILP height reduction). */
+    bool reassociate = true;
+
+    PartitionOptions partition;
+
+    /** Ablation: permit decoupled cross-core memory deps (sync tokens). */
+    bool allowCrossCoreMemDep = false;
+};
+
+/** Per-region selection record (for reports and Fig. 3-style output). */
+struct SelectionReport
+{
+    struct Entry
+    {
+        RegionId region;
+        FuncId func;
+        RegionKind kind;
+        ExecMode mode;
+        u64 profiledOps;
+        double dswpEstimate;
+        double missFraction;
+    };
+    std::vector<Entry> entries;
+};
+
+/**
+ * Compile @p prog for a Voltron machine. @p profile must come from a
+ * training run of the reference interpreter.
+ */
+MachineProgram compile_program(const Program &prog, const Profile &profile,
+                               const CompileOptions &options,
+                               SelectionReport *report = nullptr);
+
+} // namespace voltron
+
+#endif // VOLTRON_COMPILER_COMPILE_HH_

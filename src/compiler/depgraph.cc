@@ -1,0 +1,158 @@
+#include "compiler/depgraph.hh"
+
+#include <algorithm>
+
+#include "isa/latencies.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+u64
+DepGraph::totalWeight() const
+{
+    u64 total = 0;
+    for (const DepNode &node : nodes)
+        total += node.weight;
+    return total;
+}
+
+std::vector<std::vector<u32>>
+DepGraph::adjacency() const
+{
+    std::vector<std::vector<u32>> adj(nodes.size());
+    for (u32 i = 0; i < succs.size(); ++i)
+        for (const DepEdge &e : succs[i])
+            adj[i].push_back(e.to);
+    return adj;
+}
+
+DepGraph
+build_dep_graph(const Function &fn, const CompilerRegion &region,
+                const Profile &profile, bool loop_carried)
+{
+    DepGraph g;
+
+    // Nodes, in (block id, op idx) order — block ids follow layout order
+    // which is consistent with the structured builder's execution order.
+    for (BlockId b : region.blocks) {
+        const BasicBlock &bb = fn.block(b);
+        const u64 execs = std::max<u64>(profile.blockExecs(fn.id, b), 1);
+        for (u32 i = 0; i < bb.ops.size(); ++i) {
+            DepNode node;
+            node.ref = {b, i};
+            node.op = &bb.ops[i];
+            node.execs = execs;
+            node.weight = execs * op_latency(bb.ops[i].op);
+            if (is_memory(bb.ops[i].op))
+                node.missRate = profile.missRate(fn.id, bb.ops[i].seqId);
+            g.indexOf[node.ref] = static_cast<u32>(g.nodes.size());
+            g.nodes.push_back(node);
+        }
+    }
+    g.succs.resize(g.nodes.size());
+    g.preds.resize(g.nodes.size());
+
+    auto add_edge = [&](u32 from, u32 to, DepKind kind) {
+        if (from == to && kind != DepKind::RegFlow)
+            return;
+        for (const DepEdge &e : g.succs[from])
+            if (e.to == to && e.kind == kind)
+                return;
+        g.succs[from].push_back({to, kind});
+        g.preds[to].push_back({from, kind});
+    };
+
+    // Register flow: def -> every use of the same register elsewhere in
+    // the region, plus exact intra-block def-use chains. Conservative for
+    // partitioning (extra affinity edges never break correctness — the
+    // codegen's transfer-at-def discipline provides that).
+    std::map<RegId, std::vector<u32>> defs_of, uses_of;
+    for (u32 i = 0; i < g.nodes.size(); ++i) {
+        const Operation &op = *g.nodes[i].op;
+        if (op.def().valid())
+            defs_of[op.def()].push_back(i);
+        for (RegId use : op.uses())
+            uses_of[use].push_back(i);
+    }
+    for (const auto &[reg, def_nodes] : defs_of) {
+        auto it = uses_of.find(reg);
+        if (it == uses_of.end())
+            continue;
+        for (u32 def_node : def_nodes) {
+            for (u32 use_node : it->second) {
+                const bool forward =
+                    g.nodes[def_node].ref < g.nodes[use_node].ref;
+                if (forward || loop_carried)
+                    add_edge(def_node, use_node, DepKind::RegFlow);
+            }
+        }
+    }
+
+    // Memory dependences via alias classes: memSym 0 joins everything.
+    // Within a class containing at least one store, order all pairs (for
+    // loop regions the class is treated as a recurrence: edges both ways
+    // so DSWP keeps it in one stage).
+    std::map<u32, std::vector<u32>> classes;
+    bool any_wildcard = false;
+    for (u32 i = 0; i < g.nodes.size(); ++i) {
+        if (!is_memory(g.nodes[i].op->op))
+            continue;
+        if (g.nodes[i].op->memSym == 0)
+            any_wildcard = true;
+        classes[g.nodes[i].op->memSym].push_back(i);
+    }
+    if (any_wildcard) {
+        // Merge every class into the wildcard class.
+        auto &all = classes[0];
+        for (auto &[sym, members] : classes) {
+            if (sym == 0)
+                continue;
+            all.insert(all.end(), members.begin(), members.end());
+        }
+        classes.erase(std::next(classes.begin()), classes.end());
+    }
+    u32 alias_id = 1;
+    for (auto &[sym, members] : classes) {
+        std::sort(members.begin(), members.end());
+        bool has_store = false;
+        for (u32 m : members)
+            if (is_store(g.nodes[m].op->op))
+                has_store = true;
+        for (u32 m : members)
+            g.nodes[m].aliasClass = alias_id;
+        alias_id++;
+        if (!has_store)
+            continue;
+        for (size_t a = 0; a < members.size(); ++a) {
+            for (size_t b = a + 1; b < members.size(); ++b) {
+                const bool either_store =
+                    is_store(g.nodes[members[a]].op->op) ||
+                    is_store(g.nodes[members[b]].op->op);
+                if (!either_store)
+                    continue;
+                add_edge(members[a], members[b], DepKind::Memory);
+                if (loop_carried)
+                    add_edge(members[b], members[a], DepKind::Memory);
+            }
+        }
+    }
+
+    // DSWP control dependences: each branch controls every other op of
+    // the loop (next iteration), which builds the loop-control recurrence
+    // {cmp, br, induction update} and hangs the body off it.
+    if (loop_carried) {
+        for (u32 i = 0; i < g.nodes.size(); ++i) {
+            const Opcode op = g.nodes[i].op->op;
+            if (op != Opcode::BR && op != Opcode::BRU)
+                continue;
+            for (u32 j = 0; j < g.nodes.size(); ++j) {
+                if (j != i)
+                    add_edge(i, j, DepKind::Control);
+            }
+        }
+    }
+
+    return g;
+}
+
+} // namespace voltron

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Region-level operation dependence graph.
+ *
+ * Used by the BUG/eBUG partitioners and by DSWP. Nodes are the region's
+ * operations; edges cover register flow (including loop-carried flow for
+ * loop regions), memory dependences through alias classes, and the
+ * conservative control dependences DSWP needs (each branch to every other
+ * op of the loop, which correctly forms the loop-control recurrence).
+ */
+
+#ifndef VOLTRON_COMPILER_DEPGRAPH_HH_
+#define VOLTRON_COMPILER_DEPGRAPH_HH_
+
+#include <map>
+#include <vector>
+
+#include "compiler/regions.hh"
+#include "interp/profile.hh"
+#include "ir/function.hh"
+
+namespace voltron {
+
+/** Identity of an op inside a function. */
+struct OpRef
+{
+    BlockId block = kNoBlock;
+    u32 idx = 0;
+
+    bool
+    operator<(const OpRef &o) const
+    {
+        return block != o.block ? block < o.block : idx < o.idx;
+    }
+    bool
+    operator==(const OpRef &o) const
+    {
+        return block == o.block && idx == o.idx;
+    }
+};
+
+/** Edge kinds. */
+enum class DepKind : u8 {
+    RegFlow,   //!< def -> use
+    Memory,    //!< ordered aliasing memory ops
+    Control,   //!< branch -> controlled op
+};
+
+/** One dependence edge. */
+struct DepEdge
+{
+    u32 to = 0;
+    DepKind kind = DepKind::RegFlow;
+};
+
+/** One node. */
+struct DepNode
+{
+    OpRef ref;
+    const Operation *op = nullptr;
+    u64 weight = 1;     //!< dynamic execs x latency (profile-scaled)
+    u64 execs = 1;      //!< dynamic block executions
+    double missRate = 0.0; //!< for memory ops
+    u32 aliasClass = 0; //!< union-find class over memSym (0 joins all)
+};
+
+/** The graph. */
+struct DepGraph
+{
+    std::vector<DepNode> nodes;
+    std::vector<std::vector<DepEdge>> succs;
+    std::vector<std::vector<DepEdge>> preds;
+    std::map<OpRef, u32> indexOf;
+
+    /** Total node weight. */
+    u64 totalWeight() const;
+
+    /** Adjacency restricted to node indices (for SCC). */
+    std::vector<std::vector<u32>> adjacency() const;
+};
+
+/**
+ * Build the dependence graph of @p region in @p fn.
+ *
+ * @param loop_carried Include loop-carried register-flow and the DSWP
+ *        control edges (set for Loop regions when partitioning for DSWP;
+ *        BUG/eBUG on straightline regions pass false).
+ */
+DepGraph build_dep_graph(const Function &fn, const CompilerRegion &region,
+                         const Profile &profile, bool loop_carried);
+
+} // namespace voltron
+
+#endif // VOLTRON_COMPILER_DEPGRAPH_HH_

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Partitioning results and the BUG/eBUG/DSWP partitioner interfaces.
+ */
+
+#ifndef VOLTRON_COMPILER_PARTITION_HH_
+#define VOLTRON_COMPILER_PARTITION_HH_
+
+#include <map>
+
+#include "compiler/depgraph.hh"
+
+namespace voltron {
+
+/** Op-to-core assignment for one region (branches excluded: replicated). */
+using Assignment = std::map<OpRef, CoreId>;
+
+/** Knobs shared by the greedy partitioners. */
+struct PartitionOptions
+{
+    u16 numCores = 4;
+
+    /** Per-hop operand-transfer cost estimate (cycles). */
+    u32 transferCost = 1;
+
+    // --- eBUG extensions (paper §4.1) ---
+
+    /** Enable the eBUG edge weights and memory balancing. */
+    bool enhanced = false;
+
+    /** Loads with a profiled miss rate above this are "likely missing". */
+    double missThreshold = 0.05;
+
+    /** Extra edge weight for breaking a likely-missing load's flow edge. */
+    u32 missEdgeWeight = 30;
+
+    /** Pin every op of an alias class to one core (decoupled modes). */
+    bool pinAliasClasses = true;
+
+    /** Penalty for assigning a memory op to a memory-crowded core. */
+    u32 memImbalancePenalty = 8;
+};
+
+/**
+ * Bottom-Up Greedy multicluster partitioning (Ellis' BUG, paper §4.1
+ * "Compiling for ILP"); with @p opts.enhanced it becomes the paper's
+ * eBUG (likely-missing-load weights, alias-class pinning, memory
+ * balancing) for decoupled strands.
+ *
+ * Branch ops (BR/BRU) and their PBRs are not assigned — codegen
+ * replicates them.
+ */
+Assignment partition_bug(const DepGraph &graph,
+                         const PartitionOptions &opts);
+
+/** Result of a DSWP partition attempt. */
+struct DswpResult
+{
+    bool feasible = false;
+    double estimatedSpeedup = 1.0;
+    Assignment assignment;
+    u32 stagesUsed = 0;
+};
+
+/**
+ * Decoupled software pipelining (paper §4.1 "Extracting TLP with DSWP"):
+ * SCC condensation of the loop dependence graph, then a greedy weighted
+ * partition of the acyclic condensation into up to numCores stages.
+ */
+DswpResult partition_dswp(const DepGraph &graph,
+                          const PartitionOptions &opts);
+
+} // namespace voltron
+
+#endif // VOLTRON_COMPILER_PARTITION_HH_

@@ -1,0 +1,180 @@
+#include "compiler/reassoc.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+bool
+is_assoc_comm(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::MUL: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::MIN:
+      case Opcode::MAX:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** One detected chain: link op indices and their "other" operands. */
+struct Chain
+{
+    RegId acc;
+    Opcode op = Opcode::NOP;
+    std::vector<u32> links;
+    std::vector<RegId> values;
+};
+
+/**
+ * Find the maximal chain starting at op @p start of @p bb. A link is
+ * `acc = acc OP x` (x a register, not acc). The chain ends when acc is
+ * read or written by a non-link op, when a link's x is later redefined
+ * before the chain end (moving its use would read the wrong value), or
+ * at a control op.
+ */
+Chain
+find_chain(const BasicBlock &bb, u32 start)
+{
+    Chain chain;
+    const Operation &first = bb.ops[start];
+    chain.acc = first.dst;
+    chain.op = first.op;
+
+    auto is_link = [&](const Operation &op, RegId *value) {
+        if (op.op != chain.op || op.dst != chain.acc || op.immSrc1)
+            return false;
+        if (op.src0 == chain.acc && op.src1 != chain.acc &&
+            op.src1.valid()) {
+            *value = op.src1;
+            return true;
+        }
+        if (op.src1 == chain.acc && op.src0 != chain.acc &&
+            op.src0.valid()) {
+            *value = op.src0;
+            return true;
+        }
+        return false;
+    };
+
+    for (u32 i = start; i < bb.ops.size(); ++i) {
+        const Operation &op = bb.ops[i];
+        RegId value;
+        if (is_link(op, &value)) {
+            chain.links.push_back(i);
+            chain.values.push_back(value);
+            continue;
+        }
+        if (is_control(op.op) || is_comm(op.op))
+            break;
+        // Any other touch of the accumulator ends the chain.
+        bool touches = op.def() == chain.acc;
+        for (RegId use : op.uses())
+            if (use == chain.acc)
+                touches = true;
+        if (touches)
+            break;
+    }
+    if (chain.links.empty())
+        return chain;
+
+    // A value redefined between its link and the chain end cannot be
+    // moved to the rewrite point: truncate the chain there.
+    const u32 end = chain.links.back();
+    size_t keep = chain.links.size();
+    for (size_t k = 0; k < chain.links.size() && k < keep; ++k) {
+        for (u32 j = chain.links[k] + 1; j <= end; ++j) {
+            if (bb.ops[j].def() == chain.values[k]) {
+                keep = k; // drop this link and everything after
+                break;
+            }
+        }
+    }
+    chain.links.resize(keep);
+    chain.values.resize(keep);
+    return chain;
+}
+
+} // namespace
+
+ReassocStats
+reassociate_function(Function &fn)
+{
+    ReassocStats stats;
+    for (BasicBlock &bb : fn.blocks) {
+        for (u32 i = 0; i < bb.ops.size(); ++i) {
+            const Operation &op = bb.ops[i];
+            if (!is_assoc_comm(op.op) || !op.dst.valid() ||
+                op.dst.cls != RegClass::GPR || op.immSrc1) {
+                continue;
+            }
+            if (op.src0 != op.dst && op.src1 != op.dst)
+                continue;
+            Chain chain = find_chain(bb, i);
+            if (chain.links.size() < 3) {
+                continue;
+            }
+
+            // Rewrite: drop the link ops, insert a balanced tree over the
+            // values plus one final accumulate at the last link position.
+            const u32 insert_at = chain.links.back();
+            std::vector<Operation> tree;
+            std::vector<RegId> frontier = chain.values;
+            while (frontier.size() > 1) {
+                std::vector<RegId> next;
+                for (size_t k = 0; k + 1 < frontier.size(); k += 2) {
+                    RegId tmp = fn.freshReg(RegClass::GPR);
+                    tree.push_back(
+                        ops::alu(chain.op, tmp, frontier[k],
+                                 frontier[k + 1]));
+                    next.push_back(tmp);
+                }
+                if (frontier.size() % 2 == 1)
+                    next.push_back(frontier.back());
+                frontier = next;
+            }
+            tree.push_back(
+                ops::alu(chain.op, chain.acc, chain.acc, frontier[0]));
+
+            // Build the new op list: original ops minus links, with the
+            // tree inserted where the last link was.
+            std::vector<Operation> rewritten;
+            rewritten.reserve(bb.ops.size() + tree.size());
+            std::set<u32> link_set(chain.links.begin(), chain.links.end());
+            for (u32 j = 0; j < bb.ops.size(); ++j) {
+                if (j == insert_at) {
+                    for (const Operation &top : tree)
+                        rewritten.push_back(top);
+                }
+                if (!link_set.count(j))
+                    rewritten.push_back(bb.ops[j]);
+            }
+            bb.ops = std::move(rewritten);
+
+            stats.chainsRewritten++;
+            stats.opsRebalanced += static_cast<u32>(chain.links.size());
+            // Restart scanning this block after the rewrite.
+            i = ~0u;
+        }
+    }
+    return stats;
+}
+
+ReassocStats
+reassociate_program(Program &prog)
+{
+    ReassocStats stats;
+    for (Function &fn : prog.functions) {
+        ReassocStats fs = reassociate_function(fn);
+        stats.chainsRewritten += fs.chainsRewritten;
+        stats.opsRebalanced += fs.opsRebalanced;
+    }
+    return stats;
+}
+
+} // namespace voltron

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Reassociation of integer accumulation chains.
+ *
+ * A block-local chain `r = r OP x1; ...; r = r OP xk` (OP associative and
+ * commutative over the integers: ADD/MUL/AND/OR/XOR/MIN/MAX) serialises k
+ * operations. Rewriting it as a balanced reduction tree shortens the
+ * dependence height from k to ceil(log2 k) + 1, which is what lets the
+ * coupled-mode (VLIW) scheduler spread the chain across cores — standard
+ * ILP-compiler machinery the paper gets from Trimaran.
+ *
+ * Exact for the integer ops involved, so golden-model equivalence is
+ * preserved bit-for-bit (the pass never touches FP).
+ */
+
+#ifndef VOLTRON_COMPILER_REASSOC_HH_
+#define VOLTRON_COMPILER_REASSOC_HH_
+
+#include "ir/function.hh"
+
+namespace voltron {
+
+/** Statistics of one pass run (for tests/reports). */
+struct ReassocStats
+{
+    u32 chainsRewritten = 0;
+    u32 opsRebalanced = 0;
+};
+
+/** Rewrite all eligible chains in @p fn. */
+ReassocStats reassociate_function(Function &fn);
+
+/** Rewrite all eligible chains in every function of @p prog. */
+ReassocStats reassociate_program(Program &prog);
+
+} // namespace voltron
+
+#endif // VOLTRON_COMPILER_REASSOC_HH_

@@ -1,0 +1,174 @@
+#include "compiler/regions.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+/** True if the block contains an op that forces serial execution. */
+bool
+has_serial_op(const BasicBlock &bb)
+{
+    for (const Operation &op : bb.ops) {
+        switch (op.op) {
+          case Opcode::CALL:
+          case Opcode::RET:
+          case Opcode::HALT:
+            return true;
+          default:
+            break;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+FuncAnalyses::FuncAnalyses(const Function &f) : fn(&f)
+{
+    cfg = std::make_unique<Cfg>(f);
+    dom = std::make_unique<DomTree>(*cfg);
+    loops = std::make_unique<LoopForest>(f, *cfg, *dom);
+}
+
+std::vector<CompilerRegion>
+form_regions(const Function &fn, const FuncAnalyses &fa)
+{
+    const size_t n = fn.blocks.size();
+    const Cfg &cfg = *fa.cfg;
+    const auto &loops = fa.loops->loops();
+
+    std::vector<int> region_of(n, -1);
+    std::vector<CompilerRegion> regions;
+
+    auto new_region = [&](RegionKind kind) -> CompilerRegion & {
+        CompilerRegion region;
+        region.func = fn.id;
+        region.kind = kind;
+        regions.push_back(std::move(region));
+        return regions.back();
+    };
+
+    // 1. A loop is a candidate iff it and all nested blocks are call-free
+    //    and it does not contain the function entry block.
+    auto loop_is_candidate = [&](const Loop &loop) {
+        if (loop.contains(0))
+            return false;
+        for (BlockId b : loop.blocks) {
+            if (has_serial_op(fn.block(b)))
+                return false;
+        }
+        return true;
+    };
+
+    // Maximal candidate loops: an outermost loop if candidate; otherwise
+    // recurse into its immediate children.
+    std::vector<int> work = fa.loops->outermost();
+    std::vector<int> chosen;
+    while (!work.empty()) {
+        int li = work.back();
+        work.pop_back();
+        if (loop_is_candidate(loops[li])) {
+            chosen.push_back(li);
+        } else {
+            for (size_t child = 0; child < loops.size(); ++child)
+                if (loops[child].parent == li)
+                    work.push_back(static_cast<int>(child));
+        }
+    }
+    std::sort(chosen.begin(), chosen.end());
+    for (int li : chosen) {
+        CompilerRegion &region = new_region(RegionKind::Loop);
+        region.loopIdx = li;
+        region.blocks = loops[li].blocks;
+        region.entry = loops[li].header;
+        for (BlockId b : region.blocks)
+            region_of[b] = static_cast<int>(regions.size()) - 1;
+    }
+
+    // 2. Remaining blocks: maximal runs of consecutive ids that are
+    //    call-free, not the entry block, and reachable.
+    BlockId b = 0;
+    while (b < n) {
+        if (region_of[b] >= 0 || has_serial_op(fn.block(b)) || b == 0 ||
+            !cfg.reachable(b)) {
+            b++;
+            continue;
+        }
+        BlockId run_end = b;
+        while (run_end + 1 < n && region_of[run_end + 1] < 0 &&
+               !has_serial_op(fn.block(run_end + 1)) &&
+               cfg.reachable(run_end + 1)) {
+            run_end++;
+        }
+        CompilerRegion &region = new_region(RegionKind::Straightline);
+        for (BlockId x = b; x <= run_end; ++x) {
+            region.blocks.insert(x);
+            region_of[x] = static_cast<int>(regions.size()) - 1;
+        }
+        region.entry = b;
+        b = run_end + 1;
+    }
+
+    // Demote straightline regions that are not single-entry (an edge from
+    // outside reaching a non-entry block) or that contain a back edge
+    // (cycle not recognised as a candidate loop) to glue.
+    for (auto &region : regions) {
+        if (region.kind != RegionKind::Straightline)
+            continue;
+        bool ok = true;
+        for (BlockId x : region.blocks) {
+            if (x == region.entry)
+                continue;
+            for (BlockId p : cfg.preds(x)) {
+                if (!region.contains(p)) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        // Entry itself must not be a loop header of an unchosen loop.
+        for (BlockId x : region.blocks) {
+            for (BlockId s : cfg.succs(x)) {
+                if (region.contains(s) && s <= x) {
+                    // Conservative cycle check within the run.
+                    if (fa.dom->dominates(s, x))
+                        ok = false;
+                }
+            }
+        }
+        if (!ok)
+            region.kind = RegionKind::Glue;
+    }
+
+    // 3. Glue regions for everything else: group leftover blocks into
+    //    per-block glue regions (serial execution makes their grouping
+    //    immaterial).
+    for (BlockId x = 0; x < n; ++x) {
+        if (region_of[x] >= 0)
+            continue;
+        CompilerRegion &region = new_region(RegionKind::Glue);
+        region.blocks.insert(x);
+        region.entry = x;
+        region_of[x] = static_cast<int>(regions.size()) - 1;
+    }
+
+    // Exit edges.
+    for (auto &region : regions) {
+        for (BlockId x : region.blocks) {
+            if (!cfg.reachable(x))
+                continue;
+            for (BlockId s : cfg.succs(x)) {
+                if (!region.contains(s))
+                    region.exitEdges.emplace_back(x, s);
+            }
+        }
+    }
+
+    return regions;
+}
+
+} // namespace voltron

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Region formation.
+ *
+ * Regions tile each function's blocks and are the unit of
+ * parallelism-technique selection and mode switching (paper §4.2):
+ *
+ *  - **Loop regions**: maximal outermost call-free natural loops.
+ *  - **Straightline regions**: maximal runs of consecutive call-free
+ *    non-loop blocks forming a single-entry subgraph.
+ *  - **Glue regions**: everything else (blocks with CALL/RET/HALT, the
+ *    function entry block, runs that fail the single-entry check). Glue
+ *    always executes serially on the master core.
+ */
+
+#ifndef VOLTRON_COMPILER_REGIONS_HH_
+#define VOLTRON_COMPILER_REGIONS_HH_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ir/cfg.hh"
+#include "ir/dom.hh"
+#include "ir/loops.hh"
+#include "sim/machineprog.hh"
+
+namespace voltron {
+
+/** One region of one function (id assigned globally by the driver). */
+struct CompilerRegion
+{
+    RegionId id = kNoRegion;
+    FuncId func = kNoFunc;
+    RegionKind kind = RegionKind::Glue;
+    ExecMode mode = ExecMode::Serial;
+
+    std::set<BlockId> blocks;
+    BlockId entry = kNoBlock;
+
+    /** Edges (from inside, to outside). */
+    std::vector<std::pair<BlockId, BlockId>> exitEdges;
+
+    /** For Loop regions: index into the LoopForest. */
+    int loopIdx = -1;
+
+    bool contains(BlockId b) const { return blocks.count(b) != 0; }
+};
+
+/** Per-function analysis bundle reused across compiler passes. */
+struct FuncAnalyses
+{
+    const Function *fn = nullptr;
+    std::unique_ptr<Cfg> cfg;
+    std::unique_ptr<DomTree> dom;
+    std::unique_ptr<LoopForest> loops;
+
+    explicit FuncAnalyses(const Function &f);
+};
+
+/**
+ * Form the regions of @p fn. Region ids are left unassigned (kNoRegion);
+ * the driver numbers them globally. Every block lands in exactly one
+ * region.
+ */
+std::vector<CompilerRegion> form_regions(const Function &fn,
+                                         const FuncAnalyses &fa);
+
+} // namespace voltron
+
+#endif // VOLTRON_COMPILER_REGIONS_HH_

@@ -1,0 +1,297 @@
+#include "compiler/schedule.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "isa/latencies.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+struct Node
+{
+    u32 slot;
+    CoreId core;
+    const Operation *op;
+    bool isBranch;
+    i64 cycle = -1; //!< assigned issue cycle
+};
+
+struct Edge
+{
+    u32 from, to;
+    u32 minDelta; //!< to.cycle >= from.cycle + minDelta
+};
+
+} // namespace
+
+BlockSchedule
+schedule_block(const std::vector<ScheduleSlot> &slots, u16 num_cores)
+{
+    std::vector<Node> nodes;
+    nodes.reserve(slots.size());
+    for (u32 i = 0; i < slots.size(); ++i) {
+        const Operation &op = slots[i].op;
+        nodes.push_back({i, slots[i].core, &op,
+                         op.op == Opcode::BR || op.op == Opcode::BRU});
+    }
+
+    // --- Dependence edges -------------------------------------------------
+    std::vector<Edge> edges;
+    auto add_edge = [&](u32 from, u32 to, u32 delta) {
+        if (from != to)
+            edges.push_back({from, to, delta});
+    };
+
+    // Per-(core, reg) flow/anti/output edges in slot order.
+    std::map<std::pair<CoreId, RegId>, u32> last_def;
+    std::map<std::pair<CoreId, RegId>, std::vector<u32>> uses_since_def;
+    for (u32 i = 0; i < nodes.size(); ++i) {
+        const Operation &op = *nodes[i].op;
+        const CoreId core = nodes[i].core;
+        for (RegId use : op.uses()) {
+            auto key = std::make_pair(core, use);
+            auto it = last_def.find(key);
+            if (it != last_def.end()) {
+                add_edge(it->second, i,
+                         op_latency(nodes[it->second].op->op));
+            }
+            uses_since_def[key].push_back(i);
+        }
+        RegId def = op.def();
+        if (def.valid()) {
+            auto key = std::make_pair(core, def);
+            auto it = last_def.find(key);
+            if (it != last_def.end())
+                add_edge(it->second, i, 1); // WAW
+            for (u32 use_node : uses_since_def[key])
+                add_edge(use_node, i, 0); // WAR (same core serialises)
+            uses_since_def[key].clear();
+            last_def[key] = i;
+        }
+    }
+
+    // Memory dependences in slot order (alias by memSym; 0 is wildcard).
+    std::vector<u32> mem_nodes;
+    for (u32 i = 0; i < nodes.size(); ++i)
+        if (is_memory(nodes[i].op->op))
+            mem_nodes.push_back(i);
+    for (size_t a = 0; a < mem_nodes.size(); ++a) {
+        for (size_t b = a + 1; b < mem_nodes.size(); ++b) {
+            const Operation &oa = *nodes[mem_nodes[a]].op;
+            const Operation &ob = *nodes[mem_nodes[b]].op;
+            if (!is_store(oa.op) && !is_store(ob.op))
+                continue;
+            const bool alias = oa.memSym == 0 || ob.memSym == 0 ||
+                               oa.memSym == ob.memSym;
+            if (alias)
+                add_edge(mem_nodes[a], mem_nodes[b], 1);
+        }
+    }
+
+    // --- Transfer groups ---------------------------------------------------
+    // Group id -> member node indices (must share an issue cycle).
+    std::map<u32, std::vector<u32>> groups;
+    std::vector<u32> group_of(nodes.size());
+    {
+        u32 next_singleton = 0;
+        std::map<u32, u32> by_transfer;
+        std::vector<std::vector<u32>> group_list;
+        for (u32 i = 0; i < nodes.size(); ++i) {
+            const Operation &op = *nodes[i].op;
+            if (is_comm(op.op) && op.seqId >= kTransferIdBase) {
+                auto [it, fresh] =
+                    by_transfer.try_emplace(op.seqId, next_singleton);
+                if (fresh) {
+                    group_list.emplace_back();
+                    next_singleton++;
+                }
+                group_of[i] = it->second;
+                group_list[it->second].push_back(i);
+            } else {
+                group_of[i] = next_singleton;
+                group_list.emplace_back();
+                group_list[next_singleton].push_back(i);
+                next_singleton++;
+            }
+        }
+        for (u32 gi = 0; gi < group_list.size(); ++gi)
+            groups[gi] = group_list[gi];
+    }
+
+    // Incoming edges per group; group heights for priority.
+    std::map<u32, std::vector<Edge>> in_edges;
+    for (const Edge &e : edges)
+        in_edges[group_of[e.to]].push_back(e);
+
+    std::vector<u64> height(nodes.size(), 0);
+    for (size_t i = nodes.size(); i-- > 0;) {
+        for (const Edge &e : edges) {
+            if (e.from != i)
+                continue;
+            height[i] = std::max(height[i],
+                                 height[e.to] + std::max(e.minDelta, 1u));
+        }
+    }
+    auto group_height = [&](u32 gi) {
+        u64 h = 0;
+        for (u32 m : groups[gi])
+            h = std::max(h, height[m]);
+        return h;
+    };
+
+    // --- List scheduling ---------------------------------------------------
+    std::vector<bool> group_done(groups.size(), false);
+    std::map<std::pair<CoreId, u32>, bool> core_busy; // (core, cycle)
+    u32 remaining = 0;
+    for (auto &[gi, members] : groups) {
+        bool branch_group = false;
+        for (u32 m : members)
+            if (nodes[m].isBranch)
+                branch_group = true;
+        if (branch_group) {
+            group_done[gi] = true; // placed at the end
+            panic_if_not(members.size() == 1,
+                         "branch op inside a transfer group");
+        } else {
+            remaining++;
+        }
+    }
+
+    u32 cycle = 0;
+    const u32 kScheduleCap = 200000;
+    while (remaining > 0) {
+        panic_if_not(cycle < kScheduleCap, "scheduler failed to converge");
+        // Collect groups ready at this cycle, sorted by priority.
+        std::vector<u32> ready;
+        for (auto &[gi, members] : groups) {
+            if (group_done[gi])
+                continue;
+            bool ok = true;
+            for (const Edge &e : in_edges[gi]) {
+                const Node &from = nodes[e.from];
+                if (from.cycle < 0 ||
+                    from.cycle + static_cast<i64>(e.minDelta) >
+                        static_cast<i64>(cycle)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (!ok)
+                continue;
+            for (u32 m : members) {
+                if (core_busy[{nodes[m].core, cycle}]) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                ready.push_back(gi);
+        }
+        std::stable_sort(ready.begin(), ready.end(), [&](u32 a, u32 b) {
+            return group_height(a) > group_height(b);
+        });
+        for (u32 gi : ready) {
+            if (group_done[gi])
+                continue;
+            bool free = true;
+            for (u32 m : groups[gi])
+                if (core_busy[{nodes[m].core, cycle}])
+                    free = false;
+            if (!free)
+                continue;
+            for (u32 m : groups[gi]) {
+                nodes[m].cycle = cycle;
+                core_busy[{nodes[m].core, cycle}] = true;
+            }
+            group_done[gi] = true;
+            remaining--;
+        }
+        cycle++;
+    }
+
+    // --- Branch placement and schedule length -------------------------------
+    i64 max_issue = -1, max_completion = 0;
+    for (const Node &node : nodes) {
+        if (node.isBranch)
+            continue;
+        max_issue = std::max(max_issue, node.cycle);
+        max_completion =
+            std::max(max_completion,
+                     node.cycle + static_cast<i64>(op_latency(node.op->op)));
+    }
+
+    // Branches go last, in original order, one cycle each. Each core's
+    // replicas appear in the same slot order, so "the j-th branch" lands
+    // on the same cycle on every core. A taken branch shadows the later
+    // ones (the simulator ignores branch ops once a transfer is pending).
+    bool has_branch = false;
+    i64 branch_ready = 0;
+    u32 branches_per_core = 0;
+    {
+        std::map<CoreId, u32> per_core;
+        for (u32 i = 0; i < nodes.size(); ++i) {
+            if (!nodes[i].isBranch)
+                continue;
+            has_branch = true;
+            per_core[nodes[i].core]++;
+            for (const Edge &e : edges) {
+                if (e.to != i)
+                    continue;
+                branch_ready = std::max(
+                    branch_ready,
+                    nodes[e.from].cycle + static_cast<i64>(e.minDelta));
+            }
+        }
+        for (const auto &[core, count] : per_core)
+            branches_per_core = std::max(branches_per_core, count);
+    }
+
+    u32 sched_len;
+    if (has_branch) {
+        const i64 branch_base =
+            std::max({max_issue + 1, max_completion - 1, branch_ready,
+                      static_cast<i64>(0)});
+        std::map<CoreId, u32> seen;
+        for (Node &node : nodes) {
+            if (!node.isBranch)
+                continue;
+            node.cycle = branch_base + seen[node.core]++;
+        }
+        sched_len = static_cast<u32>(branch_base + branches_per_core);
+    } else {
+        sched_len = static_cast<u32>(
+            std::max({max_issue + 1, max_completion, static_cast<i64>(1)}));
+    }
+
+    // --- Emit ---------------------------------------------------------------
+    BlockSchedule result;
+    result.perCore.resize(num_cores);
+    result.schedLen = sched_len;
+
+    std::vector<u32> order_idx;
+    for (u32 i = 0; i < nodes.size(); ++i)
+        order_idx.push_back(i);
+    std::stable_sort(order_idx.begin(), order_idx.end(), [&](u32 a, u32 b) {
+        return nodes[a].cycle < nodes[b].cycle;
+    });
+    for (u32 i : order_idx) {
+        const Node &node = nodes[i];
+        panic_if_not(node.cycle >= 0, "unscheduled op");
+        CoreSchedule &cs = result.perCore.at(node.core);
+        cs.ops.push_back(*node.op);
+        cs.issueCycles.push_back(static_cast<u32>(node.cycle));
+    }
+
+    // Sanity: one op per core per cycle.
+    for (const CoreSchedule &cs : result.perCore) {
+        for (size_t i = 1; i < cs.issueCycles.size(); ++i)
+            panic_if_not(cs.issueCycles[i] > cs.issueCycles[i - 1],
+                         "core double-issued in a cycle");
+    }
+    return result;
+}
+
+} // namespace voltron

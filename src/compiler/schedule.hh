@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cycle scheduler for coupled-mode (lockstep DVLIW) blocks.
+ *
+ * Consumes a block's jointly-emitted slot list — (core, op) pairs in
+ * program order, comm ops carrying transfer-group ids — and produces each
+ * core's op list sorted by issue cycle plus the common schedule length.
+ *
+ * Invariants established (and checked at run time by the simulator):
+ *  - one op per core per cycle;
+ *  - data, anti, output and memory dependences respected with latencies;
+ *  - every op of a transfer group (PUT with its GET, BCAST with its GETs)
+ *    issues in the same cycle;
+ *  - all BR/BRU ops issue together in the final cycle;
+ *  - every op completes by the end of the block (so values are ready at
+ *    cycle 0 of any successor block).
+ */
+
+#ifndef VOLTRON_COMPILER_SCHEDULE_HH_
+#define VOLTRON_COMPILER_SCHEDULE_HH_
+
+#include <vector>
+
+#include "isa/operation.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Comm ops with seqId >= this are transfer-group members. */
+inline constexpr u32 kTransferIdBase = 1u << 20;
+
+/** One jointly-emitted slot. */
+struct ScheduleSlot
+{
+    CoreId core = 0;
+    Operation op;
+};
+
+/** Scheduled output for one core. */
+struct CoreSchedule
+{
+    std::vector<Operation> ops;
+    std::vector<u32> issueCycles;
+};
+
+/** Whole-block schedule. */
+struct BlockSchedule
+{
+    std::vector<CoreSchedule> perCore;
+    u32 schedLen = 0;
+};
+
+/** Schedule one coupled block. */
+BlockSchedule schedule_block(const std::vector<ScheduleSlot> &slots,
+                             u16 num_cores);
+
+} // namespace voltron
+
+#endif // VOLTRON_COMPILER_SCHEDULE_HH_

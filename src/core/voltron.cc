@@ -1,0 +1,104 @@
+#include "core/voltron.hh"
+
+#include <sstream>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+VoltronSystem::VoltronSystem(Program prog)
+    : prog_(std::move(prog)), golden_(run_golden(prog_))
+{
+}
+
+std::string
+VoltronSystem::cacheKey(const CompileOptions &options)
+{
+    std::ostringstream os;
+    os << strategy_name(options.strategy) << "/" << options.numCores << "/"
+       << options.minOpsPerActivation << "/" << options.minDoallTrip << "/"
+       << options.dswpThreshold << "/" << options.missStallFraction << "/"
+       << options.allowCrossCoreMemDep << "/" << options.reassociate << "/"
+       << options.partition.transferCost << "/"
+       << options.partition.missThreshold << "/"
+       << options.partition.missEdgeWeight << "/"
+       << options.partition.pinAliasClasses << "/"
+       << options.partition.memImbalancePenalty;
+    return os.str();
+}
+
+const MachineProgram &
+VoltronSystem::compile(const CompileOptions &options, SelectionReport *report)
+{
+    const std::string key = cacheKey(options);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        SelectionReport sel;
+        auto mp = std::make_unique<MachineProgram>(
+            compile_program(prog_, golden_.profile, options, &sel));
+        it = cache_.emplace(key, std::move(mp)).first;
+        selectionCache_[key] = std::move(sel);
+    }
+    if (report)
+        *report = selectionCache_[key];
+    return *it->second;
+}
+
+bool
+VoltronSystem::memoryMatchesGolden(const MemoryImage &mem) const
+{
+    for (const DataObject &obj : prog_.data) {
+        std::vector<u8> golden_bytes(obj.size), run_bytes(obj.size);
+        golden_.memory->readBytes(obj.base, golden_bytes.data(), obj.size);
+        mem.readBytes(obj.base, run_bytes.data(), obj.size);
+        if (golden_bytes != run_bytes)
+            return false;
+    }
+    return true;
+}
+
+RunOutcome
+VoltronSystem::run(const CompileOptions &options,
+                   std::optional<MachineConfig> config)
+{
+    RunOutcome outcome;
+    const MachineProgram &mp = compile(options, &outcome.selection);
+    MachineConfig mc =
+        config ? *config : MachineConfig::forCores(options.numCores);
+    Machine machine(mp, mc);
+    outcome.result = machine.run();
+    outcome.exitMatches =
+        outcome.result.exitValue == golden_.result.exitValue;
+    outcome.memoryMatches = memoryMatchesGolden(machine.memory());
+    return outcome;
+}
+
+RunOutcome
+VoltronSystem::run(Strategy s, u16 cores)
+{
+    CompileOptions options;
+    options.strategy = s;
+    options.numCores = cores;
+    return run(options);
+}
+
+Cycle
+VoltronSystem::baselineCycles()
+{
+    if (!baseline_) {
+        RunOutcome outcome = run(Strategy::SerialOnly, 1);
+        fatal_if_not(outcome.correct(),
+                     "serial baseline diverged from the golden model");
+        baseline_ = outcome.result.cycles;
+    }
+    return *baseline_;
+}
+
+double
+VoltronSystem::speedup(const RunOutcome &outcome)
+{
+    return static_cast<double>(baselineCycles()) /
+           static_cast<double>(outcome.result.cycles);
+}
+
+} // namespace voltron

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * VoltronSystem — the library's top-level façade.
+ *
+ * Wraps the full paper pipeline for one input program:
+ *
+ *   1. run the reference interpreter once to collect the golden result
+ *      and the training profile;
+ *   2. compile for a machine configuration and strategy (§4);
+ *   3. simulate on the cycle-level multicore (§3);
+ *   4. verify the run against the golden memory image and exit value.
+ *
+ * Examples and the figure harnesses are thin layers over this class.
+ */
+
+#ifndef VOLTRON_CORE_VOLTRON_HH_
+#define VOLTRON_CORE_VOLTRON_HH_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "compiler/compile.hh"
+#include "interp/interp.hh"
+#include "sim/machine.hh"
+
+namespace voltron {
+
+/** Outcome of one simulated run. */
+struct RunOutcome
+{
+    MachineResult result;
+    bool exitMatches = false;
+    bool memoryMatches = false;
+    SelectionReport selection;
+
+    bool correct() const { return exitMatches && memoryMatches; }
+};
+
+/** The façade. */
+class VoltronSystem
+{
+  public:
+    /** Takes ownership of @p prog; immediately runs the golden pass. */
+    explicit VoltronSystem(Program prog);
+
+    const Program &program() const { return prog_; }
+    const Profile &profile() const { return golden_.profile; }
+    const InterpResult &goldenResult() const { return golden_.result; }
+
+    /** Compile with @p options (cached per strategy+cores). */
+    const MachineProgram &compile(const CompileOptions &options,
+                                  SelectionReport *report = nullptr);
+
+    /**
+     * Compile + simulate + verify. Uses MachineConfig::forCores unless
+     * @p config is given.
+     */
+    RunOutcome run(const CompileOptions &options,
+                   std::optional<MachineConfig> config = std::nullopt);
+
+    /** Convenience: run strategy @p s on @p cores cores. */
+    RunOutcome run(Strategy s, u16 cores);
+
+    /** Serial single-core baseline cycle count (cached). */
+    Cycle baselineCycles();
+
+    /** Speedup of @p outcome over the serial baseline. */
+    double speedup(const RunOutcome &outcome);
+
+    /** Compare @p mem against the golden data segment. */
+    bool memoryMatchesGolden(const MemoryImage &mem) const;
+
+  private:
+    Program prog_;
+    GoldenRun golden_;
+    std::map<std::string, std::unique_ptr<MachineProgram>> cache_;
+    std::map<std::string, SelectionReport> selectionCache_;
+    std::optional<Cycle> baseline_;
+
+    static std::string cacheKey(const CompileOptions &options);
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_CORE_VOLTRON_HH_

@@ -1,0 +1,329 @@
+#include "interp/interp.hh"
+
+#include "interp/semantics.hh"
+#include "isa/latencies.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+/** Geometry of the profile cache (matches the paper's L1 D-cache). */
+CacheGeometry
+profile_cache_geometry()
+{
+    return CacheGeometry{4096, 2, 64};
+}
+
+} // namespace
+
+Interpreter::Interpreter(const Program &prog, MemoryImage &mem,
+                         Profile *profile)
+    : prog_(prog), mem_(mem), profile_(profile),
+      profileCache_(profile_cache_geometry())
+{
+    analyses_.resize(prog.functions.size());
+    Frame main_frame;
+    main_frame.func = 0;
+    stack_.push_back(std::move(main_frame));
+    enterBlock(stack_.back(), 0);
+}
+
+Interpreter::~Interpreter() = default;
+
+const Interpreter::FuncAnalysis &
+Interpreter::analysis(FuncId func)
+{
+    FuncAnalysis &fa = analyses_.at(func);
+    if (!fa.cfg) {
+        const Function &fn = prog_.function(func);
+        fa.cfg = std::make_unique<Cfg>(fn);
+        fa.dom = std::make_unique<DomTree>(*fa.cfg);
+        fa.loops = std::make_unique<LoopForest>(fn, *fa.cfg, *fa.dom);
+    }
+    return fa;
+}
+
+void
+Interpreter::enterBlock(Frame &frame, BlockId block)
+{
+    frame.block = block;
+    frame.opIdx = 0;
+
+    if (!profile_)
+        return;
+
+    profile_->blockCount[profile_key(frame.func, block)]++;
+
+    // Maintain the active-loop stack: pop loops that do not contain the
+    // new block; then handle entering a header (new activation or next
+    // iteration of the innermost matching activation).
+    const FuncAnalysis &fa = analysis(frame.func);
+    const auto &loops = fa.loops->loops();
+
+    while (!frame.activeLoops.empty() &&
+           !loops[frame.activeLoops.back().loopIdx].contains(block)) {
+        frame.activeLoops.pop_back();
+    }
+
+    // Entering a loop header?
+    for (size_t li = 0; li < loops.size(); ++li) {
+        if (loops[li].header != block)
+            continue;
+        if (!frame.activeLoops.empty() &&
+            frame.activeLoops.back().loopIdx == static_cast<int>(li)) {
+            // Back edge: next iteration.
+            auto &act = frame.activeLoops.back();
+            act.iteration++;
+            profile_->loops[profile_key(frame.func, block)].totalIterations++;
+        } else {
+            // Fresh activation.
+            LoopActivation act;
+            act.loopIdx = static_cast<int>(li);
+            frame.activeLoops.push_back(std::move(act));
+            auto &lp = profile_->loops[profile_key(frame.func, block)];
+            lp.activations++;
+            lp.totalIterations++;
+        }
+        break;
+    }
+}
+
+void
+Interpreter::profileMemAccess(Frame &frame, const Operation &op, Addr addr)
+{
+    if (!profile_)
+        return;
+
+    const u64 key = profile_key(frame.func, op.seqId);
+    profile_->memAccess[key]++;
+    if (!profileCache_.probe(addr)) {
+        profile_->memMiss[key]++;
+        profileCache_.fill(addr);
+    }
+
+    // Cross-iteration dependence observation at every active loop level.
+    const bool is_write = is_store(op.op);
+    const FuncAnalysis &fa = analysis(frame.func);
+    const auto &loops = fa.loops->loops();
+    const u64 word = addr >> 3;
+    for (auto &act : frame.activeLoops) {
+        auto [it, fresh] = act.touched.try_emplace(
+            word, std::make_pair(act.iteration, is_write));
+        if (!fresh) {
+            auto &[last_iter, any_write] = it->second;
+            if (last_iter != act.iteration && (is_write || any_write)) {
+                const Loop &loop = loops[act.loopIdx];
+                profile_->loops[profile_key(frame.func, loop.header)]
+                    .crossIterDep = true;
+            }
+            if (last_iter == act.iteration) {
+                any_write = any_write || is_write;
+            } else {
+                last_iter = act.iteration;
+                any_write = is_write;
+            }
+        }
+    }
+}
+
+void
+Interpreter::step()
+{
+    Frame &frame = stack_.back();
+    const Function &fn = prog_.function(frame.func);
+    const BasicBlock &bb = fn.block(frame.block);
+
+    if (frame.opIdx >= bb.ops.size()) {
+        // Fallthrough.
+        fatal_if_not(bb.fallthrough != kNoBlock,
+                     "control fell off block ", bb.name, " in ", fn.name);
+        enterBlock(frame, bb.fallthrough);
+        return;
+    }
+
+    const Operation &op = bb.ops[frame.opIdx];
+    RegFile &regs = frame.regs;
+    ++dynamicOps_;
+    if (profile_) {
+        ++profile_->dynamicOps;
+        if (!frame.activeLoops.empty()) {
+            const auto &loops = analysis(frame.func).loops->loops();
+            for (auto &act : frame.activeLoops) {
+                const Loop &loop = loops[act.loopIdx];
+                profile_->loops[profile_key(frame.func, loop.header)]
+                    .dynamicOps++;
+            }
+        }
+    }
+
+    auto src1_value = [&](RegClass expect) -> u64 {
+        (void)expect;
+        return op.immSrc1 ? static_cast<u64>(op.imm) : regs.read(op.src1);
+    };
+
+    switch (op.op) {
+      case Opcode::NOP:
+        break;
+
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SHL:
+      case Opcode::SHR: case Opcode::SRA: case Opcode::MIN:
+      case Opcode::MAX:
+        regs.write(op.dst,
+                   eval_int(op.op, regs.read(op.src0),
+                            src1_value(RegClass::GPR)));
+        break;
+      case Opcode::MOV:
+        regs.write(op.dst, regs.read(op.src0));
+        break;
+      case Opcode::MOVI:
+        regs.write(op.dst, static_cast<u64>(op.imm));
+        break;
+      case Opcode::CMP:
+        regs.write(op.dst,
+                   eval_cmp(op.cond, regs.read(op.src0),
+                            src1_value(RegClass::GPR)) ? 1 : 0);
+        break;
+
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV:
+        regs.write(op.dst, eval_fp(op.op, regs.read(op.src0),
+                                   regs.read(op.src1)));
+        break;
+      case Opcode::FMOV:
+        regs.write(op.dst, regs.read(op.src0));
+        break;
+      case Opcode::FMOVI:
+        regs.write(op.dst, static_cast<u64>(op.imm));
+        break;
+      case Opcode::FCMP:
+        regs.write(op.dst, eval_fcmp(op.cond, regs.read(op.src0),
+                                     regs.read(op.src1)) ? 1 : 0);
+        break;
+      case Opcode::ITOF:
+        regs.write(op.dst,
+                   std::bit_cast<u64>(static_cast<double>(
+                       static_cast<i64>(regs.read(op.src0)))));
+        break;
+      case Opcode::FTOI:
+        regs.write(op.dst,
+                   static_cast<u64>(static_cast<i64>(
+                       std::bit_cast<double>(regs.read(op.src0)))));
+        break;
+
+      case Opcode::LOAD: {
+        const Addr addr = regs.read(op.src0) + static_cast<u64>(op.imm);
+        profileMemAccess(frame, op, addr);
+        regs.write(op.dst, mem_.read(addr, op.memSize, op.memSigned));
+        break;
+      }
+      case Opcode::LOADF: {
+        const Addr addr = regs.read(op.src0) + static_cast<u64>(op.imm);
+        profileMemAccess(frame, op, addr);
+        regs.write(op.dst, mem_.read(addr, 8));
+        break;
+      }
+      case Opcode::STORE: {
+        const Addr addr = regs.read(op.src0) + static_cast<u64>(op.imm);
+        profileMemAccess(frame, op, addr);
+        mem_.write(addr, regs.read(op.src1), op.memSize);
+        break;
+      }
+      case Opcode::STOREF: {
+        const Addr addr = regs.read(op.src0) + static_cast<u64>(op.imm);
+        profileMemAccess(frame, op, addr);
+        mem_.write(addr, regs.read(op.src1), 8);
+        break;
+      }
+
+      case Opcode::PBR:
+        regs.write(op.dst, static_cast<u64>(op.imm));
+        break;
+      case Opcode::BR: {
+        const bool taken = regs.readPred(op.src0);
+        if (profile_) {
+            const u64 key = profile_key(frame.func, op.seqId);
+            profile_->branchExec[key]++;
+            if (taken)
+                profile_->branchTaken[key]++;
+        }
+        if (taken) {
+            CodeRef ref = CodeRef::decode(regs.read(op.src1));
+            panic_if_not(ref.kind == CodeRef::Kind::Block,
+                         "BR to non-block ref");
+            enterBlock(frame, ref.block);
+            return;
+        }
+        break;
+      }
+      case Opcode::BRU: {
+        CodeRef ref = CodeRef::decode(regs.read(op.src0));
+        panic_if_not(ref.kind == CodeRef::Kind::Block, "BRU to non-block ref");
+        enterBlock(frame, ref.block);
+        return;
+      }
+      case Opcode::CALL: {
+        CodeRef ref = CodeRef::decode(regs.read(op.src0));
+        panic_if_not(ref.kind == CodeRef::Kind::Function,
+                     "CALL to non-function ref");
+        fatal_if_not(stack_.size() < 512, "call stack overflow (recursion?)");
+        const Function &callee = prog_.function(ref.func);
+        Frame callee_frame;
+        callee_frame.func = ref.func;
+        // Marshal arguments r1..rN.
+        for (u16 a = 1; a <= callee.numArgs; ++a)
+            callee_frame.regs.write(gpr(a), regs.read(gpr(a)));
+        frame.opIdx++; // return past the CALL
+        stack_.push_back(std::move(callee_frame));
+        enterBlock(stack_.back(), 0);
+        return;
+      }
+      case Opcode::RET: {
+        fatal_if_not(stack_.size() > 1, "RET from the outermost frame");
+        const Function &callee_fn = prog_.function(frame.func);
+        u64 result = 0;
+        if (callee_fn.returnsValue)
+            result = regs.read(gpr(0));
+        const bool returns_value = callee_fn.returnsValue;
+        stack_.pop_back();
+        if (returns_value)
+            stack_.back().regs.write(gpr(0), result);
+        return;
+      }
+      case Opcode::HALT:
+        exitValue_ = regs.read(op.src0);
+        halted_ = true;
+        return;
+
+      default:
+        panic("interpreter: sequential programs cannot execute ", op.op);
+    }
+
+    frame.opIdx++;
+}
+
+InterpResult
+Interpreter::run(u64 max_ops)
+{
+    while (!halted_) {
+        fatal_if_not(dynamicOps_ < max_ops,
+                     "interpreter exceeded ", max_ops, " operations");
+        step();
+    }
+    return InterpResult{exitValue_, dynamicOps_};
+}
+
+GoldenRun
+run_golden(const Program &prog, u64 max_ops)
+{
+    GoldenRun golden;
+    golden.memory = std::make_unique<MemoryImage>();
+    golden.memory->loadProgram(prog);
+    Interpreter interp(prog, *golden.memory, &golden.profile);
+    golden.result = interp.run(max_ops);
+    return golden;
+}
+
+} // namespace voltron

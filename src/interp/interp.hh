@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Sequential reference interpreter (golden model).
+ *
+ * Executes a sequential Voltron IR program exactly — every compiled
+ * multicore configuration must reproduce this run's final memory state
+ * and exit value. Optionally gathers the Profile the compiler consumes
+ * (attach a profile cache to estimate per-load miss rates).
+ */
+
+#ifndef VOLTRON_INTERP_INTERP_HH_
+#define VOLTRON_INTERP_INTERP_HH_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/profile.hh"
+#include "interp/regfile.hh"
+#include "ir/cfg.hh"
+#include "ir/dom.hh"
+#include "ir/function.hh"
+#include "ir/loops.hh"
+#include "mem/cache.hh"
+#include "mem/memimage.hh"
+
+namespace voltron {
+
+/** Result of a completed interpretation. */
+struct InterpResult
+{
+    u64 exitValue = 0;
+    u64 dynamicOps = 0;
+};
+
+/** The golden-model interpreter. */
+class Interpreter
+{
+  public:
+    /**
+     * @param prog The (verified, sequential) program. Must outlive the
+     *             interpreter.
+     * @param mem  Architectural memory; the program's data segment should
+     *             already be loaded (see MemoryImage::loadProgram).
+     * @param profile If non-null, gather a profile into it.
+     */
+    Interpreter(const Program &prog, MemoryImage &mem,
+                Profile *profile = nullptr);
+    ~Interpreter();
+
+    /**
+     * Run to HALT. @p max_ops bounds runaway programs (fatal on
+     * exhaustion).
+     */
+    InterpResult run(u64 max_ops = 500'000'000);
+
+  private:
+    struct LoopActivation
+    {
+        int loopIdx;
+        u64 iteration = 0;
+        /** addr>>3 -> (iteration of last access, any write seen there). */
+        std::unordered_map<u64, std::pair<u64, bool>> touched;
+    };
+
+    struct Frame
+    {
+        FuncId func;
+        BlockId block = 0;
+        size_t opIdx = 0;
+        RegFile regs;
+        std::vector<LoopActivation> activeLoops;
+    };
+
+    /** Cached per-function analyses for loop-aware profiling. */
+    struct FuncAnalysis
+    {
+        std::unique_ptr<Cfg> cfg;
+        std::unique_ptr<DomTree> dom;
+        std::unique_ptr<LoopForest> loops;
+    };
+
+    const Program &prog_;
+    MemoryImage &mem_;
+    Profile *profile_;
+    std::vector<Frame> stack_;
+    std::vector<FuncAnalysis> analyses_;
+    CacheArray profileCache_;
+    u64 dynamicOps_ = 0;
+    bool halted_ = false;
+    u64 exitValue_ = 0;
+
+    const FuncAnalysis &analysis(FuncId func);
+    void enterBlock(Frame &frame, BlockId block);
+    void profileMemAccess(Frame &frame, const Operation &op, Addr addr);
+    void step();
+};
+
+/**
+ * Convenience wrapper: load @p prog into a fresh memory, run, and return
+ * (result, memory, profile).
+ */
+struct GoldenRun
+{
+    InterpResult result;
+    std::unique_ptr<MemoryImage> memory;
+    Profile profile;
+};
+
+GoldenRun run_golden(const Program &prog, u64 max_ops = 500'000'000);
+
+} // namespace voltron
+
+#endif // VOLTRON_INTERP_INTERP_HH_

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Execution profile gathered by the reference interpreter.
+ *
+ * The compiler consumes this exactly as the paper's compiler consumes
+ * Trimaran profiles: branch bias for layout decisions, per-load miss
+ * rates for eBUG edge weights, block counts for region weighting, and
+ * the per-loop cross-iteration-dependence observation that defines
+ * *statistical DOALL* loops.
+ */
+
+#ifndef VOLTRON_INTERP_PROFILE_HH_
+#define VOLTRON_INTERP_PROFILE_HH_
+
+#include <unordered_map>
+
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Key helpers: (function, local id) packed into a u64. */
+inline u64
+profile_key(FuncId func, u64 local)
+{
+    return (static_cast<u64>(func) << 32) | local;
+}
+
+/** Profile of one natural loop (keyed by function + header block). */
+struct LoopProfile
+{
+    u64 activations = 0;    //!< times the loop was entered from outside
+    u64 totalIterations = 0;
+    bool crossIterDep = false; //!< cross-iteration memory dependence seen
+    u64 dynamicOps = 0;        //!< dynamic ops executed inside the loop
+};
+
+/** Whole-program profile. */
+struct Profile
+{
+    /** Dynamic execution count per block: key (func, block). */
+    std::unordered_map<u64, u64> blockCount;
+
+    /** Branch execution/taken counts: key (func, seqId of the BR). */
+    std::unordered_map<u64, u64> branchExec, branchTaken;
+
+    /** Memory access/miss counts: key (func, seqId of the LOAD/STORE). */
+    std::unordered_map<u64, u64> memAccess, memMiss;
+
+    /** Loop profiles: key (func, header block). */
+    std::unordered_map<u64, LoopProfile> loops;
+
+    /** Total dynamic operations executed. */
+    u64 dynamicOps = 0;
+
+    double
+    missRate(FuncId func, u32 seq_id) const
+    {
+        auto a = memAccess.find(profile_key(func, seq_id));
+        if (a == memAccess.end() || a->second == 0)
+            return 0.0;
+        auto m = memMiss.find(profile_key(func, seq_id));
+        const u64 misses = m == memMiss.end() ? 0 : m->second;
+        return static_cast<double>(misses) / static_cast<double>(a->second);
+    }
+
+    double
+    takenRate(FuncId func, u32 seq_id) const
+    {
+        auto e = branchExec.find(profile_key(func, seq_id));
+        if (e == branchExec.end() || e->second == 0)
+            return 0.0;
+        auto t = branchTaken.find(profile_key(func, seq_id));
+        const u64 taken = t == branchTaken.end() ? 0 : t->second;
+        return static_cast<double>(taken) / static_cast<double>(e->second);
+    }
+
+    u64
+    blockExecs(FuncId func, BlockId block) const
+    {
+        auto it = blockCount.find(profile_key(func, block));
+        return it == blockCount.end() ? 0 : it->second;
+    }
+
+    const LoopProfile *
+    loop(FuncId func, BlockId header) const
+    {
+        auto it = loops.find(profile_key(func, header));
+        return it == loops.end() ? nullptr : &it->second;
+    }
+
+    /** Mean trip count of a loop (0 when never activated). */
+    double
+    avgTripCount(FuncId func, BlockId header) const
+    {
+        const LoopProfile *lp = loop(func, header);
+        if (!lp || lp->activations == 0)
+            return 0.0;
+        return static_cast<double>(lp->totalIterations) /
+               static_cast<double>(lp->activations);
+    }
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_INTERP_PROFILE_HH_

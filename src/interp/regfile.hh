@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Auto-growing register file holding all four register classes.
+ */
+
+#ifndef VOLTRON_INTERP_REGFILE_HH_
+#define VOLTRON_INTERP_REGFILE_HH_
+
+#include <vector>
+
+#include "isa/reg.hh"
+#include "support/error.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** One register frame: raw 64-bit storage per class, grown on demand. */
+class RegFile
+{
+  public:
+    u64
+    read(RegId reg) const
+    {
+        panic_if_not(reg.valid(), "read of invalid register");
+        const auto &bank = bankFor(reg.cls);
+        return reg.idx < bank.size() ? bank[reg.idx] : 0;
+    }
+
+    void
+    write(RegId reg, u64 value)
+    {
+        panic_if_not(reg.valid(), "write of invalid register");
+        auto &bank = bankFor(reg.cls);
+        if (reg.idx >= bank.size())
+            bank.resize(reg.idx + 1, 0);
+        bank[reg.idx] = reg.cls == RegClass::PR ? (value & 1) : value;
+    }
+
+    bool readPred(RegId reg) const { return read(reg) != 0; }
+
+  private:
+    std::vector<u64> gpr_, fpr_, pr_, btr_;
+
+    const std::vector<u64> &
+    bankFor(RegClass cls) const
+    {
+        switch (cls) {
+          case RegClass::GPR: return gpr_;
+          case RegClass::FPR: return fpr_;
+          case RegClass::PR: return pr_;
+          case RegClass::BTR: return btr_;
+          default: panic("bad register class");
+        }
+    }
+
+    std::vector<u64> &
+    bankFor(RegClass cls)
+    {
+        return const_cast<std::vector<u64> &>(
+            static_cast<const RegFile *>(this)->bankFor(cls));
+    }
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_INTERP_REGFILE_HH_

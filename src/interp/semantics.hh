@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Scalar operation semantics shared by the reference interpreter and the
+ * multicore simulator, so both engines compute identical values.
+ */
+
+#ifndef VOLTRON_INTERP_SEMANTICS_HH_
+#define VOLTRON_INTERP_SEMANTICS_HH_
+
+#include <bit>
+
+#include "isa/opcode.hh"
+#include "support/error.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Integer ALU semantics: result of `a OP b` (b already imm-resolved). */
+inline u64
+eval_int(Opcode op, u64 a, u64 b)
+{
+    const i64 sa = static_cast<i64>(a);
+    const i64 sb = static_cast<i64>(b);
+    switch (op) {
+      case Opcode::ADD: return a + b;
+      case Opcode::SUB: return a - b;
+      case Opcode::MUL: return a * b;
+      case Opcode::DIV:
+        fatal_if_not(sb != 0, "integer division by zero");
+        return static_cast<u64>(sa / sb);
+      case Opcode::REM:
+        fatal_if_not(sb != 0, "integer remainder by zero");
+        return static_cast<u64>(sa % sb);
+      case Opcode::AND: return a & b;
+      case Opcode::OR: return a | b;
+      case Opcode::XOR: return a ^ b;
+      case Opcode::SHL: return a << (b & 63);
+      case Opcode::SHR: return a >> (b & 63);
+      case Opcode::SRA: return static_cast<u64>(sa >> (b & 63));
+      case Opcode::MIN: return static_cast<u64>(sa < sb ? sa : sb);
+      case Opcode::MAX: return static_cast<u64>(sa > sb ? sa : sb);
+      case Opcode::MOV: return a;
+      default: panic("eval_int: not an integer ALU op: ", op);
+    }
+}
+
+/** Integer compare semantics. */
+inline bool
+eval_cmp(CmpCond cond, u64 a, u64 b)
+{
+    const i64 sa = static_cast<i64>(a);
+    const i64 sb = static_cast<i64>(b);
+    switch (cond) {
+      case CmpCond::EQ: return a == b;
+      case CmpCond::NE: return a != b;
+      case CmpCond::LT: return sa < sb;
+      case CmpCond::LE: return sa <= sb;
+      case CmpCond::GT: return sa > sb;
+      case CmpCond::GE: return sa >= sb;
+      case CmpCond::ULT: return a < b;
+      case CmpCond::ULE: return a <= b;
+      case CmpCond::UGT: return a > b;
+      case CmpCond::UGE: return a >= b;
+      default: panic("eval_cmp: bad condition");
+    }
+}
+
+/** FP ALU semantics on raw double bits. */
+inline u64
+eval_fp(Opcode op, u64 a_bits, u64 b_bits)
+{
+    const double a = std::bit_cast<double>(a_bits);
+    const double b = std::bit_cast<double>(b_bits);
+    double result;
+    switch (op) {
+      case Opcode::FADD: result = a + b; break;
+      case Opcode::FSUB: result = a - b; break;
+      case Opcode::FMUL: result = a * b; break;
+      case Opcode::FDIV: result = a / b; break;
+      case Opcode::FMOV: result = a; break;
+      default: panic("eval_fp: not an FP ALU op: ", op);
+    }
+    return std::bit_cast<u64>(result);
+}
+
+/** FP compare semantics on raw double bits. */
+inline bool
+eval_fcmp(CmpCond cond, u64 a_bits, u64 b_bits)
+{
+    const double a = std::bit_cast<double>(a_bits);
+    const double b = std::bit_cast<double>(b_bits);
+    switch (cond) {
+      case CmpCond::EQ: return a == b;
+      case CmpCond::NE: return a != b;
+      case CmpCond::LT: return a < b;
+      case CmpCond::LE: return a <= b;
+      case CmpCond::GT: return a > b;
+      case CmpCond::GE: return a >= b;
+      default: panic("eval_fcmp: bad FP condition");
+    }
+}
+
+} // namespace voltron
+
+#endif // VOLTRON_INTERP_SEMANTICS_HH_

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Basic blocks of the Voltron IR.
+ *
+ * A block holds a straight-line operation list. Control transfers happen
+ * through explicit BR/BRU/CALL/RET/HALT operations inside the list; if the
+ * list does not end in an unconditional transfer, control falls through to
+ * the block named by @ref BasicBlock::fallthrough. Branch targets are
+ * static: every BTR consumed by a BR/BRU inside a block must be defined by
+ * a PBR earlier in the same block (checked by the verifier), which lets
+ * analyses recover the CFG without data-flow over BTR values.
+ */
+
+#ifndef VOLTRON_IR_BLOCK_HH_
+#define VOLTRON_IR_BLOCK_HH_
+
+#include <string>
+#include <vector>
+
+#include "isa/operation.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** One basic block. */
+struct BasicBlock
+{
+    BlockId id = kNoBlock;
+    std::string name;
+
+    /** Operation list, including PBR/CMP/BR terminator sequences. */
+    std::vector<Operation> ops;
+
+    /** Block control falls into when no transfer is taken (or kNoBlock). */
+    BlockId fallthrough = kNoBlock;
+
+    /** Compiler region this block belongs to (kNoRegion before analysis). */
+    RegionId region = kNoRegion;
+
+    /**
+     * Issue cycle of each op relative to block entry, parallel to @ref ops.
+     * Empty for unscheduled (sequential-issue) blocks; filled by the
+     * coupled-mode scheduler.
+     */
+    std::vector<u32> issueCycles;
+
+    /**
+     * Total schedule length in cycles for coupled-mode lockstep execution
+     * (0 when unscheduled). Equal across cores for mirrored blocks.
+     */
+    u32 schedLen = 0;
+
+    /**
+     * True when the block carries a coupled-mode schedule. Keyed on
+     * schedLen (not issueCycles) so that a core with zero ops in a
+     * lockstep block still counts as scheduled.
+     */
+    bool scheduled() const { return schedLen > 0; }
+
+    /** Append an operation, returning its index. */
+    size_t
+    append(const Operation &op)
+    {
+        ops.push_back(op);
+        return ops.size() - 1;
+    }
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_IR_BLOCK_HH_

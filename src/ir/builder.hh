@@ -1,0 +1,207 @@
+/**
+ * @file
+ * ProgramBuilder — fluent construction of structured Voltron IR programs.
+ *
+ * The builder is the "front end" of this reproduction: workload generators
+ * and tests use it in place of a C compiler. It stamps every emitted op
+ * with a unique seqId (profile identity) and every memory op with the
+ * alias symbol of the data object it addresses. The structured-control
+ * helpers (counted loops, if/else) emit the canonical shapes that the
+ * compiler analyses (CountedLoopInfo, region formation) recognise.
+ */
+
+#ifndef VOLTRON_IR_BUILDER_HH_
+#define VOLTRON_IR_BUILDER_HH_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+#include "isa/operation.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Base address of the global data segment. */
+inline constexpr Addr kDataBase = 0x100000;
+
+/** Handles returned by ProgramBuilder::beginCountedLoop. */
+struct LoopHandles
+{
+    BlockId header = kNoBlock;
+    BlockId bodyEntry = kNoBlock;
+    BlockId latch = kNoBlock;
+    BlockId exit = kNoBlock;
+    RegId ivar;
+};
+
+/** Handles returned by ProgramBuilder::beginIf. */
+struct IfHandles
+{
+    BlockId thenBlock = kNoBlock;
+    BlockId elseBlock = kNoBlock;
+    BlockId join = kNoBlock;
+};
+
+/** Fluent builder for Programs. */
+class ProgramBuilder
+{
+  public:
+    explicit ProgramBuilder(const std::string &program_name);
+
+    /** Finish and take the program (builder becomes unusable). */
+    Program take();
+
+    const Program &program() const { return prog_; }
+
+    // --- Functions and blocks -------------------------------------------
+
+    /** Start a new function; the entry block is created and selected. */
+    FuncId beginFunction(const std::string &name, u16 num_args = 0,
+                         bool returns_value = false);
+
+    /** Finish the current function (no structural changes, bookkeeping). */
+    void endFunction();
+
+    /** Create a new (unlinked) block in the current function. */
+    BlockId newBlock(const std::string &name = "");
+
+    /** Select the block subsequent emissions append to. */
+    void setBlock(BlockId b);
+
+    /** Currently selected block id. */
+    BlockId currentBlock() const { return curBlock_; }
+
+    /** Current function (must be inside beginFunction/endFunction). */
+    Function &fn();
+
+    /** Set the fallthrough edge of the current block and select @p next. */
+    void fallthroughTo(BlockId next);
+
+    // --- Registers -------------------------------------------------------
+
+    RegId newGpr() { return fn().freshReg(RegClass::GPR); }
+    RegId newFpr() { return fn().freshReg(RegClass::FPR); }
+    RegId newPr() { return fn().freshReg(RegClass::PR); }
+    RegId newBtr() { return fn().freshReg(RegClass::BTR); }
+
+    // --- Data objects ----------------------------------------------------
+
+    /**
+     * Allocate @p size bytes in the data segment under a fresh alias
+     * symbol; returns the object's base address. @p align must be a
+     * power of two.
+     */
+    Addr allocData(const std::string &name, u64 size, u64 align = 8);
+
+    /** Allocate and initialise an array of i64. */
+    Addr allocArrayI64(const std::string &name,
+                       const std::vector<i64> &values);
+
+    /** Allocate and initialise an array of doubles. */
+    Addr allocArrayF64(const std::string &name,
+                       const std::vector<double> &values);
+
+    /** Alias symbol of the most recently allocated data object. */
+    u32 lastSymbol() const { return lastSymbol_; }
+
+    /** Alias symbol of the named object; fatal if absent. */
+    u32 symbolOf(const std::string &name) const;
+
+    /** Base address of the named object; fatal if absent. */
+    Addr addrOf(const std::string &name) const;
+
+    // --- Emission --------------------------------------------------------
+
+    /** Append @p op to the current block (stamping seqId); returns op.dst. */
+    RegId emit(Operation op);
+
+    /** Emit a load from @p sym's object: dst = mem[base + off]. */
+    RegId emitLoad(RegId dst, RegId base, i64 off, u32 sym, u8 size = 8,
+                   bool sign = false);
+
+    /** Emit a store to @p sym's object: mem[base + off] = value. */
+    void emitStore(RegId base, i64 off, RegId value, u32 sym, u8 size = 8);
+
+    /** Emit an FP load from @p sym's object. */
+    RegId emitLoadF(RegId dst, RegId base, i64 off, u32 sym);
+
+    /** Emit an FP store to @p sym's object. */
+    void emitStoreF(RegId base, i64 off, RegId value, u32 sym);
+
+    /** Emit `movi dst, value` into a fresh GPR. */
+    RegId emitImm(i64 value);
+
+    /**
+     * Emit a call to function @p callee with up to 7 argument registers.
+     * Returns the GPR holding the return value (r0 copy) or invalid.
+     */
+    RegId emitCall(FuncId callee, const std::vector<RegId> &args);
+
+    /** Emit `halt` with the given exit-value register. */
+    void emitHalt(RegId exit_value);
+
+    /** Emit a conditional branch to @p target on @p pred. */
+    void emitBranch(RegId pred, BlockId target);
+
+    /** Emit an unconditional branch to @p target. */
+    void emitJump(BlockId target);
+
+    // --- Structured control ---------------------------------------------
+
+    /**
+     * Open a canonical counted loop `for (ivar = start; ivar < bound;
+     * ivar += step)`. Creates header/body/latch/exit blocks, emits the
+     * ivar initialisation in the current block, and selects the body
+     * block. @p bound may be a register or an immediate (boundReg valid
+     * wins). The caller emits the body, then calls endCountedLoop.
+     */
+    LoopHandles beginCountedLoop(RegId ivar, i64 start, RegId bound_reg,
+                                 i64 bound_imm, i64 step,
+                                 const std::string &tag = "loop");
+
+    /** Counted loop with immediate start and bound. */
+    LoopHandles forLoop(RegId ivar, i64 start, i64 bound, i64 step = 1,
+                        const std::string &tag = "loop");
+
+    /** Counted loop with register bound. */
+    LoopHandles forLoopReg(RegId ivar, i64 start, RegId bound, i64 step = 1,
+                           const std::string &tag = "loop");
+
+    /** Close a counted loop: link the body into the latch, select exit. */
+    void endCountedLoop(const LoopHandles &loop);
+
+    /**
+     * Open an if/else diamond on @p pred (taken = then side). Selects the
+     * then-block. Use elseBranch()/endIf() to move between arms.
+     */
+    IfHandles beginIf(RegId pred, bool with_else = false,
+                      const std::string &tag = "if");
+
+    /** Switch emission to the else arm. */
+    void elseBranch(const IfHandles &handles);
+
+    /** Close the diamond: both arms jump to join; join selected. */
+    void endIf(const IfHandles &handles);
+
+  private:
+    Program prog_;
+    FuncId curFunc_ = kNoFunc;
+    BlockId curBlock_ = kNoBlock;
+    Addr dataCursor_ = kDataBase;
+    u32 nextSymbol_ = 1;
+    u32 nextSeqId_ = 1;
+    u32 lastSymbol_ = 0;
+    bool taken_ = false;
+
+    /** Step of each open counted loop, keyed by header block. */
+    std::map<BlockId, i64> pendingStep_;
+
+    BasicBlock &bb();
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_IR_BUILDER_HH_

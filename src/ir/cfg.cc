@@ -1,0 +1,102 @@
+#include "ir/cfg.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+BlockId
+resolve_branch_target(const BasicBlock &bb, size_t op_idx)
+{
+    const Operation &branch = bb.ops[op_idx];
+    RegId target_btr =
+        branch.op == Opcode::BRU ? branch.src0 : branch.src1;
+    for (size_t i = op_idx; i-- > 0;) {
+        const Operation &op = bb.ops[i];
+        if (op.op == Opcode::PBR && op.dst == target_btr) {
+            CodeRef ref = op.codeRef();
+            if (ref.kind == CodeRef::Kind::Block)
+                return ref.block;
+            return kNoBlock;
+        }
+    }
+    return kNoBlock;
+}
+
+Cfg::Cfg(const Function &fn) : fn_(&fn)
+{
+    const size_t n = fn.blocks.size();
+    flow_.resize(n);
+
+    for (BlockId b = 0; b < n; ++b) {
+        const BasicBlock &bb = fn.blocks[b];
+        BlockFlow &bf = flow_[b];
+        for (size_t i = 0; i < bb.ops.size(); ++i) {
+            const Operation &op = bb.ops[i];
+            switch (op.op) {
+              case Opcode::BR:
+              case Opcode::BRU: {
+                BlockId target = resolve_branch_target(bb, i);
+                panic_if_not(target != kNoBlock,
+                             "branch in ", bb.name,
+                             " has no block-local PBR target");
+                bf.succs.push_back(target);
+                if (op.op == Opcode::BRU)
+                    bf.endsUnconditional = true;
+                break;
+              }
+              case Opcode::RET:
+              case Opcode::HALT:
+              case Opcode::SLEEP:
+                bf.exits = true;
+                bf.endsUnconditional = true;
+                break;
+              default:
+                break;
+            }
+        }
+        if (!bf.endsUnconditional && bb.fallthrough != kNoBlock)
+            bf.succs.push_back(bb.fallthrough);
+
+        // Dedup while preserving order.
+        std::vector<BlockId> unique;
+        for (BlockId s : bf.succs)
+            if (std::find(unique.begin(), unique.end(), s) == unique.end())
+                unique.push_back(s);
+        bf.succs = std::move(unique);
+    }
+
+    for (BlockId b = 0; b < n; ++b)
+        for (BlockId s : flow_[b].succs)
+            flow_[s].preds.push_back(b);
+
+    // Reverse postorder via iterative DFS from the entry.
+    rpoIndex_.assign(n, kNoBlock);
+    std::vector<u8> state(n, 0); // 0 unvisited, 1 on stack, 2 done
+    std::vector<std::pair<BlockId, size_t>> stack;
+    std::vector<BlockId> postorder;
+    if (n > 0) {
+        stack.emplace_back(0, 0);
+        state[0] = 1;
+        while (!stack.empty()) {
+            auto &[b, next] = stack.back();
+            if (next < flow_[b].succs.size()) {
+                BlockId s = flow_[b].succs[next++];
+                if (state[s] == 0) {
+                    state[s] = 1;
+                    stack.emplace_back(s, 0);
+                }
+            } else {
+                postorder.push_back(b);
+                state[b] = 2;
+                stack.pop_back();
+            }
+        }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (u32 i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[rpo_[i]] = i;
+}
+
+} // namespace voltron

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * CFG recovery: successors, predecessors, and static branch targets.
+ *
+ * Branch targets in Voltron IR are static because every BTR consumed by a
+ * BR/BRU is defined by a PBR earlier in the same block (verified). This
+ * module recovers those targets and the block-level CFG used by all
+ * analyses.
+ */
+
+#ifndef VOLTRON_IR_CFG_HH_
+#define VOLTRON_IR_CFG_HH_
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace voltron {
+
+/** Static control-flow facts about one block. */
+struct BlockFlow
+{
+    /** Successor block ids (branch targets then fallthrough), deduped. */
+    std::vector<BlockId> succs;
+
+    /** Predecessor block ids. */
+    std::vector<BlockId> preds;
+
+    /** True if the block ends in RET or HALT (function/program exit). */
+    bool exits = false;
+
+    /** True if an unconditional transfer terminates the block. */
+    bool endsUnconditional = false;
+};
+
+/** CFG of one function. */
+class Cfg
+{
+  public:
+    explicit Cfg(const Function &fn);
+
+    const Function &function() const { return *fn_; }
+    size_t numBlocks() const { return flow_.size(); }
+
+    const BlockFlow &flow(BlockId b) const { return flow_.at(b); }
+    const std::vector<BlockId> &succs(BlockId b) const
+    {
+        return flow_.at(b).succs;
+    }
+    const std::vector<BlockId> &preds(BlockId b) const
+    {
+        return flow_.at(b).preds;
+    }
+
+    /** Blocks in reverse postorder from the entry. */
+    const std::vector<BlockId> &rpo() const { return rpo_; }
+
+    /** Position of each block in the RPO (index into rpo()). */
+    u32 rpoIndex(BlockId b) const { return rpoIndex_.at(b); }
+
+    /** True if @p b is reachable from the entry. */
+    bool reachable(BlockId b) const { return rpoIndex_.at(b) != kNoBlock; }
+
+  private:
+    const Function *fn_;
+    std::vector<BlockFlow> flow_;
+    std::vector<BlockId> rpo_;
+    std::vector<u32> rpoIndex_;
+};
+
+/**
+ * Resolve the static branch target of the BR/BRU at @p op_idx in @p bb by
+ * scanning backwards for the defining PBR. Returns kNoBlock if the BTR is
+ * not block-locally defined (verifier rejects such code).
+ */
+BlockId resolve_branch_target(const BasicBlock &bb, size_t op_idx);
+
+} // namespace voltron
+
+#endif // VOLTRON_IR_CFG_HH_

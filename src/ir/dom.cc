@@ -1,0 +1,61 @@
+#include "ir/dom.hh"
+
+#include "support/error.hh"
+
+namespace voltron {
+
+DomTree::DomTree(const Cfg &cfg) : cfg_(&cfg)
+{
+    const size_t n = cfg.numBlocks();
+    idom_.assign(n, kNoBlock);
+    if (n == 0)
+        return;
+
+    const auto &rpo = cfg.rpo();
+    idom_[0] = 0;
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (cfg.rpoIndex(a) > cfg.rpoIndex(b))
+                a = idom_[a];
+            while (cfg.rpoIndex(b) > cfg.rpoIndex(a))
+                b = idom_[b];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b : rpo) {
+            if (b == 0)
+                continue;
+            BlockId new_idom = kNoBlock;
+            for (BlockId p : cfg.preds(b)) {
+                if (!cfg.reachable(p) || idom_[p] == kNoBlock)
+                    continue;
+                new_idom = new_idom == kNoBlock ? p : intersect(p, new_idom);
+            }
+            if (new_idom != kNoBlock && idom_[b] != new_idom) {
+                idom_[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+}
+
+bool
+DomTree::dominates(BlockId a, BlockId b) const
+{
+    panic_if_not(cfg_->reachable(a) && cfg_->reachable(b),
+                 "dominates() on unreachable block");
+    while (true) {
+        if (a == b)
+            return true;
+        if (b == 0)
+            return false;
+        b = idom_[b];
+    }
+}
+
+} // namespace voltron

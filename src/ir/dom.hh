@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Dominator tree (Cooper-Harvey-Kennedy iterative algorithm).
+ */
+
+#ifndef VOLTRON_IR_DOM_HH_
+#define VOLTRON_IR_DOM_HH_
+
+#include <vector>
+
+#include "ir/cfg.hh"
+
+namespace voltron {
+
+/** Dominator information for one function. */
+class DomTree
+{
+  public:
+    explicit DomTree(const Cfg &cfg);
+
+    /** Immediate dominator of @p b (entry's idom is itself). */
+    BlockId idom(BlockId b) const { return idom_.at(b); }
+
+    /** True if @p a dominates @p b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+  private:
+    const Cfg *cfg_;
+    std::vector<BlockId> idom_;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_IR_DOM_HH_

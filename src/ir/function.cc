@@ -1,0 +1,43 @@
+#include "ir/function.hh"
+
+#include "ir/cfg.hh"
+
+namespace voltron {
+
+void
+print_function(std::ostream &os, const Function &fn)
+{
+    os << "func f" << fn.id << " " << fn.name << "(" << fn.numArgs
+       << " args)" << (fn.returnsValue ? " -> r0" : "") << "\n";
+    for (const BasicBlock &bb : fn.blocks) {
+        os << "  bb" << bb.id << " <" << bb.name << ">";
+        if (bb.region != kNoRegion)
+            os << " region=" << bb.region;
+        if (bb.scheduled())
+            os << " schedLen=" << bb.schedLen;
+        os << ":\n";
+        for (size_t i = 0; i < bb.ops.size(); ++i) {
+            os << "    ";
+            if (bb.scheduled())
+                os << "[" << bb.issueCycles[i] << "] ";
+            os << bb.ops[i] << "\n";
+        }
+        if (bb.fallthrough != kNoBlock)
+            os << "    -> fallthrough bb" << bb.fallthrough << "\n";
+    }
+}
+
+void
+print_program(std::ostream &os, const Program &prog)
+{
+    os << "program " << prog.name << "\n";
+    for (const auto &obj : prog.data) {
+        os << "  data " << obj.name << " @0x" << std::hex << obj.base
+           << std::dec << " size=" << obj.size << " sym=" << obj.symbol
+           << "\n";
+    }
+    for (const Function &fn : prog.functions)
+        print_function(os, fn);
+}
+
+} // namespace voltron

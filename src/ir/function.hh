@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Functions and whole programs of the Voltron IR.
+ */
+
+#ifndef VOLTRON_IR_FUNCTION_HH_
+#define VOLTRON_IR_FUNCTION_HH_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ir/block.hh"
+#include "isa/reg.hh"
+#include "support/error.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/**
+ * A function: a CFG of basic blocks with entry at block 0.
+ *
+ * Calling convention (register-stack style, see DESIGN.md): integer
+ * arguments arrive in GPR r1..r(numArgs); the return value, if any, is
+ * left in GPR r0. Each call activates a fresh register frame, so virtual
+ * register numbering is function-scoped.
+ */
+struct Function
+{
+    FuncId id = kNoFunc;
+    std::string name;
+    std::vector<BasicBlock> blocks;
+    u16 numArgs = 0;
+    bool returnsValue = false;
+
+    /** Next fresh virtual register index per class. */
+    u16 nextGpr = 16, nextFpr = 16, nextPr = 16, nextBtr = 16;
+
+    BasicBlock &block(BlockId b) { return blocks.at(b); }
+    const BasicBlock &block(BlockId b) const { return blocks.at(b); }
+
+    /** Create a new empty block and return its id. */
+    BlockId
+    addBlock(const std::string &block_name = "")
+    {
+        BasicBlock bb;
+        bb.id = static_cast<BlockId>(blocks.size());
+        bb.name = block_name.empty() ? ("bb" + std::to_string(bb.id))
+                                     : block_name;
+        blocks.push_back(std::move(bb));
+        return blocks.back().id;
+    }
+
+    /** Fresh virtual register of class @p cls. */
+    RegId
+    freshReg(RegClass cls)
+    {
+        switch (cls) {
+          case RegClass::GPR: return gpr(nextGpr++);
+          case RegClass::FPR: return fpr(nextFpr++);
+          case RegClass::PR: return pr(nextPr++);
+          case RegClass::BTR: return btr(nextBtr++);
+          default: panic("freshReg: bad class");
+        }
+    }
+};
+
+/** A named, initialised data object in the global data segment. */
+struct DataObject
+{
+    std::string name;
+    Addr base = 0;
+    u64 size = 0;   //!< bytes
+    u32 symbol = 0; //!< alias symbol id stamped on memory ops touching it
+    std::vector<u8> init; //!< initial bytes (may be shorter than size)
+};
+
+/** A whole program: functions + data segment. Entry is function 0. */
+struct Program
+{
+    std::string name;
+    std::vector<Function> functions;
+    std::vector<DataObject> data;
+    std::map<std::string, FuncId> funcByName;
+
+    Function &function(FuncId f) { return functions.at(f); }
+    const Function &function(FuncId f) const { return functions.at(f); }
+
+    /** Create a new function and return a reference (stable until next add). */
+    Function &
+    addFunction(const std::string &fname, u16 num_args = 0,
+                bool returns_value = false)
+    {
+        Function fn;
+        fn.id = static_cast<FuncId>(functions.size());
+        fn.name = fname;
+        fn.numArgs = num_args;
+        fn.returnsValue = returns_value;
+        functions.push_back(std::move(fn));
+        funcByName[fname] = functions.back().id;
+        return functions.back();
+    }
+
+    /** Look up a function id by name; fatal if absent. */
+    FuncId
+    findFunction(const std::string &fname) const
+    {
+        auto it = funcByName.find(fname);
+        fatal_if_not(it != funcByName.end(), "no function named ", fname);
+        return it->second;
+    }
+};
+
+/** Pretty-print a function (for debugging and golden tests). */
+void print_function(std::ostream &os, const Function &fn);
+
+/** Pretty-print a whole program. */
+void print_program(std::ostream &os, const Program &prog);
+
+} // namespace voltron
+
+#endif // VOLTRON_IR_FUNCTION_HH_

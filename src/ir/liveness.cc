@@ -1,0 +1,105 @@
+#include "ir/liveness.hh"
+
+#include "ir/cfg.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+OpEffects
+op_effects(const Program &prog, const Function &fn, const BasicBlock &bb,
+           size_t op_idx)
+{
+    const Operation &op = bb.ops[op_idx];
+    OpEffects fx;
+    fx.uses = op.uses();
+    fx.def = op.def();
+
+    switch (op.op) {
+      case Opcode::CALL: {
+        // Resolve the callee to expose argument/return registers.
+        for (size_t j = op_idx; j-- > 0;) {
+            const Operation &def = bb.ops[j];
+            if (def.op == Opcode::PBR && def.dst == op.src0) {
+                CodeRef ref = def.codeRef();
+                panic_if_not(ref.kind == CodeRef::Kind::Function,
+                             "call PBR is not a function ref");
+                const Function &callee = prog.function(ref.func);
+                for (u16 a = 1; a <= callee.numArgs; ++a)
+                    fx.uses.push_back(gpr(a));
+                if (callee.returnsValue)
+                    fx.def = gpr(0);
+                break;
+            }
+        }
+        break;
+      }
+      case Opcode::RET:
+        if (fn.returnsValue)
+            fx.uses.push_back(gpr(0));
+        break;
+      default:
+        break;
+    }
+    return fx;
+}
+
+Liveness::Liveness(const Program &prog, const Function &fn, const Cfg &cfg)
+    : prog_(&prog), fn_(&fn)
+{
+    const size_t n = fn.blocks.size();
+    liveIn_.resize(n);
+    liveOut_.resize(n);
+
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    std::vector<std::set<RegId>> gen(n), kill(n);
+    for (BlockId b = 0; b < n; ++b) {
+        const BasicBlock &bb = fn.blocks[b];
+        for (size_t i = 0; i < bb.ops.size(); ++i) {
+            OpEffects fx = op_effects(prog, fn, bb, i);
+            for (RegId use : fx.uses)
+                if (!kill[b].count(use))
+                    gen[b].insert(use);
+            if (fx.def.valid())
+                kill[b].insert(fx.def);
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Iterate blocks backwards (reverse RPO converges fast).
+        const auto &rpo = cfg.rpo();
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            BlockId b = *it;
+            std::set<RegId> out;
+            for (BlockId s : cfg.succs(b))
+                out.insert(liveIn_[s].begin(), liveIn_[s].end());
+            std::set<RegId> in = gen[b];
+            for (RegId r : out)
+                if (!kill[b].count(r))
+                    in.insert(r);
+            if (out != liveOut_[b] || in != liveIn_[b]) {
+                liveOut_[b] = std::move(out);
+                liveIn_[b] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+}
+
+std::set<RegId>
+Liveness::liveBefore(BlockId b, size_t op_idx) const
+{
+    const BasicBlock &bb = fn_->block(b);
+    std::set<RegId> live = liveOut_.at(b);
+    for (size_t i = bb.ops.size(); i-- > op_idx;) {
+        OpEffects fx = op_effects(*prog_, *fn_, bb, i);
+        if (fx.def.valid())
+            live.erase(fx.def);
+        for (RegId use : fx.uses)
+            live.insert(use);
+    }
+    return live;
+}
+
+} // namespace voltron

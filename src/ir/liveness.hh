@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Classic backwards liveness over all four register classes.
+ *
+ * CALL ops implicitly use the argument registers r1..rN of the callee and
+ * define r0 when the callee returns a value; RET implicitly uses r0 of a
+ * value-returning function; HALT uses its exit register. This keeps the
+ * call convention visible to the analysis.
+ */
+
+#ifndef VOLTRON_IR_LIVENESS_HH_
+#define VOLTRON_IR_LIVENESS_HH_
+
+#include <set>
+#include <vector>
+
+#include "ir/cfg.hh"
+
+namespace voltron {
+
+/** Registers an op uses/defs, with the call convention made explicit. */
+struct OpEffects
+{
+    std::vector<RegId> uses;
+    RegId def;
+};
+
+/** Effective uses/defs of @p op within @p prog (resolving call targets). */
+OpEffects op_effects(const Program &prog, const Function &fn,
+                     const BasicBlock &bb, size_t op_idx);
+
+/** Per-block live-in/live-out sets. */
+class Liveness
+{
+  public:
+    Liveness(const Program &prog, const Function &fn, const Cfg &cfg);
+
+    const std::set<RegId> &liveIn(BlockId b) const { return liveIn_.at(b); }
+    const std::set<RegId> &liveOut(BlockId b) const
+    {
+        return liveOut_.at(b);
+    }
+
+    /** Registers live immediately *before* op @p op_idx of block @p b. */
+    std::set<RegId> liveBefore(BlockId b, size_t op_idx) const;
+
+  private:
+    const Program *prog_;
+    const Function *fn_;
+    std::vector<std::set<RegId>> liveIn_, liveOut_;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_IR_LIVENESS_HH_

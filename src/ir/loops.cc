@@ -1,0 +1,179 @@
+#include "ir/loops.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+LoopForest::LoopForest(const Function &fn, const Cfg &cfg, const DomTree &dom)
+{
+    const size_t n = fn.blocks.size();
+    innermost_.assign(n, -1);
+
+    // Find back edges and collect each loop's body by backwards reachability
+    // from the latch (standard natural-loop construction). Loops sharing a
+    // header merge.
+    std::vector<int> loop_of_header(n, -1);
+    for (BlockId b = 0; b < n; ++b) {
+        if (!cfg.reachable(b))
+            continue;
+        for (BlockId s : cfg.succs(b)) {
+            if (!dom.dominates(s, b))
+                continue; // not a back edge
+            int li = loop_of_header[s];
+            if (li < 0) {
+                li = static_cast<int>(loops_.size());
+                loops_.emplace_back();
+                loops_[li].header = s;
+                loops_[li].blocks.insert(s);
+                loop_of_header[s] = li;
+            }
+            Loop &loop = loops_[li];
+            loop.latches.push_back(b);
+            // Backwards walk from the latch, stopping at the header.
+            std::vector<BlockId> work{b};
+            while (!work.empty()) {
+                BlockId x = work.back();
+                work.pop_back();
+                if (loop.blocks.insert(x).second) {
+                    for (BlockId p : cfg.preds(x))
+                        work.push_back(p);
+                }
+            }
+        }
+    }
+
+    // Containment: loop A is inside loop B iff A's header is in B's blocks
+    // (and A != B). Compute parents as the smallest enclosing loop.
+    for (size_t a = 0; a < loops_.size(); ++a) {
+        size_t best = loops_.size();
+        for (size_t b = 0; b < loops_.size(); ++b) {
+            if (a == b || !loops_[b].contains(loops_[a].header))
+                continue;
+            if (loops_[b].blocks.size() == loops_[a].blocks.size())
+                continue; // identical — impossible with distinct headers
+            if (best == loops_.size() ||
+                loops_[b].blocks.size() < loops_[best].blocks.size()) {
+                best = b;
+            }
+        }
+        loops_[a].parent = best == loops_.size() ? -1 : static_cast<int>(best);
+    }
+    for (auto &loop : loops_) {
+        u32 depth = 1;
+        for (int p = loop.parent; p >= 0; p = loops_[p].parent)
+            ++depth;
+        loop.depth = depth;
+    }
+
+    // Innermost-loop map: deepest loop wins.
+    for (size_t li = 0; li < loops_.size(); ++li) {
+        for (BlockId b : loops_[li].blocks) {
+            int cur = innermost_[b];
+            if (cur < 0 || loops_[li].depth > loops_[cur].depth)
+                innermost_[b] = static_cast<int>(li);
+        }
+    }
+
+    // Exit targets.
+    for (auto &loop : loops_) {
+        for (BlockId b : loop.blocks)
+            for (BlockId s : cfg.succs(b))
+                if (!loop.contains(s))
+                    loop.exitTargets.push_back(s);
+        std::sort(loop.exitTargets.begin(), loop.exitTargets.end());
+        loop.exitTargets.erase(
+            std::unique(loop.exitTargets.begin(), loop.exitTargets.end()),
+            loop.exitTargets.end());
+    }
+
+    for (auto &loop : loops_)
+        recogniseCounted(fn, loop);
+}
+
+std::vector<int>
+LoopForest::outermost() const
+{
+    std::vector<int> result;
+    for (size_t i = 0; i < loops_.size(); ++i)
+        if (loops_[i].parent < 0)
+            result.push_back(static_cast<int>(i));
+    return result;
+}
+
+void
+LoopForest::recogniseCounted(const Function &fn, Loop &loop)
+{
+    // Canonical shape (ProgramBuilder::beginCountedLoop):
+    //   header: cmp.ge p, i, bound ; pbr b, exit ; br p, b ; fall body
+    //   latch:  add i, i, #step   ; pbr b, header ; bru b
+    if (loop.latches.size() != 1 || loop.exitTargets.size() != 1)
+        return;
+
+    const BasicBlock &header = fn.block(loop.header);
+    const BasicBlock &latch = fn.block(loop.latches[0]);
+
+    // Header: find a CMP whose predicate feeds a BR targeting the exit.
+    RegId ivar, bound_reg, pred;
+    i64 bound_imm = 0;
+    CmpCond cond{};
+    bool cmp_found = false;
+    for (const Operation &op : header.ops) {
+        if (op.op == Opcode::CMP) {
+            ivar = op.src0;
+            cond = op.cond;
+            if (op.immSrc1) {
+                bound_imm = op.imm;
+                bound_reg = RegId{};
+            } else {
+                bound_reg = op.src1;
+            }
+            pred = op.dst;
+            cmp_found = true;
+        } else if (op.op == Opcode::BR && cmp_found && op.src0 == pred) {
+            // fine — the branch consumes the compare
+        }
+    }
+    if (!cmp_found || (cond != CmpCond::GE && cond != CmpCond::LE))
+        return;
+
+    // Latch: i += step, then unconditional branch to header.
+    i64 step = 0;
+    for (const Operation &op : latch.ops) {
+        if (op.op == Opcode::ADD && op.immSrc1 && op.dst == ivar &&
+            op.src0 == ivar) {
+            step = op.imm;
+        }
+    }
+    if (step == 0)
+        return;
+    if ((cond == CmpCond::GE && step < 0) || (cond == CmpCond::LE && step > 0))
+        return;
+
+    // The induction variable must have no other defs inside the loop, and
+    // the bound register must be loop-invariant.
+    for (BlockId b : loop.blocks) {
+        const BasicBlock &bb = fn.block(b);
+        for (size_t i = 0; i < bb.ops.size(); ++i) {
+            const Operation &op = bb.ops[i];
+            if (op.dst == ivar) {
+                bool is_latch_step = (b == latch.id && op.op == Opcode::ADD &&
+                                      op.immSrc1 && op.src0 == ivar &&
+                                      op.imm == step);
+                if (!is_latch_step)
+                    return;
+            }
+            if (bound_reg.valid() && op.dst == bound_reg)
+                return;
+        }
+    }
+
+    loop.counted.ivar = ivar;
+    loop.counted.step = step;
+    loop.counted.boundReg = bound_reg;
+    loop.counted.boundImm = bound_imm;
+    loop.counted.exitCond = cond;
+}
+
+} // namespace voltron

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Natural-loop detection and counted-loop recognition.
+ *
+ * Loops are discovered from back edges (edge t->h where h dominates t) and
+ * arranged into a forest by containment. A loop is additionally recognised
+ * as *counted* when it matches the canonical shape the ProgramBuilder
+ * emits: the header compares the induction variable against a
+ * loop-invariant bound and exits when the compare is taken; a single latch
+ * increments the variable by a constant. Counted loops are the inputs to
+ * DOALL chunking.
+ */
+
+#ifndef VOLTRON_IR_LOOPS_HH_
+#define VOLTRON_IR_LOOPS_HH_
+
+#include <set>
+#include <vector>
+
+#include "ir/cfg.hh"
+#include "ir/dom.hh"
+
+namespace voltron {
+
+/** Canonical counted-loop description (valid() iff recognised). */
+struct CountedLoop
+{
+    RegId ivar;           //!< induction variable (GPR)
+    i64 step = 0;         //!< constant per-iteration increment
+    RegId boundReg;       //!< loop-invariant bound register, or invalid
+    i64 boundImm = 0;     //!< immediate bound when boundReg invalid
+    CmpCond exitCond = CmpCond::GE; //!< header compare (exit when true)
+
+    bool valid() const { return step != 0; }
+};
+
+/** One natural loop. */
+struct Loop
+{
+    BlockId header = kNoBlock;
+    std::set<BlockId> blocks;          //!< all blocks, header included
+    std::vector<BlockId> latches;      //!< sources of back edges
+    std::vector<BlockId> exitTargets;  //!< blocks outside jumped to
+    int parent = -1;                   //!< index of enclosing loop, or -1
+    u32 depth = 1;                     //!< nesting depth (outermost = 1)
+    CountedLoop counted;               //!< canonical shape, if recognised
+
+    bool contains(BlockId b) const { return blocks.count(b) != 0; }
+};
+
+/** Loop forest of one function. */
+class LoopForest
+{
+  public:
+    LoopForest(const Function &fn, const Cfg &cfg, const DomTree &dom);
+
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Index of the innermost loop containing @p b, or -1. */
+    int innermost(BlockId b) const { return innermost_.at(b); }
+
+    /** Indices of outermost loops (parent == -1). */
+    std::vector<int> outermost() const;
+
+  private:
+    std::vector<Loop> loops_;
+    std::vector<int> innermost_;
+
+    void recogniseCounted(const Function &fn, Loop &loop);
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_IR_LOOPS_HH_

@@ -1,0 +1,72 @@
+#include "ir/scc.hh"
+
+#include <algorithm>
+
+namespace voltron {
+
+SccResult
+tarjan_scc(const std::vector<std::vector<u32>> &adj)
+{
+    const u32 n = static_cast<u32>(adj.size());
+    SccResult result;
+    result.componentOf.assign(n, 0);
+
+    std::vector<u32> index(n, 0), lowlink(n, 0);
+    std::vector<bool> on_stack(n, false), visited(n, false);
+    std::vector<u32> stack;
+    u32 next_index = 1;
+
+    // Iterative Tarjan with an explicit work stack of (node, child cursor).
+    struct Frame { u32 node; size_t child; };
+    std::vector<Frame> work;
+
+    for (u32 start = 0; start < n; ++start) {
+        if (visited[start])
+            continue;
+        work.push_back({start, 0});
+        while (!work.empty()) {
+            Frame &f = work.back();
+            u32 v = f.node;
+            if (f.child == 0) {
+                visited[v] = true;
+                index[v] = lowlink[v] = next_index++;
+                stack.push_back(v);
+                on_stack[v] = true;
+            }
+            bool descended = false;
+            while (f.child < adj[v].size()) {
+                u32 w = adj[v][f.child++];
+                if (!visited[w]) {
+                    work.push_back({w, 0});
+                    descended = true;
+                    break;
+                }
+                if (on_stack[w])
+                    lowlink[v] = std::min(lowlink[v], index[w]);
+            }
+            if (descended)
+                continue;
+            // All children done: maybe pop a component, then propagate
+            // lowlink to the parent.
+            if (lowlink[v] == index[v]) {
+                while (true) {
+                    u32 w = stack.back();
+                    stack.pop_back();
+                    on_stack[w] = false;
+                    result.componentOf[w] = result.numComponents;
+                    if (w == v)
+                        break;
+                }
+                ++result.numComponents;
+            }
+            work.pop_back();
+            if (!work.empty()) {
+                u32 parent = work.back().node;
+                lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace voltron

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Generic Tarjan SCC over adjacency-list graphs (used by DSWP and the
+ * dependence analyses).
+ */
+
+#ifndef VOLTRON_IR_SCC_HH_
+#define VOLTRON_IR_SCC_HH_
+
+#include <vector>
+
+#include "support/types.hh"
+
+namespace voltron {
+
+/**
+ * Strongly connected components of a directed graph given as adjacency
+ * lists. Returns the component index of each node; components are numbered
+ * in *reverse topological order* of the condensation (Tarjan property), so
+ * component id A > B implies no edge from B's nodes to A's nodes... the
+ * guarantee used by callers is only: nodes in the same cycle share an id,
+ * and `componentsInTopoOrder` yields a topological order of the
+ * condensation.
+ */
+struct SccResult
+{
+    std::vector<u32> componentOf; //!< node -> component id
+    u32 numComponents = 0;
+
+    /** Component ids in topological order of the condensation. */
+    std::vector<u32>
+    componentsInTopoOrder() const
+    {
+        // Tarjan emits components in reverse topological order, so the
+        // topological order is numComponents-1 .. 0.
+        std::vector<u32> order(numComponents);
+        for (u32 i = 0; i < numComponents; ++i)
+            order[i] = numComponents - 1 - i;
+        return order;
+    }
+};
+
+/** Run Tarjan's algorithm (iterative) on @p adj. */
+SccResult tarjan_scc(const std::vector<std::vector<u32>> &adj);
+
+} // namespace voltron
+
+#endif // VOLTRON_IR_SCC_HH_

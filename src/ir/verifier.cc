@@ -1,0 +1,323 @@
+#include "ir/verifier.hh"
+
+#include <sstream>
+
+#include "ir/cfg.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+/** Expected operand classes for an opcode; None means "slot unused". */
+struct OperandSpec
+{
+    RegClass dst = RegClass::None;
+    RegClass src0 = RegClass::None;
+    RegClass src1 = RegClass::None;
+};
+
+OperandSpec
+spec_for(const Operation &op)
+{
+    using RC = RegClass;
+    switch (op.op) {
+      case Opcode::NOP:
+      case Opcode::RET:
+      case Opcode::SLEEP:
+      case Opcode::MODE_SWITCH:
+      case Opcode::XBEGIN:
+      case Opcode::XCOMMIT:
+      case Opcode::XABORT:
+        return {};
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SHL:
+      case Opcode::SHR: case Opcode::SRA: case Opcode::MIN:
+      case Opcode::MAX:
+        return {RC::GPR, RC::GPR, op.immSrc1 ? RC::None : RC::GPR};
+      case Opcode::MOV:
+        return {RC::GPR, RC::GPR, RC::None};
+      case Opcode::MOVI:
+        return {RC::GPR, RC::None, RC::None};
+      case Opcode::CMP:
+        return {RC::PR, RC::GPR, op.immSrc1 ? RC::None : RC::GPR};
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV:
+        return {RC::FPR, RC::FPR, RC::FPR};
+      case Opcode::FMOV:
+        return {RC::FPR, RC::FPR, RC::None};
+      case Opcode::FMOVI:
+        return {RC::FPR, RC::None, RC::None};
+      case Opcode::FCMP:
+        return {RC::PR, RC::FPR, RC::FPR};
+      case Opcode::ITOF:
+        return {RC::FPR, RC::GPR, RC::None};
+      case Opcode::FTOI:
+        return {RC::GPR, RC::FPR, RC::None};
+      case Opcode::LOAD:
+        return {RC::GPR, RC::GPR, RC::None};
+      case Opcode::STORE:
+        return {RC::None, RC::GPR, RC::GPR};
+      case Opcode::LOADF:
+        return {RC::FPR, RC::GPR, RC::None};
+      case Opcode::STOREF:
+        return {RC::None, RC::GPR, RC::FPR};
+      case Opcode::PBR:
+        return {RC::BTR, RC::None, RC::None};
+      case Opcode::BR:
+        return {RC::None, RC::PR, RC::BTR};
+      case Opcode::BRU:
+      case Opcode::CALL:
+        return {RC::None, RC::BTR, RC::None};
+      case Opcode::HALT:
+        return {RC::None, RC::GPR, RC::None};
+      // Comm ops carry any-class payloads; classes checked loosely below.
+      case Opcode::PUT:
+      case Opcode::BCAST:
+      case Opcode::SEND:
+      case Opcode::GET:
+      case Opcode::RECV:
+        return {};
+      case Opcode::SPAWN:
+        return {RC::None, RC::None, RC::BTR};
+      case Opcode::XVALIDATE:
+        return {RC::PR, RC::None, RC::None};
+      default:
+        return {};
+    }
+}
+
+class Verifier
+{
+  public:
+    Verifier(const Program &prog, const Function &fn, VerifyMode mode)
+        : prog_(prog), fn_(fn), mode_(mode)
+    {}
+
+    void
+    run(VerifyResult &out)
+    {
+        if (fn_.blocks.empty()) {
+            error(kNoBlock, 0, "function has no blocks");
+            out.errors = std::move(errors_);
+            return;
+        }
+        for (const BasicBlock &bb : fn_.blocks)
+            checkBlock(bb);
+        checkCfg();
+        out.errors.insert(out.errors.end(), errors_.begin(), errors_.end());
+    }
+
+  private:
+    const Program &prog_;
+    const Function &fn_;
+    VerifyMode mode_;
+    std::vector<std::string> errors_;
+
+    template <typename... Args>
+    void
+    error(BlockId b, size_t op_idx, const Args &...args)
+    {
+        std::ostringstream os;
+        os << fn_.name << "/bb" << b << "/op" << op_idx << ": ";
+        detail::format_into(os, args...);
+        errors_.push_back(os.str());
+    }
+
+    void
+    checkOperandClasses(const BasicBlock &bb, size_t i)
+    {
+        const Operation &op = bb.ops[i];
+        OperandSpec spec = spec_for(op);
+
+        auto check = [&](const char *slot, RegId reg, RegClass want) {
+            if (want == RegClass::None) {
+                // Comm ops legitimately carry class-typed payloads.
+                return;
+            }
+            if (!reg.valid())
+                error(bb.id, i, op, ": missing ", slot, " operand");
+            else if (reg.cls != want)
+                error(bb.id, i, op, ": ", slot, " has wrong register class");
+        };
+        check("dst", op.dst, spec.dst);
+        check("src0", op.src0, spec.src0);
+        check("src1", op.src1, spec.src1);
+
+        // Comm payload sanity: PUT/BCAST/SEND read src0; GET/RECV write dst.
+        switch (op.op) {
+          case Opcode::PUT:
+          case Opcode::BCAST:
+          case Opcode::SEND:
+            if (!op.src0.valid())
+                error(bb.id, i, op, ": comm op with no payload source");
+            break;
+          case Opcode::GET:
+          case Opcode::RECV:
+            if (!op.dst.valid())
+                error(bb.id, i, op, ": comm op with no destination");
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    checkBlock(const BasicBlock &bb)
+    {
+        bool terminated = false;
+        for (size_t i = 0; i < bb.ops.size(); ++i) {
+            const Operation &op = bb.ops[i];
+
+            if (terminated)
+                error(bb.id, i, "operation after unconditional terminator");
+
+            if (mode_ == VerifyMode::Sequential &&
+                (is_comm(op.op) || op.op == Opcode::SPAWN ||
+                 op.op == Opcode::SLEEP || op.op == Opcode::MODE_SWITCH ||
+                 op.op == Opcode::XBEGIN || op.op == Opcode::XCOMMIT ||
+                 op.op == Opcode::XABORT || op.op == Opcode::XVALIDATE)) {
+                error(bb.id, i, op,
+                      ": Voltron op illegal in sequential programs");
+            }
+
+            checkOperandClasses(bb, i);
+
+            switch (op.op) {
+              case Opcode::BR:
+              case Opcode::BRU: {
+                BlockId target = resolve_branch_target(bb, i);
+                if (target == kNoBlock)
+                    error(bb.id, i, "branch target not a block-local PBR");
+                else if (target >= fn_.blocks.size())
+                    error(bb.id, i, "branch target out of range");
+                if (op.op == Opcode::BRU)
+                    terminated = true;
+                break;
+              }
+              case Opcode::RET:
+                if (!fn_.returnsValue && fn_.name == "main")
+                    error(bb.id, i, "main must HALT, not RET");
+                terminated = true;
+                break;
+              case Opcode::HALT:
+              case Opcode::SLEEP:
+                terminated = true;
+                break;
+              case Opcode::CALL: {
+                // Must resolve to a function PBR within the block.
+                bool found = false;
+                for (size_t j = i; j-- > 0;) {
+                    const Operation &def = bb.ops[j];
+                    if (def.op == Opcode::PBR && def.dst == op.src0) {
+                        CodeRef ref = def.codeRef();
+                        if (ref.kind != CodeRef::Kind::Function)
+                            error(bb.id, i, "call target PBR not a function");
+                        else if (ref.func >= prog_.functions.size())
+                            error(bb.id, i, "call target out of range");
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    error(bb.id, i, "call target not a block-local PBR");
+                break;
+              }
+              case Opcode::LOAD:
+              case Opcode::STORE:
+                if (op.memSize != 1 && op.memSize != 2 && op.memSize != 4 &&
+                    op.memSize != 8) {
+                    error(bb.id, i, "bad memory access size");
+                }
+                break;
+              case Opcode::LOADF:
+              case Opcode::STOREF:
+                if (op.memSize != 8)
+                    error(bb.id, i, "FP memory access must be 8 bytes");
+                break;
+              default:
+                break;
+            }
+        }
+
+        // Worker clones legitimately contain empty mirrors of serial
+        // blocks that are never executed.
+        const bool empty_mirror =
+            mode_ == VerifyMode::PerCore && bb.ops.empty();
+        if (!terminated && bb.fallthrough == kNoBlock && !empty_mirror)
+            error(bb.id, bb.ops.size(),
+                  "block neither terminates nor falls through");
+        if (bb.fallthrough != kNoBlock && bb.fallthrough >= fn_.blocks.size())
+            error(bb.id, bb.ops.size(), "fallthrough out of range");
+    }
+
+    void
+    checkCfg()
+    {
+        // CFG construction itself panics on malformed branches; only run
+        // it when the per-block checks passed. Per-core programs have
+        // spawn-entered blocks with no CFG edge from the entry, so the
+        // reachability check only applies to sequential input programs.
+        if (!errors_.empty() || mode_ == VerifyMode::PerCore)
+            return;
+        Cfg cfg(fn_);
+        for (BlockId b = 0; b < fn_.blocks.size(); ++b) {
+            if (!cfg.reachable(b))
+                error(b, 0, "block unreachable from entry");
+        }
+    }
+};
+
+} // namespace
+
+std::string
+VerifyResult::joined() const
+{
+    std::ostringstream os;
+    for (const auto &e : errors)
+        os << e << "\n";
+    return os.str();
+}
+
+VerifyResult
+verify_function(const Program &prog, const Function &fn, VerifyMode mode)
+{
+    VerifyResult result;
+    Verifier(prog, fn, mode).run(result);
+    return result;
+}
+
+VerifyResult
+verify_program(const Program &prog, VerifyMode mode)
+{
+    VerifyResult result;
+    if (prog.functions.empty())
+        result.errors.push_back("program has no functions");
+    for (const Function &fn : prog.functions) {
+        VerifyResult fr = verify_function(prog, fn, mode);
+        result.errors.insert(result.errors.end(), fr.errors.begin(),
+                             fr.errors.end());
+    }
+    // Data objects must not overlap.
+    for (size_t i = 0; i < prog.data.size(); ++i) {
+        for (size_t j = i + 1; j < prog.data.size(); ++j) {
+            const auto &a = prog.data[i];
+            const auto &b = prog.data[j];
+            if (a.base < b.base + b.size && b.base < a.base + a.size)
+                result.errors.push_back("data objects " + a.name + " and " +
+                                        b.name + " overlap");
+        }
+    }
+    return result;
+}
+
+void
+verify_or_die(const Program &prog, VerifyMode mode)
+{
+    VerifyResult result = verify_program(prog, mode);
+    fatal_if_not(result.ok(), "program ", prog.name,
+                 " failed verification:\n", result.joined());
+}
+
+} // namespace voltron

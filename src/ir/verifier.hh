@@ -1,0 +1,51 @@
+/**
+ * @file
+ * IR verifier.
+ *
+ * Checks the structural invariants the rest of the system relies on:
+ * block-local PBR targets, register-class correctness of operands,
+ * terminator placement, fallthrough sanity, call-convention conformance,
+ * memory-op well-formedness, and reachability. The verifier runs on
+ * sequential input programs (no Voltron comm ops allowed) and, in
+ * relaxed mode, on compiled per-core programs (comm ops allowed).
+ */
+
+#ifndef VOLTRON_IR_VERIFIER_HH_
+#define VOLTRON_IR_VERIFIER_HH_
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace voltron {
+
+/** Verification mode. */
+enum class VerifyMode {
+    Sequential, //!< input programs: Voltron comm/TM ops are errors
+    PerCore,    //!< compiled per-core programs: comm/TM ops allowed
+};
+
+/** Result of verification: empty errors means the program is well formed. */
+struct VerifyResult
+{
+    std::vector<std::string> errors;
+    bool ok() const { return errors.empty(); }
+    std::string joined() const;
+};
+
+/** Verify one function. */
+VerifyResult verify_function(const Program &prog, const Function &fn,
+                             VerifyMode mode);
+
+/** Verify a whole program (all functions + data-segment sanity). */
+VerifyResult verify_program(const Program &prog,
+                            VerifyMode mode = VerifyMode::Sequential);
+
+/** Verify and fatal() with the error list if anything is wrong. */
+void verify_or_die(const Program &prog,
+                   VerifyMode mode = VerifyMode::Sequential);
+
+} // namespace voltron
+
+#endif // VOLTRON_IR_VERIFIER_HH_

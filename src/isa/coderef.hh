@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Encoded code references held in branch-target (BTR) registers.
+ *
+ * A CodeRef names either a basic block (function + block) for branches, or
+ * a function entry for calls. It packs into a u64 so BTR register files can
+ * store raw values like every other class.
+ */
+
+#ifndef VOLTRON_ISA_CODEREF_HH_
+#define VOLTRON_ISA_CODEREF_HH_
+
+#include <ostream>
+
+#include "support/error.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** A reference to a block or function, storable in a BTR register. */
+struct CodeRef
+{
+    enum class Kind : u8 { Invalid = 0, Block, Function };
+
+    Kind kind = Kind::Invalid;
+    FuncId func = kNoFunc;
+    BlockId block = kNoBlock;
+
+    constexpr CodeRef() = default;
+
+    static constexpr CodeRef
+    to_block(FuncId f, BlockId b)
+    {
+        CodeRef ref;
+        ref.kind = Kind::Block;
+        ref.func = f;
+        ref.block = b;
+        return ref;
+    }
+
+    static constexpr CodeRef
+    to_function(FuncId f)
+    {
+        CodeRef ref;
+        ref.kind = Kind::Function;
+        ref.func = f;
+        ref.block = 0;
+        return ref;
+    }
+
+    constexpr bool valid() const { return kind != Kind::Invalid; }
+
+    constexpr bool
+    operator==(const CodeRef &o) const
+    {
+        return kind == o.kind && func == o.func && block == o.block;
+    }
+
+    /** Pack into a u64 (kind:8 | func:24 | block:24). */
+    u64
+    encode() const
+    {
+        panic_if_not(func < (1u << 24) && block < (1u << 24),
+                     "CodeRef out of encodable range");
+        return (static_cast<u64>(kind) << 48) |
+               (static_cast<u64>(func & 0xffffffu) << 24) |
+               static_cast<u64>(block & 0xffffffu);
+    }
+
+    /** Unpack from a u64 produced by encode(). */
+    static CodeRef
+    decode(u64 bits)
+    {
+        CodeRef ref;
+        ref.kind = static_cast<Kind>((bits >> 48) & 0xff);
+        ref.func = static_cast<FuncId>((bits >> 24) & 0xffffffu);
+        ref.block = static_cast<BlockId>(bits & 0xffffffu);
+        return ref;
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const CodeRef &ref)
+{
+    switch (ref.kind) {
+      case CodeRef::Kind::Block:
+        return os << "@f" << ref.func << ".bb" << ref.block;
+      case CodeRef::Kind::Function:
+        return os << "@f" << ref.func;
+      default:
+        return os << "@invalid";
+    }
+}
+
+} // namespace voltron
+
+#endif // VOLTRON_ISA_CODEREF_HH_

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Operation latency table.
+ *
+ * The paper assumes "the latencies of the Itanium processor"; this table
+ * follows the Itanium 2 integer/FP pipeline latencies commonly used with
+ * Trimaran/HPL-PD experiments. Memory latencies here are the *hit*
+ * latencies of the issuing core's L1; miss penalties come from the cache
+ * model at run time.
+ */
+
+#ifndef VOLTRON_ISA_LATENCIES_HH_
+#define VOLTRON_ISA_LATENCIES_HH_
+
+#include "isa/opcode.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Static issue-to-result latency of @p op in cycles (>= 1). */
+inline u32
+op_latency(Opcode op)
+{
+    switch (op) {
+      case Opcode::MUL:
+        return 3;
+      case Opcode::DIV:
+      case Opcode::REM:
+        return 16;
+      case Opcode::FADD:
+      case Opcode::FSUB:
+      case Opcode::FMUL:
+      case Opcode::ITOF:
+      case Opcode::FTOI:
+        return 4;
+      case Opcode::FDIV:
+        return 16;
+      case Opcode::LOAD:
+      case Opcode::LOADF:
+        return 2; // L1 hit; misses add the hierarchy penalty
+      default:
+        return 1;
+    }
+}
+
+} // namespace voltron
+
+#endif // VOLTRON_ISA_LATENCIES_HH_

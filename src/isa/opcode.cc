@@ -1,0 +1,193 @@
+#include "isa/opcode.hh"
+
+#include "isa/reg.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+const char *
+opcode_name(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP: return "nop";
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::REM: return "rem";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SHL: return "shl";
+      case Opcode::SHR: return "shr";
+      case Opcode::SRA: return "sra";
+      case Opcode::MIN: return "min";
+      case Opcode::MAX: return "max";
+      case Opcode::MOV: return "mov";
+      case Opcode::MOVI: return "movi";
+      case Opcode::CMP: return "cmp";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FSUB: return "fsub";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FDIV: return "fdiv";
+      case Opcode::FMOV: return "fmov";
+      case Opcode::FMOVI: return "fmovi";
+      case Opcode::FCMP: return "fcmp";
+      case Opcode::ITOF: return "itof";
+      case Opcode::FTOI: return "ftoi";
+      case Opcode::LOAD: return "load";
+      case Opcode::STORE: return "store";
+      case Opcode::LOADF: return "loadf";
+      case Opcode::STOREF: return "storef";
+      case Opcode::PBR: return "pbr";
+      case Opcode::BR: return "br";
+      case Opcode::BRU: return "bru";
+      case Opcode::CALL: return "call";
+      case Opcode::RET: return "ret";
+      case Opcode::HALT: return "halt";
+      case Opcode::PUT: return "put";
+      case Opcode::GET: return "get";
+      case Opcode::BCAST: return "bcast";
+      case Opcode::SEND: return "send";
+      case Opcode::RECV: return "recv";
+      case Opcode::SPAWN: return "spawn";
+      case Opcode::SLEEP: return "sleep";
+      case Opcode::MODE_SWITCH: return "mode_switch";
+      case Opcode::XBEGIN: return "xbegin";
+      case Opcode::XCOMMIT: return "xcommit";
+      case Opcode::XABORT: return "xabort";
+      case Opcode::XVALIDATE: return "xvalidate";
+      default: return "<bad-opcode>";
+    }
+}
+
+const char *
+cond_name(CmpCond cond)
+{
+    switch (cond) {
+      case CmpCond::EQ: return "eq";
+      case CmpCond::NE: return "ne";
+      case CmpCond::LT: return "lt";
+      case CmpCond::LE: return "le";
+      case CmpCond::GT: return "gt";
+      case CmpCond::GE: return "ge";
+      case CmpCond::ULT: return "ult";
+      case CmpCond::ULE: return "ule";
+      case CmpCond::UGT: return "ugt";
+      case CmpCond::UGE: return "uge";
+      default: return "<bad-cond>";
+    }
+}
+
+const char *
+dir_name(Dir dir)
+{
+    switch (dir) {
+      case Dir::East: return "east";
+      case Dir::West: return "west";
+      case Dir::North: return "north";
+      case Dir::South: return "south";
+      default: return "<bad-dir>";
+    }
+}
+
+Dir
+opposite(Dir dir)
+{
+    switch (dir) {
+      case Dir::East: return Dir::West;
+      case Dir::West: return Dir::East;
+      case Dir::North: return Dir::South;
+      case Dir::South: return Dir::North;
+      default: panic("bad direction");
+    }
+}
+
+bool
+is_load(Opcode op)
+{
+    return op == Opcode::LOAD || op == Opcode::LOADF;
+}
+
+bool
+is_store(Opcode op)
+{
+    return op == Opcode::STORE || op == Opcode::STOREF;
+}
+
+bool
+is_control(Opcode op)
+{
+    switch (op) {
+      case Opcode::BR:
+      case Opcode::BRU:
+      case Opcode::CALL:
+      case Opcode::RET:
+      case Opcode::HALT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+is_comm(Opcode op)
+{
+    switch (op) {
+      case Opcode::PUT:
+      case Opcode::GET:
+      case Opcode::BCAST:
+      case Opcode::SEND:
+      case Opcode::RECV:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+is_compute(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SHL:
+      case Opcode::SHR: case Opcode::SRA: case Opcode::MIN:
+      case Opcode::MAX: case Opcode::MOV: case Opcode::MOVI:
+      case Opcode::CMP: case Opcode::FADD: case Opcode::FSUB:
+      case Opcode::FMUL: case Opcode::FDIV: case Opcode::FMOV:
+      case Opcode::FMOVI: case Opcode::FCMP: case Opcode::ITOF:
+      case Opcode::FTOI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::ostream &
+operator<<(std::ostream &os, Opcode op)
+{
+    return os << opcode_name(op);
+}
+
+const char *
+reg_class_prefix(RegClass cls)
+{
+    switch (cls) {
+      case RegClass::GPR: return "r";
+      case RegClass::FPR: return "f";
+      case RegClass::PR: return "p";
+      case RegClass::BTR: return "b";
+      default: return "?";
+    }
+}
+
+std::ostream &
+operator<<(std::ostream &os, const RegId &reg)
+{
+    if (!reg.valid())
+        return os << "_";
+    return os << reg_class_prefix(reg.cls) << reg.idx;
+}
+
+} // namespace voltron

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Opcode enumeration and static opcode traits.
+ *
+ * The operation set is an HPL-PD subset (integer/FP ALU, memory, unbundled
+ * PBR/CMP/BR branches) extended with the Voltron operations from the paper:
+ * direct-mode PUT/GET/BCAST, queue-mode SEND/RECV, thread SPAWN/SLEEP,
+ * MODE_SWITCH, and the transactional XBEGIN/XCOMMIT/XABORT markers used for
+ * statistical-DOALL execution.
+ */
+
+#ifndef VOLTRON_ISA_OPCODE_HH_
+#define VOLTRON_ISA_OPCODE_HH_
+
+#include <ostream>
+
+#include "support/types.hh"
+
+namespace voltron {
+
+enum class Opcode : u8 {
+    NOP = 0,
+
+    // Integer ALU (dst = src0 OP src1/imm).
+    ADD, SUB, MUL, DIV, REM,
+    AND, OR, XOR, SHL, SHR, SRA,
+    MIN, MAX,
+    MOV,   //!< dst = src0
+    MOVI,  //!< dst = imm
+
+    // Compare: dst(PR) = src0 COND src1/imm.
+    CMP,
+
+    // Floating point (operands in FPRs).
+    FADD, FSUB, FMUL, FDIV,
+    FMOV,  //!< dst = src0
+    FMOVI, //!< dst = bit pattern in imm
+    FCMP,  //!< dst(PR) = src0 COND src1
+    ITOF,  //!< dst(FPR) = double(src0 GPR)
+    FTOI,  //!< dst(GPR) = i64(src0 FPR), truncating
+
+    // Memory: address = src0(GPR) + imm.
+    LOAD,   //!< dst(GPR) = mem[addr], memSize/memSigned qualified
+    STORE,  //!< mem[addr] = src1(GPR)
+    LOADF,  //!< dst(FPR) = mem[addr] (8 bytes)
+    STOREF, //!< mem[addr] = src1(FPR) (8 bytes)
+
+    // Unbundled control flow (HPL-PD style).
+    PBR,  //!< dst(BTR) = encoded block/function ref in imm
+    BR,   //!< if src0(PR) branch to src1(BTR)
+    BRU,  //!< unconditional branch to src0(BTR)
+    CALL, //!< call the function referenced by src0(BTR)
+    RET,  //!< return to caller
+    HALT, //!< stop the program; src0(GPR) is the exit value
+
+    // Voltron direct-mode (coupled) communication.
+    PUT,   //!< drive src0 onto the neighbour link given by dir
+    GET,   //!< dst = value on the neighbour link given by dir
+    BCAST, //!< broadcast src0 to every other core in the coupled group
+
+    // Voltron queue-mode (decoupled) communication.
+    SEND, //!< enqueue src0 for core imm
+    RECV, //!< dst = dequeue value sent by core imm (stalls until present)
+
+    // Fine-grain threading.
+    SPAWN, //!< start core imm at the block referenced by src1(BTR)
+    SLEEP, //!< finish the current fine-grain thread
+
+    // Execution-mode control.
+    MODE_SWITCH, //!< imm = 0 switch to coupled (barrier), 1 to decoupled
+
+    // Transactional memory (statistical DOALL chunks).
+    XBEGIN,  //!< open a transaction; imm = chunk ordinal for ordered commit
+    XCOMMIT, //!< close the transaction (commit decided at region barrier)
+    XABORT,  //!< software-requested abort
+    /**
+     * Resolve all closed transactions of the current speculative region in
+     * chunk order (master core only, after joining every worker):
+     * dst(PR) = 1 if a cross-chunk dependence violation forced a rollback
+     * (the compiler then branches to the serial recovery loop), 0 if all
+     * chunks committed.
+     */
+    XVALIDATE,
+
+    NumOpcodes,
+};
+
+/** Comparison condition for CMP/FCMP. */
+enum class CmpCond : u8 {
+    EQ, NE,
+    LT, LE, GT, GE,     // signed / ordered
+    ULT, ULE, UGT, UGE, // unsigned (integer CMP only)
+};
+
+/** Mesh link direction for PUT/GET. */
+enum class Dir : u8 { East = 0, West, North, South };
+
+/** Opposite mesh direction (East <-> West, North <-> South). */
+Dir opposite(Dir dir);
+
+/** Printable opcode mnemonic. */
+const char *opcode_name(Opcode op);
+
+/** Printable condition name. */
+const char *cond_name(CmpCond cond);
+
+/** Printable direction name. */
+const char *dir_name(Dir dir);
+
+/** True for LOAD/LOADF. */
+bool is_load(Opcode op);
+
+/** True for STORE/STOREF. */
+bool is_store(Opcode op);
+
+/** True for any memory-accessing opcode. */
+inline bool is_memory(Opcode op) { return is_load(op) || is_store(op); }
+
+/** True for ops that may redirect control flow (BR/BRU/CALL/RET/HALT). */
+bool is_control(Opcode op);
+
+/** True for any operand-network operation (PUT/GET/BCAST/SEND/RECV). */
+bool is_comm(Opcode op);
+
+/** True for integer/FP computation ops writing a register. */
+bool is_compute(Opcode op);
+
+std::ostream &operator<<(std::ostream &os, Opcode op);
+
+} // namespace voltron
+
+#endif // VOLTRON_ISA_OPCODE_HH_

@@ -1,0 +1,406 @@
+#include "isa/operation.hh"
+
+#include <bit>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+bool
+Operation::usesSrc1() const
+{
+    return src1.valid() && !immSrc1;
+}
+
+std::vector<RegId>
+Operation::uses() const
+{
+    std::vector<RegId> regs;
+    if (src0.valid())
+        regs.push_back(src0);
+    if (usesSrc1())
+        regs.push_back(src1);
+    return regs;
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Operation &o)
+{
+    os << opcode_name(o.op);
+    if (o.op == Opcode::CMP || o.op == Opcode::FCMP)
+        os << "." << cond_name(o.cond);
+    if (is_memory(o.op))
+        os << static_cast<int>(o.memSize);
+    if (o.op == Opcode::PUT || o.op == Opcode::GET)
+        os << "." << dir_name(o.dir);
+
+    bool first = true;
+    auto sep = [&]() -> std::ostream & {
+        os << (first ? " " : ", ");
+        first = false;
+        return os;
+    };
+
+    if (o.dst.valid())
+        sep() << o.dst;
+    if (o.src0.valid())
+        sep() << o.src0;
+    if (o.src1.valid() && !o.immSrc1)
+        sep() << o.src1;
+
+    switch (o.op) {
+      case Opcode::PBR:
+        sep() << o.codeRef();
+        break;
+      case Opcode::SPAWN:
+        sep() << "core" << o.imm;
+        break;
+      case Opcode::MOVI:
+      case Opcode::FMOVI:
+      case Opcode::XBEGIN:
+      case Opcode::MODE_SWITCH:
+        sep() << o.imm;
+        break;
+      case Opcode::SEND:
+      case Opcode::RECV:
+        sep() << "core" << o.imm;
+        break;
+      case Opcode::LOAD:
+      case Opcode::STORE:
+      case Opcode::LOADF:
+      case Opcode::STOREF:
+        if (o.imm != 0)
+            sep() << "+" << o.imm;
+        break;
+      default:
+        if (o.immSrc1)
+            sep() << "#" << o.imm;
+        break;
+    }
+    return os;
+}
+
+namespace ops {
+
+Operation
+nop()
+{
+    return {};
+}
+
+Operation
+alu(Opcode op, RegId dst, RegId a, RegId b)
+{
+    Operation o;
+    o.op = op;
+    o.dst = dst;
+    o.src0 = a;
+    o.src1 = b;
+    return o;
+}
+
+Operation
+alui(Opcode op, RegId dst, RegId a, i64 imm)
+{
+    Operation o;
+    o.op = op;
+    o.dst = dst;
+    o.src0 = a;
+    o.imm = imm;
+    o.immSrc1 = true;
+    return o;
+}
+
+Operation add(RegId dst, RegId a, RegId b) { return alu(Opcode::ADD, dst, a, b); }
+Operation addi(RegId dst, RegId a, i64 imm) { return alui(Opcode::ADD, dst, a, imm); }
+Operation sub(RegId dst, RegId a, RegId b) { return alu(Opcode::SUB, dst, a, b); }
+Operation mul(RegId dst, RegId a, RegId b) { return alu(Opcode::MUL, dst, a, b); }
+
+Operation
+mov(RegId dst, RegId src)
+{
+    Operation o;
+    o.op = Opcode::MOV;
+    o.dst = dst;
+    o.src0 = src;
+    return o;
+}
+
+Operation
+movi(RegId dst, i64 imm)
+{
+    Operation o;
+    o.op = Opcode::MOVI;
+    o.dst = dst;
+    o.imm = imm;
+    return o;
+}
+
+Operation
+cmp(CmpCond cond, RegId dst_pr, RegId a, RegId b)
+{
+    Operation o = alu(Opcode::CMP, dst_pr, a, b);
+    o.cond = cond;
+    return o;
+}
+
+Operation
+cmpi(CmpCond cond, RegId dst_pr, RegId a, i64 imm)
+{
+    Operation o = alui(Opcode::CMP, dst_pr, a, imm);
+    o.cond = cond;
+    return o;
+}
+
+Operation
+fcmp(CmpCond cond, RegId dst_pr, RegId a, RegId b)
+{
+    Operation o = alu(Opcode::FCMP, dst_pr, a, b);
+    o.cond = cond;
+    return o;
+}
+
+Operation
+falu(Opcode op, RegId dst, RegId a, RegId b)
+{
+    return alu(op, dst, a, b);
+}
+
+Operation
+fmovi(RegId dst, double value)
+{
+    Operation o;
+    o.op = Opcode::FMOVI;
+    o.dst = dst;
+    o.imm = static_cast<i64>(std::bit_cast<u64>(value));
+    return o;
+}
+
+Operation
+itof(RegId dst_fpr, RegId src_gpr)
+{
+    Operation o;
+    o.op = Opcode::ITOF;
+    o.dst = dst_fpr;
+    o.src0 = src_gpr;
+    return o;
+}
+
+Operation
+ftoi(RegId dst_gpr, RegId src_fpr)
+{
+    Operation o;
+    o.op = Opcode::FTOI;
+    o.dst = dst_gpr;
+    o.src0 = src_fpr;
+    return o;
+}
+
+Operation
+load(RegId dst, RegId base, i64 offset, u8 size, bool sign)
+{
+    Operation o;
+    o.op = Opcode::LOAD;
+    o.dst = dst;
+    o.src0 = base;
+    o.imm = offset;
+    o.memSize = size;
+    o.memSigned = sign;
+    return o;
+}
+
+Operation
+store(RegId base, i64 offset, RegId value, u8 size)
+{
+    Operation o;
+    o.op = Opcode::STORE;
+    o.src0 = base;
+    o.src1 = value;
+    o.imm = offset;
+    o.memSize = size;
+    return o;
+}
+
+Operation
+loadf(RegId dst_fpr, RegId base, i64 offset)
+{
+    Operation o;
+    o.op = Opcode::LOADF;
+    o.dst = dst_fpr;
+    o.src0 = base;
+    o.imm = offset;
+    o.memSize = 8;
+    return o;
+}
+
+Operation
+storef(RegId base, i64 offset, RegId value_fpr)
+{
+    Operation o;
+    o.op = Opcode::STOREF;
+    o.src0 = base;
+    o.src1 = value_fpr;
+    o.imm = offset;
+    o.memSize = 8;
+    return o;
+}
+
+Operation
+pbr(RegId dst_btr, CodeRef target)
+{
+    Operation o;
+    o.op = Opcode::PBR;
+    o.dst = dst_btr;
+    o.imm = static_cast<i64>(target.encode());
+    return o;
+}
+
+Operation
+br(RegId pred, RegId target_btr)
+{
+    Operation o;
+    o.op = Opcode::BR;
+    o.src0 = pred;
+    o.src1 = target_btr;
+    return o;
+}
+
+Operation
+bru(RegId target_btr)
+{
+    Operation o;
+    o.op = Opcode::BRU;
+    o.src0 = target_btr;
+    return o;
+}
+
+Operation
+call(RegId target_btr)
+{
+    Operation o;
+    o.op = Opcode::CALL;
+    o.src0 = target_btr;
+    return o;
+}
+
+Operation
+ret()
+{
+    Operation o;
+    o.op = Opcode::RET;
+    return o;
+}
+
+Operation
+halt(RegId exit_value)
+{
+    Operation o;
+    o.op = Opcode::HALT;
+    o.src0 = exit_value;
+    return o;
+}
+
+Operation
+put(Dir dir, RegId src)
+{
+    Operation o;
+    o.op = Opcode::PUT;
+    o.src0 = src;
+    o.dir = dir;
+    return o;
+}
+
+Operation
+get(Dir dir, RegId dst)
+{
+    Operation o;
+    o.op = Opcode::GET;
+    o.dst = dst;
+    o.dir = dir;
+    return o;
+}
+
+Operation
+bcast(RegId src)
+{
+    Operation o;
+    o.op = Opcode::BCAST;
+    o.src0 = src;
+    return o;
+}
+
+Operation
+send(CoreId target, RegId src)
+{
+    Operation o;
+    o.op = Opcode::SEND;
+    o.src0 = src;
+    o.imm = target;
+    return o;
+}
+
+Operation
+recv(CoreId sender, RegId dst)
+{
+    Operation o;
+    o.op = Opcode::RECV;
+    o.dst = dst;
+    o.imm = sender;
+    return o;
+}
+
+Operation
+spawn(CoreId target, RegId block_btr)
+{
+    Operation o;
+    o.op = Opcode::SPAWN;
+    o.src1 = block_btr;
+    o.imm = target;
+    return o;
+}
+
+Operation
+sleep()
+{
+    Operation o;
+    o.op = Opcode::SLEEP;
+    return o;
+}
+
+Operation
+mode_switch(bool to_decoupled)
+{
+    Operation o;
+    o.op = Opcode::MODE_SWITCH;
+    o.imm = to_decoupled ? 1 : 0;
+    return o;
+}
+
+Operation
+xbegin(i64 chunk_ordinal)
+{
+    Operation o;
+    o.op = Opcode::XBEGIN;
+    o.imm = chunk_ordinal;
+    return o;
+}
+
+Operation
+xcommit()
+{
+    Operation o;
+    o.op = Opcode::XCOMMIT;
+    return o;
+}
+
+Operation
+xabort()
+{
+    Operation o;
+    o.op = Opcode::XABORT;
+    return o;
+}
+
+} // namespace ops
+
+} // namespace voltron

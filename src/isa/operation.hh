@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The Operation struct — a single HPL-PD/Voltron instruction.
+ *
+ * Operations are small value types stored inline in basic blocks. Operand
+ * roles depend on the opcode (documented per-opcode in opcode.hh); helpers
+ * here expose the uses/defs uniformly for dataflow analyses and the
+ * scheduler.
+ */
+
+#ifndef VOLTRON_ISA_OPERATION_HH_
+#define VOLTRON_ISA_OPERATION_HH_
+
+#include <ostream>
+#include <vector>
+
+#include "isa/coderef.hh"
+#include "isa/opcode.hh"
+#include "isa/reg.hh"
+
+namespace voltron {
+
+/** One instruction. */
+struct Operation
+{
+    Opcode op = Opcode::NOP;
+    RegId dst;  //!< defined register (invalid when none)
+    RegId src0; //!< first use
+    RegId src1; //!< second use
+    i64 imm = 0;
+
+    CmpCond cond = CmpCond::EQ; //!< CMP/FCMP condition
+    u8 memSize = 0;             //!< LOAD/STORE access size in bytes
+    bool memSigned = false;     //!< sign-extend sub-word loads
+    bool immSrc1 = false;       //!< ALU: use imm instead of src1
+    Dir dir = Dir::East;        //!< PUT/GET link direction
+
+    /** Compiler-assigned role of a communication op (stall accounting). */
+    enum class CommTag : u8 {
+        None = 0,
+        LiveIn,   //!< region live-in distribution
+        LiveOut,  //!< region live-out collection
+        Join,     //!< worker-done token (call/return-style sync)
+        MemSync,  //!< dummy value ordering a cross-core memory dependence
+        Bcast,    //!< GET paired with a BCAST (imm==1 on the GET)
+    };
+    CommTag commTag = CommTag::None;
+
+    /**
+     * Alias class of a memory operation. Two memory ops with different
+     * non-zero symbols never alias (they touch disjoint data objects);
+     * symbol 0 means "unknown — may alias anything". Set by the program
+     * builder from the data-object the address is derived from; this
+     * stands in for the summary-based pointer analysis the paper cites.
+     */
+    u32 memSym = 0;
+
+    /**
+     * Stable identity of the op within its original (sequential) function.
+     * Assigned by the builder; preserved by compiler transforms so that
+     * profiles (e.g. per-load miss rates) survive partitioning. Zero for
+     * compiler-inserted operations.
+     */
+    u32 seqId = 0;
+
+    /** Registers read by this op, in operand order. */
+    std::vector<RegId> uses() const;
+
+    /** Register written by this op (invalid RegId if none). */
+    RegId def() const { return dst; }
+
+    /** True if src1 participates (i.e. the op is binary and !immSrc1). */
+    bool usesSrc1() const;
+
+    /** CodeRef carried in imm (PBR targets). */
+    CodeRef codeRef() const { return CodeRef::decode(static_cast<u64>(imm)); }
+};
+
+std::ostream &operator<<(std::ostream &os, const Operation &op);
+
+/**
+ * Factory helpers for building operations. These keep workload builders
+ * and compiler passes terse and uniform.
+ */
+namespace ops {
+
+Operation nop();
+
+// Integer ALU.
+Operation alu(Opcode op, RegId dst, RegId a, RegId b);
+Operation alui(Opcode op, RegId dst, RegId a, i64 imm);
+Operation add(RegId dst, RegId a, RegId b);
+Operation addi(RegId dst, RegId a, i64 imm);
+Operation sub(RegId dst, RegId a, RegId b);
+Operation mul(RegId dst, RegId a, RegId b);
+Operation mov(RegId dst, RegId src);
+Operation movi(RegId dst, i64 imm);
+
+// Compare.
+Operation cmp(CmpCond cond, RegId dst_pr, RegId a, RegId b);
+Operation cmpi(CmpCond cond, RegId dst_pr, RegId a, i64 imm);
+Operation fcmp(CmpCond cond, RegId dst_pr, RegId a, RegId b);
+
+// Floating point.
+Operation falu(Opcode op, RegId dst, RegId a, RegId b);
+Operation fmovi(RegId dst, double value);
+Operation itof(RegId dst_fpr, RegId src_gpr);
+Operation ftoi(RegId dst_gpr, RegId src_fpr);
+
+// Memory.
+Operation load(RegId dst, RegId base, i64 offset, u8 size = 8,
+               bool sign = false);
+Operation store(RegId base, i64 offset, RegId value, u8 size = 8);
+Operation loadf(RegId dst_fpr, RegId base, i64 offset);
+Operation storef(RegId base, i64 offset, RegId value_fpr);
+
+// Control.
+Operation pbr(RegId dst_btr, CodeRef target);
+Operation br(RegId pred, RegId target_btr);
+Operation bru(RegId target_btr);
+Operation call(RegId target_btr);
+Operation ret();
+Operation halt(RegId exit_value);
+
+// Voltron communication.
+Operation put(Dir dir, RegId src);
+Operation get(Dir dir, RegId dst);
+Operation bcast(RegId src);
+Operation send(CoreId target, RegId src);
+Operation recv(CoreId sender, RegId dst);
+Operation spawn(CoreId target, RegId block_btr);
+Operation sleep();
+Operation mode_switch(bool to_decoupled);
+
+// Transactions.
+Operation xbegin(i64 chunk_ordinal);
+Operation xcommit();
+Operation xabort();
+
+} // namespace ops
+
+} // namespace voltron
+
+#endif // VOLTRON_ISA_OPERATION_HH_

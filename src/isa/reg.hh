@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Register identifiers for the Voltron HPL-PD-flavoured ISA.
+ *
+ * Four architectural register classes mirror HPL-PD: general-purpose
+ * integer (GPR), floating point (FPR), single-bit predicate (PR), and
+ * branch-target (BTR) registers. Register indices are virtual — the
+ * compiler does not perform allocation (see DESIGN.md) — and register
+ * files in the interpreter and simulator grow on demand.
+ */
+
+#ifndef VOLTRON_ISA_REG_HH_
+#define VOLTRON_ISA_REG_HH_
+
+#include <functional>
+#include <ostream>
+
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Architectural register class. */
+enum class RegClass : u8 {
+    None = 0, //!< no register (unused operand slot)
+    GPR,      //!< 64-bit integer
+    FPR,      //!< double-precision float (stored as raw bits)
+    PR,       //!< 1-bit predicate
+    BTR,      //!< branch target (holds an encoded BlockRef/FuncRef)
+};
+
+/** Printable name of a register class ("r", "f", "p", "b"). */
+const char *reg_class_prefix(RegClass cls);
+
+/** A (class, index) register identifier. */
+struct RegId
+{
+    RegClass cls = RegClass::None;
+    u16 idx = 0;
+
+    constexpr RegId() = default;
+    constexpr RegId(RegClass c, u16 i) : cls(c), idx(i) {}
+
+    constexpr bool valid() const { return cls != RegClass::None; }
+
+    constexpr bool
+    operator==(const RegId &o) const
+    {
+        return cls == o.cls && idx == o.idx;
+    }
+    constexpr bool operator!=(const RegId &o) const { return !(*this == o); }
+
+    constexpr bool
+    operator<(const RegId &o) const
+    {
+        if (cls != o.cls)
+            return static_cast<u8>(cls) < static_cast<u8>(o.cls);
+        return idx < o.idx;
+    }
+};
+
+std::ostream &operator<<(std::ostream &os, const RegId &reg);
+
+/** Convenience constructors. */
+constexpr RegId gpr(u16 i) { return {RegClass::GPR, i}; }
+constexpr RegId fpr(u16 i) { return {RegClass::FPR, i}; }
+constexpr RegId pr(u16 i) { return {RegClass::PR, i}; }
+constexpr RegId btr(u16 i) { return {RegClass::BTR, i}; }
+
+} // namespace voltron
+
+template <>
+struct std::hash<voltron::RegId>
+{
+    size_t
+    operator()(const voltron::RegId &r) const noexcept
+    {
+        return (static_cast<size_t>(r.cls) << 16) ^ r.idx;
+    }
+};
+
+#endif // VOLTRON_ISA_REG_HH_

@@ -1,0 +1,96 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+namespace voltron {
+
+CacheArray::CacheArray(const CacheGeometry &geom) : geom_(geom)
+{
+    fatal_if_not(std::has_single_bit(geom.lineBytes),
+                 "cache line size must be a power of two");
+    fatal_if_not(geom.sizeBytes % (geom.assoc * geom.lineBytes) == 0,
+                 "cache size must be a multiple of assoc * line size");
+    fatal_if_not(std::has_single_bit(geom.numSets()),
+                 "number of cache sets must be a power of two");
+    lineMask_ = geom.lineBytes - 1;
+    lineShift_ = static_cast<u32>(std::countr_zero(geom.lineBytes));
+    setMask_ = geom.numSets() - 1;
+    lines_.resize(static_cast<size_t>(geom.numSets()) * geom.assoc);
+}
+
+CacheLine *
+CacheArray::probe(Addr addr, bool touch)
+{
+    const u32 set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    for (u32 way = 0; way < geom_.assoc; ++way) {
+        CacheLine &line = lines_[set * geom_.assoc + way];
+        if (line.valid && line.tag == tag) {
+            if (touch)
+                line.lastUse = ++useClock_;
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::peek(Addr addr) const
+{
+    const u32 set = setOf(addr);
+    const Addr tag = tagOf(addr);
+    for (u32 way = 0; way < geom_.assoc; ++way) {
+        const CacheLine &line = lines_[set * geom_.assoc + way];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+CacheLine *
+CacheArray::fill(Addr addr, CacheLine *evicted, Addr *evicted_addr)
+{
+    panic_if_not(probe(addr, false) == nullptr,
+                 "fill of already-present line");
+    const u32 set = setOf(addr);
+    CacheLine *victim = nullptr;
+    for (u32 way = 0; way < geom_.assoc; ++way) {
+        CacheLine &line = lines_[set * geom_.assoc + way];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (evicted)
+        *evicted = *victim;
+    if (evicted_addr && victim->valid)
+        *evicted_addr = rebuildAddr(set, victim->tag);
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->state = 0;
+    victim->lastUse = ++useClock_;
+    return victim;
+}
+
+bool
+CacheArray::invalidate(Addr addr, u8 *old_state)
+{
+    CacheLine *line = probe(addr, false);
+    if (!line)
+        return false;
+    if (old_state)
+        *old_state = line->state;
+    line->valid = false;
+    return true;
+}
+
+void
+CacheArray::reset()
+{
+    for (auto &line : lines_)
+        line = CacheLine{};
+}
+
+} // namespace voltron

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Generic set-associative cache tag array with LRU replacement.
+ *
+ * Used as the tag/state store of every cache in the system: the timing L1
+ * instruction/data caches and shared L2 of the simulator, and the profile
+ * cache the interpreter uses to estimate per-load miss rates. Lines carry
+ * an opaque state byte so the MOESI protocol can piggyback on the array.
+ */
+
+#ifndef VOLTRON_MEM_CACHE_HH_
+#define VOLTRON_MEM_CACHE_HH_
+
+#include <vector>
+
+#include "support/error.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Cache geometry. */
+struct CacheGeometry
+{
+    u32 sizeBytes = 4096;
+    u32 assoc = 2;
+    u32 lineBytes = 64;
+
+    u32 numSets() const { return sizeBytes / (assoc * lineBytes); }
+};
+
+/** A cache line's bookkeeping. */
+struct CacheLine
+{
+    bool valid = false;
+    Addr tag = 0;
+    u8 state = 0;   //!< protocol state (opaque to the array)
+    u64 lastUse = 0; //!< LRU timestamp
+};
+
+/** Set-associative tag array with LRU replacement. */
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheGeometry &geom);
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Line-aligned address of @p addr. */
+    Addr lineAddr(Addr addr) const { return addr & ~lineMask_; }
+
+    /**
+     * Probe for @p addr. Returns the line if present (updating LRU when
+     * @p touch), else nullptr.
+     */
+    CacheLine *probe(Addr addr, bool touch = true);
+    const CacheLine *peek(Addr addr) const;
+
+    /**
+     * Allocate a line for @p addr (which must not be present). Returns
+     * the victim line *before* overwriting it via @p evicted (valid flag
+     * tells whether a real eviction happened; the evicted line address is
+     * written to @p evicted_addr). The returned line has valid=true, the
+     * new tag, state 0, and fresh LRU.
+     */
+    CacheLine *fill(Addr addr, CacheLine *evicted = nullptr,
+                    Addr *evicted_addr = nullptr);
+
+    /** Invalidate @p addr if present; returns the prior line state. */
+    bool invalidate(Addr addr, u8 *old_state = nullptr);
+
+    /** Invalidate everything. */
+    void reset();
+
+    /** Visit every valid line (addr, line). */
+    template <typename Fn>
+    void
+    forEachLine(Fn &&fn) const
+    {
+        for (u32 set = 0; set < geom_.numSets(); ++set) {
+            for (u32 way = 0; way < geom_.assoc; ++way) {
+                const CacheLine &line = lines_[set * geom_.assoc + way];
+                if (line.valid)
+                    fn(rebuildAddr(set, line.tag), line);
+            }
+        }
+    }
+
+  private:
+    CacheGeometry geom_;
+    Addr lineMask_;
+    u32 setMask_;
+    u32 lineShift_;
+    u64 useClock_ = 0;
+    std::vector<CacheLine> lines_;
+
+    u32 setOf(Addr addr) const { return (addr >> lineShift_) & setMask_; }
+    Addr tagOf(Addr addr) const { return addr >> lineShift_; }
+    Addr
+    rebuildAddr(u32 /*set*/, Addr tag) const
+    {
+        return tag << lineShift_;
+    }
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_MEM_CACHE_HH_

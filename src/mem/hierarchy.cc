@@ -1,0 +1,226 @@
+#include "mem/hierarchy.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+const char *
+moesi_name(Moesi state)
+{
+    switch (state) {
+      case Moesi::Invalid: return "I";
+      case Moesi::Shared: return "S";
+      case Moesi::Exclusive: return "E";
+      case Moesi::Owned: return "O";
+      case Moesi::Modified: return "M";
+      default: return "?";
+    }
+}
+
+MemHierarchy::MemHierarchy(u16 num_cores, const MemConfig &config)
+    : config_(config), l2_(config.l2)
+{
+    fatal_if_not(num_cores >= 1, "need at least one core");
+    for (u16 c = 0; c < num_cores; ++c) {
+        l1i_.emplace_back(config.l1i);
+        l1d_.emplace_back(config.l1d);
+    }
+}
+
+std::string
+MemHierarchy::corePrefix(CoreId core) const
+{
+    return "core" + std::to_string(core) + ".";
+}
+
+u32
+MemHierarchy::acquireBus(Cycle now)
+{
+    const Cycle start = std::max(now, busFreeAt_);
+    busFreeAt_ = start + config_.timings.busOccupancy;
+    const u32 wait = static_cast<u32>(start - now);
+    if (wait > 0)
+        stats_.add("bus.waitCycles", wait);
+    stats_.add("bus.transactions");
+    return wait;
+}
+
+void
+MemHierarchy::fillL2(Addr addr)
+{
+    addr = l2_.lineAddr(addr);
+    if (l2_.probe(addr))
+        return;
+    CacheLine victim;
+    Addr victim_addr = 0;
+    l2_.fill(addr, &victim, &victim_addr);
+    if (victim.valid)
+        stats_.add("l2.evictions");
+}
+
+void
+MemHierarchy::fillL1d(CoreId core, Addr addr, Moesi state)
+{
+    addr = l1d_[core].lineAddr(addr);
+    CacheLine victim;
+    Addr victim_addr = 0;
+    CacheLine *line = l1d_[core].fill(addr, &victim, &victim_addr);
+    line->state = static_cast<u8>(state);
+    if (victim.valid) {
+        const Moesi vs = static_cast<Moesi>(victim.state);
+        if (vs == Moesi::Modified || vs == Moesi::Owned) {
+            // Dirty writeback to the L2 (occupies the L2, not the
+            // requester's critical path in this model).
+            fillL2(victim_addr);
+            stats_.add(corePrefix(core) + "l1d.writebacks");
+        }
+        stats_.add(corePrefix(core) + "l1d.evictions");
+    }
+}
+
+AccessOutcome
+MemHierarchy::access(CoreId core, Addr addr, bool is_write, Cycle now)
+{
+    panic_if_not(core < l1d_.size(), "access from unknown core");
+    AccessOutcome out;
+    const Addr line_addr = l1d_[core].lineAddr(addr);
+    CacheArray &l1 = l1d_[core];
+    const std::string prefix = corePrefix(core);
+    const MemTimings &t = config_.timings;
+
+    stats_.add(prefix + (is_write ? "l1d.writes" : "l1d.reads"));
+
+    CacheLine *line = l1.probe(line_addr);
+    if (line) {
+        Moesi state = static_cast<Moesi>(line->state);
+        if (!is_write) {
+            stats_.add(prefix + "l1d.hits");
+            return out;
+        }
+        if (state == Moesi::Modified || state == Moesi::Exclusive) {
+            line->state = static_cast<u8>(Moesi::Modified);
+            stats_.add(prefix + "l1d.hits");
+            return out;
+        }
+        // S or O: upgrade — invalidate every other copy over the bus.
+        out.latency = acquireBus(now) + t.upgrade;
+        for (size_t peer = 0; peer < l1d_.size(); ++peer) {
+            if (peer != core)
+                l1d_[peer].invalidate(line_addr);
+        }
+        line->state = static_cast<u8>(Moesi::Modified);
+        stats_.add(prefix + "l1d.upgrades");
+        return out;
+    }
+
+    // L1 miss: one bus transaction; snoop peers, then L2, then memory.
+    out.l1Miss = true;
+    stats_.add(prefix + "l1d.misses");
+    out.latency = acquireBus(now);
+
+    // Snoop.
+    CoreId supplier = kNoCore;
+    bool any_sharer = false;
+    for (size_t peer = 0; peer < l1d_.size(); ++peer) {
+        if (peer == core)
+            continue;
+        CacheLine *pl = l1d_[peer].probe(line_addr, false);
+        if (!pl)
+            continue;
+        any_sharer = true;
+        const Moesi ps = static_cast<Moesi>(pl->state);
+        if (ps == Moesi::Modified || ps == Moesi::Owned ||
+            ps == Moesi::Exclusive) {
+            supplier = static_cast<CoreId>(peer);
+        }
+        if (is_write) {
+            l1d_[peer].invalidate(line_addr);
+        } else {
+            // Read snoop: M -> O, E -> S; O/S unchanged.
+            if (ps == Moesi::Modified)
+                pl->state = static_cast<u8>(Moesi::Owned);
+            else if (ps == Moesi::Exclusive)
+                pl->state = static_cast<u8>(Moesi::Shared);
+        }
+    }
+
+    if (supplier != kNoCore) {
+        out.cacheToCache = true;
+        out.latency += t.cacheToCache;
+        stats_.add(prefix + "l1d.cacheToCache");
+        fillL1d(core, line_addr, is_write ? Moesi::Modified : Moesi::Shared);
+        return out;
+    }
+
+    if (l2_.probe(line_addr)) {
+        out.latency += t.l2Hit;
+        stats_.add(prefix + "l2.hits");
+    } else {
+        out.l2Miss = true;
+        out.latency += t.memAccess;
+        stats_.add(prefix + "l2.misses");
+        fillL2(line_addr);
+    }
+
+    Moesi fill_state;
+    if (is_write)
+        fill_state = Moesi::Modified;
+    else
+        fill_state = any_sharer ? Moesi::Shared : Moesi::Exclusive;
+    fillL1d(core, line_addr, fill_state);
+    return out;
+}
+
+AccessOutcome
+MemHierarchy::fetch(CoreId core, Addr addr, Cycle now)
+{
+    panic_if_not(core < l1i_.size(), "fetch from unknown core");
+    AccessOutcome out;
+    CacheArray &l1 = l1i_[core];
+    const Addr line_addr = l1.lineAddr(addr);
+    const std::string prefix = corePrefix(core);
+    const MemTimings &t = config_.timings;
+
+    stats_.add(prefix + "l1i.fetches");
+    if (l1.probe(line_addr)) {
+        stats_.add(prefix + "l1i.hits");
+        return out;
+    }
+
+    out.l1Miss = true;
+    stats_.add(prefix + "l1i.misses");
+    out.latency = acquireBus(now);
+    if (l2_.probe(line_addr)) {
+        out.latency += t.l2Hit;
+        stats_.add(prefix + "l2.hits");
+    } else {
+        out.l2Miss = true;
+        out.latency += t.memAccess;
+        stats_.add(prefix + "l2.misses");
+        fillL2(line_addr);
+    }
+    l1.fill(line_addr);
+    return out;
+}
+
+void
+MemHierarchy::reset()
+{
+    for (auto &cache : l1i_)
+        cache.reset();
+    for (auto &cache : l1d_)
+        cache.reset();
+    l2_.reset();
+    busFreeAt_ = 0;
+}
+
+Moesi
+MemHierarchy::l1dState(CoreId core, Addr addr) const
+{
+    const CacheLine *line = l1d_.at(core).peek(addr);
+    return line ? static_cast<Moesi>(line->state) : Moesi::Invalid;
+}
+
+} // namespace voltron

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Coherent cache hierarchy: per-core L1 I/D, shared banked L2, MOESI
+ * snooping bus, main memory.
+ *
+ * Matches the paper's machine: private 4 kB 2-way L1 instruction and data
+ * caches per core, a shared 128 kB 4-way L2, and bus-based snooping with
+ * the MOESI protocol. The hierarchy is a *timing and coherence-state*
+ * model: architectural data lives in the shared MemoryImage, so the model
+ * tracks tags, states and latencies only (the standard approach for
+ * execute-at-issue simulators).
+ */
+
+#ifndef VOLTRON_MEM_HIERARCHY_HH_
+#define VOLTRON_MEM_HIERARCHY_HH_
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** MOESI line states (stored in CacheLine::state). */
+enum class Moesi : u8 {
+    Invalid = 0,
+    Shared,
+    Exclusive,
+    Owned,
+    Modified,
+};
+
+const char *moesi_name(Moesi state);
+
+/** Latency parameters (cycles). */
+struct MemTimings
+{
+    u32 l2Hit = 10;        //!< L1 miss serviced by the L2
+    u32 memAccess = 100;   //!< L1+L2 miss serviced by main memory
+    u32 cacheToCache = 8;  //!< L1 miss supplied by a peer L1
+    u32 upgrade = 3;       //!< S/O -> M upgrade (invalidation round)
+    u32 busOccupancy = 4;  //!< bus cycles held per coherence transaction
+};
+
+/** Hierarchy configuration. */
+struct MemConfig
+{
+    CacheGeometry l1i{4096, 2, 64};
+    CacheGeometry l1d{4096, 2, 64};
+    CacheGeometry l2{131072, 4, 64};
+    MemTimings timings;
+};
+
+/** Outcome of one access, for stall accounting. */
+struct AccessOutcome
+{
+    u32 latency = 0; //!< extra cycles beyond the op's pipeline latency
+    bool l1Miss = false;
+    bool l2Miss = false;
+    bool cacheToCache = false;
+};
+
+/** The multicore memory system. */
+class MemHierarchy
+{
+  public:
+    MemHierarchy(u16 num_cores, const MemConfig &config = MemConfig{});
+
+    /** Data access by @p core at @p now. */
+    AccessOutcome access(CoreId core, Addr addr, bool is_write, Cycle now);
+
+    /** Instruction fetch by @p core at @p now. */
+    AccessOutcome fetch(CoreId core, Addr addr, Cycle now);
+
+    /** Drop every line (used between benchmark repetitions). */
+    void reset();
+
+    /** MOESI state of @p addr in @p core's L1D (Invalid if absent). */
+    Moesi l1dState(CoreId core, Addr addr) const;
+
+    /** Aggregated statistics. */
+    const StatSet &stats() const { return stats_; }
+    StatSet &stats() { return stats_; }
+
+    const MemConfig &config() const { return config_; }
+
+  private:
+    MemConfig config_;
+    std::vector<CacheArray> l1i_, l1d_;
+    CacheArray l2_;
+    Cycle busFreeAt_ = 0;
+    StatSet stats_;
+
+    /** Acquire the bus at @p now; returns added waiting latency. */
+    u32 acquireBus(Cycle now);
+
+    /** Fill @p addr into @p core's L1D, handling the victim writeback. */
+    void fillL1d(CoreId core, Addr addr, Moesi state);
+
+    /** Fill @p addr into the L2, handling the victim. */
+    void fillL2(Addr addr);
+
+    std::string corePrefix(CoreId core) const;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_MEM_HIERARCHY_HH_

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Sparse byte-addressable memory image.
+ *
+ * Shared by the reference interpreter and the multicore simulator (the
+ * simulator's caches are timing/coherence-state models; architectural data
+ * lives here). Pages are allocated on demand and zero-initialised.
+ */
+
+#ifndef VOLTRON_MEM_MEMIMAGE_HH_
+#define VOLTRON_MEM_MEMIMAGE_HH_
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "ir/function.hh"
+#include "support/error.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Sparse paged memory. */
+class MemoryImage
+{
+  public:
+    static constexpr u64 kPageBits = 12;
+    static constexpr u64 kPageSize = 1ULL << kPageBits;
+
+    /** Read @p size (1/2/4/8) bytes at @p addr, zero- or sign-extended. */
+    u64
+    read(Addr addr, u8 size, bool sign = false) const
+    {
+        u64 raw = 0;
+        readBytes(addr, reinterpret_cast<u8 *>(&raw), size);
+        if (sign && size < 8) {
+            const u64 shift = 64 - 8 * size;
+            raw = static_cast<u64>(static_cast<i64>(raw << shift) >> shift);
+        }
+        return raw;
+    }
+
+    /** Write the low @p size bytes of @p value at @p addr. */
+    void
+    write(Addr addr, u64 value, u8 size)
+    {
+        writeBytes(addr, reinterpret_cast<const u8 *>(&value), size);
+    }
+
+    /** Raw byte copy out of memory (crosses pages). */
+    void
+    readBytes(Addr addr, u8 *out, u64 len) const
+    {
+        while (len > 0) {
+            const u64 off = addr & (kPageSize - 1);
+            const u64 chunk = std::min(len, kPageSize - off);
+            const Page *page = findPage(addr);
+            if (page)
+                std::memcpy(out, page->data() + off, chunk);
+            else
+                std::memset(out, 0, chunk);
+            addr += chunk;
+            out += chunk;
+            len -= chunk;
+        }
+    }
+
+    /** Raw byte copy into memory (crosses pages). */
+    void
+    writeBytes(Addr addr, const u8 *in, u64 len)
+    {
+        while (len > 0) {
+            const u64 off = addr & (kPageSize - 1);
+            const u64 chunk = std::min(len, kPageSize - off);
+            Page &page = getPage(addr);
+            std::memcpy(page.data() + off, in, chunk);
+            addr += chunk;
+            in += chunk;
+            len -= chunk;
+        }
+    }
+
+    /** Install a program's data-segment initialisers. */
+    void
+    loadProgram(const Program &prog)
+    {
+        for (const DataObject &obj : prog.data) {
+            if (!obj.init.empty())
+                writeBytes(obj.base, obj.init.data(), obj.init.size());
+        }
+    }
+
+    /** Number of resident pages (for tests). */
+    size_t residentPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<u8, kPageSize>;
+
+    const Page *
+    findPage(Addr addr) const
+    {
+        auto it = pages_.find(addr >> kPageBits);
+        return it == pages_.end() ? nullptr : it->second.get();
+    }
+
+    Page &
+    getPage(Addr addr)
+    {
+        auto &slot = pages_[addr >> kPageBits];
+        if (!slot) {
+            slot = std::make_unique<Page>();
+            slot->fill(0);
+        }
+        return *slot;
+    }
+
+    std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_MEM_MEMIMAGE_HH_

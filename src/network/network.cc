@@ -1,0 +1,168 @@
+#include "network/network.hh"
+
+#include <cstdlib>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+OperandNetwork::OperandNetwork(const NetworkConfig &config) : config_(config)
+{
+    fatal_if_not(config.rows >= 1 && config.cols >= 1, "empty mesh");
+}
+
+u32
+OperandNetwork::hops(CoreId a, CoreId b) const
+{
+    const int dr = static_cast<int>(rowOf(a)) - static_cast<int>(rowOf(b));
+    const int dc = static_cast<int>(colOf(a)) - static_cast<int>(colOf(b));
+    return static_cast<u32>(std::abs(dr) + std::abs(dc));
+}
+
+CoreId
+OperandNetwork::neighbor(CoreId core, Dir dir) const
+{
+    const u16 row = rowOf(core), col = colOf(core);
+    switch (dir) {
+      case Dir::East:
+        return col + 1 < config_.cols ? static_cast<CoreId>(core + 1)
+                                      : kNoCore;
+      case Dir::West:
+        return col > 0 ? static_cast<CoreId>(core - 1) : kNoCore;
+      case Dir::South:
+        return row + 1 < config_.rows
+                   ? static_cast<CoreId>(core + config_.cols)
+                   : kNoCore;
+      case Dir::North:
+        return row > 0 ? static_cast<CoreId>(core - config_.cols) : kNoCore;
+      default:
+        panic("bad direction");
+    }
+}
+
+bool
+OperandNetwork::sendWouldStall(CoreId from, CoreId to) const
+{
+    // Back-pressure is per (sender, receiver) pair: one producer running
+    // ahead cannot exhaust the receiver's buffering for other senders
+    // (which would deadlock pipelines whose consumer is waiting on a
+    // slower third core).
+    auto it = recvQueues_.find(to);
+    if (it == recvQueues_.end())
+        return false;
+    u32 in_flight = 0;
+    for (const Message &msg : it->second)
+        if (msg.from == from)
+            in_flight++;
+    return in_flight >= config_.queueCapacity;
+}
+
+void
+OperandNetwork::send(CoreId from, CoreId to, u64 value, Cycle now,
+                     bool is_spawn)
+{
+    panic_if_not(from != to, "core sending to itself");
+    panic_if_not(to < numCores(), "send to unknown core");
+    panic_if_not(!sendWouldStall(from, to),
+                 "send into a full queue (caller must stall first)");
+    Message msg;
+    msg.from = from;
+    msg.value = value;
+    msg.arrivesAt = now + config_.queueBaseLatency +
+                    hops(from, to) * config_.hopLatency;
+    msg.isSpawn = is_spawn;
+    recvQueues_[to].push_back(msg);
+    stats_.add("net.messages");
+    if (is_spawn)
+        stats_.add("net.spawns");
+}
+
+std::optional<u64>
+OperandNetwork::tryRecv(CoreId me, CoreId from, Cycle now)
+{
+    auto it = recvQueues_.find(me);
+    if (it == recvQueues_.end())
+        return std::nullopt;
+    auto &queue = it->second;
+    // CAM search: the oldest message from the requested sender. FIFO per
+    // (sender, receiver) pair is preserved because we scan in order.
+    for (auto mit = queue.begin(); mit != queue.end(); ++mit) {
+        if (mit->from != from || mit->isSpawn)
+            continue;
+        if (mit->arrivesAt > now)
+            return std::nullopt; // in flight; keep FIFO order — stall
+        u64 value = mit->value;
+        queue.erase(mit);
+        stats_.add("net.receives");
+        return value;
+    }
+    return std::nullopt;
+}
+
+std::optional<u64>
+OperandNetwork::trySpawn(CoreId me, Cycle now)
+{
+    auto it = recvQueues_.find(me);
+    if (it == recvQueues_.end())
+        return std::nullopt;
+    auto &queue = it->second;
+    for (auto mit = queue.begin(); mit != queue.end(); ++mit) {
+        if (!mit->isSpawn)
+            continue;
+        if (mit->arrivesAt > now)
+            return std::nullopt;
+        u64 value = mit->value;
+        queue.erase(mit);
+        return value;
+    }
+    return std::nullopt;
+}
+
+size_t
+OperandNetwork::queuedFor(CoreId me) const
+{
+    auto it = recvQueues_.find(me);
+    return it == recvQueues_.end() ? 0 : it->second.size();
+}
+
+void
+OperandNetwork::putDirect(CoreId core, Dir dir, u64 value, Cycle now)
+{
+    panic_if_not(neighbor(core, dir) != kNoCore,
+                 "PUT off the edge of the mesh");
+    links_[{core, static_cast<u8>(dir)}] = {value, now};
+    stats_.add("net.puts");
+}
+
+u64
+OperandNetwork::getDirect(CoreId me, Dir dir, Cycle now)
+{
+    const CoreId from = neighbor(me, dir);
+    panic_if_not(from != kNoCore, "GET off the edge of the mesh");
+    auto it = links_.find({from, static_cast<u8>(opposite(dir))});
+    panic_if_not(it != links_.end() && it->second.second == now,
+                 "GET with no same-cycle PUT on the link (core ", me,
+                 " dir ", dir_name(dir), " cycle ", now,
+                 ") — coupled-mode schedule bug");
+    stats_.add("net.gets");
+    return it->second.first;
+}
+
+void
+OperandNetwork::broadcast(CoreId from, u64 value, Cycle now)
+{
+    bcast_ = {value, now};
+    bcastFrom_ = from;
+    stats_.add("net.bcasts");
+}
+
+u64
+OperandNetwork::getBroadcast(CoreId me, Cycle now)
+{
+    panic_if_not(bcast_ && bcast_->second == now && bcastFrom_ != me,
+                 "broadcast GET with no same-cycle BCAST (core ", me,
+                 " cycle ", now, ") — coupled-mode schedule bug");
+    return bcast_->first;
+}
+
+} // namespace voltron

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The Voltron dual-mode scalar operand network.
+ *
+ * Cores sit on a 2-D mesh. The network supports:
+ *
+ *  - **Direct mode** (coupled execution): a PUT on one core and a GET on a
+ *    neighbouring core issued in the *same cycle* move one register value
+ *    across one hop; the value is usable the following cycle (1 cycle/hop).
+ *    A BCAST delivers a value to every other core in the coupled group in
+ *    one cycle (paired with same-cycle GETs carrying imm==1), modelling
+ *    the dedicated branch-condition wire.
+ *
+ *  - **Queue mode** (decoupled execution): SEND enqueues a routed message;
+ *    the matching RECV finds it by sender id in a CAM receive queue and
+ *    stalls until it arrives. Latency is 2 cycles + 1 per hop (1 to write
+ *    the send queue, 1 per hop, 1 to read the receive queue). Messages
+ *    between a given (sender, receiver) pair are delivered FIFO — the
+ *    property the compiler's communication-placement discipline relies on.
+ *
+ * SPAWN is a queue-mode message carrying a start address; idle cores poll
+ * for it.
+ */
+
+#ifndef VOLTRON_NETWORK_NETWORK_HH_
+#define VOLTRON_NETWORK_NETWORK_HH_
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "isa/opcode.hh"
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Network configuration. */
+struct NetworkConfig
+{
+    u16 rows = 2;
+    u16 cols = 2;
+    u32 queueCapacity = 64; //!< per-receiver buffered messages
+    u32 queueBaseLatency = 1; //!< send-queue write cost (cycles)
+    u32 hopLatency = 1;       //!< per-hop cycles (both modes)
+};
+
+/** The operand network. */
+class OperandNetwork
+{
+  public:
+    explicit OperandNetwork(const NetworkConfig &config);
+
+    u16 numCores() const { return static_cast<u16>(config_.rows *
+                                                   config_.cols); }
+
+    /** Manhattan distance between two cores. */
+    u32 hops(CoreId a, CoreId b) const;
+
+    /** Neighbour of @p core in direction @p dir, or kNoCore at the edge. */
+    CoreId neighbor(CoreId core, Dir dir) const;
+
+    // --- Queue mode ------------------------------------------------------
+
+    /** True when a SEND from @p from to @p to would stall (queue full). */
+    bool sendWouldStall(CoreId from, CoreId to) const;
+
+    /** Enqueue a value (SEND executed at @p now). */
+    void send(CoreId from, CoreId to, u64 value, Cycle now,
+              bool is_spawn = false);
+
+    /**
+     * RECV executed at @p now by @p me looking for a message from
+     * @p from: pops and returns the oldest arrived message, or nullopt
+     * (the core stalls and retries).
+     */
+    std::optional<u64> tryRecv(CoreId me, CoreId from, Cycle now);
+
+    /** Idle-core poll for a spawn message (any sender). */
+    std::optional<u64> trySpawn(CoreId me, Cycle now);
+
+    /** Messages buffered for @p me (tests/debug). */
+    size_t queuedFor(CoreId me) const;
+
+    // --- Direct mode -----------------------------------------------------
+
+    /** PUT executed at cycle @p now driving @p core's @p dir link. */
+    void putDirect(CoreId core, Dir dir, u64 value, Cycle now);
+
+    /**
+     * GET executed at cycle @p now on @p me reading from its @p dir
+     * neighbour's opposite link. Panics if no matching same-cycle PUT —
+     * that is a compiler scheduling bug.
+     */
+    u64 getDirect(CoreId me, Dir dir, Cycle now);
+
+    /** BCAST executed at cycle @p now. */
+    void broadcast(CoreId from, u64 value, Cycle now);
+
+    /** GET with imm==1 paired with a same-cycle BCAST. */
+    u64 getBroadcast(CoreId me, Cycle now);
+
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Message
+    {
+        CoreId from;
+        u64 value;
+        Cycle arrivesAt;
+        bool isSpawn;
+    };
+
+    NetworkConfig config_;
+    /** Receive queues: receiver -> FIFO of messages (CAM searched). */
+    std::map<CoreId, std::deque<Message>> recvQueues_;
+    /** Direct-mode link latches: (core, dir) -> (value, cycle). */
+    std::map<std::pair<CoreId, u8>, std::pair<u64, Cycle>> links_;
+    /** Broadcast latch: (value, cycle, from). */
+    std::optional<std::pair<u64, Cycle>> bcast_;
+    CoreId bcastFrom_ = kNoCore;
+    StatSet stats_;
+
+    u16 rowOf(CoreId c) const { return static_cast<u16>(c / config_.cols); }
+    u16 colOf(CoreId c) const { return static_cast<u16>(c % config_.cols); }
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_NETWORK_NETWORK_HH_

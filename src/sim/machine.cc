@@ -1,0 +1,786 @@
+#include "sim/machine.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "interp/semantics.hh"
+#include "isa/latencies.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+/** Per-core instruction-space stride (keeps I-streams disjoint in the L2). */
+constexpr Addr kCoreCodeBase = 0x40000000;
+constexpr Addr kCoreCodeStride = 0x4000000;
+constexpr Addr kOpBytes = 16;
+
+u64
+fb_key(FuncId func, BlockId block)
+{
+    return (static_cast<u64>(func) << 32) | block;
+}
+
+} // namespace
+
+const char *
+stall_cat_name(StallCat cat)
+{
+    switch (cat) {
+      case StallCat::None: return "none";
+      case StallCat::IFetch: return "ifetch";
+      case StallCat::DCache: return "dcache";
+      case StallCat::Latency: return "latency";
+      case StallCat::RecvData: return "recvData";
+      case StallCat::RecvPred: return "recvPred";
+      case StallCat::JoinSync: return "joinSync";
+      case StallCat::MemSync: return "memSync";
+      case StallCat::SendFull: return "sendFull";
+      case StallCat::Barrier: return "barrier";
+      case StallCat::TmResolve: return "tmResolve";
+      default: return "?";
+    }
+}
+
+const char *
+exec_mode_name(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::Serial: return "serial";
+      case ExecMode::Coupled: return "coupled";
+      case ExecMode::Strands: return "strands";
+      case ExecMode::Dswp: return "dswp";
+      case ExecMode::Doall: return "doall";
+      default: return "?";
+    }
+}
+
+MachineConfig
+MachineConfig::forCores(u16 cores)
+{
+    MachineConfig config;
+    config.numCores = cores;
+    switch (cores) {
+      case 1: config.net.rows = 1; config.net.cols = 1; break;
+      case 2: config.net.rows = 1; config.net.cols = 2; break;
+      case 4: config.net.rows = 2; config.net.cols = 2; break;
+      default:
+        fatal("unsupported core count ", cores, " (use 1, 2 or 4)");
+    }
+    return config;
+}
+
+Machine::Machine(const MachineProgram &prog, const MachineConfig &config)
+    : prog_(prog), config_(config), hierarchy_(config.numCores, config.mem),
+      net_(config.net), tm_(config.numCores, config.mem.l1d.lineBytes)
+{
+    fatal_if_not(prog.numCores == config.numCores,
+                 "program compiled for ", prog.numCores,
+                 " cores but machine has ", config.numCores);
+    fatal_if_not(config.numCores ==
+                     config.net.rows * config.net.cols,
+                 "mesh shape does not match core count");
+
+    mem_.loadProgram(prog.original);
+    layoutCode();
+
+    cores_.resize(config.numCores);
+    for (u16 c = 0; c < config.numCores; ++c) {
+        cores_[c].id = c;
+        cores_[c].frames.emplace_back();
+        cores_[c].frames.back().func = 0;
+        cores_[c].state = c == 0 ? CoreRun::Run : CoreRun::Idle;
+    }
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::layoutCode()
+{
+    blockAddr_.resize(config_.numCores);
+    for (u16 c = 0; c < config_.numCores; ++c) {
+        Addr cursor = kCoreCodeBase + c * kCoreCodeStride;
+        const Program &cp = prog_.perCore.at(c);
+        for (const Function &fn : cp.functions) {
+            for (const BasicBlock &bb : fn.blocks) {
+                blockAddr_[c][fb_key(fn.id, bb.id)] = cursor;
+                cursor += std::max<u64>(bb.ops.size(), 1) * kOpBytes;
+                // Align blocks to line boundaries like a real layout.
+                cursor = (cursor + 63) & ~static_cast<Addr>(63);
+            }
+        }
+    }
+}
+
+Addr
+Machine::opAddr(const Core &core, size_t op_idx) const
+{
+    auto it = blockAddr_[core.id].find(fb_key(core.func, core.block));
+    panic_if_not(it != blockAddr_[core.id].end(), "no layout for block");
+    return it->second + op_idx * kOpBytes;
+}
+
+void
+Machine::stall(Core &core, StallCat cat)
+{
+    core.stalls[static_cast<size_t>(cat)]++;
+}
+
+void
+Machine::enterBlock(Core &core, BlockId block)
+{
+    const Function &fn = coreFunc(core.id, core.func);
+    panic_if_not(block < fn.blocks.size(), "enterBlock out of range");
+    core.block = block;
+    core.opIdx = 0;
+    core.fetched = false;
+}
+
+u64
+Machine::readSrc(Core &core, RegId reg) const
+{
+    return core.frames.back().regs.read(reg);
+}
+
+u64
+Machine::src1Value(Core &core, const Operation &op) const
+{
+    return op.immSrc1 ? static_cast<u64>(op.imm) : readSrc(core, op.src1);
+}
+
+bool
+Machine::operandsReady(Core &core, const Operation &op) const
+{
+    const auto &ready = core.frames.back().ready;
+    for (RegId use : op.uses()) {
+        auto it = ready.find(use);
+        if (it != ready.end() && it->second > now_)
+            return false;
+    }
+    return true;
+}
+
+void
+Machine::writeDst(Core &core, RegId dst, u64 value, u32 latency)
+{
+    Frame &frame = core.frames.back();
+    frame.regs.write(dst, value);
+    frame.ready[dst] = now_ + latency;
+}
+
+u64
+Machine::dataRead(Core &core, Addr addr, u8 size, bool sign)
+{
+    if (tm_.active(core.id))
+        return tm_.read(core.id, mem_, addr, size, sign);
+    return mem_.read(addr, size, sign);
+}
+
+void
+Machine::dataWrite(Core &core, Addr addr, u64 value, u8 size)
+{
+    if (tm_.active(core.id))
+        tm_.write(core.id, addr, value, size);
+    else
+        mem_.write(addr, value, size);
+}
+
+bool
+Machine::execute(Core &core, const Operation &op)
+{
+    const bool lockstep = group_.active;
+    const u32 lat = op_latency(op.op);
+
+    switch (op.op) {
+      case Opcode::NOP:
+        break;
+
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SHL:
+      case Opcode::SHR: case Opcode::SRA: case Opcode::MIN:
+      case Opcode::MAX:
+        writeDst(core, op.dst,
+                 eval_int(op.op, readSrc(core, op.src0), src1Value(core, op)),
+                 lat);
+        break;
+      case Opcode::MOV:
+        writeDst(core, op.dst, readSrc(core, op.src0), lat);
+        break;
+      case Opcode::MOVI:
+        writeDst(core, op.dst, static_cast<u64>(op.imm), lat);
+        break;
+      case Opcode::CMP:
+        writeDst(core, op.dst,
+                 eval_cmp(op.cond, readSrc(core, op.src0),
+                          src1Value(core, op)) ? 1 : 0, lat);
+        break;
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV:
+        writeDst(core, op.dst,
+                 eval_fp(op.op, readSrc(core, op.src0),
+                         readSrc(core, op.src1)), lat);
+        break;
+      case Opcode::FMOV:
+        writeDst(core, op.dst, readSrc(core, op.src0), lat);
+        break;
+      case Opcode::FMOVI:
+        writeDst(core, op.dst, static_cast<u64>(op.imm), lat);
+        break;
+      case Opcode::FCMP:
+        writeDst(core, op.dst,
+                 eval_fcmp(op.cond, readSrc(core, op.src0),
+                           readSrc(core, op.src1)) ? 1 : 0, lat);
+        break;
+      case Opcode::ITOF:
+        writeDst(core, op.dst,
+                 std::bit_cast<u64>(static_cast<double>(
+                     static_cast<i64>(readSrc(core, op.src0)))), lat);
+        break;
+      case Opcode::FTOI:
+        writeDst(core, op.dst,
+                 static_cast<u64>(static_cast<i64>(
+                     std::bit_cast<double>(readSrc(core, op.src0)))), lat);
+        break;
+
+      case Opcode::LOAD:
+      case Opcode::LOADF: {
+        const Addr addr = readSrc(core, op.src0) + static_cast<u64>(op.imm);
+        const AccessOutcome out =
+            hierarchy_.access(core.id, addr, false, now_);
+        const u8 size = op.op == Opcode::LOADF ? 8 : op.memSize;
+        writeDst(core, op.dst, dataRead(core, addr, size, op.memSigned),
+                 lat + out.latency);
+        if (out.latency > 0) {
+            core.busyUntil = now_ + 1 + out.latency;
+            core.busyCat = StallCat::DCache;
+        }
+        break;
+      }
+      case Opcode::STORE:
+      case Opcode::STOREF: {
+        const Addr addr = readSrc(core, op.src0) + static_cast<u64>(op.imm);
+        const AccessOutcome out = hierarchy_.access(core.id, addr, true,
+                                                    now_);
+        const u8 size = op.op == Opcode::STOREF ? 8 : op.memSize;
+        dataWrite(core, addr, readSrc(core, op.src1), size);
+        if (out.latency > 0) {
+            core.busyUntil = now_ + 1 + out.latency;
+            core.busyCat = StallCat::DCache;
+        }
+        break;
+      }
+
+      case Opcode::PBR:
+        writeDst(core, op.dst, static_cast<u64>(op.imm), lat);
+        break;
+
+      case Opcode::BR:
+      case Opcode::BRU: {
+        if (lockstep && core.pendingTaken) {
+            // An earlier branch of this block was taken; later branch
+            // slots are shadowed (they would not have been fetched on a
+            // real machine).
+            break;
+        }
+        bool taken = op.op == Opcode::BRU ||
+                     core.frames.back().regs.readPred(op.src0);
+        if (taken) {
+            const RegId target_reg =
+                op.op == Opcode::BRU ? op.src0 : op.src1;
+            CodeRef ref = CodeRef::decode(readSrc(core, target_reg));
+            panic_if_not(ref.kind == CodeRef::Kind::Block,
+                         "branch to non-block ref");
+            if (lockstep) {
+                core.pendingTaken = true;
+                core.pendingTarget = ref.block;
+            } else {
+                enterBlock(core, ref.block);
+            }
+        }
+        break;
+      }
+
+      case Opcode::CALL: {
+        panic_if_not(!lockstep, "CALL inside a coupled region");
+        panic_if_not(core.id == 0, "CALL on a worker core");
+        CodeRef ref = CodeRef::decode(readSrc(core, op.src0));
+        panic_if_not(ref.kind == CodeRef::Kind::Function,
+                     "CALL to non-function ref");
+        fatal_if_not(core.frames.size() < 512, "simulated stack overflow");
+        const Function &callee = coreFunc(core.id, ref.func);
+        Frame callee_frame;
+        callee_frame.func = ref.func;
+        callee_frame.retBlock = core.block;
+        callee_frame.retIdx = core.opIdx + 1;
+        for (u16 a = 1; a <= callee.numArgs; ++a)
+            callee_frame.regs.write(gpr(a),
+                                    core.frames.back().regs.read(gpr(a)));
+        core.frames.push_back(std::move(callee_frame));
+        core.func = ref.func;
+        enterBlock(core, 0);
+        break;
+      }
+      case Opcode::RET: {
+        panic_if_not(!lockstep && core.id == 0, "RET outside master serial");
+        panic_if_not(core.frames.size() > 1, "RET from outermost frame");
+        const Function &callee_fn = coreFunc(core.id, core.func);
+        u64 result = 0;
+        const bool returns = callee_fn.returnsValue;
+        if (returns)
+            result = core.frames.back().regs.read(gpr(0));
+        const BlockId ret_block = core.frames.back().retBlock;
+        const size_t ret_idx = core.frames.back().retIdx;
+        core.frames.pop_back();
+        core.func = core.frames.back().func;
+        if (returns)
+            writeDst(core, gpr(0), result, 1);
+        enterBlock(core, ret_block);
+        core.opIdx = ret_idx;
+        break;
+      }
+      case Opcode::HALT:
+        panic_if_not(core.id == 0, "HALT on a worker core");
+        exitValue_ = readSrc(core, op.src0);
+        halted_ = true;
+        break;
+
+      case Opcode::PUT: {
+        panic_if_not(lockstep, "PUT outside coupled mode");
+        net_.putDirect(core.id, op.dir, readSrc(core, op.src0), now_);
+        break;
+      }
+      case Opcode::GET: {
+        panic_if_not(lockstep, "GET outside coupled mode");
+        u64 value = op.imm == 1 ? net_.getBroadcast(core.id, now_)
+                                : net_.getDirect(core.id, op.dir, now_);
+        writeDst(core, op.dst, value, 1);
+        break;
+      }
+      case Opcode::BCAST: {
+        panic_if_not(lockstep, "BCAST outside coupled mode");
+        net_.broadcast(core.id, readSrc(core, op.src0), now_);
+        break;
+      }
+
+      case Opcode::SEND: {
+        const CoreId target = static_cast<CoreId>(op.imm);
+        if (net_.sendWouldStall(core.id, target)) {
+            stall(core, StallCat::SendFull);
+            return false;
+        }
+        net_.send(core.id, target, readSrc(core, op.src0), now_);
+        break;
+      }
+      case Opcode::RECV: {
+        const CoreId sender = static_cast<CoreId>(op.imm);
+        auto value = net_.tryRecv(core.id, sender, now_);
+        if (!value) {
+            StallCat cat;
+            switch (op.commTag) {
+              case Operation::CommTag::Join:
+                cat = StallCat::JoinSync;
+                break;
+              case Operation::CommTag::MemSync:
+                cat = StallCat::MemSync;
+                break;
+              default:
+                cat = op.dst.cls == RegClass::PR ? StallCat::RecvPred
+                                                 : StallCat::RecvData;
+                break;
+            }
+            stall(core, cat);
+            return false;
+        }
+        writeDst(core, op.dst, *value, 1);
+        break;
+      }
+
+      case Opcode::SPAWN: {
+        const CoreId target = static_cast<CoreId>(op.imm);
+        if (net_.sendWouldStall(core.id, target)) {
+            stall(core, StallCat::SendFull);
+            return false;
+        }
+        net_.send(core.id, target, readSrc(core, op.src1), now_,
+                  /*is_spawn=*/true);
+        break;
+      }
+      case Opcode::SLEEP:
+        core.state = CoreRun::Idle;
+        break;
+
+      case Opcode::MODE_SWITCH:
+        if (op.imm == 0) {
+            // To coupled: barrier. The op must terminate its block.
+            panic_if_not(core.opIdx + 1 == curBlock(core).ops.size(),
+                         "MODE_SWITCH(coupled) must end its block");
+            core.state = CoreRun::Barrier;
+        }
+        // To decoupled: a plain 1-cycle op (the dissolve already happened
+        // at the block transition).
+        break;
+
+      case Opcode::XBEGIN:
+        tm_.begin(core.id, static_cast<u64>(op.imm));
+        break;
+      case Opcode::XCOMMIT:
+        tm_.close(core.id);
+        break;
+      case Opcode::XABORT:
+        tm_.abort(core.id);
+        break;
+      case Opcode::XVALIDATE: {
+        panic_if_not(core.id == 0, "XVALIDATE on a worker core");
+        TmResolution res = tm_.resolve(mem_);
+        writeDst(core, op.dst, res.violated ? 1 : 0, 1);
+        const u32 cost = config_.tmResolveBase +
+                         static_cast<u32>(res.linesCommitted) *
+                             config_.tmResolvePerLine;
+        core.busyUntil = now_ + 1 + cost;
+        core.busyCat = StallCat::TmResolve;
+        break;
+      }
+
+      default:
+        panic("machine cannot execute ", op.op);
+    }
+    return true;
+}
+
+bool
+Machine::stepDecoupled(Core &core)
+{
+    if (core.state == CoreRun::Halted)
+        return false;
+
+    if (core.state == CoreRun::Idle) {
+        auto spawn = net_.trySpawn(core.id, now_);
+        if (spawn) {
+            CodeRef ref = CodeRef::decode(*spawn);
+            panic_if_not(ref.kind == CodeRef::Kind::Block,
+                         "spawn to non-block ref");
+            core.func = ref.func;
+            core.frames.back().func = ref.func;
+            core.state = CoreRun::Run;
+            enterBlock(core, ref.block);
+            core.busyUntil = now_ + 1; // wake-up cycle
+            return true;
+        }
+        core.idleCycles++;
+        return false;
+    }
+
+    if (core.state == CoreRun::Barrier) {
+        stall(core, StallCat::Barrier);
+        return false;
+    }
+
+    if (core.busyUntil > now_) {
+        stall(core, core.busyCat);
+        return false;
+    }
+
+    // Fallthrough across (possibly empty) blocks costs nothing: it is
+    // straight-line layout in the real machine.
+    {
+        u32 guard = 0;
+        while (core.opIdx >= curBlock(core).ops.size()) {
+            const BasicBlock &bb = curBlock(core);
+            panic_if_not(bb.fallthrough != kNoBlock,
+                         "control fell off block ", bb.name, " on core ",
+                         core.id);
+            enterBlock(core, bb.fallthrough);
+            panic_if_not(++guard < 10000, "fallthrough cycle");
+        }
+    }
+
+    const BasicBlock &bb = curBlock(core);
+    const Operation &op = bb.ops[core.opIdx];
+
+    if (!core.fetched) {
+        const AccessOutcome out =
+            hierarchy_.fetch(core.id, opAddr(core, core.opIdx), now_);
+        core.fetched = true;
+        if (out.latency > 0) {
+            core.busyUntil = now_ + out.latency;
+            core.busyCat = StallCat::IFetch;
+            stall(core, StallCat::IFetch);
+            return false;
+        }
+    }
+
+    if (!operandsReady(core, op)) {
+        stall(core, StallCat::Latency);
+        return false;
+    }
+
+    const FuncId func0 = core.func;
+    const BlockId block0 = core.block;
+    const size_t idx0 = core.opIdx;
+    const size_t frames0 = core.frames.size();
+    const CoreRun state0 = core.state;
+
+    if (!execute(core, op))
+        return false;
+
+    core.issued++;
+    dynamicOps_++;
+    if (core.busyUntil <= now_)
+        core.busyUntil = now_ + 1;
+    // Advance the PC unless the op transferred control or slept.
+    if (core.func == func0 && core.block == block0 && core.opIdx == idx0 &&
+        core.frames.size() == frames0) {
+        if (core.state == state0 || core.state == CoreRun::Barrier) {
+            core.opIdx++;
+            core.fetched = false;
+        } else {
+            // SLEEP: position is irrelevant until the next spawn.
+            core.fetched = false;
+        }
+    } else {
+        core.fetched = false;
+    }
+    return true;
+}
+
+void
+Machine::maybeFormGroup()
+{
+    for (const Core &core : cores_) {
+        if (core.state != CoreRun::Barrier)
+            return;
+    }
+    // Everyone is at the barrier: enter lockstep at the fallthrough block.
+    BlockId next = kNoBlock;
+    for (Core &core : cores_) {
+        const BasicBlock &bb = curBlock(core);
+        panic_if_not(bb.fallthrough != kNoBlock,
+                     "MODE_SWITCH(coupled) block has no fallthrough");
+        enterBlock(core, bb.fallthrough);
+        const BasicBlock &target = curBlock(core);
+        panic_if_not(target.scheduled(),
+                     "coupled region entry block is unscheduled");
+        if (next == kNoBlock)
+            next = core.block;
+        panic_if_not(next == core.block,
+                     "cores disagree on the coupled entry block");
+        core.state = CoreRun::Run;
+        core.pendingTaken = false;
+    }
+    group_.active = true;
+    group_.blockCycle = 0;
+    group_.stallUntil = 0;
+}
+
+void
+Machine::dissolveGroup()
+{
+    group_.active = false;
+}
+
+void
+Machine::stepGroup()
+{
+    if (group_.stallUntil > now_) {
+        for (Core &core : cores_)
+            stall(core, group_.stallCat);
+        return;
+    }
+
+    const u32 g = group_.blockCycle;
+
+    // Schedule-consistency check: every core is in the same logical block.
+    const BlockId block = cores_[0].block;
+    const FuncId func = cores_[0].func;
+    u32 sched_len = 0;
+    for (Core &core : cores_) {
+        panic_if_not(core.block == block && core.func == func,
+                     "lockstep divergence: core ", core.id, " at block ",
+                     core.block, " expected ", block);
+        const BasicBlock &bb = curBlock(core);
+        panic_if_not(bb.scheduled(), "lockstep in unscheduled block");
+        sched_len = std::max(sched_len, bb.schedLen);
+    }
+
+    // Phase 0: instruction fetch for every due op.
+    u32 max_ifetch = 0;
+    for (Core &core : cores_) {
+        const BasicBlock &bb = curBlock(core);
+        if (core.opIdx < bb.ops.size() && bb.issueCycles[core.opIdx] == g &&
+            !core.fetched) {
+            const AccessOutcome out =
+                hierarchy_.fetch(core.id, opAddr(core, core.opIdx), now_);
+            core.fetched = true;
+            max_ifetch = std::max(max_ifetch, out.latency);
+        }
+    }
+    if (max_ifetch > 0) {
+        group_.stallUntil = now_ + max_ifetch;
+        group_.stallCat = StallCat::IFetch;
+        for (Core &core : cores_)
+            stall(core, StallCat::IFetch);
+        return;
+    }
+
+    // Phase A: drive the links (PUT/BCAST) so same-cycle GETs can read.
+    auto due_op = [&](Core &core) -> const Operation * {
+        const BasicBlock &bb = curBlock(core);
+        if (core.opIdx < bb.ops.size() && bb.issueCycles[core.opIdx] == g)
+            return &bb.ops[core.opIdx];
+        return nullptr;
+    };
+
+    for (Core &core : cores_) {
+        const Operation *op = due_op(core);
+        if (op && (op->op == Opcode::PUT || op->op == Opcode::BCAST)) {
+            panic_if_not(operandsReady(core, *op),
+                         "coupled schedule issued ", op->op,
+                         " before its operand was ready (core ", core.id,
+                         ", block cycle ", g, ")");
+            execute(core, *op);
+            core.issued++;
+            dynamicOps_++;
+            core.opIdx++;
+            core.fetched = false;
+        }
+    }
+
+    // Phase B: everything else; collect the worst data-miss stall.
+    Cycle max_busy = 0;
+    for (Core &core : cores_) {
+        const Operation *op = due_op(core);
+        if (!op)
+            continue;
+        panic_if_not(operandsReady(core, *op),
+                     "coupled schedule issued ", op->op,
+                     " before its operand was ready (core ", core.id,
+                     ", block cycle ", g, ")");
+        panic_if_not(execute(core, *op),
+                     "op stalled inside a coupled block: ", op->op);
+        core.issued++;
+        dynamicOps_++;
+        core.opIdx++;
+        core.fetched = false;
+        max_busy = std::max(max_busy, core.busyUntil);
+        core.busyUntil = 0;
+        core.busyCat = StallCat::None;
+    }
+    if (max_busy > now_ + 1) {
+        // A core that issued a missing access is busy until max_busy; the
+        // stall bus freezes the group until then (resume at max_busy).
+        group_.stallUntil = max_busy;
+        group_.stallCat = StallCat::DCache;
+    }
+
+    // End of block?
+    if (g + 1 >= sched_len) {
+        // Each core computes its own next block. Within the region all
+        // cores land on the same mirrored block id; at a region exit each
+        // core branches to its *own* epilogue block (unscheduled, ids may
+        // differ across clones) and the group dissolves.
+        std::vector<BlockId> nexts;
+        for (Core &core : cores_) {
+            const BasicBlock &bb = curBlock(core);
+            panic_if_not(core.opIdx >= bb.ops.size(),
+                         "unissued ops at the end of a coupled block (core ",
+                         core.id, ")");
+            BlockId my_next =
+                core.pendingTaken ? core.pendingTarget : bb.fallthrough;
+            panic_if_not(my_next != kNoBlock,
+                         "coupled block without a successor");
+            nexts.push_back(my_next);
+        }
+        u32 scheduled_count = 0;
+        for (Core &core : cores_) {
+            core.pendingTaken = false;
+            enterBlock(core, nexts[core.id]);
+            if (curBlock(core).scheduled())
+                scheduled_count++;
+        }
+        if (scheduled_count == cores_.size()) {
+            for (const Core &core : cores_) {
+                panic_if_not(core.block == cores_[0].block,
+                             "lockstep branch divergence at block ", block);
+            }
+            group_.blockCycle = 0;
+        } else {
+            panic_if_not(scheduled_count == 0,
+                         "mixed scheduled/unscheduled lockstep successors");
+            dissolveGroup();
+        }
+    } else {
+        group_.blockCycle = g + 1;
+    }
+}
+
+void
+Machine::attributeCycle()
+{
+    const Core &master = cores_[0];
+    if (master.state == CoreRun::Run || master.state == CoreRun::Barrier) {
+        const BasicBlock &bb = curBlock(master);
+        if (bb.region != kNoRegion)
+            regionCycles_[bb.region]++;
+    }
+    if (group_.active)
+        coupledCycles_++;
+    else
+        decoupledCycles_++;
+}
+
+MachineResult
+Machine::run()
+{
+    lastProgress_ = 0;
+    u64 last_dynamic = 0;
+
+    while (!halted_) {
+        fatal_if_not(now_ < config_.maxCycles,
+                     "machine exceeded ", config_.maxCycles, " cycles");
+
+        if (group_.active) {
+            stepGroup();
+        } else {
+            for (Core &core : cores_)
+                stepDecoupled(core);
+            maybeFormGroup();
+        }
+
+        attributeCycle();
+
+        if (dynamicOps_ != last_dynamic) {
+            last_dynamic = dynamicOps_;
+            lastProgress_ = now_;
+        } else if (now_ - lastProgress_ > config_.watchdogCycles) {
+            std::ostringstream os;
+            for (const Core &core : cores_) {
+                os << "core" << core.id << ": state="
+                   << static_cast<int>(core.state) << " f" << core.func
+                   << " bb" << core.block << " op" << core.opIdx
+                   << " queued=" << net_.queuedFor(core.id) << "\n";
+            }
+            fatal("machine deadlock: no instruction issued for ",
+                  config_.watchdogCycles, " cycles\n", os.str());
+        }
+        ++now_;
+    }
+
+    MachineResult result;
+    result.exitValue = exitValue_;
+    result.cycles = now_;
+    result.dynamicOps = dynamicOps_;
+    for (const Core &core : cores_) {
+        result.stalls.push_back(core.stalls);
+        result.issued.push_back(core.issued);
+        result.idleCycles.push_back(core.idleCycles);
+    }
+    result.regionCycles = regionCycles_;
+    result.coupledCycles = coupledCycles_;
+    result.decoupledCycles = decoupledCycles_;
+    return result;
+}
+
+} // namespace voltron

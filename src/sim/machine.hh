@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The Voltron multicore machine — a cycle-stepped simulator of N
+ * single-issue in-order VLIW cores with the dual-mode operand network,
+ * coherent caches, the stall bus, and the transactional memory.
+ *
+ * Execution model:
+ *  - Core 0 (the master) runs the program skeleton start-to-finish.
+ *  - Worker cores idle in a spawn-listen loop; a SPAWN message wakes one
+ *    at a block of its own clone; SLEEP returns it to listening.
+ *  - MODE_SWITCH(coupled) is a barrier: once every core reaches it, all
+ *    cores enter lockstep and execute their (compiler-scheduled) blocks
+ *    cycle-by-cycle as one wide VLIW; any core's cache-miss stall stalls
+ *    the whole group (the 1-bit stall bus). Lockstep ends when the group
+ *    branches into an unscheduled block (whose first op is
+ *    MODE_SWITCH(decoupled)).
+ *
+ * The simulator *checks* the compiler's lockstep invariants at run time:
+ * operands must be ready when a scheduled op issues, PUT/GET pairs must
+ * meet in the same cycle, and all cores must traverse the same logical
+ * block sequence. Violations panic — they are compiler bugs, never
+ * silently wrong results.
+ */
+
+#ifndef VOLTRON_SIM_MACHINE_HH_
+#define VOLTRON_SIM_MACHINE_HH_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/regfile.hh"
+#include "mem/hierarchy.hh"
+#include "mem/memimage.hh"
+#include "network/network.hh"
+#include "sim/machineprog.hh"
+#include "support/stats.hh"
+#include "tm/tm.hh"
+
+namespace voltron {
+
+/** Why a core did not issue in a given cycle. */
+enum class StallCat : u8 {
+    None = 0,
+    IFetch,    //!< instruction-cache miss
+    DCache,    //!< data-cache miss (blocking)
+    Latency,   //!< in-order scoreboard interlock
+    RecvData,  //!< RECV waiting on a data value
+    RecvPred,  //!< RECV waiting on a branch predicate
+    JoinSync,  //!< RECV waiting on a worker-done token (call/return sync)
+    MemSync,   //!< RECV waiting on a memory-dependence token
+    SendFull,  //!< SEND back-pressure
+    Barrier,   //!< waiting at a coupled-mode entry barrier
+    TmResolve, //!< transaction validation/commit
+    NumCats,
+};
+
+const char *stall_cat_name(StallCat cat);
+
+/** Machine configuration. */
+struct MachineConfig
+{
+    u16 numCores = 4;
+    NetworkConfig net;
+    MemConfig mem;
+    u64 maxCycles = 2'000'000'000;
+    /** Cycles of XVALIDATE base cost plus per-committed-line cost. */
+    u32 tmResolveBase = 20;
+    u32 tmResolvePerLine = 1;
+    /** Watchdog: fatal after this many cycles with no core issuing. */
+    u64 watchdogCycles = 200'000;
+
+    /** Mesh shape for a core count (1x1, 2x1, 2x2). */
+    static MachineConfig forCores(u16 cores);
+};
+
+/** Result of a completed machine run. */
+struct MachineResult
+{
+    u64 exitValue = 0;
+    Cycle cycles = 0;
+    u64 dynamicOps = 0;
+
+    /** Per-core stall cycles by category. */
+    std::vector<std::array<u64, static_cast<size_t>(StallCat::NumCats)>>
+        stalls;
+    /** Per-core issued-op counts. */
+    std::vector<u64> issued;
+    /** Per-core idle (asleep) cycles. */
+    std::vector<u64> idleCycles;
+
+    /** Cycles attributed to each region (by the master's position). */
+    std::map<RegionId, u64> regionCycles;
+    /** Cycles spent in coupled lockstep vs decoupled execution. */
+    u64 coupledCycles = 0;
+    u64 decoupledCycles = 0;
+
+    u64
+    stallSum(CoreId core) const
+    {
+        u64 sum = 0;
+        for (u64 v : stalls.at(core))
+            sum += v;
+        return sum;
+    }
+    u64 stallOf(CoreId core, StallCat cat) const
+    {
+        return stalls.at(core).at(static_cast<size_t>(cat));
+    }
+};
+
+/** The machine. */
+class Machine
+{
+  public:
+    Machine(const MachineProgram &prog, const MachineConfig &config);
+    ~Machine();
+
+    /** Run to master HALT; returns results. */
+    MachineResult run();
+
+    /** Architectural memory after (or during) the run. */
+    MemoryImage &memory() { return mem_; }
+    const MemoryImage &memory() const { return mem_; }
+
+    /** Component statistics. */
+    const StatSet &memStats() const { return hierarchy_.stats(); }
+    const StatSet &netStats() const { return net_.stats(); }
+    const StatSet &tmStats() const { return tm_.stats(); }
+
+  private:
+    struct Frame
+    {
+        FuncId func = kNoFunc;
+        RegFile regs;
+        std::unordered_map<RegId, Cycle> ready;
+        /** Return point in the caller (master only). */
+        BlockId retBlock = kNoBlock;
+        size_t retIdx = 0;
+    };
+
+    enum class CoreRun : u8 { Idle, Run, Barrier, Halted };
+
+    struct Core
+    {
+        CoreId id = 0;
+        CoreRun state = CoreRun::Idle;
+        FuncId func = 0;
+        BlockId block = 0;
+        size_t opIdx = 0;
+        std::vector<Frame> frames;
+        Cycle busyUntil = 0;
+        StallCat busyCat = StallCat::None;
+        bool fetched = false;
+
+        /** Lockstep: branch outcome recorded for the block transition. */
+        bool pendingTaken = false;
+        BlockId pendingTarget = kNoBlock;
+
+        std::array<u64, static_cast<size_t>(StallCat::NumCats)> stalls{};
+        u64 issued = 0;
+        u64 idleCycles = 0;
+
+        Frame &frame() { return frames.back(); }
+    };
+
+    /** The (single) coupled lockstep group. */
+    struct Group
+    {
+        bool active = false;
+        u32 blockCycle = 0;
+        Cycle stallUntil = 0;
+        StallCat stallCat = StallCat::None;
+    };
+
+    const MachineProgram &prog_;
+    MachineConfig config_;
+    MemoryImage mem_;
+    MemHierarchy hierarchy_;
+    OperandNetwork net_;
+    TransactionalMemory tm_;
+    std::vector<Core> cores_;
+    Group group_;
+    Cycle now_ = 0;
+    bool halted_ = false;
+    u64 exitValue_ = 0;
+    u64 dynamicOps_ = 0;
+    Cycle lastProgress_ = 0;
+    std::map<RegionId, u64> regionCycles_;
+    u64 coupledCycles_ = 0, decoupledCycles_ = 0;
+
+    /** Per-core (func, block) -> instruction base address. */
+    std::vector<std::map<u64, Addr>> blockAddr_;
+
+    const Function &coreFunc(CoreId c, FuncId f) const
+    {
+        return prog_.perCore.at(c).functions.at(f);
+    }
+    const BasicBlock &
+    curBlock(const Core &core) const
+    {
+        return coreFunc(core.id, core.func).block(core.block);
+    }
+
+    Addr opAddr(const Core &core, size_t op_idx) const;
+    void layoutCode();
+
+    void stall(Core &core, StallCat cat);
+    void enterBlock(Core &core, BlockId block);
+    bool operandsReady(Core &core, const Operation &op) const;
+    void writeDst(Core &core, RegId dst, u64 value, u32 latency);
+    u64 readSrc(Core &core, RegId reg) const;
+    u64 src1Value(Core &core, const Operation &op) const;
+
+    /** Memory access routed through the TM when a txn is open. */
+    u64 dataRead(Core &core, Addr addr, u8 size, bool sign);
+    void dataWrite(Core &core, Addr addr, u64 value, u8 size);
+
+    /** One decoupled step of @p core. Returns true if it issued an op. */
+    bool stepDecoupled(Core &core);
+
+    /** Execute @p op on @p core (shared by both modes). Returns false if
+     * the op could not complete (core must retry, stall recorded). */
+    bool execute(Core &core, const Operation &op);
+
+    /** One lockstep step of the whole group. */
+    void stepGroup();
+
+    /** Try to form the group once every core is at the barrier. */
+    void maybeFormGroup();
+
+    void dissolveGroup();
+
+    void attributeCycle();
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SIM_MACHINE_HH_

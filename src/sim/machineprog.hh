@@ -1,0 +1,85 @@
+/**
+ * @file
+ * MachineProgram — the compiler's output and the simulator's input.
+ *
+ * A machine program holds one per-core clone of every function. Clones
+ * mirror the original function's block structure one-to-one on their
+ * original block ids (so "the same logical block" is "the same BlockId"
+ * across cores); compiler-added preamble/epilogue blocks are appended
+ * after the mirrored ids and are core-private. Region metadata drives
+ * per-region cycle attribution (paper Figs. 3 and 14).
+ */
+
+#ifndef VOLTRON_SIM_MACHINEPROG_HH_
+#define VOLTRON_SIM_MACHINEPROG_HH_
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Execution technique chosen for a region (paper §4). */
+enum class ExecMode : u8 {
+    Serial,  //!< master core only
+    Coupled, //!< lockstep DVLIW, ILP via BUG partitioning
+    Strands, //!< decoupled fine-grain TLP via eBUG
+    Dswp,    //!< decoupled pipeline parallelism
+    Doall,   //!< speculative chunked loop on the TM
+};
+
+const char *exec_mode_name(ExecMode mode);
+
+/** True for the modes that run decoupled. */
+inline bool
+is_decoupled(ExecMode mode)
+{
+    return mode == ExecMode::Strands || mode == ExecMode::Dswp ||
+           mode == ExecMode::Doall;
+}
+
+/** Structural kind of a region. */
+enum class RegionKind : u8 {
+    Glue,         //!< serial-only code (calls, entry/exit blocks)
+    Straightline, //!< acyclic call-free block group
+    Loop,         //!< outermost call-free loop nest
+};
+
+/** Metadata of one region. */
+struct RegionMeta
+{
+    RegionId id = kNoRegion;
+    FuncId func = kNoFunc;
+    BlockId entry = kNoBlock;
+    RegionKind kind = RegionKind::Glue;
+    ExecMode mode = ExecMode::Serial;
+    u64 profiledOps = 0; //!< dynamic ops attributed by the profile
+};
+
+/** A compiled multicore program. */
+struct MachineProgram
+{
+    std::string name;
+    u16 numCores = 1;
+
+    /** The original sequential program (data segment + golden source). */
+    Program original;
+
+    /** Per-core clones; perCore[c].functions[f] mirrors original f. */
+    std::vector<Program> perCore;
+
+    /** Region table indexed by RegionId. */
+    std::vector<RegionMeta> regions;
+
+    const RegionMeta &
+    region(RegionId id) const
+    {
+        return regions.at(id);
+    }
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SIM_MACHINEPROG_HH_

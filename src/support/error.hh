@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's panic()/fatal().
+ *
+ * panic() is for internal invariant violations (a Voltron bug); fatal() is
+ * for user errors (bad configuration, malformed input programs). Both throw
+ * typed exceptions so tests can assert on them.
+ */
+
+#ifndef VOLTRON_SUPPORT_ERROR_HH_
+#define VOLTRON_SUPPORT_ERROR_HH_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace voltron {
+
+/** Thrown on internal invariant violations — always a Voltron bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown on user/configuration errors — the simulation cannot continue. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+format_into(std::ostringstream &) {}
+
+template <typename T, typename... Rest>
+void
+format_into(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    format_into(os, rest...);
+}
+
+} // namespace detail
+
+/** Raise a PanicError built from the streamed arguments. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::format_into(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Raise a FatalError built from the streamed arguments. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::format_into(os, args...);
+    throw FatalError(os.str());
+}
+
+/** panic() unless @p cond holds. */
+template <typename... Args>
+void
+panic_if_not(bool cond, const Args &...args)
+{
+    if (!cond)
+        panic(args...);
+}
+
+/** fatal() unless @p cond holds. */
+template <typename... Args>
+void
+fatal_if_not(bool cond, const Args &...args)
+{
+    if (!cond)
+        fatal(args...);
+}
+
+} // namespace voltron
+
+#endif // VOLTRON_SUPPORT_ERROR_HH_

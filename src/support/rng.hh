@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator.
+ *
+ * All stochastic content in Voltron (workload data, synthetic address
+ * streams) flows through this splitmix64-based generator so every
+ * experiment regenerates bit-identically from its seed, independent of
+ * the host standard library.
+ */
+
+#ifndef VOLTRON_SUPPORT_RNG_HH_
+#define VOLTRON_SUPPORT_RNG_HH_
+
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Deterministic splitmix64 RNG. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    u64
+    next()
+    {
+        u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    u64
+    below(u64 bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    i64
+    range(i64 lo, i64 hi)
+    {
+        return lo + static_cast<i64>(below(static_cast<u64>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    u64 state_;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SUPPORT_RNG_HH_

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components register scalar counters and distributions under dotted names
+ * (e.g. "core0.dcache.misses"); reports can be dumped or queried by tests
+ * and the figure harnesses.
+ */
+
+#ifndef VOLTRON_SUPPORT_STATS_HH_
+#define VOLTRON_SUPPORT_STATS_HH_
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "support/error.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** A named bag of scalar counters. */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if absent. */
+    void
+    add(const std::string &name, u64 delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set counter @p name to @p value. */
+    void
+    set(const std::string &name, u64 value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Value of counter @p name (0 if never touched). */
+    u64
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** True if the counter exists. */
+    bool
+    has(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    /** Reset every counter to zero. */
+    void
+    clear()
+    {
+        counters_.clear();
+    }
+
+    /** Merge another set into this one (summing counters). */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counters_[name] += value;
+    }
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, u64> &counters() const { return counters_; }
+
+    /** Human-readable dump, one counter per line. */
+    void
+    dump(std::ostream &os, const std::string &prefix = "") const
+    {
+        for (const auto &[name, value] : counters_)
+            os << prefix << name << " = " << value << "\n";
+    }
+
+  private:
+    std::map<std::string, u64> counters_;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SUPPORT_STATS_HH_

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental integer typedefs and small identifiers used across Voltron.
+ */
+
+#ifndef VOLTRON_SUPPORT_TYPES_HH_
+#define VOLTRON_SUPPORT_TYPES_HH_
+
+#include <cstdint>
+#include <limits>
+
+namespace voltron {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulated memory address (byte granular). */
+using Addr = u64;
+
+/** Simulation time in core clock cycles. */
+using Cycle = u64;
+
+/** Index of a core in the multicore mesh (row-major). */
+using CoreId = u16;
+
+/** Sentinel for "no core". */
+inline constexpr CoreId kNoCore = std::numeric_limits<CoreId>::max();
+
+/** Index of a basic block within its function. */
+using BlockId = u32;
+
+/** Sentinel for "no block". */
+inline constexpr BlockId kNoBlock = std::numeric_limits<BlockId>::max();
+
+/** Index of a function within its program. */
+using FuncId = u32;
+
+/** Sentinel for "no function". */
+inline constexpr FuncId kNoFunc = std::numeric_limits<FuncId>::max();
+
+/** Identifier of a compiler region (loop or acyclic region). */
+using RegionId = u32;
+
+/** Sentinel for "no region". */
+inline constexpr RegionId kNoRegion = std::numeric_limits<RegionId>::max();
+
+} // namespace voltron
+
+#endif // VOLTRON_SUPPORT_TYPES_HH_

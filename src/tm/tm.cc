@@ -1,0 +1,144 @@
+#include "tm/tm.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+TransactionalMemory::TransactionalMemory(u16 num_cores, u32 line_bytes)
+    : numCores_(num_cores), lineBytes_(line_bytes)
+{
+    fatal_if_not((line_bytes & (line_bytes - 1)) == 0,
+                 "TM line size must be a power of two");
+    txns_.resize(num_cores);
+}
+
+void
+TransactionalMemory::begin(CoreId core, u64 ordinal)
+{
+    Txn &txn = txns_.at(core);
+    panic_if_not(!txn.open && !txn.closed,
+                 "XBEGIN with a transaction already in flight on core ",
+                 core);
+    txn = Txn{};
+    txn.open = true;
+    txn.ordinal = ordinal;
+    stats_.add("tm.begins");
+}
+
+void
+TransactionalMemory::close(CoreId core)
+{
+    Txn &txn = txns_.at(core);
+    panic_if_not(txn.open, "XCOMMIT without an open transaction on core ",
+                 core);
+    txn.open = false;
+    txn.closed = true;
+}
+
+void
+TransactionalMemory::abort(CoreId core)
+{
+    txns_.at(core) = Txn{};
+    stats_.add("tm.aborts");
+}
+
+bool
+TransactionalMemory::active(CoreId core) const
+{
+    return txns_.at(core).open;
+}
+
+bool
+TransactionalMemory::inFlight(CoreId core) const
+{
+    const Txn &txn = txns_.at(core);
+    return txn.open || txn.closed;
+}
+
+u64
+TransactionalMemory::read(CoreId core, MemoryImage &mem, Addr addr, u8 size,
+                          bool sign)
+{
+    Txn &txn = txns_.at(core);
+    panic_if_not(txn.open, "speculative read outside a transaction");
+    for (Addr a = lineOf(addr); a <= lineOf(addr + size - 1); a += lineBytes_)
+        txn.readLines.insert(a);
+
+    u64 raw = 0;
+    auto *bytes = reinterpret_cast<u8 *>(&raw);
+    for (u8 i = 0; i < size; ++i) {
+        auto it = txn.writeLog.find(addr + i);
+        bytes[i] = it != txn.writeLog.end()
+                       ? it->second
+                       : static_cast<u8>(mem.read(addr + i, 1));
+    }
+    if (sign && size < 8) {
+        const u64 shift = 64 - 8 * size;
+        raw = static_cast<u64>(static_cast<i64>(raw << shift) >> shift);
+    }
+    return raw;
+}
+
+void
+TransactionalMemory::write(CoreId core, Addr addr, u64 value, u8 size)
+{
+    Txn &txn = txns_.at(core);
+    panic_if_not(txn.open, "speculative write outside a transaction");
+    for (Addr a = lineOf(addr); a <= lineOf(addr + size - 1); a += lineBytes_)
+        txn.writeLines.insert(a);
+    const auto *bytes = reinterpret_cast<const u8 *>(&value);
+    for (u8 i = 0; i < size; ++i)
+        txn.writeLog[addr + i] = bytes[i];
+}
+
+TmResolution
+TransactionalMemory::resolve(MemoryImage &mem)
+{
+    TmResolution result;
+
+    // Gather in-flight transactions ordered by chunk ordinal.
+    std::vector<Txn *> order;
+    for (Txn &txn : txns_) {
+        panic_if_not(!txn.open, "XVALIDATE with a still-open transaction");
+        if (txn.closed)
+            order.push_back(&txn);
+    }
+    std::sort(order.begin(), order.end(),
+              [](const Txn *a, const Txn *b) { return a->ordinal < b->ordinal; });
+    result.chunks = order.size();
+
+    // Violation: an earlier chunk wrote a line a later chunk read.
+    for (size_t i = 0; i < order.size() && !result.violated; ++i) {
+        for (size_t j = i + 1; j < order.size() && !result.violated; ++j) {
+            for (Addr line : order[i]->writeLines) {
+                if (order[j]->readLines.count(line)) {
+                    result.violated = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    if (!result.violated) {
+        std::set<Addr> lines;
+        for (Txn *txn : order) {
+            for (const auto &[addr, byte] : txn->writeLog) {
+                mem.write(addr, byte, 1);
+                lines.insert(lineOf(addr));
+            }
+        }
+        result.linesCommitted = lines.size();
+        stats_.add("tm.commits", order.size());
+        stats_.add("tm.linesCommitted", result.linesCommitted);
+    } else {
+        stats_.add("tm.violations");
+    }
+
+    for (Txn &txn : txns_)
+        txn = Txn{};
+    return result;
+}
+
+} // namespace voltron

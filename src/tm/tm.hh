@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Low-cost transactional memory for speculative statistical-DOALL loops.
+ *
+ * Lazy-versioning, ordered-commit design. Each core opens a transaction
+ * (XBEGIN) with a *chunk ordinal* giving its position in the loop's serial
+ * iteration order. Speculative stores are buffered byte-granular in a
+ * write log; speculative loads see the core's own log first, then shared
+ * memory. Read and write sets are tracked at cache-line granularity (so
+ * false sharing can abort, as with a real coherence-based detector).
+ *
+ * When the master core executes XVALIDATE after every chunk has closed
+ * (XCOMMIT), the transactions are resolved in chunk order: a violation
+ * exists iff an earlier chunk's write set intersects a later chunk's read
+ * set — the later chunk read a stale value. On success all write logs are
+ * applied to memory in chunk order (byte-exact, so write-write overlaps
+ * resolve exactly as the serial loop would); on violation everything is
+ * discarded and XVALIDATE reports failure so the compiler's serial
+ * recovery loop re-executes the region.
+ */
+
+#ifndef VOLTRON_TM_TM_HH_
+#define VOLTRON_TM_TM_HH_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "mem/memimage.hh"
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Outcome of resolving a speculative region. */
+struct TmResolution
+{
+    bool violated = false;
+    u64 linesCommitted = 0; //!< distinct lines written (commit bandwidth)
+    u64 chunks = 0;
+};
+
+/** The transactional memory. */
+class TransactionalMemory
+{
+  public:
+    TransactionalMemory(u16 num_cores, u32 line_bytes = 64);
+
+    /** Open a transaction on @p core with serial position @p ordinal. */
+    void begin(CoreId core, u64 ordinal);
+
+    /** Close @p core's transaction (commit deferred to resolve()). */
+    void close(CoreId core);
+
+    /** Software abort: discard @p core's transaction. */
+    void abort(CoreId core);
+
+    /** True while @p core has an open (begun, not closed) transaction. */
+    bool active(CoreId core) const;
+
+    /** True if @p core has a transaction in any state (open or closed). */
+    bool inFlight(CoreId core) const;
+
+    /**
+     * Speculative read: @p size bytes at @p addr, own-log bytes take
+     * precedence over @p mem. Records the read set.
+     */
+    u64 read(CoreId core, MemoryImage &mem, Addr addr, u8 size, bool sign);
+
+    /** Speculative write: buffered in the log. Records the write set. */
+    void write(CoreId core, Addr addr, u64 value, u8 size);
+
+    /**
+     * Resolve every in-flight transaction in chunk order (all must be
+     * closed). Applies logs to @p mem on success; discards them on
+     * violation. Clears all transactions either way.
+     */
+    TmResolution resolve(MemoryImage &mem);
+
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Txn
+    {
+        bool open = false;
+        bool closed = false;
+        u64 ordinal = 0;
+        std::set<Addr> readLines, writeLines;
+        std::map<Addr, u8> writeLog; //!< byte address -> value
+    };
+
+    u16 numCores_;
+    u32 lineBytes_;
+    std::vector<Txn> txns_;
+    StatSet stats_;
+
+    Addr lineOf(Addr addr) const { return addr & ~static_cast<Addr>(
+                                              lineBytes_ - 1); }
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_TM_TM_HH_

@@ -1,0 +1,493 @@
+#include "workloads/archetypes.hh"
+
+#include <algorithm>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+const char *
+archetype_name(Archetype archetype)
+{
+    switch (archetype) {
+      case Archetype::DoallStream: return "doall_stream";
+      case Archetype::DoallReduction: return "doall_reduction";
+      case Archetype::IlpWide: return "ilp_wide";
+      case Archetype::StrandMatch: return "strand_match";
+      case Archetype::DswpPipe: return "dswp_pipe";
+      case Archetype::PointerChase: return "pointer_chase";
+      case Archetype::BranchyIlp: return "branchy_ilp";
+      default: return "?";
+    }
+}
+
+namespace {
+
+u64
+pow2_at_least(u64 x)
+{
+    u64 p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+std::vector<i64>
+random_array(Rng &rng, u64 elems, i64 lo = 0, i64 hi = 1 << 20)
+{
+    std::vector<i64> values(elems);
+    for (auto &v : values)
+        v = rng.range(lo, hi);
+    return values;
+}
+
+/**
+ * dst[i] = f(src[i]); sum += dst[i] — statistical DOALL with an
+ * accumulator (paper Fig. 7 shape, plus accumulator expansion).
+ */
+FuncId
+emit_doall_stream(ProgramBuilder &b, const std::string &name,
+                  const PhaseParams &pp, Rng &rng)
+{
+    const u64 n = pp.trips;
+    Addr a_src = b.allocArrayI64(name + ".src", random_array(rng, n));
+    Addr a_dst = b.allocArrayI64(name + ".dst",
+                                 std::vector<i64>(n, 0));
+    const u32 s_src = b.symbolOf(name + ".src");
+    const u32 s_dst = b.symbolOf(name + ".dst");
+
+    FuncId f = b.beginFunction(name, 1, true);
+    RegId rep = gpr(1);
+    RegId base_src = b.emitImm(static_cast<i64>(a_src));
+    RegId base_dst = b.emitImm(static_cast<i64>(a_dst));
+    RegId sum = b.newGpr();
+    b.emit(ops::movi(sum, 0));
+
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, static_cast<i64>(n), 1, "stream");
+    {
+        RegId off = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off, i, 3));
+        RegId addr_s = b.newGpr();
+        b.emit(ops::add(addr_s, base_src, off));
+        RegId x = b.newGpr();
+        b.emitLoad(x, addr_s, 0, s_src);
+        RegId y = b.newGpr();
+        b.emit(ops::alui(Opcode::MUL, y, x, 3));
+        b.emit(ops::add(y, y, rep));
+        RegId z = b.newGpr();
+        b.emit(ops::alui(Opcode::SHR, z, y, 2));
+        b.emit(ops::alu(Opcode::XOR, y, y, z));
+        RegId addr_d = b.newGpr();
+        b.emit(ops::add(addr_d, base_dst, off));
+        b.emitStore(addr_d, 0, y, s_dst);
+        b.emit(ops::add(sum, sum, y));
+    }
+    b.endCountedLoop(loop);
+
+    b.emit(ops::mov(gpr(0), sum));
+    b.emit(ops::ret());
+    b.endFunction();
+    return f;
+}
+
+/** sum += a[i] * 3 — a pure DOALL reduction. */
+FuncId
+emit_doall_reduction(ProgramBuilder &b, const std::string &name,
+                     const PhaseParams &pp, Rng &rng)
+{
+    const u64 n = pp.trips;
+    Addr a_src = b.allocArrayI64(name + ".a", random_array(rng, n));
+    const u32 s_src = b.symbolOf(name + ".a");
+
+    FuncId f = b.beginFunction(name, 1, true);
+    RegId base = b.emitImm(static_cast<i64>(a_src));
+    RegId sum = b.newGpr();
+    b.emit(ops::movi(sum, 0));
+
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, static_cast<i64>(n), 1, "reduce");
+    {
+        RegId off = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off, i, 3));
+        RegId addr = b.newGpr();
+        b.emit(ops::add(addr, base, off));
+        RegId x = b.newGpr();
+        b.emitLoad(x, addr, 0, s_src);
+        RegId y = b.newGpr();
+        b.emit(ops::alui(Opcode::MUL, y, x, 3));
+        b.emit(ops::add(sum, sum, y));
+    }
+    b.endCountedLoop(loop);
+
+    b.emit(ops::add(gpr(0), sum, gpr(1)));
+    b.emit(ops::ret());
+    b.endFunction();
+    return f;
+}
+
+/**
+ * Wide independent chains seeded by a serial carry (paper Fig. 9 shape):
+ * high ILP, hit-friendly working set, carry recurrence defeats DOALL and
+ * folds everything into one SCC so DSWP cannot split it.
+ */
+FuncId
+emit_ilp_wide(ProgramBuilder &b, const std::string &name,
+              const PhaseParams &pp, Rng &rng)
+{
+    const u64 elems = pow2_at_least(std::max<u64>(pp.elems, 64));
+    Addr a_src = b.allocArrayI64(name + ".a", random_array(rng, elems));
+    const u32 s_src = b.symbolOf(name + ".a");
+    const i64 mask = static_cast<i64>(elems - 1);
+
+    FuncId f = b.beginFunction(name, 1, true);
+    RegId base = b.emitImm(static_cast<i64>(a_src));
+    RegId carry = b.newGpr();
+    b.emit(ops::mov(carry, gpr(1)));
+
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, static_cast<i64>(pp.trips), 1,
+                                 "wide");
+    {
+        RegId z = b.newGpr();
+        b.emit(ops::movi(z, 0));
+        RegId iw = b.newGpr();
+        b.emit(ops::alui(Opcode::MUL, iw, i, pp.width));
+        // Mix the carry into the gather index: the loads join the
+        // recurrence SCC (like the paper's Fig. 9 loop), so DSWP cannot
+        // pipeline this region — its parallelism is pure ILP.
+        RegId cmix = b.newGpr();
+        b.emit(ops::alui(Opcode::AND, cmix, carry, 63));
+        b.emit(ops::add(iw, iw, cmix));
+        for (u32 k = 0; k < pp.width; ++k) {
+            RegId idx = b.newGpr();
+            b.emit(ops::addi(idx, iw, k));
+            b.emit(ops::alui(Opcode::AND, idx, idx, mask));
+            b.emit(ops::alui(Opcode::SHL, idx, idx, 3));
+            RegId addr = b.newGpr();
+            b.emit(ops::add(addr, base, idx));
+            RegId x = b.newGpr();
+            b.emitLoad(x, addr, 0, s_src);
+            RegId t = b.newGpr();
+            b.emit(ops::add(t, x, carry));
+            b.emit(ops::alui(Opcode::MUL, t, t, 3));
+            RegId u = b.newGpr();
+            b.emit(ops::alui(Opcode::SHR, u, t, 7));
+            b.emit(ops::alu(Opcode::XOR, t, t, u));
+            b.emit(ops::add(z, z, t));
+        }
+        // carry = (carry >> 1) + z — two defs, so not an accumulator.
+        RegId half = b.newGpr();
+        b.emit(ops::alui(Opcode::SHR, half, carry, 1));
+        b.emit(ops::add(carry, half, z));
+    }
+    b.endCountedLoop(loop);
+
+    b.emit(ops::mov(gpr(0), carry));
+    b.emit(ops::ret());
+    b.endFunction();
+    return f;
+}
+
+/**
+ * Two miss-heavy streams merged by compares with a data-dependent exit
+ * (paper Fig. 8, 164.gzip): an uncounted loop that suits eBUG strands.
+ * The arrays agree on the first pp.trips elements and differ after, so
+ * the trip count is deterministic.
+ */
+FuncId
+emit_strand_match(ProgramBuilder &b, const std::string &name,
+                  const PhaseParams &pp, Rng &rng)
+{
+    const u64 n = pp.trips + 1;
+    std::vector<i64> scan = random_array(rng, n);
+    std::vector<i64> match = scan;
+    match[n - 1] ^= 0x5a5a;
+    Addr a_scan = b.allocArrayI64(name + ".scan", scan);
+    Addr a_match = b.allocArrayI64(name + ".match", match);
+    const u32 s_scan = b.symbolOf(name + ".scan");
+    const u32 s_match = b.symbolOf(name + ".match");
+
+    FuncId f = b.beginFunction(name, 1, true);
+    RegId base_s = b.emitImm(static_cast<i64>(a_scan));
+    RegId base_m = b.emitImm(static_cast<i64>(a_match));
+    RegId acc = b.newGpr();
+    b.emit(ops::mov(acc, gpr(1)));
+    RegId i = b.newGpr();
+    b.emit(ops::movi(i, 0));
+
+    BlockId header = b.newBlock("match.header");
+    BlockId cont = b.newBlock("match.cont");
+    BlockId exit = b.newBlock("match.exit");
+    b.fallthroughTo(header);
+
+    // header: load `width` elements of both streams (the paper's loop
+    // compares r1..r4 against r5..r8 per iteration), accumulate, and
+    // exit when any pair mismatches.
+    const u32 unroll = std::max<u32>(pp.width / 2, 1);
+    {
+        RegId off = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off, i, 3));
+        RegId addr_s = b.newGpr();
+        b.emit(ops::add(addr_s, base_s, off));
+        RegId addr_m = b.newGpr();
+        b.emit(ops::add(addr_m, base_m, off));
+        RegId diff = b.newGpr();
+        b.emit(ops::movi(diff, 0));
+        for (u32 k = 0; k < unroll; ++k) {
+            RegId a = b.newGpr();
+            b.emitLoad(a, addr_s, static_cast<i64>(8 * k), s_scan);
+            RegId m = b.newGpr();
+            b.emitLoad(m, addr_m, static_cast<i64>(8 * k), s_match);
+            RegId s = b.newGpr();
+            b.emit(ops::add(s, a, m));
+            b.emit(ops::alu(Opcode::XOR, acc, acc, s));
+            RegId d = b.newGpr();
+            b.emit(ops::sub(d, a, m));
+            b.emit(ops::alu(Opcode::OR, diff, diff, d));
+        }
+        RegId ne = b.newPr();
+        b.emit(ops::cmpi(CmpCond::NE, ne, diff, 0));
+        b.emitBranch(ne, exit);
+        b.fallthroughTo(cont);
+    }
+    // cont: stop after the known match length (safety bound).
+    {
+        b.emit(ops::addi(i, i, static_cast<i64>(unroll)));
+        RegId done = b.newPr();
+        b.emit(ops::cmpi(CmpCond::GE, done, i,
+                         static_cast<i64>(pp.trips)));
+        b.emitBranch(done, exit);
+        b.emitJump(header);
+    }
+    b.setBlock(exit);
+    b.emit(ops::add(gpr(0), acc, i));
+    b.emit(ops::ret());
+    b.endFunction();
+    return f;
+}
+
+/**
+ * An LCG-driven gather feeding a compute/store stream — unidirectional
+ * flow suited to DSWP; the index recurrence defeats DOALL.
+ */
+FuncId
+emit_dswp_pipe(ProgramBuilder &b, const std::string &name,
+               const PhaseParams &pp, Rng &rng)
+{
+    const u64 elems = pow2_at_least(std::max<u64>(pp.elems, 64));
+    Addr a_src = b.allocArrayI64(name + ".a", random_array(rng, elems));
+    Addr a_dst = b.allocArrayI64(
+        name + ".b",
+        std::vector<i64>(std::min<u64>(pp.trips, 1u << 20), 0));
+    const u32 s_src = b.symbolOf(name + ".a");
+    const u32 s_dst = b.symbolOf(name + ".b");
+    const i64 mask = static_cast<i64>(elems - 1);
+
+    FuncId f = b.beginFunction(name, 1, true);
+    RegId base_a = b.emitImm(static_cast<i64>(a_src));
+    RegId base_b = b.emitImm(static_cast<i64>(a_dst));
+    RegId idx = b.newGpr();
+    b.emit(ops::mov(idx, gpr(1)));
+    RegId acc = b.newGpr();
+    b.emit(ops::movi(acc, 0));
+
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, static_cast<i64>(pp.trips), 1,
+                                 "pipe");
+    {
+        // Stage 1: pointer-ish traversal (LCG) + gather.
+        b.emit(ops::alui(Opcode::MUL, idx, idx, 1103515245));
+        b.emit(ops::addi(idx, idx, 12345));
+        b.emit(ops::alui(Opcode::AND, idx, idx, mask));
+        RegId off = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off, idx, 3));
+        RegId addr_a = b.newGpr();
+        b.emit(ops::add(addr_a, base_a, off));
+        RegId x = b.newGpr();
+        b.emitLoad(x, addr_a, 0, s_src);
+        // Stage 2: compute + sequential store.
+        RegId y = b.newGpr();
+        b.emit(ops::alui(Opcode::MUL, y, x, 3));
+        b.emit(ops::add(y, y, i));
+        RegId t = b.newGpr();
+        b.emit(ops::alui(Opcode::SHR, t, y, 5));
+        b.emit(ops::alu(Opcode::XOR, y, y, t));
+        RegId off_b = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off_b, i, 3));
+        RegId addr_b = b.newGpr();
+        b.emit(ops::add(addr_b, base_b, off_b));
+        b.emitStore(addr_b, 0, y, s_dst);
+        b.emit(ops::add(acc, acc, y));
+    }
+    b.endCountedLoop(loop);
+
+    b.emit(ops::mov(gpr(0), acc));
+    b.emit(ops::ret());
+    b.endFunction();
+    return f;
+}
+
+/** Serial linked traversal: idx = next[idx]; acc += vals[idx]. */
+FuncId
+emit_pointer_chase(ProgramBuilder &b, const std::string &name,
+                   const PhaseParams &pp, Rng &rng)
+{
+    const u64 elems = pow2_at_least(std::max<u64>(pp.elems, 64));
+    // A random permutation cycle for the next[] array.
+    std::vector<i64> next(elems);
+    {
+        std::vector<u64> perm(elems);
+        for (u64 i = 0; i < elems; ++i)
+            perm[i] = i;
+        for (u64 i = elems - 1; i > 0; --i)
+            std::swap(perm[i], perm[rng.below(i + 1)]);
+        for (u64 i = 0; i < elems; ++i)
+            next[perm[i]] = static_cast<i64>(perm[(i + 1) % elems]);
+    }
+    Addr a_next = b.allocArrayI64(name + ".next", next);
+    Addr a_vals = b.allocArrayI64(name + ".vals", random_array(rng, elems));
+    const u32 s_next = b.symbolOf(name + ".next");
+    const u32 s_vals = b.symbolOf(name + ".vals");
+
+    FuncId f = b.beginFunction(name, 1, true);
+    RegId base_n = b.emitImm(static_cast<i64>(a_next));
+    RegId base_v = b.emitImm(static_cast<i64>(a_vals));
+    RegId idx = b.newGpr();
+    b.emit(ops::alui(Opcode::AND, idx, gpr(1),
+                     static_cast<i64>(elems - 1)));
+    RegId acc = b.newGpr();
+    b.emit(ops::movi(acc, 0));
+
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, static_cast<i64>(pp.trips), 1,
+                                 "chase");
+    {
+        RegId off = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off, idx, 3));
+        RegId addr_n = b.newGpr();
+        b.emit(ops::add(addr_n, base_n, off));
+        b.emitLoad(idx, addr_n, 0, s_next);
+        RegId off_v = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off_v, idx, 3));
+        RegId addr_v = b.newGpr();
+        b.emit(ops::add(addr_v, base_v, off_v));
+        RegId v = b.newGpr();
+        b.emitLoad(v, addr_v, 0, s_vals);
+        b.emit(ops::add(acc, acc, v));
+    }
+    b.endCountedLoop(loop);
+
+    b.emit(ops::mov(gpr(0), acc));
+    b.emit(ops::ret());
+    b.endFunction();
+    return f;
+}
+
+/**
+ * If/else diamonds with moderate per-arm ILP over a small working set;
+ * the wrapping store creates a (true) cross-iteration dependence that
+ * defeats speculative DOALL.
+ */
+FuncId
+emit_branchy_ilp(ProgramBuilder &b, const std::string &name,
+                 const PhaseParams &pp, Rng &rng)
+{
+    const u64 elems = pow2_at_least(std::max<u64>(pp.elems, 64));
+    Addr a_src = b.allocArrayI64(name + ".a", random_array(rng, elems));
+    Addr a_dst = b.allocArrayI64(name + ".c",
+                                 std::vector<i64>(elems, 0));
+    const u32 s_src = b.symbolOf(name + ".a");
+    const u32 s_dst = b.symbolOf(name + ".c");
+    const i64 mask = static_cast<i64>(elems - 1);
+
+    FuncId f = b.beginFunction(name, 1, true);
+    RegId base_a = b.emitImm(static_cast<i64>(a_src));
+    RegId base_c = b.emitImm(static_cast<i64>(a_dst));
+    RegId acc = b.newGpr();
+    b.emit(ops::mov(acc, gpr(1)));
+
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, static_cast<i64>(pp.trips), 1,
+                                 "branchy");
+    {
+        RegId im = b.newGpr();
+        b.emit(ops::alui(Opcode::AND, im, i, mask));
+        RegId off = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off, im, 3));
+        RegId addr_a = b.newGpr();
+        b.emit(ops::add(addr_a, base_a, off));
+        RegId x = b.newGpr();
+        b.emitLoad(x, addr_a, 0, s_src);
+        RegId bit = b.newGpr();
+        b.emit(ops::alui(Opcode::AND, bit, x, 1));
+        RegId p = b.newPr();
+        b.emit(ops::cmpi(CmpCond::NE, p, bit, 0));
+
+        RegId y = b.newGpr();
+        IfHandles diamond = b.beginIf(p, /*with_else=*/true, "arm");
+        {
+            // then: a small independent tree.
+            RegId t1 = b.newGpr(), t2 = b.newGpr();
+            b.emit(ops::alui(Opcode::MUL, t1, x, 3));
+            b.emit(ops::alui(Opcode::SHL, t2, x, 2));
+            b.emit(ops::add(y, t1, t2));
+            for (u32 k = 1; k < pp.width; ++k) {
+                RegId u = b.newGpr();
+                b.emit(ops::alui(Opcode::XOR, u, x, k * 0x55));
+                b.emit(ops::add(y, y, u));
+            }
+        }
+        b.elseBranch(diamond);
+        {
+            RegId t1 = b.newGpr();
+            b.emit(ops::alui(Opcode::SHR, t1, x, 1));
+            b.emit(ops::addi(y, t1, 17));
+            for (u32 k = 1; k < pp.width; ++k) {
+                RegId u = b.newGpr();
+                b.emit(ops::alui(Opcode::ADD, u, x, k * 31));
+                b.emit(ops::alu(Opcode::XOR, y, y, u));
+            }
+        }
+        b.endIf(diamond);
+
+        RegId addr_c = b.newGpr();
+        b.emit(ops::add(addr_c, base_c, off));
+        b.emitStore(addr_c, 0, y, s_dst);
+        b.emit(ops::add(acc, acc, y));
+    }
+    b.endCountedLoop(loop);
+
+    b.emit(ops::mov(gpr(0), acc));
+    b.emit(ops::ret());
+    b.endFunction();
+    return f;
+}
+
+} // namespace
+
+FuncId
+emit_phase(ProgramBuilder &b, Archetype archetype, const std::string &name,
+           const PhaseParams &params, Rng &rng)
+{
+    switch (archetype) {
+      case Archetype::DoallStream:
+        return emit_doall_stream(b, name, params, rng);
+      case Archetype::DoallReduction:
+        return emit_doall_reduction(b, name, params, rng);
+      case Archetype::IlpWide:
+        return emit_ilp_wide(b, name, params, rng);
+      case Archetype::StrandMatch:
+        return emit_strand_match(b, name, params, rng);
+      case Archetype::DswpPipe:
+        return emit_dswp_pipe(b, name, params, rng);
+      case Archetype::PointerChase:
+        return emit_pointer_chase(b, name, params, rng);
+      case Archetype::BranchyIlp:
+        return emit_branchy_ilp(b, name, params, rng);
+      default:
+        panic("unknown archetype");
+    }
+}
+
+} // namespace voltron

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Kernel archetypes — the building blocks of the synthetic benchmark
+ * suite (the stand-in for MediaBench/SPEC; see DESIGN.md §2).
+ *
+ * Each archetype emits one *phase function* whose body contains a loop
+ * region with a characteristic parallelism signature:
+ *
+ *  - DoallStream / DoallReduction: statistical-DOALL loops (LLP) —
+ *    paper Fig. 7 (gsmdecode).
+ *  - IlpWide: wide independent expression trees with a loop-carried
+ *    memory recurrence that defeats DOALL; small working set — paper
+ *    Fig. 9 (gsmdecode ILP loop).
+ *  - StrandMatch: two independent miss-heavy load streams merged by
+ *    compares — paper Fig. 8 (164.gzip); suits eBUG strands.
+ *  - DswpPipe: a load/traverse stage feeding a compute/store stage with
+ *    unidirectional flow — suits DSWP.
+ *  - PointerChase: serial data-dependent traversal (no parallelism).
+ *  - BranchyIlp: if/else diamonds with moderate ILP, hit-friendly.
+ *
+ * Every phase function takes a repetition-index argument so callers can
+ * vary data offsets across invocations, and returns a checksum that the
+ * benchmark accumulates into its exit value (keeping every phase
+ * observable for golden-model comparison).
+ */
+
+#ifndef VOLTRON_WORKLOADS_ARCHETYPES_HH_
+#define VOLTRON_WORKLOADS_ARCHETYPES_HH_
+
+#include <string>
+
+#include "ir/builder.hh"
+#include "support/rng.hh"
+
+namespace voltron {
+
+/** Which archetype a phase uses. */
+enum class Archetype : u8 {
+    DoallStream,
+    DoallReduction,
+    IlpWide,
+    StrandMatch,
+    DswpPipe,
+    PointerChase,
+    BranchyIlp,
+};
+
+const char *archetype_name(Archetype archetype);
+
+/** Parameters of one phase. */
+struct PhaseParams
+{
+    u64 elems = 256;  //!< array elements (8-byte) — sizes the working set
+    u64 trips = 256;  //!< loop trip count per invocation
+    u32 width = 4;    //!< ILP width knob (IlpWide/BranchyIlp)
+    u64 seed = 1;     //!< data-content seed
+};
+
+/**
+ * Emit the phase function for @p archetype into @p b (allocating its data
+ * objects) and return its FuncId. The function signature is
+ * `phase(rep) -> checksum`.
+ */
+FuncId emit_phase(ProgramBuilder &b, Archetype archetype,
+                  const std::string &name, const PhaseParams &params,
+                  Rng &rng);
+
+} // namespace voltron
+
+#endif // VOLTRON_WORKLOADS_ARCHETYPES_HH_

@@ -1,0 +1,219 @@
+#include "workloads/suite.hh"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+/** Rough static body size used to convert op budgets into trip counts. */
+u64
+body_ops(Archetype archetype, u32 width)
+{
+    switch (archetype) {
+      case Archetype::DoallStream: return 13;
+      case Archetype::DoallReduction: return 8;
+      case Archetype::IlpWide: return 5 + 8ULL * width;
+      case Archetype::StrandMatch: return 14;
+      case Archetype::DswpPipe: return 16;
+      case Archetype::PointerChase: return 9;
+      case Archetype::BranchyIlp: return 14 + 2ULL * width;
+      default: panic("unknown archetype");
+    }
+}
+
+std::vector<BenchmarkSpec>
+make_specs()
+{
+    using A = Archetype;
+    // {archetype, fraction, elems, width, calls}
+    std::vector<BenchmarkSpec> specs = {
+        {"052.alvinn", {{A::DoallStream, .35, 512, 4, 1},
+                        {A::DoallReduction, .30, 512, 4, 1},
+                        {A::IlpWide, .25, 256, 6, 1},
+                        {A::PointerChase, .10, 1024, 4, 1}}},
+        {"056.ear", {{A::DoallStream, .30, 512, 4, 1},
+                     {A::DoallReduction, .25, 512, 4, 1},
+                     {A::IlpWide, .30, 256, 6, 1},
+                     {A::DswpPipe, .15, 2048, 4, 1}}},
+        {"132.ijpeg", {{A::IlpWide, .40, 256, 6, 1},
+                       {A::DoallStream, .35, 512, 4, 1},
+                       {A::StrandMatch, .25, 512, 4, 1}}},
+        {"164.gzip", {{A::StrandMatch, .55, 512, 4, 1},
+                      {A::IlpWide, .25, 256, 4, 1},
+                      {A::PointerChase, .20, 4096, 4, 1}}},
+        {"171.swim", {{A::DoallStream, .45, 512, 4, 1},
+                      {A::DoallReduction, .30, 512, 4, 1},
+                      {A::IlpWide, .25, 256, 8, 1}}},
+        {"172.mgrid", {{A::DoallStream, .40, 512, 4, 1},
+                       {A::DoallReduction, .30, 512, 4, 1},
+                       {A::IlpWide, .30, 256, 8, 1}}},
+        {"175.vpr", {{A::BranchyIlp, .45, 512, 4, 1},
+                     {A::StrandMatch, .25, 512, 4, 1},
+                     {A::PointerChase, .30, 8192, 4, 1}}},
+        {"177.mesa", {{A::IlpWide, .45, 256, 8, 1},
+                      {A::BranchyIlp, .20, 512, 4, 1},
+                      {A::DoallStream, .20, 512, 4, 1},
+                      {A::PointerChase, .15, 2048, 4, 1}}},
+        {"179.art", {{A::StrandMatch, .40, 512, 4, 1},
+                     {A::DswpPipe, .25, 32768, 4, 1},
+                     {A::DoallStream, .20, 512, 4, 1},
+                     {A::PointerChase, .15, 32768, 4, 1}}},
+        {"183.equake", {{A::DoallStream, .35, 512, 4, 1},
+                        {A::DoallReduction, .10, 512, 4, 1},
+                        {A::DswpPipe, .30, 8192, 4, 1},
+                        {A::IlpWide, .25, 256, 6, 1}}},
+        {"197.parser", {{A::PointerChase, .40, 16384, 4, 1},
+                        {A::BranchyIlp, .35, 512, 3, 1},
+                        {A::StrandMatch, .25, 512, 4, 1}}},
+        {"255.vortex", {{A::BranchyIlp, .40, 512, 5, 1},
+                        {A::PointerChase, .35, 8192, 4, 1},
+                        {A::DswpPipe, .25, 4096, 4, 1}}},
+        {"256.bzip2", {{A::IlpWide, .35, 256, 5, 1},
+                       {A::StrandMatch, .30, 512, 4, 1},
+                       {A::DoallStream, .20, 512, 4, 1},
+                       {A::PointerChase, .15, 4096, 4, 1}}},
+        {"cjpeg", {{A::DoallStream, .40, 512, 4, 1},
+                   {A::IlpWide, .35, 256, 6, 1},
+                   {A::StrandMatch, .25, 512, 4, 1}}},
+        {"djpeg", {{A::DoallStream, .45, 512, 4, 1},
+                   {A::IlpWide, .40, 256, 6, 1},
+                   {A::DswpPipe, .15, 2048, 4, 1}}},
+        {"epic", {{A::DswpPipe, .50, 8192, 4, 1},
+                  {A::DoallStream, .30, 512, 4, 1},
+                  {A::IlpWide, .20, 256, 5, 1}}},
+        {"g721decode", {{A::IlpWide, .60, 256, 6, 1},
+                        {A::DswpPipe, .25, 2048, 4, 1},
+                        {A::PointerChase, .15, 2048, 4, 1}}},
+        {"g721encode", {{A::IlpWide, .55, 256, 6, 1},
+                        {A::DswpPipe, .25, 2048, 4, 1},
+                        {A::BranchyIlp, .20, 512, 4, 1}}},
+        {"gsmdecode", {{A::IlpWide, .50, 256, 8, 1},
+                       {A::DoallStream, .35, 512, 4, 1},
+                       {A::DswpPipe, .15, 1024, 4, 1}}},
+        {"gsmencode", {{A::IlpWide, .55, 256, 8, 1},
+                       {A::DoallStream, .30, 512, 4, 1},
+                       {A::BranchyIlp, .15, 512, 4, 1}}},
+        {"mpeg2dec", {{A::DoallStream, .45, 512, 4, 1},
+                      {A::IlpWide, .35, 256, 6, 1},
+                      {A::DswpPipe, .20, 2048, 4, 1}}},
+        {"mpeg2enc", {{A::DoallStream, .55, 512, 4, 1},
+                      {A::IlpWide, .30, 256, 6, 1},
+                      {A::BranchyIlp, .15, 512, 4, 1}}},
+        {"rawcaudio", {{A::IlpWide, .45, 256, 5, 1},
+                       {A::DoallStream, .40, 512, 4, 1},
+                       {A::PointerChase, .15, 2048, 4, 1}}},
+        {"rawdaudio", {{A::IlpWide, .50, 256, 5, 1},
+                       {A::DoallStream, .40, 512, 4, 1},
+                       {A::PointerChase, .10, 2048, 4, 1}}},
+        {"unepic", {{A::DoallStream, .35, 512, 4, 1},
+                    {A::IlpWide, .35, 256, 5, 1},
+                    {A::DswpPipe, .30, 4096, 4, 1}}},
+    };
+    return specs;
+}
+
+const std::vector<BenchmarkSpec> &
+all_specs()
+{
+    static const std::vector<BenchmarkSpec> specs = make_specs();
+    return specs;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmark_names()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> result;
+        for (const auto &spec : all_specs())
+            result.push_back(spec.name);
+        return result;
+    }();
+    return names;
+}
+
+const BenchmarkSpec &
+benchmark_spec(const std::string &name)
+{
+    for (const auto &spec : all_specs())
+        if (spec.name == name)
+            return spec;
+    fatal("unknown benchmark: ", name);
+}
+
+Program
+build_benchmark(const std::string &name, const SuiteScale &scale)
+{
+    const BenchmarkSpec &spec = benchmark_spec(name);
+    Rng rng(scale.seed ^ std::hash<std::string>{}(name));
+    ProgramBuilder b(name);
+
+    // Phase functions must be emitted before main() can call them; we
+    // emit them first and record ids. Function 0 must be main, so emit a
+    // placeholder main first.
+    FuncId main_id = b.beginFunction("main");
+    // main's body is filled after the phases exist; keep the builder
+    // positioned by ending and re-entering is not supported, so instead
+    // emit phases first via a second builder pass. Simpler: emit calls
+    // after collecting ids — the builder allows interleaving functions
+    // only sequentially, so we emit main LAST and swap it to slot 0.
+    b.emitHalt(b.emitImm(0)); // placeholder, replaced below
+    b.endFunction();
+
+    struct Planned
+    {
+        FuncId func;
+        u32 calls;
+    };
+    std::vector<Planned> planned;
+    for (size_t pi = 0; pi < spec.phases.size(); ++pi) {
+        const PhaseSpec &ps = spec.phases[pi];
+        PhaseParams params;
+        params.elems = ps.elems;
+        params.width = ps.width;
+        const u64 budget = static_cast<u64>(
+            ps.fraction * static_cast<double>(scale.targetOps));
+        params.trips = std::max<u64>(
+            budget / (body_ops(ps.archetype, ps.width) *
+                      std::max<u32>(ps.calls, 1)),
+            4);
+        params.seed = rng.next();
+        FuncId f = emit_phase(b, ps.archetype,
+                              std::string(archetype_name(ps.archetype)) +
+                                  "_" + std::to_string(pi),
+                              params, rng);
+        planned.push_back({f, std::max<u32>(ps.calls, 1)});
+    }
+
+    Program prog = b.take();
+
+    // Rebuild main (function 0) with the real calls.
+    {
+        Function &main_fn = prog.function(main_id);
+        main_fn.blocks.clear();
+        main_fn.addBlock("entry");
+        BasicBlock &bb = main_fn.block(0);
+        RegId acc = gpr(8);
+        bb.append(ops::movi(acc, 0));
+        u32 rep = 0;
+        for (const Planned &p : planned) {
+            for (u32 c = 0; c < p.calls; ++c) {
+                bb.append(ops::movi(gpr(1), rep++));
+                RegId btr_reg = main_fn.freshReg(RegClass::BTR);
+                bb.append(ops::pbr(btr_reg, CodeRef::to_function(p.func)));
+                bb.append(ops::call(btr_reg));
+                bb.append(ops::alu(Opcode::XOR, acc, acc, gpr(0)));
+            }
+        }
+        bb.append(ops::halt(acc));
+    }
+    return prog;
+}
+
+} // namespace voltron

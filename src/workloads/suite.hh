@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The 24-benchmark synthetic suite.
+ *
+ * Each benchmark is named after one of the paper's MediaBench/SPEC
+ * programs and composes archetype phases whose dynamic-execution
+ * fractions approximate that benchmark's published parallelism mix
+ * (paper Fig. 3). main() calls each phase and folds the checksums into
+ * the exit value, so every phase is observable by the golden-model
+ * comparison.
+ */
+
+#ifndef VOLTRON_WORKLOADS_SUITE_HH_
+#define VOLTRON_WORKLOADS_SUITE_HH_
+
+#include <string>
+#include <vector>
+
+#include "workloads/archetypes.hh"
+
+namespace voltron {
+
+/** One phase of a benchmark. */
+struct PhaseSpec
+{
+    Archetype archetype;
+    /** Fraction of the benchmark's dynamic ops this phase should cover. */
+    double fraction = 0.0;
+    /** Working-set elements (drives the miss behaviour). */
+    u64 elems = 512;
+    /** ILP width knob. */
+    u32 width = 4;
+    /** Times main() calls the phase. */
+    u32 calls = 1;
+};
+
+/** A benchmark description. */
+struct BenchmarkSpec
+{
+    std::string name;
+    std::vector<PhaseSpec> phases;
+};
+
+/** Scale knob: total dynamic ops per benchmark (approximate). */
+struct SuiteScale
+{
+    u64 targetOps = 120'000;
+    u64 seed = 0xb0157a;
+};
+
+/** Names of the 24 benchmarks, in the paper's order. */
+const std::vector<std::string> &benchmark_names();
+
+/** Spec of one benchmark. */
+const BenchmarkSpec &benchmark_spec(const std::string &name);
+
+/** Build the IR program for @p name. */
+Program build_benchmark(const std::string &name,
+                        const SuiteScale &scale = SuiteScale{});
+
+} // namespace voltron
+
+#endif // VOLTRON_WORKLOADS_SUITE_HH_

@@ -1,0 +1,257 @@
+/** @file Structural invariants of compiled per-core programs.
+ *
+ * These checks hold for *every* program the compiler emits, so they run
+ * over real suite benchmarks under every strategy. They complement the
+ * end-to-end golden-equivalence sweep: equivalence says the code is
+ * functionally right; these say the code is *shaped* the way the
+ * architecture requires (so e.g. a FIFO mismatch cannot hide behind a
+ * lucky schedule).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "compiler/compile.hh"
+#include "interp/interp.hh"
+#include "workloads/suite.hh"
+
+namespace voltron {
+namespace {
+
+struct CompiledCase
+{
+    std::string benchmark;
+    Strategy strategy;
+};
+
+class CodegenInvariants : public ::testing::TestWithParam<CompiledCase>
+{
+  protected:
+    MachineProgram
+    compiled()
+    {
+        SuiteScale scale;
+        scale.targetOps = 15'000;
+        Program prog = build_benchmark(GetParam().benchmark, scale);
+        GoldenRun golden = run_golden(prog);
+        CompileOptions opts;
+        opts.strategy = GetParam().strategy;
+        opts.numCores = 4;
+        return compile_program(prog, golden.profile, opts);
+    }
+};
+
+/**
+ * Per (sender, receiver) pair, the number of SENDs emitted in a mirrored
+ * block must equal the number of RECVs the peer's mirror of that block
+ * expects from that sender — the static form of queue-mode FIFO
+ * discipline. (Preambles/epilogues pair across different block ids and
+ * are covered by the end-to-end runs.)
+ */
+TEST_P(CodegenInvariants, MirroredBlockSendRecvBalance)
+{
+    MachineProgram mp = compiled();
+    for (FuncId f = 0; f < mp.original.functions.size(); ++f) {
+        const size_t mirrored = mp.original.functions[f].blocks.size();
+        for (size_t b = 0; b < mirrored; ++b) {
+            // sends[from][to] and recvs[to][from] within this block.
+            std::map<std::pair<CoreId, CoreId>, int> sends, recvs;
+            for (CoreId c = 0; c < mp.numCores; ++c) {
+                const BasicBlock &bb =
+                    mp.perCore[c].functions[f].blocks[b];
+                for (const Operation &op : bb.ops) {
+                    if (op.op == Opcode::SEND)
+                        sends[{c, static_cast<CoreId>(op.imm)}]++;
+                    if (op.op == Opcode::RECV)
+                        recvs[{static_cast<CoreId>(op.imm), c}]++;
+                }
+            }
+            EXPECT_EQ(sends, recvs)
+                << "f" << f << " bb" << b << " unbalanced queue traffic";
+        }
+    }
+}
+
+/** Scheduled (coupled) blocks: branches last, one op per core-cycle,
+ * every op complete by block end, PUT/GET pairs in matching cycles. */
+TEST_P(CodegenInvariants, CoupledBlockStructure)
+{
+    MachineProgram mp = compiled();
+    for (CoreId c = 0; c < mp.numCores; ++c) {
+        for (const Function &fn : mp.perCore[c].functions) {
+            for (const BasicBlock &bb : fn.blocks) {
+                if (!bb.scheduled())
+                    continue;
+                ASSERT_EQ(bb.ops.size(), bb.issueCycles.size());
+                u32 prev = 0;
+                bool seen_branch = false;
+                for (size_t i = 0; i < bb.ops.size(); ++i) {
+                    if (i > 0) {
+                        EXPECT_GT(bb.issueCycles[i], prev)
+                            << fn.name << "/" << bb.name
+                            << ": double issue";
+                    }
+                    prev = bb.issueCycles[i];
+                    EXPECT_LT(bb.issueCycles[i], bb.schedLen);
+                    const bool is_branch = bb.ops[i].op == Opcode::BR ||
+                                           bb.ops[i].op == Opcode::BRU;
+                    if (seen_branch)
+                        EXPECT_TRUE(is_branch)
+                            << fn.name << "/" << bb.name
+                            << ": op after branch";
+                    seen_branch |= is_branch;
+                    // No decoupled-only ops inside lockstep blocks.
+                    EXPECT_NE(bb.ops[i].op, Opcode::SEND);
+                    EXPECT_NE(bb.ops[i].op, Opcode::RECV);
+                    EXPECT_NE(bb.ops[i].op, Opcode::SPAWN);
+                }
+            }
+        }
+    }
+}
+
+/** Direct-mode transfer groups meet in one cycle across cores. */
+TEST_P(CodegenInvariants, TransferGroupsShareCycles)
+{
+    MachineProgram mp = compiled();
+    for (FuncId f = 0; f < mp.original.functions.size(); ++f) {
+        const size_t mirrored = mp.original.functions[f].blocks.size();
+        for (size_t b = 0; b < mirrored; ++b) {
+            std::map<u32, std::set<u32>> group_cycles;
+            std::map<u32, int> group_size;
+            for (CoreId c = 0; c < mp.numCores; ++c) {
+                const BasicBlock &bb =
+                    mp.perCore[c].functions[f].blocks[b];
+                if (!bb.scheduled())
+                    continue;
+                for (size_t i = 0; i < bb.ops.size(); ++i) {
+                    const Operation &op = bb.ops[i];
+                    if (!is_comm(op.op) || op.seqId < (1u << 20))
+                        continue;
+                    group_cycles[op.seqId].insert(bb.issueCycles[i]);
+                    group_size[op.seqId]++;
+                }
+            }
+            for (const auto &[group, cycles] : group_cycles) {
+                EXPECT_EQ(cycles.size(), 1u)
+                    << "transfer group " << group << " split across cycles";
+                EXPECT_GE(group_size[group], 2)
+                    << "transfer group " << group << " has no partner";
+            }
+        }
+    }
+}
+
+/** Workers never contain master-only ops; the master never sleeps. */
+TEST_P(CodegenInvariants, RoleDiscipline)
+{
+    MachineProgram mp = compiled();
+    for (const Function &fn : mp.perCore[0].functions) {
+        for (const BasicBlock &bb : fn.blocks)
+            for (const Operation &op : bb.ops)
+                EXPECT_NE(op.op, Opcode::SLEEP) << "master sleeps";
+    }
+    for (CoreId c = 1; c < mp.numCores; ++c) {
+        for (const Function &fn : mp.perCore[c].functions) {
+            for (const BasicBlock &bb : fn.blocks) {
+                for (const Operation &op : bb.ops) {
+                    EXPECT_NE(op.op, Opcode::CALL) << "worker calls";
+                    EXPECT_NE(op.op, Opcode::RET) << "worker returns";
+                    EXPECT_NE(op.op, Opcode::HALT) << "worker halts";
+                    EXPECT_NE(op.op, Opcode::XVALIDATE)
+                        << "worker validates";
+                    EXPECT_NE(op.op, Opcode::SPAWN) << "worker spawns";
+                }
+            }
+        }
+    }
+}
+
+/** Every SPAWN has a BTR defined by a block-local PBR pointing at a
+ * block that exists in the *target* core's clone. */
+TEST_P(CodegenInvariants, SpawnTargetsExist)
+{
+    MachineProgram mp = compiled();
+    const Function *master_fn = nullptr;
+    for (const Function &fn : mp.perCore[0].functions) {
+        master_fn = &fn;
+        for (const BasicBlock &bb : fn.blocks) {
+            for (size_t i = 0; i < bb.ops.size(); ++i) {
+                const Operation &op = bb.ops[i];
+                if (op.op != Opcode::SPAWN)
+                    continue;
+                const CoreId target = static_cast<CoreId>(op.imm);
+                ASSERT_LT(target, mp.numCores);
+                ASSERT_NE(target, 0);
+                // Find the defining PBR.
+                bool found = false;
+                for (size_t j = i; j-- > 0;) {
+                    if (bb.ops[j].op == Opcode::PBR &&
+                        bb.ops[j].dst == op.src1) {
+                        CodeRef ref = bb.ops[j].codeRef();
+                        ASSERT_EQ(ref.kind, CodeRef::Kind::Block);
+                        const Function &worker =
+                            mp.perCore[target].functions.at(ref.func);
+                        ASSERT_LT(ref.block, worker.blocks.size());
+                        // The spawn entry must do something and not be a
+                        // scheduled lockstep block.
+                        EXPECT_FALSE(
+                            worker.block(ref.block).scheduled());
+                        found = true;
+                        break;
+                    }
+                }
+                EXPECT_TRUE(found) << master_fn->name
+                                   << ": spawn without local PBR";
+            }
+        }
+    }
+}
+
+/** MODE_SWITCH(coupled) must terminate its block (barrier semantics). */
+TEST_P(CodegenInvariants, CoupledSwitchTerminatesBlock)
+{
+    MachineProgram mp = compiled();
+    for (CoreId c = 0; c < mp.numCores; ++c) {
+        for (const Function &fn : mp.perCore[c].functions) {
+            for (const BasicBlock &bb : fn.blocks) {
+                for (size_t i = 0; i < bb.ops.size(); ++i) {
+                    if (bb.ops[i].op == Opcode::MODE_SWITCH &&
+                        bb.ops[i].imm == 0) {
+                        EXPECT_EQ(i + 1, bb.ops.size())
+                            << fn.name << "/" << bb.name;
+                        EXPECT_NE(bb.fallthrough, kNoBlock);
+                    }
+                }
+            }
+        }
+    }
+}
+
+std::vector<CompiledCase>
+invariant_cases()
+{
+    std::vector<CompiledCase> cases;
+    for (const char *name : {"gsmdecode", "164.gzip", "171.swim", "epic",
+                             "197.parser", "256.bzip2"}) {
+        for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly,
+                           Strategy::LlpOnly, Strategy::Hybrid}) {
+            cases.push_back({name, s});
+        }
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, CodegenInvariants, ::testing::ValuesIn(invariant_cases()),
+    [](const ::testing::TestParamInfo<CompiledCase> &info) {
+        std::string name = info.param.benchmark;
+        for (char &ch : name)
+            if (ch == '.' || ch == '-')
+                ch = '_';
+        return name + "_" + strategy_name(info.param.strategy);
+    });
+
+} // namespace
+} // namespace voltron

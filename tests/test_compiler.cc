@@ -1,0 +1,753 @@
+/** @file Unit tests for the compiler: regions, dependence graph,
+ * partitioners, scheduler, DOALL analysis, selection. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "compiler/schedule.hh"
+#include "interp/interp.hh"
+#include "ir/scc.hh"
+#include "ir/builder.hh"
+#include "workloads/archetypes.hh"
+
+namespace voltron {
+namespace {
+
+/** Loop-with-glue program: entry -> loop (region) -> halt. */
+Program
+loop_glue_program(u64 trips = 64)
+{
+    ProgramBuilder b("lg");
+    Addr arr = b.allocArrayI64("a", std::vector<i64>(trips, 3));
+    u32 sym = b.symbolOf("a");
+    b.beginFunction("main");
+    RegId base = b.emitImm(static_cast<i64>(arr));
+    RegId sum = b.emitImm(0);
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, static_cast<i64>(trips));
+    RegId off = b.newGpr();
+    b.emit(ops::alui(Opcode::SHL, off, i, 3));
+    RegId addr = b.newGpr();
+    b.emit(ops::add(addr, base, off));
+    RegId v = b.newGpr();
+    b.emitLoad(v, addr, 0, sym);
+    b.emit(ops::add(sum, sum, v));
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+    return b.take();
+}
+
+TEST(Regions, LoopBecomesRegionEntryStaysGlue)
+{
+    Program prog = loop_glue_program();
+    const Function &fn = prog.functions[0];
+    FuncAnalyses fa(fn);
+    auto regions = form_regions(fn, fa);
+
+    int loops = 0, glue = 0;
+    for (const auto &region : regions) {
+        if (region.kind == RegionKind::Loop)
+            loops++;
+        if (region.kind == RegionKind::Glue)
+            glue++;
+        // Every region has an entry inside itself.
+        EXPECT_TRUE(region.contains(region.entry));
+    }
+    EXPECT_EQ(loops, 1);
+    EXPECT_GE(glue, 1);
+
+    // Blocks are tiled exactly once.
+    std::set<BlockId> covered;
+    for (const auto &region : regions)
+        for (BlockId bb : region.blocks)
+            EXPECT_TRUE(covered.insert(bb).second);
+    EXPECT_EQ(covered.size(), fn.blocks.size());
+}
+
+TEST(Regions, CallForcesGlue)
+{
+    ProgramBuilder b("callglue");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    FuncId helper = b.beginFunction("helper", 0, true);
+    b.emit(ops::movi(gpr(0), 1));
+    b.emit(ops::ret());
+    b.endFunction();
+    b.beginFunction("caller");
+    RegId i = b.newGpr();
+    RegId sum = b.emitImm(0);
+    LoopHandles loop = b.forLoop(i, 0, 8);
+    RegId r = b.emitCall(helper, {}); // call inside the loop
+    b.emit(ops::add(sum, sum, r));
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+    Program prog = b.take();
+
+    const Function &fn = prog.functions[2];
+    FuncAnalyses fa(fn);
+    auto regions = form_regions(fn, fa);
+    for (const auto &region : regions)
+        EXPECT_NE(region.kind, RegionKind::Loop)
+            << "loop containing a CALL must not become a loop region";
+}
+
+TEST(Regions, ExitEdgesPointOutside)
+{
+    Program prog = loop_glue_program();
+    const Function &fn = prog.functions[0];
+    FuncAnalyses fa(fn);
+    for (const auto &region : form_regions(fn, fa)) {
+        for (const auto &[from, to] : region.exitEdges) {
+            EXPECT_TRUE(region.contains(from));
+            EXPECT_FALSE(region.contains(to));
+        }
+    }
+}
+
+TEST(DepGraphTest, RegisterFlowEdges)
+{
+    Program prog = loop_glue_program();
+    const Function &fn = prog.functions[0];
+    FuncAnalyses fa(fn);
+    auto regions = form_regions(fn, fa);
+    const CompilerRegion *loop = nullptr;
+    for (const auto &region : regions)
+        if (region.kind == RegionKind::Loop)
+            loop = &region;
+    ASSERT_NE(loop, nullptr);
+
+    GoldenRun run = run_golden(prog);
+    DepGraph g = build_dep_graph(fn, *loop, run.profile, false);
+    EXPECT_GT(g.nodes.size(), 5u);
+    EXPECT_GT(g.totalWeight(), 0u);
+
+    // The load's def feeds the accumulator add.
+    bool load_feeds_add = false;
+    for (u32 i = 0; i < g.nodes.size(); ++i) {
+        if (!is_load(g.nodes[i].op->op))
+            continue;
+        for (const DepEdge &e : g.succs[i])
+            if (g.nodes[e.to].op->op == Opcode::ADD &&
+                e.kind == DepKind::RegFlow)
+                load_feeds_add = true;
+    }
+    EXPECT_TRUE(load_feeds_add);
+}
+
+TEST(DepGraphTest, LoopCarriedModeAddsControlRecurrence)
+{
+    Program prog = loop_glue_program();
+    const Function &fn = prog.functions[0];
+    FuncAnalyses fa(fn);
+    auto regions = form_regions(fn, fa);
+    const CompilerRegion *loop = nullptr;
+    for (const auto &region : regions)
+        if (region.kind == RegionKind::Loop)
+            loop = &region;
+    ASSERT_NE(loop, nullptr);
+    GoldenRun run = run_golden(prog);
+    DepGraph g = build_dep_graph(fn, *loop, run.profile, true);
+    SccResult scc = tarjan_scc(g.adjacency());
+    // The control recurrence merges the compare, branch and ivar update.
+    EXPECT_LT(scc.numComponents, g.nodes.size());
+}
+
+TEST(Bug, AssignsEveryNonReplicatedOp)
+{
+    Program prog = loop_glue_program();
+    const Function &fn = prog.functions[0];
+    FuncAnalyses fa(fn);
+    auto regions = form_regions(fn, fa);
+    GoldenRun run = run_golden(prog);
+    for (const auto &region : regions) {
+        DepGraph g = build_dep_graph(fn, region, run.profile, false);
+        PartitionOptions opts;
+        opts.numCores = 4;
+        Assignment assign = partition_bug(g, opts);
+        for (const DepNode &node : g.nodes) {
+            const Opcode op = node.op->op;
+            if (op == Opcode::BR || op == Opcode::BRU || op == Opcode::PBR)
+                EXPECT_EQ(assign.count(node.ref), 0u);
+            else {
+                ASSERT_EQ(assign.count(node.ref), 1u);
+                EXPECT_LT(assign.at(node.ref), 4);
+            }
+        }
+    }
+}
+
+TEST(Bug, SingleCoreAssignsEverythingToZero)
+{
+    Program prog = loop_glue_program();
+    const Function &fn = prog.functions[0];
+    FuncAnalyses fa(fn);
+    auto regions = form_regions(fn, fa);
+    GoldenRun run = run_golden(prog);
+    DepGraph g = build_dep_graph(fn, regions[0], run.profile, false);
+    PartitionOptions opts;
+    opts.numCores = 1;
+    for (const auto &[ref, core] : partition_bug(g, opts))
+        EXPECT_EQ(core, 0);
+}
+
+TEST(Ebug, PinsAliasClassesToOneCore)
+{
+    Rng rng(3);
+    ProgramBuilder b("pin");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    PhaseParams pp;
+    pp.trips = 64;
+    pp.elems = 4096;
+    emit_phase(b, Archetype::DswpPipe, "pipe", pp, rng);
+    Program prog = b.take();
+    const Function &fn = prog.functions[1];
+    FuncAnalyses fa(fn);
+    auto regions = form_regions(fn, fa);
+    GoldenRun run = run_golden(prog);
+
+    for (const auto &region : regions) {
+        if (region.kind != RegionKind::Loop)
+            continue;
+        DepGraph g = build_dep_graph(fn, region, run.profile, false);
+        PartitionOptions opts;
+        opts.numCores = 4;
+        opts.enhanced = true;
+        Assignment assign = partition_bug(g, opts);
+        // All stores of one symbol land on one core.
+        std::map<u32, std::set<CoreId>> store_cores;
+        for (const DepNode &node : g.nodes)
+            if (is_store(node.op->op))
+                store_cores[node.op->memSym].insert(assign.at(node.ref));
+        for (const auto &[sym, cores] : store_cores)
+            EXPECT_EQ(cores.size(), 1u) << "symbol " << sym;
+    }
+}
+
+TEST(Dswp, PipelineLoopSplitsIntoStages)
+{
+    Rng rng(4);
+    ProgramBuilder b("dswp");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    PhaseParams pp;
+    pp.trips = 256;
+    pp.elems = 1024;
+    emit_phase(b, Archetype::DswpPipe, "pipe", pp, rng);
+    Program prog = b.take();
+    const Function &fn = prog.functions[1];
+    FuncAnalyses fa(fn);
+    auto regions = form_regions(fn, fa);
+    GoldenRun run = run_golden(prog);
+
+    bool found = false;
+    for (const auto &region : regions) {
+        if (region.kind != RegionKind::Loop)
+            continue;
+        DepGraph g = build_dep_graph(fn, region, run.profile, true);
+        PartitionOptions opts;
+        opts.numCores = 2;
+        DswpResult result = partition_dswp(g, opts);
+        EXPECT_TRUE(result.feasible);
+        EXPECT_GE(result.stagesUsed, 2u);
+        EXPECT_GT(result.estimatedSpeedup, 1.0);
+        found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Dswp, SerialChainIsUnprofitable)
+{
+    Rng rng(5);
+    ProgramBuilder b("chase");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    PhaseParams pp;
+    pp.trips = 64;
+    pp.elems = 256;
+    pp.width = 6;
+    emit_phase(b, Archetype::IlpWide, "wide", pp, rng);
+    Program prog = b.take();
+    const Function &fn = prog.functions[1];
+    FuncAnalyses fa(fn);
+    auto regions = form_regions(fn, fa);
+    GoldenRun run = run_golden(prog);
+    for (const auto &region : regions) {
+        if (region.kind != RegionKind::Loop)
+            continue;
+        DepGraph g = build_dep_graph(fn, region, run.profile, true);
+        PartitionOptions opts;
+        opts.numCores = 4;
+        DswpResult result = partition_dswp(g, opts);
+        // The carry feeds the loads and every chain, so any cut ships
+        // the recurrence across stages: the estimate must fall below
+        // the paper's 1.25 profitability gate.
+        EXPECT_LT(result.estimatedSpeedup, 1.25);
+    }
+}
+
+// --- Scheduler -------------------------------------------------------------
+
+std::vector<ScheduleSlot>
+slots_of(std::vector<std::pair<CoreId, Operation>> raw)
+{
+    std::vector<ScheduleSlot> slots;
+    for (auto &[c, op] : raw)
+        slots.push_back({c, op});
+    return slots;
+}
+
+TEST(Scheduler, RespectsLatency)
+{
+    auto slots = slots_of({
+        {0, ops::mul(gpr(1), gpr(2), gpr(3))},   // lat 3
+        {0, ops::addi(gpr(4), gpr(1), 1)},       // needs r1
+    });
+    BlockSchedule sched = schedule_block(slots, 2);
+    ASSERT_EQ(sched.perCore[0].ops.size(), 2u);
+    EXPECT_EQ(sched.perCore[0].issueCycles[0], 0u);
+    EXPECT_GE(sched.perCore[0].issueCycles[1], 3u);
+    // Every op completes by block end.
+    EXPECT_GE(sched.schedLen, 4u);
+}
+
+TEST(Scheduler, IndependentOpsIssueTogether)
+{
+    auto slots = slots_of({
+        {0, ops::movi(gpr(1), 1)},
+        {1, ops::movi(gpr(1), 2)},
+    });
+    BlockSchedule sched = schedule_block(slots, 2);
+    EXPECT_EQ(sched.perCore[0].issueCycles[0], 0u);
+    EXPECT_EQ(sched.perCore[1].issueCycles[0], 0u);
+    EXPECT_EQ(sched.schedLen, 1u);
+}
+
+TEST(Scheduler, TransferGroupSharesCycle)
+{
+    Operation put = ops::put(Dir::East, gpr(1));
+    put.seqId = kTransferIdBase;
+    Operation get = ops::get(Dir::West, gpr(1));
+    get.seqId = kTransferIdBase;
+    auto slots = slots_of({
+        {0, ops::movi(gpr(1), 5)},
+        {0, put},
+        {1, get},
+        {1, ops::addi(gpr(2), gpr(1), 1)},
+    });
+    BlockSchedule sched = schedule_block(slots, 2);
+    // Find the put and get cycles.
+    u32 put_cycle = 999, get_cycle = 998, use_cycle = 0;
+    for (size_t i = 0; i < sched.perCore[0].ops.size(); ++i)
+        if (sched.perCore[0].ops[i].op == Opcode::PUT)
+            put_cycle = sched.perCore[0].issueCycles[i];
+    for (size_t i = 0; i < sched.perCore[1].ops.size(); ++i) {
+        if (sched.perCore[1].ops[i].op == Opcode::GET)
+            get_cycle = sched.perCore[1].issueCycles[i];
+        if (sched.perCore[1].ops[i].op == Opcode::ADD)
+            use_cycle = sched.perCore[1].issueCycles[i];
+    }
+    EXPECT_EQ(put_cycle, get_cycle);
+    EXPECT_GT(use_cycle, get_cycle);
+}
+
+TEST(Scheduler, BranchesLastAndOrdered)
+{
+    ProgramBuilder b("br");
+    b.beginFunction("main");
+    BlockId t1 = b.newBlock("t1");
+    RegId p = b.newPr();
+    b.emit(ops::cmpi(CmpCond::LT, p, gpr(1), 0));
+    b.emitBranch(p, t1);
+    b.emitJump(t1);
+    b.setBlock(t1);
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    Program prog = b.take();
+    const BasicBlock &bb = prog.functions[0].blocks[0];
+
+    std::vector<ScheduleSlot> slots;
+    for (const Operation &op : bb.ops)
+        slots.push_back({0, op});
+    BlockSchedule sched = schedule_block(slots, 1);
+    const auto &cs = sched.perCore[0];
+    // BR immediately before BRU, both at the end.
+    ASSERT_GE(cs.ops.size(), 2u);
+    EXPECT_EQ(cs.ops[cs.ops.size() - 2].op, Opcode::BR);
+    EXPECT_EQ(cs.ops.back().op, Opcode::BRU);
+    EXPECT_EQ(cs.issueCycles.back(), sched.schedLen - 1);
+    EXPECT_EQ(cs.issueCycles[cs.ops.size() - 2] + 1,
+              cs.issueCycles.back());
+}
+
+TEST(Scheduler, MemoryDependenceOrdered)
+{
+    Operation store = ops::store(gpr(1), 0, gpr(2));
+    store.memSym = 5;
+    Operation load = ops::load(gpr(3), gpr(1), 0);
+    load.memSym = 5;
+    auto slots = slots_of({{0, store}, {1, load}});
+    BlockSchedule sched = schedule_block(slots, 2);
+    EXPECT_GT(sched.perCore[1].issueCycles[0],
+              sched.perCore[0].issueCycles[0]);
+}
+
+TEST(Scheduler, DifferentSymbolsMayReorder)
+{
+    Operation store = ops::store(gpr(1), 0, gpr(2));
+    store.memSym = 5;
+    Operation load = ops::load(gpr(3), gpr(4), 0);
+    load.memSym = 6;
+    auto slots = slots_of({{0, store}, {1, load}});
+    BlockSchedule sched = schedule_block(slots, 2);
+    EXPECT_EQ(sched.perCore[1].issueCycles[0], 0u);
+}
+
+// --- DOALL analysis ---------------------------------------------------------
+
+struct DoallProbe
+{
+    Program prog;
+    DoallPlan plan;
+};
+
+DoallPlan
+probe_first_loop(const Program &prog, FuncId func)
+{
+    const Function &fn = prog.functions[func];
+    FuncAnalyses fa(fn);
+    Liveness live(prog, fn, *fa.cfg);
+    auto regions = form_regions(fn, fa);
+    for (const auto &region : regions)
+        if (region.kind == RegionKind::Loop)
+            return analyze_doall(fn, region, fa, live);
+    DoallPlan none;
+    none.reason = "no loop region";
+    return none;
+}
+
+TEST(Doall, StreamLoopFeasibleWithAccumulator)
+{
+    Rng rng(6);
+    ProgramBuilder b("ds");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    PhaseParams pp;
+    pp.trips = 64;
+    emit_phase(b, Archetype::DoallStream, "s", pp, rng);
+    Program prog = b.take();
+    DoallPlan plan = probe_first_loop(prog, 1);
+    EXPECT_TRUE(plan.feasible) << plan.reason;
+    EXPECT_EQ(plan.accumulators.size(), 1u);
+    EXPECT_EQ(plan.accumulators[0].op, Opcode::ADD);
+    EXPECT_EQ(plan.accumulators[0].identity, 0);
+}
+
+TEST(Doall, CarryLoopInfeasible)
+{
+    Rng rng(6);
+    ProgramBuilder b("iw");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    PhaseParams pp;
+    pp.trips = 64;
+    pp.elems = 256;
+    emit_phase(b, Archetype::IlpWide, "w", pp, rng);
+    Program prog = b.take();
+    DoallPlan plan = probe_first_loop(prog, 1);
+    EXPECT_FALSE(plan.feasible);
+    EXPECT_NE(plan.reason.find("loop-carried"), std::string::npos);
+}
+
+TEST(Doall, UncountedLoopInfeasible)
+{
+    Rng rng(6);
+    ProgramBuilder b("sm");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    PhaseParams pp;
+    pp.trips = 64;
+    emit_phase(b, Archetype::StrandMatch, "m", pp, rng);
+    Program prog = b.take();
+    DoallPlan plan = probe_first_loop(prog, 1);
+    EXPECT_FALSE(plan.feasible);
+}
+
+// --- Selection ---------------------------------------------------------------
+
+TEST(Selection, HybridPicksExpectedModes)
+{
+    Rng rng(8);
+    ProgramBuilder b("sel");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    PhaseParams stream_pp;
+    stream_pp.trips = 512;
+    FuncId f_stream =
+        emit_phase(b, Archetype::DoallStream, "s", stream_pp, rng);
+    PhaseParams wide_pp;
+    wide_pp.trips = 256;
+    wide_pp.elems = 256;
+    wide_pp.width = 6;
+    FuncId f_wide = emit_phase(b, Archetype::IlpWide, "w", wide_pp, rng);
+    Program prog = b.take();
+    // Call both phases from main.
+    Function &main_fn = prog.function(0);
+    main_fn.blocks.clear();
+    main_fn.addBlock("entry");
+    BasicBlock &bb = main_fn.block(0);
+    bb.append(ops::movi(gpr(1), 1));
+    RegId b1 = main_fn.freshReg(RegClass::BTR);
+    bb.append(ops::pbr(b1, CodeRef::to_function(f_stream)));
+    bb.append(ops::call(b1));
+    bb.append(ops::movi(gpr(1), 2));
+    RegId b2 = main_fn.freshReg(RegClass::BTR);
+    bb.append(ops::pbr(b2, CodeRef::to_function(f_wide)));
+    bb.append(ops::call(b2));
+    bb.append(ops::halt(gpr(0)));
+
+    GoldenRun run = run_golden(prog);
+    CompileOptions opts;
+    opts.numCores = 4;
+    opts.strategy = Strategy::Hybrid;
+    SelectionReport report;
+    compile_program(prog, run.profile, opts, &report);
+
+    bool saw_doall = false, saw_coupled = false;
+    for (const auto &entry : report.entries) {
+        if (entry.mode == ExecMode::Doall && entry.func == f_stream)
+            saw_doall = true;
+        if (entry.mode == ExecMode::Coupled && entry.func == f_wide)
+            saw_coupled = true;
+    }
+    EXPECT_TRUE(saw_doall);
+    EXPECT_TRUE(saw_coupled);
+}
+
+TEST(Selection, SerialOnlyNeverParallelises)
+{
+    Program prog = loop_glue_program();
+    GoldenRun run = run_golden(prog);
+    CompileOptions opts;
+    opts.numCores = 4;
+    opts.strategy = Strategy::SerialOnly;
+    SelectionReport report;
+    compile_program(prog, run.profile, opts, &report);
+    for (const auto &entry : report.entries)
+        EXPECT_EQ(entry.mode, ExecMode::Serial);
+}
+
+TEST(Selection, TinyRegionsStaySerial)
+{
+    // A 3-trip loop is not worth a spawn.
+    Program prog = loop_glue_program(3);
+    GoldenRun run = run_golden(prog);
+    CompileOptions opts;
+    opts.numCores = 4;
+    opts.strategy = Strategy::Hybrid;
+    SelectionReport report;
+    compile_program(prog, run.profile, opts, &report);
+    for (const auto &entry : report.entries)
+        EXPECT_EQ(entry.mode, ExecMode::Serial);
+}
+
+TEST(Compile, RejectsUnsupportedCoreCounts)
+{
+    Program prog = loop_glue_program();
+    GoldenRun run = run_golden(prog);
+    CompileOptions opts;
+    opts.numCores = 3;
+    EXPECT_THROW(compile_program(prog, run.profile, opts), FatalError);
+}
+
+TEST(Compile, PerCoreProgramsVerify)
+{
+    Program prog = loop_glue_program(128);
+    GoldenRun run = run_golden(prog);
+    for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly,
+                       Strategy::LlpOnly, Strategy::Hybrid}) {
+        CompileOptions opts;
+        opts.numCores = 4;
+        opts.strategy = s;
+        // compile_program verifies per-core clones internally (fatal on
+        // failure), so a clean return is the assertion.
+        MachineProgram mp = compile_program(prog, run.profile, opts);
+        EXPECT_EQ(mp.perCore.size(), 4u);
+        EXPECT_EQ(mp.numCores, 4);
+        EXPECT_FALSE(mp.regions.empty());
+    }
+}
+
+TEST(Compile, RegionMetadataConsistent)
+{
+    Program prog = loop_glue_program(128);
+    GoldenRun run = run_golden(prog);
+    CompileOptions opts;
+    opts.numCores = 2;
+    opts.strategy = Strategy::Hybrid;
+    MachineProgram mp = compile_program(prog, run.profile, opts);
+    for (size_t i = 0; i < mp.regions.size(); ++i) {
+        EXPECT_EQ(mp.regions[i].id, i);
+        EXPECT_NE(mp.regions[i].entry, kNoBlock);
+    }
+    // Every master block is stamped with a valid region.
+    for (const BasicBlock &bb : mp.perCore[0].functions[0].blocks)
+        EXPECT_LT(bb.region, mp.regions.size());
+}
+
+} // namespace
+} // namespace voltron
+
+// Appended: reassociation pass tests (see compiler/reassoc.hh).
+#include "compiler/reassoc.hh"
+#include "ir/verifier.hh"
+#include "workloads/suite.hh"
+#include "core/voltron.hh"
+
+namespace voltron {
+namespace {
+
+TEST(Reassoc, BalancesLongAddChain)
+{
+    ProgramBuilder b("chain");
+    b.beginFunction("main");
+    RegId acc = b.emitImm(100);
+    std::vector<RegId> xs;
+    for (int k = 0; k < 6; ++k) {
+        RegId x = b.emitImm(k + 1);
+        xs.push_back(x);
+    }
+    for (RegId x : xs)
+        b.emit(ops::add(acc, acc, x));
+    b.emitHalt(acc);
+    b.endFunction();
+    Program prog = b.take();
+    const u64 golden = run_golden(prog).result.exitValue;
+
+    ReassocStats stats = reassociate_program(prog);
+    EXPECT_EQ(stats.chainsRewritten, 1u);
+    EXPECT_EQ(stats.opsRebalanced, 6u);
+    EXPECT_TRUE(verify_program(prog).ok());
+    EXPECT_EQ(run_golden(prog).result.exitValue, golden);
+
+    // The rewritten block's dependence height through acc is shorter:
+    // count ops writing acc (must be exactly one now).
+    int acc_defs = 0;
+    for (const Operation &op : prog.functions[0].blocks[0].ops)
+        if (op.def() == acc)
+            acc_defs++;
+    EXPECT_EQ(acc_defs, 1 + 1); // initial movi + final combine
+}
+
+TEST(Reassoc, ShortChainsUntouched)
+{
+    ProgramBuilder b("short");
+    b.beginFunction("main");
+    RegId acc = b.emitImm(0);
+    RegId x = b.emitImm(1), y = b.emitImm(2);
+    b.emit(ops::add(acc, acc, x));
+    b.emit(ops::add(acc, acc, y));
+    b.emitHalt(acc);
+    b.endFunction();
+    Program prog = b.take();
+    EXPECT_EQ(reassociate_program(prog).chainsRewritten, 0u);
+}
+
+TEST(Reassoc, InterveningReadBreaksChain)
+{
+    ProgramBuilder b("read");
+    b.beginFunction("main");
+    RegId acc = b.emitImm(0);
+    RegId x = b.emitImm(1);
+    RegId snapshot = b.newGpr();
+    b.emit(ops::add(acc, acc, x));
+    b.emit(ops::add(acc, acc, x));
+    b.emit(ops::mov(snapshot, acc)); // reads acc mid-chain
+    b.emit(ops::add(acc, acc, x));
+    b.emit(ops::add(acc, acc, x));
+    RegId out = b.newGpr();
+    b.emit(ops::add(out, acc, snapshot));
+    b.emitHalt(out);
+    b.endFunction();
+    Program prog = b.take();
+    const u64 golden = run_golden(prog).result.exitValue;
+    reassociate_program(prog);
+    EXPECT_EQ(run_golden(prog).result.exitValue, golden);
+    EXPECT_EQ(golden, 6u); // 4*1 + snapshot(2)
+}
+
+TEST(Reassoc, RedefinedValueTruncatesChain)
+{
+    ProgramBuilder b("redef");
+    b.beginFunction("main");
+    RegId acc = b.emitImm(0);
+    RegId x = b.emitImm(1);
+    b.emit(ops::add(acc, acc, x)); // uses x=1
+    b.emit(ops::movi(x, 10));      // redefines x mid-chain
+    b.emit(ops::add(acc, acc, x)); // uses x=10
+    RegId y = b.emitImm(5), z = b.emitImm(7);
+    b.emit(ops::add(acc, acc, y));
+    b.emit(ops::add(acc, acc, z));
+    b.emitHalt(acc);
+    b.endFunction();
+    Program prog = b.take();
+    const u64 golden = run_golden(prog).result.exitValue;
+    EXPECT_EQ(golden, 23u);
+    reassociate_program(prog);
+    EXPECT_EQ(run_golden(prog).result.exitValue, golden);
+    EXPECT_TRUE(verify_program(prog).ok());
+}
+
+TEST(Reassoc, MinMaxAndMulChains)
+{
+    for (Opcode op : {Opcode::MUL, Opcode::MIN, Opcode::MAX, Opcode::XOR}) {
+        ProgramBuilder b("ops");
+        b.beginFunction("main");
+        RegId acc = b.emitImm(op == Opcode::MUL ? 1 : 9);
+        for (int k = 2; k <= 5; ++k)
+            b.emit(ops::alu(op, acc, acc, b.emitImm(k)));
+        b.emitHalt(acc);
+        b.endFunction();
+        Program prog = b.take();
+        const u64 golden = run_golden(prog).result.exitValue;
+        ReassocStats stats = reassociate_program(prog);
+        EXPECT_EQ(stats.chainsRewritten, 1u) << opcode_name(op);
+        EXPECT_EQ(run_golden(prog).result.exitValue, golden)
+            << opcode_name(op);
+    }
+}
+
+TEST(Reassoc, EndToEndEquivalenceOnSuiteBenchmark)
+{
+    SuiteScale scale;
+    scale.targetOps = 20'000;
+    VoltronSystem sys(build_benchmark("gsmdecode", scale));
+    CompileOptions with, without;
+    with.numCores = without.numCores = 4;
+    with.strategy = without.strategy = Strategy::IlpOnly;
+    without.reassociate = false;
+    RunOutcome a = sys.run(with);
+    EXPECT_TRUE(a.correct());
+    // The cache key does not include `reassociate`; compile directly.
+    GoldenRun golden = run_golden(sys.program());
+    MachineProgram mp =
+        compile_program(sys.program(), golden.profile, without);
+    Machine machine(mp, MachineConfig::forCores(4));
+    MachineResult r = machine.run();
+    EXPECT_EQ(r.exitValue, golden.result.exitValue);
+    // Reassociation must not be slower.
+    EXPECT_LE(a.result.cycles, r.cycles + r.cycles / 10);
+}
+
+} // namespace
+} // namespace voltron

@@ -1,0 +1,308 @@
+/** @file End-to-end golden-equivalence property suite.
+ *
+ * The master invariant of this reproduction (DESIGN.md §5): every
+ * compiled configuration — any strategy, any core count — must reproduce
+ * the sequential interpreter's exit value and final memory image. The
+ * parameterised sweep below covers every archetype x strategy x core
+ * count combination, which exercises every compiler path (BUG, eBUG,
+ * DSWP, DOALL incl. accumulator expansion, branch replication, both
+ * network modes, mode switching, the TM) against the golden model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/voltron.hh"
+#include "workloads/archetypes.hh"
+#include "workloads/suite.hh"
+
+namespace voltron {
+namespace {
+
+struct E2eCase
+{
+    Archetype archetype;
+    Strategy strategy;
+    u16 cores;
+    u64 trips;
+    u64 elems;
+};
+
+std::string
+case_name(const ::testing::TestParamInfo<E2eCase> &info)
+{
+    const E2eCase &c = info.param;
+    std::string name = archetype_name(c.archetype);
+    name += "_";
+    name += strategy_name(c.strategy);
+    name += "_" + std::to_string(c.cores) + "c";
+    return name;
+}
+
+Program
+phase_program(Archetype archetype, u64 trips, u64 elems)
+{
+    Rng rng(1234 + static_cast<u64>(archetype));
+    ProgramBuilder b("e2e");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    PhaseParams pp;
+    pp.trips = trips;
+    pp.elems = elems;
+    pp.width = 5;
+    FuncId f = emit_phase(b, archetype,
+                          archetype_name(archetype), pp, rng);
+    Program prog = b.take();
+    Function &main_fn = prog.function(0);
+    main_fn.blocks.clear();
+    main_fn.addBlock("entry");
+    BasicBlock &bb = main_fn.block(0);
+    // Call the phase twice with different reps to exercise region
+    // re-entry (spawn/sleep cycles, repeated mode switches).
+    RegId acc = gpr(9);
+    bb.append(ops::movi(acc, 0));
+    for (i64 rep = 1; rep <= 2; ++rep) {
+        bb.append(ops::movi(gpr(1), rep));
+        RegId bt = main_fn.freshReg(RegClass::BTR);
+        bb.append(ops::pbr(bt, CodeRef::to_function(f)));
+        bb.append(ops::call(bt));
+        bb.append(ops::alu(Opcode::XOR, acc, acc, gpr(0)));
+    }
+    bb.append(ops::halt(acc));
+    return prog;
+}
+
+class EndToEnd : public ::testing::TestWithParam<E2eCase>
+{
+};
+
+TEST_P(EndToEnd, MatchesGoldenModel)
+{
+    const E2eCase &c = GetParam();
+    VoltronSystem sys(phase_program(c.archetype, c.trips, c.elems));
+    RunOutcome outcome = sys.run(c.strategy, c.cores);
+    EXPECT_TRUE(outcome.exitMatches)
+        << "exit value diverged: " << outcome.result.exitValue << " vs "
+        << sys.goldenResult().exitValue;
+    EXPECT_TRUE(outcome.memoryMatches) << "final memory diverged";
+    EXPECT_GT(outcome.result.cycles, 0u);
+    // Stall accounting sanity: no core stalls longer than the run.
+    for (CoreId core = 0; core < c.cores; ++core)
+        EXPECT_LE(outcome.result.stallSum(core), outcome.result.cycles);
+}
+
+std::vector<E2eCase>
+all_cases()
+{
+    std::vector<E2eCase> cases;
+    for (Archetype archetype :
+         {Archetype::DoallStream, Archetype::DoallReduction,
+          Archetype::IlpWide, Archetype::StrandMatch, Archetype::DswpPipe,
+          Archetype::PointerChase, Archetype::BranchyIlp}) {
+        for (Strategy strategy :
+             {Strategy::IlpOnly, Strategy::TlpOnly, Strategy::LlpOnly,
+              Strategy::Hybrid}) {
+            for (u16 cores : {2, 4})
+                cases.push_back({archetype, strategy, cores, 200, 512});
+        }
+        cases.push_back({archetype, Strategy::SerialOnly, 1, 200, 512});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EndToEnd, ::testing::ValuesIn(all_cases()),
+                         [](const auto &info) {
+                             std::string n = case_name(info);
+                             return n + "_" + std::to_string(info.index);
+                         });
+
+// --- Targeted end-to-end scenarios ----------------------------------------
+
+TEST(E2eScenario, DoallZeroTripLoop)
+{
+    // The chunked loop's zero-trip path must leave state untouched.
+    ProgramBuilder b("zt");
+    Addr arr = b.allocArrayI64("a", std::vector<i64>(64, 2));
+    u32 sym = b.symbolOf("a");
+    b.beginFunction("main");
+    RegId base = b.emitImm(static_cast<i64>(arr));
+    RegId bound = b.emitImm(0); // dynamic zero bound
+    RegId sum = b.emitImm(123);
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoopReg(i, 0, bound);
+    RegId off = b.newGpr();
+    b.emit(ops::alui(Opcode::SHL, off, i, 3));
+    RegId addr = b.newGpr();
+    b.emit(ops::add(addr, base, off));
+    RegId v = b.newGpr();
+    b.emitLoad(v, addr, 0, sym);
+    b.emit(ops::add(sum, sum, v));
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+
+    VoltronSystem sys(b.take());
+    EXPECT_EQ(sys.goldenResult().exitValue, 123u);
+    // With a zero-trip profile the loop is not worth parallelising, so
+    // force LLP selection off the profile is moot — what matters is the
+    // run still matches.
+    RunOutcome outcome = sys.run(Strategy::LlpOnly, 4);
+    EXPECT_TRUE(outcome.correct());
+}
+
+TEST(E2eScenario, DoallMisspeculationRollsBack)
+{
+    // A loop with a *rare* cross-iteration dependence that the training
+    // profile does not see: train on a small array region without the
+    // dependence... Our profile always sees the dependence since it runs
+    // the same input, so instead we force LLP compilation of a loop the
+    // profiler believes is independent but whose TM run aborts due to
+    // line-granularity false sharing: adjacent 8-byte elements in one
+    // cache line written by different chunks.
+    ProgramBuilder b("fs");
+    // 8 elements: one line. Chunks share the line -> violation at run
+    // time, serial recovery must produce the correct result.
+    Addr arr = b.allocArrayI64("a", std::vector<i64>(8, 1));
+    u32 sym = b.symbolOf("a");
+    b.beginFunction("main");
+    RegId base = b.emitImm(static_cast<i64>(arr));
+    RegId sum = b.emitImm(0);
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, 8);
+    RegId off = b.newGpr();
+    b.emit(ops::alui(Opcode::SHL, off, i, 3));
+    RegId addr = b.newGpr();
+    b.emit(ops::add(addr, base, off));
+    RegId v = b.newGpr();
+    b.emitLoad(v, addr, 0, sym);
+    b.emit(ops::alui(Opcode::MUL, v, v, 3));
+    b.emitStore(addr, 0, v, sym);
+    b.emit(ops::add(sum, sum, v));
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+
+    VoltronSystem sys(b.take());
+    CompileOptions opts;
+    opts.strategy = Strategy::LlpOnly;
+    opts.numCores = 4;
+    opts.minOpsPerActivation = 1; // force parallelisation of the tiny loop
+    opts.minDoallTrip = 2;
+    RunOutcome outcome = sys.run(opts);
+    EXPECT_TRUE(outcome.correct());
+}
+
+TEST(E2eScenario, NestedLoopsWithInnerDoall)
+{
+    // An outer loop with a call makes the inner loops the regions.
+    ProgramBuilder b("nest");
+    const u64 n = 128;
+    Addr arr = b.allocArrayI64("a", std::vector<i64>(n, 5));
+    u32 sym = b.symbolOf("a");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    FuncId phase = b.beginFunction("phase", 1, true);
+    {
+        RegId base = b.emitImm(static_cast<i64>(arr));
+        RegId sum = b.emitImm(0);
+        RegId i = b.newGpr();
+        LoopHandles loop = b.forLoop(i, 0, static_cast<i64>(n));
+        RegId off = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off, i, 3));
+        RegId addr = b.newGpr();
+        b.emit(ops::add(addr, base, off));
+        RegId v = b.newGpr();
+        b.emitLoad(v, addr, 0, sym);
+        b.emit(ops::add(v, v, gpr(1)));
+        b.emitStore(addr, 0, v, sym);
+        b.emit(ops::add(sum, sum, v));
+        b.endCountedLoop(loop);
+        b.emit(ops::mov(gpr(0), sum));
+        b.emit(ops::ret());
+    }
+    b.endFunction();
+    Program prog = b.take();
+    Function &main_fn = prog.function(0);
+    main_fn.blocks.clear();
+    main_fn.addBlock("entry");
+    {
+        BasicBlock &bb = main_fn.block(0);
+        RegId total = gpr(9);
+        bb.append(ops::movi(total, 0));
+        bb.append(ops::movi(gpr(8), 0));
+    }
+    // outer loop calling phase: use builder-less manual loop via blocks.
+    // Simpler: three straight-line calls.
+    {
+        BasicBlock &bb = main_fn.block(0);
+        for (i64 rep = 0; rep < 3; ++rep) {
+            bb.append(ops::movi(gpr(1), rep));
+            RegId bt = main_fn.freshReg(RegClass::BTR);
+            bb.append(ops::pbr(bt, CodeRef::to_function(phase)));
+            bb.append(ops::call(bt));
+            bb.append(ops::add(gpr(9), gpr(9), gpr(0)));
+        }
+        bb.append(ops::halt(gpr(9)));
+    }
+
+    VoltronSystem sys(std::move(prog));
+    for (Strategy s : {Strategy::LlpOnly, Strategy::Hybrid}) {
+        RunOutcome outcome = sys.run(s, 4);
+        EXPECT_TRUE(outcome.correct()) << strategy_name(s);
+    }
+}
+
+TEST(E2eScenario, WholeBenchmarksMatchGolden)
+{
+    // A couple of full suite benchmarks through every strategy.
+    for (const char *name : {"gsmdecode", "179.art"}) {
+        SuiteScale scale;
+        scale.targetOps = 30'000; // keep the test fast
+        VoltronSystem sys(build_benchmark(name, scale));
+        for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly,
+                           Strategy::LlpOnly, Strategy::Hybrid}) {
+            RunOutcome outcome = sys.run(s, 4);
+            EXPECT_TRUE(outcome.correct())
+                << name << " diverged under " << strategy_name(s);
+        }
+    }
+}
+
+TEST(E2eScenario, HybridBeatsSerialOnMixedProgram)
+{
+    SuiteScale scale;
+    scale.targetOps = 60'000;
+    VoltronSystem sys(build_benchmark("171.swim", scale));
+    RunOutcome outcome = sys.run(Strategy::Hybrid, 4);
+    EXPECT_TRUE(outcome.correct());
+    EXPECT_GT(sys.speedup(outcome), 1.5);
+}
+
+TEST(E2eScenario, ModeCyclesPartitionTotal)
+{
+    SuiteScale scale;
+    scale.targetOps = 30'000;
+    VoltronSystem sys(build_benchmark("cjpeg", scale));
+    RunOutcome outcome = sys.run(Strategy::Hybrid, 4);
+    EXPECT_EQ(outcome.result.coupledCycles + outcome.result.decoupledCycles,
+              outcome.result.cycles);
+    EXPECT_GT(outcome.result.coupledCycles, 0u);
+    EXPECT_GT(outcome.result.decoupledCycles, 0u);
+}
+
+TEST(E2eScenario, RegionCyclesCoverMostOfTheRun)
+{
+    SuiteScale scale;
+    scale.targetOps = 30'000;
+    VoltronSystem sys(build_benchmark("gsmencode", scale));
+    RunOutcome outcome = sys.run(Strategy::Hybrid, 4);
+    u64 attributed = 0;
+    for (const auto &[region, cycles] : outcome.result.regionCycles)
+        attributed += cycles;
+    EXPECT_GT(attributed, outcome.result.cycles * 9 / 10);
+    EXPECT_LE(attributed, outcome.result.cycles);
+}
+
+} // namespace
+} // namespace voltron

@@ -1,0 +1,448 @@
+/** @file Unit tests for the reference interpreter and its profiler. */
+
+#include <gtest/gtest.h>
+
+#include "interp/interp.hh"
+#include "interp/semantics.hh"
+#include "ir/builder.hh"
+
+namespace voltron {
+namespace {
+
+// --- Scalar semantics (shared with the simulator) -----------------------
+
+struct IntCase
+{
+    Opcode op;
+    i64 a, b, expect;
+};
+
+class IntSemantics : public ::testing::TestWithParam<IntCase>
+{
+};
+
+TEST_P(IntSemantics, Evaluates)
+{
+    const IntCase &c = GetParam();
+    EXPECT_EQ(static_cast<i64>(eval_int(c.op, static_cast<u64>(c.a),
+                                        static_cast<u64>(c.b))),
+              c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, IntSemantics,
+    ::testing::Values(
+        IntCase{Opcode::ADD, 3, 4, 7},
+        IntCase{Opcode::ADD, -3, 1, -2},
+        IntCase{Opcode::SUB, 3, 4, -1},
+        IntCase{Opcode::MUL, -3, 4, -12},
+        IntCase{Opcode::DIV, 7, 2, 3},
+        IntCase{Opcode::DIV, -7, 2, -3},
+        IntCase{Opcode::REM, 7, 3, 1},
+        IntCase{Opcode::REM, -7, 3, -1},
+        IntCase{Opcode::AND, 0b1100, 0b1010, 0b1000},
+        IntCase{Opcode::OR, 0b1100, 0b1010, 0b1110},
+        IntCase{Opcode::XOR, 0b1100, 0b1010, 0b0110},
+        IntCase{Opcode::SHL, 3, 4, 48},
+        IntCase{Opcode::SHR, -1, 60, 15},
+        IntCase{Opcode::SRA, -16, 2, -4},
+        IntCase{Opcode::MIN, -5, 3, -5},
+        IntCase{Opcode::MAX, -5, 3, 3},
+        IntCase{Opcode::MOV, 42, 0, 42}));
+
+TEST(Semantics, DivisionByZeroIsFatal)
+{
+    EXPECT_THROW(eval_int(Opcode::DIV, 1, 0), FatalError);
+    EXPECT_THROW(eval_int(Opcode::REM, 1, 0), FatalError);
+}
+
+struct CmpCase
+{
+    CmpCond cond;
+    i64 a, b;
+    bool expect;
+};
+
+class CmpSemantics : public ::testing::TestWithParam<CmpCase>
+{
+};
+
+TEST_P(CmpSemantics, Evaluates)
+{
+    const CmpCase &c = GetParam();
+    EXPECT_EQ(eval_cmp(c.cond, static_cast<u64>(c.a), static_cast<u64>(c.b)),
+              c.expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConds, CmpSemantics,
+    ::testing::Values(
+        CmpCase{CmpCond::EQ, 3, 3, true}, CmpCase{CmpCond::EQ, 3, 4, false},
+        CmpCase{CmpCond::NE, 3, 4, true},
+        CmpCase{CmpCond::LT, -1, 0, true},
+        CmpCase{CmpCond::LE, 0, 0, true},
+        CmpCase{CmpCond::GT, 1, -1, true},
+        CmpCase{CmpCond::GE, -2, -1, false},
+        CmpCase{CmpCond::ULT, -1, 0, false}, // unsigned: -1 is huge
+        CmpCase{CmpCond::ULE, 0, 0, true},
+        CmpCase{CmpCond::UGT, -1, 1, true},
+        CmpCase{CmpCond::UGE, 1, 2, false}));
+
+TEST(Semantics, FpOps)
+{
+    auto bits = [](double d) { return std::bit_cast<u64>(d); };
+    EXPECT_EQ(eval_fp(Opcode::FADD, bits(1.5), bits(2.25)), bits(3.75));
+    EXPECT_EQ(eval_fp(Opcode::FSUB, bits(1.5), bits(2.0)), bits(-0.5));
+    EXPECT_EQ(eval_fp(Opcode::FMUL, bits(1.5), bits(2.0)), bits(3.0));
+    EXPECT_EQ(eval_fp(Opcode::FDIV, bits(3.0), bits(2.0)), bits(1.5));
+    EXPECT_TRUE(eval_fcmp(CmpCond::LT, bits(1.0), bits(2.0)));
+    EXPECT_FALSE(eval_fcmp(CmpCond::GE, bits(1.0), bits(2.0)));
+}
+
+// --- Whole-program interpretation ---------------------------------------
+
+TEST(Interp, ArithmeticAndHalt)
+{
+    ProgramBuilder b("arith");
+    b.beginFunction("main");
+    RegId x = b.emitImm(6);
+    RegId y = b.emitImm(7);
+    RegId z = b.newGpr();
+    b.emit(ops::mul(z, x, y));
+    b.emitHalt(z);
+    b.endFunction();
+    GoldenRun run = run_golden(b.take());
+    EXPECT_EQ(run.result.exitValue, 42u);
+}
+
+TEST(Interp, LoopSumsCorrectly)
+{
+    ProgramBuilder b("sum");
+    b.beginFunction("main");
+    RegId sum = b.emitImm(0);
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, 100);
+    b.emit(ops::add(sum, sum, i));
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+    GoldenRun run = run_golden(b.take());
+    EXPECT_EQ(run.result.exitValue, 4950u);
+}
+
+TEST(Interp, ZeroTripLoopSkipsBody)
+{
+    ProgramBuilder b("zero");
+    b.beginFunction("main");
+    RegId sum = b.emitImm(9);
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 5, 5);
+    b.emit(ops::addi(sum, sum, 100));
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+    GoldenRun run = run_golden(b.take());
+    EXPECT_EQ(run.result.exitValue, 9u);
+}
+
+TEST(Interp, NegativeStepLoop)
+{
+    ProgramBuilder b("down");
+    b.beginFunction("main");
+    RegId sum = b.emitImm(0);
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 10, 0, -1);
+    b.emit(ops::add(sum, sum, i));
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+    GoldenRun run = run_golden(b.take());
+    EXPECT_EQ(run.result.exitValue, 55u); // 10+9+...+1
+}
+
+TEST(Interp, MemoryRoundTrip)
+{
+    ProgramBuilder b("mem");
+    Addr arr = b.allocArrayI64("xs", {10, 20, 30});
+    u32 sym = b.symbolOf("xs");
+    b.beginFunction("main");
+    RegId base = b.emitImm(static_cast<i64>(arr));
+    RegId v = b.newGpr();
+    b.emitLoad(v, base, 8, sym);
+    b.emit(ops::addi(v, v, 1));
+    b.emitStore(base, 16, v, sym);
+    RegId w = b.newGpr();
+    b.emitLoad(w, base, 16, sym);
+    b.emitHalt(w);
+    b.endFunction();
+    GoldenRun run = run_golden(b.take());
+    EXPECT_EQ(run.result.exitValue, 21u);
+    EXPECT_EQ(run.memory->read(arr + 16, 8), 21u);
+}
+
+TEST(Interp, SubWordSignExtension)
+{
+    ProgramBuilder b("subword");
+    Addr arr = b.allocData("bytes", 8);
+    u32 sym = b.symbolOf("bytes");
+    b.beginFunction("main");
+    RegId base = b.emitImm(static_cast<i64>(arr));
+    RegId v = b.emitImm(-1);
+    b.emitStore(base, 0, v, sym, 1);
+    RegId sx = b.newGpr();
+    b.emitLoad(sx, base, 0, sym, 1, true);
+    RegId zx = b.newGpr();
+    b.emitLoad(zx, base, 0, sym, 1, false);
+    RegId diff = b.newGpr();
+    b.emit(ops::sub(diff, zx, sx)); // 255 - (-1) = 256
+    b.emitHalt(diff);
+    b.endFunction();
+    GoldenRun run = run_golden(b.take());
+    EXPECT_EQ(run.result.exitValue, 256u);
+}
+
+TEST(Interp, FloatingPointProgram)
+{
+    ProgramBuilder b("fp");
+    b.beginFunction("main");
+    RegId fa = b.newFpr(), fb = b.newFpr(), fc = b.newFpr();
+    b.emit(ops::fmovi(fa, 1.5));
+    b.emit(ops::fmovi(fb, 2.5));
+    b.emit(ops::falu(Opcode::FMUL, fc, fa, fb));
+    RegId out = b.newGpr();
+    b.emit(ops::ftoi(out, fc));
+    b.emitHalt(out);
+    b.endFunction();
+    GoldenRun run = run_golden(b.take());
+    EXPECT_EQ(run.result.exitValue, 3u); // trunc(3.75)
+}
+
+TEST(Interp, CallsNestAndReturnValues)
+{
+    ProgramBuilder b("calls");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0)); // placeholder main; rebuilt below
+    b.endFunction();
+    FuncId square = b.beginFunction("square", 1, true);
+    b.emit(ops::mul(gpr(0), gpr(1), gpr(1)));
+    b.emit(ops::ret());
+    b.endFunction();
+    FuncId sumsq = b.beginFunction("sumsq", 2, true);
+    {
+        RegId a = b.newGpr(), c = b.newGpr();
+        b.emit(ops::mov(a, gpr(1)));
+        b.emit(ops::mov(c, gpr(2)));
+        RegId s1 = b.emitCall(square, {a});
+        RegId s2 = b.emitCall(square, {c});
+        b.emit(ops::add(gpr(0), s1, s2));
+        b.emit(ops::ret());
+    }
+    b.endFunction();
+    Program prog = b.take();
+    // Rebuild main to call sumsq(3, 4).
+    Function &main_fn = prog.function(0);
+    main_fn.blocks.clear();
+    main_fn.addBlock("entry");
+    BasicBlock &bb = main_fn.block(0);
+    bb.append(ops::movi(gpr(1), 3));
+    bb.append(ops::movi(gpr(2), 4));
+    RegId bt = main_fn.freshReg(RegClass::BTR);
+    bb.append(ops::pbr(bt, CodeRef::to_function(sumsq)));
+    bb.append(ops::call(bt));
+    bb.append(ops::halt(gpr(0)));
+    GoldenRun run = run_golden(prog);
+    EXPECT_EQ(run.result.exitValue, 25u);
+}
+
+TEST(Interp, RegisterFramesIsolateCallers)
+{
+    // Callee clobbers a high register; the caller's copy must survive.
+    ProgramBuilder b("frames");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    FuncId clobber = b.beginFunction("clobber", 0, false);
+    b.emit(ops::movi(gpr(40), 999));
+    b.emit(ops::ret());
+    b.endFunction();
+    b.beginFunction("caller", 0, true);
+    b.emit(ops::movi(gpr(40), 7));
+    b.emitCall(clobber, {});
+    b.emit(ops::mov(gpr(0), gpr(40)));
+    b.emit(ops::ret());
+    b.endFunction();
+    Program prog = b.take();
+    Function &main_fn = prog.function(0);
+    main_fn.blocks.clear();
+    main_fn.addBlock("entry");
+    BasicBlock &bb = main_fn.block(0);
+    RegId bt = main_fn.freshReg(RegClass::BTR);
+    bb.append(ops::pbr(bt, CodeRef::to_function(prog.findFunction("caller"))));
+    bb.append(ops::call(bt));
+    bb.append(ops::halt(gpr(0)));
+    GoldenRun run = run_golden(prog);
+    EXPECT_EQ(run.result.exitValue, 7u);
+}
+
+TEST(Interp, RunawayProgramIsFatal)
+{
+    ProgramBuilder b("forever");
+    b.beginFunction("main");
+    BlockId spin = b.newBlock("spin");
+    b.fallthroughTo(spin);
+    b.emitJump(spin);
+    b.endFunction();
+    Program prog = b.take();
+    MemoryImage mem;
+    Interpreter interp(prog, mem);
+    EXPECT_THROW(interp.run(10'000), FatalError);
+}
+
+// --- Profiling -----------------------------------------------------------
+
+TEST(Profile, BlockCountsAndTripCounts)
+{
+    ProgramBuilder b("prof");
+    b.beginFunction("main");
+    RegId sum = b.emitImm(0);
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, 25);
+    b.emit(ops::add(sum, sum, i));
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+    GoldenRun run = run_golden(b.take());
+
+    EXPECT_EQ(run.profile.blockExecs(0, loop.bodyEntry), 25u);
+    EXPECT_EQ(run.profile.blockExecs(0, 0), 1u);
+    EXPECT_NEAR(run.profile.avgTripCount(0, loop.header), 25.0, 1.1);
+    const LoopProfile *lp = run.profile.loop(0, loop.header);
+    ASSERT_NE(lp, nullptr);
+    EXPECT_EQ(lp->activations, 1u);
+}
+
+TEST(Profile, BranchBias)
+{
+    ProgramBuilder b("bias");
+    b.beginFunction("main");
+    RegId i = b.newGpr();
+    RegId sum = b.emitImm(0);
+    LoopHandles loop = b.forLoop(i, 0, 100);
+    {
+        RegId bit = b.newGpr();
+        b.emit(ops::alui(Opcode::AND, bit, i, 3));
+        RegId p = b.newPr();
+        b.emit(ops::cmpi(CmpCond::EQ, p, bit, 0));
+        IfHandles diamond = b.beginIf(p);
+        b.emit(ops::addi(sum, sum, 1));
+        b.endIf(diamond);
+    }
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+    Program prog = b.take();
+    GoldenRun run = run_golden(prog);
+    EXPECT_EQ(run.result.exitValue, 25u);
+
+    // Find the diamond's BR and check its taken rate is ~25%.
+    bool checked = false;
+    for (const auto &bb : prog.functions[0].blocks) {
+        for (const auto &op : bb.ops) {
+            if (op.op == Opcode::BR &&
+                run.profile.branchExec.count(profile_key(0, op.seqId))) {
+                double rate = run.profile.takenRate(0, op.seqId);
+                if (run.profile.branchExec.at(profile_key(0, op.seqId)) ==
+                    100) {
+                    EXPECT_GT(rate, 0.0);
+                    checked = true;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(checked);
+}
+
+TEST(Profile, CrossIterationDependenceDetected)
+{
+    // a[i+1] = a[i] + 1 carries a dependence; a[i] = i does not.
+    ProgramBuilder b("dep");
+    Addr arr = b.allocArrayI64("a", std::vector<i64>(64, 0));
+    u32 sym = b.symbolOf("a");
+    b.beginFunction("main");
+    RegId base = b.emitImm(static_cast<i64>(arr));
+
+    RegId i = b.newGpr();
+    LoopHandles dep_loop = b.forLoop(i, 0, 32, 1, "dep");
+    {
+        RegId off = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off, i, 3));
+        RegId addr = b.newGpr();
+        b.emit(ops::add(addr, base, off));
+        RegId v = b.newGpr();
+        b.emitLoad(v, addr, 0, sym);
+        b.emit(ops::addi(v, v, 1));
+        b.emitStore(addr, 8, v, sym); // writes a[i+1]
+    }
+    b.endCountedLoop(dep_loop);
+
+    RegId j = b.newGpr();
+    LoopHandles indep_loop = b.forLoop(j, 0, 32, 1, "indep");
+    {
+        RegId off = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off, j, 3));
+        RegId addr = b.newGpr();
+        b.emit(ops::add(addr, base, off));
+        b.emitStore(addr, 0, j, sym);
+    }
+    b.endCountedLoop(indep_loop);
+
+    b.emitHalt(j);
+    b.endFunction();
+    GoldenRun run = run_golden(b.take());
+
+    const LoopProfile *dep = run.profile.loop(0, dep_loop.header);
+    const LoopProfile *indep = run.profile.loop(0, indep_loop.header);
+    ASSERT_NE(dep, nullptr);
+    ASSERT_NE(indep, nullptr);
+    EXPECT_TRUE(dep->crossIterDep);
+    EXPECT_FALSE(indep->crossIterDep);
+}
+
+TEST(Profile, MissRatesHighForBigStrides)
+{
+    // Streaming a large array misses; re-reading one element hits.
+    ProgramBuilder b("miss");
+    const u64 n = 4096; // 32 KB >> 4 KB L1
+    Addr arr = b.allocData("big", n * 8);
+    u32 sym = b.symbolOf("big");
+    b.beginFunction("main");
+    RegId base = b.emitImm(static_cast<i64>(arr));
+    RegId i = b.newGpr();
+    RegId sum = b.emitImm(0);
+    LoopHandles loop = b.forLoop(i, 0, static_cast<i64>(n));
+    RegId off = b.newGpr();
+    b.emit(ops::alui(Opcode::SHL, off, i, 3));
+    RegId addr = b.newGpr();
+    b.emit(ops::add(addr, base, off));
+    RegId v = b.newGpr();
+    Operation load = ops::load(v, addr, 0, 8);
+    load.memSym = sym;
+    u32 stream_seq;
+    {
+        b.emit(load);
+        // The builder stamped a fresh seqId; recover it from the block.
+        const Function &fn = b.program().functions[0];
+        stream_seq = fn.block(b.currentBlock()).ops.back().seqId;
+    }
+    b.emit(ops::add(sum, sum, v));
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+    GoldenRun run = run_golden(b.take());
+    const double rate = run.profile.missRate(0, stream_seq);
+    // One miss per 8 accesses (64B line / 8B stride).
+    EXPECT_NEAR(rate, 0.125, 0.02);
+}
+
+} // namespace
+} // namespace voltron

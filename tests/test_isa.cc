@@ -1,0 +1,193 @@
+/** @file Unit tests for the ISA layer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "isa/coderef.hh"
+#include "isa/latencies.hh"
+#include "isa/operation.hh"
+
+namespace voltron {
+namespace {
+
+TEST(Reg, ConstructorsAndValidity)
+{
+    EXPECT_FALSE(RegId{}.valid());
+    EXPECT_TRUE(gpr(3).valid());
+    EXPECT_EQ(gpr(3).cls, RegClass::GPR);
+    EXPECT_EQ(fpr(1).cls, RegClass::FPR);
+    EXPECT_EQ(pr(2).cls, RegClass::PR);
+    EXPECT_EQ(btr(0).cls, RegClass::BTR);
+}
+
+TEST(Reg, EqualityAndOrdering)
+{
+    EXPECT_EQ(gpr(1), gpr(1));
+    EXPECT_NE(gpr(1), gpr(2));
+    EXPECT_NE(gpr(1), fpr(1));
+    EXPECT_LT(gpr(1), gpr(2));
+    EXPECT_LT(gpr(9), fpr(0)); // class dominates
+}
+
+TEST(Reg, Printing)
+{
+    std::ostringstream os;
+    os << gpr(5) << " " << pr(1) << " " << btr(2) << " " << RegId{};
+    EXPECT_EQ(os.str(), "r5 p1 b2 _");
+}
+
+TEST(Reg, HashDistinguishesClasses)
+{
+    std::hash<RegId> h;
+    EXPECT_NE(h(gpr(1)), h(fpr(1)));
+    EXPECT_EQ(h(gpr(1)), h(gpr(1)));
+}
+
+TEST(CodeRefTest, EncodeDecodeBlock)
+{
+    CodeRef ref = CodeRef::to_block(12, 345);
+    CodeRef back = CodeRef::decode(ref.encode());
+    EXPECT_EQ(back, ref);
+    EXPECT_EQ(back.kind, CodeRef::Kind::Block);
+    EXPECT_EQ(back.func, 12u);
+    EXPECT_EQ(back.block, 345u);
+}
+
+TEST(CodeRefTest, EncodeDecodeFunction)
+{
+    CodeRef ref = CodeRef::to_function(7);
+    CodeRef back = CodeRef::decode(ref.encode());
+    EXPECT_EQ(back.kind, CodeRef::Kind::Function);
+    EXPECT_EQ(back.func, 7u);
+}
+
+TEST(CodeRefTest, InvalidByDefault)
+{
+    EXPECT_FALSE(CodeRef{}.valid());
+    EXPECT_TRUE(CodeRef::to_function(0).valid());
+}
+
+TEST(CodeRefTest, OutOfRangePanics)
+{
+    EXPECT_THROW(CodeRef::to_block(1u << 24, 0).encode(), PanicError);
+}
+
+TEST(Opcode, Names)
+{
+    EXPECT_STREQ(opcode_name(Opcode::ADD), "add");
+    EXPECT_STREQ(opcode_name(Opcode::MODE_SWITCH), "mode_switch");
+    EXPECT_STREQ(opcode_name(Opcode::XVALIDATE), "xvalidate");
+}
+
+TEST(Opcode, Classification)
+{
+    EXPECT_TRUE(is_load(Opcode::LOAD));
+    EXPECT_TRUE(is_load(Opcode::LOADF));
+    EXPECT_FALSE(is_load(Opcode::STORE));
+    EXPECT_TRUE(is_store(Opcode::STOREF));
+    EXPECT_TRUE(is_memory(Opcode::STORE));
+    EXPECT_FALSE(is_memory(Opcode::ADD));
+    EXPECT_TRUE(is_control(Opcode::BR));
+    EXPECT_TRUE(is_control(Opcode::HALT));
+    EXPECT_FALSE(is_control(Opcode::PBR));
+    EXPECT_TRUE(is_comm(Opcode::SEND));
+    EXPECT_TRUE(is_comm(Opcode::BCAST));
+    EXPECT_FALSE(is_comm(Opcode::SPAWN));
+    EXPECT_TRUE(is_compute(Opcode::FMUL));
+    EXPECT_FALSE(is_compute(Opcode::LOAD));
+}
+
+TEST(Opcode, OppositeDirections)
+{
+    EXPECT_EQ(opposite(Dir::East), Dir::West);
+    EXPECT_EQ(opposite(Dir::West), Dir::East);
+    EXPECT_EQ(opposite(Dir::North), Dir::South);
+    EXPECT_EQ(opposite(Dir::South), Dir::North);
+}
+
+TEST(OperationTest, UsesAndDefs)
+{
+    Operation add = ops::add(gpr(1), gpr(2), gpr(3));
+    EXPECT_EQ(add.def(), gpr(1));
+    ASSERT_EQ(add.uses().size(), 2u);
+    EXPECT_EQ(add.uses()[0], gpr(2));
+    EXPECT_EQ(add.uses()[1], gpr(3));
+
+    Operation addi = ops::addi(gpr(1), gpr(2), 5);
+    EXPECT_EQ(addi.uses().size(), 1u);
+    EXPECT_TRUE(addi.immSrc1);
+
+    Operation store = ops::store(gpr(1), 8, gpr(2));
+    EXPECT_FALSE(store.def().valid());
+    EXPECT_EQ(store.uses().size(), 2u);
+}
+
+TEST(OperationTest, FactoryFieldsRoundTrip)
+{
+    Operation load = ops::load(gpr(1), gpr(2), 16, 4, true);
+    EXPECT_EQ(load.op, Opcode::LOAD);
+    EXPECT_EQ(load.memSize, 4);
+    EXPECT_TRUE(load.memSigned);
+    EXPECT_EQ(load.imm, 16);
+
+    Operation send = ops::send(3, gpr(9));
+    EXPECT_EQ(send.imm, 3);
+    EXPECT_EQ(send.src0, gpr(9));
+
+    Operation spawn = ops::spawn(2, btr(1));
+    EXPECT_EQ(spawn.imm, 2);
+    EXPECT_EQ(spawn.src1, btr(1));
+
+    Operation ms = ops::mode_switch(true);
+    EXPECT_EQ(ms.imm, 1);
+}
+
+TEST(OperationTest, FmoviPreservesDoubleBits)
+{
+    Operation op = ops::fmovi(fpr(0), 3.25);
+    EXPECT_EQ(std::bit_cast<double>(static_cast<u64>(op.imm)), 3.25);
+}
+
+TEST(OperationTest, PbrCarriesCodeRef)
+{
+    Operation op = ops::pbr(btr(2), CodeRef::to_block(1, 9));
+    EXPECT_EQ(op.codeRef().block, 9u);
+    EXPECT_EQ(op.codeRef().func, 1u);
+}
+
+TEST(OperationTest, Printing)
+{
+    std::ostringstream os;
+    os << ops::addi(gpr(1), gpr(2), 7);
+    EXPECT_EQ(os.str(), "add r1, r2, #7");
+
+    std::ostringstream os2;
+    os2 << ops::cmp(CmpCond::LT, pr(0), gpr(1), gpr(2));
+    EXPECT_EQ(os2.str(), "cmp.lt p0, r1, r2");
+
+    std::ostringstream os3;
+    os3 << ops::put(Dir::North, gpr(4));
+    EXPECT_EQ(os3.str(), "put.north r4");
+}
+
+TEST(Latencies, MatchItaniumAssumptions)
+{
+    EXPECT_EQ(op_latency(Opcode::ADD), 1u);
+    EXPECT_EQ(op_latency(Opcode::MUL), 3u);
+    EXPECT_EQ(op_latency(Opcode::DIV), 16u);
+    EXPECT_EQ(op_latency(Opcode::FADD), 4u);
+    EXPECT_EQ(op_latency(Opcode::FDIV), 16u);
+    EXPECT_EQ(op_latency(Opcode::LOAD), 2u);
+    EXPECT_EQ(op_latency(Opcode::STORE), 1u);
+    EXPECT_EQ(op_latency(Opcode::BR), 1u);
+}
+
+TEST(Latencies, EveryOpcodeAtLeastOne)
+{
+    for (u8 i = 0; i < static_cast<u8>(Opcode::NumOpcodes); ++i)
+        EXPECT_GE(op_latency(static_cast<Opcode>(i)), 1u);
+}
+
+} // namespace
+} // namespace voltron

@@ -1,0 +1,280 @@
+/** @file Unit tests for the memory system: image, cache array, MOESI
+ * hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+#include "mem/memimage.hh"
+#include "support/rng.hh"
+
+namespace voltron {
+namespace {
+
+TEST(MemImage, ZeroInitialised)
+{
+    MemoryImage mem;
+    EXPECT_EQ(mem.read(0x1234, 8), 0u);
+    EXPECT_EQ(mem.residentPages(), 0u);
+}
+
+TEST(MemImage, ReadWriteAllSizes)
+{
+    MemoryImage mem;
+    mem.write(0x100, 0x1122334455667788ULL, 8);
+    EXPECT_EQ(mem.read(0x100, 8), 0x1122334455667788ULL);
+    EXPECT_EQ(mem.read(0x100, 4), 0x55667788u);
+    EXPECT_EQ(mem.read(0x100, 2), 0x7788u);
+    EXPECT_EQ(mem.read(0x100, 1), 0x88u);
+}
+
+TEST(MemImage, SignExtension)
+{
+    MemoryImage mem;
+    mem.write(0x10, 0xff, 1);
+    EXPECT_EQ(static_cast<i64>(mem.read(0x10, 1, true)), -1);
+    EXPECT_EQ(mem.read(0x10, 1, false), 0xffu);
+    mem.write(0x20, 0x8000, 2);
+    EXPECT_EQ(static_cast<i64>(mem.read(0x20, 2, true)), -32768);
+}
+
+TEST(MemImage, CrossPageAccess)
+{
+    MemoryImage mem;
+    const Addr edge = MemoryImage::kPageSize - 4;
+    mem.write(edge, 0xaabbccdd11223344ULL, 8);
+    EXPECT_EQ(mem.read(edge, 8), 0xaabbccdd11223344ULL);
+    EXPECT_EQ(mem.residentPages(), 2u);
+}
+
+TEST(MemImage, LoadProgramInstallsData)
+{
+    Program prog;
+    DataObject obj;
+    obj.name = "x";
+    obj.base = 0x4000;
+    obj.size = 16;
+    obj.init = {1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0};
+    prog.data.push_back(obj);
+    MemoryImage mem;
+    mem.loadProgram(prog);
+    EXPECT_EQ(mem.read(0x4000, 8), 1u);
+    EXPECT_EQ(mem.read(0x4008, 8), 2u);
+}
+
+TEST(CacheArrayTest, GeometryValidation)
+{
+    EXPECT_NO_THROW(CacheArray(CacheGeometry{4096, 2, 64}));
+    EXPECT_THROW(CacheArray(CacheGeometry{4096, 2, 48}), FatalError);
+    EXPECT_THROW(CacheArray(CacheGeometry{5000, 2, 64}), FatalError);
+}
+
+TEST(CacheArrayTest, FillThenProbeHits)
+{
+    CacheArray cache(CacheGeometry{4096, 2, 64});
+    EXPECT_EQ(cache.probe(0x1000), nullptr);
+    cache.fill(0x1000);
+    EXPECT_NE(cache.probe(0x1000), nullptr);
+    EXPECT_NE(cache.probe(0x1038), nullptr); // same line
+    EXPECT_EQ(cache.probe(0x1040), nullptr); // next line
+}
+
+TEST(CacheArrayTest, LruEvictsOldest)
+{
+    // 2-way: three lines mapping to the same set evict the LRU one.
+    CacheGeometry geom{4096, 2, 64};
+    CacheArray cache(geom);
+    const Addr set_stride = geom.numSets() * geom.lineBytes;
+    cache.fill(0x0);
+    cache.fill(set_stride);
+    cache.probe(0x0); // touch: 0x0 is now MRU
+    CacheLine victim;
+    Addr victim_addr = 0;
+    cache.fill(2 * set_stride, &victim, &victim_addr);
+    EXPECT_TRUE(victim.valid);
+    EXPECT_EQ(victim_addr, set_stride);
+    EXPECT_NE(cache.probe(0x0), nullptr);
+    EXPECT_EQ(cache.probe(set_stride), nullptr);
+}
+
+TEST(CacheArrayTest, InvalidateRemoves)
+{
+    CacheArray cache(CacheGeometry{4096, 2, 64});
+    cache.fill(0x80)->state = 3;
+    u8 old_state = 0;
+    EXPECT_TRUE(cache.invalidate(0x80, &old_state));
+    EXPECT_EQ(old_state, 3);
+    EXPECT_EQ(cache.probe(0x80), nullptr);
+    EXPECT_FALSE(cache.invalidate(0x80));
+}
+
+TEST(CacheArrayTest, DoubleFillPanics)
+{
+    CacheArray cache(CacheGeometry{4096, 2, 64});
+    cache.fill(0x100);
+    EXPECT_THROW(cache.fill(0x100), PanicError);
+}
+
+TEST(CacheArrayTest, ForEachLineVisitsValid)
+{
+    CacheArray cache(CacheGeometry{4096, 2, 64});
+    cache.fill(0x0);
+    cache.fill(0x40);
+    int count = 0;
+    cache.forEachLine([&](Addr, const CacheLine &) { count++; });
+    EXPECT_EQ(count, 2);
+}
+
+// --- MOESI hierarchy ------------------------------------------------------
+
+class Hierarchy : public ::testing::Test
+{
+  protected:
+    MemHierarchy mem{4};
+};
+
+TEST_F(Hierarchy, ColdReadMissesToMemoryThenHits)
+{
+    AccessOutcome first = mem.access(0, 0x1000, false, 0);
+    EXPECT_TRUE(first.l1Miss);
+    EXPECT_TRUE(first.l2Miss);
+    EXPECT_GE(first.latency, mem.config().timings.memAccess);
+    EXPECT_EQ(mem.l1dState(0, 0x1000), Moesi::Exclusive);
+
+    AccessOutcome second = mem.access(0, 0x1008, false, 10);
+    EXPECT_FALSE(second.l1Miss);
+    EXPECT_EQ(second.latency, 0u);
+}
+
+TEST_F(Hierarchy, WriteMakesModified)
+{
+    mem.access(0, 0x2000, true, 0);
+    EXPECT_EQ(mem.l1dState(0, 0x2000), Moesi::Modified);
+}
+
+TEST_F(Hierarchy, ReadSnoopDowngradesModifiedToOwned)
+{
+    mem.access(0, 0x3000, true, 0);
+    AccessOutcome peer = mem.access(1, 0x3000, false, 10);
+    EXPECT_TRUE(peer.cacheToCache);
+    EXPECT_EQ(mem.l1dState(0, 0x3000), Moesi::Owned);
+    EXPECT_EQ(mem.l1dState(1, 0x3000), Moesi::Shared);
+}
+
+TEST_F(Hierarchy, ReadSnoopDowngradesExclusiveToShared)
+{
+    mem.access(0, 0x4000, false, 0);
+    EXPECT_EQ(mem.l1dState(0, 0x4000), Moesi::Exclusive);
+    mem.access(1, 0x4000, false, 10);
+    EXPECT_EQ(mem.l1dState(0, 0x4000), Moesi::Shared);
+    EXPECT_EQ(mem.l1dState(1, 0x4000), Moesi::Shared);
+}
+
+TEST_F(Hierarchy, WriteInvalidatesPeers)
+{
+    mem.access(0, 0x5000, false, 0);
+    mem.access(1, 0x5000, false, 5);
+    mem.access(2, 0x5000, true, 10);
+    EXPECT_EQ(mem.l1dState(0, 0x5000), Moesi::Invalid);
+    EXPECT_EQ(mem.l1dState(1, 0x5000), Moesi::Invalid);
+    EXPECT_EQ(mem.l1dState(2, 0x5000), Moesi::Modified);
+}
+
+TEST_F(Hierarchy, UpgradeFromSharedCostsBusRound)
+{
+    mem.access(0, 0x6000, false, 0);
+    mem.access(1, 0x6000, false, 5);
+    AccessOutcome up = mem.access(0, 0x6000, true, 10);
+    EXPECT_FALSE(up.l1Miss);
+    EXPECT_GE(up.latency, mem.config().timings.upgrade);
+    EXPECT_EQ(mem.l1dState(0, 0x6000), Moesi::Modified);
+    EXPECT_EQ(mem.l1dState(1, 0x6000), Moesi::Invalid);
+}
+
+TEST_F(Hierarchy, SecondCoreMissFilledFromL2)
+{
+    // Core 0 brings the line into L1+L2, evict it from core 0's L1 by
+    // filling conflicting lines, then core 1 should hit in the L2.
+    mem.access(0, 0x7000, false, 0);
+    const Addr stride =
+        mem.config().l1d.numSets() * mem.config().l1d.lineBytes;
+    mem.access(0, 0x7000 + stride, false, 1);
+    mem.access(0, 0x7000 + 2 * stride, false, 2);
+    EXPECT_EQ(mem.l1dState(0, 0x7000), Moesi::Invalid);
+    AccessOutcome peer = mem.access(1, 0x7000, false, 20);
+    EXPECT_TRUE(peer.l1Miss);
+    EXPECT_FALSE(peer.l2Miss);
+    EXPECT_FALSE(peer.cacheToCache);
+    EXPECT_LT(peer.latency, mem.config().timings.memAccess);
+}
+
+TEST_F(Hierarchy, BusSerialisesConcurrentMisses)
+{
+    AccessOutcome a = mem.access(0, 0x8000, false, 0);
+    AccessOutcome c = mem.access(1, 0x9000, false, 0);
+    // Same-cycle second transaction waits for the bus.
+    EXPECT_GT(c.latency, a.latency - 5);
+    EXPECT_GT(mem.stats().get("bus.waitCycles"), 0u);
+}
+
+TEST_F(Hierarchy, FetchPathUsesL1i)
+{
+    AccessOutcome first = mem.fetch(0, 0x40000000, 0);
+    EXPECT_TRUE(first.l1Miss);
+    AccessOutcome second = mem.fetch(0, 0x40000004, 1);
+    EXPECT_FALSE(second.l1Miss);
+    EXPECT_EQ(mem.stats().get("core0.l1i.fetches"), 2u);
+}
+
+TEST_F(Hierarchy, ResetClearsEverything)
+{
+    mem.access(0, 0xa000, true, 0);
+    mem.reset();
+    EXPECT_EQ(mem.l1dState(0, 0xa000), Moesi::Invalid);
+    AccessOutcome again = mem.access(0, 0xa000, false, 100);
+    EXPECT_TRUE(again.l1Miss);
+}
+
+TEST_F(Hierarchy, MoesiNames)
+{
+    EXPECT_STREQ(moesi_name(Moesi::Modified), "M");
+    EXPECT_STREQ(moesi_name(Moesi::Owned), "O");
+    EXPECT_STREQ(moesi_name(Moesi::Exclusive), "E");
+    EXPECT_STREQ(moesi_name(Moesi::Shared), "S");
+    EXPECT_STREQ(moesi_name(Moesi::Invalid), "I");
+}
+
+/**
+ * Coherence single-writer/multi-reader invariant under random traffic:
+ * at most one core holds M or E; if any holds M/E no other core holds a
+ * valid copy... (M/E excludes all, O allows S peers).
+ */
+TEST_F(Hierarchy, RandomTrafficPreservesInvariants)
+{
+    Rng rng(2024);
+    const std::vector<Addr> lines = {0x100, 0x140, 0x180, 0x1c0, 0x200};
+    for (int step = 0; step < 4000; ++step) {
+        const CoreId core = static_cast<CoreId>(rng.below(4));
+        const Addr addr = lines[rng.below(lines.size())] + rng.below(64);
+        mem.access(core, addr, rng.chance(0.4), step);
+
+        for (Addr line : lines) {
+            int m_or_e = 0, valid = 0, owned = 0;
+            for (CoreId c = 0; c < 4; ++c) {
+                Moesi state = mem.l1dState(c, line);
+                if (state == Moesi::Modified || state == Moesi::Exclusive)
+                    m_or_e++;
+                if (state != Moesi::Invalid)
+                    valid++;
+                if (state == Moesi::Owned)
+                    owned++;
+            }
+            EXPECT_LE(m_or_e, 1);
+            EXPECT_LE(owned, 1);
+            if (m_or_e == 1)
+                EXPECT_EQ(valid, 1);
+        }
+    }
+}
+
+} // namespace
+} // namespace voltron

@@ -1,0 +1,200 @@
+/** @file Unit tests for the dual-mode scalar operand network. */
+
+#include <gtest/gtest.h>
+
+#include "network/network.hh"
+
+namespace voltron {
+namespace {
+
+NetworkConfig
+mesh2x2()
+{
+    NetworkConfig config;
+    config.rows = 2;
+    config.cols = 2;
+    return config;
+}
+
+TEST(Network, Topology2x2)
+{
+    OperandNetwork net(mesh2x2());
+    EXPECT_EQ(net.numCores(), 4);
+    EXPECT_EQ(net.neighbor(0, Dir::East), 1);
+    EXPECT_EQ(net.neighbor(0, Dir::South), 2);
+    EXPECT_EQ(net.neighbor(3, Dir::West), 2);
+    EXPECT_EQ(net.neighbor(3, Dir::North), 1);
+    EXPECT_EQ(net.neighbor(0, Dir::West), kNoCore);
+    EXPECT_EQ(net.neighbor(1, Dir::East), kNoCore);
+}
+
+TEST(Network, ManhattanHops)
+{
+    OperandNetwork net(mesh2x2());
+    EXPECT_EQ(net.hops(0, 0), 0u);
+    EXPECT_EQ(net.hops(0, 1), 1u);
+    EXPECT_EQ(net.hops(0, 2), 1u);
+    EXPECT_EQ(net.hops(0, 3), 2u); // diagonal
+    EXPECT_EQ(net.hops(1, 2), 2u);
+}
+
+TEST(Network, QueueLatencyMatchesPaper)
+{
+    // 2 cycles + 1 per hop: send at 0 to a neighbour arrives so that a
+    // RECV at cycle 2 can consume it (1 queue write + 1 hop).
+    OperandNetwork net(mesh2x2());
+    net.send(0, 1, 42, 0);
+    EXPECT_FALSE(net.tryRecv(1, 0, 1).has_value());
+    auto v = net.tryRecv(1, 0, 2);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 42u);
+}
+
+TEST(Network, DiagonalTakesLonger)
+{
+    OperandNetwork net(mesh2x2());
+    net.send(0, 3, 7, 0);
+    EXPECT_FALSE(net.tryRecv(3, 0, 2).has_value());
+    EXPECT_TRUE(net.tryRecv(3, 0, 3).has_value());
+}
+
+TEST(Network, FifoPerSenderPair)
+{
+    OperandNetwork net(mesh2x2());
+    net.send(0, 1, 1, 0);
+    net.send(0, 1, 2, 1);
+    net.send(0, 1, 3, 2);
+    EXPECT_EQ(*net.tryRecv(1, 0, 10), 1u);
+    EXPECT_EQ(*net.tryRecv(1, 0, 10), 2u);
+    EXPECT_EQ(*net.tryRecv(1, 0, 10), 3u);
+    EXPECT_FALSE(net.tryRecv(1, 0, 10).has_value());
+}
+
+TEST(Network, CamSelectsBySender)
+{
+    OperandNetwork net(mesh2x2());
+    net.send(0, 3, 100, 0);
+    net.send(1, 3, 200, 0);
+    net.send(2, 3, 300, 0);
+    EXPECT_EQ(*net.tryRecv(3, 1, 10), 200u);
+    EXPECT_EQ(*net.tryRecv(3, 2, 10), 300u);
+    EXPECT_EQ(*net.tryRecv(3, 0, 10), 100u);
+}
+
+TEST(Network, FifoStallsOnInFlightHead)
+{
+    // The head message for a pair is still in flight: later-queued
+    // messages from the same sender must not overtake it.
+    OperandNetwork net(mesh2x2());
+    net.send(0, 1, 1, 100); // arrives at 102
+    auto v = net.tryRecv(1, 0, 101);
+    EXPECT_FALSE(v.has_value());
+}
+
+TEST(Network, PerPairBackpressure)
+{
+    NetworkConfig config = mesh2x2();
+    config.queueCapacity = 2;
+    OperandNetwork net(config);
+    net.send(0, 1, 1, 0);
+    net.send(0, 1, 2, 0);
+    EXPECT_TRUE(net.sendWouldStall(0, 1));
+    // A different sender to the same receiver is NOT blocked.
+    EXPECT_FALSE(net.sendWouldStall(2, 1));
+    net.tryRecv(1, 0, 100);
+    EXPECT_FALSE(net.sendWouldStall(0, 1));
+}
+
+TEST(Network, SpawnSeparateFromDataMessages)
+{
+    OperandNetwork net(mesh2x2());
+    net.send(0, 1, 55, 0, /*is_spawn=*/true);
+    net.send(0, 1, 66, 0);
+    // Data RECV skips the spawn message.
+    EXPECT_EQ(*net.tryRecv(1, 0, 10), 66u);
+    EXPECT_EQ(*net.trySpawn(1, 10), 55u);
+    EXPECT_FALSE(net.trySpawn(1, 10).has_value());
+}
+
+TEST(Network, SpawnDeliveryLatency)
+{
+    OperandNetwork net(mesh2x2());
+    net.send(0, 2, 9, 5, true);
+    EXPECT_FALSE(net.trySpawn(2, 6).has_value());
+    EXPECT_TRUE(net.trySpawn(2, 7).has_value());
+}
+
+TEST(Network, DirectModePutGetSameCycle)
+{
+    OperandNetwork net(mesh2x2());
+    net.putDirect(0, Dir::East, 77, 10);
+    EXPECT_EQ(net.getDirect(1, Dir::West, 10), 77u);
+}
+
+TEST(Network, DirectModeMismatchedCyclePanics)
+{
+    OperandNetwork net(mesh2x2());
+    net.putDirect(0, Dir::East, 77, 10);
+    EXPECT_THROW(net.getDirect(1, Dir::West, 11), PanicError);
+}
+
+TEST(Network, DirectModeNoPutPanics)
+{
+    OperandNetwork net(mesh2x2());
+    EXPECT_THROW(net.getDirect(1, Dir::West, 0), PanicError);
+}
+
+TEST(Network, PutOffMeshEdgePanics)
+{
+    OperandNetwork net(mesh2x2());
+    EXPECT_THROW(net.putDirect(0, Dir::West, 1, 0), PanicError);
+    EXPECT_THROW(net.getDirect(0, Dir::West, 0), PanicError);
+}
+
+TEST(Network, BroadcastReachesEveryOtherCore)
+{
+    OperandNetwork net(mesh2x2());
+    net.broadcast(2, 0xbeef, 4);
+    EXPECT_EQ(net.getBroadcast(0, 4), 0xbeefu);
+    EXPECT_EQ(net.getBroadcast(1, 4), 0xbeefu);
+    EXPECT_EQ(net.getBroadcast(3, 4), 0xbeefu);
+    // The broadcaster itself must not consume it.
+    EXPECT_THROW(net.getBroadcast(2, 4), PanicError);
+    // Next cycle it is gone.
+    EXPECT_THROW(net.getBroadcast(0, 5), PanicError);
+}
+
+TEST(Network, RowMesh1x2)
+{
+    NetworkConfig config;
+    config.rows = 1;
+    config.cols = 2;
+    OperandNetwork net(config);
+    EXPECT_EQ(net.numCores(), 2);
+    EXPECT_EQ(net.hops(0, 1), 1u);
+    EXPECT_EQ(net.neighbor(0, Dir::South), kNoCore);
+}
+
+TEST(Network, SendToSelfPanics)
+{
+    OperandNetwork net(mesh2x2());
+    EXPECT_THROW(net.send(1, 1, 0, 0), PanicError);
+}
+
+TEST(Network, StatsCountTraffic)
+{
+    OperandNetwork net(mesh2x2());
+    net.send(0, 1, 1, 0);
+    net.tryRecv(1, 0, 5);
+    net.putDirect(0, Dir::East, 2, 0);
+    net.getDirect(1, Dir::West, 0);
+    net.broadcast(0, 3, 1);
+    EXPECT_EQ(net.stats().get("net.messages"), 1u);
+    EXPECT_EQ(net.stats().get("net.receives"), 1u);
+    EXPECT_EQ(net.stats().get("net.puts"), 1u);
+    EXPECT_EQ(net.stats().get("net.gets"), 1u);
+    EXPECT_EQ(net.stats().get("net.bcasts"), 1u);
+}
+
+} // namespace
+} // namespace voltron

@@ -1,0 +1,239 @@
+/** @file Unit tests for the machine simulator: configs, timing sanity,
+ * lockstep invariants, stall accounting. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "core/voltron.hh"
+#include "ir/builder.hh"
+
+namespace voltron {
+namespace {
+
+Program
+tiny_program(i64 exit_value = 7)
+{
+    ProgramBuilder b("tiny");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(exit_value));
+    b.endFunction();
+    return b.take();
+}
+
+Program
+loop_program(u64 trips)
+{
+    ProgramBuilder b("loop");
+    Addr arr = b.allocArrayI64("a", std::vector<i64>(trips, 2));
+    u32 sym = b.symbolOf("a");
+    b.beginFunction("main");
+    RegId base = b.emitImm(static_cast<i64>(arr));
+    RegId sum = b.emitImm(0);
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, static_cast<i64>(trips));
+    RegId off = b.newGpr();
+    b.emit(ops::alui(Opcode::SHL, off, i, 3));
+    RegId addr = b.newGpr();
+    b.emit(ops::add(addr, base, off));
+    RegId v = b.newGpr();
+    b.emitLoad(v, addr, 0, sym);
+    b.emit(ops::add(sum, sum, v));
+    b.endCountedLoop(loop);
+    b.emitHalt(sum);
+    b.endFunction();
+    return b.take();
+}
+
+MachineProgram
+compile_for(const Program &prog, Strategy strategy, u16 cores)
+{
+    GoldenRun golden = run_golden(prog);
+    CompileOptions opts;
+    opts.strategy = strategy;
+    opts.numCores = cores;
+    return compile_program(prog, golden.profile, opts);
+}
+
+TEST(MachineConfigTest, MeshShapes)
+{
+    EXPECT_EQ(MachineConfig::forCores(1).net.cols, 1);
+    EXPECT_EQ(MachineConfig::forCores(2).net.cols, 2);
+    EXPECT_EQ(MachineConfig::forCores(2).net.rows, 1);
+    EXPECT_EQ(MachineConfig::forCores(4).net.rows, 2);
+    EXPECT_THROW(MachineConfig::forCores(3), FatalError);
+    EXPECT_THROW(MachineConfig::forCores(8), FatalError);
+}
+
+TEST(MachineTest, CoreCountMismatchIsFatal)
+{
+    Program prog = tiny_program();
+    MachineProgram mp = compile_for(prog, Strategy::SerialOnly, 1);
+    EXPECT_THROW(Machine(mp, MachineConfig::forCores(4)), FatalError);
+}
+
+TEST(MachineTest, TinyProgramRuns)
+{
+    Program prog = tiny_program(42);
+    MachineProgram mp = compile_for(prog, Strategy::SerialOnly, 1);
+    Machine machine(mp, MachineConfig::forCores(1));
+    MachineResult result = machine.run();
+    EXPECT_EQ(result.exitValue, 42u);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_EQ(result.issued[0], 2u); // movi + halt
+}
+
+TEST(MachineTest, SerialTimingIncludesMissPenalties)
+{
+    // 64 iterations x ~8 ops: the first-load misses all the way to
+    // memory, so cycles must exceed the pure issue count.
+    Program prog = loop_program(64);
+    MachineProgram mp = compile_for(prog, Strategy::SerialOnly, 1);
+    Machine machine(mp, MachineConfig::forCores(1));
+    MachineResult result = machine.run();
+    EXPECT_GT(result.cycles, result.issued[0]);
+    EXPECT_GT(result.stallOf(0, StallCat::DCache), 0u);
+    EXPECT_GT(result.stallOf(0, StallCat::IFetch), 0u);
+}
+
+TEST(MachineTest, MaxCyclesGuards)
+{
+    Program prog = loop_program(512);
+    MachineProgram mp = compile_for(prog, Strategy::SerialOnly, 1);
+    MachineConfig config = MachineConfig::forCores(1);
+    config.maxCycles = 100;
+    Machine machine(mp, config);
+    EXPECT_THROW(machine.run(), FatalError);
+}
+
+TEST(MachineTest, WorkersIdleUnderSerialCompilation)
+{
+    Program prog = loop_program(64);
+    GoldenRun golden = run_golden(prog);
+    CompileOptions opts;
+    opts.strategy = Strategy::SerialOnly;
+    opts.numCores = 4;
+    MachineProgram mp = compile_program(prog, golden.profile, opts);
+    Machine machine(mp, MachineConfig::forCores(4));
+    MachineResult result = machine.run();
+    EXPECT_EQ(result.exitValue, golden.result.exitValue);
+    for (CoreId c = 1; c < 4; ++c) {
+        EXPECT_EQ(result.issued[c], 0u);
+        EXPECT_EQ(result.idleCycles[c], result.cycles);
+    }
+    EXPECT_EQ(result.coupledCycles, 0u);
+}
+
+TEST(MachineTest, CoupledRunSpendsCoupledCycles)
+{
+    Program prog = loop_program(256);
+    MachineProgram mp = compile_for(prog, Strategy::IlpOnly, 2);
+    Machine machine(mp, MachineConfig::forCores(2));
+    MachineResult result = machine.run();
+    EXPECT_GT(result.coupledCycles, result.cycles / 2);
+    EXPECT_EQ(result.coupledCycles + result.decoupledCycles, result.cycles);
+}
+
+TEST(MachineTest, MemoryMatchesAfterParallelRun)
+{
+    Program prog = loop_program(256);
+    GoldenRun golden = run_golden(prog);
+    MachineProgram mp = compile_for(prog, Strategy::LlpOnly, 4);
+    Machine machine(mp, MachineConfig::forCores(4));
+    MachineResult result = machine.run();
+    EXPECT_EQ(result.exitValue, golden.result.exitValue);
+    for (const DataObject &obj : prog.data) {
+        for (u64 off = 0; off < obj.size; off += 8) {
+            EXPECT_EQ(machine.memory().read(obj.base + off, 8),
+                      golden.memory->read(obj.base + off, 8));
+        }
+    }
+}
+
+TEST(MachineTest, NetworkAndTmStatsExposed)
+{
+    Program prog = loop_program(512);
+    MachineProgram mp = compile_for(prog, Strategy::LlpOnly, 4);
+    Machine machine(mp, MachineConfig::forCores(4));
+    machine.run();
+    EXPECT_GT(machine.netStats().get("net.messages"), 0u);
+    EXPECT_GT(machine.netStats().get("net.spawns"), 0u);
+    EXPECT_GT(machine.tmStats().get("tm.begins"), 0u);
+    EXPECT_GT(machine.memStats().get("core0.l1d.reads"), 0u);
+}
+
+TEST(MachineTest, WatchdogReportsDeadlock)
+{
+    // Hand-craft a per-core program where the master waits on a message
+    // no one sends.
+    Program prog = tiny_program();
+    MachineProgram mp = compile_for(prog, Strategy::SerialOnly, 2);
+    Function &master = mp.perCore[0].functions[0];
+    BasicBlock &bb = master.blocks[0];
+    Operation recv = ops::recv(1, gpr(30));
+    bb.ops.insert(bb.ops.begin(), recv);
+    MachineConfig config = MachineConfig::forCores(2);
+    config.watchdogCycles = 2000;
+    Machine machine(mp, config);
+    try {
+        machine.run();
+        FAIL() << "expected a deadlock fatal";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("deadlock"),
+                  std::string::npos);
+    }
+}
+
+TEST(MachineTest, StallCategoryNamesAreStable)
+{
+    EXPECT_STREQ(stall_cat_name(StallCat::IFetch), "ifetch");
+    EXPECT_STREQ(stall_cat_name(StallCat::DCache), "dcache");
+    EXPECT_STREQ(stall_cat_name(StallCat::RecvPred), "recvPred");
+    EXPECT_STREQ(stall_cat_name(StallCat::JoinSync), "joinSync");
+    EXPECT_STREQ(stall_cat_name(StallCat::TmResolve), "tmResolve");
+}
+
+TEST(MachineTest, ExecModeNames)
+{
+    EXPECT_STREQ(exec_mode_name(ExecMode::Serial), "serial");
+    EXPECT_STREQ(exec_mode_name(ExecMode::Coupled), "coupled");
+    EXPECT_STREQ(exec_mode_name(ExecMode::Strands), "strands");
+    EXPECT_STREQ(exec_mode_name(ExecMode::Dswp), "dswp");
+    EXPECT_STREQ(exec_mode_name(ExecMode::Doall), "doall");
+    EXPECT_TRUE(is_decoupled(ExecMode::Doall));
+    EXPECT_FALSE(is_decoupled(ExecMode::Coupled));
+}
+
+TEST(MachineTest, RegionCyclesAttributedToRegions)
+{
+    Program prog = loop_program(256);
+    GoldenRun golden = run_golden(prog);
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 2;
+    MachineProgram mp = compile_program(prog, golden.profile, opts);
+    Machine machine(mp, MachineConfig::forCores(2));
+    MachineResult result = machine.run();
+    u64 total = 0;
+    for (const auto &[region, cycles] : result.regionCycles) {
+        EXPECT_LT(region, mp.regions.size());
+        total += cycles;
+    }
+    EXPECT_GT(total, 0u);
+    EXPECT_LE(total, result.cycles);
+}
+
+TEST(MachineTest, DeterministicAcrossRuns)
+{
+    Program prog = loop_program(128);
+    MachineProgram mp = compile_for(prog, Strategy::Hybrid, 4);
+    Machine a(mp, MachineConfig::forCores(4));
+    Machine c(mp, MachineConfig::forCores(4));
+    MachineResult ra = a.run();
+    MachineResult rc = c.run();
+    EXPECT_EQ(ra.cycles, rc.cycles);
+    EXPECT_EQ(ra.exitValue, rc.exitValue);
+    EXPECT_EQ(ra.dynamicOps, rc.dynamicOps);
+}
+
+} // namespace
+} // namespace voltron

@@ -1,0 +1,163 @@
+/** @file Unit tests for the support library. */
+
+#include <gtest/gtest.h>
+
+#include "support/error.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace voltron {
+namespace {
+
+TEST(Error, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+}
+
+TEST(Error, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config ", "x"), FatalError);
+}
+
+TEST(Error, PanicMessageContainsArguments)
+{
+    try {
+        panic("value=", 17, " name=", "abc");
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=17 name=abc"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, PanicIfNotPassesWhenTrue)
+{
+    EXPECT_NO_THROW(panic_if_not(true, "should not throw"));
+    EXPECT_THROW(panic_if_not(false, "should throw"), PanicError);
+}
+
+TEST(Error, FatalIfNotPassesWhenTrue)
+{
+    EXPECT_NO_THROW(fatal_if_not(true, "should not throw"));
+    EXPECT_THROW(fatal_if_not(false, "should throw"), FatalError);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        i64 v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsBias)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.03);
+}
+
+TEST(Stats, DefaultsToZero)
+{
+    StatSet stats;
+    EXPECT_EQ(stats.get("missing"), 0u);
+    EXPECT_FALSE(stats.has("missing"));
+}
+
+TEST(Stats, AddAccumulates)
+{
+    StatSet stats;
+    stats.add("x");
+    stats.add("x", 4);
+    EXPECT_EQ(stats.get("x"), 5u);
+    EXPECT_TRUE(stats.has("x"));
+}
+
+TEST(Stats, SetOverwrites)
+{
+    StatSet stats;
+    stats.add("x", 10);
+    stats.set("x", 3);
+    EXPECT_EQ(stats.get("x"), 3u);
+}
+
+TEST(Stats, MergeSums)
+{
+    StatSet a, b;
+    a.add("x", 1);
+    a.add("y", 2);
+    b.add("x", 10);
+    b.add("z", 5);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 11u);
+    EXPECT_EQ(a.get("y"), 2u);
+    EXPECT_EQ(a.get("z"), 5u);
+}
+
+TEST(Stats, ClearEmpties)
+{
+    StatSet stats;
+    stats.add("x", 2);
+    stats.clear();
+    EXPECT_FALSE(stats.has("x"));
+}
+
+TEST(Stats, DumpContainsEntries)
+{
+    StatSet stats;
+    stats.add("a.b", 7);
+    std::ostringstream os;
+    stats.dump(os, "p.");
+    EXPECT_EQ(os.str(), "p.a.b = 7\n");
+}
+
+} // namespace
+} // namespace voltron

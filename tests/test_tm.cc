@@ -1,0 +1,212 @@
+/** @file Unit tests for the transactional memory. */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hh"
+#include "tm/tm.hh"
+
+namespace voltron {
+namespace {
+
+class Tm : public ::testing::Test
+{
+  protected:
+    MemoryImage mem;
+    TransactionalMemory tm{4, 64};
+};
+
+TEST_F(Tm, BufferedWritesInvisibleUntilResolve)
+{
+    mem.write(0x100, 1, 8);
+    tm.begin(0, 0);
+    tm.write(0, 0x100, 99, 8);
+    EXPECT_EQ(mem.read(0x100, 8), 1u); // still old value
+    EXPECT_EQ(tm.read(0, mem, 0x100, 8, false), 99u); // own write visible
+    tm.close(0);
+    TmResolution res = tm.resolve(mem);
+    EXPECT_FALSE(res.violated);
+    EXPECT_EQ(mem.read(0x100, 8), 99u);
+}
+
+TEST_F(Tm, ReadSeesMemoryWhenNotWritten)
+{
+    mem.write(0x200, 7, 8);
+    tm.begin(1, 0);
+    EXPECT_EQ(tm.read(1, mem, 0x200, 8, false), 7u);
+    tm.close(1);
+    tm.resolve(mem);
+}
+
+TEST_F(Tm, PartialByteMergeOfOwnWrites)
+{
+    mem.write(0x300, 0x1111111111111111ULL, 8);
+    tm.begin(0, 0);
+    tm.write(0, 0x302, 0xab, 1);
+    EXPECT_EQ(tm.read(0, mem, 0x300, 8, false), 0x1111111111ab1111ULL);
+    tm.close(0);
+    tm.resolve(mem);
+    EXPECT_EQ(mem.read(0x300, 8), 0x1111111111ab1111ULL);
+}
+
+TEST_F(Tm, EarlierWriteLaterReadViolates)
+{
+    tm.begin(0, 0); // chunk 0
+    tm.begin(1, 1); // chunk 1
+    tm.write(0, 0x400, 5, 8);          // chunk 0 writes
+    tm.read(1, mem, 0x400, 8, false);  // chunk 1 reads stale
+    tm.close(0);
+    tm.close(1);
+    TmResolution res = tm.resolve(mem);
+    EXPECT_TRUE(res.violated);
+    EXPECT_EQ(mem.read(0x400, 8), 0u); // nothing committed
+}
+
+TEST_F(Tm, LaterWriteEarlierReadIsFine)
+{
+    // Anti-dependence: serial order reads before the later chunk writes.
+    tm.begin(0, 0);
+    tm.begin(1, 1);
+    tm.read(0, mem, 0x500, 8, false); // chunk 0 reads
+    tm.write(1, 0x500, 9, 8);         // chunk 1 writes
+    tm.close(0);
+    tm.close(1);
+    TmResolution res = tm.resolve(mem);
+    EXPECT_FALSE(res.violated);
+    EXPECT_EQ(mem.read(0x500, 8), 9u);
+}
+
+TEST_F(Tm, WriteWriteCommitsInChunkOrder)
+{
+    tm.begin(0, 1); // core 0 runs chunk 1 (later)
+    tm.begin(1, 0); // core 1 runs chunk 0 (earlier)
+    tm.write(0, 0x600, 111, 8);
+    tm.write(1, 0x600, 222, 8);
+    tm.close(0);
+    tm.close(1);
+    TmResolution res = tm.resolve(mem);
+    EXPECT_FALSE(res.violated);
+    // Chunk 1's write is serially later and must win.
+    EXPECT_EQ(mem.read(0x600, 8), 111u);
+}
+
+TEST_F(Tm, FalseSharingAtLineGranularityAborts)
+{
+    // Different bytes of the same 64B line: a coherence-based detector
+    // (and therefore this model) conservatively aborts.
+    tm.begin(0, 0);
+    tm.begin(1, 1);
+    tm.write(0, 0x700, 1, 8);
+    tm.read(1, mem, 0x738, 8, false); // same line, different word
+    tm.close(0);
+    tm.close(1);
+    EXPECT_TRUE(tm.resolve(mem).violated);
+}
+
+TEST_F(Tm, DisjointLinesCommit)
+{
+    tm.begin(0, 0);
+    tm.begin(1, 1);
+    tm.write(0, 0x800, 1, 8);
+    tm.read(1, mem, 0x840, 8, false); // next line
+    tm.write(1, 0x880, 2, 8);
+    tm.close(0);
+    tm.close(1);
+    TmResolution res = tm.resolve(mem);
+    EXPECT_FALSE(res.violated);
+    EXPECT_EQ(res.chunks, 2u);
+    EXPECT_EQ(res.linesCommitted, 2u);
+}
+
+TEST_F(Tm, AbortDiscardsTransaction)
+{
+    tm.begin(0, 0);
+    tm.write(0, 0x900, 1, 8);
+    tm.abort(0);
+    EXPECT_FALSE(tm.inFlight(0));
+    TmResolution res = tm.resolve(mem);
+    EXPECT_EQ(res.chunks, 0u);
+    EXPECT_EQ(mem.read(0x900, 8), 0u);
+}
+
+TEST_F(Tm, StateMachineChecks)
+{
+    EXPECT_FALSE(tm.active(0));
+    tm.begin(0, 0);
+    EXPECT_TRUE(tm.active(0));
+    EXPECT_THROW(tm.begin(0, 1), PanicError); // nested begin
+    tm.close(0);
+    EXPECT_FALSE(tm.active(0));
+    EXPECT_TRUE(tm.inFlight(0));
+    EXPECT_THROW(tm.close(0), PanicError); // double close
+    tm.resolve(mem);
+    EXPECT_FALSE(tm.inFlight(0));
+}
+
+TEST_F(Tm, ResolveWithOpenTransactionPanics)
+{
+    tm.begin(0, 0);
+    EXPECT_THROW(tm.resolve(mem), PanicError);
+    tm.close(0);
+    tm.resolve(mem);
+}
+
+TEST_F(Tm, SpeculativeAccessOutsideTransactionPanics)
+{
+    EXPECT_THROW(tm.read(0, mem, 0x10, 8, false), PanicError);
+    EXPECT_THROW(tm.write(0, 0x10, 1, 8), PanicError);
+}
+
+/**
+ * Property: for random disjoint per-chunk index ranges (a DOALL-shaped
+ * access pattern), resolution never violates and memory equals the
+ * serial result; for overlapping read/write ranges between ordered
+ * chunks (cross-iteration flow), it aborts.
+ */
+TEST_F(Tm, PropertyDoallPatternsCommitSerially)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 30; ++trial) {
+        MemoryImage m;
+        TransactionalMemory t(4, 64);
+        const Addr base = 0x10000;
+        for (CoreId c = 0; c < 4; ++c) {
+            t.begin(c, c);
+            // Chunk c owns elements [c*16, c*16+16), one line apart per
+            // element to keep chunks line-disjoint.
+            for (int k = 0; k < 16; ++k) {
+                const Addr addr = base + (c * 16 + k) * 64;
+                const u64 value = rng.next();
+                t.write(c, addr, value, 8);
+                EXPECT_EQ(t.read(c, m, addr, 8, false), value);
+            }
+            t.close(c);
+        }
+        TmResolution res = t.resolve(m);
+        EXPECT_FALSE(res.violated);
+        EXPECT_EQ(res.chunks, 4u);
+    }
+}
+
+TEST_F(Tm, PropertyCrossChunkFlowAborts)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        MemoryImage m;
+        TransactionalMemory t(4, 64);
+        const CoreId writer = static_cast<CoreId>(rng.below(3));
+        const CoreId reader = static_cast<CoreId>(
+            writer + 1 + rng.below(3 - writer));
+        for (CoreId c = 0; c < 4; ++c)
+            t.begin(c, c);
+        const Addr addr = 0x20000 + rng.below(8) * 64;
+        t.write(writer, addr, 1, 8);
+        t.read(reader, m, addr, 8, false);
+        for (CoreId c = 0; c < 4; ++c)
+            t.close(c);
+        EXPECT_TRUE(t.resolve(m).violated)
+            << "writer " << writer << " reader " << reader;
+    }
+}
+
+} // namespace
+} // namespace voltron

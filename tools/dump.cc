@@ -1,0 +1,74 @@
+/** @file Development tool: dump compiled per-core programs. */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/voltron.hh"
+#include "ir/builder.hh"
+
+using namespace voltron;
+
+namespace {
+
+Program
+make_program()
+{
+    ProgramBuilder b("dump");
+    const int n = 64;
+    std::vector<i64> src(n), dst(n, 0);
+    for (int i = 0; i < n; ++i)
+        src[i] = i * 3 + 1;
+    Addr a_src = b.allocArrayI64("src", src);
+    Addr a_dst = b.allocArrayI64("dst", dst);
+    u32 sym_src = b.symbolOf("src");
+    u32 sym_dst = b.symbolOf("dst");
+
+    b.beginFunction("main");
+    RegId base_src = b.emitImm(static_cast<i64>(a_src));
+    RegId base_dst = b.emitImm(static_cast<i64>(a_dst));
+    RegId i = b.newGpr();
+    LoopHandles loop = b.forLoop(i, 0, n, 1, "scale");
+    {
+        RegId off = b.newGpr();
+        b.emit(ops::alui(Opcode::SHL, off, i, 3));
+        RegId addr_s = b.newGpr();
+        b.emit(ops::add(addr_s, base_src, off));
+        RegId v = b.newGpr();
+        b.emitLoad(v, addr_s, 0, sym_src);
+        RegId v2 = b.newGpr();
+        b.emit(ops::alui(Opcode::MUL, v2, v, 5));
+        b.emit(ops::addi(v2, v2, 7));
+        RegId addr_d = b.newGpr();
+        b.emit(ops::add(addr_d, base_dst, off));
+        b.emitStore(addr_d, 0, v2, sym_dst);
+    }
+    b.endCountedLoop(loop);
+    b.emitHalt(i);
+    b.endFunction();
+    return b.take();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const u16 cores = argc > 1 ? static_cast<u16>(std::atoi(argv[1])) : 2;
+    VoltronSystem sys(make_program());
+    CompileOptions opts;
+    opts.strategy = Strategy::IlpOnly;
+    opts.numCores = cores;
+    const MachineProgram &mp = sys.compile(opts);
+    for (u16 c = 0; c < cores; ++c) {
+        std::cout << "=== core " << c << " ===\n";
+        print_program(std::cout, mp.perCore[c]);
+    }
+    try {
+        RunOutcome out = sys.run(opts);
+        std::cout << "cycles=" << out.result.cycles
+                  << (out.correct() ? " OK" : " MISMATCH") << "\n";
+    } catch (const std::exception &e) {
+        std::cout << "EXCEPTION: " << e.what() << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/** @file Development tool: dump a compiled archetype phase. */
+#include <cstdlib>
+#include <iostream>
+#include "core/voltron.hh"
+#include "workloads/archetypes.hh"
+
+using namespace voltron;
+
+int main(int argc, char **argv)
+{
+    const u16 cores = argc > 1 ? static_cast<u16>(std::atoi(argv[1])) : 4;
+    const std::string arch = argc > 2 ? argv[2] : "ilp_wide";
+    const std::string strat = argc > 3 ? argv[3] : "ilp";
+    Rng rng(argc > 6 ? std::strtoull(argv[6], nullptr, 0) : 42);
+    ProgramBuilder b("dump2");
+    b.beginFunction("main");
+    RegId z = b.emitImm(7);
+    b.emit(ops::mov(gpr(1), z));
+    PhaseParams pp; pp.trips = argc > 4 ? std::atoi(argv[4]) : 512; pp.elems = 256; pp.width = 6;
+    b.emitHalt(z);
+    b.endFunction();
+    Archetype a = Archetype::IlpWide;
+    if (arch == "strand") a = Archetype::StrandMatch;
+    if (arch == "pipe") a = Archetype::DswpPipe;
+    if (arch == "branchy") a = Archetype::BranchyIlp;
+    FuncId f = emit_phase(b, a, "phase", pp, rng);
+    Program prog = b.take();
+    // patch main to call the phase
+    Function &m = prog.function(0);
+    m.blocks.clear();
+    m.addBlock("entry");
+    BasicBlock &bb = m.block(0);
+    bb.append(ops::movi(gpr(1), 3));
+    RegId bt = m.freshReg(RegClass::BTR);
+    bb.append(ops::pbr(bt, CodeRef::to_function(f)));
+    bb.append(ops::call(bt));
+    bb.append(ops::halt(gpr(0)));
+
+    VoltronSystem sys(std::move(prog));
+    CompileOptions opts;
+    opts.strategy = strat == "tlp" ? Strategy::TlpOnly
+                  : strat == "hybrid" ? Strategy::Hybrid : Strategy::IlpOnly;
+    opts.numCores = cores;
+    const MachineProgram &mp = sys.compile(opts);
+    for (u16 c = 0; c < cores; ++c) {
+        std::cout << "=== core " << c << " ===\n";
+        print_function(std::cout, mp.perCore[c].functions[f]);
+    }
+    RunOutcome out = sys.run(opts);
+    std::cout << "serial=" << sys.baselineCycles()
+              << " cycles=" << out.result.cycles
+              << (out.correct() ? " OK" : " MISMATCH")
+              << " speedup=" << sys.speedup(out) << "\n";
+    for (CoreId c = 0; c < cores; ++c) {
+        std::cout << "core" << c << " issued=" << out.result.issued[c];
+        for (int k = 1; k < (int)StallCat::NumCats; ++k)
+            if (out.result.stallOf(c, (StallCat)k))
+                std::cout << " " << stall_cat_name((StallCat)k) << "="
+                          << out.result.stallOf(c, (StallCat)k);
+        std::cout << "\n";
+    }
+    {
+        Machine machine(mp, MachineConfig::forCores(cores));
+        machine.run();
+        for (const auto &[k, v] : machine.memStats().counters())
+            if (v > 50)
+                std::cout << k << " = " << v << "\n";
+    }
+    return 0;
+}
+// (debug helper appended at build time — see main above)

@@ -1,0 +1,58 @@
+/** @file Development tool: run the whole suite across strategies. */
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "core/voltron.hh"
+#include "workloads/suite.hh"
+
+using namespace voltron;
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = argc > 1 && std::string(argv[1]) == "quick";
+    std::cout << std::left << std::setw(14) << "benchmark"
+              << std::right << std::setw(10) << "serial"
+              << std::setw(8) << "ilp" << std::setw(8) << "tlp"
+              << std::setw(8) << "llp" << std::setw(8) << "hyb"
+              << "  (4-core speedups)\n";
+
+    double gm[4] = {0, 0, 0, 0};
+    int count = 0;
+    for (const std::string &name : benchmark_names()) {
+        if (quick && count >= 4)
+            break;
+        try {
+            VoltronSystem sys(build_benchmark(name));
+            const Cycle base = sys.baselineCycles();
+            std::cout << std::left << std::setw(14) << name << std::right
+                      << std::setw(10) << base << std::fixed
+                      << std::setprecision(2);
+            int si = 0;
+            for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly,
+                               Strategy::LlpOnly, Strategy::Hybrid}) {
+                RunOutcome out = sys.run(s, 4);
+                const double sp = sys.speedup(out);
+                std::cout << std::setw(7) << sp
+                          << (out.correct() ? " " : "!");
+                gm[si++] += std::log(sp);
+            }
+            std::cout << "\n";
+            count++;
+        } catch (const std::exception &e) {
+            std::cout << std::left << std::setw(14) << name
+                      << "  EXCEPTION: " << e.what() << "\n";
+        }
+    }
+    if (count > 0) {
+        std::cout << std::left << std::setw(14) << "geomean"
+                  << std::setw(10) << "" << std::fixed
+                  << std::setprecision(2);
+        for (double g : gm)
+            std::cout << std::setw(7) << std::exp(g / count) << " ";
+        std::cout << "\n";
+    }
+    return 0;
+}
