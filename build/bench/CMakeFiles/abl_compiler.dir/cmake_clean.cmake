@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_compiler.dir/abl_compiler.cc.o"
+  "CMakeFiles/abl_compiler.dir/abl_compiler.cc.o.d"
+  "abl_compiler"
+  "abl_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

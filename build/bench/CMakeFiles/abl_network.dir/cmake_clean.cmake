@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_network.dir/abl_network.cc.o"
+  "CMakeFiles/abl_network.dir/abl_network.cc.o.d"
+  "abl_network"
+  "abl_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_speedup_2core.dir/fig10_speedup_2core.cc.o"
+  "CMakeFiles/fig10_speedup_2core.dir/fig10_speedup_2core.cc.o.d"
+  "fig10_speedup_2core"
+  "fig10_speedup_2core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_speedup_2core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

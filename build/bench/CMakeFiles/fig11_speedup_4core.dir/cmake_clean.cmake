@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_speedup_4core.dir/fig11_speedup_4core.cc.o"
+  "CMakeFiles/fig11_speedup_4core.dir/fig11_speedup_4core.cc.o.d"
+  "fig11_speedup_4core"
+  "fig11_speedup_4core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_speedup_4core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

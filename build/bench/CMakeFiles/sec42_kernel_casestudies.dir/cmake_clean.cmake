@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec42_kernel_casestudies.dir/sec42_kernel_casestudies.cc.o"
+  "CMakeFiles/sec42_kernel_casestudies.dir/sec42_kernel_casestudies.cc.o.d"
+  "sec42_kernel_casestudies"
+  "sec42_kernel_casestudies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec42_kernel_casestudies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

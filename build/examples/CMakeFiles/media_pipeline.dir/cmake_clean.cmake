@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_pipeline.dir/media_pipeline.cpp.o"
+  "CMakeFiles/media_pipeline.dir/media_pipeline.cpp.o.d"
+  "media_pipeline"
+  "media_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

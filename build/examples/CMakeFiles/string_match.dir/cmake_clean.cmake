@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_match.dir/string_match.cpp.o"
+  "CMakeFiles/string_match.dir/string_match.cpp.o.d"
+  "string_match"
+  "string_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

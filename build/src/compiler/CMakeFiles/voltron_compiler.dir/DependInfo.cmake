@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/bug.cc" "src/compiler/CMakeFiles/voltron_compiler.dir/bug.cc.o" "gcc" "src/compiler/CMakeFiles/voltron_compiler.dir/bug.cc.o.d"
+  "/root/repo/src/compiler/codegen.cc" "src/compiler/CMakeFiles/voltron_compiler.dir/codegen.cc.o" "gcc" "src/compiler/CMakeFiles/voltron_compiler.dir/codegen.cc.o.d"
+  "/root/repo/src/compiler/compile.cc" "src/compiler/CMakeFiles/voltron_compiler.dir/compile.cc.o" "gcc" "src/compiler/CMakeFiles/voltron_compiler.dir/compile.cc.o.d"
+  "/root/repo/src/compiler/depgraph.cc" "src/compiler/CMakeFiles/voltron_compiler.dir/depgraph.cc.o" "gcc" "src/compiler/CMakeFiles/voltron_compiler.dir/depgraph.cc.o.d"
+  "/root/repo/src/compiler/reassoc.cc" "src/compiler/CMakeFiles/voltron_compiler.dir/reassoc.cc.o" "gcc" "src/compiler/CMakeFiles/voltron_compiler.dir/reassoc.cc.o.d"
+  "/root/repo/src/compiler/regions.cc" "src/compiler/CMakeFiles/voltron_compiler.dir/regions.cc.o" "gcc" "src/compiler/CMakeFiles/voltron_compiler.dir/regions.cc.o.d"
+  "/root/repo/src/compiler/schedule.cc" "src/compiler/CMakeFiles/voltron_compiler.dir/schedule.cc.o" "gcc" "src/compiler/CMakeFiles/voltron_compiler.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/voltron_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/voltron_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/voltron_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/voltron_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/voltron_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/voltron_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/voltron_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltron_compiler.dir/bug.cc.o"
+  "CMakeFiles/voltron_compiler.dir/bug.cc.o.d"
+  "CMakeFiles/voltron_compiler.dir/codegen.cc.o"
+  "CMakeFiles/voltron_compiler.dir/codegen.cc.o.d"
+  "CMakeFiles/voltron_compiler.dir/compile.cc.o"
+  "CMakeFiles/voltron_compiler.dir/compile.cc.o.d"
+  "CMakeFiles/voltron_compiler.dir/depgraph.cc.o"
+  "CMakeFiles/voltron_compiler.dir/depgraph.cc.o.d"
+  "CMakeFiles/voltron_compiler.dir/reassoc.cc.o"
+  "CMakeFiles/voltron_compiler.dir/reassoc.cc.o.d"
+  "CMakeFiles/voltron_compiler.dir/regions.cc.o"
+  "CMakeFiles/voltron_compiler.dir/regions.cc.o.d"
+  "CMakeFiles/voltron_compiler.dir/schedule.cc.o"
+  "CMakeFiles/voltron_compiler.dir/schedule.cc.o.d"
+  "libvoltron_compiler.a"
+  "libvoltron_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltron_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

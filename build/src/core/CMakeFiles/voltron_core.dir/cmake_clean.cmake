@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltron_core.dir/voltron.cc.o"
+  "CMakeFiles/voltron_core.dir/voltron.cc.o.d"
+  "libvoltron_core.a"
+  "libvoltron_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltron_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

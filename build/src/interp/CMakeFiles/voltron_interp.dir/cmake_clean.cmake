@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltron_interp.dir/interp.cc.o"
+  "CMakeFiles/voltron_interp.dir/interp.cc.o.d"
+  "libvoltron_interp.a"
+  "libvoltron_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltron_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

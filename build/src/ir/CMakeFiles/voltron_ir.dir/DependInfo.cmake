@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/voltron_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/voltron_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/cfg.cc" "src/ir/CMakeFiles/voltron_ir.dir/cfg.cc.o" "gcc" "src/ir/CMakeFiles/voltron_ir.dir/cfg.cc.o.d"
+  "/root/repo/src/ir/dom.cc" "src/ir/CMakeFiles/voltron_ir.dir/dom.cc.o" "gcc" "src/ir/CMakeFiles/voltron_ir.dir/dom.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/ir/CMakeFiles/voltron_ir.dir/function.cc.o" "gcc" "src/ir/CMakeFiles/voltron_ir.dir/function.cc.o.d"
+  "/root/repo/src/ir/liveness.cc" "src/ir/CMakeFiles/voltron_ir.dir/liveness.cc.o" "gcc" "src/ir/CMakeFiles/voltron_ir.dir/liveness.cc.o.d"
+  "/root/repo/src/ir/loops.cc" "src/ir/CMakeFiles/voltron_ir.dir/loops.cc.o" "gcc" "src/ir/CMakeFiles/voltron_ir.dir/loops.cc.o.d"
+  "/root/repo/src/ir/scc.cc" "src/ir/CMakeFiles/voltron_ir.dir/scc.cc.o" "gcc" "src/ir/CMakeFiles/voltron_ir.dir/scc.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/voltron_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/voltron_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/voltron_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltron_ir.dir/builder.cc.o"
+  "CMakeFiles/voltron_ir.dir/builder.cc.o.d"
+  "CMakeFiles/voltron_ir.dir/cfg.cc.o"
+  "CMakeFiles/voltron_ir.dir/cfg.cc.o.d"
+  "CMakeFiles/voltron_ir.dir/dom.cc.o"
+  "CMakeFiles/voltron_ir.dir/dom.cc.o.d"
+  "CMakeFiles/voltron_ir.dir/function.cc.o"
+  "CMakeFiles/voltron_ir.dir/function.cc.o.d"
+  "CMakeFiles/voltron_ir.dir/liveness.cc.o"
+  "CMakeFiles/voltron_ir.dir/liveness.cc.o.d"
+  "CMakeFiles/voltron_ir.dir/loops.cc.o"
+  "CMakeFiles/voltron_ir.dir/loops.cc.o.d"
+  "CMakeFiles/voltron_ir.dir/scc.cc.o"
+  "CMakeFiles/voltron_ir.dir/scc.cc.o.d"
+  "CMakeFiles/voltron_ir.dir/verifier.cc.o"
+  "CMakeFiles/voltron_ir.dir/verifier.cc.o.d"
+  "libvoltron_ir.a"
+  "libvoltron_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltron_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

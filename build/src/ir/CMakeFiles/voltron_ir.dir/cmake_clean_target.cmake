@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvoltron_ir.a"
+)

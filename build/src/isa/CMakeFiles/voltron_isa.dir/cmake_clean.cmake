@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltron_isa.dir/opcode.cc.o"
+  "CMakeFiles/voltron_isa.dir/opcode.cc.o.d"
+  "CMakeFiles/voltron_isa.dir/operation.cc.o"
+  "CMakeFiles/voltron_isa.dir/operation.cc.o.d"
+  "libvoltron_isa.a"
+  "libvoltron_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltron_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

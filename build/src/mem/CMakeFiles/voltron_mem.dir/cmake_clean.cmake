@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltron_mem.dir/cache.cc.o"
+  "CMakeFiles/voltron_mem.dir/cache.cc.o.d"
+  "CMakeFiles/voltron_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/voltron_mem.dir/hierarchy.cc.o.d"
+  "libvoltron_mem.a"
+  "libvoltron_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltron_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltron_network.dir/network.cc.o"
+  "CMakeFiles/voltron_network.dir/network.cc.o.d"
+  "libvoltron_network.a"
+  "libvoltron_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltron_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for voltron_network.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltron_sim.dir/machine.cc.o"
+  "CMakeFiles/voltron_sim.dir/machine.cc.o.d"
+  "libvoltron_sim.a"
+  "libvoltron_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltron_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

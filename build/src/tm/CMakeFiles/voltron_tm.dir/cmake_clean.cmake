@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltron_tm.dir/tm.cc.o"
+  "CMakeFiles/voltron_tm.dir/tm.cc.o.d"
+  "libvoltron_tm.a"
+  "libvoltron_tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltron_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltron_workloads.dir/archetypes.cc.o"
+  "CMakeFiles/voltron_workloads.dir/archetypes.cc.o.d"
+  "CMakeFiles/voltron_workloads.dir/suite.cc.o"
+  "CMakeFiles/voltron_workloads.dir/suite.cc.o.d"
+  "libvoltron_workloads.a"
+  "libvoltron_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltron_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen_invariants.dir/test_codegen_invariants.cc.o"
+  "CMakeFiles/test_codegen_invariants.dir/test_codegen_invariants.cc.o.d"
+  "test_codegen_invariants"
+  "test_codegen_invariants.pdb"
+  "test_codegen_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tm.dir/test_tm.cc.o"
+  "CMakeFiles/test_tm.dir/test_tm.cc.o.d"
+  "test_tm"
+  "test_tm.pdb"
+  "test_tm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/test_workloads.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/test_workloads.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/voltron_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/voltron_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/voltron_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/voltron_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/voltron_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/voltron_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/tm/CMakeFiles/voltron_tm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/voltron_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/voltron_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/voltron_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

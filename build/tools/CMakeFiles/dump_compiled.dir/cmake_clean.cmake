@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_compiled.dir/dump.cc.o"
+  "CMakeFiles/dump_compiled.dir/dump.cc.o.d"
+  "dump_compiled"
+  "dump_compiled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_compiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

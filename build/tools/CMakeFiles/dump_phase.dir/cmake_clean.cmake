@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_phase.dir/dump2.cc.o"
+  "CMakeFiles/dump_phase.dir/dump2.cc.o.d"
+  "dump_phase"
+  "dump_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

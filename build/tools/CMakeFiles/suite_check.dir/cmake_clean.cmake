@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_check.dir/suite_check.cc.o"
+  "CMakeFiles/suite_check.dir/suite_check.cc.o.d"
+  "suite_check"
+  "suite_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
