@@ -11,17 +11,78 @@
 #ifndef VOLTRON_BENCH_COMMON_HH_
 #define VOLTRON_BENCH_COMMON_HH_
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <functional>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/voltron.hh"
 #include "workloads/suite.hh"
 
 namespace voltron::bench {
+
+/** Worker threads for parallel_for: VOLTRON_BENCH_THREADS, else the
+ * hardware concurrency (min 1). */
+inline unsigned
+bench_threads()
+{
+    if (const char *env = std::getenv("VOLTRON_BENCH_THREADS")) {
+        const long n = std::atol(env);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+/**
+ * Run @p fn(i) for every i in [0, n) on a small thread pool and wait
+ * for completion. Each simulation point is independent (its own
+ * VoltronSystem, Machine, caches), so the harnesses use this to fill a
+ * results vector concurrently and then print rows in suite order. The
+ * first exception thrown by any point is rethrown on the caller.
+ */
+inline void
+parallel_for(size_t n, const std::function<void(size_t)> &fn)
+{
+    const unsigned threads =
+        static_cast<unsigned>(std::min<size_t>(bench_threads(), n));
+    if (threads <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&] {
+        for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
 
 /** Geometric mean of a series. */
 inline double

@@ -32,8 +32,15 @@ main()
               << std::setw(8) << "LLP%" << std::setw(9) << "single%"
               << "\n";
 
-    std::vector<double> ilp_share, tlp_share, llp_share, single_share;
-    for (const std::string &name : benchmark_names()) {
+    struct Row
+    {
+        double buckets[4] = {0, 0, 0, 0}; // ilp, tlp, llp, single
+        bool ok = false;
+    };
+    const std::vector<std::string> &names = benchmark_names();
+    std::vector<Row> rows(names.size());
+    parallel_for(names.size(), [&](size_t row_idx) {
+        const std::string &name = names[row_idx];
         VoltronSystem sys(build_benchmark(name, bench_scale()));
 
         SelectionReport serial_sel, llp_sel;
@@ -51,10 +58,8 @@ main()
         sys.compile(llp_opts, &llp_sel);
         RunOutcome llp = sys.run(llp_opts);
         if (!(serial.correct() && ilp.correct() && tlp.correct() &&
-              llp.correct())) {
-            std::cout << name << "  GOLDEN-MODEL MISMATCH\n";
-            return 1;
-        }
+              llp.correct()))
+            return;
 
         // Which regions did the LLP compilation actually parallelise?
         std::map<RegionId, bool> is_doall;
@@ -66,7 +71,7 @@ main()
         for (const auto &entry : serial_sel.entries)
             total_ops += static_cast<double>(entry.profiledOps);
 
-        double buckets[4] = {0, 0, 0, 0}; // ilp, tlp, llp, single
+        double *buckets = rows[row_idx].buckets;
         for (const auto &entry : serial_sel.entries) {
             const RegionId r = entry.region;
             const double weight =
@@ -103,17 +108,26 @@ main()
         const double covered =
             buckets[0] + buckets[1] + buckets[2] + buckets[3];
         if (covered > 0)
-            for (double &bucket : buckets)
-                bucket *= 100.0 / covered;
+            for (int bucket = 0; bucket < 4; ++bucket)
+                buckets[bucket] *= 100.0 / covered;
+        rows[row_idx].ok = true;
+    });
 
+    std::vector<double> ilp_share, tlp_share, llp_share, single_share;
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (!rows[i].ok) {
+            std::cout << names[i] << "  GOLDEN-MODEL MISMATCH\n";
+            return 1;
+        }
+        const double *buckets = rows[i].buckets;
         ilp_share.push_back(buckets[0]);
         tlp_share.push_back(buckets[1]);
         llp_share.push_back(buckets[2]);
         single_share.push_back(buckets[3]);
-        label(name) << std::fixed << std::setprecision(1) << std::setw(8)
-                    << buckets[0] << std::setw(8) << buckets[1]
-                    << std::setw(8) << buckets[2] << std::setw(9)
-                    << buckets[3] << "\n";
+        label(names[i]) << std::fixed << std::setprecision(1)
+                        << std::setw(8) << buckets[0] << std::setw(8)
+                        << buckets[1] << std::setw(8) << buckets[2]
+                        << std::setw(9) << buckets[3] << "\n";
     }
 
     label("average");

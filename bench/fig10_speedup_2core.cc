@@ -22,26 +22,39 @@ main()
     std::cout << std::setw(8) << "ILP" << std::setw(8) << "TLP"
               << std::setw(8) << "LLP" << "\n";
 
-    std::vector<double> ilp, tlp, llp;
-    for (const std::string &name : benchmark_names()) {
-        VoltronSystem sys(build_benchmark(name, bench_scale()));
-        label(name) << std::fixed << std::setprecision(2);
-        double row[3];
-        int i = 0;
+    struct Row
+    {
+        double speedup[3] = {0, 0, 0};
+        bool ok = false;
+    };
+    const std::vector<std::string> &names = benchmark_names();
+    std::vector<Row> rows(names.size());
+    parallel_for(names.size(), [&](size_t i) {
+        VoltronSystem sys(build_benchmark(names[i], bench_scale()));
+        int col = 0;
         for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly,
                            Strategy::LlpOnly}) {
             RunOutcome outcome = sys.run(s, 2);
-            if (!outcome.correct()) {
-                std::cout << "  GOLDEN-MODEL MISMATCH\n";
-                return 1;
-            }
-            row[i++] = sys.speedup(outcome);
+            if (!outcome.correct())
+                return;
+            rows[i].speedup[col++] = sys.speedup(outcome);
         }
-        ilp.push_back(row[0]);
-        tlp.push_back(row[1]);
-        llp.push_back(row[2]);
-        std::cout << std::setw(8) << row[0] << std::setw(8) << row[1]
-                  << std::setw(8) << row[2] << "\n";
+        rows[i].ok = true;
+    });
+
+    std::vector<double> ilp, tlp, llp;
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (!rows[i].ok) {
+            std::cout << names[i] << "  GOLDEN-MODEL MISMATCH\n";
+            return 1;
+        }
+        ilp.push_back(rows[i].speedup[0]);
+        tlp.push_back(rows[i].speedup[1]);
+        llp.push_back(rows[i].speedup[2]);
+        label(names[i]) << std::fixed << std::setprecision(2)
+                        << std::setw(8) << rows[i].speedup[0]
+                        << std::setw(8) << rows[i].speedup[1]
+                        << std::setw(8) << rows[i].speedup[2] << "\n";
     }
 
     label("average");

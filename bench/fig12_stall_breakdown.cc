@@ -64,25 +64,38 @@ main()
     std::cout << "  mode      I-stall  D-stall     recv  predRecv  "
                  "call/retSync\n";
 
-    std::vector<double> coupled_cache, decoupled_cache;
-    for (const std::string &name : benchmark_names()) {
-        VoltronSystem sys(build_benchmark(name, bench_scale()));
-        const double serial =
-            static_cast<double>(sys.baselineCycles());
-
+    struct Row
+    {
+        Bar coupled, decoupled;
+        bool ok = false;
+    };
+    const std::vector<std::string> &names = benchmark_names();
+    std::vector<Row> rows(names.size());
+    parallel_for(names.size(), [&](size_t i) {
+        VoltronSystem sys(build_benchmark(names[i], bench_scale()));
+        const double serial = static_cast<double>(sys.baselineCycles());
         RunOutcome ilp = sys.run(Strategy::IlpOnly, 4);
         RunOutcome tlp = sys.run(Strategy::TlpOnly, 4);
-        if (!ilp.correct() || !tlp.correct()) {
-            std::cout << name << "  GOLDEN-MODEL MISMATCH\n";
+        if (!ilp.correct() || !tlp.correct())
+            return;
+        rows[i].coupled = stalls_of(ilp.result, 4, serial);
+        rows[i].decoupled = stalls_of(tlp.result, 4, serial);
+        rows[i].ok = true;
+    });
+
+    std::vector<double> coupled_cache, decoupled_cache;
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (!rows[i].ok) {
+            std::cout << names[i] << "  GOLDEN-MODEL MISMATCH\n";
             return 1;
         }
-        const Bar cb = stalls_of(ilp.result, 4, serial);
-        const Bar db = stalls_of(tlp.result, 4, serial);
+        const Bar &cb = rows[i].coupled;
+        const Bar &db = rows[i].decoupled;
         coupled_cache.push_back(cb.istall + cb.dstall);
         decoupled_cache.push_back(db.istall + db.dstall);
 
         auto print_bar = [&](const char *mode, const Bar &bar) {
-            label(name, 14);
+            label(names[i], 14);
             std::cout << "  " << std::left << std::setw(8) << mode
                       << std::right << std::fixed << std::setprecision(3)
                       << std::setw(9) << bar.istall << std::setw(9)

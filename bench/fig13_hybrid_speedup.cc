@@ -23,25 +23,40 @@ main()
     std::cout << std::setw(9) << "2-core" << std::setw(9) << "4-core"
               << "\n";
 
-    std::vector<double> two, four;
-    double min2 = 1e9, max2 = 0, min4 = 1e9, max4 = 0;
-    for (const std::string &name : benchmark_names()) {
-        VoltronSystem sys(build_benchmark(name, bench_scale()));
+    struct Row
+    {
+        double s2 = 0, s4 = 0;
+        bool ok = false;
+    };
+    const std::vector<std::string> &names = benchmark_names();
+    std::vector<Row> rows(names.size());
+    parallel_for(names.size(), [&](size_t i) {
+        VoltronSystem sys(build_benchmark(names[i], bench_scale()));
         RunOutcome o2 = sys.run(Strategy::Hybrid, 2);
         RunOutcome o4 = sys.run(Strategy::Hybrid, 4);
-        if (!o2.correct() || !o4.correct()) {
-            std::cout << name << "  GOLDEN-MODEL MISMATCH\n";
+        if (!o2.correct() || !o4.correct())
+            return;
+        rows[i].s2 = sys.speedup(o2);
+        rows[i].s4 = sys.speedup(o4);
+        rows[i].ok = true;
+    });
+
+    std::vector<double> two, four;
+    double min2 = 1e9, max2 = 0, min4 = 1e9, max4 = 0;
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (!rows[i].ok) {
+            std::cout << names[i] << "  GOLDEN-MODEL MISMATCH\n";
             return 1;
         }
-        const double s2 = sys.speedup(o2), s4 = sys.speedup(o4);
+        const double s2 = rows[i].s2, s4 = rows[i].s4;
         two.push_back(s2);
         four.push_back(s4);
         min2 = std::min(min2, s2);
         max2 = std::max(max2, s2);
         min4 = std::min(min4, s4);
         max4 = std::max(max4, s4);
-        label(name) << std::fixed << std::setprecision(2) << std::setw(9)
-                    << s2 << std::setw(9) << s4 << "\n";
+        label(names[i]) << std::fixed << std::setprecision(2)
+                        << std::setw(9) << s2 << std::setw(9) << s4 << "\n";
     }
 
     label("average");

@@ -23,22 +23,36 @@ main()
     std::cout << std::setw(11) << "coupled%" << std::setw(12)
               << "decoupled%" << "\n";
 
-    std::vector<double> coupled_share;
-    for (const std::string &name : benchmark_names()) {
-        VoltronSystem sys(build_benchmark(name, bench_scale()));
+    struct Row
+    {
+        double coupled = 0;
+        bool ok = false;
+    };
+    const std::vector<std::string> &names = benchmark_names();
+    std::vector<Row> rows(names.size());
+    parallel_for(names.size(), [&](size_t i) {
+        VoltronSystem sys(build_benchmark(names[i], bench_scale()));
         RunOutcome outcome = sys.run(Strategy::Hybrid, 4);
-        if (!outcome.correct()) {
-            std::cout << name << "  GOLDEN-MODEL MISMATCH\n";
-            return 1;
-        }
+        if (!outcome.correct())
+            return;
         const double total = static_cast<double>(outcome.result.cycles);
-        const double coupled =
+        rows[i].coupled =
             100.0 * static_cast<double>(outcome.result.coupledCycles) /
             total;
+        rows[i].ok = true;
+    });
+
+    std::vector<double> coupled_share;
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (!rows[i].ok) {
+            std::cout << names[i] << "  GOLDEN-MODEL MISMATCH\n";
+            return 1;
+        }
+        const double coupled = rows[i].coupled;
         coupled_share.push_back(coupled);
-        label(name) << std::fixed << std::setprecision(1) << std::setw(10)
-                    << coupled << "%" << std::setw(11) << 100.0 - coupled
-                    << "%" << "\n";
+        label(names[i]) << std::fixed << std::setprecision(1)
+                        << std::setw(10) << coupled << "%" << std::setw(11)
+                        << 100.0 - coupled << "%" << "\n";
     }
     label("average");
     std::cout << std::fixed << std::setprecision(1) << std::setw(10)

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Simulator self-benchmark: host wall-time and simulated ops/sec for
+ * the stall-heaviest harness workload (the Figure 12 point set — every
+ * suite benchmark compiled IlpOnly and TlpOnly at 4 cores), measured
+ * with the event-driven fast-forward on and off. Writes the record as
+ * JSON (argv[1], default BENCH_sim_throughput.json) so CI can track
+ * simulation throughput over time. See EXPERIMENTS.md for how to read
+ * the fields.
+ */
+
+#include <chrono>
+#include <fstream>
+
+#include "common.hh"
+
+using namespace voltron;
+using namespace voltron::bench;
+
+namespace {
+
+struct Pass
+{
+    double wallSeconds = 0;
+    u64 simCycles = 0;
+    u64 simOps = 0;
+
+    double
+    opsPerSecond() const
+    {
+        return wallSeconds > 0 ? static_cast<double>(simOps) / wallSeconds
+                               : 0.0;
+    }
+    double
+    cyclesPerSecond() const
+    {
+        return wallSeconds > 0
+                   ? static_cast<double>(simCycles) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/** Simulate every compiled point once; simulation time only (compile
+ * and golden passes are outside the timed region). */
+Pass
+run_pass(const std::vector<const MachineProgram *> &points, bool naive)
+{
+    Pass pass;
+    const auto start = std::chrono::steady_clock::now();
+    for (const MachineProgram *mp : points) {
+        MachineConfig config = MachineConfig::forCores(4);
+        config.forceNaiveStepping = naive;
+        Machine machine(*mp, config);
+        MachineResult result = machine.run();
+        pass.simCycles += result.cycles;
+        pass.simOps += result.dynamicOps;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    pass.wallSeconds =
+        std::chrono::duration<double>(end - start).count();
+    return pass;
+}
+
+bool
+write_json(const std::string &path, const Pass &naive, const Pass &ff,
+           size_t points)
+{
+    std::ofstream os(path);
+    os << std::fixed << std::setprecision(6);
+    os << "{\n"
+       << "  \"harness\": \"fig12_stall_breakdown points "
+          "(suite x {IlpOnly,TlpOnly} @ 4 cores)\",\n"
+       << "  \"cores\": 4,\n"
+       << "  \"points\": " << points << ",\n"
+       << "  \"naive\": {\n"
+       << "    \"wall_seconds\": " << naive.wallSeconds << ",\n"
+       << "    \"sim_cycles\": " << naive.simCycles << ",\n"
+       << "    \"sim_ops\": " << naive.simOps << ",\n"
+       << "    \"ops_per_second\": " << naive.opsPerSecond() << ",\n"
+       << "    \"cycles_per_second\": " << naive.cyclesPerSecond() << "\n"
+       << "  },\n"
+       << "  \"fast_forward\": {\n"
+       << "    \"wall_seconds\": " << ff.wallSeconds << ",\n"
+       << "    \"sim_cycles\": " << ff.simCycles << ",\n"
+       << "    \"sim_ops\": " << ff.simOps << ",\n"
+       << "    \"ops_per_second\": " << ff.opsPerSecond() << ",\n"
+       << "    \"cycles_per_second\": " << ff.cyclesPerSecond() << "\n"
+       << "  },\n"
+       << "  \"wall_time_reduction\": "
+       << (ff.wallSeconds > 0 ? naive.wallSeconds / ff.wallSeconds : 0.0)
+       << ",\n"
+       << "  \"baseline_note\": \"naive = per-cycle reference stepper "
+          "on the same flat hot-path state; see EXPERIMENTS.md for the "
+          "end-to-end fig12_stall_breakdown comparison against the "
+          "pre-optimisation tree\",\n"
+       << "  \"bench_threads\": " << bench_threads() << "\n"
+       << "}\n";
+    return os.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_sim_throughput.json";
+    banner("Simulator throughput: fig12 point set, fast-forward vs "
+           "naive stepping",
+           "self-benchmark; no paper figure");
+
+    // Compile every point up front (concurrently); keep the systems
+    // alive — they own the MachinePrograms.
+    const std::vector<std::string> &names = benchmark_names();
+    std::vector<std::unique_ptr<VoltronSystem>> systems(names.size());
+    parallel_for(names.size(), [&](size_t i) {
+        systems[i] = std::make_unique<VoltronSystem>(
+            build_benchmark(names[i], bench_scale()));
+        for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly}) {
+            CompileOptions opts;
+            opts.strategy = s;
+            opts.numCores = 4;
+            systems[i]->compile(opts);
+        }
+    });
+    std::vector<const MachineProgram *> points;
+    points.reserve(2 * names.size());
+    for (size_t i = 0; i < names.size(); ++i) {
+        for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly}) {
+            CompileOptions opts;
+            opts.strategy = s;
+            opts.numCores = 4;
+            points.push_back(&systems[i]->compile(opts));
+        }
+    }
+
+    // Consistency guard: both steppers must agree before we publish
+    // throughput numbers for them.
+    {
+        MachineConfig ff_config = MachineConfig::forCores(4);
+        MachineConfig naive_config = MachineConfig::forCores(4);
+        naive_config.forceNaiveStepping = true;
+        Machine a(*points[0], ff_config), b(*points[0], naive_config);
+        const MachineResult ra = a.run(), rb = b.run();
+        if (ra.cycles != rb.cycles || ra.exitValue != rb.exitValue) {
+            std::cout << "FAST-FORWARD / NAIVE DIVERGENCE — aborting\n";
+            return 1;
+        }
+    }
+
+    const Pass naive = run_pass(points, /*naive=*/true);
+    const Pass ff = run_pass(points, /*naive=*/false);
+
+    std::cout << std::fixed << std::setprecision(3);
+    std::cout << "points simulated:     " << points.size() << "\n"
+              << "naive stepping:       " << naive.wallSeconds << " s, "
+              << std::setprecision(0) << naive.opsPerSecond()
+              << " sim ops/s\n"
+              << std::setprecision(3) << "fast-forward:         "
+              << ff.wallSeconds << " s, " << std::setprecision(0)
+              << ff.opsPerSecond() << " sim ops/s\n"
+              << std::setprecision(2) << "wall-time reduction:  "
+              << (ff.wallSeconds > 0 ? naive.wallSeconds / ff.wallSeconds
+                                     : 0.0)
+              << "x\n";
+
+    if (!write_json(out_path, naive, ff, points.size())) {
+        std::cout << "FAILED to write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+}

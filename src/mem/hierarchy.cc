@@ -27,6 +27,38 @@ MemHierarchy::MemHierarchy(u16 num_cores, const MemConfig &config)
         l1i_.emplace_back(config.l1i);
         l1d_.emplace_back(config.l1d);
     }
+    counters_.resize(num_cores);
+}
+
+void
+MemHierarchy::flushStats() const
+{
+    auto flush = [this](u64 &counter, std::string name) {
+        if (counter != 0) {
+            stats_.add(name, counter);
+            counter = 0;
+        }
+    };
+    for (size_t c = 0; c < counters_.size(); ++c) {
+        const std::string prefix = corePrefix(static_cast<CoreId>(c));
+        CoreCounters &k = counters_[c];
+        flush(k.l1iFetches, prefix + "l1i.fetches");
+        flush(k.l1iHits, prefix + "l1i.hits");
+        flush(k.l1iMisses, prefix + "l1i.misses");
+        flush(k.l1dReads, prefix + "l1d.reads");
+        flush(k.l1dWrites, prefix + "l1d.writes");
+        flush(k.l1dHits, prefix + "l1d.hits");
+        flush(k.l1dMisses, prefix + "l1d.misses");
+        flush(k.l1dUpgrades, prefix + "l1d.upgrades");
+        flush(k.l1dCacheToCache, prefix + "l1d.cacheToCache");
+        flush(k.l1dEvictions, prefix + "l1d.evictions");
+        flush(k.l1dWritebacks, prefix + "l1d.writebacks");
+        flush(k.l2Hits, prefix + "l2.hits");
+        flush(k.l2Misses, prefix + "l2.misses");
+    }
+    flush(busWaitCycles_, "bus.waitCycles");
+    flush(busTransactions_, "bus.transactions");
+    flush(l2Evictions_, "l2.evictions");
 }
 
 std::string
@@ -41,9 +73,8 @@ MemHierarchy::acquireBus(Cycle now)
     const Cycle start = std::max(now, busFreeAt_);
     busFreeAt_ = start + config_.timings.busOccupancy;
     const u32 wait = static_cast<u32>(start - now);
-    if (wait > 0)
-        stats_.add("bus.waitCycles", wait);
-    stats_.add("bus.transactions");
+    busWaitCycles_ += wait;
+    busTransactions_++;
     return wait;
 }
 
@@ -57,7 +88,7 @@ MemHierarchy::fillL2(Addr addr)
     Addr victim_addr = 0;
     l2_.fill(addr, &victim, &victim_addr);
     if (victim.valid)
-        stats_.add("l2.evictions");
+        l2Evictions_++;
 }
 
 void
@@ -74,9 +105,9 @@ MemHierarchy::fillL1d(CoreId core, Addr addr, Moesi state)
             // Dirty writeback to the L2 (occupies the L2, not the
             // requester's critical path in this model).
             fillL2(victim_addr);
-            stats_.add(corePrefix(core) + "l1d.writebacks");
+            counters_[core].l1dWritebacks++;
         }
-        stats_.add(corePrefix(core) + "l1d.evictions");
+        counters_[core].l1dEvictions++;
     }
 }
 
@@ -87,21 +118,21 @@ MemHierarchy::access(CoreId core, Addr addr, bool is_write, Cycle now)
     AccessOutcome out;
     const Addr line_addr = l1d_[core].lineAddr(addr);
     CacheArray &l1 = l1d_[core];
-    const std::string prefix = corePrefix(core);
+    CoreCounters &counters = counters_[core];
     const MemTimings &t = config_.timings;
 
-    stats_.add(prefix + (is_write ? "l1d.writes" : "l1d.reads"));
+    (is_write ? counters.l1dWrites : counters.l1dReads)++;
 
     CacheLine *line = l1.probe(line_addr);
     if (line) {
         Moesi state = static_cast<Moesi>(line->state);
         if (!is_write) {
-            stats_.add(prefix + "l1d.hits");
+            counters.l1dHits++;
             return out;
         }
         if (state == Moesi::Modified || state == Moesi::Exclusive) {
             line->state = static_cast<u8>(Moesi::Modified);
-            stats_.add(prefix + "l1d.hits");
+            counters.l1dHits++;
             return out;
         }
         // S or O: upgrade — invalidate every other copy over the bus.
@@ -111,13 +142,13 @@ MemHierarchy::access(CoreId core, Addr addr, bool is_write, Cycle now)
                 l1d_[peer].invalidate(line_addr);
         }
         line->state = static_cast<u8>(Moesi::Modified);
-        stats_.add(prefix + "l1d.upgrades");
+        counters.l1dUpgrades++;
         return out;
     }
 
     // L1 miss: one bus transaction; snoop peers, then L2, then memory.
     out.l1Miss = true;
-    stats_.add(prefix + "l1d.misses");
+    counters.l1dMisses++;
     out.latency = acquireBus(now);
 
     // Snoop.
@@ -149,18 +180,18 @@ MemHierarchy::access(CoreId core, Addr addr, bool is_write, Cycle now)
     if (supplier != kNoCore) {
         out.cacheToCache = true;
         out.latency += t.cacheToCache;
-        stats_.add(prefix + "l1d.cacheToCache");
+        counters.l1dCacheToCache++;
         fillL1d(core, line_addr, is_write ? Moesi::Modified : Moesi::Shared);
         return out;
     }
 
     if (l2_.probe(line_addr)) {
         out.latency += t.l2Hit;
-        stats_.add(prefix + "l2.hits");
+        counters.l2Hits++;
     } else {
         out.l2Miss = true;
         out.latency += t.memAccess;
-        stats_.add(prefix + "l2.misses");
+        counters.l2Misses++;
         fillL2(line_addr);
     }
 
@@ -180,25 +211,25 @@ MemHierarchy::fetch(CoreId core, Addr addr, Cycle now)
     AccessOutcome out;
     CacheArray &l1 = l1i_[core];
     const Addr line_addr = l1.lineAddr(addr);
-    const std::string prefix = corePrefix(core);
+    CoreCounters &counters = counters_[core];
     const MemTimings &t = config_.timings;
 
-    stats_.add(prefix + "l1i.fetches");
+    counters.l1iFetches++;
     if (l1.probe(line_addr)) {
-        stats_.add(prefix + "l1i.hits");
+        counters.l1iHits++;
         return out;
     }
 
     out.l1Miss = true;
-    stats_.add(prefix + "l1i.misses");
+    counters.l1iMisses++;
     out.latency = acquireBus(now);
     if (l2_.probe(line_addr)) {
         out.latency += t.l2Hit;
-        stats_.add(prefix + "l2.hits");
+        counters.l2Hits++;
     } else {
         out.l2Miss = true;
         out.latency += t.memAccess;
-        stats_.add(prefix + "l2.misses");
+        counters.l2Misses++;
         fillL2(line_addr);
     }
     l1.fill(line_addr);

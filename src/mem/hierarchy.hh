@@ -81,17 +81,48 @@ class MemHierarchy
     Moesi l1dState(CoreId core, Addr addr) const;
 
     /** Aggregated statistics. */
-    const StatSet &stats() const { return stats_; }
-    StatSet &stats() { return stats_; }
+    const StatSet &stats() const
+    {
+        flushStats();
+        return stats_;
+    }
+    StatSet &stats()
+    {
+        flushStats();
+        return stats_;
+    }
 
     const MemConfig &config() const { return config_; }
 
   private:
+    /**
+     * Hot-path counters. The string-keyed StatSet costs a heap
+     * allocation plus a red-black-tree walk per update, which dominated
+     * simulation time (the hierarchy is touched for every fetched op).
+     * Accesses bump these plain integers instead; stats() folds them
+     * into the StatSet on demand, preserving the exposed names.
+     */
+    struct CoreCounters
+    {
+        u64 l1iFetches = 0, l1iHits = 0, l1iMisses = 0;
+        u64 l1dReads = 0, l1dWrites = 0, l1dHits = 0, l1dMisses = 0;
+        u64 l1dUpgrades = 0, l1dCacheToCache = 0;
+        u64 l1dEvictions = 0, l1dWritebacks = 0;
+        u64 l2Hits = 0, l2Misses = 0;
+    };
+
     MemConfig config_;
     std::vector<CacheArray> l1i_, l1d_;
     CacheArray l2_;
     Cycle busFreeAt_ = 0;
-    StatSet stats_;
+    mutable std::vector<CoreCounters> counters_;
+    mutable u64 busWaitCycles_ = 0;
+    mutable u64 busTransactions_ = 0;
+    mutable u64 l2Evictions_ = 0;
+    mutable StatSet stats_;
+
+    /** Fold the plain counters into stats_ (add and reset). */
+    void flushStats() const;
 
     /** Acquire the bus at @p now; returns added waiting latency. */
     u32 acquireBus(Cycle now);

@@ -125,6 +125,17 @@ OperandNetwork::queuedFor(CoreId me) const
     return it == recvQueues_.end() ? 0 : it->second.size();
 }
 
+Cycle
+OperandNetwork::nextArrival(Cycle after) const
+{
+    Cycle best = kNoArrival;
+    for (const auto &[core, queue] : recvQueues_)
+        for (const Message &msg : queue)
+            if (msg.arrivesAt > after && msg.arrivesAt < best)
+                best = msg.arrivesAt;
+    return best;
+}
+
 void
 OperandNetwork::putDirect(CoreId core, Dir dir, u64 value, Cycle now)
 {

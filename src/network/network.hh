@@ -82,6 +82,17 @@ class OperandNetwork
     /** Messages buffered for @p me (tests/debug). */
     size_t queuedFor(CoreId me) const;
 
+    /**
+     * Earliest in-flight arrival strictly after cycle @p after, across
+     * every receive queue (spawns included), or kNoArrival when nothing
+     * is due. The simulator's idle-cycle fast-forward uses this as a
+     * wake-up source.
+     */
+    Cycle nextArrival(Cycle after) const;
+
+    /** Sentinel returned by nextArrival when no message is in flight. */
+    static constexpr Cycle kNoArrival = ~static_cast<Cycle>(0);
+
     // --- Direct mode -----------------------------------------------------
 
     /** PUT executed at cycle @p now driving @p core's @p dir link. */

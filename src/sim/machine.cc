@@ -1,6 +1,7 @@
 #include "sim/machine.hh"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "interp/semantics.hh"
@@ -16,11 +17,8 @@ constexpr Addr kCoreCodeBase = 0x40000000;
 constexpr Addr kCoreCodeStride = 0x4000000;
 constexpr Addr kOpBytes = 16;
 
-u64
-fb_key(FuncId func, BlockId block)
-{
-    return (static_cast<u64>(func) << 32) | block;
-}
+/** "No pending event" sentinel for wake-up computation. */
+constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
 
 } // namespace
 
@@ -85,12 +83,29 @@ Machine::Machine(const MachineProgram &prog, const MachineConfig &config)
     mem_.loadProgram(prog.original);
     layoutCode();
 
+    // Size the flat per-region cycle table off the largest region id
+    // any block carries (the region table itself is usually enough, but
+    // scanning the blocks makes the indexing in attributeCycle safe by
+    // construction).
+    size_t num_regions = prog_.regions.size();
+    for (const Program &cp : prog_.perCore)
+        for (const Function &fn : cp.functions)
+            for (const BasicBlock &bb : fn.blocks)
+                if (bb.region != kNoRegion)
+                    num_regions = std::max<size_t>(num_regions,
+                                                   bb.region + 1);
+    regionCycles_.assign(num_regions, 0);
+
     cores_.resize(config.numCores);
     for (u16 c = 0; c < config.numCores; ++c) {
+        // Reserve the call stack up front; frames are move-heavy and the
+        // master's depth is bounded (fatal at 512 — see CALL).
+        cores_[c].frames.reserve(c == 0 ? 64 : 4);
         cores_[c].id = c;
         cores_[c].frames.emplace_back();
         cores_[c].frames.back().func = 0;
         cores_[c].state = c == 0 ? CoreRun::Run : CoreRun::Idle;
+        bindBlock(cores_[c]);
     }
 }
 
@@ -103,9 +118,12 @@ Machine::layoutCode()
     for (u16 c = 0; c < config_.numCores; ++c) {
         Addr cursor = kCoreCodeBase + c * kCoreCodeStride;
         const Program &cp = prog_.perCore.at(c);
+        blockAddr_[c].resize(cp.functions.size());
         for (const Function &fn : cp.functions) {
+            std::vector<Addr> &addrs = blockAddr_[c][fn.id];
+            addrs.resize(fn.blocks.size(), 0);
             for (const BasicBlock &bb : fn.blocks) {
-                blockAddr_[c][fb_key(fn.id, bb.id)] = cursor;
+                addrs[bb.id] = cursor;
                 cursor += std::max<u64>(bb.ops.size(), 1) * kOpBytes;
                 // Align blocks to line boundaries like a real layout.
                 cursor = (cursor + 63) & ~static_cast<Addr>(63);
@@ -117,15 +135,22 @@ Machine::layoutCode()
 Addr
 Machine::opAddr(const Core &core, size_t op_idx) const
 {
-    auto it = blockAddr_[core.id].find(fb_key(core.func, core.block));
-    panic_if_not(it != blockAddr_[core.id].end(), "no layout for block");
-    return it->second + op_idx * kOpBytes;
+    return core.blockBase + op_idx * kOpBytes;
 }
 
 void
 Machine::stall(Core &core, StallCat cat)
 {
     core.stalls[static_cast<size_t>(cat)]++;
+    core.lastWait = cat;
+}
+
+void
+Machine::bindBlock(Core &core)
+{
+    const Function &fn = coreFunc(core.id, core.func);
+    core.bb = &fn.block(core.block);
+    core.blockBase = blockAddr_[core.id][core.func][core.block];
 }
 
 void
@@ -136,6 +161,8 @@ Machine::enterBlock(Core &core, BlockId block)
     core.block = block;
     core.opIdx = 0;
     core.fetched = false;
+    core.bb = &fn.blocks[block];
+    core.blockBase = blockAddr_[core.id][core.func][block];
 }
 
 u64
@@ -153,13 +180,19 @@ Machine::src1Value(Core &core, const Operation &op) const
 bool
 Machine::operandsReady(Core &core, const Operation &op) const
 {
-    const auto &ready = core.frames.back().ready;
-    for (RegId use : op.uses()) {
-        auto it = ready.find(use);
-        if (it != ready.end() && it->second > now_)
-            return false;
-    }
-    return true;
+    return operandsReadyAt(core, op) <= now_;
+}
+
+Cycle
+Machine::operandsReadyAt(const Core &core, const Operation &op) const
+{
+    const ReadyBoard &ready = core.frames.back().ready;
+    Cycle at = 0;
+    if (op.src0.valid())
+        at = std::max(at, ready.get(op.src0));
+    if (op.usesSrc1())
+        at = std::max(at, ready.get(op.src1));
+    return at;
 }
 
 void
@@ -167,7 +200,7 @@ Machine::writeDst(Core &core, RegId dst, u64 value, u32 latency)
 {
     Frame &frame = core.frames.back();
     frame.regs.write(dst, value);
-    frame.ready[dst] = now_ + latency;
+    frame.ready.set(dst, now_ + latency);
 }
 
 u64
@@ -470,6 +503,7 @@ Machine::stepDecoupled(Core &core)
             return true;
         }
         core.idleCycles++;
+        core.lastIdle = true;
         return false;
     }
 
@@ -546,12 +580,12 @@ Machine::stepDecoupled(Core &core)
     return true;
 }
 
-void
+bool
 Machine::maybeFormGroup()
 {
     for (const Core &core : cores_) {
         if (core.state != CoreRun::Barrier)
-            return;
+            return false;
     }
     // Everyone is at the barrier: enter lockstep at the fallthrough block.
     BlockId next = kNoBlock;
@@ -573,6 +607,7 @@ Machine::maybeFormGroup()
     group_.active = true;
     group_.blockCycle = 0;
     group_.stallUntil = 0;
+    return true;
 }
 
 void
@@ -581,13 +616,13 @@ Machine::dissolveGroup()
     group_.active = false;
 }
 
-void
+bool
 Machine::stepGroup()
 {
     if (group_.stallUntil > now_) {
         for (Core &core : cores_)
             stall(core, group_.stallCat);
-        return;
+        return false;
     }
 
     const u32 g = group_.blockCycle;
@@ -622,7 +657,7 @@ Machine::stepGroup()
         group_.stallCat = StallCat::IFetch;
         for (Core &core : cores_)
             stall(core, StallCat::IFetch);
-        return;
+        return false;
     }
 
     // Phase A: drive the links (PUT/BCAST) so same-cycle GETs can read.
@@ -714,6 +749,7 @@ Machine::stepGroup()
     } else {
         group_.blockCycle = g + 1;
     }
+    return true;
 }
 
 void
@@ -731,6 +767,73 @@ Machine::attributeCycle()
         decoupledCycles_++;
 }
 
+void
+Machine::fastForward()
+{
+    // The cycle just stepped was quiescent: nothing issued, woke, or
+    // advanced, so the machine is settled — every following cycle
+    // repeats the same per-core accounting until the next wake-up
+    // event. Find the earliest such event and jump there in one step.
+    Cycle wake = kNever;
+
+    if (group_.active) {
+        // A non-stalled group always advances, so settling implies the
+        // stall bus is asserted; the group wakes when it releases.
+        if (group_.stallUntil >= now_)
+            wake = group_.stallUntil;
+    } else {
+        for (const Core &core : cores_) {
+            // Idle, Barrier, SendFull and RECV-blocked cores are woken
+            // by other cores' actions or by message arrivals — both
+            // covered below; they contribute no event of their own.
+            if (core.state != CoreRun::Run)
+                continue;
+            // A busy-stalled core has busyUntil >= now_ (it resumes
+            // then); any smaller value is stale from an older op.
+            if (core.busyUntil >= now_)
+                wake = std::min(wake, core.busyUntil);
+            else if (core.lastWait == StallCat::Latency)
+                wake = std::min(
+                    wake,
+                    operandsReadyAt(core, curBlock(core).ops[core.opIdx]));
+        }
+    }
+
+    // In-flight messages wake RECV-blocked runners and idle
+    // spawn-listeners when they arrive.
+    wake = std::min(wake, net_.nextArrival(now_ - 1));
+
+    // Never skip past the watchdog trip or the cycle cap: both must
+    // observe exactly the cycle they would under naive stepping.
+    wake = std::min(wake, lastProgress_ + config_.watchdogCycles + 1);
+    wake = std::min(wake, config_.maxCycles);
+
+    if (wake <= now_)
+        return;
+
+    // Batch-replay what the naive stepper would have charged in each
+    // skipped cycle: per-core, exactly one of an idle cycle or a stall
+    // in the category recorded by the settled step.
+    const u64 skipped = wake - now_;
+    for (Core &core : cores_) {
+        if (core.lastIdle)
+            core.idleCycles += skipped;
+        else if (core.lastWait != StallCat::None)
+            core.stalls[static_cast<size_t>(core.lastWait)] += skipped;
+    }
+    const Core &master = cores_[0];
+    if (master.state == CoreRun::Run || master.state == CoreRun::Barrier) {
+        const BasicBlock &bb = curBlock(master);
+        if (bb.region != kNoRegion)
+            regionCycles_[bb.region] += skipped;
+    }
+    if (group_.active)
+        coupledCycles_ += skipped;
+    else
+        decoupledCycles_ += skipped;
+    now_ = wake;
+}
+
 MachineResult
 Machine::run()
 {
@@ -741,12 +844,19 @@ Machine::run()
         fatal_if_not(now_ < config_.maxCycles,
                      "machine exceeded ", config_.maxCycles, " cycles");
 
+        for (Core &core : cores_) {
+            core.lastWait = StallCat::None;
+            core.lastIdle = false;
+        }
+
+        bool active;
         if (group_.active) {
-            stepGroup();
+            active = stepGroup();
         } else {
+            active = false;
             for (Core &core : cores_)
-                stepDecoupled(core);
-            maybeFormGroup();
+                active |= stepDecoupled(core);
+            active |= maybeFormGroup();
         }
 
         attributeCycle();
@@ -755,29 +865,61 @@ Machine::run()
             last_dynamic = dynamicOps_;
             lastProgress_ = now_;
         } else if (now_ - lastProgress_ > config_.watchdogCycles) {
+            auto state_name = [](CoreRun s) {
+                switch (s) {
+                  case CoreRun::Idle: return "idle";
+                  case CoreRun::Run: return "running";
+                  case CoreRun::Barrier: return "at barrier";
+                  case CoreRun::Halted: return "halted";
+                  default: return "?";
+                }
+            };
             std::ostringstream os;
             for (const Core &core : cores_) {
-                os << "core" << core.id << ": state="
-                   << static_cast<int>(core.state) << " f" << core.func
-                   << " bb" << core.block << " op" << core.opIdx
-                   << " queued=" << net_.queuedFor(core.id) << "\n";
+                os << "  core " << core.id << ": " << state_name(core.state);
+                if (core.state == CoreRun::Run ||
+                    core.state == CoreRun::Barrier) {
+                    const BasicBlock &bb = curBlock(core);
+                    os << " in f" << core.func << "/" << bb.name << " at op "
+                       << core.opIdx << "/" << bb.ops.size();
+                }
+                if (core.busyUntil > now_)
+                    os << ", busy until cycle " << core.busyUntil << " ("
+                       << stall_cat_name(core.busyCat) << ")";
+                else if (core.lastWait != StallCat::None)
+                    os << ", waiting on " << stall_cat_name(core.lastWait);
+                os << ", " << net_.queuedFor(core.id)
+                   << " queued message(s)\n";
             }
+            if (group_.active)
+                os << "  coupled group active at block cycle "
+                   << group_.blockCycle << "\n";
             fatal("machine deadlock: no instruction issued for ",
-                  config_.watchdogCycles, " cycles\n", os.str());
+                  config_.watchdogCycles, " cycles (at cycle ", now_,
+                  ")\n", os.str());
         }
         ++now_;
+
+        if (!active && !halted_ && !config_.forceNaiveStepping)
+            fastForward();
     }
 
     MachineResult result;
     result.exitValue = exitValue_;
     result.cycles = now_;
     result.dynamicOps = dynamicOps_;
+    result.stalls.reserve(cores_.size());
+    result.issued.reserve(cores_.size());
+    result.idleCycles.reserve(cores_.size());
     for (const Core &core : cores_) {
         result.stalls.push_back(core.stalls);
         result.issued.push_back(core.issued);
         result.idleCycles.push_back(core.idleCycles);
     }
-    result.regionCycles = regionCycles_;
+    for (RegionId r = 0; r < regionCycles_.size(); ++r) {
+        if (regionCycles_[r] != 0)
+            result.regionCycles[r] = regionCycles_[r];
+    }
     result.coupledCycles = coupledCycles_;
     result.decoupledCycles = decoupledCycles_;
     return result;

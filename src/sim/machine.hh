@@ -25,10 +25,10 @@
 #ifndef VOLTRON_SIM_MACHINE_HH_
 #define VOLTRON_SIM_MACHINE_HH_
 
+#include <algorithm>
 #include <array>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "interp/regfile.hh"
@@ -71,6 +71,13 @@ struct MachineConfig
     u32 tmResolvePerLine = 1;
     /** Watchdog: fatal after this many cycles with no core issuing. */
     u64 watchdogCycles = 200'000;
+    /**
+     * Disable the idle-cycle fast-forward and step every cycle naively.
+     * Results are bit-identical either way (tests/test_sim_fastforward.cc
+     * asserts it); this exists for that comparison and as a debug escape
+     * hatch.
+     */
+    bool forceNaiveStepping = false;
 
     /** Mesh shape for a core count (1x1, 2x1, 2x2). */
     static MachineConfig forCores(u16 cores);
@@ -131,11 +138,45 @@ class Machine
     const StatSet &tmStats() const { return tm_.stats(); }
 
   private:
+    /**
+     * Flat register-ready scoreboard: one contiguous bank of ready times
+     * per register class, indexed by register index and grown on demand
+     * (mirrors RegFile). Replaces a per-frame hash map on the hot path.
+     */
+    class ReadyBoard
+    {
+      public:
+        Cycle
+        get(RegId reg) const
+        {
+            const auto &bank = banks_[bankIdx(reg.cls)];
+            return reg.idx < bank.size() ? bank[reg.idx] : 0;
+        }
+
+        void
+        set(RegId reg, Cycle at)
+        {
+            auto &bank = banks_[bankIdx(reg.cls)];
+            if (reg.idx >= bank.size())
+                bank.resize(std::max<size_t>(reg.idx + 1, 32), 0);
+            bank[reg.idx] = at;
+        }
+
+      private:
+        static size_t
+        bankIdx(RegClass cls)
+        {
+            return static_cast<size_t>(cls) - 1; // None has no bank
+        }
+
+        std::array<std::vector<Cycle>, 4> banks_;
+    };
+
     struct Frame
     {
         FuncId func = kNoFunc;
         RegFile regs;
-        std::unordered_map<RegId, Cycle> ready;
+        ReadyBoard ready;
         /** Return point in the caller (master only). */
         BlockId retBlock = kNoBlock;
         size_t retIdx = 0;
@@ -154,6 +195,17 @@ class Machine
         Cycle busyUntil = 0;
         StallCat busyCat = StallCat::None;
         bool fetched = false;
+
+        /** Hot-path caches, maintained by bindBlock(): the current block,
+         * and its first op's instruction address. */
+        const BasicBlock *bb = nullptr;
+        Addr blockBase = 0;
+
+        /** What this core charged in the cycle just stepped: exactly one
+         * of an idle cycle or a stall category (or neither if it issued
+         * or is halted). fastForward() replays it per skipped cycle. */
+        StallCat lastWait = StallCat::None;
+        bool lastIdle = false;
 
         /** Lockstep: branch outcome recorded for the block transition. */
         bool pendingTaken = false;
@@ -188,28 +240,32 @@ class Machine
     u64 exitValue_ = 0;
     u64 dynamicOps_ = 0;
     Cycle lastProgress_ = 0;
-    std::map<RegionId, u64> regionCycles_;
+    /** Per-region cycle counts, indexed by RegionId (bumped every
+     * attributed cycle, so kept flat; folded into the result map at the
+     * end of run()). */
+    std::vector<u64> regionCycles_;
     u64 coupledCycles_ = 0, decoupledCycles_ = 0;
 
-    /** Per-core (func, block) -> instruction base address. */
-    std::vector<std::map<u64, Addr>> blockAddr_;
+    /** Per-core, per-function, per-block instruction base address —
+     * contiguous tables indexed [core][func][block]. */
+    std::vector<std::vector<std::vector<Addr>>> blockAddr_;
 
     const Function &coreFunc(CoreId c, FuncId f) const
     {
         return prog_.perCore.at(c).functions.at(f);
     }
-    const BasicBlock &
-    curBlock(const Core &core) const
-    {
-        return coreFunc(core.id, core.func).block(core.block);
-    }
+    const BasicBlock &curBlock(const Core &core) const { return *core.bb; }
 
     Addr opAddr(const Core &core, size_t op_idx) const;
     void layoutCode();
 
     void stall(Core &core, StallCat cat);
     void enterBlock(Core &core, BlockId block);
+    /** Refresh the Core::bb / Core::blockBase caches from func/block. */
+    void bindBlock(Core &core);
     bool operandsReady(Core &core, const Operation &op) const;
+    /** Cycle at which every operand of @p op becomes ready. */
+    Cycle operandsReadyAt(const Core &core, const Operation &op) const;
     void writeDst(Core &core, RegId dst, u64 value, u32 latency);
     u64 readSrc(Core &core, RegId reg) const;
     u64 src1Value(Core &core, const Operation &op) const;
@@ -218,22 +274,35 @@ class Machine
     u64 dataRead(Core &core, Addr addr, u8 size, bool sign);
     void dataWrite(Core &core, Addr addr, u64 value, u8 size);
 
-    /** One decoupled step of @p core. Returns true if it issued an op. */
+    /** One decoupled step of @p core. Returns true if it issued an op
+     * (or woke on a spawn). */
     bool stepDecoupled(Core &core);
 
     /** Execute @p op on @p core (shared by both modes). Returns false if
      * the op could not complete (core must retry, stall recorded). */
     bool execute(Core &core, const Operation &op);
 
-    /** One lockstep step of the whole group. */
-    void stepGroup();
+    /** One lockstep step of the whole group. Returns false when the
+     * group only burned a stall cycle (nothing issued or advanced). */
+    bool stepGroup();
 
-    /** Try to form the group once every core is at the barrier. */
-    void maybeFormGroup();
+    /** Try to form the group once every core is at the barrier.
+     * Returns true if the group formed. */
+    bool maybeFormGroup();
 
     void dissolveGroup();
 
     void attributeCycle();
+
+    /**
+     * Event-driven fast path: called after a cycle in which nothing
+     * issued, woke, or advanced. Computes the next wake-up time (min
+     * over core busy times, operand-ready times, in-flight network
+     * arrivals, and the group stall release), batch-attributes the
+     * skipped cycles exactly as the naive stepper would, and jumps
+     * now_ there.
+     */
+    void fastForward();
 };
 
 } // namespace voltron

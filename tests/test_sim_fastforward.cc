@@ -1,0 +1,162 @@
+/** @file Equivalence tests for the idle-cycle fast-forward: every
+ * MachineResult field must be bit-identical with the event-driven fast
+ * path enabled vs. naive cycle-by-cycle stepping, across the workload
+ * suite and core counts. A divergence means a wake-up source is missing
+ * or batch attribution drifted from the per-cycle stepper. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "core/voltron.hh"
+#include "ir/builder.hh"
+#include "workloads/suite.hh"
+
+namespace voltron {
+namespace {
+
+/** Small scale keeps the full (suite x strategy x cores) sweep fast. */
+SuiteScale
+test_scale()
+{
+    SuiteScale scale;
+    scale.targetOps = 20'000;
+    return scale;
+}
+
+void
+expect_identical(const MachineResult &ff, const MachineResult &naive,
+                 const std::string &what)
+{
+    EXPECT_EQ(ff.exitValue, naive.exitValue) << what;
+    EXPECT_EQ(ff.cycles, naive.cycles) << what;
+    EXPECT_EQ(ff.dynamicOps, naive.dynamicOps) << what;
+    EXPECT_EQ(ff.coupledCycles, naive.coupledCycles) << what;
+    EXPECT_EQ(ff.decoupledCycles, naive.decoupledCycles) << what;
+    EXPECT_EQ(ff.regionCycles, naive.regionCycles) << what;
+    ASSERT_EQ(ff.issued.size(), naive.issued.size()) << what;
+    for (CoreId c = 0; c < ff.issued.size(); ++c) {
+        EXPECT_EQ(ff.issued[c], naive.issued[c]) << what << " core " << c;
+        EXPECT_EQ(ff.idleCycles[c], naive.idleCycles[c])
+            << what << " core " << c;
+        for (size_t cat = 0;
+             cat < static_cast<size_t>(StallCat::NumCats); ++cat) {
+            EXPECT_EQ(ff.stalls[c][cat], naive.stalls[c][cat])
+                << what << " core " << c << " stall "
+                << stall_cat_name(static_cast<StallCat>(cat));
+        }
+    }
+}
+
+/** Run @p mp both ways on @p cores cores and compare everything. */
+void
+check_equivalence(const MachineProgram &mp, u16 cores,
+                  const std::string &what)
+{
+    MachineConfig ff_config = MachineConfig::forCores(cores);
+    Machine ff_machine(mp, ff_config);
+    MachineResult ff = ff_machine.run();
+
+    MachineConfig naive_config = MachineConfig::forCores(cores);
+    naive_config.forceNaiveStepping = true;
+    Machine naive_machine(mp, naive_config);
+    MachineResult naive = naive_machine.run();
+
+    expect_identical(ff, naive, what);
+}
+
+struct SweepPoint
+{
+    std::string bench;
+    Strategy strategy;
+    u16 cores;
+};
+
+std::string
+point_name(const SweepPoint &p)
+{
+    return p.bench + "/" + std::to_string(static_cast<int>(p.strategy)) +
+           "c" + std::to_string(p.cores);
+}
+
+class FastForwardSuite : public ::testing::TestWithParam<SweepPoint>
+{
+};
+
+TEST_P(FastForwardSuite, ResultsMatchNaiveStepping)
+{
+    const SweepPoint &p = GetParam();
+    VoltronSystem sys(build_benchmark(p.bench, test_scale()));
+    CompileOptions opts;
+    opts.strategy = p.strategy;
+    opts.numCores = p.cores;
+    const MachineProgram &mp = sys.compile(opts);
+    check_equivalence(mp, p.cores, point_name(p));
+}
+
+std::vector<SweepPoint>
+sweep_points()
+{
+    std::vector<SweepPoint> points;
+    for (const std::string &name : benchmark_names()) {
+        points.push_back({name, Strategy::SerialOnly, 1});
+        for (u16 cores : {static_cast<u16>(2), static_cast<u16>(4)}) {
+            points.push_back({name, Strategy::IlpOnly, cores});
+            points.push_back({name, Strategy::TlpOnly, cores});
+            points.push_back({name, Strategy::LlpOnly, cores});
+            points.push_back({name, Strategy::Hybrid, cores});
+        }
+    }
+    return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, FastForwardSuite,
+                         ::testing::ValuesIn(sweep_points()),
+                         [](const auto &info) {
+                             std::string name = point_name(info.param);
+                             for (char &ch : name)
+                                 if (ch == '.' || ch == '/' || ch == '-')
+                                     ch = '_';
+                             return name;
+                         });
+
+/** The deadlock watchdog must fire either way — the fast-forward is
+ * capped at the watchdog trip cycle, so a wait with no pending event
+ * still produces the same fatal instead of spinning to maxCycles. */
+TEST(FastForwardTest, WatchdogFiresUnderFastForward)
+{
+    // A master that waits forever on a message nobody sends.
+    ProgramBuilder b("wedge");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(7));
+    b.endFunction();
+    Program prog = b.take();
+    GoldenRun golden = run_golden(prog);
+    CompileOptions opts;
+    opts.strategy = Strategy::SerialOnly;
+    opts.numCores = 2;
+    MachineProgram mp = compile_program(prog, golden.profile, opts);
+    BasicBlock &bb = mp.perCore[0].functions[0].blocks[0];
+    bb.ops.insert(bb.ops.begin(), ops::recv(1, gpr(30)));
+
+    for (bool naive : {false, true}) {
+        MachineConfig config = MachineConfig::forCores(2);
+        config.watchdogCycles = 2000;
+        config.forceNaiveStepping = naive;
+        Machine machine(mp, config);
+        try {
+            machine.run();
+            FAIL() << "expected a deadlock fatal (naive=" << naive << ")";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("deadlock"),
+                      std::string::npos);
+            // The improved dump names the wait category and the state.
+            EXPECT_NE(std::string(e.what()).find("recvData"),
+                      std::string::npos);
+            EXPECT_NE(std::string(e.what()).find("running"),
+                      std::string::npos);
+        }
+    }
+}
+
+} // namespace
+} // namespace voltron
