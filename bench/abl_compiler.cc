@@ -26,7 +26,7 @@ main()
     for (const std::string &name :
          {std::string("164.gzip"), std::string("179.art"),
           std::string("197.parser"), std::string("epic")}) {
-        VoltronSystem sys(build_benchmark(name, bench_scale()));
+        VoltronSystem &sys = shared_system(name);
         CompileOptions ebug;
         ebug.strategy = Strategy::TlpOnly;
         ebug.numCores = 4;
@@ -51,7 +51,7 @@ main()
     std::cout << "\n";
     for (const std::string &name :
          {std::string("171.swim"), std::string("mpeg2enc")}) {
-        VoltronSystem sys(build_benchmark(name, bench_scale()));
+        VoltronSystem &sys = shared_system(name);
         label(name) << std::fixed << std::setprecision(2);
         for (u32 cost : {0, 20, 100, 400}) {
             MachineConfig config = MachineConfig::forCores(4);

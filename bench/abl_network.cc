@@ -20,7 +20,7 @@ const std::vector<std::string> kSample = {"171.swim", "164.gzip",
 double
 hybrid_speedup(const std::string &name, u32 hop_latency, u32 capacity)
 {
-    VoltronSystem sys(build_benchmark(name, bench_scale()));
+    VoltronSystem &sys = shared_system(name);
     MachineConfig config = MachineConfig::forCores(4);
     config.net.hopLatency = hop_latency;
     config.net.queueCapacity = capacity;

@@ -19,6 +19,7 @@
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -134,6 +135,42 @@ bench_scale()
     SuiteScale scale;
     scale.targetOps = 120'000;
     return scale;
+}
+
+/**
+ * Process-wide shared suite cache: one VoltronSystem per (benchmark,
+ * scale), built on first use and kept alive for the process. Harness
+ * points that revisit a benchmark — different strategies, core counts,
+ * or figure series — share its golden run, compiles, and baseline
+ * instead of constructing a fresh system per point. Construction is
+ * per-entry once-guarded so parallel_for workers building *different*
+ * benchmarks don't serialize on each other; VoltronSystem itself is
+ * thread-safe for the subsequent run()/compile() calls.
+ */
+inline VoltronSystem &
+shared_system(const std::string &name,
+              const SuiteScale &scale = bench_scale())
+{
+    struct Entry
+    {
+        std::once_flag once;
+        std::unique_ptr<VoltronSystem> sys;
+    };
+    static std::mutex registry_mutex;
+    static std::map<std::string, Entry> registry;
+
+    const std::string key = name + "/" + std::to_string(scale.targetOps) +
+                            "/" + std::to_string(scale.seed);
+    Entry *entry;
+    {
+        std::lock_guard<std::mutex> lock(registry_mutex);
+        entry = &registry[key];
+    }
+    std::call_once(entry->once, [&] {
+        entry->sys =
+            std::make_unique<VoltronSystem>(build_benchmark(name, scale));
+    });
+    return *entry->sys;
 }
 
 } // namespace voltron::bench

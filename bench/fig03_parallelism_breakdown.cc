@@ -41,7 +41,7 @@ main()
     std::vector<Row> rows(names.size());
     parallel_for(names.size(), [&](size_t row_idx) {
         const std::string &name = names[row_idx];
-        VoltronSystem sys(build_benchmark(name, bench_scale()));
+        VoltronSystem &sys = shared_system(name);
 
         SelectionReport serial_sel, llp_sel;
         CompileOptions serial_opts;

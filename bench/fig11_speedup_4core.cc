@@ -30,7 +30,7 @@ main()
     const std::vector<std::string> &names = benchmark_names();
     std::vector<Row> rows(names.size());
     parallel_for(names.size(), [&](size_t i) {
-        VoltronSystem sys(build_benchmark(names[i], bench_scale()));
+        VoltronSystem &sys = shared_system(names[i]);
         int col = 0;
         for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly,
                            Strategy::LlpOnly}) {

@@ -72,7 +72,7 @@ main()
     const std::vector<std::string> &names = benchmark_names();
     std::vector<Row> rows(names.size());
     parallel_for(names.size(), [&](size_t i) {
-        VoltronSystem sys(build_benchmark(names[i], bench_scale()));
+        VoltronSystem &sys = shared_system(names[i]);
         const double serial = static_cast<double>(sys.baselineCycles());
         RunOutcome ilp = sys.run(Strategy::IlpOnly, 4);
         RunOutcome tlp = sys.run(Strategy::TlpOnly, 4);

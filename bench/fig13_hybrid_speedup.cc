@@ -31,7 +31,7 @@ main()
     const std::vector<std::string> &names = benchmark_names();
     std::vector<Row> rows(names.size());
     parallel_for(names.size(), [&](size_t i) {
-        VoltronSystem sys(build_benchmark(names[i], bench_scale()));
+        VoltronSystem &sys = shared_system(names[i]);
         RunOutcome o2 = sys.run(Strategy::Hybrid, 2);
         RunOutcome o4 = sys.run(Strategy::Hybrid, 4);
         if (!o2.correct() || !o4.correct())

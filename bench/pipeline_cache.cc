@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Front-end pipeline self-benchmark: cold vs warm artifact-cache wall
+ * time for the golden run + compile + serial baseline over the whole
+ * suite (the fig12 point set: IlpOnly and TlpOnly at 4 cores).
+ *
+ * Three passes over identical inputs, each constructing fresh
+ * VoltronSystems so only the ArtifactCache level under test can help:
+ *
+ *   cold        fresh disk dir, empty in-process cache — every artifact
+ *               is computed and persisted;
+ *   warm_memory same process again — artifacts come from the in-process
+ *               level (the shared-suite-cache scenario inside one
+ *               harness binary);
+ *   warm_disk   in-process level dropped — artifacts are deserialized
+ *               and hash-verified from the disk dir (the scenario of a
+ *               second fig* binary re-using the first one's work).
+ *
+ * Writes BENCH_pipeline_cache.json (argv[1] overrides) and exits
+ * non-zero if a warm pass is not at least 3x faster than cold, so CI
+ * catches cache regressions. argv[2] overrides the throwaway cache dir.
+ */
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "common.hh"
+
+using namespace voltron;
+using namespace voltron::bench;
+
+namespace {
+
+struct PassResult
+{
+    double wallSeconds = 0;
+    ArtifactCacheStats stats;
+};
+
+/** One full front-end pass: build, golden, compile both fig12
+ * strategies, and measure the serial baseline, per suite benchmark. */
+PassResult
+front_end_pass()
+{
+    ArtifactCache::instance().resetStats();
+    const std::vector<std::string> &names = benchmark_names();
+    const auto start = std::chrono::steady_clock::now();
+    parallel_for(names.size(), [&](size_t i) {
+        VoltronSystem sys(build_benchmark(names[i], bench_scale()));
+        for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly}) {
+            CompileOptions opts;
+            opts.strategy = s;
+            opts.numCores = 4;
+            sys.compile(opts);
+        }
+        sys.baselineCycles();
+    });
+    const auto end = std::chrono::steady_clock::now();
+    PassResult pass;
+    pass.wallSeconds = std::chrono::duration<double>(end - start).count();
+    pass.stats = ArtifactCache::instance().stats();
+    return pass;
+}
+
+void
+write_pass(std::ofstream &os, const char *name, const PassResult &pass)
+{
+    os << "  \"" << name << "\": {\n"
+       << "    \"wall_seconds\": " << pass.wallSeconds << ",\n"
+       << "    \"mem_hits\": " << pass.stats.memHits() << ",\n"
+       << "    \"disk_hits\": " << pass.stats.diskHits() << ",\n"
+       << "    \"misses\": " << pass.stats.misses() << ",\n"
+       << "    \"stores\": " << pass.stats.stores() << ",\n"
+       << "    \"corrupt\": " << pass.stats.corrupt << "\n"
+       << "  }";
+}
+
+bool
+write_json(const std::string &path, const PassResult &cold,
+           const PassResult &warm_mem, const PassResult &warm_disk,
+           size_t benchmarks)
+{
+    std::ofstream os(path);
+    os << std::fixed << std::setprecision(6);
+    os << "{\n"
+       << "  \"harness\": \"front-end (golden + compile + baseline) over "
+          "the suite, IlpOnly+TlpOnly @ 4 cores\",\n"
+       << "  \"benchmarks\": " << benchmarks << ",\n";
+    write_pass(os, "cold", cold);
+    os << ",\n";
+    write_pass(os, "warm_memory", warm_mem);
+    os << ",\n";
+    write_pass(os, "warm_disk", warm_disk);
+    os << ",\n"
+       << "  \"warm_memory_reduction\": "
+       << (warm_mem.wallSeconds > 0
+               ? cold.wallSeconds / warm_mem.wallSeconds
+               : 0.0)
+       << ",\n"
+       << "  \"warm_disk_reduction\": "
+       << (warm_disk.wallSeconds > 0
+               ? cold.wallSeconds / warm_disk.wallSeconds
+               : 0.0)
+       << ",\n"
+       << "  \"note\": \"each pass constructs fresh VoltronSystems; warm "
+          "passes still rebuild the Program IR and hash it, then hit the "
+          "cache for golden/machine/baseline artifacts. warm_disk "
+          "deserializes and hash-verifies every artifact from "
+          "VOLTRON_CACHE_DIR.\",\n"
+       << "  \"bench_threads\": " << bench_threads() << "\n"
+       << "}\n";
+    return os.good();
+}
+
+void
+print_pass(const char *name, const PassResult &pass)
+{
+    std::cout << std::left << std::setw(12) << name << std::right
+              << std::fixed << std::setprecision(3) << std::setw(9)
+              << pass.wallSeconds << " s   mem_hits=" << pass.stats.memHits()
+              << " disk_hits=" << pass.stats.diskHits()
+              << " misses=" << pass.stats.misses() << "\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_pipeline_cache.json";
+    const std::string cache_dir =
+        argc > 2 ? argv[2]
+                 : "/tmp/voltron-pipeline-cache-" + std::to_string(::getpid());
+
+    banner("Pipeline cache: cold vs warm front-end wall time",
+           "self-benchmark; no paper figure");
+
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir, ec);
+    ArtifactCache::instance().setDiskDir(cache_dir);
+    ArtifactCache::instance().clearMemory();
+
+    const PassResult cold = front_end_pass();
+    const PassResult warm_mem = front_end_pass();
+    ArtifactCache::instance().clearMemory();
+    const PassResult warm_disk = front_end_pass();
+
+    ArtifactCache::instance().setDiskDir(std::nullopt);
+    std::filesystem::remove_all(cache_dir, ec);
+
+    const size_t benchmarks = benchmark_names().size();
+    print_pass("cold", cold);
+    print_pass("warm-memory", warm_mem);
+    print_pass("warm-disk", warm_disk);
+    const double mem_x =
+        warm_mem.wallSeconds > 0 ? cold.wallSeconds / warm_mem.wallSeconds
+                                 : 0.0;
+    const double disk_x =
+        warm_disk.wallSeconds > 0 ? cold.wallSeconds / warm_disk.wallSeconds
+                                  : 0.0;
+    std::cout << std::setprecision(1) << "front-end reduction: "
+              << mem_x << "x (memory), " << disk_x << "x (disk)\n";
+
+    if (!write_json(out_path, cold, warm_mem, warm_disk, benchmarks)) {
+        std::cout << "FAILED to write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+
+    if (warm_mem.stats.memHits() == 0 || warm_disk.stats.diskHits() == 0) {
+        std::cout << "FAIL: warm passes did not hit the expected cache "
+                     "level\n";
+        return 1;
+    }
+    if (mem_x < 3.0 || disk_x < 3.0) {
+        std::cout << "FAIL: warm front-end less than 3x faster than cold\n";
+        return 1;
+    }
+    return 0;
+}

@@ -109,18 +109,16 @@ main(int argc, char **argv)
            "naive stepping",
            "self-benchmark; no paper figure");
 
-    // Compile every point up front (concurrently); keep the systems
-    // alive — they own the MachinePrograms.
+    // Compile every point up front (concurrently); the shared suite
+    // cache keeps the systems (and their MachinePrograms) alive.
     const std::vector<std::string> &names = benchmark_names();
-    std::vector<std::unique_ptr<VoltronSystem>> systems(names.size());
     parallel_for(names.size(), [&](size_t i) {
-        systems[i] = std::make_unique<VoltronSystem>(
-            build_benchmark(names[i], bench_scale()));
+        VoltronSystem &sys = shared_system(names[i]);
         for (Strategy s : {Strategy::IlpOnly, Strategy::TlpOnly}) {
             CompileOptions opts;
             opts.strategy = s;
             opts.numCores = 4;
-            systems[i]->compile(opts);
+            sys.compile(opts);
         }
     });
     std::vector<const MachineProgram *> points;
@@ -130,7 +128,7 @@ main(int argc, char **argv)
             CompileOptions opts;
             opts.strategy = s;
             opts.numCores = 4;
-            points.push_back(&systems[i]->compile(opts));
+            points.push_back(&shared_system(names[i]).compile(opts));
         }
     }
 

@@ -1,0 +1,468 @@
+#include "core/artifact_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "ir/serialize.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+/** Encode/decode payloads. Kept private to the cache: the payload byte
+ * layout is an implementation detail guarded by kCacheFormatVersion. */
+
+void
+encode_selection(ByteWriter &w, const SelectionReport &report)
+{
+    w.u64v(report.entries.size());
+    for (const SelectionReport::Entry &e : report.entries) {
+        w.u32v(e.region);
+        w.u32v(e.func);
+        w.u8v(static_cast<u8>(e.kind));
+        w.u8v(static_cast<u8>(e.mode));
+        w.u64v(e.profiledOps);
+        w.f64v(e.dswpEstimate);
+        w.f64v(e.missFraction);
+    }
+}
+
+bool
+decode_selection(ByteReader &r, SelectionReport &report)
+{
+    const u64 n = r.count(34);
+    report.entries.clear();
+    report.entries.reserve(n);
+    for (u64 i = 0; i < n && r.ok(); ++i) {
+        SelectionReport::Entry e;
+        e.region = r.u32v();
+        e.func = r.u32v();
+        e.kind = static_cast<RegionKind>(r.u8v());
+        e.mode = static_cast<ExecMode>(r.u8v());
+        e.profiledOps = r.u64v();
+        e.dswpEstimate = r.f64v();
+        e.missFraction = r.f64v();
+        report.entries.push_back(e);
+    }
+    return r.ok();
+}
+
+std::vector<u8>
+encode_golden(const GoldenArtifact &artifact)
+{
+    ByteWriter w;
+    serialize(w, artifact.result);
+    serialize(w, artifact.profile);
+    serialize(w, artifact.image);
+    return w.take();
+}
+
+bool
+decode_golden(const std::vector<u8> &payload, GoldenArtifact &artifact)
+{
+    ByteReader r(payload);
+    return deserialize(r, artifact.result) &&
+           deserialize(r, artifact.profile) &&
+           deserialize(r, artifact.image) && r.atEnd();
+}
+
+std::vector<u8>
+encode_machine(const MachineArtifact &artifact)
+{
+    ByteWriter w;
+    serialize(w, artifact.program);
+    encode_selection(w, artifact.selection);
+    return w.take();
+}
+
+bool
+decode_machine(const std::vector<u8> &payload, MachineArtifact &artifact)
+{
+    ByteReader r(payload);
+    return deserialize(r, artifact.program) &&
+           decode_selection(r, artifact.selection) && r.atEnd();
+}
+
+std::string
+hex16(u64 v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void
+print_stats_at_exit()
+{
+    const ArtifactCacheStats stats = ArtifactCache::instance().stats();
+    std::fprintf(stderr,
+                 "voltron-cache-stats: mem_hits=%llu disk_hits=%llu "
+                 "misses=%llu stores=%llu corrupt=%llu\n",
+                 static_cast<unsigned long long>(stats.memHits()),
+                 static_cast<unsigned long long>(stats.diskHits()),
+                 static_cast<unsigned long long>(stats.misses()),
+                 static_cast<unsigned long long>(stats.stores()),
+                 static_cast<unsigned long long>(stats.corrupt));
+}
+
+} // namespace
+
+const char *
+artifact_kind_name(ArtifactKind kind)
+{
+    switch (kind) {
+      case ArtifactKind::Golden: return "golden";
+      case ArtifactKind::Machine: return "machine";
+      case ArtifactKind::Baseline: return "baseline";
+      default: return "unknown";
+    }
+}
+
+u64
+options_hash(const CompileOptions &options)
+{
+    ByteWriter w;
+    w.u16v(options.numCores);
+    w.u8v(static_cast<u8>(options.strategy));
+    w.u64v(options.minOpsPerActivation);
+    w.f64v(options.minDoallTrip);
+    w.f64v(options.dswpThreshold);
+    w.f64v(options.missStallFraction);
+    w.u32v(options.missPenalty);
+    w.boolean(options.reassociate);
+    w.boolean(options.allowCrossCoreMemDep);
+    w.u16v(options.partition.numCores);
+    w.u32v(options.partition.transferCost);
+    w.boolean(options.partition.enhanced);
+    w.f64v(options.partition.missThreshold);
+    w.u32v(options.partition.missEdgeWeight);
+    w.boolean(options.partition.pinAliasClasses);
+    w.u32v(options.partition.memImbalancePenalty);
+    return fnv1a(w.bytes());
+}
+
+u64
+ArtifactCacheStats::memHits() const
+{
+    u64 sum = 0;
+    for (const Line &l : byKind)
+        sum += l.memHits;
+    return sum;
+}
+
+u64
+ArtifactCacheStats::diskHits() const
+{
+    u64 sum = 0;
+    for (const Line &l : byKind)
+        sum += l.diskHits;
+    return sum;
+}
+
+u64
+ArtifactCacheStats::misses() const
+{
+    u64 sum = 0;
+    for (const Line &l : byKind)
+        sum += l.misses;
+    return sum;
+}
+
+u64
+ArtifactCacheStats::stores() const
+{
+    u64 sum = 0;
+    for (const Line &l : byKind)
+        sum += l.stores;
+    return sum;
+}
+
+std::string
+cache_entry_filename(ArtifactKind kind, u64 key)
+{
+    return std::string(artifact_kind_name(kind)) + "-" + hex16(key) +
+           ".vcache";
+}
+
+bool
+read_cache_entry(const std::string &path, CacheEntryHeader &header,
+                 std::vector<u8> *payload)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    u8 raw[36];
+    is.read(reinterpret_cast<char *>(raw), sizeof(raw));
+    if (!is)
+        return false;
+    ByteReader r(raw, sizeof(raw));
+    header.magic = r.u32v();
+    header.version = r.u32v();
+    header.kind = r.u32v();
+    header.key = r.u64v();
+    header.payloadSize = r.u64v();
+    header.payloadHash = r.u64v();
+    if (header.magic != kCacheMagic || header.version != kCacheFormatVersion)
+        return false;
+    if (header.kind >= static_cast<u32>(ArtifactKind::NumKinds))
+        return false;
+    if (!payload)
+        return true;
+    // Guard against a corrupt size before allocating.
+    is.seekg(0, std::ios::end);
+    const auto file_size = static_cast<u64>(is.tellg());
+    if (file_size < sizeof(raw) ||
+        header.payloadSize != file_size - sizeof(raw))
+        return false;
+    is.seekg(sizeof(raw), std::ios::beg);
+    payload->resize(header.payloadSize);
+    is.read(reinterpret_cast<char *>(payload->data()),
+            static_cast<std::streamsize>(header.payloadSize));
+    if (!is)
+        return false;
+    return fnv1a(*payload) == header.payloadHash;
+}
+
+ArtifactCache &
+ArtifactCache::instance()
+{
+    static ArtifactCache cache;
+    // Registered after the singleton's construction so the handler runs
+    // before its destruction.
+    static const bool stats_hook = [] {
+        if (const char *env = std::getenv("VOLTRON_CACHE_STATS")) {
+            if (env[0] != '\0' && env[0] != '0')
+                std::atexit(&print_stats_at_exit);
+        }
+        return true;
+    }();
+    (void)stats_hook;
+    return cache;
+}
+
+std::string
+ArtifactCache::diskDir() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dirOverride_)
+        return *dirOverride_;
+    const char *env = std::getenv("VOLTRON_CACHE_DIR");
+    return env ? env : "";
+}
+
+void
+ArtifactCache::setDiskDir(std::optional<std::string> dir)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    dirOverride_ = std::move(dir);
+}
+
+std::vector<u8>
+ArtifactCache::loadDisk(ArtifactKind kind, u64 key)
+{
+    const std::string dir = diskDir();
+    if (dir.empty())
+        return {};
+    const std::string path =
+        dir + "/" + cache_entry_filename(kind, key);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec))
+        return {};
+    CacheEntryHeader header;
+    std::vector<u8> payload;
+    if (!read_cache_entry(path, header, &payload) || header.key != key ||
+        header.kind != static_cast<u32>(kind)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.corrupt;
+        return {};
+    }
+    return payload;
+}
+
+void
+ArtifactCache::storeDisk(ArtifactKind kind, u64 key,
+                         const std::vector<u8> &payload)
+{
+    const std::string dir = diskDir();
+    if (dir.empty())
+        return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return; // persistent level unavailable; in-process level suffices
+    const std::string path =
+        dir + "/" + cache_entry_filename(kind, key);
+    const std::string tmp =
+        path + ".tmp" + std::to_string(::getpid());
+    {
+        ByteWriter header;
+        header.u32v(kCacheMagic);
+        header.u32v(kCacheFormatVersion);
+        header.u32v(static_cast<u32>(kind));
+        header.u64v(key);
+        header.u64v(payload.size());
+        header.u64v(fnv1a(payload));
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return;
+        os.write(reinterpret_cast<const char *>(header.bytes().data()),
+                 static_cast<std::streamsize>(header.size()));
+        os.write(reinterpret_cast<const char *>(payload.data()),
+                 static_cast<std::streamsize>(payload.size()));
+        if (!os.good()) {
+            os.close();
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    // Atomic publish; concurrent writers of the same key race benignly
+    // (identical content).
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+std::shared_ptr<const GoldenArtifact>
+ArtifactCache::getGolden(u64 key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = golden_.find(key);
+        if (it != golden_.end()) {
+            ++line(ArtifactKind::Golden).memHits;
+            return it->second;
+        }
+    }
+    const std::vector<u8> payload = loadDisk(ArtifactKind::Golden, key);
+    if (!payload.empty()) {
+        auto artifact = std::make_shared<GoldenArtifact>();
+        if (decode_golden(payload, *artifact)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++line(ArtifactKind::Golden).diskHits;
+            golden_.emplace(key, artifact);
+            return artifact;
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.corrupt;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++line(ArtifactKind::Golden).misses;
+    return nullptr;
+}
+
+void
+ArtifactCache::putGolden(u64 key,
+                         std::shared_ptr<const GoldenArtifact> artifact)
+{
+    storeDisk(ArtifactKind::Golden, key, encode_golden(*artifact));
+    std::lock_guard<std::mutex> lock(mutex_);
+    golden_[key] = std::move(artifact);
+    ++line(ArtifactKind::Golden).stores;
+}
+
+std::shared_ptr<const MachineArtifact>
+ArtifactCache::getMachine(u64 key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = machine_.find(key);
+        if (it != machine_.end()) {
+            ++line(ArtifactKind::Machine).memHits;
+            return it->second;
+        }
+    }
+    const std::vector<u8> payload = loadDisk(ArtifactKind::Machine, key);
+    if (!payload.empty()) {
+        auto artifact = std::make_shared<MachineArtifact>();
+        if (decode_machine(payload, *artifact)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++line(ArtifactKind::Machine).diskHits;
+            machine_.emplace(key, artifact);
+            return artifact;
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.corrupt;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++line(ArtifactKind::Machine).misses;
+    return nullptr;
+}
+
+void
+ArtifactCache::putMachine(u64 key,
+                          std::shared_ptr<const MachineArtifact> artifact)
+{
+    storeDisk(ArtifactKind::Machine, key, encode_machine(*artifact));
+    std::lock_guard<std::mutex> lock(mutex_);
+    machine_[key] = std::move(artifact);
+    ++line(ArtifactKind::Machine).stores;
+}
+
+std::optional<Cycle>
+ArtifactCache::getBaseline(u64 key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = baseline_.find(key);
+        if (it != baseline_.end()) {
+            ++line(ArtifactKind::Baseline).memHits;
+            return it->second;
+        }
+    }
+    const std::vector<u8> payload = loadDisk(ArtifactKind::Baseline, key);
+    if (payload.size() == 8) {
+        ByteReader r(payload);
+        const Cycle cycles = r.u64v();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++line(ArtifactKind::Baseline).diskHits;
+        baseline_[key] = cycles;
+        return cycles;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!payload.empty())
+        ++stats_.corrupt;
+    ++line(ArtifactKind::Baseline).misses;
+    return std::nullopt;
+}
+
+void
+ArtifactCache::putBaseline(u64 key, Cycle cycles)
+{
+    ByteWriter w;
+    w.u64v(cycles);
+    storeDisk(ArtifactKind::Baseline, key, w.bytes());
+    std::lock_guard<std::mutex> lock(mutex_);
+    baseline_[key] = cycles;
+    ++line(ArtifactKind::Baseline).stores;
+}
+
+void
+ArtifactCache::clearMemory()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    golden_.clear();
+    machine_.clear();
+    baseline_.clear();
+}
+
+ArtifactCacheStats
+ArtifactCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ArtifactCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = ArtifactCacheStats{};
+}
+
+} // namespace voltron

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Content-hashed artifact cache for the expensive front-end passes.
+ *
+ * The pipeline in front of the cycle-level simulator — the golden
+ * interpreter run, the compiler, and the serial-baseline measurement —
+ * is deterministic: its outputs depend only on the Program IR and the
+ * CompileOptions. The cache therefore keys every artifact by the FNV-1a
+ * hash of those inputs' canonical serialization (support/serialize.hh)
+ * and keeps two levels:
+ *
+ *  - an in-process level holding deserialized artifacts behind
+ *    shared_ptr<const ...>, shared by every VoltronSystem in the process
+ *    (the fig* harnesses construct one system per benchmark point; the
+ *    second point for the same program pays nothing);
+ *  - a persistent on-disk level under $VOLTRON_CACHE_DIR (disabled when
+ *    unset), one file per artifact, shared across processes — the six
+ *    fig* binaries re-use each other's golden runs and compiles.
+ *
+ * Every disk entry carries a format version and the FNV-1a hash of its
+ * payload; a corrupted, truncated, or version-mismatched entry is
+ * counted and treated as a miss (cold recompute), never a crash or a
+ * wrong figure. Set VOLTRON_CACHE_STATS=1 to print hit/miss counters to
+ * stderr at process exit.
+ */
+
+#ifndef VOLTRON_CORE_ARTIFACT_CACHE_HH_
+#define VOLTRON_CORE_ARTIFACT_CACHE_HH_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/compile.hh"
+#include "interp/serialize.hh"
+#include "sim/machineprog.hh"
+
+namespace voltron {
+
+/** What a cache entry holds. */
+enum class ArtifactKind : u8 {
+    Golden = 0,   //!< Profile + InterpResult + golden data image
+    Machine = 1,  //!< MachineProgram + SelectionReport
+    Baseline = 2, //!< serial single-core cycle count
+    NumKinds,
+};
+
+const char *artifact_kind_name(ArtifactKind kind);
+
+/** Cached result of the golden interpreter pass. */
+struct GoldenArtifact
+{
+    InterpResult result;
+    Profile profile;
+    GoldenImage image; //!< data-segment bytes, per Program::data object
+};
+
+/** Cached result of one compile. */
+struct MachineArtifact
+{
+    MachineProgram program;
+    SelectionReport selection;
+};
+
+/** Stable content hash of a CompileOptions (covers *every* field —
+ * including missPenalty, which the old string key dropped). */
+u64 options_hash(const CompileOptions &options);
+
+/** Hit/miss counters, per artifact kind. */
+struct ArtifactCacheStats
+{
+    struct Line
+    {
+        u64 memHits = 0;  //!< served from the in-process level
+        u64 diskHits = 0; //!< deserialized from $VOLTRON_CACHE_DIR
+        u64 misses = 0;   //!< cold recompute
+        u64 stores = 0;   //!< entries written
+    };
+    std::array<Line, static_cast<size_t>(ArtifactKind::NumKinds)> byKind;
+    u64 corrupt = 0; //!< disk entries rejected (bad magic/version/hash)
+
+    const Line &of(ArtifactKind k) const
+    {
+        return byKind[static_cast<size_t>(k)];
+    }
+    u64 memHits() const;
+    u64 diskHits() const;
+    u64 hits() const { return memHits() + diskHits(); }
+    u64 misses() const;
+    u64 stores() const;
+};
+
+/** On-disk entry header (exposed for tools/cachectl). */
+struct CacheEntryHeader
+{
+    u32 magic = 0;
+    u32 version = 0;
+    u32 kind = 0;
+    u64 key = 0;
+    u64 payloadSize = 0;
+    u64 payloadHash = 0;
+};
+
+inline constexpr u32 kCacheMagic = 0x31414356; // "VCA1", little-endian
+inline constexpr u32 kCacheFormatVersion = 1;
+
+/** Filename of the entry for (kind, key) within the cache dir. */
+std::string cache_entry_filename(ArtifactKind kind, u64 key);
+
+/**
+ * Read a cache entry file. Returns false when the file is unreadable or
+ * its header is malformed. With @p payload non-null the payload is read
+ * and verified against the header hash (verification failure returns
+ * false with header still filled in).
+ */
+bool read_cache_entry(const std::string &path, CacheEntryHeader &header,
+                      std::vector<u8> *payload);
+
+/** The process-wide two-level cache. */
+class ArtifactCache
+{
+  public:
+    static ArtifactCache &instance();
+
+    std::shared_ptr<const GoldenArtifact> getGolden(u64 key);
+    void putGolden(u64 key, std::shared_ptr<const GoldenArtifact> artifact);
+
+    std::shared_ptr<const MachineArtifact> getMachine(u64 key);
+    void putMachine(u64 key, std::shared_ptr<const MachineArtifact> artifact);
+
+    std::optional<Cycle> getBaseline(u64 key);
+    void putBaseline(u64 key, Cycle cycles);
+
+    /** Drop the in-process level (tests; disk-level remains). */
+    void clearMemory();
+
+    ArtifactCacheStats stats() const;
+    void resetStats();
+
+    /**
+     * Override the disk directory: a path enables it there, "" disables
+     * the disk level, nullopt (default) defers to $VOLTRON_CACHE_DIR.
+     * The directory is created on first store.
+     */
+    void setDiskDir(std::optional<std::string> dir);
+    std::string diskDir() const;
+    bool diskEnabled() const { return !diskDir().empty(); }
+
+  private:
+    ArtifactCache() = default;
+
+    std::vector<u8> loadDisk(ArtifactKind kind, u64 key);
+    void storeDisk(ArtifactKind kind, u64 key, const std::vector<u8> &payload);
+
+    ArtifactCacheStats::Line &line(ArtifactKind k)
+    {
+        return stats_.byKind[static_cast<size_t>(k)];
+    }
+
+    mutable std::mutex mutex_;
+    std::map<u64, std::shared_ptr<const GoldenArtifact>> golden_;
+    std::map<u64, std::shared_ptr<const MachineArtifact>> machine_;
+    std::map<u64, Cycle> baseline_;
+    ArtifactCacheStats stats_;
+    std::optional<std::string> dirOverride_;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_CORE_ARTIFACT_CACHE_HH_

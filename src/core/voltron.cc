@@ -1,57 +1,91 @@
 #include "core/voltron.hh"
 
-#include <sstream>
-
+#include "ir/serialize.hh"
 #include "support/error.hh"
 
 namespace voltron {
 
-VoltronSystem::VoltronSystem(Program prog)
-    : prog_(std::move(prog)), golden_(run_golden(prog_))
+namespace {
+
+/** Build the golden artifact the cold way: run the interpreter. */
+std::shared_ptr<const GoldenArtifact>
+cold_golden(const Program &prog)
 {
+    GoldenRun run = run_golden(prog);
+    auto artifact = std::make_shared<GoldenArtifact>();
+    artifact->result = run.result;
+    artifact->profile = std::move(run.profile);
+    artifact->image = extract_golden_image(prog, *run.memory);
+    return artifact;
 }
 
-std::string
-VoltronSystem::cacheKey(const CompileOptions &options)
+} // namespace
+
+VoltronSystem::VoltronSystem(Program prog) : prog_(std::move(prog))
 {
-    std::ostringstream os;
-    os << strategy_name(options.strategy) << "/" << options.numCores << "/"
-       << options.minOpsPerActivation << "/" << options.minDoallTrip << "/"
-       << options.dswpThreshold << "/" << options.missStallFraction << "/"
-       << options.allowCrossCoreMemDep << "/" << options.reassociate << "/"
-       << options.partition.transferCost << "/"
-       << options.partition.missThreshold << "/"
-       << options.partition.missEdgeWeight << "/"
-       << options.partition.pinAliasClasses << "/"
-       << options.partition.memImbalancePenalty;
-    return os.str();
+    progHash_ = program_content_hash(prog_);
+    ArtifactCache &cache = ArtifactCache::instance();
+    golden_ = cache.getGolden(progHash_);
+    // A hit must describe this very data segment; anything else means a
+    // key collision or stale entry — fall back to the cold path.
+    if (golden_ && golden_->image.size() != prog_.data.size())
+        golden_ = nullptr;
+    if (!golden_) {
+        auto fresh = cold_golden(prog_);
+        cache.putGolden(progHash_, fresh);
+        golden_ = std::move(fresh);
+    }
+}
+
+std::shared_ptr<const MachineArtifact>
+VoltronSystem::acquire(const CompileOptions &options)
+{
+    const u64 key = hash_combine(progHash_, options_hash(options));
+    std::lock_guard<std::mutex> lock(compileMutex_);
+    auto it = machines_.find(key);
+    if (it == machines_.end()) {
+        ArtifactCache &cache = ArtifactCache::instance();
+        std::shared_ptr<const MachineArtifact> artifact =
+            cache.getMachine(key);
+        if (artifact && artifact->program.numCores != options.numCores)
+            artifact = nullptr; // collision/stale guard: never simulate it
+        if (!artifact) {
+            auto fresh = std::make_shared<MachineArtifact>();
+            fresh->program = compile_program(prog_, golden_->profile,
+                                             options, &fresh->selection);
+            cache.putMachine(key, fresh);
+            artifact = std::move(fresh);
+        }
+        it = machines_.emplace(key, std::move(artifact)).first;
+    }
+    return it->second;
 }
 
 const MachineProgram &
 VoltronSystem::compile(const CompileOptions &options, SelectionReport *report)
 {
-    const std::string key = cacheKey(options);
-    auto it = cache_.find(key);
-    if (it == cache_.end()) {
-        SelectionReport sel;
-        auto mp = std::make_unique<MachineProgram>(
-            compile_program(prog_, golden_.profile, options, &sel));
-        it = cache_.emplace(key, std::move(mp)).first;
-        selectionCache_[key] = std::move(sel);
-    }
+    const std::shared_ptr<const MachineArtifact> artifact =
+        acquire(options);
     if (report)
-        *report = selectionCache_[key];
-    return *it->second;
+        *report = artifact->selection;
+    return artifact->program;
+}
+
+size_t
+VoltronSystem::compiledVariants() const
+{
+    std::lock_guard<std::mutex> lock(compileMutex_);
+    return machines_.size();
 }
 
 bool
 VoltronSystem::memoryMatchesGolden(const MemoryImage &mem) const
 {
-    for (const DataObject &obj : prog_.data) {
-        std::vector<u8> golden_bytes(obj.size), run_bytes(obj.size);
-        golden_.memory->readBytes(obj.base, golden_bytes.data(), obj.size);
+    for (size_t i = 0; i < prog_.data.size(); ++i) {
+        const DataObject &obj = prog_.data[i];
+        std::vector<u8> run_bytes(obj.size);
         mem.readBytes(obj.base, run_bytes.data(), obj.size);
-        if (golden_bytes != run_bytes)
+        if (golden_->image[i] != run_bytes)
             return false;
     }
     return true;
@@ -62,13 +96,15 @@ VoltronSystem::run(const CompileOptions &options,
                    std::optional<MachineConfig> config)
 {
     RunOutcome outcome;
-    const MachineProgram &mp = compile(options, &outcome.selection);
+    const std::shared_ptr<const MachineArtifact> artifact =
+        acquire(options);
+    outcome.selection = artifact->selection;
     MachineConfig mc =
         config ? *config : MachineConfig::forCores(options.numCores);
-    Machine machine(mp, mc);
+    Machine machine(artifact->program, mc);
     outcome.result = machine.run();
     outcome.exitMatches =
-        outcome.result.exitValue == golden_.result.exitValue;
+        outcome.result.exitValue == golden_->result.exitValue;
     outcome.memoryMatches = memoryMatchesGolden(machine.memory());
     return outcome;
 }
@@ -85,11 +121,22 @@ VoltronSystem::run(Strategy s, u16 cores)
 Cycle
 VoltronSystem::baselineCycles()
 {
+    std::lock_guard<std::mutex> lock(baselineMutex_);
     if (!baseline_) {
-        RunOutcome outcome = run(Strategy::SerialOnly, 1);
-        fatal_if_not(outcome.correct(),
-                     "serial baseline diverged from the golden model");
-        baseline_ = outcome.result.cycles;
+        CompileOptions options;
+        options.strategy = Strategy::SerialOnly;
+        options.numCores = 1;
+        const u64 key = hash_combine(progHash_, options_hash(options));
+        ArtifactCache &cache = ArtifactCache::instance();
+        if (std::optional<Cycle> cached = cache.getBaseline(key)) {
+            baseline_ = *cached;
+        } else {
+            RunOutcome outcome = run(options);
+            fatal_if_not(outcome.correct(),
+                         "serial baseline diverged from the golden model");
+            baseline_ = outcome.result.cycles;
+            cache.putBaseline(key, *baseline_);
+        }
     }
     return *baseline_;
 }

@@ -1,0 +1,107 @@
+#include "interp/serialize.hh"
+
+namespace voltron {
+
+void
+serialize(ByteWriter &w, const LoopProfile &lp)
+{
+    w.u64v(lp.activations);
+    w.u64v(lp.totalIterations);
+    w.boolean(lp.crossIterDep);
+    w.u64v(lp.dynamicOps);
+}
+
+bool
+deserialize(ByteReader &r, LoopProfile &lp)
+{
+    lp.activations = r.u64v();
+    lp.totalIterations = r.u64v();
+    lp.crossIterDep = r.boolean();
+    lp.dynamicOps = r.u64v();
+    return r.ok();
+}
+
+void
+serialize(ByteWriter &w, const Profile &profile)
+{
+    const auto emit_u64 = [](ByteWriter &out, u64 v) { out.u64v(v); };
+    w.u64Map(profile.blockCount, emit_u64);
+    w.u64Map(profile.branchExec, emit_u64);
+    w.u64Map(profile.branchTaken, emit_u64);
+    w.u64Map(profile.memAccess, emit_u64);
+    w.u64Map(profile.memMiss, emit_u64);
+    w.u64Map(profile.loops, [](ByteWriter &out, const LoopProfile &lp) {
+        serialize(out, lp);
+    });
+    w.u64v(profile.dynamicOps);
+}
+
+bool
+deserialize(ByteReader &r, Profile &profile)
+{
+    const auto read_u64 = [](ByteReader &in) { return in.u64v(); };
+    r.u64Map(profile.blockCount, read_u64, 8);
+    r.u64Map(profile.branchExec, read_u64, 8);
+    r.u64Map(profile.branchTaken, read_u64, 8);
+    r.u64Map(profile.memAccess, read_u64, 8);
+    r.u64Map(profile.memMiss, read_u64, 8);
+    r.u64Map(
+        profile.loops,
+        [](ByteReader &in) {
+            LoopProfile lp;
+            deserialize(in, lp);
+            return lp;
+        },
+        25);
+    profile.dynamicOps = r.u64v();
+    return r.ok();
+}
+
+void
+serialize(ByteWriter &w, const InterpResult &result)
+{
+    w.u64v(result.exitValue);
+    w.u64v(result.dynamicOps);
+}
+
+bool
+deserialize(ByteReader &r, InterpResult &result)
+{
+    result.exitValue = r.u64v();
+    result.dynamicOps = r.u64v();
+    return r.ok();
+}
+
+GoldenImage
+extract_golden_image(const Program &prog, const MemoryImage &mem)
+{
+    GoldenImage image;
+    image.reserve(prog.data.size());
+    for (const DataObject &obj : prog.data) {
+        std::vector<u8> bytes(obj.size);
+        mem.readBytes(obj.base, bytes.data(), obj.size);
+        image.push_back(std::move(bytes));
+    }
+    return image;
+}
+
+void
+serialize(ByteWriter &w, const GoldenImage &image)
+{
+    w.u64v(image.size());
+    for (const std::vector<u8> &bytes : image)
+        w.blob(bytes);
+}
+
+bool
+deserialize(ByteReader &r, GoldenImage &image)
+{
+    const u64 n = r.count(8);
+    image.clear();
+    image.reserve(n);
+    for (u64 i = 0; i < n && r.ok(); ++i)
+        image.push_back(r.blob());
+    return r.ok();
+}
+
+} // namespace voltron

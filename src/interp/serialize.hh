@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Serialization of golden-run artifacts: the training Profile, the
+ * InterpResult, and the golden data-segment image.
+ *
+ * The golden image is stored as one byte vector per Program data object
+ * (in data-segment order) rather than as a whole MemoryImage: the only
+ * consumer is the golden-memory comparison, which reads exactly those
+ * ranges. Profile hash maps are emitted sorted by key so the encoding is
+ * deterministic (see support/serialize.hh).
+ */
+
+#ifndef VOLTRON_INTERP_SERIALIZE_HH_
+#define VOLTRON_INTERP_SERIALIZE_HH_
+
+#include <vector>
+
+#include "interp/interp.hh"
+#include "interp/profile.hh"
+#include "support/serialize.hh"
+
+namespace voltron {
+
+void serialize(ByteWriter &w, const LoopProfile &lp);
+void serialize(ByteWriter &w, const Profile &profile);
+void serialize(ByteWriter &w, const InterpResult &result);
+
+bool deserialize(ByteReader &r, LoopProfile &lp);
+bool deserialize(ByteReader &r, Profile &profile);
+bool deserialize(ByteReader &r, InterpResult &result);
+
+/** One byte vector per Program::data object, in order. */
+using GoldenImage = std::vector<std::vector<u8>>;
+
+/** Extract the data-segment contents of @p mem for @p prog's objects. */
+GoldenImage extract_golden_image(const Program &prog,
+                                 const MemoryImage &mem);
+
+void serialize(ByteWriter &w, const GoldenImage &image);
+bool deserialize(ByteReader &r, GoldenImage &image);
+
+} // namespace voltron
+
+#endif // VOLTRON_INTERP_SERIALIZE_HH_

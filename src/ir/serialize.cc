@@ -1,0 +1,217 @@
+#include "ir/serialize.hh"
+
+namespace voltron {
+
+namespace {
+
+void
+put_reg(ByteWriter &w, const RegId &reg)
+{
+    w.u8v(static_cast<u8>(reg.cls));
+    w.u16v(reg.idx);
+}
+
+RegId
+get_reg(ByteReader &r)
+{
+    RegId reg;
+    reg.cls = static_cast<RegClass>(r.u8v());
+    reg.idx = r.u16v();
+    return reg;
+}
+
+} // namespace
+
+void
+serialize(ByteWriter &w, const Operation &op)
+{
+    w.u8v(static_cast<u8>(op.op));
+    put_reg(w, op.dst);
+    put_reg(w, op.src0);
+    put_reg(w, op.src1);
+    w.i64v(op.imm);
+    w.u8v(static_cast<u8>(op.cond));
+    w.u8v(op.memSize);
+    w.boolean(op.memSigned);
+    w.boolean(op.immSrc1);
+    w.u8v(static_cast<u8>(op.dir));
+    w.u8v(static_cast<u8>(op.commTag));
+    w.u32v(op.memSym);
+    w.u32v(op.seqId);
+}
+
+bool
+deserialize(ByteReader &r, Operation &op)
+{
+    op.op = static_cast<Opcode>(r.u8v());
+    op.dst = get_reg(r);
+    op.src0 = get_reg(r);
+    op.src1 = get_reg(r);
+    op.imm = r.i64v();
+    op.cond = static_cast<CmpCond>(r.u8v());
+    op.memSize = r.u8v();
+    op.memSigned = r.boolean();
+    op.immSrc1 = r.boolean();
+    op.dir = static_cast<Dir>(r.u8v());
+    op.commTag = static_cast<Operation::CommTag>(r.u8v());
+    op.memSym = r.u32v();
+    op.seqId = r.u32v();
+    return r.ok();
+}
+
+void
+serialize(ByteWriter &w, const BasicBlock &bb)
+{
+    w.u32v(bb.id);
+    w.str(bb.name);
+    w.u32v(bb.fallthrough);
+    w.u32v(bb.region);
+    w.u32v(bb.schedLen);
+    w.u64v(bb.ops.size());
+    for (const Operation &op : bb.ops)
+        serialize(w, op);
+    w.u64v(bb.issueCycles.size());
+    for (u32 cycle : bb.issueCycles)
+        w.u32v(cycle);
+}
+
+bool
+deserialize(ByteReader &r, BasicBlock &bb)
+{
+    bb.id = r.u32v();
+    bb.name = r.str();
+    bb.fallthrough = r.u32v();
+    bb.region = r.u32v();
+    bb.schedLen = r.u32v();
+    const u64 num_ops = r.count(/*min op size*/ 30);
+    bb.ops.clear();
+    bb.ops.reserve(num_ops);
+    for (u64 i = 0; i < num_ops && r.ok(); ++i) {
+        Operation op;
+        deserialize(r, op);
+        bb.ops.push_back(op);
+    }
+    const u64 num_cycles = r.count(4);
+    bb.issueCycles.clear();
+    bb.issueCycles.reserve(num_cycles);
+    for (u64 i = 0; i < num_cycles && r.ok(); ++i)
+        bb.issueCycles.push_back(r.u32v());
+    return r.ok();
+}
+
+void
+serialize(ByteWriter &w, const Function &fn)
+{
+    w.u32v(fn.id);
+    w.str(fn.name);
+    w.u16v(fn.numArgs);
+    w.boolean(fn.returnsValue);
+    w.u16v(fn.nextGpr);
+    w.u16v(fn.nextFpr);
+    w.u16v(fn.nextPr);
+    w.u16v(fn.nextBtr);
+    w.u64v(fn.blocks.size());
+    for (const BasicBlock &bb : fn.blocks)
+        serialize(w, bb);
+}
+
+bool
+deserialize(ByteReader &r, Function &fn)
+{
+    fn.id = r.u32v();
+    fn.name = r.str();
+    fn.numArgs = r.u16v();
+    fn.returnsValue = r.boolean();
+    fn.nextGpr = r.u16v();
+    fn.nextFpr = r.u16v();
+    fn.nextPr = r.u16v();
+    fn.nextBtr = r.u16v();
+    const u64 num_blocks = r.count(/*min block size*/ 32);
+    fn.blocks.clear();
+    fn.blocks.reserve(num_blocks);
+    for (u64 i = 0; i < num_blocks && r.ok(); ++i) {
+        BasicBlock bb;
+        deserialize(r, bb);
+        fn.blocks.push_back(std::move(bb));
+    }
+    return r.ok();
+}
+
+void
+serialize(ByteWriter &w, const DataObject &obj)
+{
+    w.str(obj.name);
+    w.u64v(obj.base);
+    w.u64v(obj.size);
+    w.u32v(obj.symbol);
+    w.blob(obj.init);
+}
+
+bool
+deserialize(ByteReader &r, DataObject &obj)
+{
+    obj.name = r.str();
+    obj.base = r.u64v();
+    obj.size = r.u64v();
+    obj.symbol = r.u32v();
+    obj.init = r.blob();
+    return r.ok();
+}
+
+void
+serialize(ByteWriter &w, const Program &prog)
+{
+    w.str(prog.name);
+    w.u64v(prog.functions.size());
+    for (const Function &fn : prog.functions)
+        serialize(w, fn);
+    w.u64v(prog.data.size());
+    for (const DataObject &obj : prog.data)
+        serialize(w, obj);
+    // funcByName is a sorted map already — emit verbatim.
+    w.u64v(prog.funcByName.size());
+    for (const auto &[name, id] : prog.funcByName) {
+        w.str(name);
+        w.u32v(id);
+    }
+}
+
+bool
+deserialize(ByteReader &r, Program &prog)
+{
+    prog.name = r.str();
+    const u64 num_funcs = r.count(/*min function size*/ 32);
+    prog.functions.clear();
+    prog.functions.reserve(num_funcs);
+    for (u64 i = 0; i < num_funcs && r.ok(); ++i) {
+        Function fn;
+        deserialize(r, fn);
+        prog.functions.push_back(std::move(fn));
+    }
+    const u64 num_objs = r.count(/*min object size*/ 36);
+    prog.data.clear();
+    prog.data.reserve(num_objs);
+    for (u64 i = 0; i < num_objs && r.ok(); ++i) {
+        DataObject obj;
+        deserialize(r, obj);
+        prog.data.push_back(std::move(obj));
+    }
+    const u64 num_names = r.count(12);
+    prog.funcByName.clear();
+    for (u64 i = 0; i < num_names && r.ok(); ++i) {
+        std::string name = r.str();
+        const FuncId id = r.u32v();
+        prog.funcByName[std::move(name)] = id;
+    }
+    return r.ok();
+}
+
+u64
+program_content_hash(const Program &prog)
+{
+    ByteWriter w;
+    serialize(w, prog);
+    return fnv1a(w.bytes());
+}
+
+} // namespace voltron

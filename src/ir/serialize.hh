@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Canonical byte serialization of the Voltron IR.
+ *
+ * Every field that influences interpretation, compilation, or simulation
+ * is encoded, so the FNV-1a hash of a Program's serialized bytes is a
+ * usable content key for the artifact cache: two programs with the same
+ * hash compile and run identically. Deserialization is bounds-checked via
+ * ByteReader; on corrupt input it returns false and leaves the output in
+ * an unspecified (but destructible) state.
+ */
+
+#ifndef VOLTRON_IR_SERIALIZE_HH_
+#define VOLTRON_IR_SERIALIZE_HH_
+
+#include "ir/function.hh"
+#include "support/serialize.hh"
+
+namespace voltron {
+
+void serialize(ByteWriter &w, const Operation &op);
+void serialize(ByteWriter &w, const BasicBlock &bb);
+void serialize(ByteWriter &w, const Function &fn);
+void serialize(ByteWriter &w, const DataObject &obj);
+void serialize(ByteWriter &w, const Program &prog);
+
+bool deserialize(ByteReader &r, Operation &op);
+bool deserialize(ByteReader &r, BasicBlock &bb);
+bool deserialize(ByteReader &r, Function &fn);
+bool deserialize(ByteReader &r, DataObject &obj);
+bool deserialize(ByteReader &r, Program &prog);
+
+/** FNV-1a hash of @p prog's canonical serialization. */
+u64 program_content_hash(const Program &prog);
+
+} // namespace voltron
+
+#endif // VOLTRON_IR_SERIALIZE_HH_

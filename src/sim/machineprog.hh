@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ir/function.hh"
+#include "support/serialize.hh"
 #include "support/types.hh"
 
 namespace voltron {
@@ -79,6 +80,16 @@ struct MachineProgram
         return regions.at(id);
     }
 };
+
+/**
+ * Canonical round-trip serialization (artifact cache). Everything the
+ * simulator reads is encoded; deserialization is bounds-checked and
+ * returns false on corrupt input instead of throwing.
+ */
+void serialize(ByteWriter &w, const RegionMeta &meta);
+void serialize(ByteWriter &w, const MachineProgram &mp);
+bool deserialize(ByteReader &r, RegionMeta &meta);
+bool deserialize(ByteReader &r, MachineProgram &mp);
 
 } // namespace voltron
 

@@ -1,0 +1,71 @@
+/** @file Round-trip serialization of compiled machine programs. */
+
+#include "ir/serialize.hh"
+#include "sim/machineprog.hh"
+
+namespace voltron {
+
+void
+serialize(ByteWriter &w, const RegionMeta &meta)
+{
+    w.u32v(meta.id);
+    w.u32v(meta.func);
+    w.u32v(meta.entry);
+    w.u8v(static_cast<u8>(meta.kind));
+    w.u8v(static_cast<u8>(meta.mode));
+    w.u64v(meta.profiledOps);
+}
+
+bool
+deserialize(ByteReader &r, RegionMeta &meta)
+{
+    meta.id = r.u32v();
+    meta.func = r.u32v();
+    meta.entry = r.u32v();
+    meta.kind = static_cast<RegionKind>(r.u8v());
+    meta.mode = static_cast<ExecMode>(r.u8v());
+    meta.profiledOps = r.u64v();
+    return r.ok();
+}
+
+void
+serialize(ByteWriter &w, const MachineProgram &mp)
+{
+    w.str(mp.name);
+    w.u16v(mp.numCores);
+    serialize(w, mp.original);
+    w.u64v(mp.perCore.size());
+    for (const Program &core : mp.perCore)
+        serialize(w, core);
+    w.u64v(mp.regions.size());
+    for (const RegionMeta &meta : mp.regions)
+        serialize(w, meta);
+}
+
+bool
+deserialize(ByteReader &r, MachineProgram &mp)
+{
+    mp.name = r.str();
+    mp.numCores = r.u16v();
+    if (!deserialize(r, mp.original))
+        return false;
+    const u64 num_cores = r.count(/*min program size*/ 24);
+    mp.perCore.clear();
+    mp.perCore.reserve(num_cores);
+    for (u64 i = 0; i < num_cores && r.ok(); ++i) {
+        Program core;
+        deserialize(r, core);
+        mp.perCore.push_back(std::move(core));
+    }
+    const u64 num_regions = r.count(/*region size*/ 22);
+    mp.regions.clear();
+    mp.regions.reserve(num_regions);
+    for (u64 i = 0; i < num_regions && r.ok(); ++i) {
+        RegionMeta meta;
+        deserialize(r, meta);
+        mp.regions.push_back(meta);
+    }
+    return r.ok();
+}
+
+} // namespace voltron

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Stable byte encoding and content hashing for cacheable artifacts.
+ *
+ * ByteWriter/ByteReader implement a deliberately boring format: fixed-width
+ * little-endian integers, length-prefixed strings and vectors, doubles as
+ * raw IEEE-754 bit patterns. The encoding is the canonical form both for
+ * the on-disk artifact cache payloads and for content hashing (a cache key
+ * is the FNV-1a 64-bit hash of an object's serialized bytes), so it must
+ * stay platform-independent and deterministic: hash-map contents are
+ * emitted sorted by key.
+ *
+ * ByteReader never throws on malformed input — it sticks at the end of the
+ * buffer and latches ok() == false, so deserializers can run to completion
+ * on corrupt payloads and the caller treats the result as a cache miss.
+ */
+
+#ifndef VOLTRON_SUPPORT_SERIALIZE_HH_
+#define VOLTRON_SUPPORT_SERIALIZE_HH_
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace voltron {
+
+/** FNV-1a 64-bit, the cache's content hash. */
+inline constexpr u64 kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr u64 kFnvPrime = 0x00000100000001b3ULL;
+
+inline u64
+fnv1a(const u8 *data, size_t len, u64 seed = kFnvOffset)
+{
+    u64 h = seed;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+inline u64
+fnv1a(const std::vector<u8> &bytes, u64 seed = kFnvOffset)
+{
+    return fnv1a(bytes.data(), bytes.size(), seed);
+}
+
+/** Mix a second hash into a first (order-sensitive). */
+inline u64
+hash_combine(u64 a, u64 b)
+{
+    u8 raw[8];
+    std::memcpy(raw, &b, 8);
+    return fnv1a(raw, 8, a);
+}
+
+/** Append-only little-endian byte sink. */
+class ByteWriter
+{
+  public:
+    const std::vector<u8> &bytes() const { return buf_; }
+    std::vector<u8> take() { return std::move(buf_); }
+    size_t size() const { return buf_.size(); }
+
+    void
+    raw(const void *data, size_t len)
+    {
+        const u8 *p = static_cast<const u8 *>(data);
+        buf_.insert(buf_.end(), p, p + len);
+    }
+
+    void u8v(u8 v) { buf_.push_back(v); }
+    void boolean(bool v) { u8v(v ? 1 : 0); }
+
+    void
+    u16v(u16 v)
+    {
+        for (int i = 0; i < 2; ++i)
+            buf_.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void
+    u32v(u32 v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void
+    u64v(u64 v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(static_cast<u8>(v >> (8 * i)));
+    }
+
+    void i64v(i64 v) { u64v(static_cast<u64>(v)); }
+
+    void
+    f64v(double v)
+    {
+        u64 bits;
+        std::memcpy(&bits, &v, 8);
+        u64v(bits);
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64v(s.size());
+        raw(s.data(), s.size());
+    }
+
+    void
+    blob(const std::vector<u8> &bytes)
+    {
+        u64v(bytes.size());
+        raw(bytes.data(), bytes.size());
+    }
+
+    /** Emit a (u64 -> V) hash map sorted by key via @p emit_value. */
+    template <typename V, typename EmitValue>
+    void
+    u64Map(const std::unordered_map<u64, V> &map, EmitValue emit_value)
+    {
+        std::vector<u64> keys;
+        keys.reserve(map.size());
+        for (const auto &[k, v] : map)
+            keys.push_back(k);
+        std::sort(keys.begin(), keys.end());
+        u64v(keys.size());
+        for (u64 k : keys) {
+            u64v(k);
+            emit_value(*this, map.at(k));
+        }
+    }
+
+  private:
+    std::vector<u8> buf_;
+};
+
+/** Bounds-checked little-endian byte source. */
+class ByteReader
+{
+  public:
+    ByteReader(const u8 *data, size_t len) : data_(data), len_(len) {}
+    explicit ByteReader(const std::vector<u8> &bytes)
+        : ByteReader(bytes.data(), bytes.size())
+    {
+    }
+
+    bool ok() const { return ok_; }
+    size_t remaining() const { return len_ - pos_; }
+    bool atEnd() const { return pos_ == len_; }
+
+    bool
+    raw(void *out, size_t len)
+    {
+        if (!ok_ || len > remaining()) {
+            ok_ = false;
+            std::memset(out, 0, len);
+            return false;
+        }
+        std::memcpy(out, data_ + pos_, len);
+        pos_ += len;
+        return true;
+    }
+
+    u8
+    u8v()
+    {
+        u8 v = 0;
+        raw(&v, 1);
+        return v;
+    }
+
+    bool boolean() { return u8v() != 0; }
+
+    u16
+    u16v()
+    {
+        u8 b[2] = {};
+        raw(b, 2);
+        return static_cast<u16>(b[0] | (b[1] << 8));
+    }
+
+    u32
+    u32v()
+    {
+        u8 b[4] = {};
+        raw(b, 4);
+        u32 v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) | b[i];
+        return v;
+    }
+
+    u64
+    u64v()
+    {
+        u8 b[8] = {};
+        raw(b, 8);
+        u64 v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | b[i];
+        return v;
+    }
+
+    i64 i64v() { return static_cast<i64>(u64v()); }
+
+    double
+    f64v()
+    {
+        const u64 bits = u64v();
+        double v;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    /**
+     * Read an element count previously written by a length prefix. Caps
+     * the answer so a corrupt length cannot drive a giant allocation:
+     * each element occupies at least @p min_elem_bytes in the stream.
+     */
+    u64
+    count(u64 min_elem_bytes = 1)
+    {
+        const u64 n = u64v();
+        if (!ok_)
+            return 0;
+        if (min_elem_bytes == 0)
+            min_elem_bytes = 1;
+        if (n > remaining() / min_elem_bytes) {
+            ok_ = false;
+            return 0;
+        }
+        return n;
+    }
+
+    std::string
+    str()
+    {
+        const u64 n = count(1);
+        std::string s(n, '\0');
+        if (n)
+            raw(s.data(), n);
+        return ok_ ? s : std::string();
+    }
+
+    std::vector<u8>
+    blob()
+    {
+        const u64 n = count(1);
+        std::vector<u8> bytes(n);
+        if (n)
+            raw(bytes.data(), n);
+        if (!ok_)
+            bytes.clear();
+        return bytes;
+    }
+
+    /** Read a (u64 -> V) map written by ByteWriter::u64Map. */
+    template <typename V, typename ReadValue>
+    void
+    u64Map(std::unordered_map<u64, V> &map, ReadValue read_value,
+           u64 min_value_bytes = 1)
+    {
+        const u64 n = count(8 + min_value_bytes);
+        map.reserve(n);
+        for (u64 i = 0; i < n && ok_; ++i) {
+            const u64 k = u64v();
+            map[k] = read_value(*this);
+        }
+    }
+
+  private:
+    const u8 *data_;
+    size_t len_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SUPPORT_SERIALIZE_HH_

@@ -1,0 +1,453 @@
+/**
+ * @file
+ * Serialization round-trips and artifact-cache behaviour: Profile /
+ * MachineProgram / golden-image encodings, corruption fallback, the
+ * missPenalty cache-key regression, and warm-vs-cold determinism.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "core/voltron.hh"
+#include "interp/serialize.hh"
+#include "ir/serialize.hh"
+#include "workloads/suite.hh"
+
+namespace voltron {
+namespace {
+
+SuiteScale
+small_scale()
+{
+    SuiteScale scale;
+    scale.targetOps = 20'000;
+    return scale;
+}
+
+Program
+test_program()
+{
+    return build_benchmark("epic", small_scale());
+}
+
+/** RAII: point the cache at a fresh temp dir, restore on destruction. */
+class ScopedCacheDir
+{
+  public:
+    explicit ScopedCacheDir(const std::string &tag)
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("voltron-test-" + tag + "-" + std::to_string(::getpid()));
+        std::filesystem::remove_all(dir_);
+        ArtifactCache::instance().setDiskDir(dir_.string());
+        ArtifactCache::instance().clearMemory();
+        ArtifactCache::instance().resetStats();
+    }
+
+    ~ScopedCacheDir()
+    {
+        ArtifactCache::instance().setDiskDir(std::nullopt);
+        ArtifactCache::instance().clearMemory();
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    const std::filesystem::path &path() const { return dir_; }
+
+  private:
+    std::filesystem::path dir_;
+};
+
+/** Disable both cache levels for the scope (cold-path reference). */
+class ScopedNoCache
+{
+  public:
+    ScopedNoCache()
+    {
+        ArtifactCache::instance().setDiskDir(std::string());
+        ArtifactCache::instance().clearMemory();
+    }
+    ~ScopedNoCache()
+    {
+        ArtifactCache::instance().setDiskDir(std::nullopt);
+        ArtifactCache::instance().clearMemory();
+    }
+};
+
+TEST(ByteCodec, PrimitivesRoundTrip)
+{
+    ByteWriter w;
+    w.u8v(0xab);
+    w.u16v(0x1234);
+    w.u32v(0xdeadbeef);
+    w.u64v(0x0123456789abcdefULL);
+    w.i64v(-42);
+    w.f64v(3.5);
+    w.boolean(true);
+    w.str("hello");
+    w.blob({1, 2, 3});
+
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.u8v(), 0xab);
+    EXPECT_EQ(r.u16v(), 0x1234);
+    EXPECT_EQ(r.u32v(), 0xdeadbeefu);
+    EXPECT_EQ(r.u64v(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.i64v(), -42);
+    EXPECT_EQ(r.f64v(), 3.5);
+    EXPECT_TRUE(r.boolean());
+    EXPECT_EQ(r.str(), "hello");
+    EXPECT_EQ(r.blob(), (std::vector<u8>{1, 2, 3}));
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(ByteCodec, ReaderSticksOnTruncation)
+{
+    ByteWriter w;
+    w.u64v(7);
+    std::vector<u8> bytes = w.bytes();
+    bytes.resize(4);
+    ByteReader r(bytes);
+    (void)r.u64v();
+    EXPECT_FALSE(r.ok());
+    // Every later read stays failed and returns zeroes.
+    EXPECT_EQ(r.u32v(), 0u);
+    EXPECT_EQ(r.str(), "");
+}
+
+TEST(ByteCodec, CorruptLengthDoesNotAllocate)
+{
+    ByteWriter w;
+    w.u64v(~0ULL); // absurd element count
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.count(8), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, ProgramRoundTripsAndHashIsStable)
+{
+    const Program prog = test_program();
+    ByteWriter w;
+    serialize(w, prog);
+
+    Program back;
+    ByteReader r(w.bytes());
+    ASSERT_TRUE(deserialize(r, back));
+    EXPECT_TRUE(r.atEnd());
+
+    // Canonical: re-serialization is byte-identical, hashes agree.
+    ByteWriter w2;
+    serialize(w2, back);
+    EXPECT_EQ(w.bytes(), w2.bytes());
+    EXPECT_EQ(program_content_hash(prog), program_content_hash(back));
+
+    // Distinct programs get distinct hashes.
+    const Program other = build_benchmark("epic", SuiteScale{});
+    EXPECT_NE(program_content_hash(prog), program_content_hash(other));
+}
+
+TEST(Serialize, ProfileRoundTrips)
+{
+    const Program prog = test_program();
+    GoldenRun golden = run_golden(prog);
+
+    ByteWriter w;
+    serialize(w, golden.profile);
+    Profile back;
+    ByteReader r(w.bytes());
+    ASSERT_TRUE(deserialize(r, back));
+    EXPECT_TRUE(r.atEnd());
+
+    EXPECT_EQ(golden.profile.blockCount, back.blockCount);
+    EXPECT_EQ(golden.profile.branchExec, back.branchExec);
+    EXPECT_EQ(golden.profile.branchTaken, back.branchTaken);
+    EXPECT_EQ(golden.profile.memAccess, back.memAccess);
+    EXPECT_EQ(golden.profile.memMiss, back.memMiss);
+    EXPECT_EQ(golden.profile.dynamicOps, back.dynamicOps);
+    ASSERT_EQ(golden.profile.loops.size(), back.loops.size());
+    for (const auto &[key, lp] : golden.profile.loops) {
+        const auto it = back.loops.find(key);
+        ASSERT_NE(it, back.loops.end());
+        EXPECT_EQ(lp.activations, it->second.activations);
+        EXPECT_EQ(lp.totalIterations, it->second.totalIterations);
+        EXPECT_EQ(lp.crossIterDep, it->second.crossIterDep);
+        EXPECT_EQ(lp.dynamicOps, it->second.dynamicOps);
+    }
+}
+
+TEST(Serialize, GoldenImageRoundTrips)
+{
+    const Program prog = test_program();
+    GoldenRun golden = run_golden(prog);
+    const GoldenImage image = extract_golden_image(prog, *golden.memory);
+    ASSERT_EQ(image.size(), prog.data.size());
+
+    ByteWriter w;
+    serialize(w, image);
+    GoldenImage back;
+    ByteReader r(w.bytes());
+    ASSERT_TRUE(deserialize(r, back));
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(image, back);
+}
+
+TEST(Serialize, MachineProgramRoundTripsAndSimulatesIdentically)
+{
+    ScopedNoCache guard;
+    VoltronSystem sys(test_program());
+    CompileOptions opts;
+    opts.strategy = Strategy::TlpOnly;
+    opts.numCores = 4;
+    const MachineProgram &mp = sys.compile(opts);
+
+    ByteWriter w;
+    serialize(w, mp);
+    MachineProgram back;
+    ByteReader r(w.bytes());
+    ASSERT_TRUE(deserialize(r, back));
+    EXPECT_TRUE(r.atEnd());
+
+    ByteWriter w2;
+    serialize(w2, back);
+    EXPECT_EQ(w.bytes(), w2.bytes());
+
+    Machine a(mp, MachineConfig::forCores(4));
+    Machine b(back, MachineConfig::forCores(4));
+    const MachineResult ra = a.run(), rb = b.run();
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.exitValue, rb.exitValue);
+    EXPECT_EQ(ra.dynamicOps, rb.dynamicOps);
+    EXPECT_EQ(ra.stalls, rb.stalls);
+    EXPECT_EQ(ra.issued, rb.issued);
+    EXPECT_EQ(ra.regionCycles, rb.regionCycles);
+}
+
+TEST(Serialize, CorruptOperationStreamFailsCleanly)
+{
+    const Program prog = test_program();
+    ByteWriter w;
+    serialize(w, prog);
+    std::vector<u8> bytes = w.bytes();
+    bytes.resize(bytes.size() / 2); // truncate mid-stream
+    Program back;
+    ByteReader r(bytes);
+    EXPECT_FALSE(deserialize(r, back));
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(OptionsHash, MissPenaltyChangesTheKey)
+{
+    // Regression: the old string cacheKey dropped missPenalty, aliasing
+    // two different option sets to one compiled artifact.
+    CompileOptions a, b;
+    a.missPenalty = 30;
+    b.missPenalty = 60;
+    EXPECT_NE(options_hash(a), options_hash(b));
+
+    // Every other field still participates.
+    CompileOptions c = a;
+    c.partition.missEdgeWeight += 1;
+    EXPECT_NE(options_hash(a), options_hash(c));
+}
+
+TEST(OptionsHash, MissPenaltyGetsDistinctCacheEntries)
+{
+    ScopedNoCache guard;
+    VoltronSystem sys(test_program());
+    CompileOptions a;
+    a.strategy = Strategy::TlpOnly;
+    a.numCores = 4;
+    CompileOptions b = a;
+    b.missPenalty = a.missPenalty * 4;
+
+    SelectionReport ra, rb;
+    const MachineProgram &ma = sys.compile(a, &ra);
+    const MachineProgram &mb = sys.compile(b, &rb);
+    EXPECT_EQ(sys.compiledVariants(), 2u);
+    // Distinct entries: the two references must not alias.
+    EXPECT_NE(&ma, &mb);
+    ASSERT_EQ(ra.entries.size(), rb.entries.size());
+}
+
+TEST(ArtifactCache, DiskRoundTripAndStats)
+{
+    ScopedCacheDir cache("disk-roundtrip");
+    const Program prog = test_program();
+    const u64 prog_hash = program_content_hash(prog);
+
+    {
+        VoltronSystem sys(test_program());
+        sys.run(Strategy::TlpOnly, 2);
+        sys.baselineCycles();
+        EXPECT_EQ(sys.programHash(), prog_hash);
+    }
+    const ArtifactCacheStats cold = ArtifactCache::instance().stats();
+    EXPECT_GE(cold.stores(), 3u); // golden + >=1 machine + baseline
+    EXPECT_EQ(cold.diskHits(), 0u);
+
+    // Same program again, in-process level dropped: everything must be
+    // served from disk, nothing recomputed.
+    ArtifactCache::instance().clearMemory();
+    ArtifactCache::instance().resetStats();
+    {
+        VoltronSystem sys(test_program());
+        sys.run(Strategy::TlpOnly, 2);
+        sys.baselineCycles();
+    }
+    const ArtifactCacheStats warm = ArtifactCache::instance().stats();
+    EXPECT_EQ(warm.misses(), 0u);
+    EXPECT_GE(warm.diskHits(), 3u);
+
+    // The entries verify via the tool-facing reader.
+    size_t entries = 0;
+    for (const auto &de :
+         std::filesystem::directory_iterator(cache.path())) {
+        CacheEntryHeader header;
+        std::vector<u8> payload;
+        EXPECT_TRUE(read_cache_entry(de.path().string(), header, &payload))
+            << de.path();
+        ++entries;
+    }
+    EXPECT_GE(entries, 3u);
+}
+
+TEST(ArtifactCache, CorruptedEntryFallsBackToColdCompile)
+{
+    ScopedCacheDir cache("corrupt");
+    Cycle cold_cycles = 0;
+    {
+        VoltronSystem sys(test_program());
+        cold_cycles = sys.run(Strategy::IlpOnly, 2).result.cycles;
+    }
+    // Flip a byte in the middle of every payload on disk.
+    for (const auto &de :
+         std::filesystem::directory_iterator(cache.path())) {
+        std::fstream f(de.path(),
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekg(0, std::ios::end);
+        const auto size = static_cast<long>(f.tellg());
+        ASSERT_GT(size, 40);
+        f.seekp(size / 2 + 18, std::ios::beg);
+        char byte = 0;
+        f.seekg(f.tellp());
+        f.read(&byte, 1);
+        byte = static_cast<char>(byte ^ 0x5a);
+        f.seekp(size / 2 + 18, std::ios::beg);
+        f.write(&byte, 1);
+    }
+    ArtifactCache::instance().clearMemory();
+    ArtifactCache::instance().resetStats();
+    {
+        VoltronSystem sys(test_program());
+        RunOutcome outcome = sys.run(Strategy::IlpOnly, 2);
+        // Never a crash or a wrong figure: the cold path reproduces the
+        // exact result.
+        EXPECT_TRUE(outcome.correct());
+        EXPECT_EQ(outcome.result.cycles, cold_cycles);
+    }
+    const ArtifactCacheStats stats = ArtifactCache::instance().stats();
+    EXPECT_GT(stats.corrupt, 0u);
+    EXPECT_EQ(stats.diskHits(), 0u);
+    EXPECT_GT(stats.misses(), 0u);
+}
+
+TEST(ArtifactCache, VersionMismatchIsAMiss)
+{
+    ScopedCacheDir cache("version");
+    {
+        VoltronSystem sys(test_program());
+        sys.compile(CompileOptions{});
+    }
+    // Bump the version field (offset 4) in every entry.
+    for (const auto &de :
+         std::filesystem::directory_iterator(cache.path())) {
+        std::fstream f(de.path(),
+                       std::ios::in | std::ios::out | std::ios::binary);
+        u32 version = kCacheFormatVersion + 1;
+        f.seekp(4, std::ios::beg);
+        f.write(reinterpret_cast<const char *>(&version), 4);
+    }
+    ArtifactCache::instance().clearMemory();
+    ArtifactCache::instance().resetStats();
+    {
+        VoltronSystem sys(test_program());
+        sys.compile(CompileOptions{});
+    }
+    const ArtifactCacheStats stats = ArtifactCache::instance().stats();
+    EXPECT_EQ(stats.diskHits(), 0u);
+    EXPECT_GT(stats.misses(), 0u);
+}
+
+/** Field-by-field MachineResult equality (bit-identical warm runs). */
+void
+expect_identical(const MachineResult &a, const MachineResult &b)
+{
+    EXPECT_EQ(a.exitValue, b.exitValue);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dynamicOps, b.dynamicOps);
+    EXPECT_EQ(a.stalls, b.stalls);
+    EXPECT_EQ(a.issued, b.issued);
+    EXPECT_EQ(a.idleCycles, b.idleCycles);
+    EXPECT_EQ(a.regionCycles, b.regionCycles);
+    EXPECT_EQ(a.coupledCycles, b.coupledCycles);
+    EXPECT_EQ(a.decoupledCycles, b.decoupledCycles);
+}
+
+TEST(ArtifactCache, WarmRunIsBitIdenticalToCold)
+{
+    // Cold reference: cache fully disabled.
+    RunOutcome cold_ilp, cold_tlp;
+    Cycle cold_baseline = 0;
+    {
+        ScopedNoCache guard;
+        VoltronSystem sys(test_program());
+        cold_ilp = sys.run(Strategy::IlpOnly, 4);
+        cold_tlp = sys.run(Strategy::TlpOnly, 4);
+        cold_baseline = sys.baselineCycles();
+    }
+
+    ScopedCacheDir cache("determinism");
+    {
+        // Populate the disk level.
+        VoltronSystem sys(test_program());
+        sys.run(Strategy::IlpOnly, 4);
+        sys.run(Strategy::TlpOnly, 4);
+        sys.baselineCycles();
+    }
+    ArtifactCache::instance().clearMemory();
+    ArtifactCache::instance().resetStats();
+    {
+        // Warm run: every front-end artifact comes from disk.
+        VoltronSystem sys(test_program());
+        RunOutcome warm_ilp = sys.run(Strategy::IlpOnly, 4);
+        RunOutcome warm_tlp = sys.run(Strategy::TlpOnly, 4);
+        const Cycle warm_baseline = sys.baselineCycles();
+
+        EXPECT_GT(ArtifactCache::instance().stats().diskHits(), 0u);
+        EXPECT_EQ(ArtifactCache::instance().stats().misses(), 0u);
+
+        EXPECT_EQ(warm_ilp.exitMatches, cold_ilp.exitMatches);
+        EXPECT_EQ(warm_ilp.memoryMatches, cold_ilp.memoryMatches);
+        expect_identical(warm_ilp.result, cold_ilp.result);
+        expect_identical(warm_tlp.result, cold_tlp.result);
+        EXPECT_EQ(warm_baseline, cold_baseline);
+
+        ASSERT_EQ(warm_ilp.selection.entries.size(),
+                  cold_ilp.selection.entries.size());
+        for (size_t i = 0; i < warm_ilp.selection.entries.size(); ++i) {
+            const auto &w = warm_ilp.selection.entries[i];
+            const auto &c = cold_ilp.selection.entries[i];
+            EXPECT_EQ(w.region, c.region);
+            EXPECT_EQ(w.mode, c.mode);
+            EXPECT_EQ(w.profiledOps, c.profiledOps);
+        }
+    }
+}
+
+} // namespace
+} // namespace voltron

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Inspector for the persistent artifact cache ($VOLTRON_CACHE_DIR).
+ *
+ *   cachectl list   [--dir DIR]            one line per entry
+ *   cachectl verify [--dir DIR]            re-hash every payload; exit 1
+ *                                          on any corrupt entry
+ *   cachectl stats  [--dir DIR]            per-kind entry counts + bytes
+ *   cachectl evict  [--dir DIR] [PREFIX]   remove entries (all, or those
+ *                                          whose hex key starts PREFIX)
+ *
+ * Corrupt entries are reported, never fatal: the runtime cache treats
+ * them as misses, and `evict` is the cleanup. Process-level hit/miss
+ * counters come from the runtime itself — run any harness with
+ * VOLTRON_CACHE_STATS=1 to print them at exit.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/artifact_cache.hh"
+
+using namespace voltron;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Entry
+{
+    fs::path path;
+    CacheEntryHeader header;
+    bool headerOk = false;
+    u64 fileBytes = 0;
+};
+
+std::vector<Entry>
+scan(const std::string &dir)
+{
+    std::vector<Entry> entries;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file() || de.path().extension() != ".vcache")
+            continue;
+        Entry e;
+        e.path = de.path();
+        e.fileBytes = de.file_size(ec);
+        e.headerOk =
+            read_cache_entry(e.path.string(), e.header, nullptr);
+        entries.push_back(std::move(e));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) { return a.path < b.path; });
+    return entries;
+}
+
+const char *
+kind_of(const Entry &e)
+{
+    return e.headerOk
+               ? artifact_kind_name(static_cast<ArtifactKind>(e.header.kind))
+               : "corrupt";
+}
+
+std::string
+hex_key(const Entry &e)
+{
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << e.header.key;
+    return os.str();
+}
+
+int
+cmd_list(const std::string &dir)
+{
+    for (const Entry &e : scan(dir)) {
+        std::cout << std::left << std::setw(10) << kind_of(e) << std::right
+                  << std::setw(18) << (e.headerOk ? hex_key(e) : "-")
+                  << std::setw(12) << e.fileBytes << "  "
+                  << e.path.filename().string() << "\n";
+    }
+    return 0;
+}
+
+int
+cmd_verify(const std::string &dir)
+{
+    size_t ok = 0, bad = 0;
+    for (const Entry &e : scan(dir)) {
+        CacheEntryHeader header;
+        std::vector<u8> payload;
+        if (read_cache_entry(e.path.string(), header, &payload)) {
+            ++ok;
+        } else {
+            ++bad;
+            std::cout << "CORRUPT " << e.path.filename().string() << "\n";
+        }
+    }
+    std::cout << "verified " << ok << " ok, " << bad << " corrupt\n";
+    return bad ? 1 : 0;
+}
+
+int
+cmd_stats(const std::string &dir)
+{
+    struct Agg
+    {
+        u64 count = 0, bytes = 0;
+    };
+    std::array<Agg, static_cast<size_t>(ArtifactKind::NumKinds)> by_kind;
+    Agg corrupt;
+    for (const Entry &e : scan(dir)) {
+        if (e.headerOk) {
+            Agg &a = by_kind[e.header.kind];
+            ++a.count;
+            a.bytes += e.fileBytes;
+        } else {
+            ++corrupt.count;
+            corrupt.bytes += e.fileBytes;
+        }
+    }
+    u64 total_count = 0, total_bytes = 0;
+    for (size_t k = 0; k < by_kind.size(); ++k) {
+        std::cout << std::left << std::setw(10)
+                  << artifact_kind_name(static_cast<ArtifactKind>(k))
+                  << std::right << std::setw(8) << by_kind[k].count
+                  << " entries" << std::setw(12) << by_kind[k].bytes
+                  << " bytes\n";
+        total_count += by_kind[k].count;
+        total_bytes += by_kind[k].bytes;
+    }
+    if (corrupt.count)
+        std::cout << std::left << std::setw(10) << "corrupt" << std::right
+                  << std::setw(8) << corrupt.count << " entries"
+                  << std::setw(12) << corrupt.bytes << " bytes\n";
+    std::cout << std::left << std::setw(10) << "total" << std::right
+              << std::setw(8) << total_count << " entries" << std::setw(12)
+              << total_bytes << " bytes\n";
+    return 0;
+}
+
+int
+cmd_evict(const std::string &dir, const std::string &prefix)
+{
+    size_t removed = 0;
+    std::error_code ec;
+    for (const Entry &e : scan(dir)) {
+        // Unreadable entries always match: evict is the cleanup path.
+        if (!prefix.empty() && e.headerOk &&
+            hex_key(e).rfind(prefix, 0) != 0)
+            continue;
+        if (fs::remove(e.path, ec) && !ec)
+            ++removed;
+    }
+    std::cout << "evicted " << removed << " entries\n";
+    return 0;
+}
+
+int
+usage()
+{
+    std::cerr << "usage: cachectl <list|verify|stats|evict> [--dir DIR] "
+                 "[key-prefix]\n"
+              << "DIR defaults to $VOLTRON_CACHE_DIR\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string cmd, dir, prefix;
+    if (const char *env = std::getenv("VOLTRON_CACHE_DIR"))
+        dir = env;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc)
+            dir = argv[++i];
+        else
+            positional.push_back(argv[i]);
+    }
+    if (positional.empty())
+        return usage();
+    cmd = positional[0];
+    if (positional.size() > 1)
+        prefix = positional[1];
+
+    if (dir.empty()) {
+        std::cerr << "cachectl: no cache directory (set VOLTRON_CACHE_DIR "
+                     "or pass --dir)\n";
+        return 2;
+    }
+    if (!fs::exists(dir)) {
+        // An absent directory is an empty cache, not an error.
+        if (cmd == "list" || cmd == "stats" || cmd == "evict" ||
+            cmd == "verify") {
+            std::cout << "(empty cache: " << dir << " does not exist)\n";
+            return 0;
+        }
+    }
+
+    if (cmd == "list")
+        return cmd_list(dir);
+    if (cmd == "verify")
+        return cmd_verify(dir);
+    if (cmd == "stats")
+        return cmd_stats(dir);
+    if (cmd == "evict")
+        return cmd_evict(dir, prefix);
+    return usage();
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI driver: tier-1 verify plus an artifact-cache smoke test.
+#
+#  1. Configure, build, and run the full test suite.
+#  2. Cache smoke: run fig12_stall_breakdown twice against a fresh
+#     VOLTRON_CACHE_DIR. The warm run must produce byte-identical stdout
+#     and report a non-zero disk-hit count (VOLTRON_CACHE_STATS=1 prints
+#     the counters on stderr at exit), and every persisted entry must
+#     pass cachectl verify.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo "== cache smoke =="
+CACHE_DIR="$(mktemp -d)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR" "$SMOKE_DIR"' EXIT
+export VOLTRON_CACHE_DIR="$CACHE_DIR"
+export VOLTRON_CACHE_STATS=1
+
+./build/bench/fig12_stall_breakdown \
+    > "$SMOKE_DIR/cold.out" 2> "$SMOKE_DIR/cold.err"
+./build/bench/fig12_stall_breakdown \
+    > "$SMOKE_DIR/warm.out" 2> "$SMOKE_DIR/warm.err"
+
+cmp "$SMOKE_DIR/cold.out" "$SMOKE_DIR/warm.out"
+echo "warm fig12 output byte-identical to cold"
+
+grep -Eo 'disk_hits=[0-9]+' "$SMOKE_DIR/warm.err" | tee "$SMOKE_DIR/hits"
+if grep -q 'disk_hits=0$' "$SMOKE_DIR/hits"; then
+    echo "FAIL: warm run recorded no disk hits" >&2
+    cat "$SMOKE_DIR/warm.err" >&2
+    exit 1
+fi
+echo "warm run served from the persistent cache"
+
+./build/tools/cachectl stats
+./build/tools/cachectl verify
+
+echo "ci: OK"

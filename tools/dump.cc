@@ -1,17 +1,79 @@
-/** @file Development tool: dump compiled per-core programs. */
+/**
+ * @file
+ * Development tool: dump compiled per-core programs.
+ *
+ * Two subcommands share the compile/run/report plumbing:
+ *
+ *   dump compiled [cores]
+ *       Compile a fixed array-scaling loop (ILP strategy) and print each
+ *       core's whole program.
+ *
+ *   dump phase [cores] [archetype] [strategy] [trips] [seed]
+ *       Emit one workload archetype phase, compile it with the given
+ *       strategy, print each core's clone of the phase function, and
+ *       report the run outcome with per-core stall and memory stats.
+ *       archetype: ilp_wide | strand | pipe | branchy
+ *       strategy:  ilp | tlp | hybrid
+ */
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/voltron.hh"
 #include "ir/builder.hh"
+#include "workloads/archetypes.hh"
 
 using namespace voltron;
 
 namespace {
 
+/** Compile with @p opts, print each core's code via @p print_core, then
+ * run and report cycles/correctness. Returns the process exit code. */
+int
+report(VoltronSystem &sys, const CompileOptions &opts, bool full_stats,
+       FuncId phase_func = kNoFunc)
+{
+    const MachineProgram &mp = sys.compile(opts);
+    for (u16 c = 0; c < opts.numCores; ++c) {
+        std::cout << "=== core " << c << " ===\n";
+        if (phase_func == kNoFunc)
+            print_program(std::cout, mp.perCore[c]);
+        else
+            print_function(std::cout, mp.perCore[c].functions[phase_func]);
+    }
+    try {
+        RunOutcome out = sys.run(opts);
+        if (!full_stats) {
+            std::cout << "cycles=" << out.result.cycles
+                      << (out.correct() ? " OK" : " MISMATCH") << "\n";
+            return 0;
+        }
+        std::cout << "serial=" << sys.baselineCycles()
+                  << " cycles=" << out.result.cycles
+                  << (out.correct() ? " OK" : " MISMATCH")
+                  << " speedup=" << sys.speedup(out) << "\n";
+        for (CoreId c = 0; c < opts.numCores; ++c) {
+            std::cout << "core" << c << " issued=" << out.result.issued[c];
+            for (int k = 1; k < (int)StallCat::NumCats; ++k)
+                if (out.result.stallOf(c, (StallCat)k))
+                    std::cout << " " << stall_cat_name((StallCat)k) << "="
+                              << out.result.stallOf(c, (StallCat)k);
+            std::cout << "\n";
+        }
+        Machine machine(mp, MachineConfig::forCores(opts.numCores));
+        machine.run();
+        for (const auto &[k, v] : machine.memStats().counters())
+            if (v > 50)
+                std::cout << k << " = " << v << "\n";
+    } catch (const std::exception &e) {
+        std::cout << "EXCEPTION: " << e.what() << "\n";
+    }
+    return 0;
+}
+
 Program
-make_program()
+make_compiled_program()
 {
     ProgramBuilder b("dump");
     const int n = 64;
@@ -48,27 +110,81 @@ make_program()
     return b.take();
 }
 
+int
+cmd_compiled(int argc, char **argv)
+{
+    const u16 cores = argc > 2 ? static_cast<u16>(std::atoi(argv[2])) : 2;
+    VoltronSystem sys(make_compiled_program());
+    CompileOptions opts;
+    opts.strategy = Strategy::IlpOnly;
+    opts.numCores = cores;
+    return report(sys, opts, /*full_stats=*/false);
+}
+
+int
+cmd_phase(int argc, char **argv)
+{
+    const u16 cores = argc > 2 ? static_cast<u16>(std::atoi(argv[2])) : 4;
+    const std::string arch = argc > 3 ? argv[3] : "ilp_wide";
+    const std::string strat = argc > 4 ? argv[4] : "ilp";
+    Rng rng(argc > 6 ? std::strtoull(argv[6], nullptr, 0) : 42);
+    ProgramBuilder b("dump-phase");
+    b.beginFunction("main");
+    RegId z = b.emitImm(7);
+    b.emit(ops::mov(gpr(1), z));
+    PhaseParams pp;
+    pp.trips = argc > 5 ? std::atoi(argv[5]) : 512;
+    pp.elems = 256;
+    pp.width = 6;
+    b.emitHalt(z);
+    b.endFunction();
+    Archetype a = Archetype::IlpWide;
+    if (arch == "strand")
+        a = Archetype::StrandMatch;
+    if (arch == "pipe")
+        a = Archetype::DswpPipe;
+    if (arch == "branchy")
+        a = Archetype::BranchyIlp;
+    FuncId f = emit_phase(b, a, "phase", pp, rng);
+    Program prog = b.take();
+    // patch main to call the phase
+    Function &m = prog.function(0);
+    m.blocks.clear();
+    m.addBlock("entry");
+    BasicBlock &bb = m.block(0);
+    bb.append(ops::movi(gpr(1), 3));
+    RegId bt = m.freshReg(RegClass::BTR);
+    bb.append(ops::pbr(bt, CodeRef::to_function(f)));
+    bb.append(ops::call(bt));
+    bb.append(ops::halt(gpr(0)));
+
+    VoltronSystem sys(std::move(prog));
+    CompileOptions opts;
+    opts.strategy = strat == "tlp"      ? Strategy::TlpOnly
+                    : strat == "hybrid" ? Strategy::Hybrid
+                                        : Strategy::IlpOnly;
+    opts.numCores = cores;
+    return report(sys, opts, /*full_stats=*/true, f);
+}
+
+int
+usage()
+{
+    std::cerr << "usage: dump compiled [cores]\n"
+              << "       dump phase [cores] [ilp_wide|strand|pipe|branchy]"
+                 " [ilp|tlp|hybrid] [trips] [seed]\n";
+    return 2;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    const u16 cores = argc > 1 ? static_cast<u16>(std::atoi(argv[1])) : 2;
-    VoltronSystem sys(make_program());
-    CompileOptions opts;
-    opts.strategy = Strategy::IlpOnly;
-    opts.numCores = cores;
-    const MachineProgram &mp = sys.compile(opts);
-    for (u16 c = 0; c < cores; ++c) {
-        std::cout << "=== core " << c << " ===\n";
-        print_program(std::cout, mp.perCore[c]);
-    }
-    try {
-        RunOutcome out = sys.run(opts);
-        std::cout << "cycles=" << out.result.cycles
-                  << (out.correct() ? " OK" : " MISMATCH") << "\n";
-    } catch (const std::exception &e) {
-        std::cout << "EXCEPTION: " << e.what() << "\n";
-    }
-    return 0;
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "compiled")
+        return cmd_compiled(argc, argv);
+    if (cmd == "phase")
+        return cmd_phase(argc, argv);
+    return usage();
 }
