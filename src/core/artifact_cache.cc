@@ -191,6 +191,35 @@ cache_entry_filename(ArtifactKind kind, u64 key)
 }
 
 bool
+is_cache_temp_name(const std::string &filename)
+{
+    static const std::string marker = ".vcache.tmp";
+    const size_t pos = filename.find(marker);
+    if (pos == std::string::npos || pos + marker.size() >= filename.size())
+        return false;
+    for (size_t i = pos + marker.size(); i < filename.size(); ++i)
+        if (filename[i] < '0' || filename[i] > '9')
+            return false;
+    return true;
+}
+
+size_t
+sweep_cache_temps(const std::string &dir)
+{
+    size_t removed = 0;
+    std::error_code ec;
+    for (const auto &de : std::filesystem::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file())
+            continue;
+        if (!is_cache_temp_name(de.path().filename().string()))
+            continue;
+        if (std::filesystem::remove(de.path(), ec) && !ec)
+            ++removed;
+    }
+    return removed;
+}
+
+bool
 read_cache_entry(const std::string &path, CacheEntryHeader &header,
                  std::vector<u8> *payload)
 {

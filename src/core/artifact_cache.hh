@@ -112,6 +112,17 @@ inline constexpr u32 kCacheFormatVersion = 1;
 std::string cache_entry_filename(ArtifactKind kind, u64 key);
 
 /**
+ * True when @p filename is an unpublished store temp
+ * ("<entry>.vcache.tmp<pid>"). Stores write the temp then rename it
+ * over the entry, so a process killed mid-publish leaves one behind;
+ * the runtime never reads them, but they accumulate until swept.
+ */
+bool is_cache_temp_name(const std::string &filename);
+
+/** Remove orphaned store temps from @p dir; returns how many. */
+size_t sweep_cache_temps(const std::string &dir);
+
+/**
  * Read a cache entry file. Returns false when the file is unreadable or
  * its header is malformed. With @p payload non-null the payload is read
  * and verified against the header hash (verification failure returns

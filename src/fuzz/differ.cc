@@ -1,0 +1,166 @@
+#include "fuzz/differ.hh"
+
+#include <sstream>
+
+#include "core/voltron.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+CompileOptions
+mode_options(Strategy strategy, u16 cores)
+{
+    CompileOptions options;
+    options.strategy = strategy;
+    options.numCores = cores;
+    switch (strategy) {
+      case Strategy::TlpOnly:
+        // Split the TLP family explicitly: dswpThreshold far above any
+        // estimate forces strands, far below forces DSWP.
+        options.minOpsPerActivation = 1;
+        break;
+      case Strategy::LlpOnly:
+        options.minOpsPerActivation = 1;
+        options.minDoallTrip = 1.0;
+        break;
+      default:
+        break;
+    }
+    return options;
+}
+
+SweepPoint
+make_point(const std::string &label, const CompileOptions &options)
+{
+    SweepPoint p;
+    p.label = label + "/c" + std::to_string(options.numCores);
+    p.options = options;
+    return p;
+}
+
+SweepPoint
+with_net(SweepPoint p, const std::string &suffix, u32 capacity,
+         u32 base_latency, u32 hop_latency)
+{
+    p.label += "/" + suffix;
+    p.overrideNet = true;
+    p.queueCapacity = capacity;
+    p.queueBaseLatency = base_latency;
+    p.hopLatency = hop_latency;
+    return p;
+}
+
+} // namespace
+
+std::vector<SweepPoint>
+default_sweep()
+{
+    std::vector<SweepPoint> sweep;
+
+    struct Mode
+    {
+        const char *name;
+        Strategy strategy;
+        double dswpThreshold; //!< <0 keeps the default
+    };
+    static const Mode kModes[] = {
+        {"ilp", Strategy::IlpOnly, -1.0},
+        {"strands", Strategy::TlpOnly, 1e9},
+        {"dswp", Strategy::TlpOnly, 0.0},
+        {"doall", Strategy::LlpOnly, -1.0},
+        {"hybrid", Strategy::Hybrid, -1.0},
+    };
+    static const u16 kCores[] = {1, 2, 4};
+
+    for (const Mode &mode : kModes) {
+        for (const u16 cores : kCores) {
+            CompileOptions options = mode_options(mode.strategy, cores);
+            if (mode.dswpThreshold >= 0.0)
+                options.dswpThreshold = mode.dswpThreshold;
+            sweep.push_back(make_point(mode.name, options));
+            if (cores == 1)
+                continue; // the network is idle on a single core
+            // Adversarial queue mode: minimal buffering, then slow links.
+            sweep.push_back(with_net(make_point(mode.name, options),
+                                     "qcap1", 1, 1, 1));
+            sweep.push_back(with_net(make_point(mode.name, options),
+                                     "slownet", 2, 3, 2));
+        }
+    }
+
+    // Option variants on the largest machine.
+    {
+        CompileOptions options = mode_options(Strategy::Hybrid, 4);
+        options.reassociate = false;
+        sweep.push_back(make_point("hybrid-noreassoc", options));
+    }
+    {
+        CompileOptions options = mode_options(Strategy::TlpOnly, 4);
+        options.dswpThreshold = 0.0;
+        options.allowCrossCoreMemDep = true;
+        sweep.push_back(with_net(make_point("dswp-xmem", options), "qcap1",
+                                 1, 1, 1));
+    }
+    return sweep;
+}
+
+const char *
+divergence_kind_name(Divergence::Kind kind)
+{
+    switch (kind) {
+      case Divergence::Kind::ExitMismatch: return "exit-mismatch";
+      case Divergence::Kind::MemoryMismatch: return "memory-mismatch";
+      case Divergence::Kind::Panic: return "panic";
+      case Divergence::Kind::Fatal: return "fatal";
+      default: return "unknown";
+    }
+}
+
+std::optional<Divergence>
+diff_program(const Program &prog, const std::vector<SweepPoint> &sweep)
+{
+    ArtifactCache::instance().clearMemory();
+    VoltronSystem sys(prog); // golden pass; a throw here is a bad input
+
+    for (const SweepPoint &point : sweep) {
+        MachineConfig config =
+            MachineConfig::forCores(point.options.numCores);
+        if (point.overrideNet) {
+            config.net.queueCapacity = point.queueCapacity;
+            config.net.queueBaseLatency = point.queueBaseLatency;
+            config.net.hopLatency = point.hopLatency;
+        }
+        Divergence div;
+        div.point = point.label;
+        try {
+            const RunOutcome outcome = sys.run(point.options, config);
+            if (!outcome.exitMatches) {
+                std::ostringstream os;
+                os << "exit value " << outcome.result.exitValue
+                   << " != golden " << sys.goldenResult().exitValue;
+                div.kind = Divergence::Kind::ExitMismatch;
+                div.message = os.str();
+                return div;
+            }
+            if (!outcome.memoryMatches) {
+                div.kind = Divergence::Kind::MemoryMismatch;
+                div.message =
+                    "final data segment differs from the golden image";
+                return div;
+            }
+        } catch (const PanicError &e) {
+            div.kind = Divergence::Kind::Panic;
+            div.message = e.what();
+            return div;
+        } catch (const FatalError &e) {
+            div.kind = Divergence::Kind::Fatal;
+            div.message = e.what();
+            return div;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace voltron

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Differential runner for the golden-model invariant.
+ *
+ * One program, one golden interpreter run, then a sweep of compiled
+ * executions across every execution-mode family × core count ×
+ * adversarial network point. Any compiled run that fails to reproduce
+ * the golden exit value and final data segment — or that trips a
+ * deterministic invariant panic / fatal (lockstep violation, watchdog
+ * deadlock) — is a divergence: a compiler or simulator bug, never a
+ * property of the input program.
+ */
+
+#ifndef VOLTRON_FUZZ_DIFFER_HH_
+#define VOLTRON_FUZZ_DIFFER_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/compile.hh"
+#include "ir/function.hh"
+
+namespace voltron {
+
+/** One compiled configuration to diff against the golden model. */
+struct SweepPoint
+{
+    std::string label;
+    CompileOptions options;
+    /** Network overrides applied onto MachineConfig::forCores — the mesh
+     * shape itself is never varied (codegen assumes forCores geometry). */
+    bool overrideNet = false;
+    u32 queueCapacity = 64;
+    u32 queueBaseLatency = 1;
+    u32 hopLatency = 1;
+};
+
+/**
+ * The default sweep: {coupled ILP, decoupled strands, decoupled DSWP,
+ * DOALL, hybrid} × {1, 2, 4} cores, plus adversarial network points
+ * (queueCapacity 1 and 2, non-default latencies) and option variants
+ * (reassociation off, cross-core memory deps on) for the multi-core
+ * families.
+ */
+std::vector<SweepPoint> default_sweep();
+
+/** A compiled run that failed to reproduce the golden model. */
+struct Divergence
+{
+    enum class Kind : u8 {
+        ExitMismatch = 1, //!< wrong HALT value
+        MemoryMismatch,   //!< wrong final data segment
+        Panic,            //!< invariant violation (PanicError)
+        Fatal,            //!< FatalError (e.g. watchdog deadlock)
+    };
+    Kind kind = Kind::ExitMismatch;
+    std::string point;   //!< label of the failing sweep point
+    std::string message; //!< mismatch description or exception text
+};
+
+const char *divergence_kind_name(Divergence::Kind kind);
+
+/**
+ * Run @p prog through the golden model and every point of @p sweep;
+ * return the first divergence, or nullopt when every configuration
+ * reproduces the golden run. Clears the in-process artifact cache (fuzz
+ * programs are one-shot; the cache would otherwise grow unboundedly).
+ */
+std::optional<Divergence>
+diff_program(const Program &prog, const std::vector<SweepPoint> &sweep);
+
+} // namespace voltron
+
+#endif // VOLTRON_FUZZ_DIFFER_HH_

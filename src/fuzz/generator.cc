@@ -1,0 +1,412 @@
+#include "fuzz/generator.hh"
+
+#include <string>
+#include <vector>
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "support/error.hh"
+#include "support/rng.hh"
+
+namespace voltron {
+
+namespace {
+
+struct ArrayInfo
+{
+    Addr base = 0;
+    u64 elems = 0; //!< power of two
+    u32 sym = 0;
+    bool isF64 = false;
+};
+
+class Gen
+{
+  public:
+    Gen(u64 seed, const GenOptions &opt)
+        : rng_(seed ? seed : 0x715732f5u), opt_(opt),
+          pb_("fuzz-" + std::to_string(seed))
+    {
+    }
+
+    Program
+    build()
+    {
+        // Function 0 must be the entry, but emitCall needs its callee to
+        // exist, so the call-graph leaves are built first and a stub
+        // holds slot 0 until the real main (built last, with the full
+        // structured API) is swapped in.
+        pb_.beginFunction("entry_stub");
+        pb_.emitHalt(pb_.emitImm(0));
+        pb_.endFunction();
+
+        makeArrays();
+        const u32 n_leaves = 1 + static_cast<u32>(rng_.below(opt_.maxLeafFns));
+        for (u32 i = 0; i < n_leaves; ++i)
+            makeLeaf(i);
+        const u32 n_phases =
+            1 + static_cast<u32>(rng_.below(opt_.maxPhaseFns));
+        for (u32 i = 0; i < n_phases; ++i)
+            makePhase(i);
+        const FuncId main_id = makeMain();
+
+        Program prog = pb_.take();
+        prog.functions[0] = std::move(prog.functions[main_id]);
+        prog.functions[0].id = 0;
+        prog.functions.pop_back();
+        prog.funcByName.erase("entry_stub");
+        prog.funcByName["main"] = 0;
+
+        verify_or_die(prog);
+        return prog;
+    }
+
+  private:
+    Rng rng_;
+    GenOptions opt_;
+    ProgramBuilder pb_;
+    std::vector<ArrayInfo> arrays_;
+    std::vector<FuncId> leaves_;
+    std::vector<FuncId> phases_;
+
+    /** GPRs defined on every path to the current point (scope-managed:
+     * definitions inside loop bodies and diamond arms are dropped when
+     * the construct closes, so nothing reads a maybe-undefined reg). */
+    std::vector<RegId> pool_;
+
+    RegId pick() { return pool_[rng_.below(pool_.size())]; }
+
+    const ArrayInfo &
+    pickArray(bool want_f64)
+    {
+        std::vector<const ArrayInfo *> match;
+        for (const ArrayInfo &a : arrays_)
+            if (a.isF64 == want_f64)
+                match.push_back(&a);
+        panic_if_not(!match.empty(), "fuzz generator: no matching array");
+        return *match[rng_.below(match.size())];
+    }
+
+    u32
+    aliasSym(const ArrayInfo &arr)
+    {
+        return opt_.allowWildcardAlias && rng_.chance(0.15) ? 0 : arr.sym;
+    }
+
+    void
+    makeArrays()
+    {
+        const u32 n = 2 + static_cast<u32>(rng_.below(opt_.maxArrays - 1));
+        for (u32 i = 0; i < n; ++i) {
+            const u64 elems = 8ULL << rng_.below(4); // 8..64
+            std::vector<i64> init(elems);
+            for (i64 &v : init)
+                v = static_cast<i64>(rng_.next()) >> 24; // moderate values
+            ArrayInfo a;
+            a.base = pb_.allocArrayI64("arr" + std::to_string(i), init);
+            a.elems = elems;
+            a.sym = pb_.lastSymbol();
+            arrays_.push_back(a);
+        }
+        if (opt_.allowFloat) {
+            const u64 elems = 8ULL << rng_.below(3);
+            std::vector<double> init(elems);
+            for (double &v : init)
+                v = rng_.uniform() * 1000.0 - 500.0;
+            ArrayInfo a;
+            a.base = pb_.allocArrayF64("farr", init);
+            a.elems = elems;
+            a.sym = pb_.lastSymbol();
+            a.isF64 = true;
+            arrays_.push_back(a);
+        }
+    }
+
+    /** Address of a masked in-bounds element: base + (src & (n-1)) * 8. */
+    RegId
+    elementAddr(const ArrayInfo &arr, RegId src)
+    {
+        RegId idx = pb_.emit(ops::alui(Opcode::AND, pb_.newGpr(), src,
+                                       static_cast<i64>(arr.elems - 1)));
+        RegId off = pb_.emit(ops::alui(Opcode::SHL, pb_.newGpr(), idx, 3));
+        RegId base = pb_.emitImm(static_cast<i64>(arr.base));
+        return pb_.emit(ops::add(pb_.newGpr(), base, off));
+    }
+
+    /** A fresh integer value computed from the pool (never traps: DIV and
+     * REM get a divisor masked into [1, 63]). */
+    RegId
+    emitAluValue()
+    {
+        static const Opcode kOps[] = {
+            Opcode::ADD, Opcode::SUB, Opcode::MUL, Opcode::AND,
+            Opcode::OR,  Opcode::XOR, Opcode::MIN, Opcode::MAX,
+            Opcode::SHL, Opcode::SHR, Opcode::SRA, Opcode::DIV,
+            Opcode::REM,
+        };
+        const Opcode op = kOps[rng_.below(sizeof(kOps) / sizeof(kOps[0]))];
+        RegId a = pick();
+        RegId dst = pb_.newGpr();
+        if (op == Opcode::DIV || op == Opcode::REM) {
+            RegId m = pb_.emit(
+                ops::alui(Opcode::AND, pb_.newGpr(), pick(), 63));
+            RegId d = pb_.emit(ops::alui(Opcode::OR, pb_.newGpr(), m, 1));
+            pb_.emit(ops::alu(op, dst, a, d));
+        } else if (rng_.chance(0.35)) {
+            pb_.emit(ops::alui(op, dst, a, rng_.range(-64, 64)));
+        } else {
+            pb_.emit(ops::alu(op, dst, a, pick()));
+        }
+        pool_.push_back(dst);
+        return dst;
+    }
+
+    /** Fold a pool value into @p acc (accumulator idiom). */
+    void
+    bumpAccum(RegId acc)
+    {
+        static const Opcode kFold[] = {Opcode::ADD, Opcode::SUB, Opcode::XOR,
+                                       Opcode::ADD, Opcode::MAX};
+        const Opcode op = kFold[rng_.below(5)];
+        pb_.emit(ops::alu(op, acc, acc, pick()));
+    }
+
+    /** Load from or store to a random i64 array, in bounds by masking. */
+    void
+    emitMemOp(RegId iv)
+    {
+        const ArrayInfo &arr = pickArray(false);
+        RegId src = rng_.chance(0.6) ? iv : pick();
+        RegId addr = elementAddr(arr, src);
+        const u32 sym = aliasSym(arr);
+        if (rng_.chance(0.55)) {
+            const bool narrow = rng_.chance(0.25);
+            RegId v = pb_.emitLoad(pb_.newGpr(), addr, 0, sym,
+                                   narrow ? 4 : 8,
+                                   narrow && rng_.chance(0.5));
+            pool_.push_back(v);
+        } else {
+            pb_.emitStore(addr, 0, pick(), sym);
+        }
+    }
+
+    /** Bit-exact FP traffic: load two elements, combine, store back. */
+    void
+    emitFpOp()
+    {
+        if (!opt_.allowFloat)
+            return;
+        const ArrayInfo &arr = pickArray(true);
+        RegId base = pb_.emitImm(static_cast<i64>(arr.base));
+        const u32 sym = aliasSym(arr);
+        RegId f1 = pb_.emitLoadF(
+            pb_.newFpr(), base,
+            static_cast<i64>(rng_.below(arr.elems)) * 8, sym);
+        RegId f2 = pb_.emitLoadF(
+            pb_.newFpr(), base,
+            static_cast<i64>(rng_.below(arr.elems)) * 8, sym);
+        static const Opcode kFp[] = {Opcode::FADD, Opcode::FSUB,
+                                     Opcode::FMUL};
+        RegId f3 = pb_.emit(
+            ops::falu(kFp[rng_.below(3)], pb_.newFpr(), f1, f2));
+        pb_.emitStoreF(base, static_cast<i64>(rng_.below(arr.elems)) * 8,
+                       f3, sym);
+    }
+
+    /** A reducible if/else diamond mutating the pre-defined @p out. */
+    void
+    emitDiamond(RegId out)
+    {
+        static const CmpCond kConds[] = {CmpCond::EQ,  CmpCond::NE,
+                                         CmpCond::LT,  CmpCond::GE,
+                                         CmpCond::GT,  CmpCond::ULT,
+                                         CmpCond::UGE};
+        const CmpCond cond = kConds[rng_.below(7)];
+        RegId p = pb_.newPr();
+        if (rng_.chance(0.5))
+            pb_.emit(ops::cmpi(cond, p, pick(), rng_.range(-32, 32)));
+        else
+            pb_.emit(ops::cmp(cond, p, pick(), pick()));
+        const bool with_else = rng_.chance(0.7);
+        IfHandles h = pb_.beginIf(p, with_else, "fzif");
+        {
+            const size_t mark = pool_.size();
+            emitAluValue();
+            pb_.emit(ops::alu(Opcode::ADD, out, out, pick()));
+            pool_.resize(mark);
+        }
+        if (with_else) {
+            pb_.elseBranch(h);
+            const size_t mark = pool_.size();
+            pb_.emit(ops::alui(Opcode::XOR, out, out, rng_.range(1, 255)));
+            pool_.resize(mark);
+        }
+        pb_.endIf(h);
+    }
+
+    /** Call a previously built leaf, feeding the result to the pool. */
+    void
+    emitLeafCall(RegId acc)
+    {
+        if (leaves_.empty())
+            return;
+        const FuncId callee = leaves_[rng_.below(leaves_.size())];
+        const u16 nargs = pb_.program().function(callee).numArgs;
+        std::vector<RegId> args;
+        for (u16 i = 0; i < nargs; ++i)
+            args.push_back(pick());
+        RegId r = pb_.emitCall(callee, args);
+        pool_.push_back(r);
+        bumpAccum(acc);
+    }
+
+    /** One counted loop; recurses for nests up to maxLoopDepth deep. */
+    void
+    loopNest(u32 depth, RegId acc)
+    {
+        RegId iv = pb_.newGpr();
+        LoopHandles h;
+        if (rng_.chance(0.3)) {
+            // Data-dependent trip count, clamped into [1, 16].
+            const ArrayInfo &arr = pickArray(false);
+            RegId base = pb_.emitImm(static_cast<i64>(arr.base));
+            RegId ld = pb_.emitLoad(
+                pb_.newGpr(), base,
+                static_cast<i64>(rng_.below(arr.elems)) * 8, arr.sym);
+            RegId m =
+                pb_.emit(ops::alui(Opcode::AND, pb_.newGpr(), ld, 15));
+            RegId b = pb_.emit(ops::alui(Opcode::OR, pb_.newGpr(), m, 1));
+            h = pb_.forLoopReg(iv, 0, b, 1, "fzloop");
+        } else {
+            static const i64 kTrips[] = {3, 4, 5, 8, 13, 16, 32};
+            i64 trip = kTrips[rng_.below(7)];
+            if (depth > 1 && trip > 8)
+                trip = 8; // bound the nest's trip product
+            const i64 step = rng_.chance(0.2) ? 2 : 1;
+            h = pb_.forLoop(iv, 0, trip * step, step, "fzloop");
+        }
+
+        const size_t mark = pool_.size();
+        pool_.push_back(iv);
+        bool nested = false;
+        const u32 n_stmts = 2 + static_cast<u32>(rng_.below(4));
+        for (u32 s = 0; s < n_stmts; ++s) {
+            const u64 roll = rng_.below(100);
+            if (roll < 30) {
+                emitMemOp(iv);
+            } else if (roll < 45) {
+                emitAluValue();
+            } else if (roll < 60) {
+                bumpAccum(acc);
+            } else if (roll < 72) {
+                emitDiamond(acc);
+            } else if (roll < 82) {
+                emitLeafCall(acc);
+            } else if (roll < 90 && depth < opt_.maxLoopDepth && !nested) {
+                loopNest(depth + 1, acc);
+                nested = true;
+            } else {
+                emitFpOp();
+            }
+        }
+        // Induction idiom + guaranteed observable body.
+        pb_.emit(ops::alu(Opcode::ADD, acc, acc, iv));
+        pool_.resize(mark);
+        pb_.endCountedLoop(h);
+    }
+
+    void
+    makeLeaf(u32 idx)
+    {
+        const u16 nargs = 1 + static_cast<u16>(rng_.below(3));
+        const FuncId f = pb_.beginFunction("leaf" + std::to_string(idx),
+                                           nargs, true);
+        pool_.clear();
+        for (u16 a = 1; a <= nargs; ++a)
+            pool_.push_back(gpr(a));
+        pool_.push_back(pb_.emitImm(rng_.range(-128, 128)));
+        const u32 n = 2 + static_cast<u32>(rng_.below(5));
+        for (u32 i = 0; i < n; ++i)
+            emitAluValue();
+        if (rng_.chance(0.4)) {
+            RegId out = pb_.emitImm(rng_.range(0, 15));
+            pool_.push_back(out);
+            emitDiamond(out);
+        }
+        pb_.emit(ops::mov(gpr(0), pick()));
+        pb_.emit(ops::ret());
+        pb_.endFunction();
+        leaves_.push_back(f);
+    }
+
+    void
+    makePhase(u32 idx)
+    {
+        const u16 nargs = 1 + static_cast<u16>(rng_.below(2));
+        const FuncId f = pb_.beginFunction("phase" + std::to_string(idx),
+                                           nargs, true);
+        pool_.clear();
+        for (u16 a = 1; a <= nargs; ++a)
+            pool_.push_back(gpr(a));
+        pool_.push_back(pb_.emitImm(rng_.range(-100, 100)));
+        RegId acc = pb_.emitImm(rng_.range(0, 50));
+        pool_.push_back(acc);
+
+        const u32 nests = 1 + static_cast<u32>(rng_.below(2));
+        for (u32 n = 0; n < nests; ++n) {
+            loopNest(1, acc);
+            if (rng_.chance(0.5))
+                emitDiamond(acc);
+            if (rng_.chance(0.4))
+                emitMemOp(pick());
+        }
+        pb_.emit(ops::mov(gpr(0), acc));
+        pb_.emit(ops::ret());
+        pb_.endFunction();
+        phases_.push_back(f);
+    }
+
+    FuncId
+    makeMain()
+    {
+        const FuncId f = pb_.beginFunction("main", 0, false);
+        pool_.clear();
+        pool_.push_back(pb_.emitImm(rng_.range(-64, 64)));
+        pool_.push_back(pb_.emitImm(rng_.range(1, 100)));
+        RegId result = pb_.emitImm(0);
+        pool_.push_back(result);
+
+        if (rng_.chance(0.4))
+            loopNest(1, result);
+        for (const FuncId phase : phases_) {
+            const u16 nargs = pb_.program().function(phase).numArgs;
+            std::vector<RegId> args;
+            for (u16 a = 0; a < nargs; ++a)
+                args.push_back(pick());
+            RegId r = pb_.emitCall(phase, args);
+            pool_.push_back(r);
+            pb_.emit(ops::alu(rng_.chance(0.5) ? Opcode::XOR : Opcode::ADD,
+                              result, result, r));
+            if (rng_.chance(0.3))
+                emitMemOp(pick());
+        }
+        if (rng_.chance(0.5))
+            emitLeafCall(result);
+        pb_.emitHalt(result);
+        pb_.endFunction();
+        return f;
+    }
+};
+
+} // namespace
+
+Program
+generate_fuzz_program(u64 seed, const GenOptions &options)
+{
+    fatal_if_not(options.maxArrays >= 2 && options.maxLeafFns >= 1 &&
+                     options.maxPhaseFns >= 1 && options.maxLoopDepth >= 1,
+                 "generate_fuzz_program: degenerate GenOptions");
+    return Gen(seed, options).build();
+}
+
+} // namespace voltron

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Seeded random-program generator for the differential fuzzer.
+ *
+ * Emits verifier-legal sequential IR outside the fixed archetype shapes:
+ * nested counted loops (immediate and data-dependent bounds), reducible
+ * branchy CFGs (if/else diamonds inside loop bodies), call-heavy glue
+ * (leaf and phase functions in an acyclic call graph), mixed alias
+ * classes with occasional wildcard (memSym 0) memory ops, and
+ * induction/accumulator idioms. Every generated program terminates by
+ * construction — only counted loops, bounded trip products, masked
+ * in-bounds addressing, and guaranteed non-zero divisors — so the golden
+ * interpreter defines its behaviour and the differ can sweep compiled
+ * configurations against it.
+ */
+
+#ifndef VOLTRON_FUZZ_GENERATOR_HH_
+#define VOLTRON_FUZZ_GENERATOR_HH_
+
+#include "ir/function.hh"
+
+namespace voltron {
+
+/** Shape knobs for one generated program. */
+struct GenOptions
+{
+    u32 maxArrays = 4;    //!< i64 data objects (>= 2)
+    u32 maxLeafFns = 3;   //!< straight-line callable helpers
+    u32 maxPhaseFns = 3;  //!< loop-nest functions called from main
+    u32 maxLoopDepth = 3; //!< nesting bound per loop nest
+    bool allowFloat = true;
+    bool allowWildcardAlias = true; //!< emit occasional memSym==0 ops
+};
+
+/**
+ * Generate one program from @p seed. Deterministic: equal seeds yield
+ * byte-identical programs. The result is verified before return (a
+ * verifier rejection here is a generator bug and fatals).
+ */
+Program generate_fuzz_program(u64 seed, const GenOptions &options = {});
+
+} // namespace voltron
+
+#endif // VOLTRON_FUZZ_GENERATOR_HH_

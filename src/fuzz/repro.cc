@@ -1,0 +1,63 @@
+#include "fuzz/repro.hh"
+
+#include <fstream>
+
+#include "ir/serialize.hh"
+#include "ir/verifier.hh"
+
+namespace voltron {
+
+std::vector<u8>
+encode_repro(const FuzzRepro &repro)
+{
+    ByteWriter w;
+    w.u32v(kReproMagic);
+    w.u32v(kReproVersion);
+    w.u64v(repro.seed);
+    w.u8v(static_cast<u8>(repro.divergence.kind));
+    w.str(repro.divergence.point);
+    w.str(repro.divergence.message);
+    serialize(w, repro.program);
+    return w.take();
+}
+
+bool
+decode_repro(const std::vector<u8> &bytes, FuzzRepro &repro)
+{
+    ByteReader r(bytes);
+    if (r.u32v() != kReproMagic || r.u32v() != kReproVersion)
+        return false;
+    repro.seed = r.u64v();
+    repro.divergence.kind = static_cast<Divergence::Kind>(r.u8v());
+    repro.divergence.point = r.str();
+    repro.divergence.message = r.str();
+    if (!deserialize(r, repro.program) || !r.atEnd())
+        return false;
+    // A repro that no longer verifies cannot be replayed meaningfully.
+    return verify_program(repro.program).ok();
+}
+
+bool
+write_repro(const std::string &path, const FuzzRepro &repro)
+{
+    const std::vector<u8> bytes = encode_repro(repro);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        return false;
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    return os.good();
+}
+
+bool
+read_repro(const std::string &path, FuzzRepro &repro)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::vector<u8> bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+    return decode_repro(bytes, repro);
+}
+
+} // namespace voltron

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Replayable fuzz-divergence repro files (.vfuzz).
+ *
+ * A repro captures everything needed to re-execute a divergence found by
+ * the differ: the (shrunk) program IR, the seed it was generated from,
+ * and the sweep point + divergence the run originally produced. The
+ * payload reuses the canonical IR serialization (ir/serialize.hh), so a
+ * repro survives across processes; a format-version bump invalidates old
+ * corpora explicitly rather than misreading them.
+ */
+
+#ifndef VOLTRON_FUZZ_REPRO_HH_
+#define VOLTRON_FUZZ_REPRO_HH_
+
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.hh"
+#include "ir/function.hh"
+
+namespace voltron {
+
+inline constexpr u32 kReproMagic = 0x315a4656; // "VFZ1", little-endian
+inline constexpr u32 kReproVersion = 1;
+
+/** One replayable divergence. */
+struct FuzzRepro
+{
+    u64 seed = 0;                //!< generator seed of the original program
+    Divergence divergence;       //!< what the original sweep observed
+    Program program;             //!< the (possibly shrunk) diverging IR
+};
+
+std::vector<u8> encode_repro(const FuzzRepro &repro);
+bool decode_repro(const std::vector<u8> &bytes, FuzzRepro &repro);
+
+/** Write @p repro to @p path; returns false on I/O failure. */
+bool write_repro(const std::string &path, const FuzzRepro &repro);
+
+/** Read a .vfuzz file; false on I/O failure, bad magic/version, or a
+ * corrupt payload. */
+bool read_repro(const std::string &path, FuzzRepro &repro);
+
+} // namespace voltron
+
+#endif // VOLTRON_FUZZ_REPRO_HH_

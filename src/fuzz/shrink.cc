@@ -1,0 +1,122 @@
+#include "fuzz/shrink.hh"
+
+#include "interp/interp.hh"
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "support/error.hh"
+
+namespace voltron {
+
+namespace {
+
+/** A candidate must stay well-formed and terminating: registers read 0
+ * before their first (remaining) write, so dropping a def is legal, but
+ * dropping the CMP feeding a loop's exit branch makes it spin — the
+ * bounded golden run rejects that cheaply, before the oracle runs. */
+bool
+candidate_ok(const Program &prog)
+{
+    if (!verify_program(prog).ok())
+        return false;
+    try {
+        run_golden(prog, 10'000'000);
+    } catch (const PanicError &) {
+        return false;
+    } catch (const FatalError &) {
+        return false;
+    }
+    return true;
+}
+
+bool
+removable(const Operation &op)
+{
+    // Control ops and PBRs anchor the CFG; everything else may go.
+    return !is_control(op.op) && op.op != Opcode::PBR;
+}
+
+/** Immediates worth halving: loop bounds, compare constants, offsets —
+ * but never an encoded CodeRef or a data-segment address. */
+bool
+halvable_imm(const Operation &op)
+{
+    if (op.op == Opcode::PBR || op.op == Opcode::NOP)
+        return false;
+    const i64 magnitude = op.imm < 0 ? -op.imm : op.imm;
+    return magnitude > 1 && magnitude < static_cast<i64>(kDataBase);
+}
+
+} // namespace
+
+Program
+shrink_program(Program prog, const ShrinkOracle &still_fails, u32 max_evals,
+               ShrinkStats *stats_out)
+{
+    ShrinkStats stats;
+
+    // Validity is checked before the oracle: a rejected candidate costs
+    // one bounded golden run, not a full differential sweep.
+    const auto try_candidate = [&](Program &candidate) {
+        if (stats.evals >= max_evals || !candidate_ok(candidate))
+            return false;
+        ++stats.evals;
+        if (!still_fails(candidate))
+            return false;
+        ++stats.accepted;
+        return true;
+    };
+
+    bool changed = true;
+    while (changed && stats.evals < max_evals) {
+        changed = false;
+
+        // Pass 1: drop single operations, scanning each block from the
+        // end so consumers go before their producers.
+        for (size_t fi = 0; fi < prog.functions.size(); ++fi) {
+            const size_t n_blocks = prog.functions[fi].blocks.size();
+            for (size_t bi = 0; bi < n_blocks; ++bi) {
+                size_t oi = prog.functions[fi].blocks[bi].ops.size();
+                while (oi-- > 0 && stats.evals < max_evals) {
+                    if (!removable(
+                            prog.functions[fi].blocks[bi].ops[oi]))
+                        continue;
+                    Program candidate = prog;
+                    auto &ops_vec = candidate.functions[fi].blocks[bi].ops;
+                    ops_vec.erase(ops_vec.begin() +
+                                  static_cast<std::ptrdiff_t>(oi));
+                    if (try_candidate(candidate)) {
+                        prog = std::move(candidate);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Pass 2: halve loop trip counts and other small immediates.
+        for (size_t fi = 0; fi < prog.functions.size(); ++fi) {
+            const size_t n_blocks = prog.functions[fi].blocks.size();
+            for (size_t bi = 0; bi < n_blocks; ++bi) {
+                const size_t n_ops =
+                    prog.functions[fi].blocks[bi].ops.size();
+                for (size_t oi = 0;
+                     oi < n_ops && stats.evals < max_evals; ++oi) {
+                    if (!halvable_imm(
+                            prog.functions[fi].blocks[bi].ops[oi]))
+                        continue;
+                    Program candidate = prog;
+                    candidate.functions[fi].blocks[bi].ops[oi].imm /= 2;
+                    if (try_candidate(candidate)) {
+                        prog = std::move(candidate);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    if (stats_out)
+        *stats_out = stats;
+    return prog;
+}
+
+} // namespace voltron

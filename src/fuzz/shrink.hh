@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Greedy program shrinker for fuzz divergences.
+ *
+ * Given a diverging program and an oracle ("does this candidate still
+ * diverge?"), repeatedly applies reduction passes — drop a non-control
+ * operation, halve a loop-bound or other small immediate — keeping a
+ * candidate only when it stays verifier-legal, still terminates under
+ * the golden interpreter, and still satisfies the oracle. Runs to a
+ * fixpoint or an oracle-evaluation budget.
+ */
+
+#ifndef VOLTRON_FUZZ_SHRINK_HH_
+#define VOLTRON_FUZZ_SHRINK_HH_
+
+#include <functional>
+
+#include "ir/function.hh"
+
+namespace voltron {
+
+/** Returns true while the candidate still exhibits the failure. */
+using ShrinkOracle = std::function<bool(const Program &)>;
+
+struct ShrinkStats
+{
+    u32 evals = 0;    //!< oracle evaluations spent
+    u32 accepted = 0; //!< reductions kept
+};
+
+/**
+ * Shrink @p prog while @p still_fails holds (it must hold for @p prog
+ * itself). Every returned program verifies and terminates. @p max_evals
+ * bounds the number of oracle calls.
+ */
+Program shrink_program(Program prog, const ShrinkOracle &still_fails,
+                       u32 max_evals = 300, ShrinkStats *stats = nullptr);
+
+} // namespace voltron
+
+#endif // VOLTRON_FUZZ_SHRINK_HH_

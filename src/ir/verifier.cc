@@ -288,6 +288,89 @@ verify_function(const Program &prog, const Function &fn, VerifyMode mode)
     return result;
 }
 
+namespace {
+
+/** Callees of @p fn, resolved through block-local function PBRs. */
+std::vector<FuncId>
+callees_of(const Program &prog, const Function &fn)
+{
+    std::vector<FuncId> callees;
+    for (const BasicBlock &bb : fn.blocks) {
+        for (size_t i = 0; i < bb.ops.size(); ++i) {
+            const Operation &op = bb.ops[i];
+            if (op.op != Opcode::CALL)
+                continue;
+            for (size_t j = i; j-- > 0;) {
+                const Operation &def = bb.ops[j];
+                if (def.op == Opcode::PBR && def.dst == op.src0) {
+                    CodeRef ref = def.codeRef();
+                    if (ref.kind == CodeRef::Kind::Function &&
+                        ref.func < prog.functions.size())
+                        callees.push_back(ref.func);
+                    break;
+                }
+            }
+        }
+    }
+    return callees;
+}
+
+/**
+ * Reject recursive call graphs (DESIGN.md §6: recursion is unsupported —
+ * the register-stack runtime would grow a frame per activation without
+ * bound, so the cycle must be a compile-time error, not a runtime hang).
+ * DFS colouring; on a back edge the cycle is reported functionwise.
+ */
+void
+check_no_recursion(const Program &prog, VerifyResult &result)
+{
+    enum class Colour : u8 { White, Grey, Black };
+    std::vector<Colour> colour(prog.functions.size(), Colour::White);
+    std::vector<FuncId> path;
+
+    // Iterative DFS with an explicit stack of (func, next-callee index).
+    for (FuncId root = 0; root < prog.functions.size(); ++root) {
+        if (colour[root] != Colour::White)
+            continue;
+        std::vector<std::pair<FuncId, size_t>> stack;
+        std::vector<std::vector<FuncId>> callees;
+        stack.emplace_back(root, 0);
+        callees.push_back(callees_of(prog, prog.functions[root]));
+        colour[root] = Colour::Grey;
+        path.push_back(root);
+        while (!stack.empty()) {
+            auto &[f, next] = stack.back();
+            if (next < callees.back().size()) {
+                FuncId callee = callees.back()[next++];
+                if (colour[callee] == Colour::Grey) {
+                    // Found a cycle: report it from its entry point.
+                    std::string msg = "recursive call graph: ";
+                    size_t start = 0;
+                    while (path[start] != callee)
+                        ++start;
+                    for (size_t k = start; k < path.size(); ++k)
+                        msg += prog.functions[path[k]].name + " -> ";
+                    msg += prog.functions[callee].name;
+                    result.errors.push_back(msg);
+                } else if (colour[callee] == Colour::White) {
+                    colour[callee] = Colour::Grey;
+                    path.push_back(callee);
+                    stack.emplace_back(callee, 0);
+                    callees.push_back(
+                        callees_of(prog, prog.functions[callee]));
+                }
+            } else {
+                colour[f] = Colour::Black;
+                path.pop_back();
+                stack.pop_back();
+                callees.pop_back();
+            }
+        }
+    }
+}
+
+} // namespace
+
 VerifyResult
 verify_program(const Program &prog, VerifyMode mode)
 {
@@ -299,6 +382,7 @@ verify_program(const Program &prog, VerifyMode mode)
         result.errors.insert(result.errors.end(), fr.errors.begin(),
                              fr.errors.end());
     }
+    check_no_recursion(prog, result);
     // Data objects must not overlap.
     for (size_t i = 0; i < prog.data.size(); ++i) {
         for (size_t j = i + 1; j < prog.data.size(); ++j) {

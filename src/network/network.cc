@@ -41,18 +41,20 @@ OperandNetwork::neighbor(CoreId core, Dir dir) const
 }
 
 bool
-OperandNetwork::sendWouldStall(CoreId from, CoreId to) const
+OperandNetwork::sendWouldStall(CoreId from, CoreId to, bool is_spawn) const
 {
     // Back-pressure is per (sender, receiver) pair: one producer running
     // ahead cannot exhaust the receiver's buffering for other senders
     // (which would deadlock pipelines whose consumer is waiting on a
-    // slower third core).
+    // slower third core). Spawns and data messages are drained by
+    // different consumers (trySpawn vs tryRecv), so each class only
+    // counts against its own slots.
     auto it = recvQueues_.find(to);
     if (it == recvQueues_.end())
         return false;
     u32 in_flight = 0;
     for (const Message &msg : it->second)
-        if (msg.from == from)
+        if (msg.from == from && msg.isSpawn == is_spawn)
             in_flight++;
     return in_flight >= config_.queueCapacity;
 }
@@ -63,7 +65,7 @@ OperandNetwork::send(CoreId from, CoreId to, u64 value, Cycle now,
 {
     panic_if_not(from != to, "core sending to itself");
     panic_if_not(to < numCores(), "send to unknown core");
-    panic_if_not(!sendWouldStall(from, to),
+    panic_if_not(!sendWouldStall(from, to, is_spawn),
                  "send into a full queue (caller must stall first)");
     Message msg;
     msg.from = from;

@@ -62,8 +62,14 @@ class OperandNetwork
 
     // --- Queue mode ------------------------------------------------------
 
-    /** True when a SEND from @p from to @p to would stall (queue full). */
-    bool sendWouldStall(CoreId from, CoreId to) const;
+    /**
+     * True when a SEND (or SPAWN, with @p is_spawn) from @p from to @p to
+     * would stall (queue full). Spawns occupy their own per-pair slots:
+     * tryRecv can never drain a spawn message, so an in-flight SPAWN must
+     * not consume the data-queue capacity a racing SEND needs (at
+     * queueCapacity=1 that spurious stall can wedge the pair).
+     */
+    bool sendWouldStall(CoreId from, CoreId to, bool is_spawn = false) const;
 
     /** Enqueue a value (SEND executed at @p now). */
     void send(CoreId from, CoreId to, u64 value, Cycle now,

@@ -433,7 +433,7 @@ Machine::execute(Core &core, const Operation &op)
 
       case Opcode::SPAWN: {
         const CoreId target = static_cast<CoreId>(op.imm);
-        if (net_.sendWouldStall(core.id, target)) {
+        if (net_.sendWouldStall(core.id, target, /*is_spawn=*/true)) {
             stall(core, StallCat::SendFull);
             return false;
         }

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Differential fuzzing harness: generator determinism and legality,
+ * repro round-trips, shrinker contracts, and the tier-1 fixed-seed
+ * smoke batch (every generated program must reproduce its golden run
+ * across the full sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/artifact_cache.hh"
+#include "fuzz/differ.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/repro.hh"
+#include "fuzz/shrink.hh"
+#include "interp/interp.hh"
+#include "ir/serialize.hh"
+#include "ir/verifier.hh"
+
+namespace voltron {
+namespace {
+
+/** The cache is process-global; fuzz programs are one-shot. */
+class ScopedNoDiskCache
+{
+  public:
+    ScopedNoDiskCache()
+    {
+        ArtifactCache::instance().setDiskDir(std::string());
+        ArtifactCache::instance().clearMemory();
+    }
+    ~ScopedNoDiskCache()
+    {
+        ArtifactCache::instance().setDiskDir(std::nullopt);
+        ArtifactCache::instance().clearMemory();
+    }
+};
+
+size_t
+op_count(const Program &prog)
+{
+    size_t n = 0;
+    for (const Function &fn : prog.functions)
+        for (const BasicBlock &bb : fn.blocks)
+            n += bb.ops.size();
+    return n;
+}
+
+size_t
+store_count(const Program &prog)
+{
+    size_t n = 0;
+    for (const Function &fn : prog.functions)
+        for (const BasicBlock &bb : fn.blocks)
+            for (const Operation &op : bb.ops)
+                if (is_store(op.op))
+                    ++n;
+    return n;
+}
+
+TEST(FuzzGenerator, DeterministicBySeed)
+{
+    const Program a = generate_fuzz_program(42);
+    const Program b = generate_fuzz_program(42);
+    EXPECT_EQ(program_content_hash(a), program_content_hash(b));
+
+    const Program c = generate_fuzz_program(43);
+    EXPECT_NE(program_content_hash(a), program_content_hash(c));
+}
+
+TEST(FuzzGenerator, ProgramsVerifyAndTerminate)
+{
+    for (u64 seed = 1; seed <= 15; ++seed) {
+        const Program prog = generate_fuzz_program(seed);
+        EXPECT_TRUE(verify_program(prog).ok()) << "seed " << seed;
+        EXPECT_EQ(prog.function(0).name, "main");
+        EXPECT_EQ(prog.function(0).numArgs, 0);
+        // Terminates well inside the differ's budget.
+        const GoldenRun golden = run_golden(prog, 50'000'000);
+        EXPECT_GT(golden.result.dynamicOps, 0u) << "seed " << seed;
+    }
+}
+
+TEST(FuzzGenerator, ExercisesTheTargetedShapes)
+{
+    // Across a handful of seeds the generator must produce calls,
+    // loops (back-branches), stores, and at least one wildcard-alias op.
+    size_t calls = 0, stores = 0, branches = 0, wildcards = 0;
+    for (u64 seed = 1; seed <= 10; ++seed) {
+        const Program prog = generate_fuzz_program(seed);
+        for (const Function &fn : prog.functions)
+            for (const BasicBlock &bb : fn.blocks)
+                for (const Operation &op : bb.ops) {
+                    calls += op.op == Opcode::CALL;
+                    stores += is_store(op.op);
+                    branches += op.op == Opcode::BR;
+                    wildcards += is_memory(op.op) && op.memSym == 0;
+                }
+    }
+    EXPECT_GT(calls, 0u);
+    EXPECT_GT(stores, 0u);
+    EXPECT_GT(branches, 0u);
+    EXPECT_GT(wildcards, 0u);
+}
+
+TEST(FuzzRepro, RoundTripsThroughBytes)
+{
+    FuzzRepro repro;
+    repro.seed = 0xdeadbeef;
+    repro.divergence.kind = Divergence::Kind::MemoryMismatch;
+    repro.divergence.point = "dswp/c4/qcap1";
+    repro.divergence.message = "final data segment differs";
+    repro.program = generate_fuzz_program(7);
+
+    FuzzRepro back;
+    ASSERT_TRUE(decode_repro(encode_repro(repro), back));
+    EXPECT_EQ(back.seed, repro.seed);
+    EXPECT_EQ(back.divergence.kind, repro.divergence.kind);
+    EXPECT_EQ(back.divergence.point, repro.divergence.point);
+    EXPECT_EQ(back.divergence.message, repro.divergence.message);
+    EXPECT_EQ(program_content_hash(back.program),
+              program_content_hash(repro.program));
+}
+
+TEST(FuzzRepro, RejectsCorruptBytes)
+{
+    FuzzRepro repro;
+    repro.program = generate_fuzz_program(9);
+    std::vector<u8> bytes = encode_repro(repro);
+
+    std::vector<u8> bad_magic = bytes;
+    bad_magic[0] ^= 0xff;
+    FuzzRepro out;
+    EXPECT_FALSE(decode_repro(bad_magic, out));
+
+    std::vector<u8> truncated(bytes.begin(),
+                              bytes.begin() + bytes.size() / 2);
+    EXPECT_FALSE(decode_repro(truncated, out));
+}
+
+TEST(FuzzShrink, ReducesWhilePreservingTheOracle)
+{
+    const Program orig = generate_fuzz_program(11);
+    ASSERT_GT(store_count(orig), 0u);
+
+    // Stand-in oracle (no real bug needed): "still contains a store".
+    const ShrinkOracle oracle = [](const Program &p) {
+        return store_count(p) > 0;
+    };
+    ShrinkStats stats;
+    const Program shrunk = shrink_program(orig, oracle, 400, &stats);
+
+    EXPECT_TRUE(oracle(shrunk));
+    EXPECT_TRUE(verify_program(shrunk).ok());
+    EXPECT_LT(op_count(shrunk), op_count(orig));
+    EXPECT_GT(stats.accepted, 0u);
+    EXPECT_NO_THROW(run_golden(shrunk, 10'000'000));
+}
+
+TEST(FuzzSmoke, FixedSeedBatchHasNoDivergences)
+{
+    ScopedNoDiskCache no_disk;
+    const std::vector<SweepPoint> sweep = default_sweep();
+    ASSERT_GE(sweep.size(), 30u);
+    const u64 master_seed = 1; // mirrors the ci.sh fuzz-smoke stage
+    for (u32 i = 0; i < 25; ++i) {
+        const u64 seed = hash_combine(master_seed, i);
+        const Program prog = generate_fuzz_program(seed);
+        const auto div = diff_program(prog, sweep);
+        ASSERT_FALSE(div.has_value())
+            << "seed 0x" << std::hex << seed << std::dec << " diverged at "
+            << div->point << " (" << divergence_kind_name(div->kind)
+            << "): " << div->message;
+    }
+}
+
+} // namespace
+} // namespace voltron

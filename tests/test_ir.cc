@@ -494,6 +494,112 @@ TEST(Verifier, RejectsUnreachableBlock)
     EXPECT_FALSE(verify_program(prog).ok());
 }
 
+TEST(Verifier, RejectsSelfRecursion)
+{
+    // DESIGN.md §6: recursion is unsupported — a recursive CALL used to
+    // pass verification and grow the register stack unboundedly at run
+    // time instead of failing at compile time.
+    ProgramBuilder b("rec");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    FuncId f = b.beginFunction("spin", 0, false);
+    {
+        RegId bt = b.newBtr();
+        b.emit(ops::pbr(bt, CodeRef::to_function(f)));
+        b.emit(ops::call(bt));
+        b.emit(ops::ret());
+    }
+    b.endFunction();
+    Program prog = b.take();
+    VerifyResult result = verify_program(prog);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.joined().find("recursive call graph"),
+              std::string::npos)
+        << result.joined();
+}
+
+TEST(Verifier, RejectsMutualRecursion)
+{
+    // A two-function cycle reached through a non-recursive entry chain:
+    // main -> even -> odd -> even.
+    ProgramBuilder b("mutrec");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    // Declare both functions first so the PBRs can reference them. The
+    // builder only emits into one open function at a time, so patch the
+    // call into "even" after both bodies exist.
+    FuncId even = b.beginFunction("even", 0, false);
+    b.emit(ops::ret());
+    b.endFunction();
+    FuncId odd = b.beginFunction("odd", 0, false);
+    {
+        RegId bt = b.newBtr();
+        b.emit(ops::pbr(bt, CodeRef::to_function(even)));
+        b.emit(ops::call(bt));
+        b.emit(ops::ret());
+    }
+    b.endFunction();
+    Program prog = b.take();
+    // Patch even: call odd before its RET.
+    Function &efn = prog.function(even);
+    RegId bt = efn.freshReg(RegClass::BTR);
+    BasicBlock &ebb = efn.block(0);
+    ebb.ops.clear();
+    ebb.append(ops::pbr(bt, CodeRef::to_function(odd)));
+    ebb.append(ops::call(bt));
+    ebb.append(ops::ret());
+    // Call even from main so the cycle is reachable from the entry.
+    Function &mfn = prog.function(0);
+    BasicBlock &mbb = mfn.block(0);
+    mbb.ops.clear();
+    RegId mbt = mfn.freshReg(RegClass::BTR);
+    mbb.append(ops::pbr(mbt, CodeRef::to_function(even)));
+    mbb.append(ops::call(mbt));
+    mbb.append(ops::movi(gpr(16), 0));
+    mbb.append(ops::halt(gpr(16)));
+
+    VerifyResult result = verify_program(prog);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.joined().find("recursive call graph"),
+              std::string::npos)
+        << result.joined();
+}
+
+TEST(Verifier, AcceptsDiamondCallGraph)
+{
+    // Sharing a callee (main -> a -> c, main -> b -> c) is NOT recursion;
+    // the check must only reject genuine cycles.
+    ProgramBuilder b("dag");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    FuncId c = b.beginFunction("c", 0, false);
+    b.emit(ops::ret());
+    b.endFunction();
+    FuncId fa = b.beginFunction("a", 0, false);
+    b.emitCall(c, {});
+    b.emit(ops::ret());
+    b.endFunction();
+    FuncId fb = b.beginFunction("b", 0, false);
+    b.emitCall(c, {});
+    b.emit(ops::ret());
+    b.endFunction();
+    Program prog = b.take();
+    Function &mfn = prog.function(0);
+    BasicBlock &mbb = mfn.block(0);
+    mbb.ops.clear();
+    for (FuncId callee : {fa, fb}) {
+        RegId bt = mfn.freshReg(RegClass::BTR);
+        mbb.append(ops::pbr(bt, CodeRef::to_function(callee)));
+        mbb.append(ops::call(bt));
+    }
+    mbb.append(ops::movi(gpr(16), 0));
+    mbb.append(ops::halt(gpr(16)));
+    EXPECT_TRUE(verify_program(prog).ok()) << verify_program(prog).joined();
+}
+
 TEST(Printer, FunctionDumpMentionsBlocksAndOps)
 {
     Program prog = loop_program();

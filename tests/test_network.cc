@@ -164,6 +164,46 @@ TEST(Network, BroadcastReachesEveryOtherCore)
     EXPECT_THROW(net.getBroadcast(0, 5), PanicError);
 }
 
+TEST(Network, SpawnDoesNotConsumeDataSlotAtCapacityOne)
+{
+    // Regression: an in-flight SPAWN (which tryRecv can never drain) must
+    // not count toward the per-(sender,receiver) data-queue capacity. At
+    // queueCapacity=1 a data SEND racing an undelivered SPAWN used to
+    // stall spuriously and could wedge the pair for good.
+    NetworkConfig config = mesh2x2();
+    config.queueCapacity = 1;
+    OperandNetwork net(config);
+    net.send(0, 1, 0xcafe, 0, /*is_spawn=*/true);
+    EXPECT_FALSE(net.sendWouldStall(0, 1));
+    net.send(0, 1, 42, 0);
+    // Each class now holds its one slot.
+    EXPECT_TRUE(net.sendWouldStall(0, 1));
+    EXPECT_TRUE(net.sendWouldStall(0, 1, /*is_spawn=*/true));
+    // Draining the data message frees the data slot but not the spawn
+    // slot, and vice versa.
+    EXPECT_EQ(*net.tryRecv(1, 0, 10), 42u);
+    EXPECT_FALSE(net.sendWouldStall(0, 1));
+    EXPECT_TRUE(net.sendWouldStall(0, 1, /*is_spawn=*/true));
+    EXPECT_EQ(*net.trySpawn(1, 10), 0xcafeu);
+    EXPECT_FALSE(net.sendWouldStall(0, 1, /*is_spawn=*/true));
+}
+
+TEST(Network, SpawnBackpressureIsPerClass)
+{
+    NetworkConfig config = mesh2x2();
+    config.queueCapacity = 1;
+    OperandNetwork net(config);
+    net.send(0, 1, 7, 0);
+    EXPECT_TRUE(net.sendWouldStall(0, 1));
+    // A spawn still fits: it has its own slot.
+    EXPECT_FALSE(net.sendWouldStall(0, 1, /*is_spawn=*/true));
+    net.send(0, 1, 0x1234, 0, /*is_spawn=*/true);
+    // A second spawn from the same sender is back-pressured.
+    EXPECT_TRUE(net.sendWouldStall(0, 1, /*is_spawn=*/true));
+    // ... but another sender's spawn is not.
+    EXPECT_FALSE(net.sendWouldStall(2, 1, /*is_spawn=*/true));
+}
+
 TEST(Network, RowMesh1x2)
 {
     NetworkConfig config;
@@ -173,6 +213,104 @@ TEST(Network, RowMesh1x2)
     EXPECT_EQ(net.numCores(), 2);
     EXPECT_EQ(net.hops(0, 1), 1u);
     EXPECT_EQ(net.neighbor(0, Dir::South), kNoCore);
+}
+
+TEST(Network, RowMesh1x4Neighbors)
+{
+    // A 1x4 row mesh holds the same four cores as a 2x2 square but with
+    // entirely different edge geometry: no vertical links at all, and
+    // core ids advance east along the single row.
+    NetworkConfig config;
+    config.rows = 1;
+    config.cols = 4;
+    OperandNetwork net(config);
+    EXPECT_EQ(net.numCores(), 4);
+    for (CoreId c = 0; c < 4; ++c) {
+        EXPECT_EQ(net.neighbor(c, Dir::North), kNoCore);
+        EXPECT_EQ(net.neighbor(c, Dir::South), kNoCore);
+    }
+    EXPECT_EQ(net.neighbor(0, Dir::East), 1);
+    EXPECT_EQ(net.neighbor(1, Dir::East), 2);
+    EXPECT_EQ(net.neighbor(2, Dir::East), 3);
+    EXPECT_EQ(net.neighbor(3, Dir::East), kNoCore);
+    EXPECT_EQ(net.neighbor(0, Dir::West), kNoCore);
+    EXPECT_EQ(net.neighbor(3, Dir::West), 2);
+}
+
+TEST(Network, ColumnMesh4x1Neighbors)
+{
+    NetworkConfig config;
+    config.rows = 4;
+    config.cols = 1;
+    OperandNetwork net(config);
+    EXPECT_EQ(net.numCores(), 4);
+    for (CoreId c = 0; c < 4; ++c) {
+        EXPECT_EQ(net.neighbor(c, Dir::East), kNoCore);
+        EXPECT_EQ(net.neighbor(c, Dir::West), kNoCore);
+    }
+    EXPECT_EQ(net.neighbor(0, Dir::South), 1);
+    EXPECT_EQ(net.neighbor(2, Dir::South), 3);
+    EXPECT_EQ(net.neighbor(3, Dir::South), kNoCore);
+    EXPECT_EQ(net.neighbor(3, Dir::North), 2);
+    EXPECT_EQ(net.neighbor(0, Dir::North), kNoCore);
+}
+
+TEST(Network, XyDistanceDiffersBetween1x4And2x2)
+{
+    // Cores 0 and 3 are 3 XY hops apart on the row mesh but only 2 on
+    // the square — the routing distance depends on the fold.
+    NetworkConfig row;
+    row.rows = 1;
+    row.cols = 4;
+    OperandNetwork rnet(row);
+    EXPECT_EQ(rnet.hops(0, 3), 3u);
+    EXPECT_EQ(rnet.hops(3, 0), 3u);
+    EXPECT_EQ(rnet.hops(1, 2), 1u);
+
+    OperandNetwork snet(mesh2x2());
+    EXPECT_EQ(snet.hops(0, 3), 2u);
+    EXPECT_EQ(snet.hops(1, 2), 2u);
+}
+
+TEST(Network, HopLatencyAcrossTheRowMeshBoundary)
+{
+    // Queue-mode latency is base + hops * hopLatency. End-to-end across
+    // the full 1x4 row (3 hops) with non-default latencies: send at cycle
+    // 10, base 2, hop 3 -> arrival at 10 + 2 + 3*3 = 21.
+    NetworkConfig config;
+    config.rows = 1;
+    config.cols = 4;
+    config.queueBaseLatency = 2;
+    config.hopLatency = 3;
+    OperandNetwork net(config);
+    net.send(0, 3, 99, 10);
+    EXPECT_FALSE(net.tryRecv(3, 0, 20).has_value());
+    auto v = net.tryRecv(3, 0, 21);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 99u);
+    // The same endpoints on a 2x2 mesh are one hop closer: 2 + 2*3 = 18.
+    NetworkConfig square = mesh2x2();
+    square.queueBaseLatency = 2;
+    square.hopLatency = 3;
+    OperandNetwork snet(square);
+    snet.send(0, 3, 7, 10);
+    EXPECT_FALSE(snet.tryRecv(3, 0, 17).has_value());
+    EXPECT_TRUE(snet.tryRecv(3, 0, 18).has_value());
+}
+
+TEST(Network, EdgeCoreDirectModeOnRowMesh)
+{
+    // Direct-mode PUT/GET across the interior links of a 1x4 mesh; the
+    // boundary links must panic in both directions.
+    NetworkConfig config;
+    config.rows = 1;
+    config.cols = 4;
+    OperandNetwork net(config);
+    net.putDirect(1, Dir::East, 5, 3);
+    EXPECT_EQ(net.getDirect(2, Dir::West, 3), 5u);
+    EXPECT_THROW(net.putDirect(3, Dir::East, 1, 0), PanicError);
+    EXPECT_THROW(net.putDirect(0, Dir::South, 1, 0), PanicError);
+    EXPECT_THROW(net.getDirect(0, Dir::North, 0), PanicError);
 }
 
 TEST(Network, SendToSelfPanics)

@@ -316,6 +316,57 @@ TEST(ArtifactCache, DiskRoundTripAndStats)
     EXPECT_GE(entries, 3u);
 }
 
+TEST(ArtifactCache, OrphanedStoreTempIsDebrisNotAnEntry)
+{
+    ScopedCacheDir cache("orphan");
+    {
+        VoltronSystem sys(test_program());
+        sys.run(Strategy::IlpOnly, 2);
+    }
+    // Simulate a writer killed between writing its temp and the rename:
+    // a half-written ".tmp<pid>" next to the published entries.
+    const std::string entry =
+        cache_entry_filename(ArtifactKind::Golden, 0x1234abcdULL);
+    const std::filesystem::path orphan =
+        cache.path() / (entry + ".tmp99999");
+    {
+        std::ofstream os(orphan, std::ios::binary);
+        os << "partial";
+    }
+    EXPECT_TRUE(is_cache_temp_name(orphan.filename().string()));
+    EXPECT_FALSE(is_cache_temp_name(entry));
+    EXPECT_FALSE(is_cache_temp_name(entry + ".tmp"));    // no pid digits
+    EXPECT_FALSE(is_cache_temp_name(entry + ".tmp12x")); // junk suffix
+
+    // The runtime never reads temps: a warm run is served entirely from
+    // the published entries, and the temp is not counted as corrupt.
+    ArtifactCache::instance().clearMemory();
+    ArtifactCache::instance().resetStats();
+    {
+        VoltronSystem sys(test_program());
+        sys.run(Strategy::IlpOnly, 2);
+    }
+    const ArtifactCacheStats warm = ArtifactCache::instance().stats();
+    EXPECT_EQ(warm.misses(), 0u);
+    EXPECT_EQ(warm.corrupt, 0u);
+
+    // The sweep removes the temp and nothing else.
+    size_t published = 0;
+    for (const auto &de :
+         std::filesystem::directory_iterator(cache.path()))
+        if (de.path().extension() == ".vcache")
+            ++published;
+    ASSERT_GT(published, 0u);
+    EXPECT_EQ(sweep_cache_temps(cache.path().string()), 1u);
+    EXPECT_FALSE(std::filesystem::exists(orphan));
+    size_t survivors = 0;
+    for (const auto &de :
+         std::filesystem::directory_iterator(cache.path()))
+        if (de.path().extension() == ".vcache")
+            ++survivors;
+    EXPECT_EQ(survivors, published);
+}
+
 TEST(ArtifactCache, CorruptedEntryFallsBackToColdCompile)
 {
     ScopedCacheDir cache("corrupt");

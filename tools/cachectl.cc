@@ -10,7 +10,9 @@
  *                                          whose hex key starts PREFIX)
  *
  * Corrupt entries are reported, never fatal: the runtime cache treats
- * them as misses, and `evict` is the cleanup. Process-level hit/miss
+ * them as misses, and `evict` is the cleanup. Orphaned store temps
+ * (".vcache.tmp<pid>" left by a process killed mid-publish) show up as
+ * kind "orphan" and are likewise swept by `evict`. Process-level hit/miss
  * counters come from the runtime itself — run any harness with
  * VOLTRON_CACHE_STATS=1 to print them at exit.
  */
@@ -37,6 +39,7 @@ struct Entry
     fs::path path;
     CacheEntryHeader header;
     bool headerOk = false;
+    bool orphan = false; //!< unpublished .tmp<pid> from a crashed store
     u64 fileBytes = 0;
 };
 
@@ -46,13 +49,18 @@ scan(const std::string &dir)
     std::vector<Entry> entries;
     std::error_code ec;
     for (const auto &de : fs::directory_iterator(dir, ec)) {
-        if (!de.is_regular_file() || de.path().extension() != ".vcache")
+        if (!de.is_regular_file())
+            continue;
+        const bool orphan =
+            is_cache_temp_name(de.path().filename().string());
+        if (!orphan && de.path().extension() != ".vcache")
             continue;
         Entry e;
         e.path = de.path();
+        e.orphan = orphan;
         e.fileBytes = de.file_size(ec);
         e.headerOk =
-            read_cache_entry(e.path.string(), e.header, nullptr);
+            !orphan && read_cache_entry(e.path.string(), e.header, nullptr);
         entries.push_back(std::move(e));
     }
     std::sort(entries.begin(), entries.end(),
@@ -63,6 +71,8 @@ scan(const std::string &dir)
 const char *
 kind_of(const Entry &e)
 {
+    if (e.orphan)
+        return "orphan";
     return e.headerOk
                ? artifact_kind_name(static_cast<ArtifactKind>(e.header.kind))
                : "corrupt";
@@ -91,8 +101,14 @@ cmd_list(const std::string &dir)
 int
 cmd_verify(const std::string &dir)
 {
-    size_t ok = 0, bad = 0;
+    size_t ok = 0, bad = 0, orphans = 0;
     for (const Entry &e : scan(dir)) {
+        // Temps were never published, so they are debris, not corruption.
+        if (e.orphan) {
+            ++orphans;
+            std::cout << "ORPHAN  " << e.path.filename().string() << "\n";
+            continue;
+        }
         CacheEntryHeader header;
         std::vector<u8> payload;
         if (read_cache_entry(e.path.string(), header, &payload)) {
@@ -102,7 +118,10 @@ cmd_verify(const std::string &dir)
             std::cout << "CORRUPT " << e.path.filename().string() << "\n";
         }
     }
-    std::cout << "verified " << ok << " ok, " << bad << " corrupt\n";
+    std::cout << "verified " << ok << " ok, " << bad << " corrupt";
+    if (orphans)
+        std::cout << ", " << orphans << " orphan temps (run evict)";
+    std::cout << "\n";
     return bad ? 1 : 0;
 }
 
@@ -114,9 +133,12 @@ cmd_stats(const std::string &dir)
         u64 count = 0, bytes = 0;
     };
     std::array<Agg, static_cast<size_t>(ArtifactKind::NumKinds)> by_kind;
-    Agg corrupt;
+    Agg corrupt, orphan;
     for (const Entry &e : scan(dir)) {
-        if (e.headerOk) {
+        if (e.orphan) {
+            ++orphan.count;
+            orphan.bytes += e.fileBytes;
+        } else if (e.headerOk) {
             Agg &a = by_kind[e.header.kind];
             ++a.count;
             a.bytes += e.fileBytes;
@@ -139,6 +161,10 @@ cmd_stats(const std::string &dir)
         std::cout << std::left << std::setw(10) << "corrupt" << std::right
                   << std::setw(8) << corrupt.count << " entries"
                   << std::setw(12) << corrupt.bytes << " bytes\n";
+    if (orphan.count)
+        std::cout << std::left << std::setw(10) << "orphan" << std::right
+                  << std::setw(8) << orphan.count << " entries"
+                  << std::setw(12) << orphan.bytes << " bytes\n";
     std::cout << std::left << std::setw(10) << "total" << std::right
               << std::setw(8) << total_count << " entries" << std::setw(12)
               << total_bytes << " bytes\n";
@@ -151,7 +177,8 @@ cmd_evict(const std::string &dir, const std::string &prefix)
     size_t removed = 0;
     std::error_code ec;
     for (const Entry &e : scan(dir)) {
-        // Unreadable entries always match: evict is the cleanup path.
+        // Unreadable entries and orphaned temps always match: evict is
+        // the cleanup path, and a temp's key was never published.
         if (!prefix.empty() && e.headerOk &&
             hex_key(e).rfind(prefix, 0) != 0)
             continue;

@@ -7,6 +7,11 @@
 #     and report a non-zero disk-hit count (VOLTRON_CACHE_STATS=1 prints
 #     the counters on stderr at exit), and every persisted entry must
 #     pass cachectl verify.
+#  3. Fuzz smoke: 50 fixed-seed random programs through the full
+#     differential sweep (voltron-fuzz run). Any divergence from the
+#     golden model — wrong exit value, wrong memory image, or an
+#     invariant panic — fails the stage and leaves a replayable .vfuzz
+#     repro in the log.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,5 +44,15 @@ echo "warm run served from the persistent cache"
 
 ./build/tools/cachectl stats
 ./build/tools/cachectl verify
+
+echo "== fuzz smoke =="
+FUZZ_CORPUS="$SMOKE_DIR/fuzz-corpus"
+if ! ./build/tools/voltron-fuzz run --seed 1 --count 50 \
+    --corpus "$FUZZ_CORPUS"; then
+    echo "FAIL: differential fuzz smoke found divergences" >&2
+    ls -l "$FUZZ_CORPUS" >&2 || true
+    exit 1
+fi
+echo "fuzz smoke clean: 50 programs reproduce the golden model"
 
 echo "ci: OK"

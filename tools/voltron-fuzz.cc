@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Differential fuzzer driver for the golden-model invariant.
+ *
+ *   voltron-fuzz run [--seed S] [--count N] [--corpus DIR]
+ *                    [--no-shrink] [--max-shrink-evals K]
+ *       Generate N programs from seed S, diff each against the full
+ *       default sweep, shrink any divergence, and write a replayable
+ *       .vfuzz repro into DIR. Exit 1 if any divergence was found.
+ *
+ *   voltron-fuzz replay FILE...
+ *       Re-execute each repro's program against the default sweep.
+ *       Exit 1 if any repro still diverges (so a fixed bug's corpus
+ *       replays clean).
+ *
+ * Determinism: program i is generated from hash_combine(S, i), so a
+ * reported seed always regenerates its program regardless of N. The
+ * persistent artifact cache is disabled — fuzz programs are one-shot.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/artifact_cache.hh"
+#include "fuzz/differ.hh"
+#include "fuzz/generator.hh"
+#include "fuzz/repro.hh"
+#include "fuzz/shrink.hh"
+#include "ir/serialize.hh"
+
+using namespace voltron;
+namespace fs = std::filesystem;
+
+namespace {
+
+size_t
+op_count(const Program &prog)
+{
+    size_t n = 0;
+    for (const Function &fn : prog.functions)
+        for (const BasicBlock &bb : fn.blocks)
+            n += bb.ops.size();
+    return n;
+}
+
+void
+print_divergence(u64 seed, const Divergence &div)
+{
+    std::printf("DIVERGENCE seed=0x%llx point=%s kind=%s\n  %s\n",
+                static_cast<unsigned long long>(seed), div.point.c_str(),
+                divergence_kind_name(div.kind), div.message.c_str());
+}
+
+int
+cmd_run(u64 master_seed, u32 count, const std::string &corpus_dir,
+        bool do_shrink, u32 max_shrink_evals)
+{
+    const std::vector<SweepPoint> sweep = default_sweep();
+    std::printf("fuzz: %u programs x %zu sweep points, master seed %llu\n",
+                count, sweep.size(),
+                static_cast<unsigned long long>(master_seed));
+
+    u32 divergences = 0;
+    for (u32 i = 0; i < count; ++i) {
+        const u64 seed = hash_combine(master_seed, i);
+        const Program prog = generate_fuzz_program(seed);
+        auto div = diff_program(prog, sweep);
+        if (!div) {
+            if ((i + 1) % 25 == 0)
+                std::printf("  %u/%u ok\n", i + 1, count);
+            continue;
+        }
+        ++divergences;
+        print_divergence(seed, *div);
+
+        Program final_prog = prog;
+        Divergence final_div = *div;
+        if (do_shrink) {
+            ShrinkStats stats;
+            final_prog = shrink_program(
+                prog,
+                [&](const Program &candidate) {
+                    auto d = diff_program(candidate, sweep);
+                    return d && d->kind == div->kind;
+                },
+                max_shrink_evals, &stats);
+            // Re-diff the shrunk program for the repro's point/message.
+            if (auto d = diff_program(final_prog, sweep))
+                final_div = *d;
+            std::printf("  shrunk %zu -> %zu ops (%u/%u evals)\n",
+                        op_count(prog), op_count(final_prog), stats.evals,
+                        stats.accepted);
+        }
+
+        if (!corpus_dir.empty()) {
+            std::error_code ec;
+            fs::create_directories(corpus_dir, ec);
+            char name[64];
+            std::snprintf(name, sizeof(name), "fuzz-%016llx.vfuzz",
+                          static_cast<unsigned long long>(seed));
+            const std::string path = corpus_dir + "/" + name;
+            FuzzRepro repro;
+            repro.seed = seed;
+            repro.divergence = final_div;
+            repro.program = final_prog;
+            if (write_repro(path, repro))
+                std::printf("  repro: %s\n", path.c_str());
+            else
+                std::fprintf(stderr, "  failed to write %s\n",
+                             path.c_str());
+        }
+    }
+
+    std::printf("fuzz: %u/%u programs diverged\n", divergences, count);
+    return divergences ? 1 : 0;
+}
+
+int
+cmd_replay(const std::vector<std::string> &files)
+{
+    const std::vector<SweepPoint> sweep = default_sweep();
+    u32 failing = 0;
+    for (const std::string &path : files) {
+        FuzzRepro repro;
+        if (!read_repro(path, repro)) {
+            std::fprintf(stderr, "replay: cannot read %s\n", path.c_str());
+            ++failing;
+            continue;
+        }
+        std::printf("replay %s (seed=0x%llx, recorded %s at %s)\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(repro.seed),
+                    divergence_kind_name(repro.divergence.kind),
+                    repro.divergence.point.c_str());
+        if (auto div = diff_program(repro.program, sweep)) {
+            ++failing;
+            print_divergence(repro.seed, *div);
+        } else {
+            std::printf("  clean: no divergence on the current build\n");
+        }
+    }
+    return failing ? 1 : 0;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: voltron-fuzz run [--seed S] [--count N] [--corpus DIR]\n"
+        "                        [--no-shrink] [--max-shrink-evals K]\n"
+        "       voltron-fuzz replay FILE...\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+
+    // Fuzz programs are one-shot; never touch $VOLTRON_CACHE_DIR.
+    ArtifactCache::instance().setDiskDir(std::string());
+
+    if (cmd == "run") {
+        u64 seed = 1;
+        u32 count = 100;
+        u32 max_shrink_evals = 300;
+        std::string corpus = "fuzz-corpus";
+        bool do_shrink = true;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
+                seed = std::strtoull(argv[++i], nullptr, 0);
+            else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc)
+                count = static_cast<u32>(
+                    std::strtoul(argv[++i], nullptr, 0));
+            else if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc)
+                corpus = argv[++i];
+            else if (std::strcmp(argv[i], "--no-shrink") == 0)
+                do_shrink = false;
+            else if (std::strcmp(argv[i], "--max-shrink-evals") == 0 &&
+                     i + 1 < argc)
+                max_shrink_evals = static_cast<u32>(
+                    std::strtoul(argv[++i], nullptr, 0));
+            else
+                return usage();
+        }
+        return cmd_run(seed, count, corpus, do_shrink, max_shrink_evals);
+    }
+    if (cmd == "replay") {
+        std::vector<std::string> files(argv + 2, argv + argc);
+        if (files.empty())
+            return usage();
+        return cmd_replay(files);
+    }
+    return usage();
+}
