@@ -13,6 +13,8 @@
  */
 
 #include "common.hh"
+#include "trace/perfetto.hh"
+#include "trace/trace.hh"
 
 using namespace voltron;
 using namespace voltron::bench;
@@ -51,11 +53,84 @@ stalls_of(const MachineResult &result, u16 cores, double serial_cycles)
     return bar;
 }
 
+/**
+ * --timeline NAME [OUT_PREFIX]: trace the ILP and TLP runs of one
+ * benchmark at 4 cores, print the master's per-region timeline (where
+ * the stall cycles of the table above actually accrue), and write
+ * Chrome trace JSON files for Perfetto next to it.
+ */
+int
+timeline_mode(const std::string &name, const std::string &out_prefix)
+{
+    VoltronSystem &sys = shared_system(name);
+    for (Strategy strategy : {Strategy::IlpOnly, Strategy::TlpOnly}) {
+        RingBufferTraceSink ring;
+        MachineConfig config = MachineConfig::forCores(4);
+        config.traceSink = &ring;
+        CompileOptions opts;
+        opts.strategy = strategy;
+        opts.numCores = 4;
+        const RunOutcome outcome = sys.run(opts, config);
+        if (!outcome.correct()) {
+            std::cout << name << "  GOLDEN-MODEL MISMATCH\n";
+            return 1;
+        }
+
+        const std::vector<TraceEvent> events = ring.events();
+        std::cout << "\n" << name << " / " << strategy_name(strategy)
+                  << " @ 4 cores: " << outcome.result.cycles
+                  << " cycles, " << events.size() << " events\n";
+
+        // Master region timeline from the RegionEnter stream.
+        std::cout << "  region timeline (master core):\n";
+        RegionId open = kNoRegion;
+        Cycle since = 0;
+        auto close = [&](Cycle at) {
+            if (open != kNoRegion)
+                std::cout << "    [" << std::setw(8) << since << ", "
+                          << std::setw(8) << at << ")  region " << open
+                          << "  (" << at - since << " cycles)\n";
+            since = at;
+        };
+        for (const TraceEvent &ev : events) {
+            if (ev.kind != TraceEventKind::RegionEnter)
+                continue;
+            close(ev.cycle);
+            open = ev.arg32;
+        }
+        close(outcome.result.cycles);
+        std::cout << "  coupled " << outcome.result.coupledCycles
+                  << " / decoupled " << outcome.result.decoupledCycles
+                  << " cycles\n";
+
+        TraceHeader header;
+        header.numCores = 4;
+        header.totalCycles = outcome.result.cycles;
+        header.totalEvents = ring.total();
+        header.dropped = ring.dropped();
+        header.label = name + "/" + strategy_name(strategy) + "/c4";
+        const std::string path = out_prefix + "." +
+                                 strategy_name(strategy) + ".json";
+        if (!export_chrome_trace_file(path, header, events)) {
+            std::cout << "FAILED to write " << path << "\n";
+            return 1;
+        }
+        std::cout << "  wrote " << path << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (argc >= 3 && std::string(argv[1]) == "--timeline")
+        return timeline_mode(argv[2],
+                             argc > 3 ? argv[3]
+                                      : "fig12_timeline_" +
+                                            std::string(argv[2]));
+
     banner("Figure 12: stall breakdown, coupled (ILP) vs decoupled (TLP), "
            "4 cores, normalised to serial time",
            "HPCA'07 Voltron paper, Figure 12");

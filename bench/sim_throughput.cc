@@ -13,6 +13,7 @@
 #include <fstream>
 
 #include "common.hh"
+#include "trace/metrics.hh"
 
 using namespace voltron;
 using namespace voltron::bench;
@@ -167,5 +168,27 @@ main(int argc, char **argv)
         return 1;
     }
     std::cout << "wrote " << out_path << "\n";
+
+    // Unified counter namespace for one representative point (untimed,
+    // outside both passes) so CI archives component-level metrics next
+    // to the throughput record.
+    {
+        MachineConfig config = MachineConfig::forCores(4);
+        Machine machine(*points[0], config);
+        const MachineResult result = machine.run();
+        const MetricsRegistry metrics = collect_metrics(machine, result);
+        std::string metrics_path = out_path;
+        const std::string suffix = ".json";
+        if (metrics_path.size() > suffix.size() &&
+            metrics_path.rfind(suffix) == metrics_path.size() - suffix.size())
+            metrics_path.resize(metrics_path.size() - suffix.size());
+        metrics_path += ".metrics.json";
+        if (!metrics.writeJsonFile(metrics_path)) {
+            std::cout << "FAILED to write " << metrics_path << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << metrics_path << " (" << metrics.size()
+                  << " counters)\n";
+    }
     return 0;
 }

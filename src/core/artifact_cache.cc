@@ -1,5 +1,7 @@
 #include "core/artifact_cache.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -204,15 +206,23 @@ is_cache_temp_name(const std::string &filename)
 }
 
 size_t
-sweep_cache_temps(const std::string &dir)
+sweep_cache_temps(const std::string &dir, u64 min_age_seconds)
 {
     size_t removed = 0;
     std::error_code ec;
+    const auto cutoff = std::filesystem::file_time_type::clock::now() -
+                        std::chrono::seconds(min_age_seconds);
     for (const auto &de : std::filesystem::directory_iterator(dir, ec)) {
         if (!de.is_regular_file())
             continue;
         if (!is_cache_temp_name(de.path().filename().string()))
             continue;
+        if (min_age_seconds != 0) {
+            const auto mtime =
+                std::filesystem::last_write_time(de.path(), ec);
+            if (ec || mtime > cutoff)
+                continue; // fresh: likely a live store being published
+        }
         if (std::filesystem::remove(de.path(), ec) && !ec)
             ++removed;
     }
@@ -292,12 +302,31 @@ ArtifactCache::setDiskDir(std::optional<std::string> dir)
     dirOverride_ = std::move(dir);
 }
 
+/**
+ * First touch of a cache dir in this process: clear out store temps old
+ * enough to be orphans of a killed process. Runs at most once per dir
+ * so a hot loop of loads pays only the swept-set lookup.
+ */
+void
+ArtifactCache::sweepTempsOnce(const std::string &dir)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (std::find(sweptDirs_.begin(), sweptDirs_.end(), dir) !=
+            sweptDirs_.end())
+            return;
+        sweptDirs_.push_back(dir);
+    }
+    sweep_cache_temps(dir, kCacheTempSweepAgeSeconds);
+}
+
 std::vector<u8>
 ArtifactCache::loadDisk(ArtifactKind kind, u64 key)
 {
     const std::string dir = diskDir();
     if (dir.empty())
         return {};
+    sweepTempsOnce(dir);
     const std::string path =
         dir + "/" + cache_entry_filename(kind, key);
     std::error_code ec;
@@ -321,6 +350,7 @@ ArtifactCache::storeDisk(ArtifactKind kind, u64 key,
     const std::string dir = diskDir();
     if (dir.empty())
         return;
+    sweepTempsOnce(dir);
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     if (ec)

@@ -119,8 +119,17 @@ std::string cache_entry_filename(ArtifactKind kind, u64 key);
  */
 bool is_cache_temp_name(const std::string &filename);
 
-/** Remove orphaned store temps from @p dir; returns how many. */
-size_t sweep_cache_temps(const std::string &dir);
+/**
+ * Remove orphaned store temps from @p dir; returns how many. With
+ * @p min_age_seconds nonzero only temps whose mtime is at least that
+ * old are removed — a concurrent process's in-flight store (written
+ * then renamed within milliseconds) is never touched.
+ */
+size_t sweep_cache_temps(const std::string &dir, u64 min_age_seconds = 0);
+
+/** Age threshold for the automatic startup sweep: any temp this stale
+ * is an orphan from a killed process, not an in-flight store. */
+inline constexpr u64 kCacheTempSweepAgeSeconds = 3600;
 
 /**
  * Read a cache entry file. Returns false when the file is unreadable or
@@ -166,6 +175,7 @@ class ArtifactCache
 
     std::vector<u8> loadDisk(ArtifactKind kind, u64 key);
     void storeDisk(ArtifactKind kind, u64 key, const std::vector<u8> &payload);
+    void sweepTempsOnce(const std::string &dir);
 
     ArtifactCacheStats::Line &line(ArtifactKind k)
     {
@@ -178,6 +188,7 @@ class ArtifactCache
     std::map<u64, Cycle> baseline_;
     ArtifactCacheStats stats_;
     std::optional<std::string> dirOverride_;
+    std::vector<std::string> sweptDirs_; //!< dirs already auto-swept
 };
 
 } // namespace voltron

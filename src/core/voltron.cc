@@ -93,7 +93,8 @@ VoltronSystem::memoryMatchesGolden(const MemoryImage &mem) const
 
 RunOutcome
 VoltronSystem::run(const CompileOptions &options,
-                   std::optional<MachineConfig> config)
+                   std::optional<MachineConfig> config,
+                   MetricsRegistry *metrics)
 {
     RunOutcome outcome;
     const std::shared_ptr<const MachineArtifact> artifact =
@@ -106,6 +107,8 @@ VoltronSystem::run(const CompileOptions &options,
     outcome.exitMatches =
         outcome.result.exitValue == golden_->result.exitValue;
     outcome.memoryMatches = memoryMatchesGolden(machine.memory());
+    if (metrics)
+        *metrics = collect_metrics(machine, outcome.result);
     return outcome;
 }
 

@@ -67,10 +67,14 @@ class VoltronSystem
 
     /**
      * Compile + simulate + verify. Uses MachineConfig::forCores unless
-     * @p config is given.
+     * @p config is given. To trace the run, pass a config whose
+     * traceSink is set. When @p metrics is non-null it receives the
+     * unified counter namespace (collect_metrics) for the run — opt-in,
+     * so hot bench loops pay nothing for it.
      */
     RunOutcome run(const CompileOptions &options,
-                   std::optional<MachineConfig> config = std::nullopt);
+                   std::optional<MachineConfig> config = std::nullopt,
+                   MetricsRegistry *metrics = nullptr);
 
     /** Convenience: run strategy @p s on @p cores cores. */
     RunOutcome run(Strategy s, u16 cores);

@@ -106,6 +106,18 @@ default_sweep()
     return sweep;
 }
 
+MachineConfig
+machine_config_for(const SweepPoint &point)
+{
+    MachineConfig config = MachineConfig::forCores(point.options.numCores);
+    if (point.overrideNet) {
+        config.net.queueCapacity = point.queueCapacity;
+        config.net.queueBaseLatency = point.queueBaseLatency;
+        config.net.hopLatency = point.hopLatency;
+    }
+    return config;
+}
+
 const char *
 divergence_kind_name(Divergence::Kind kind)
 {
@@ -125,13 +137,7 @@ diff_program(const Program &prog, const std::vector<SweepPoint> &sweep)
     VoltronSystem sys(prog); // golden pass; a throw here is a bad input
 
     for (const SweepPoint &point : sweep) {
-        MachineConfig config =
-            MachineConfig::forCores(point.options.numCores);
-        if (point.overrideNet) {
-            config.net.queueCapacity = point.queueCapacity;
-            config.net.queueBaseLatency = point.queueBaseLatency;
-            config.net.hopLatency = point.hopLatency;
-        }
+        const MachineConfig config = machine_config_for(point);
         Divergence div;
         div.point = point.label;
         try {

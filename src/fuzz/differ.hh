@@ -20,6 +20,7 @@
 
 #include "compiler/compile.hh"
 #include "ir/function.hh"
+#include "sim/machine.hh"
 
 namespace voltron {
 
@@ -44,6 +45,10 @@ struct SweepPoint
  * families.
  */
 std::vector<SweepPoint> default_sweep();
+
+/** The MachineConfig @p point runs under (forCores + net overrides) —
+ * shared by the differ and tools that replay a failing point. */
+MachineConfig machine_config_for(const SweepPoint &point);
 
 /** A compiled run that failed to reproduce the golden model. */
 struct Divergence

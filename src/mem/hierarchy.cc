@@ -67,6 +67,23 @@ MemHierarchy::corePrefix(CoreId core) const
     return "core" + std::to_string(core) + ".";
 }
 
+void
+MemHierarchy::traceMiss(CoreId core, Addr addr, bool is_write,
+                        bool is_ifetch, Cycle now,
+                        const AccessOutcome &out) const
+{
+    TraceEvent ev;
+    ev.cycle = now;
+    ev.core = core;
+    ev.kind = TraceEventKind::CacheMiss;
+    ev.arg8 = out.cacheToCache ? kMissCacheToCache
+                               : (out.l2Miss ? kMissMemory : kMissL2Hit);
+    ev.arg16 = static_cast<u16>((is_write ? 1 : 0) | (is_ifetch ? 2 : 0));
+    ev.arg32 = out.latency;
+    ev.arg64 = addr;
+    trace_->emit(ev);
+}
+
 u32
 MemHierarchy::acquireBus(Cycle now)
 {
@@ -182,6 +199,8 @@ MemHierarchy::access(CoreId core, Addr addr, bool is_write, Cycle now)
         out.latency += t.cacheToCache;
         counters.l1dCacheToCache++;
         fillL1d(core, line_addr, is_write ? Moesi::Modified : Moesi::Shared);
+        if (trace_)
+            traceMiss(core, addr, is_write, false, now, out);
         return out;
     }
 
@@ -201,6 +220,8 @@ MemHierarchy::access(CoreId core, Addr addr, bool is_write, Cycle now)
     else
         fill_state = any_sharer ? Moesi::Shared : Moesi::Exclusive;
     fillL1d(core, line_addr, fill_state);
+    if (trace_)
+        traceMiss(core, addr, is_write, false, now, out);
     return out;
 }
 
@@ -233,6 +254,8 @@ MemHierarchy::fetch(CoreId core, Addr addr, Cycle now)
         fillL2(line_addr);
     }
     l1.fill(line_addr);
+    if (trace_)
+        traceMiss(core, addr, false, true, now, out);
     return out;
 }
 

@@ -20,6 +20,7 @@
 #include "mem/cache.hh"
 #include "support/stats.hh"
 #include "support/types.hh"
+#include "trace/trace.hh"
 
 namespace voltron {
 
@@ -94,6 +95,10 @@ class MemHierarchy
 
     const MemConfig &config() const { return config_; }
 
+    /** Emit a CacheMiss event for every L1 miss to @p sink (nullptr
+     * disables; purely observational). */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+
   private:
     /**
      * Hot-path counters. The string-keyed StatSet costs a heap
@@ -120,6 +125,11 @@ class MemHierarchy
     mutable u64 busTransactions_ = 0;
     mutable u64 l2Evictions_ = 0;
     mutable StatSet stats_;
+    TraceSink *trace_ = nullptr;
+
+    /** CacheMiss event for the L1 miss @p out describes. */
+    void traceMiss(CoreId core, Addr addr, bool is_write, bool is_ifetch,
+                   Cycle now, const AccessOutcome &out) const;
 
     /** Fold the plain counters into stats_ (add and reset). */
     void flushStats() const;

@@ -77,6 +77,17 @@ OperandNetwork::send(CoreId from, CoreId to, u64 value, Cycle now,
     stats_.add("net.messages");
     if (is_spawn)
         stats_.add("net.spawns");
+    if (trace_) {
+        TraceEvent ev;
+        ev.cycle = now;
+        ev.core = from;
+        ev.kind = TraceEventKind::NetSend;
+        ev.arg16 = to;
+        ev.arg8 = is_spawn ? 1 : 0;
+        ev.arg32 = static_cast<u32>(recvQueues_[to].size());
+        ev.arg64 = msg.arrivesAt;
+        trace_->emit(ev);
+    }
 }
 
 std::optional<u64>
@@ -94,8 +105,19 @@ OperandNetwork::tryRecv(CoreId me, CoreId from, Cycle now)
         if (mit->arrivesAt > now)
             return std::nullopt; // in flight; keep FIFO order — stall
         u64 value = mit->value;
+        const Cycle arrived = mit->arrivesAt;
         queue.erase(mit);
         stats_.add("net.receives");
+        if (trace_) {
+            TraceEvent ev;
+            ev.cycle = now;
+            ev.core = me;
+            ev.kind = TraceEventKind::NetRecv;
+            ev.arg16 = from;
+            ev.arg32 = static_cast<u32>(queue.size());
+            ev.arg64 = now - arrived;
+            trace_->emit(ev);
+        }
         return value;
     }
     return std::nullopt;
@@ -114,7 +136,20 @@ OperandNetwork::trySpawn(CoreId me, Cycle now)
         if (mit->arrivesAt > now)
             return std::nullopt;
         u64 value = mit->value;
+        const CoreId from = mit->from;
+        const Cycle arrived = mit->arrivesAt;
         queue.erase(mit);
+        if (trace_) {
+            TraceEvent ev;
+            ev.cycle = now;
+            ev.core = me;
+            ev.kind = TraceEventKind::NetRecv;
+            ev.arg16 = from;
+            ev.arg8 = 1;
+            ev.arg32 = static_cast<u32>(queue.size());
+            ev.arg64 = now - arrived;
+            trace_->emit(ev);
+        }
         return value;
     }
     return std::nullopt;
@@ -145,6 +180,14 @@ OperandNetwork::putDirect(CoreId core, Dir dir, u64 value, Cycle now)
                  "PUT off the edge of the mesh");
     links_[{core, static_cast<u8>(dir)}] = {value, now};
     stats_.add("net.puts");
+    if (trace_) {
+        TraceEvent ev;
+        ev.cycle = now;
+        ev.core = core;
+        ev.kind = TraceEventKind::NetPut;
+        ev.arg8 = static_cast<u8>(dir);
+        trace_->emit(ev);
+    }
 }
 
 u64
@@ -158,6 +201,14 @@ OperandNetwork::getDirect(CoreId me, Dir dir, Cycle now)
                  " dir ", dir_name(dir), " cycle ", now,
                  ") — coupled-mode schedule bug");
     stats_.add("net.gets");
+    if (trace_) {
+        TraceEvent ev;
+        ev.cycle = now;
+        ev.core = me;
+        ev.kind = TraceEventKind::NetGet;
+        ev.arg8 = static_cast<u8>(dir);
+        trace_->emit(ev);
+    }
     return it->second.first;
 }
 
@@ -167,6 +218,13 @@ OperandNetwork::broadcast(CoreId from, u64 value, Cycle now)
     bcast_ = {value, now};
     bcastFrom_ = from;
     stats_.add("net.bcasts");
+    if (trace_) {
+        TraceEvent ev;
+        ev.cycle = now;
+        ev.core = from;
+        ev.kind = TraceEventKind::NetBcast;
+        trace_->emit(ev);
+    }
 }
 
 u64
@@ -175,6 +233,14 @@ OperandNetwork::getBroadcast(CoreId me, Cycle now)
     panic_if_not(bcast_ && bcast_->second == now && bcastFrom_ != me,
                  "broadcast GET with no same-cycle BCAST (core ", me,
                  " cycle ", now, ") — coupled-mode schedule bug");
+    if (trace_) {
+        TraceEvent ev;
+        ev.cycle = now;
+        ev.core = me;
+        ev.kind = TraceEventKind::NetGet;
+        ev.arg16 = 1;
+        trace_->emit(ev);
+    }
     return bcast_->first;
 }
 

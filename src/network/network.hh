@@ -32,6 +32,7 @@
 #include "isa/opcode.hh"
 #include "support/stats.hh"
 #include "support/types.hh"
+#include "trace/trace.hh"
 
 namespace voltron {
 
@@ -119,6 +120,10 @@ class OperandNetwork
 
     const StatSet &stats() const { return stats_; }
 
+    /** Emit NetSend/NetRecv/NetPut/NetGet/NetBcast events to @p sink
+     * (nullptr disables; purely observational). */
+    void setTraceSink(TraceSink *sink) { trace_ = sink; }
+
   private:
     struct Message
     {
@@ -137,6 +142,7 @@ class OperandNetwork
     std::optional<std::pair<u64, Cycle>> bcast_;
     CoreId bcastFrom_ = kNoCore;
     StatSet stats_;
+    TraceSink *trace_ = nullptr;
 
     u16 rowOf(CoreId c) const { return static_cast<u16>(c / config_.cols); }
     u16 colOf(CoreId c) const { return static_cast<u16>(c % config_.cols); }

@@ -23,25 +23,6 @@ constexpr Cycle kNever = std::numeric_limits<Cycle>::max();
 } // namespace
 
 const char *
-stall_cat_name(StallCat cat)
-{
-    switch (cat) {
-      case StallCat::None: return "none";
-      case StallCat::IFetch: return "ifetch";
-      case StallCat::DCache: return "dcache";
-      case StallCat::Latency: return "latency";
-      case StallCat::RecvData: return "recvData";
-      case StallCat::RecvPred: return "recvPred";
-      case StallCat::JoinSync: return "joinSync";
-      case StallCat::MemSync: return "memSync";
-      case StallCat::SendFull: return "sendFull";
-      case StallCat::Barrier: return "barrier";
-      case StallCat::TmResolve: return "tmResolve";
-      default: return "?";
-    }
-}
-
-const char *
 exec_mode_name(ExecMode mode)
 {
     switch (mode) {
@@ -82,6 +63,11 @@ Machine::Machine(const MachineProgram &prog, const MachineConfig &config)
 
     mem_.loadProgram(prog.original);
     layoutCode();
+
+    trace_ = config.traceSink;
+    net_.setTraceSink(trace_);
+    hierarchy_.setTraceSink(trace_);
+    tm_.setTraceSink(trace_, &now_);
 
     // Size the flat per-region cycle table off the largest region id
     // any block carries (the region table itself is usually enough, but
@@ -143,6 +129,48 @@ Machine::stall(Core &core, StallCat cat)
 {
     core.stalls[static_cast<size_t>(cat)]++;
     core.lastWait = cat;
+    // Span transition, not a per-cycle record: the category staying the
+    // same extends the open span silently, which is what keeps the event
+    // stream identical under fast-forward (the skipped cycles are exactly
+    // the ones in which nothing here changes).
+    if (trace_ && core.traceOpenStall != cat) {
+        traceCloseStall(core);
+        TraceEvent ev;
+        ev.cycle = now_;
+        ev.core = core.id;
+        ev.kind = TraceEventKind::StallBegin;
+        ev.arg8 = static_cast<u8>(cat);
+        trace_->emit(ev);
+        core.traceOpenStall = cat;
+        core.traceStallSince = now_;
+    }
+}
+
+void
+Machine::traceCloseStall(Core &core)
+{
+    if (core.traceOpenStall == StallCat::None)
+        return;
+    TraceEvent ev;
+    ev.cycle = now_;
+    ev.core = core.id;
+    ev.kind = TraceEventKind::StallEnd;
+    ev.arg8 = static_cast<u8>(core.traceOpenStall);
+    ev.arg64 = now_ - core.traceStallSince;
+    trace_->emit(ev);
+    core.traceOpenStall = StallCat::None;
+}
+
+void
+Machine::traceIssue(Core &core, const Operation &op)
+{
+    traceCloseStall(core);
+    TraceEvent ev;
+    ev.cycle = now_;
+    ev.core = core.id;
+    ev.kind = TraceEventKind::Issue;
+    ev.arg8 = static_cast<u8>(op.op);
+    trace_->emit(ev);
 }
 
 void
@@ -439,10 +467,25 @@ Machine::execute(Core &core, const Operation &op)
         }
         net_.send(core.id, target, readSrc(core, op.src1), now_,
                   /*is_spawn=*/true);
+        if (trace_) {
+            TraceEvent ev;
+            ev.cycle = now_;
+            ev.core = core.id;
+            ev.kind = TraceEventKind::SpawnSend;
+            ev.arg16 = target;
+            trace_->emit(ev);
+        }
         break;
       }
       case Opcode::SLEEP:
         core.state = CoreRun::Idle;
+        if (trace_) {
+            TraceEvent ev;
+            ev.cycle = now_;
+            ev.core = core.id;
+            ev.kind = TraceEventKind::Sleep;
+            trace_->emit(ev);
+        }
         break;
 
       case Opcode::MODE_SWITCH:
@@ -500,6 +543,14 @@ Machine::stepDecoupled(Core &core)
             core.state = CoreRun::Run;
             enterBlock(core, ref.block);
             core.busyUntil = now_ + 1; // wake-up cycle
+            if (trace_) {
+                TraceEvent ev;
+                ev.cycle = now_;
+                ev.core = core.id;
+                ev.kind = TraceEventKind::SpawnWake;
+                ev.arg64 = *spawn;
+                trace_->emit(ev);
+            }
             return true;
         }
         core.idleCycles++;
@@ -560,6 +611,8 @@ Machine::stepDecoupled(Core &core)
     if (!execute(core, op))
         return false;
 
+    if (trace_)
+        traceIssue(core, op);
     core.issued++;
     dynamicOps_++;
     if (core.busyUntil <= now_)
@@ -607,6 +660,18 @@ Machine::maybeFormGroup()
     group_.active = true;
     group_.blockCycle = 0;
     group_.stallUntil = 0;
+    if (trace_) {
+        traceCoupledSince_ = now_;
+        for (Core &core : cores_) {
+            traceCloseStall(core); // the Barrier span, if one is open
+            TraceEvent ev;
+            ev.cycle = now_;
+            ev.core = core.id;
+            ev.kind = TraceEventKind::ModeBegin;
+            ev.arg8 = kTraceModeCoupled;
+            trace_->emit(ev);
+        }
+    }
     return true;
 }
 
@@ -614,6 +679,17 @@ void
 Machine::dissolveGroup()
 {
     group_.active = false;
+    if (trace_) {
+        for (Core &core : cores_) {
+            TraceEvent ev;
+            ev.cycle = now_;
+            ev.core = core.id;
+            ev.kind = TraceEventKind::ModeEnd;
+            ev.arg8 = kTraceModeCoupled;
+            ev.arg64 = now_ - traceCoupledSince_;
+            trace_->emit(ev);
+        }
+    }
 }
 
 bool
@@ -676,6 +752,8 @@ Machine::stepGroup()
                          " before its operand was ready (core ", core.id,
                          ", block cycle ", g, ")");
             execute(core, *op);
+            if (trace_)
+                traceIssue(core, *op);
             core.issued++;
             dynamicOps_++;
             core.opIdx++;
@@ -695,6 +773,8 @@ Machine::stepGroup()
                      ", block cycle ", g, ")");
         panic_if_not(execute(core, *op),
                      "op stalled inside a coupled block: ", op->op);
+        if (trace_)
+            traceIssue(core, *op);
         core.issued++;
         dynamicOps_++;
         core.opIdx++;
@@ -756,15 +836,27 @@ void
 Machine::attributeCycle()
 {
     const Core &master = cores_[0];
-    if (master.state == CoreRun::Run || master.state == CoreRun::Barrier) {
-        const BasicBlock &bb = curBlock(master);
-        if (bb.region != kNoRegion)
-            regionCycles_[bb.region]++;
-    }
+    RegionId region = kNoRegion;
+    if (master.state == CoreRun::Run || master.state == CoreRun::Barrier)
+        region = curBlock(master).region;
+    if (region != kNoRegion)
+        regionCycles_[region]++;
     if (group_.active)
         coupledCycles_++;
     else
         decoupledCycles_++;
+    // Region transitions only happen on stepped cycles (the master moves
+    // blocks only when it steps), so emitting on change here is
+    // fast-forward-safe.
+    if (trace_ && region != traceRegion_) {
+        TraceEvent ev;
+        ev.cycle = now_;
+        ev.core = 0;
+        ev.kind = TraceEventKind::RegionEnter;
+        ev.arg32 = region;
+        trace_->emit(ev);
+        traceRegion_ = region;
+    }
 }
 
 void
@@ -904,6 +996,15 @@ Machine::run()
             fastForward();
     }
 
+    if (trace_) {
+        // Close every span still open at halt so the exported timeline
+        // has no dangling begins.
+        for (Core &core : cores_)
+            traceCloseStall(core);
+        if (group_.active)
+            dissolveGroup();
+    }
+
     MachineResult result;
     result.exitValue = exitValue_;
     result.cycles = now_;
@@ -923,6 +1024,38 @@ Machine::run()
     result.coupledCycles = coupledCycles_;
     result.decoupledCycles = decoupledCycles_;
     return result;
+}
+
+MetricsRegistry
+collect_metrics(const Machine &machine, const MachineResult &result)
+{
+    MetricsRegistry m;
+    m.set("sim.cycles", result.cycles);
+    m.set("sim.dynamicOps", result.dynamicOps);
+    m.set("sim.exitValue", result.exitValue);
+    m.set("sim.coupledCycles", result.coupledCycles);
+    m.set("sim.decoupledCycles", result.decoupledCycles);
+    for (size_t c = 0; c < result.issued.size(); ++c) {
+        const std::string prefix = "sim.core" + std::to_string(c) + ".";
+        m.set(prefix + "issued", result.issued[c]);
+        m.set(prefix + "idleCycles", result.idleCycles[c]);
+        for (size_t s = 1; s < static_cast<size_t>(StallCat::NumCats);
+             ++s) {
+            const u64 v = result.stalls[c][s];
+            if (v != 0)
+                m.set(prefix + "stall." +
+                          stall_cat_name(static_cast<StallCat>(s)),
+                      v);
+        }
+    }
+    for (const auto &[region, cycles] : result.regionCycles)
+        m.set("sim.region" + std::to_string(region) + ".cycles", cycles);
+    // Memory counters get the "mem." prefix; network and TM StatSets
+    // already name their counters "net.*" / "tm.*".
+    m.addStatSet("mem.", machine.memStats());
+    m.addStatSet("", machine.netStats());
+    m.addStatSet("", machine.tmStats());
+    return m;
 }
 
 } // namespace voltron

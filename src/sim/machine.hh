@@ -38,26 +38,15 @@
 #include "sim/machineprog.hh"
 #include "support/stats.hh"
 #include "tm/tm.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace voltron {
 
-/** Why a core did not issue in a given cycle. */
-enum class StallCat : u8 {
-    None = 0,
-    IFetch,    //!< instruction-cache miss
-    DCache,    //!< data-cache miss (blocking)
-    Latency,   //!< in-order scoreboard interlock
-    RecvData,  //!< RECV waiting on a data value
-    RecvPred,  //!< RECV waiting on a branch predicate
-    JoinSync,  //!< RECV waiting on a worker-done token (call/return sync)
-    MemSync,   //!< RECV waiting on a memory-dependence token
-    SendFull,  //!< SEND back-pressure
-    Barrier,   //!< waiting at a coupled-mode entry barrier
-    TmResolve, //!< transaction validation/commit
-    NumCats,
-};
-
-const char *stall_cat_name(StallCat cat);
+// StallCat and stall_cat_name historically lived here; they moved to
+// trace/trace.hh so the trace layer can name stall spans without a
+// dependency on the simulator. Including trace.hh (above) re-exports
+// them for every existing user of this header.
 
 /** Machine configuration. */
 struct MachineConfig
@@ -78,6 +67,14 @@ struct MachineConfig
      * hatch.
      */
     bool forceNaiveStepping = false;
+
+    /**
+     * Event sink for cycle-accurate tracing (not owned; must outlive the
+     * machine). nullptr — the default — disables tracing entirely; a
+     * traced run's MachineResult is bit-identical to an untraced one
+     * (tests/test_trace.cc).
+     */
+    TraceSink *traceSink = nullptr;
 
     /** Mesh shape for a core count (1x1, 2x1, 2x2). */
     static MachineConfig forCores(u16 cores);
@@ -215,6 +212,11 @@ class Machine
         u64 issued = 0;
         u64 idleCycles = 0;
 
+        /** Open trace stall span (None when no span is open). Only ever
+         * set while a trace sink is configured. */
+        StallCat traceOpenStall = StallCat::None;
+        Cycle traceStallSince = 0;
+
         Frame &frame() { return frames.back(); }
     };
 
@@ -246,6 +248,11 @@ class Machine
     std::vector<u64> regionCycles_;
     u64 coupledCycles_ = 0, decoupledCycles_ = 0;
 
+    /** Trace state (all inert when trace_ is null). */
+    TraceSink *trace_ = nullptr;
+    RegionId traceRegion_ = kNoRegion;
+    Cycle traceCoupledSince_ = 0;
+
     /** Per-core, per-function, per-block instruction base address —
      * contiguous tables indexed [core][func][block]. */
     std::vector<std::vector<std::vector<Addr>>> blockAddr_;
@@ -260,6 +267,11 @@ class Machine
     void layoutCode();
 
     void stall(Core &core, StallCat cat);
+
+    /** Close @p core's open stall span (StallEnd carrying the length). */
+    void traceCloseStall(Core &core);
+    /** traceCloseStall + an Issue event for @p op. */
+    void traceIssue(Core &core, const Operation &op);
     void enterBlock(Core &core, BlockId block);
     /** Refresh the Core::bb / Core::blockBase caches from func/block. */
     void bindBlock(Core &core);
@@ -304,6 +316,24 @@ class Machine
      */
     void fastForward();
 };
+
+/**
+ * Fold a completed run's counters — the MachineResult stall/issue/idle
+ * arrays plus the three component StatSets — into one MetricsRegistry
+ * namespace:
+ *
+ *   sim.cycles / sim.dynamicOps / sim.exitValue
+ *   sim.coupledCycles / sim.decoupledCycles
+ *   sim.core<N>.issued / .idleCycles / .stall.<cat>
+ *   sim.region<R>.cycles
+ *   mem.<StatSet name> / net.<...> / tm.<...>
+ *
+ * This is the single authority for the unified metric names; everything
+ * that serializes run counters (bench JSON, voltron-trace) goes through
+ * it.
+ */
+MetricsRegistry collect_metrics(const Machine &machine,
+                                const MachineResult &result);
 
 } // namespace voltron
 

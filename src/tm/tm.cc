@@ -25,6 +25,8 @@ TransactionalMemory::begin(CoreId core, u64 ordinal)
     txn.open = true;
     txn.ordinal = ordinal;
     stats_.add("tm.begins");
+    if (trace_ && traceNow_)
+        traceEmit(TraceEventKind::TmBegin, core, ordinal);
 }
 
 void
@@ -35,6 +37,8 @@ TransactionalMemory::close(CoreId core)
                  core);
     txn.open = false;
     txn.closed = true;
+    if (trace_ && traceNow_)
+        traceEmit(TraceEventKind::TmCommit, core, txn.ordinal);
 }
 
 void
@@ -42,6 +46,8 @@ TransactionalMemory::abort(CoreId core)
 {
     txns_.at(core) = Txn{};
     stats_.add("tm.aborts");
+    if (trace_ && traceNow_)
+        traceEmit(TraceEventKind::TmAbort, core);
 }
 
 bool
@@ -138,6 +144,13 @@ TransactionalMemory::resolve(MemoryImage &mem)
 
     for (Txn &txn : txns_)
         txn = Txn{};
+    if (trace_ && traceNow_) {
+        // XVALIDATE runs on the master core by contract (the simulator
+        // panics otherwise), so the event is pinned to core 0.
+        traceEmit(TraceEventKind::TmResolve, 0, result.linesCommitted,
+                  static_cast<u32>(result.chunks),
+                  result.violated ? 1 : 0);
+    }
     return result;
 }
 

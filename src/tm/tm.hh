@@ -29,6 +29,7 @@
 #include "mem/memimage.hh"
 #include "support/stats.hh"
 #include "support/types.hh"
+#include "trace/trace.hh"
 
 namespace voltron {
 
@@ -79,6 +80,19 @@ class TransactionalMemory
 
     const StatSet &stats() const { return stats_; }
 
+    /**
+     * Emit TmBegin/TmCommit/TmAbort/TmResolve events to @p sink. The TM
+     * API carries no cycle parameter, so the owner also passes @p now —
+     * a pointer to its live cycle counter (the Machine's now_) read at
+     * emission time. Both nullptr disable tracing.
+     */
+    void
+    setTraceSink(TraceSink *sink, const Cycle *now)
+    {
+        trace_ = sink;
+        traceNow_ = now;
+    }
+
   private:
     struct Txn
     {
@@ -93,6 +107,22 @@ class TransactionalMemory
     u32 lineBytes_;
     std::vector<Txn> txns_;
     StatSet stats_;
+    TraceSink *trace_ = nullptr;
+    const Cycle *traceNow_ = nullptr;
+
+    void
+    traceEmit(TraceEventKind kind, CoreId core, u64 arg64 = 0,
+              u32 arg32 = 0, u8 arg8 = 0) const
+    {
+        TraceEvent ev;
+        ev.cycle = *traceNow_;
+        ev.core = core;
+        ev.kind = kind;
+        ev.arg64 = arg64;
+        ev.arg32 = arg32;
+        ev.arg8 = arg8;
+        trace_->emit(ev);
+    }
 
     Addr lineOf(Addr addr) const { return addr & ~static_cast<Addr>(
                                               lineBytes_ - 1); }

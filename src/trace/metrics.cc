@@ -1,0 +1,62 @@
+#include "trace/metrics.hh"
+
+#include <fstream>
+
+namespace voltron {
+
+namespace {
+
+/** Counter names are ASCII identifiers with dots, but escape anyway so
+ * a future name can never produce invalid JSON. */
+void
+write_json_string(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\n";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  ";
+        write_json_string(os, name);
+        os << ": " << value;
+    }
+    os << "\n}\n";
+}
+
+bool
+MetricsRegistry::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os);
+    return os.good();
+}
+
+} // namespace voltron

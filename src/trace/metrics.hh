@@ -1,0 +1,84 @@
+/**
+ * @file
+ * MetricsRegistry — one named-counter namespace for a whole run.
+ *
+ * The machine's counters historically lived in four places: the three
+ * component StatSets (memStats/netStats/tmStats) and the MachineResult
+ * stall/issue/idle arrays. The registry folds all of them behind dotted
+ * names under a single map, so harnesses, tools, and CI consume one
+ * JSON document instead of stitching four sources:
+ *
+ *   sim.cycles, sim.dynamicOps, sim.coupledCycles, sim.decoupledCycles
+ *   sim.core<N>.issued / .idleCycles / .stall.<cat>
+ *   sim.region<R>.cycles
+ *   mem.core<N>.l1d.misses ... (every MemHierarchy counter)
+ *   net.messages, net.receives ... (every OperandNetwork counter)
+ *   tm.begins, tm.commits ...     (every TransactionalMemory counter)
+ *
+ * The sim.* names come from collect_metrics (sim/machine.hh), which is
+ * the single authority for the unified namespace.
+ */
+
+#ifndef VOLTRON_TRACE_METRICS_HH_
+#define VOLTRON_TRACE_METRICS_HH_
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "support/stats.hh"
+#include "support/types.hh"
+
+namespace voltron {
+
+/** A named scalar-counter namespace, JSON-serializable. */
+class MetricsRegistry
+{
+  public:
+    void add(const std::string &name, u64 delta) { counters_[name] += delta; }
+    void set(const std::string &name, u64 value) { counters_[name] = value; }
+
+    u64
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    bool has(const std::string &name) const
+    {
+        return counters_.count(name) != 0;
+    }
+
+    /** Fold a component StatSet in under @p prefix (summing). */
+    void
+    addStatSet(const std::string &prefix, const StatSet &stats)
+    {
+        for (const auto &[name, value] : stats.counters())
+            counters_[prefix + name] += value;
+    }
+
+    /** Sum another registry into this one (bench aggregation). */
+    void
+    merge(const MetricsRegistry &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counters_[name] += value;
+    }
+
+    size_t size() const { return counters_.size(); }
+    const std::map<std::string, u64> &counters() const { return counters_; }
+
+    /** One flat JSON object, keys sorted (std::map order). */
+    void writeJson(std::ostream &os) const;
+
+    /** writeJson to @p path; false on I/O failure. */
+    bool writeJsonFile(const std::string &path) const;
+
+  private:
+    std::map<std::string, u64> counters_;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_TRACE_METRICS_HH_

@@ -1,0 +1,532 @@
+#include "trace/perfetto.hh"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace voltron {
+
+namespace {
+
+void
+json_string(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Emits one trace-event object per line, comma-separating from the
+ * second record on. */
+class EventWriter
+{
+  public:
+    explicit EventWriter(std::ostream &os) : os_(os) {}
+
+    std::ostream &
+    begin()
+    {
+        if (any_)
+            os_ << ",\n";
+        any_ = true;
+        os_ << "  ";
+        return os_;
+    }
+
+  private:
+    std::ostream &os_;
+    bool any_ = false;
+};
+
+void
+meta_event(EventWriter &w, u16 tid, const char *field,
+           const std::string &name)
+{
+    std::ostream &os = w.begin();
+    os << R"({"ph":"M","pid":0,"tid":)" << tid << R"(,"name":")" << field
+       << R"(","args":{"name":)";
+    json_string(os, name);
+    os << "}}";
+}
+
+void
+complete_slice(EventWriter &w, u16 tid, Cycle ts, u64 dur,
+               const std::string &name, const char *cat)
+{
+    std::ostream &os = w.begin();
+    os << R"({"ph":"X","pid":0,"tid":)" << tid << R"(,"ts":)" << ts
+       << R"(,"dur":)" << dur << R"(,"cat":")" << cat << R"(","name":)";
+    json_string(os, name);
+    os << "}";
+}
+
+void
+instant(EventWriter &w, u16 tid, Cycle ts, const std::string &name,
+        const char *cat, const std::string &args_json = "")
+{
+    std::ostream &os = w.begin();
+    os << R"({"ph":"i","s":"t","pid":0,"tid":)" << tid << R"(,"ts":)" << ts
+       << R"(,"cat":")" << cat << R"(","name":)";
+    json_string(os, name);
+    if (!args_json.empty())
+        os << R"(,"args":)" << args_json;
+    os << "}";
+}
+
+void
+flow(EventWriter &w, char phase, u64 id, u16 tid, Cycle ts)
+{
+    std::ostream &os = w.begin();
+    os << R"({"ph":")" << phase << R"(","id":)" << id
+       << R"(,"pid":0,"tid":)" << tid << R"(,"ts":)" << ts
+       << R"(,"cat":"netflow","name":"msg")";
+    if (phase == 'f')
+        os << R"(,"bp":"e")";
+    os << "}";
+}
+
+std::string
+region_name(u32 region)
+{
+    return region == kNoRegion ? "unattributed"
+                               : "region " + std::to_string(region);
+}
+
+} // namespace
+
+void
+export_chrome_trace(std::ostream &os, const TraceHeader &header,
+                    const std::vector<TraceEvent> &events,
+                    const ChromeTraceOptions &opts)
+{
+    os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    EventWriter w(os);
+
+    meta_event(w, 0, "process_name",
+               "voltron" +
+                   (header.label.empty() ? "" : " " + header.label));
+    for (u16 c = 0; c < header.numCores; ++c)
+        meta_event(w, c, "thread_name", "core " + std::to_string(c));
+    const u16 region_tid = header.numCores;
+    meta_event(w, region_tid, "thread_name", "regions");
+
+    // Flow arrows need matched send/recv pairs. The network delivers
+    // FIFO per (sender, receiver, class), so pairing sends to recvs in
+    // stream order per key reproduces the actual message identity.
+    std::map<std::tuple<u16, u16, u8>, std::vector<const TraceEvent *>>
+        unmatched_sends;
+    std::map<const TraceEvent *, u64> flow_ids;
+    u64 next_flow_id = 1;
+    for (const TraceEvent &ev : events) {
+        if (ev.kind == TraceEventKind::NetSend) {
+            unmatched_sends[{ev.core, ev.arg16, ev.arg8}].push_back(&ev);
+        } else if (ev.kind == TraceEventKind::NetRecv) {
+            auto &queue = unmatched_sends[{ev.arg16, ev.core, ev.arg8}];
+            if (!queue.empty()) {
+                const TraceEvent *send = queue.front();
+                queue.erase(queue.begin());
+                const u64 id = next_flow_id++;
+                flow_ids[send] = id;
+                flow_ids[&ev] = id;
+            }
+        }
+    }
+
+    Cycle region_since = 0;
+    u32 region_open = kNoRegion;
+    bool region_any = false;
+
+    for (const TraceEvent &ev : events) {
+        switch (ev.kind) {
+          case TraceEventKind::StallEnd:
+            complete_slice(w, ev.core, ev.cycle - ev.arg64, ev.arg64,
+                           std::string("stall:") +
+                               stall_cat_name(
+                                   static_cast<StallCat>(ev.arg8)),
+                           "stall");
+            break;
+          case TraceEventKind::ModeEnd:
+            complete_slice(w, ev.core, ev.cycle - ev.arg64, ev.arg64,
+                           "coupled", "mode");
+            break;
+          case TraceEventKind::RegionEnter:
+            if (region_any)
+                complete_slice(w, region_tid, region_since,
+                               ev.cycle - region_since,
+                               region_name(region_open), "region");
+            region_open = ev.arg32;
+            region_since = ev.cycle;
+            region_any = true;
+            break;
+          case TraceEventKind::NetSend: {
+            complete_slice(w, ev.core, ev.cycle, 1,
+                           std::string(ev.arg8 ? "spawn->" : "send->") +
+                               std::to_string(ev.arg16),
+                           "net");
+            auto it = flow_ids.find(&ev);
+            if (it != flow_ids.end())
+                flow(w, 's', it->second, ev.core, ev.cycle);
+            break;
+          }
+          case TraceEventKind::NetRecv: {
+            std::ostringstream args;
+            args << R"({"waited":)" << ev.arg64 << R"(,"depth":)"
+                 << ev.arg32 << "}";
+            std::ostream &slice = w.begin();
+            slice << R"({"ph":"X","pid":0,"tid":)" << ev.core
+                  << R"(,"ts":)" << ev.cycle
+                  << R"(,"dur":1,"cat":"net","name":)";
+            json_string(slice, std::string(ev.arg8 ? "spawn<-" : "recv<-") +
+                                   std::to_string(ev.arg16));
+            slice << R"(,"args":)" << args.str() << "}";
+            auto it = flow_ids.find(&ev);
+            if (it != flow_ids.end())
+                flow(w, 'f', it->second, ev.core, ev.cycle);
+            break;
+          }
+          case TraceEventKind::SpawnSend:
+            instant(w, ev.core, ev.cycle,
+                    "SPAWN->" + std::to_string(ev.arg16), "spawn");
+            break;
+          case TraceEventKind::SpawnWake:
+            instant(w, ev.core, ev.cycle, "wake", "spawn");
+            break;
+          case TraceEventKind::Sleep:
+            instant(w, ev.core, ev.cycle, "SLEEP", "spawn");
+            break;
+          case TraceEventKind::CacheMiss: {
+            const char *level = ev.arg8 == kMissMemory ? "mem"
+                                : ev.arg8 == kMissCacheToCache ? "c2c"
+                                                               : "l2";
+            std::ostringstream args;
+            args << R"({"latency":)" << ev.arg32 << R"(,"addr":)"
+                 << ev.arg64 << "}";
+            instant(w, ev.core, ev.cycle,
+                    std::string(ev.arg16 & 2 ? "imiss:" : "dmiss:") + level,
+                    "mem", args.str());
+            break;
+          }
+          case TraceEventKind::TmBegin:
+            instant(w, ev.core, ev.cycle,
+                    "XBEGIN #" + std::to_string(ev.arg64), "tm");
+            break;
+          case TraceEventKind::TmCommit:
+            instant(w, ev.core, ev.cycle, "XCOMMIT", "tm");
+            break;
+          case TraceEventKind::TmAbort:
+            instant(w, ev.core, ev.cycle, "XABORT", "tm");
+            break;
+          case TraceEventKind::TmResolve: {
+            std::ostringstream args;
+            args << R"({"violated":)" << (ev.arg8 ? "true" : "false")
+                 << R"(,"chunks":)" << ev.arg32 << R"(,"lines":)"
+                 << ev.arg64 << "}";
+            instant(w, ev.core, ev.cycle,
+                    ev.arg8 ? "XVALIDATE:violated" : "XVALIDATE:ok", "tm",
+                    args.str());
+            break;
+          }
+          case TraceEventKind::Issue:
+            if (opts.issueInstants)
+                instant(w, ev.core, ev.cycle, "issue", "issue");
+            break;
+          default:
+            break; // StallBegin/ModeBegin/NetPut/NetGet/NetBcast:
+                   // covered by their span/summary representations.
+        }
+    }
+    if (region_any)
+        complete_slice(w, region_tid, region_since,
+                       header.totalCycles > region_since
+                           ? header.totalCycles - region_since
+                           : 1,
+                       region_name(region_open), "region");
+
+    os << "\n]\n}\n";
+}
+
+bool
+export_chrome_trace_file(const std::string &path, const TraceHeader &header,
+                         const std::vector<TraceEvent> &events,
+                         const ChromeTraceOptions &opts)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    export_chrome_trace(os, header, events, opts);
+    return os.good();
+}
+
+void
+summarize_trace(std::ostream &os, const TraceHeader &header,
+                const std::vector<TraceEvent> &events)
+{
+    os << "trace: " << header.label << "\n"
+       << "  cores " << header.numCores << ", " << header.totalCycles
+       << " cycles, " << events.size() << " events retained ("
+       << header.totalEvents << " emitted, " << header.dropped
+       << " dropped)\n"
+       << "  stream hash 0x" << std::hex << event_stream_hash(events)
+       << std::dec << "\n";
+
+    std::array<u64, static_cast<size_t>(TraceEventKind::NumKinds)>
+        by_kind{};
+    std::map<CoreId,
+             std::array<u64, static_cast<size_t>(StallCat::NumCats)>>
+        stall_cycles;
+    u64 coupled_cycles = 0;
+    for (const TraceEvent &ev : events) {
+        by_kind[static_cast<size_t>(ev.kind)]++;
+        if (ev.kind == TraceEventKind::StallEnd)
+            stall_cycles[ev.core][ev.arg8] += ev.arg64;
+        if (ev.kind == TraceEventKind::ModeEnd && ev.core == 0)
+            coupled_cycles += ev.arg64;
+    }
+
+    os << "  events by kind:";
+    for (size_t k = 0; k < by_kind.size(); ++k) {
+        if (by_kind[k])
+            os << " "
+               << trace_event_kind_name(static_cast<TraceEventKind>(k))
+               << "=" << by_kind[k];
+    }
+    os << "\n  coupled cycles (from mode spans): " << coupled_cycles
+       << "\n";
+    for (const auto &[core, cats] : stall_cycles) {
+        os << "  core " << core << " stall cycles:";
+        for (size_t c = 0; c < cats.size(); ++c) {
+            if (cats[c])
+                os << " " << stall_cat_name(static_cast<StallCat>(c))
+                   << "=" << cats[c];
+        }
+        os << "\n";
+    }
+}
+
+// --- JSON validation ------------------------------------------------------
+
+namespace {
+
+struct JsonParser
+{
+    const std::string &text;
+    size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &what)
+    {
+        error = "at byte " + std::to_string(pos) + ": " + what;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p; ++p, ++pos) {
+            if (pos >= text.size() || text[pos] != *p)
+                return fail(std::string("expected '") + word + "'");
+        }
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        while (pos < text.size() && text[pos] != '"') {
+            if (static_cast<unsigned char>(text[pos]) < 0x20)
+                return fail("unescaped control character in string");
+            if (text[pos] == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                const char c = text[pos];
+                if (c == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos;
+                        if (pos >= text.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(text[pos])))
+                            return fail("bad \\u escape");
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", c)) {
+                    return fail("bad escape character");
+                }
+            }
+            ++pos;
+        }
+        if (pos >= text.size())
+            return fail("unterminated string");
+        ++pos;
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos])))
+            ++pos;
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            while (pos < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[pos])))
+                ++pos;
+        }
+        if (pos == start || (pos == start + 1 && text[start] == '-'))
+            return fail("expected number");
+        return true;
+    }
+
+    bool
+    value(u32 depth)
+    {
+        if (depth > 256)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                if (pos >= text.size() || !string())
+                    return false;
+                skipWs();
+                if (pos >= text.size() || text[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                if (!value(depth + 1))
+                    return false;
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                if (!value(depth + 1))
+                    return false;
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+};
+
+} // namespace
+
+bool
+validate_json(const std::string &text, std::string *error)
+{
+    JsonParser parser{text, 0, {}};
+    if (!parser.value(0)) {
+        if (error)
+            *error = parser.error;
+        return false;
+    }
+    parser.skipWs();
+    if (parser.pos != text.size()) {
+        if (error)
+            *error = "trailing garbage at byte " +
+                     std::to_string(parser.pos);
+        return false;
+    }
+    return true;
+}
+
+bool
+validate_json_file(const std::string &path, std::string *error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        if (error)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    return validate_json(text, error);
+}
+
+} // namespace voltron

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Chrome trace-event JSON export (loadable in Perfetto / chrome://tracing)
+ * plus a textual trace summary and a minimal JSON syntax validator.
+ *
+ * Mapping from the Voltron event stream to the trace-event format:
+ *
+ *  - one process (pid 0, named after the trace label); one thread per
+ *    core (tid = core id, "core N") plus one extra track
+ *    (tid = numCores, "regions") carrying the master's region timeline;
+ *  - StallEnd events become complete ("X") slices of category "stall"
+ *    covering [cycle - length, cycle) — the end event carries its span
+ *    length, so no begin/end pairing is needed on export;
+ *  - ModeEnd events become "X" slices of category "mode" ("coupled");
+ *  - RegionEnter events close the previous region slice on the regions
+ *    track (the final slice closes at totalCycles);
+ *  - matched NetSend/NetRecv pairs (FIFO per sender/receiver/class, the
+ *    network's own delivery order) become 1-cycle "X" slices on both
+ *    tracks joined by a flow arrow ("s"/"f" with a shared id);
+ *  - SpawnSend/SpawnWake/Sleep/Tm* and CacheMiss become instant ("i")
+ *    events; per-op Issue events are summarized into the slice-free
+ *    tracks only when opts.issueInstants is set (they dominate event
+ *    counts).
+ *
+ * Timestamps are cycles written as integer microseconds (1 cycle = 1 us
+ * of trace time); Perfetto's units are cosmetic for a simulator.
+ */
+
+#ifndef VOLTRON_TRACE_PERFETTO_HH_
+#define VOLTRON_TRACE_PERFETTO_HH_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace voltron {
+
+struct ChromeTraceOptions
+{
+    /** Emit one instant event per Issue (large; off by default). */
+    bool issueInstants = false;
+};
+
+/** Write @p events as Chrome trace-event JSON. */
+void export_chrome_trace(std::ostream &os, const TraceHeader &header,
+                         const std::vector<TraceEvent> &events,
+                         const ChromeTraceOptions &opts = {});
+
+/** export_chrome_trace to @p path; false on I/O failure. */
+bool export_chrome_trace_file(const std::string &path,
+                              const TraceHeader &header,
+                              const std::vector<TraceEvent> &events,
+                              const ChromeTraceOptions &opts = {});
+
+/** Human-readable digest: event counts by kind, per-core stall time by
+ * category, coupled time, network traffic, and the stream hash. */
+void summarize_trace(std::ostream &os, const TraceHeader &header,
+                     const std::vector<TraceEvent> &events);
+
+/**
+ * Minimal strict JSON syntax check (objects, arrays, strings, numbers,
+ * true/false/null; no trailing garbage). Exists so CI can validate
+ * exported traces without a system JSON tool. On failure @p error (if
+ * non-null) receives a byte offset + description.
+ */
+bool validate_json(const std::string &text, std::string *error = nullptr);
+
+/** validate_json over a file's contents; false on I/O failure too. */
+bool validate_json_file(const std::string &path,
+                        std::string *error = nullptr);
+
+} // namespace voltron
+
+#endif // VOLTRON_TRACE_PERFETTO_HH_

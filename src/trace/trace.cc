@@ -1,0 +1,197 @@
+#include "trace/trace.hh"
+
+#include <fstream>
+
+#include "support/serialize.hh"
+
+namespace voltron {
+
+const char *
+stall_cat_name(StallCat cat)
+{
+    switch (cat) {
+      case StallCat::None: return "none";
+      case StallCat::IFetch: return "ifetch";
+      case StallCat::DCache: return "dcache";
+      case StallCat::Latency: return "latency";
+      case StallCat::RecvData: return "recvData";
+      case StallCat::RecvPred: return "recvPred";
+      case StallCat::JoinSync: return "joinSync";
+      case StallCat::MemSync: return "memSync";
+      case StallCat::SendFull: return "sendFull";
+      case StallCat::Barrier: return "barrier";
+      case StallCat::TmResolve: return "tmResolve";
+      default: return "?";
+    }
+}
+
+StallCat
+stall_cat_from_name(const std::string &name)
+{
+    for (size_t i = 0; i < static_cast<size_t>(StallCat::NumCats); ++i) {
+        const StallCat cat = static_cast<StallCat>(i);
+        if (name == stall_cat_name(cat))
+            return cat;
+    }
+    return StallCat::NumCats;
+}
+
+const char *
+trace_event_kind_name(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::Issue: return "issue";
+      case TraceEventKind::StallBegin: return "stallBegin";
+      case TraceEventKind::StallEnd: return "stallEnd";
+      case TraceEventKind::ModeBegin: return "modeBegin";
+      case TraceEventKind::ModeEnd: return "modeEnd";
+      case TraceEventKind::RegionEnter: return "regionEnter";
+      case TraceEventKind::SpawnSend: return "spawnSend";
+      case TraceEventKind::SpawnWake: return "spawnWake";
+      case TraceEventKind::Sleep: return "sleep";
+      case TraceEventKind::NetSend: return "netSend";
+      case TraceEventKind::NetRecv: return "netRecv";
+      case TraceEventKind::NetPut: return "netPut";
+      case TraceEventKind::NetGet: return "netGet";
+      case TraceEventKind::NetBcast: return "netBcast";
+      case TraceEventKind::CacheMiss: return "cacheMiss";
+      case TraceEventKind::TmBegin: return "tmBegin";
+      case TraceEventKind::TmCommit: return "tmCommit";
+      case TraceEventKind::TmAbort: return "tmAbort";
+      case TraceEventKind::TmResolve: return "tmResolve";
+      default: return "?";
+    }
+}
+
+TraceEventKind
+trace_event_kind_from_name(const std::string &name)
+{
+    for (size_t i = 0; i < static_cast<size_t>(TraceEventKind::NumKinds);
+         ++i) {
+        const TraceEventKind kind = static_cast<TraceEventKind>(i);
+        if (name == trace_event_kind_name(kind))
+            return kind;
+    }
+    return TraceEventKind::NumKinds;
+}
+
+RingBufferTraceSink::RingBufferTraceSink(size_t capacity)
+{
+    size_t cap = 16;
+    while (cap < capacity)
+        cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+}
+
+std::vector<TraceEvent>
+RingBufferTraceSink::events() const
+{
+    std::vector<TraceEvent> out;
+    const size_t kept =
+        writeIdx_ < slots_.size() ? static_cast<size_t>(writeIdx_)
+                                  : slots_.size();
+    out.reserve(kept);
+    const u64 first = writeIdx_ - kept;
+    for (u64 i = first; i < writeIdx_; ++i)
+        out.push_back(slots_[i & mask_]);
+    return out;
+}
+
+namespace {
+
+void
+encode_event(ByteWriter &w, const TraceEvent &ev)
+{
+    w.u64v(ev.cycle);
+    w.u64v(ev.arg64);
+    w.u32v(ev.arg32);
+    w.u16v(ev.core);
+    w.u16v(ev.arg16);
+    w.u8v(static_cast<u8>(ev.kind));
+    w.u8v(ev.arg8);
+}
+
+bool
+decode_event(ByteReader &r, TraceEvent &ev)
+{
+    ev.cycle = r.u64v();
+    ev.arg64 = r.u64v();
+    ev.arg32 = r.u32v();
+    ev.core = r.u16v();
+    ev.arg16 = r.u16v();
+    const u8 kind = r.u8v();
+    ev.arg8 = r.u8v();
+    if (kind >= static_cast<u8>(TraceEventKind::NumKinds))
+        return false;
+    ev.kind = static_cast<TraceEventKind>(kind);
+    return r.ok();
+}
+
+constexpr u64 kEventEncodedBytes = 8 + 8 + 4 + 2 + 2 + 1 + 1;
+
+} // namespace
+
+u64
+event_stream_hash(const std::vector<TraceEvent> &events)
+{
+    ByteWriter w;
+    for (const TraceEvent &ev : events)
+        encode_event(w, ev);
+    return fnv1a(w.bytes());
+}
+
+bool
+write_trace(const std::string &path, const TraceHeader &header,
+            const std::vector<TraceEvent> &events)
+{
+    ByteWriter w;
+    w.u32v(kTraceMagic);
+    w.u32v(kTraceFormatVersion);
+    w.u16v(header.numCores);
+    w.u64v(header.totalCycles);
+    w.u64v(header.totalEvents);
+    w.u64v(header.dropped);
+    w.str(header.label);
+    w.u64v(events.size());
+    for (const TraceEvent &ev : events)
+        encode_event(w, ev);
+
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return false;
+    os.write(reinterpret_cast<const char *>(w.bytes().data()),
+             static_cast<std::streamsize>(w.size()));
+    return os.good();
+}
+
+bool
+read_trace(const std::string &path, TraceHeader &header,
+           std::vector<TraceEvent> &events)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    std::vector<u8> bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+    ByteReader r(bytes);
+    if (r.u32v() != kTraceMagic || r.u32v() != kTraceFormatVersion)
+        return false;
+    header.numCores = r.u16v();
+    header.totalCycles = r.u64v();
+    header.totalEvents = r.u64v();
+    header.dropped = r.u64v();
+    header.label = r.str();
+    const u64 n = r.count(kEventEncodedBytes);
+    events.clear();
+    events.reserve(n);
+    for (u64 i = 0; i < n; ++i) {
+        TraceEvent ev;
+        if (!decode_event(r, ev))
+            return false;
+        events.push_back(ev);
+    }
+    return r.ok() && r.atEnd();
+}
+
+} // namespace voltron

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Cycle-accurate event tracing for the Voltron machine.
+ *
+ * Every timing-relevant component (Machine, OperandNetwork, MemHierarchy,
+ * TransactionalMemory) emits typed TraceEvents into a TraceSink when one
+ * is configured (MachineConfig::traceSink). Tracing is strictly
+ * observational: no component reads sink state, so a traced run produces
+ * a bit-identical MachineResult to an untraced one (tests/test_trace.cc
+ * asserts it). With the sink pointer null — the default — every emission
+ * site reduces to one predicted-not-taken branch on a cached member.
+ *
+ * Events are emitted on *state changes and actions only*, never
+ * per-cycle: a stall opens one StallBegin when the category is first
+ * charged and one StallEnd when the core next issues (or the category
+ * changes). This is what makes the stream identical under the
+ * event-driven fast-forward and naive per-cycle stepping — the
+ * fast-forward skips exactly the cycles in which no tracked state
+ * changes (tests/test_trace.cc hashes both streams).
+ *
+ * Event field usage by kind (unused fields are zero):
+ *
+ *   Issue       core issued an op; arg8=Opcode
+ *   StallBegin  arg8=StallCat
+ *   StallEnd    arg8=StallCat, arg64=span length in cycles
+ *   ModeBegin   coupled-lockstep entry; one event per core; arg8=mode
+ *   ModeEnd     coupled-lockstep exit; arg8=mode, arg64=span length
+ *   RegionEnter master's attributed region changed; arg32=RegionId
+ *               (kNoRegion when leaving attributed code)
+ *   SpawnSend   core issued SPAWN; arg16=target core
+ *   SpawnWake   idle core woke on a spawn; arg64=raw CodeRef value
+ *   Sleep       core issued SLEEP and went idle
+ *   NetSend     queue-mode enqueue; core=sender, arg16=receiver,
+ *               arg8=isSpawn, arg32=receiver queue depth after enqueue,
+ *               arg64=arrival cycle (hop latency = arrival - cycle)
+ *   NetRecv     queue-mode dequeue; core=receiver, arg16=sender,
+ *               arg8=isSpawn, arg32=queue depth after dequeue,
+ *               arg64=cycles the message waited buffered
+ *   NetPut      direct-mode link drive; arg8=Dir
+ *   NetGet      direct-mode link read; arg8=Dir, arg16=1 for broadcast
+ *   NetBcast    branch-condition broadcast
+ *   CacheMiss   L1 miss; arg8=miss level (kMissL2Hit/kMissMemory/
+ *               kMissCacheToCache), arg16=bit0 write | bit1 ifetch,
+ *               arg32=added latency, arg64=address
+ *   TmBegin     XBEGIN; arg64=chunk ordinal
+ *   TmCommit    XCOMMIT (close; the commit happens at resolve)
+ *   TmAbort     software abort
+ *   TmResolve   XVALIDATE resolution (master core); arg8=violated,
+ *               arg32=chunks resolved, arg64=lines committed
+ */
+
+#ifndef VOLTRON_TRACE_TRACE_HH_
+#define VOLTRON_TRACE_TRACE_HH_
+
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace voltron {
+
+/**
+ * Why a core did not issue in a given cycle. Defined here (not in
+ * sim/machine.hh) so the trace layer can name stall spans without
+ * depending on the simulator; the simulator re-exports it.
+ */
+enum class StallCat : u8 {
+    None = 0,
+    IFetch,    //!< instruction-cache miss
+    DCache,    //!< data-cache miss (blocking)
+    Latency,   //!< in-order scoreboard interlock
+    RecvData,  //!< RECV waiting on a data value
+    RecvPred,  //!< RECV waiting on a branch predicate
+    JoinSync,  //!< RECV waiting on a worker-done token (call/return sync)
+    MemSync,   //!< RECV waiting on a memory-dependence token
+    SendFull,  //!< SEND back-pressure
+    Barrier,   //!< waiting at a coupled-mode entry barrier
+    TmResolve, //!< transaction validation/commit
+    NumCats,
+};
+
+const char *stall_cat_name(StallCat cat);
+
+/** Inverse of stall_cat_name; NumCats for an unknown name. */
+StallCat stall_cat_from_name(const std::string &name);
+
+/** What a TraceEvent records. See the file comment for field usage. */
+enum class TraceEventKind : u8 {
+    Issue = 0,
+    StallBegin,
+    StallEnd,
+    ModeBegin,
+    ModeEnd,
+    RegionEnter,
+    SpawnSend,
+    SpawnWake,
+    Sleep,
+    NetSend,
+    NetRecv,
+    NetPut,
+    NetGet,
+    NetBcast,
+    CacheMiss,
+    TmBegin,
+    TmCommit,
+    TmAbort,
+    TmResolve,
+    NumKinds,
+};
+
+const char *trace_event_kind_name(TraceEventKind kind);
+
+/** Inverse of trace_event_kind_name; NumKinds for an unknown name. */
+TraceEventKind trace_event_kind_from_name(const std::string &name);
+
+/** Execution-mode values carried in Mode* events' arg8. */
+inline constexpr u8 kTraceModeCoupled = 0;
+inline constexpr u8 kTraceModeDecoupled = 1;
+
+/** CacheMiss levels carried in arg8. */
+inline constexpr u8 kMissL2Hit = 1;        //!< L1 miss served by the L2
+inline constexpr u8 kMissMemory = 2;       //!< L1+L2 miss, main memory
+inline constexpr u8 kMissCacheToCache = 3; //!< supplied by a peer L1
+
+/** One trace record. Plain data, 32 bytes, trivially copyable. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    u64 arg64 = 0;
+    u32 arg32 = 0;
+    CoreId core = 0;
+    u16 arg16 = 0;
+    TraceEventKind kind = TraceEventKind::Issue;
+    u8 arg8 = 0;
+
+    bool
+    operator==(const TraceEvent &o) const
+    {
+        return cycle == o.cycle && arg64 == o.arg64 && arg32 == o.arg32 &&
+               core == o.core && arg16 == o.arg16 && kind == o.kind &&
+               arg8 == o.arg8;
+    }
+};
+
+/** Where emitted events go. Implementations must not throw from emit. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+    virtual void emit(const TraceEvent &event) = 0;
+};
+
+/**
+ * Discards everything. Functionally identical to passing no sink at
+ * all (traceSink == nullptr, which skips even the virtual call); this
+ * exists so overhead can be measured with the call in place.
+ */
+class NullTraceSink final : public TraceSink
+{
+  public:
+    void emit(const TraceEvent &) override {}
+};
+
+/**
+ * Bounded single-producer ring buffer. The simulator is single-threaded,
+ * so "lock-free-ish" here means: no locks, no allocation after
+ * construction, a monotone write cursor into a power-of-two slot array.
+ * When full it overwrites the oldest slot and counts the drop — a trace
+ * always holds the *last* capacity() events, which is what post-mortem
+ * debugging wants.
+ */
+class RingBufferTraceSink final : public TraceSink
+{
+  public:
+    /** @p capacity is rounded up to a power of two (min 16). */
+    explicit RingBufferTraceSink(size_t capacity = size_t{1} << 20);
+
+    void
+    emit(const TraceEvent &event) override
+    {
+        slots_[writeIdx_ & mask_] = event;
+        ++writeIdx_;
+    }
+
+    size_t capacity() const { return slots_.size(); }
+
+    /** Events ever offered (kept + dropped). */
+    u64 total() const { return writeIdx_; }
+
+    /** Events overwritten because the ring was full. */
+    u64
+    dropped() const
+    {
+        return writeIdx_ > slots_.size() ? writeIdx_ - slots_.size() : 0;
+    }
+
+    /** Retained events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    void clear() { writeIdx_ = 0; }
+
+  private:
+    std::vector<TraceEvent> slots_;
+    size_t mask_ = 0;
+    u64 writeIdx_ = 0;
+};
+
+/**
+ * Order-sensitive FNV-1a hash over the canonical encoding of every
+ * event. Two runs of the same program under the same config must
+ * produce the same hash (trace determinism; tests/test_trace.cc).
+ */
+u64 event_stream_hash(const std::vector<TraceEvent> &events);
+
+// --- .vtrace files --------------------------------------------------------
+
+inline constexpr u32 kTraceMagic = 0x31525456; // "VTR1", little-endian
+inline constexpr u32 kTraceFormatVersion = 1;
+
+/** Run metadata stored with a recorded event stream. */
+struct TraceHeader
+{
+    u16 numCores = 0;
+    Cycle totalCycles = 0;
+    u64 totalEvents = 0; //!< offered to the sink, including dropped
+    u64 dropped = 0;     //!< overwritten in the ring before the dump
+    std::string label;   //!< benchmark/point description
+};
+
+/** Write header + events to @p path; false on I/O failure. */
+bool write_trace(const std::string &path, const TraceHeader &header,
+                 const std::vector<TraceEvent> &events);
+
+/** Read a .vtrace file; false on I/O failure, bad magic/version, or a
+ * corrupt payload. */
+bool read_trace(const std::string &path, TraceHeader &header,
+                std::vector<TraceEvent> &events);
+
+} // namespace voltron
+
+#endif // VOLTRON_TRACE_TRACE_HH_

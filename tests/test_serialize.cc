@@ -5,6 +5,7 @@
  * missPenalty cache-key regression, and warm-vs-cold determinism.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -447,6 +448,38 @@ expect_identical(const MachineResult &a, const MachineResult &b)
     EXPECT_EQ(a.regionCycles, b.regionCycles);
     EXPECT_EQ(a.coupledCycles, b.coupledCycles);
     EXPECT_EQ(a.decoupledCycles, b.decoupledCycles);
+}
+
+TEST(ArtifactCache, StartupSweepRemovesAgedTempsOnly)
+{
+    ScopedCacheDir cache("agesweep");
+    std::filesystem::create_directories(cache.path());
+    const std::string entry =
+        cache_entry_filename(ArtifactKind::Golden, 0xfeedULL);
+    const std::filesystem::path aged = cache.path() / (entry + ".tmp11111");
+    const std::filesystem::path fresh =
+        cache.path() / (entry + ".tmp22222");
+    {
+        std::ofstream(aged, std::ios::binary) << "old-partial";
+        std::ofstream(fresh, std::ios::binary) << "new-partial";
+    }
+    // Pre-age one temp well past the auto-sweep threshold.
+    std::filesystem::last_write_time(
+        aged, std::filesystem::file_time_type::clock::now() -
+                  std::chrono::seconds(2 * kCacheTempSweepAgeSeconds));
+
+    // First disk access auto-sweeps the dir: the orphan goes, the fresh
+    // temp (a live writer mid-publish, as far as we can tell) stays.
+    {
+        VoltronSystem sys(test_program());
+        sys.compile(CompileOptions{});
+    }
+    EXPECT_FALSE(std::filesystem::exists(aged));
+    EXPECT_TRUE(std::filesystem::exists(fresh));
+
+    // Explicit sweep with no age floor (cachectl sweep) takes the rest.
+    EXPECT_EQ(sweep_cache_temps(cache.path().string()), 1u);
+    EXPECT_FALSE(std::filesystem::exists(fresh));
 }
 
 TEST(ArtifactCache, WarmRunIsBitIdenticalToCold)

@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Trace-layer tests: name round-trips, ring-buffer semantics, the
+ * traced-vs-untraced bit-identity guarantee, event-stream determinism
+ * (including fast-forward vs naive stepping), .vtrace file round-trips,
+ * Chrome trace-event export validity, and the MetricsRegistry's
+ * agreement with the MachineResult it was collected from.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "core/voltron.hh"
+#include "sim/machine.hh"
+#include "trace/metrics.hh"
+#include "trace/perfetto.hh"
+#include "trace/trace.hh"
+#include "workloads/suite.hh"
+
+namespace voltron {
+namespace {
+
+/** Small scale keeps the traced sweeps fast. */
+SuiteScale
+test_scale()
+{
+    SuiteScale scale;
+    scale.targetOps = 20'000;
+    return scale;
+}
+
+Program
+test_program(const std::string &name = "epic")
+{
+    return build_benchmark(name, test_scale());
+}
+
+void
+expect_identical(const MachineResult &a, const MachineResult &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.exitValue, b.exitValue) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.dynamicOps, b.dynamicOps) << what;
+    EXPECT_EQ(a.coupledCycles, b.coupledCycles) << what;
+    EXPECT_EQ(a.decoupledCycles, b.decoupledCycles) << what;
+    EXPECT_EQ(a.regionCycles, b.regionCycles) << what;
+    ASSERT_EQ(a.issued.size(), b.issued.size()) << what;
+    for (CoreId c = 0; c < a.issued.size(); ++c) {
+        EXPECT_EQ(a.issued[c], b.issued[c]) << what << " core " << c;
+        EXPECT_EQ(a.idleCycles[c], b.idleCycles[c])
+            << what << " core " << c;
+        for (size_t cat = 0;
+             cat < static_cast<size_t>(StallCat::NumCats); ++cat) {
+            EXPECT_EQ(a.stalls[c][cat], b.stalls[c][cat])
+                << what << " core " << c << " stall "
+                << stall_cat_name(static_cast<StallCat>(cat));
+        }
+    }
+}
+
+/** Run @p mp traced on @p cores cores, returning events + result. */
+struct TracedRun
+{
+    MachineResult result;
+    std::vector<TraceEvent> events;
+    u64 dropped = 0;
+};
+
+TracedRun
+run_traced(const MachineProgram &mp, u16 cores, bool naive = false)
+{
+    RingBufferTraceSink ring(size_t{1} << 21);
+    MachineConfig config = MachineConfig::forCores(cores);
+    config.traceSink = &ring;
+    config.forceNaiveStepping = naive;
+    Machine machine(mp, config);
+    TracedRun run;
+    run.result = machine.run();
+    run.events = ring.events();
+    run.dropped = ring.dropped();
+    return run;
+}
+
+TEST(TraceNames, StallCatRoundTripsEveryValue)
+{
+    std::set<std::string> seen;
+    for (size_t i = 0; i < static_cast<size_t>(StallCat::NumCats); ++i) {
+        const StallCat cat = static_cast<StallCat>(i);
+        const std::string name = stall_cat_name(cat);
+        EXPECT_NE(name, "?") << i;
+        EXPECT_FALSE(name.empty()) << i;
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate stall name " << name;
+        EXPECT_EQ(stall_cat_from_name(name), cat) << name;
+    }
+    EXPECT_EQ(stall_cat_from_name("no-such-category"), StallCat::NumCats);
+    EXPECT_EQ(stall_cat_from_name(""), StallCat::NumCats);
+}
+
+TEST(TraceNames, EventKindRoundTripsEveryValue)
+{
+    std::set<std::string> seen;
+    for (size_t i = 0; i < static_cast<size_t>(TraceEventKind::NumKinds);
+         ++i) {
+        const TraceEventKind kind = static_cast<TraceEventKind>(i);
+        const std::string name = trace_event_kind_name(kind);
+        EXPECT_NE(name, "?") << i;
+        EXPECT_FALSE(name.empty()) << i;
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate event-kind name " << name;
+        EXPECT_EQ(trace_event_kind_from_name(name), kind) << name;
+    }
+    EXPECT_EQ(trace_event_kind_from_name("no-such-kind"),
+              TraceEventKind::NumKinds);
+}
+
+TEST(RingBufferTraceSink, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(RingBufferTraceSink(1).capacity(), 16u);
+    EXPECT_EQ(RingBufferTraceSink(16).capacity(), 16u);
+    EXPECT_EQ(RingBufferTraceSink(17).capacity(), 32u);
+    EXPECT_EQ(RingBufferTraceSink(1000).capacity(), 1024u);
+}
+
+TEST(RingBufferTraceSink, OverflowKeepsNewestAndCountsDrops)
+{
+    RingBufferTraceSink ring(16);
+    for (u64 i = 0; i < 40; ++i) {
+        TraceEvent ev;
+        ev.cycle = i;
+        ev.kind = TraceEventKind::Issue;
+        ring.emit(ev);
+    }
+    EXPECT_EQ(ring.total(), 40u);
+    EXPECT_EQ(ring.dropped(), 24u);
+    const std::vector<TraceEvent> events = ring.events();
+    ASSERT_EQ(events.size(), 16u);
+    // Oldest first, and exactly the newest 16 offered.
+    for (size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].cycle, 24 + i);
+
+    ring.clear();
+    EXPECT_EQ(ring.total(), 0u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_TRUE(ring.events().empty());
+}
+
+TEST(Trace, TracedRunIsBitIdenticalToUntraced)
+{
+    VoltronSystem sys(test_program());
+    for (Strategy strategy :
+         {Strategy::IlpOnly, Strategy::TlpOnly, Strategy::Hybrid}) {
+        CompileOptions opts;
+        opts.strategy = strategy;
+        opts.numCores = 4;
+        const MachineProgram &mp = sys.compile(opts);
+
+        Machine untraced(mp, MachineConfig::forCores(4));
+        const MachineResult plain = untraced.run();
+        const TracedRun traced = run_traced(mp, 4);
+
+        expect_identical(traced.result, plain,
+                         std::string("traced vs untraced, ") +
+                             strategy_name(strategy));
+        EXPECT_FALSE(traced.events.empty());
+    }
+}
+
+TEST(Trace, NullSinkMatchesNoSink)
+{
+    VoltronSystem sys(test_program());
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 4;
+    const MachineProgram &mp = sys.compile(opts);
+
+    Machine bare(mp, MachineConfig::forCores(4));
+    const MachineResult plain = bare.run();
+
+    NullTraceSink null_sink;
+    MachineConfig config = MachineConfig::forCores(4);
+    config.traceSink = &null_sink;
+    Machine nulled(mp, config);
+    expect_identical(nulled.run(), plain, "null sink vs no sink");
+}
+
+TEST(Trace, StreamIsDeterministicAcrossRunsAndSteppers)
+{
+    VoltronSystem sys(test_program());
+    for (Strategy strategy : {Strategy::TlpOnly, Strategy::Hybrid}) {
+        CompileOptions opts;
+        opts.strategy = strategy;
+        opts.numCores = 4;
+        const MachineProgram &mp = sys.compile(opts);
+
+        const TracedRun a = run_traced(mp, 4);
+        const TracedRun b = run_traced(mp, 4);
+        const TracedRun naive = run_traced(mp, 4, /*naive=*/true);
+        ASSERT_EQ(a.dropped, 0u) << "raise the test ring capacity";
+
+        // Same build, same program, same config: byte-identical streams,
+        // in both repeated runs and fast-forward vs naive stepping.
+        EXPECT_EQ(event_stream_hash(a.events), event_stream_hash(b.events))
+            << strategy_name(strategy);
+        ASSERT_EQ(a.events.size(), naive.events.size())
+            << strategy_name(strategy);
+        EXPECT_EQ(event_stream_hash(a.events),
+                  event_stream_hash(naive.events))
+            << strategy_name(strategy);
+        EXPECT_TRUE(a.events == naive.events) << strategy_name(strategy);
+        expect_identical(a.result, naive.result,
+                         std::string("traced ff vs traced naive, ") +
+                             strategy_name(strategy));
+    }
+}
+
+TEST(Trace, StallSpansAccountForStallCounters)
+{
+    // Every StallEnd carries its span length; summing spans per (core,
+    // category) must reproduce the MachineResult stall counters exactly
+    // (stall() charges one cycle per stalled cycle, spans cover them).
+    VoltronSystem sys(test_program());
+    CompileOptions opts;
+    opts.strategy = Strategy::TlpOnly;
+    opts.numCores = 4;
+    const MachineProgram &mp = sys.compile(opts);
+    const TracedRun run = run_traced(mp, 4);
+    ASSERT_EQ(run.dropped, 0u);
+
+    std::vector<std::array<u64, static_cast<size_t>(StallCat::NumCats)>>
+        spans(4);
+    for (auto &arr : spans)
+        arr.fill(0);
+    for (const TraceEvent &ev : run.events)
+        if (ev.kind == TraceEventKind::StallEnd)
+            spans[ev.core][ev.arg8] += ev.arg64;
+    for (CoreId c = 0; c < 4; ++c)
+        for (size_t cat = 1;
+             cat < static_cast<size_t>(StallCat::NumCats); ++cat)
+            EXPECT_EQ(spans[c][cat], run.result.stalls[c][cat])
+                << "core " << c << " "
+                << stall_cat_name(static_cast<StallCat>(cat));
+}
+
+TEST(Trace, VtraceFileRoundTrips)
+{
+    VoltronSystem sys(test_program());
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 2;
+    const TracedRun run = run_traced(sys.compile(opts), 2);
+
+    TraceHeader header;
+    header.numCores = 2;
+    header.totalCycles = run.result.cycles;
+    header.totalEvents = run.events.size();
+    header.dropped = 0;
+    header.label = "test/hybrid/c2";
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("voltron-test-trace-" + std::to_string(::getpid()) + ".vtrace"))
+            .string();
+    ASSERT_TRUE(write_trace(path, header, run.events));
+
+    TraceHeader back;
+    std::vector<TraceEvent> events;
+    ASSERT_TRUE(read_trace(path, back, events));
+    EXPECT_EQ(back.numCores, header.numCores);
+    EXPECT_EQ(back.totalCycles, header.totalCycles);
+    EXPECT_EQ(back.totalEvents, header.totalEvents);
+    EXPECT_EQ(back.dropped, header.dropped);
+    EXPECT_EQ(back.label, header.label);
+    ASSERT_EQ(events.size(), run.events.size());
+    EXPECT_TRUE(events == run.events);
+    EXPECT_EQ(event_stream_hash(events), event_stream_hash(run.events));
+
+    // A truncated file must fail cleanly, not crash or half-load.
+    {
+        std::ifstream is(path, std::ios::binary);
+        std::stringstream ss;
+        ss << is.rdbuf();
+        std::string bytes = ss.str();
+        bytes.resize(bytes.size() / 2);
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os << bytes;
+    }
+    EXPECT_FALSE(read_trace(path, back, events));
+    std::filesystem::remove(path);
+}
+
+TEST(Trace, ChromeExportIsValidJson)
+{
+    VoltronSystem sys(test_program());
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 4;
+    const TracedRun run = run_traced(sys.compile(opts), 4);
+
+    TraceHeader header;
+    header.numCores = 4;
+    header.totalCycles = run.result.cycles;
+    header.totalEvents = run.events.size();
+    header.label = "test/hybrid/c4";
+
+    std::ostringstream os;
+    export_chrome_trace(os, header, run.events);
+    const std::string json = os.str();
+    std::string error;
+    EXPECT_TRUE(validate_json(json, &error)) << error;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"stall\""), std::string::npos);
+
+    // The summary never crashes on a real stream and mentions the hash.
+    std::ostringstream summary;
+    summarize_trace(summary, header, run.events);
+    EXPECT_NE(summary.str().find("hash"), std::string::npos);
+}
+
+TEST(Trace, ValidatorRejectsMalformedJson)
+{
+    EXPECT_TRUE(validate_json("{\"a\": [1, 2.5e3, \"x\\n\", true, null]}"));
+    EXPECT_FALSE(validate_json(""));
+    EXPECT_FALSE(validate_json("{\"a\": }"));
+    EXPECT_FALSE(validate_json("{\"a\": 1} trailing"));
+    EXPECT_FALSE(validate_json("[1, 2,"));
+    std::string error;
+    EXPECT_FALSE(validate_json("{bad}", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Metrics, RegistryMatchesMachineResult)
+{
+    VoltronSystem sys(test_program());
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 4;
+    const MachineProgram &mp = sys.compile(opts);
+    Machine machine(mp, MachineConfig::forCores(4));
+    const MachineResult result = machine.run();
+    const MetricsRegistry metrics = collect_metrics(machine, result);
+
+    EXPECT_EQ(metrics.get("sim.cycles"), result.cycles);
+    EXPECT_EQ(metrics.get("sim.dynamicOps"), result.dynamicOps);
+    EXPECT_EQ(metrics.get("sim.coupledCycles"), result.coupledCycles);
+    EXPECT_EQ(metrics.get("sim.decoupledCycles"), result.decoupledCycles);
+    for (CoreId c = 0; c < 4; ++c) {
+        const std::string core = "sim.core" + std::to_string(c);
+        EXPECT_EQ(metrics.get(core + ".issued"), result.issued[c]) << core;
+        EXPECT_EQ(metrics.get(core + ".idleCycles"), result.idleCycles[c])
+            << core;
+        for (size_t cat = 1;
+             cat < static_cast<size_t>(StallCat::NumCats); ++cat) {
+            const u64 count = result.stalls[c][cat];
+            const std::string name =
+                core + ".stall." +
+                stall_cat_name(static_cast<StallCat>(cat));
+            // Zero stalls are omitted to keep the JSON small.
+            EXPECT_EQ(metrics.get(name), count) << name;
+            if (count == 0)
+                EXPECT_FALSE(metrics.has(name)) << name;
+        }
+    }
+    // The component namespaces came along.
+    bool has_mem = false, has_net = false;
+    for (const auto &[name, value] : metrics.counters()) {
+        has_mem = has_mem || name.rfind("mem.", 0) == 0;
+        has_net = has_net || name.rfind("net.", 0) == 0;
+    }
+    EXPECT_TRUE(has_mem);
+    EXPECT_TRUE(has_net);
+
+    // The JSON document is valid and carries every counter.
+    std::ostringstream os;
+    metrics.writeJson(os);
+    std::string error;
+    EXPECT_TRUE(validate_json(os.str(), &error)) << error;
+    EXPECT_NE(os.str().find("\"sim.cycles\""), std::string::npos);
+}
+
+TEST(Metrics, MergeAndAccessors)
+{
+    MetricsRegistry a, b;
+    a.add("x", 2);
+    a.add("x", 3);
+    a.set("y", 7);
+    b.add("x", 10);
+    b.add("z", 1);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 15u);
+    EXPECT_EQ(a.get("y"), 7u);
+    EXPECT_EQ(a.get("z"), 1u);
+    EXPECT_EQ(a.get("missing"), 0u);
+    EXPECT_FALSE(a.has("missing"));
+    EXPECT_EQ(a.size(), 3u);
+}
+
+} // namespace
+} // namespace voltron

@@ -7,7 +7,10 @@
 #     and report a non-zero disk-hit count (VOLTRON_CACHE_STATS=1 prints
 #     the counters on stderr at exit), and every persisted entry must
 #     pass cachectl verify.
-#  3. Fuzz smoke: 50 fixed-seed random programs through the full
+#  3. Trace smoke: record a benchmark with the ring-buffer sink, export
+#     Chrome trace JSON, and validate both the trace and the metrics
+#     documents with voltron-trace checkjson.
+#  4. Fuzz smoke: 50 fixed-seed random programs through the full
 #     differential sweep (voltron-fuzz run). Any divergence from the
 #     golden model — wrong exit value, wrong memory image, or an
 #     invariant panic — fails the stage and leaves a replayable .vfuzz
@@ -34,8 +37,12 @@ export VOLTRON_CACHE_STATS=1
 cmp "$SMOKE_DIR/cold.out" "$SMOKE_DIR/warm.out"
 echo "warm fig12 output byte-identical to cold"
 
-grep -Eo 'disk_hits=[0-9]+' "$SMOKE_DIR/warm.err" | tee "$SMOKE_DIR/hits"
-if grep -q 'disk_hits=0$' "$SMOKE_DIR/hits"; then
+# Explicit capture instead of `grep | tee`: under pipefail a no-match
+# grep used to abort the script mid-pipeline with no diagnostic, and
+# without pipefail tee's exit 0 swallowed the failure entirely.
+hits="$(grep -Eo 'disk_hits=[0-9]+' "$SMOKE_DIR/warm.err" || true)"
+echo "${hits:-<no cache-stats line found>}"
+if [ -z "$hits" ] || [ "$hits" = "disk_hits=0" ]; then
     echo "FAIL: warm run recorded no disk hits" >&2
     cat "$SMOKE_DIR/warm.err" >&2
     exit 1
@@ -44,6 +51,17 @@ echo "warm run served from the persistent cache"
 
 ./build/tools/cachectl stats
 ./build/tools/cachectl verify
+
+echo "== trace smoke =="
+./build/tools/voltron-trace record epic --strategy tlp --cores 4 \
+    --out "$SMOKE_DIR/trace-smoke"
+./build/tools/voltron-trace summarize "$SMOKE_DIR/trace-smoke.vtrace" \
+    > "$SMOKE_DIR/trace-smoke.summary"
+./build/tools/voltron-trace export "$SMOKE_DIR/trace-smoke.vtrace" \
+    --out "$SMOKE_DIR/trace-smoke.json"
+./build/tools/voltron-trace checkjson "$SMOKE_DIR/trace-smoke.json"
+./build/tools/voltron-trace checkjson "$SMOKE_DIR/trace-smoke.metrics.json"
+echo "trace smoke clean: record -> export -> valid Chrome trace JSON"
 
 echo "== fuzz smoke =="
 FUZZ_CORPUS="$SMOKE_DIR/fuzz-corpus"

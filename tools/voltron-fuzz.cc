@@ -26,11 +26,15 @@
 #include <vector>
 
 #include "core/artifact_cache.hh"
+#include "core/voltron.hh"
 #include "fuzz/differ.hh"
 #include "fuzz/generator.hh"
 #include "fuzz/repro.hh"
 #include "fuzz/shrink.hh"
 #include "ir/serialize.hh"
+#include "support/error.hh"
+#include "trace/perfetto.hh"
+#include "trace/trace.hh"
 
 using namespace voltron;
 namespace fs = std::filesystem;
@@ -53,6 +57,59 @@ print_divergence(u64 seed, const Divergence &div)
     std::printf("DIVERGENCE seed=0x%llx point=%s kind=%s\n  %s\n",
                 static_cast<unsigned long long>(seed), div.point.c_str(),
                 divergence_kind_name(div.kind), div.message.c_str());
+}
+
+/**
+ * Re-run the diverging sweep point with a trace sink and write
+ * <stem>.vtrace + <stem>.trace.json next to the repro, so the failure's
+ * cycle-level timeline ships with the reproducer. A panicking replay
+ * (the common case for lockstep violations) keeps the events captured
+ * up to the panic.
+ */
+void
+record_divergence_trace(const std::string &repro_path, const Program &prog,
+                        const Divergence &div,
+                        const std::vector<SweepPoint> &sweep)
+{
+    const SweepPoint *failing = nullptr;
+    for (const SweepPoint &point : sweep)
+        if (point.label == div.point)
+            failing = &point;
+    if (!failing)
+        return;
+
+    RingBufferTraceSink ring;
+    MachineConfig config = machine_config_for(*failing);
+    config.traceSink = &ring;
+
+    Cycle cycles = 0;
+    try {
+        VoltronSystem sys(prog);
+        const RunOutcome outcome = sys.run(failing->options, config);
+        cycles = outcome.result.cycles;
+    } catch (const PanicError &) {
+    } catch (const FatalError &) {
+    }
+    const std::vector<TraceEvent> events = ring.events();
+    if (cycles == 0 && !events.empty())
+        cycles = events.back().cycle;
+
+    TraceHeader header;
+    header.numCores = config.numCores;
+    header.totalCycles = cycles;
+    header.totalEvents = ring.total();
+    header.dropped = ring.dropped();
+    header.label = repro_path + "@" + div.point;
+
+    const std::string stem =
+        repro_path.substr(0, repro_path.rfind(".vfuzz"));
+    if (write_trace(stem + ".vtrace", header, events) &&
+        export_chrome_trace_file(stem + ".trace.json", header, events))
+        std::printf("  trace: %s.vtrace + %s.trace.json (%zu events)\n",
+                    stem.c_str(), stem.c_str(), events.size());
+    else
+        std::fprintf(stderr, "  failed to record trace for %s\n",
+                     repro_path.c_str());
 }
 
 int
@@ -107,11 +164,14 @@ cmd_run(u64 master_seed, u32 count, const std::string &corpus_dir,
             repro.seed = seed;
             repro.divergence = final_div;
             repro.program = final_prog;
-            if (write_repro(path, repro))
+            if (write_repro(path, repro)) {
                 std::printf("  repro: %s\n", path.c_str());
-            else
+                record_divergence_trace(path, final_prog, final_div,
+                                        sweep);
+            } else {
                 std::fprintf(stderr, "  failed to write %s\n",
                              path.c_str());
+            }
         }
     }
 

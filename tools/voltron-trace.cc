@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Trace recorder/exporter CLI.
+ *
+ *   voltron-trace record NAME|FILE.vfuzz [--strategy S] [--cores N]
+ *                 [--out PREFIX] [--capacity N] [--naive]
+ *       Run suite benchmark NAME (or replay a fuzz repro's program at
+ *       its failing sweep point) with a ring-buffer trace sink and
+ *       write PREFIX.vtrace plus PREFIX.metrics.json. A panicking
+ *       replay still dumps the events captured up to the panic —
+ *       that post-mortem tail is the point of recording repros.
+ *
+ *   voltron-trace export FILE.vtrace [--out FILE.json] [--issues]
+ *       Convert to Chrome trace-event JSON (open in Perfetto via
+ *       ui.perfetto.dev or chrome://tracing). --issues adds one
+ *       instant per issued op (large).
+ *
+ *   voltron-trace summarize FILE.vtrace
+ *       Print event counts, per-core stall breakdown, and the stream
+ *       hash.
+ *
+ *   voltron-trace checkjson FILE.json
+ *       Validate JSON syntax (used by tools/ci.sh for trace smoke).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/voltron.hh"
+#include "fuzz/differ.hh"
+#include "fuzz/repro.hh"
+#include "support/error.hh"
+#include "trace/perfetto.hh"
+#include "trace/trace.hh"
+#include "workloads/suite.hh"
+
+using namespace voltron;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: voltron-trace record NAME|FILE.vfuzz [--strategy S] "
+        "[--cores N] [--out PREFIX] [--capacity N] [--naive]\n"
+        "       voltron-trace export FILE.vtrace [--out FILE.json] "
+        "[--issues]\n"
+        "       voltron-trace summarize FILE.vtrace\n"
+        "       voltron-trace checkjson FILE.json\n");
+    return 2;
+}
+
+std::optional<Strategy>
+strategy_from_name(const std::string &name)
+{
+    static const Strategy kAll[] = {
+        Strategy::SerialOnly, Strategy::IlpOnly, Strategy::TlpOnly,
+        Strategy::LlpOnly, Strategy::Hybrid,
+    };
+    for (Strategy s : kAll)
+        if (name == strategy_name(s))
+            return s;
+    return std::nullopt;
+}
+
+bool
+ends_with(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/** Dump the ring to PREFIX.vtrace; returns the event count written. */
+bool
+dump_ring(const RingBufferTraceSink &ring, const std::string &prefix,
+          u16 num_cores, Cycle total_cycles, const std::string &label)
+{
+    const std::vector<TraceEvent> events = ring.events();
+    TraceHeader header;
+    header.numCores = num_cores;
+    header.totalCycles = total_cycles;
+    header.totalEvents = ring.total();
+    header.dropped = ring.dropped();
+    header.label = label;
+    const std::string path = prefix + ".vtrace";
+    if (!write_trace(path, header, events)) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("wrote %s: %zu event(s)", path.c_str(), events.size());
+    if (header.dropped != 0)
+        std::printf(" (%llu dropped; raise --capacity)",
+                    static_cast<unsigned long long>(header.dropped));
+    std::printf(", %llu cycle(s), hash %016llx\n",
+                static_cast<unsigned long long>(total_cycles),
+                static_cast<unsigned long long>(event_stream_hash(events)));
+    return true;
+}
+
+int
+cmd_record(const std::string &input, Strategy strategy, u16 cores,
+           std::string out_prefix, size_t capacity, bool naive)
+{
+    Program prog;
+    CompileOptions options;
+    MachineConfig config = MachineConfig::forCores(cores);
+    std::string label;
+
+    if (ends_with(input, ".vfuzz")) {
+        FuzzRepro repro;
+        if (!read_repro(input, repro)) {
+            std::fprintf(stderr, "error: cannot read repro %s\n",
+                         input.c_str());
+            return 1;
+        }
+        // Replay at the sweep point that originally diverged, so the
+        // trace shows the failing configuration, not a default one.
+        bool found = false;
+        for (const SweepPoint &point : default_sweep()) {
+            if (point.label == repro.divergence.point) {
+                options = point.options;
+                config = machine_config_for(point);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            std::fprintf(stderr,
+                         "warning: sweep point '%s' not in the default "
+                         "sweep; recording hybrid/c%u instead\n",
+                         repro.divergence.point.c_str(), cores);
+            options.strategy = strategy;
+            options.numCores = cores;
+        }
+        prog = repro.program;
+        label = input + "@" + repro.divergence.point;
+        if (out_prefix.empty())
+            out_prefix = input.substr(0, input.size() - 6);
+    } else {
+        prog = build_benchmark(input);
+        options.strategy = strategy;
+        options.numCores = cores;
+        label = input + "/" + strategy_name(strategy) + "/c" +
+                std::to_string(cores);
+        if (out_prefix.empty())
+            out_prefix = input + "." + strategy_name(strategy) + ".c" +
+                         std::to_string(cores);
+    }
+
+    RingBufferTraceSink ring(capacity);
+    config.traceSink = &ring;
+    config.forceNaiveStepping = naive;
+
+    VoltronSystem sys(std::move(prog));
+    try {
+        MetricsRegistry metrics;
+        const RunOutcome outcome = sys.run(options, config, &metrics);
+        if (!dump_ring(ring, out_prefix, config.numCores,
+                       outcome.result.cycles, label))
+            return 1;
+        const std::string metrics_path = out_prefix + ".metrics.json";
+        if (!metrics.writeJsonFile(metrics_path)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s: %zu counter(s)\n", metrics_path.c_str(),
+                    metrics.size());
+        if (!outcome.correct())
+            std::printf("note: run diverged from the golden model "
+                        "(exit %s, memory %s)\n",
+                        outcome.exitMatches ? "ok" : "MISMATCH",
+                        outcome.memoryMatches ? "ok" : "MISMATCH");
+        return 0;
+    } catch (const PanicError &e) {
+        std::printf("run panicked: %s\n", e.what());
+    } catch (const FatalError &e) {
+        std::printf("run died: %s\n", e.what());
+    }
+    // Post-mortem: the events up to the failure are exactly what a
+    // divergence investigation needs; total cycles = last event seen.
+    const std::vector<TraceEvent> events = ring.events();
+    const Cycle last = events.empty() ? 0 : events.back().cycle;
+    return dump_ring(ring, out_prefix, config.numCores, last,
+                     label + " (failed run)")
+               ? 0
+               : 1;
+}
+
+int
+cmd_export(const std::string &input, std::string out_path, bool issues)
+{
+    TraceHeader header;
+    std::vector<TraceEvent> events;
+    if (!read_trace(input, header, events)) {
+        std::fprintf(stderr, "error: cannot read trace %s\n",
+                     input.c_str());
+        return 1;
+    }
+    if (out_path.empty())
+        out_path = ends_with(input, ".vtrace")
+                       ? input.substr(0, input.size() - 7) + ".json"
+                       : input + ".json";
+    ChromeTraceOptions opts;
+    opts.issueInstants = issues;
+    if (!export_chrome_trace_file(out_path, header, events, opts)) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::printf("wrote %s (%zu event(s); open in ui.perfetto.dev)\n",
+                out_path.c_str(), events.size());
+    return 0;
+}
+
+int
+cmd_summarize(const std::string &input)
+{
+    TraceHeader header;
+    std::vector<TraceEvent> events;
+    if (!read_trace(input, header, events)) {
+        std::fprintf(stderr, "error: cannot read trace %s\n",
+                     input.c_str());
+        return 1;
+    }
+    summarize_trace(std::cout, header, events);
+    return 0;
+}
+
+int
+cmd_checkjson(const std::string &input)
+{
+    std::string error;
+    if (!validate_json_file(input, &error)) {
+        std::fprintf(stderr, "%s: INVALID: %s\n", input.c_str(),
+                     error.c_str());
+        return 1;
+    }
+    std::printf("%s: ok\n", input.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage();
+    const std::string cmd = args[0];
+
+    std::string input, out;
+    Strategy strategy = Strategy::Hybrid;
+    u16 cores = 4;
+    size_t capacity = size_t{1} << 20;
+    bool naive = false, issues = false;
+
+    for (size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return args[++i];
+        };
+        if (arg == "--strategy") {
+            auto s = strategy_from_name(value());
+            if (!s) {
+                std::fprintf(stderr, "error: unknown strategy\n");
+                return 2;
+            }
+            strategy = *s;
+        } else if (arg == "--cores") {
+            cores = static_cast<u16>(std::stoul(value()));
+        } else if (arg == "--out") {
+            out = value();
+        } else if (arg == "--capacity") {
+            capacity = std::stoull(value());
+        } else if (arg == "--naive") {
+            naive = true;
+        } else if (arg == "--issues") {
+            issues = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+            return usage();
+        } else if (input.empty()) {
+            input = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (input.empty())
+        return usage();
+
+    if (cmd == "record")
+        return cmd_record(input, strategy, cores, out, capacity, naive);
+    if (cmd == "export")
+        return cmd_export(input, out, issues);
+    if (cmd == "summarize")
+        return cmd_summarize(input);
+    if (cmd == "checkjson")
+        return cmd_checkjson(input);
+    return usage();
+}
