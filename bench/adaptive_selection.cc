@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Static vs measured-feedback mode selection: for every suite benchmark
+ * (plus a fuzz-corpus sample) at 4 cores, run the static §4.2 Hybrid
+ * selection and the Adaptive closed loop (profile the run, re-select
+ * region modes from the measured stall mix, keep strict improvements —
+ * VoltronSystem::runAdaptive), and record both cycle counts.
+ *
+ * Because the loop starts from the Hybrid selection and only accepts
+ * strictly-improving, still-correct override sets, Adaptive can never
+ * lose to static Hybrid; this harness enforces that invariant per
+ * workload and exits non-zero on a violation. It also cross-checks
+ * trace invariance: the loop's round-0 (profiled) cycle count must
+ * equal the untraced static-Hybrid run bit-for-bit.
+ *
+ * Writes BENCH_adaptive.json (argv[1] overrides). --quick runs a
+ * 2-benchmark + 1-fuzz-seed subset for CI smoke.
+ */
+
+#include <fstream>
+
+#include "common.hh"
+#include "fuzz/generator.hh"
+
+using namespace voltron;
+using namespace voltron::bench;
+
+namespace {
+
+constexpr u16 kCores = 4;
+constexpr u64 kFuzzSeeds[] = {0xad17'0001, 0xad17'0002, 0xad17'0003,
+                              0xad17'0004};
+
+struct Row
+{
+    std::string name;
+    Cycle hybrid = 0;
+    Cycle adaptive = 0;
+    AdaptiveReport report;
+    bool ok = false;      //!< both runs correct, invariants held
+    std::string error;
+
+    double
+    improvementPct() const
+    {
+        return hybrid == 0 ? 0.0
+                           : 100.0 * (1.0 - static_cast<double>(adaptive) /
+                                                static_cast<double>(hybrid));
+    }
+};
+
+Row
+measure(const std::string &name, VoltronSystem &sys)
+{
+    Row row;
+    row.name = name;
+
+    RunOutcome hybrid = sys.run(Strategy::Hybrid, kCores);
+    if (!hybrid.correct()) {
+        row.error = "static hybrid diverged from the golden model";
+        return row;
+    }
+    row.hybrid = hybrid.result.cycles;
+
+    CompileOptions opts;
+    opts.strategy = Strategy::Adaptive;
+    opts.numCores = kCores;
+    RunOutcome adaptive = sys.runAdaptive(opts, &row.report);
+    if (!adaptive.correct()) {
+        row.error = "adaptive final selection diverged";
+        return row;
+    }
+    row.adaptive = adaptive.result.cycles;
+
+    // Round 0 compiles byte-identically to Hybrid and tracing is
+    // observational, so the profiled round-0 run must match the
+    // untraced static run exactly.
+    if (row.report.hybridCycles != row.hybrid) {
+        row.error = "traced round-0 cycles diverged from untraced hybrid";
+        return row;
+    }
+    if (row.adaptive > row.hybrid) {
+        row.error = "adaptive lost to static hybrid";
+        return row;
+    }
+    row.ok = true;
+    return row;
+}
+
+void
+write_row(std::ofstream &os, const Row &row)
+{
+    os << "    {\n"
+       << "      \"name\": \"" << row.name << "\",\n"
+       << "      \"hybrid_cycles\": " << row.hybrid << ",\n"
+       << "      \"adaptive_cycles\": " << row.adaptive << ",\n"
+       << "      \"improvement_pct\": " << row.improvementPct() << ",\n"
+       << "      \"evaluations\": " << row.report.evaluations << ",\n"
+       << "      \"converged\": "
+       << (row.report.converged ? "true" : "false") << ",\n"
+       << "      \"overrides\": [";
+    bool first = true;
+    for (const ModeSuggestion &s : row.report.accepted) {
+        os << (first ? "" : ", ") << "{\"region\": " << s.region
+           << ", \"from\": \"" << exec_mode_name(s.from)
+           << "\", \"to\": \"" << exec_mode_name(s.to)
+           << "\", \"reason\": \"" << s.reason << "\"}";
+        first = false;
+    }
+    os << "]\n    }";
+}
+
+bool
+write_json(const std::string &path, const std::vector<Row> &rows,
+           bool quick)
+{
+    std::ofstream os(path);
+    os << std::fixed << std::setprecision(4);
+    os << "{\n"
+       << "  \"harness\": \"static Hybrid vs Adaptive (measured-feedback "
+          "mode selection) @ " << kCores << " cores\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"workloads\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        write_row(os, rows[i]);
+        os << (i + 1 < rows.size() ? ",\n" : "\n");
+    }
+
+    std::vector<double> ratios;
+    size_t improved = 0;
+    double best = 0.0;
+    for (const Row &row : rows) {
+        ratios.push_back(static_cast<double>(row.hybrid) /
+                         static_cast<double>(std::max<Cycle>(row.adaptive, 1)));
+        improved += row.adaptive < row.hybrid;
+        best = std::max(best, row.improvementPct());
+    }
+    os << "  ],\n"
+       << "  \"improved_workloads\": " << improved << ",\n"
+       << "  \"best_improvement_pct\": " << best << ",\n"
+       << "  \"geomean_speedup_vs_hybrid\": " << geomean(ratios) << "\n"
+       << "}\n";
+    return os.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string out_path = "BENCH_adaptive.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick")
+            quick = true;
+        else
+            out_path = arg;
+    }
+
+    banner("Adaptive mode selection: static Hybrid vs measured feedback, "
+           "4 cores",
+           "no paper figure; closes the loop on the HPCA'07 §4.2 "
+           "selector");
+
+    std::vector<std::string> names = benchmark_names();
+    size_t fuzz_seeds = std::size(kFuzzSeeds);
+    if (quick) {
+        names.resize(std::min<size_t>(names.size(), 2));
+        fuzz_seeds = 1;
+    }
+
+    const size_t total = names.size() + fuzz_seeds;
+    std::vector<Row> rows(total);
+    parallel_for(total, [&](size_t i) {
+        if (i < names.size()) {
+            rows[i] = measure(names[i], shared_system(names[i]));
+        } else {
+            const u64 seed = kFuzzSeeds[i - names.size()];
+            VoltronSystem sys(generate_fuzz_program(seed));
+            rows[i] = measure("fuzz-" + std::to_string(seed), sys);
+        }
+    });
+
+    label("workload", 16);
+    std::cout << "    hybrid   adaptive   gain   evals  overrides\n";
+    bool failed = false;
+    size_t improved = 0;
+    for (const Row &row : rows) {
+        if (!row.ok) {
+            label(row.name, 16);
+            std::cout << "  FAILED: " << row.error << "\n";
+            failed = true;
+            continue;
+        }
+        improved += row.adaptive < row.hybrid;
+        label(row.name, 16);
+        std::cout << std::setw(10) << row.hybrid << std::setw(11)
+                  << row.adaptive << std::fixed << std::setprecision(2)
+                  << std::setw(6) << row.improvementPct() << "%"
+                  << std::setw(7) << row.report.evaluations << "     ";
+        if (row.report.overrides.empty())
+            std::cout << "-";
+        for (const auto &[region, mode] : row.report.overrides)
+            std::cout << "r" << region << "->" << exec_mode_name(mode)
+                      << " ";
+        std::cout << "\n";
+    }
+
+    std::cout << "\n" << improved << "/" << rows.size()
+              << " workload(s) improved over static Hybrid\n";
+    if (!write_json(out_path, rows, quick)) {
+        std::cout << "FAILED to write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+
+    if (failed) {
+        std::cout << "FAIL: a workload violated the adaptive invariants\n";
+        return 1;
+    }
+    // The full sweep must find at least one real win: the loop exists
+    // to beat the static selector somewhere, not just to tie it.
+    if (!quick && improved == 0) {
+        std::cout << "FAIL: adaptive never improved on static Hybrid\n";
+        return 1;
+    }
+    return 0;
+}

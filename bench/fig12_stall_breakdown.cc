@@ -12,6 +12,8 @@
  * independently), but pays extra receive/synchronization stalls.
  */
 
+#include <algorithm>
+
 #include "common.hh"
 #include "trace/perfetto.hh"
 #include "trace/trace.hh"
@@ -62,6 +64,14 @@ stalls_of(const MachineResult &result, u16 cores, double serial_cycles)
 int
 timeline_mode(const std::string &name, const std::string &out_prefix)
 {
+    const std::vector<std::string> &names = benchmark_names();
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+        std::cerr << "fig12_stall_breakdown: unknown workload '" << name
+                  << "'; known workloads:\n";
+        for (const std::string &known : names)
+            std::cerr << "  " << known << "\n";
+        return 1;
+    }
     VoltronSystem &sys = shared_system(name);
     for (Strategy strategy : {Strategy::IlpOnly, Strategy::TlpOnly}) {
         RingBufferTraceSink ring;

@@ -17,6 +17,7 @@ strategy_name(Strategy strategy)
       case Strategy::TlpOnly: return "tlp";
       case Strategy::LlpOnly: return "llp";
       case Strategy::Hybrid: return "hybrid";
+      case Strategy::Adaptive: return "adaptive";
       default: return "?";
     }
 }
@@ -85,6 +86,10 @@ compile_program(const Program &prog, const Profile &profile,
     RegionId next_region = 0;
     const bool parallel =
         options.numCores > 1 && options.strategy != Strategy::SerialOnly;
+    // Adaptive starts from the full Hybrid decision tree; overrides are
+    // applied on top, after the analyses that gate them exist.
+    const bool hybrid_like = options.strategy == Strategy::Hybrid ||
+                             options.strategy == Strategy::Adaptive;
 
     for (const Function &fn : unit.functions) {
         analyses.push_back(std::make_unique<FuncAnalyses>(fn));
@@ -118,15 +123,16 @@ compile_program(const Program &prog, const Profile &profile,
                 parallel && region.kind != RegionKind::Glue && ops > 0 &&
                 ops / activations >= options.minOpsPerActivation;
 
+            bool doall_ok = false;
+            DswpResult dswp;
             if (worth) {
                 miss_frac = miss_fraction(fn, region, profile,
                                           options.missPenalty);
 
                 // DOALL eligibility.
-                bool doall_ok = false;
                 if (region.kind == RegionKind::Loop &&
                     (options.strategy == Strategy::LlpOnly ||
-                     options.strategy == Strategy::Hybrid)) {
+                     hybrid_like)) {
                     const Loop &loop = fa.loops->loops()[region.loopIdx];
                     const LoopProfile *lp =
                         profile.loop(fn.id, loop.header);
@@ -141,10 +147,9 @@ compile_program(const Program &prog, const Profile &profile,
                 }
 
                 // DSWP estimate (loops, when allowed).
-                DswpResult dswp;
                 if (region.kind == RegionKind::Loop &&
                     (options.strategy == Strategy::TlpOnly ||
-                     options.strategy == Strategy::Hybrid)) {
+                     hybrid_like)) {
                     DepGraph g = build_dep_graph(fn, region, profile,
                                                  /*loop_carried=*/true);
                     PartitionOptions popts = options.partition;
@@ -170,6 +175,7 @@ compile_program(const Program &prog, const Profile &profile,
                     }
                     break;
                   case Strategy::Hybrid:
+                  case Strategy::Adaptive:
                     if (doall_ok) {
                         region.mode = ExecMode::Doall;
                     } else if (region.kind == RegionKind::Loop &&
@@ -184,6 +190,35 @@ compile_program(const Program &prog, const Profile &profile,
                     break;
                   case Strategy::SerialOnly:
                     break;
+                }
+            }
+
+            // Measured override, clamped to feasibility: a mode the
+            // partitioner cannot realize silently keeps the heuristic's
+            // choice rather than mis-generating code. Deliberately NOT
+            // inside the worth gate — the activation heuristic is a
+            // guess, and a measured run may show a region it rejected is
+            // worth parallelizing (DSWP/DOALL still need their analyses,
+            // which only exist for worth regions).
+            if (options.strategy == Strategy::Adaptive) {
+                auto it = options.modeOverrides.find(region.id);
+                if (it != options.modeOverrides.end()) {
+                    const ExecMode want = it->second;
+                    const bool can_parallel =
+                        parallel && region.kind != RegionKind::Glue &&
+                        ops > 0;
+                    const bool feasible =
+                        want == ExecMode::Serial ||
+                        ((want == ExecMode::Coupled ||
+                          want == ExecMode::Strands) &&
+                         can_parallel) ||
+                        (want == ExecMode::Dswp && can_parallel &&
+                         region.kind == RegionKind::Loop &&
+                         dswp.feasible) ||
+                        (want == ExecMode::Doall && can_parallel &&
+                         doall_ok);
+                    if (feasible)
+                        region.mode = want;
                 }
             }
 

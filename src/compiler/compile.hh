@@ -7,6 +7,8 @@
 #ifndef VOLTRON_COMPILER_COMPILE_HH_
 #define VOLTRON_COMPILER_COMPILE_HH_
 
+#include <map>
+
 #include "compiler/codegen.hh"
 #include "compiler/partition.hh"
 #include "interp/profile.hh"
@@ -21,6 +23,13 @@ enum class Strategy : u8 {
     TlpOnly,    //!< DSWP + strands ("fine-grain TLP")
     LlpOnly,    //!< statistical DOALL only ("LLP")
     Hybrid,     //!< paper §4.2 selection (Fig. 13)
+    /**
+     * Hybrid selection, then per-region overrides measured from traced
+     * runs (VoltronSystem::runAdaptive drives the loop). The static
+     * heuristic guesses from the interpreter profile; Adaptive replaces
+     * the guess with what the machine actually did.
+     */
+    Adaptive,
 };
 
 const char *strategy_name(Strategy strategy);
@@ -53,6 +62,20 @@ struct CompileOptions
 
     /** Ablation: permit decoupled cross-core memory deps (sync tokens). */
     bool allowCrossCoreMemDep = false;
+
+    /**
+     * Adaptive only: measured per-region mode replacements, applied
+     * after §4.2 selection and clamped to what the region can actually
+     * support (DOALL needs the speculation plan, DSWP the feasible
+     * pipeline; an infeasible request keeps the heuristic's choice).
+     * Region ids are stable across recompiles of the same program —
+     * form_regions does not depend on the strategy — so the map is
+     * meaningful from one adaptive round to the next.
+     */
+    std::map<RegionId, ExecMode> modeOverrides;
+
+    /** Adaptive only: bound on measure-and-recompile rounds. */
+    u32 maxAdaptiveRounds = 4;
 };
 
 /** Per-region selection record (for reports and Fig. 3-style output). */

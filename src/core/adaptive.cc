@@ -1,0 +1,161 @@
+#include "core/adaptive.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace voltron {
+
+namespace {
+
+/** RegionEnter's arg8 is ExecMode + 1; 0 means the mode is unknown. */
+bool
+measured_mode(u8 byte, ExecMode &mode)
+{
+    if (byte == 0 || byte > static_cast<u8>(ExecMode::Doall) + 1)
+        return false;
+    mode = static_cast<ExecMode>(byte - 1);
+    return true;
+}
+
+std::string
+pct_reason(const char *what, double frac)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s %.0f%%", what, 100.0 * frac);
+    return buf;
+}
+
+} // namespace
+
+std::vector<ModeSuggestion>
+suggest_overrides(const TraceProfile &profile,
+                  const SelectionReport *selection)
+{
+    std::vector<const RegionProfile *> rows;
+    for (const auto &[id, row] : profile.regions)
+        if (id != kNoRegion)
+            rows.push_back(&row);
+    std::sort(rows.begin(), rows.end(),
+              [](const RegionProfile *a, const RegionProfile *b) {
+                  return a->cycles > b->cycles;
+              });
+
+    std::vector<ModeSuggestion> out;
+    const u16 cores = profile.numCores;
+    for (const RegionProfile *row : rows) {
+        // Cold regions cannot repay a re-run, and their stall fractions
+        // are noise.
+        if (row->cycles * 50 < profile.totalCycles || row->cycles < 64)
+            continue;
+
+        ExecMode mode;
+        if (!measured_mode(row->mode, mode))
+            continue;
+
+        const SelectionReport::Entry *entry = nullptr;
+        if (selection) {
+            for (const SelectionReport::Entry &e : selection->entries)
+                if (e.region == row->id) {
+                    entry = &e;
+                    break;
+                }
+            if (entry && entry->kind == RegionKind::Glue)
+                continue; // the compiler will clamp it anyway
+        }
+
+        auto frac = [&](StallCat cat) {
+            return row->stallFrac(cat, cores);
+        };
+        const double occ = row->occupancy(cores);
+
+        ModeSuggestion s;
+        s.region = row->id;
+        s.from = mode;
+        switch (mode) {
+          case ExecMode::Dswp: {
+            // Queue-full/recv-bound pipeline: the stages are unbalanced,
+            // so the decoupling buys latency instead of overlap.
+            const double comm = frac(StallCat::SendFull) +
+                                frac(StallCat::RecvData) +
+                                frac(StallCat::RecvPred);
+            if (comm > 0.20) {
+                s.to = ExecMode::Strands;
+                s.reason = pct_reason("pipeline comm stalls", comm);
+            } else if (occ < 0.25) {
+                s.to = ExecMode::Coupled;
+                s.reason = pct_reason("occupancy only", occ);
+            } else {
+                continue;
+            }
+            break;
+          }
+          case ExecMode::Doall: {
+            const double violations =
+                row->tmResolves == 0
+                    ? 0.0
+                    : static_cast<double>(row->tmViolations) /
+                          static_cast<double>(row->tmResolves);
+            if (violations > 0.25) {
+                s.to = ExecMode::Coupled;
+                s.reason = pct_reason("speculation re-executes", violations);
+            } else if (occ < 0.25) {
+                s.to = ExecMode::Coupled;
+                s.reason = pct_reason("occupancy only", occ);
+            } else {
+                continue;
+            }
+            break;
+          }
+          case ExecMode::Strands: {
+            const double wait =
+                frac(StallCat::RecvData) + frac(StallCat::RecvPred) +
+                frac(StallCat::JoinSync) + frac(StallCat::MemSync) +
+                frac(StallCat::SendFull);
+            if (wait > 0.30) {
+                s.to = ExecMode::Coupled;
+                s.reason = pct_reason("cross-strand waits", wait);
+            } else if (occ < 0.15) {
+                s.to = ExecMode::Serial;
+                s.reason = pct_reason("occupancy only", occ);
+            } else {
+                continue;
+            }
+            break;
+          }
+          case ExecMode::Coupled: {
+            // A coupled group freezes whole on one core's miss; a
+            // miss-heavy region decouples better (paper §4.2's own
+            // argument, now with the measured fraction).
+            const double dcache = frac(StallCat::DCache);
+            const double barrier = frac(StallCat::Barrier);
+            if (dcache > 0.25) {
+                s.to = ExecMode::Strands;
+                s.reason = pct_reason("lockstep dcache stalls", dcache);
+            } else if (barrier > 0.30) {
+                s.to = ExecMode::Serial;
+                s.reason = pct_reason("group formation overhead", barrier);
+            } else {
+                continue;
+            }
+            break;
+          }
+          case ExecMode::Serial: {
+            // The static activation gate rejected it, but it is hot in
+            // practice — worth one measured try at ILP.
+            if (row->cycles * 10 >= profile.totalCycles) {
+                s.to = ExecMode::Coupled;
+                s.reason = "hot serial region";
+            } else {
+                continue;
+            }
+            break;
+          }
+          default:
+            continue;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace voltron

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Measured-feedback mode selection: rules that turn a TraceProfile into
+ * per-region ExecMode override candidates, and the report type the
+ * VoltronSystem adaptive loop fills in.
+ *
+ * The static §4.2 selector guesses from the interpreter profile; these
+ * rules read what the machine actually did. Each rule keys off the
+ * *measured* mode (RegionEnter's arg8) and the region's attributed
+ * stall mix, so the same code serves the closed loop
+ * (VoltronSystem::runAdaptive) and the advisory tool (`voltron-prof
+ * suggest`), which has only the trace. Suggestions are candidates, not
+ * commands: compile_program clamps infeasible ones, and the loop only
+ * keeps an override set when it strictly lowers measured cycles.
+ */
+
+#ifndef VOLTRON_CORE_ADAPTIVE_HH_
+#define VOLTRON_CORE_ADAPTIVE_HH_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/compile.hh"
+#include "trace/profiler.hh"
+
+namespace voltron {
+
+/** One candidate re-selection for one region. */
+struct ModeSuggestion
+{
+    RegionId region = kNoRegion;
+    ExecMode from = ExecMode::Serial; //!< measured mode
+    ExecMode to = ExecMode::Serial;   //!< proposed replacement
+    std::string reason;               //!< human-readable rule firing
+};
+
+/**
+ * Rank override candidates from a measured profile, hottest region
+ * first, at most one per region. @p selection (when available — the
+ * closed loop has it, a bare trace does not) filters regions the
+ * compiler could never parallelize (Glue), saving wasted evaluations.
+ */
+std::vector<ModeSuggestion>
+suggest_overrides(const TraceProfile &profile,
+                  const SelectionReport *selection);
+
+/** What the adaptive loop did (VoltronSystem::runAdaptive). */
+struct AdaptiveReport
+{
+    Cycle hybridCycles = 0; //!< round 0: the static §4.2 selection
+    Cycle finalCycles = 0;  //!< best accepted (== hybrid if none won)
+    u32 evaluations = 0;    //!< measured candidate runs
+    bool converged = false; //!< candidate list drained before the bound
+    std::map<RegionId, ExecMode> overrides; //!< the accepted set
+    std::vector<ModeSuggestion> accepted;
+    std::vector<ModeSuggestion> rejected;
+
+    double
+    improvement() const
+    {
+        return hybridCycles == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(finalCycles) /
+                             static_cast<double>(hybridCycles);
+    }
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_CORE_ADAPTIVE_HH_

@@ -146,6 +146,15 @@ options_hash(const CompileOptions &options)
     w.u32v(options.partition.missEdgeWeight);
     w.boolean(options.partition.pinAliasClasses);
     w.u32v(options.partition.memImbalancePenalty);
+    // Adaptive fields. std::map iterates sorted, so the encoding is
+    // canonical; each override set gets its own cache line, which is
+    // what makes re-running a converged adaptive loop free.
+    w.u64v(options.modeOverrides.size());
+    for (const auto &[region, mode] : options.modeOverrides) {
+        w.u32v(region);
+        w.u8v(static_cast<u8>(mode));
+    }
+    w.u32v(options.maxAdaptiveRounds);
     return fnv1a(w.bytes());
 }
 

@@ -1,5 +1,8 @@
 #include "core/voltron.hh"
 
+#include <set>
+#include <utility>
+
 #include "ir/serialize.hh"
 #include "support/error.hh"
 
@@ -92,9 +95,9 @@ VoltronSystem::memoryMatchesGolden(const MemoryImage &mem) const
 }
 
 RunOutcome
-VoltronSystem::run(const CompileOptions &options,
-                   std::optional<MachineConfig> config,
-                   MetricsRegistry *metrics)
+VoltronSystem::runConcrete(const CompileOptions &options,
+                           const std::optional<MachineConfig> &config,
+                           MetricsRegistry *metrics, TraceProfile *profile)
 {
     RunOutcome outcome;
     const std::shared_ptr<const MachineArtifact> artifact =
@@ -102,6 +105,13 @@ VoltronSystem::run(const CompileOptions &options,
     outcome.selection = artifact->selection;
     MachineConfig mc =
         config ? *config : MachineConfig::forCores(options.numCores);
+    std::optional<ProfilingTraceSink> sink;
+    if (profile) {
+        fatal_if_not(mc.traceSink == nullptr,
+                     "runProfiled cannot stack on a caller trace sink");
+        sink.emplace(artifact->program.numCores);
+        mc.traceSink = &*sink;
+    }
     Machine machine(artifact->program, mc);
     outcome.result = machine.run();
     outcome.exitMatches =
@@ -109,7 +119,103 @@ VoltronSystem::run(const CompileOptions &options,
     outcome.memoryMatches = memoryMatchesGolden(machine.memory());
     if (metrics)
         *metrics = collect_metrics(machine, outcome.result);
+    if (profile)
+        *profile = sink->finish(outcome.result.cycles);
     return outcome;
+}
+
+RunOutcome
+VoltronSystem::run(const CompileOptions &options,
+                   std::optional<MachineConfig> config,
+                   MetricsRegistry *metrics)
+{
+    // An Adaptive request without a decided override set *is* the loop;
+    // with one it is a concrete variant (the loop's own inner runs and
+    // any caller replaying a converged selection land here).
+    if (options.strategy == Strategy::Adaptive &&
+        options.modeOverrides.empty())
+        return runAdaptive(options, nullptr, config, metrics);
+    return runConcrete(options, config, metrics);
+}
+
+RunOutcome
+VoltronSystem::runProfiled(const CompileOptions &options,
+                           TraceProfile &profile,
+                           std::optional<MachineConfig> config)
+{
+    return runConcrete(options, config, nullptr, &profile);
+}
+
+RunOutcome
+VoltronSystem::runAdaptive(const CompileOptions &options,
+                           AdaptiveReport *report,
+                           std::optional<MachineConfig> config,
+                           MetricsRegistry *metrics)
+{
+    AdaptiveReport local;
+    AdaptiveReport &rep = report ? *report : local;
+    rep = AdaptiveReport{};
+
+    CompileOptions best = options;
+    best.strategy = Strategy::Adaptive;
+    best.modeOverrides.clear();
+
+    // Round 0: the static §4.2 selection (empty override set compiles
+    // byte-identically to Hybrid), measured under the profiling sink.
+    TraceProfile bestProfile;
+    RunOutcome bestOutcome = runConcrete(best, config, nullptr,
+                                         &bestProfile);
+    fatal_if_not(bestOutcome.correct(),
+                 "adaptive round 0 (static hybrid) diverged from the "
+                 "golden model");
+    rep.hybridCycles = bestOutcome.result.cycles;
+
+    // Greedy with rollback: one candidate per measured run, kept only
+    // on a strict, still-correct improvement. Because acceptance is
+    // strictly monotone from the Hybrid starting point, the final
+    // selection can never lose to static Hybrid.
+    std::set<std::pair<RegionId, ExecMode>> tried;
+    while (rep.evaluations < options.maxAdaptiveRounds) {
+        const std::vector<ModeSuggestion> suggestions =
+            suggest_overrides(bestProfile, &bestOutcome.selection);
+        const ModeSuggestion *pick = nullptr;
+        for (const ModeSuggestion &s : suggestions) {
+            if (tried.count({s.region, s.to}))
+                continue;
+            auto it = best.modeOverrides.find(s.region);
+            if (it != best.modeOverrides.end() && it->second == s.to)
+                continue;
+            pick = &s;
+            break;
+        }
+        if (!pick) {
+            rep.converged = true;
+            break;
+        }
+        tried.insert({pick->region, pick->to});
+
+        CompileOptions trial = best;
+        trial.modeOverrides[pick->region] = pick->to;
+        TraceProfile trialProfile;
+        RunOutcome trialOutcome = runConcrete(trial, config, nullptr,
+                                              &trialProfile);
+        rep.evaluations++;
+        if (trialOutcome.correct() &&
+            trialOutcome.result.cycles < bestOutcome.result.cycles) {
+            rep.accepted.push_back(*pick);
+            best = std::move(trial);
+            bestOutcome = std::move(trialOutcome);
+            bestProfile = std::move(trialProfile);
+        } else {
+            rep.rejected.push_back(*pick);
+        }
+    }
+
+    rep.finalCycles = bestOutcome.result.cycles;
+    rep.overrides = best.modeOverrides;
+    if (metrics)
+        return runConcrete(best, config, metrics);
+    return bestOutcome;
 }
 
 RunOutcome

@@ -30,8 +30,10 @@
 #include <mutex>
 #include <optional>
 
+#include "core/adaptive.hh"
 #include "core/artifact_cache.hh"
 #include "sim/machine.hh"
+#include "trace/profiler.hh"
 
 namespace voltron {
 
@@ -71,6 +73,9 @@ class VoltronSystem
      * traceSink is set. When @p metrics is non-null it receives the
      * unified counter namespace (collect_metrics) for the run — opt-in,
      * so hot bench loops pay nothing for it.
+     *
+     * Strategy::Adaptive with an empty override map dispatches to
+     * runAdaptive; with overrides present it runs that concrete variant.
      */
     RunOutcome run(const CompileOptions &options,
                    std::optional<MachineConfig> config = std::nullopt,
@@ -78,6 +83,33 @@ class VoltronSystem
 
     /** Convenience: run strategy @p s on @p cores cores. */
     RunOutcome run(Strategy s, u16 cores);
+
+    /**
+     * The measured-feedback loop (Strategy::Adaptive): compile with the
+     * static §4.2 Hybrid heuristic, simulate under a profiling sink,
+     * then evaluate suggest_overrides candidates one at a time —
+     * keeping an override set only when it strictly lowers cycles and
+     * stays golden-correct — until the candidate list drains or
+     * maxAdaptiveRounds measured runs are spent. Greedy with rollback,
+     * so the result never loses to static Hybrid. Recompiles are
+     * content-hashed (each override set is its own ArtifactCache line),
+     * so a converged loop re-runs nearly free.
+     */
+    RunOutcome runAdaptive(const CompileOptions &options,
+                           AdaptiveReport *report = nullptr,
+                           std::optional<MachineConfig> config =
+                               std::nullopt,
+                           MetricsRegistry *metrics = nullptr);
+
+    /**
+     * run() under a live profiling sink; fills @p profile with the
+     * attributed per-region breakdown. Bit-identical to the untraced
+     * run (the sink is observational).
+     */
+    RunOutcome runProfiled(const CompileOptions &options,
+                           TraceProfile &profile,
+                           std::optional<MachineConfig> config =
+                               std::nullopt);
 
     /** Serial single-core baseline cycle count (cached). */
     Cycle baselineCycles();
@@ -94,6 +126,12 @@ class VoltronSystem
   private:
     std::shared_ptr<const MachineArtifact>
     acquire(const CompileOptions &options);
+
+    /** run() without the Adaptive dispatch (the loop's inner step). */
+    RunOutcome runConcrete(const CompileOptions &options,
+                           const std::optional<MachineConfig> &config,
+                           MetricsRegistry *metrics,
+                           TraceProfile *profile = nullptr);
 
     Program prog_;
     u64 progHash_ = 0;

@@ -77,6 +77,8 @@ OperandNetwork::send(CoreId from, CoreId to, u64 value, Cycle now,
     stats_.add("net.messages");
     if (is_spawn)
         stats_.add("net.spawns");
+    hopLatency_.record(msg.arrivesAt - now);
+    queueDepth_.record(recvQueues_[to].size());
     if (trace_) {
         TraceEvent ev;
         ev.cycle = now;

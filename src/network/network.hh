@@ -32,6 +32,7 @@
 #include "isa/opcode.hh"
 #include "support/stats.hh"
 #include "support/types.hh"
+#include "trace/metrics.hh"
 #include "trace/trace.hh"
 
 namespace voltron {
@@ -120,6 +121,15 @@ class OperandNetwork
 
     const StatSet &stats() const { return stats_; }
 
+    /** Distribution of queue-mode message latencies (send to arrival,
+     * cycles), one sample per SEND/SPAWN. */
+    const Histogram &hopLatency() const { return hopLatency_; }
+
+    /** Distribution of receiver queue depths observed after each
+     * enqueue — the direct occupancy signal for queue-full back-pressure
+     * analysis. */
+    const Histogram &queueDepth() const { return queueDepth_; }
+
     /** Emit NetSend/NetRecv/NetPut/NetGet/NetBcast events to @p sink
      * (nullptr disables; purely observational). */
     void setTraceSink(TraceSink *sink) { trace_ = sink; }
@@ -142,6 +152,8 @@ class OperandNetwork
     std::optional<std::pair<u64, Cycle>> bcast_;
     CoreId bcastFrom_ = kNoCore;
     StatSet stats_;
+    Histogram hopLatency_;
+    Histogram queueDepth_;
     TraceSink *trace_ = nullptr;
 
     u16 rowOf(CoreId c) const { return static_cast<u16>(c / config_.cols); }

@@ -147,16 +147,23 @@ Machine::stall(Core &core, StallCat cat)
 }
 
 void
-Machine::traceCloseStall(Core &core)
+Machine::traceCloseStall(Core &core, bool include_now)
 {
     if (core.traceOpenStall == StallCat::None)
         return;
+    // Ordinarily the closing cycle was not charged to the span (the core
+    // issued, or halt stamped the cycle after the last stall). A span
+    // closed by coupled-group formation is the exception: the barrier
+    // stall was charged in the formation cycle itself, so the span must
+    // cover it — arg16 records the end-inclusivity so consumers can
+    // place the span without re-deriving machine internals.
     TraceEvent ev;
     ev.cycle = now_;
     ev.core = core.id;
     ev.kind = TraceEventKind::StallEnd;
     ev.arg8 = static_cast<u8>(core.traceOpenStall);
-    ev.arg64 = now_ - core.traceStallSince;
+    ev.arg16 = include_now ? 1 : 0;
+    ev.arg64 = now_ - core.traceStallSince + (include_now ? 1 : 0);
     trace_->emit(ev);
     core.traceOpenStall = StallCat::None;
 }
@@ -663,7 +670,9 @@ Machine::maybeFormGroup()
     if (trace_) {
         traceCoupledSince_ = now_;
         for (Core &core : cores_) {
-            traceCloseStall(core); // the Barrier span, if one is open
+            // The Barrier span, if one is open: stall() already charged
+            // the formation cycle, so the span is end-inclusive.
+            traceCloseStall(core, /*include_now=*/true);
             TraceEvent ev;
             ev.cycle = now_;
             ev.core = core.id;
@@ -700,6 +709,15 @@ Machine::stepGroup()
             stall(core, group_.stallCat);
         return false;
     }
+
+    // The stall bus released this cycle: close every core's open span
+    // now. Issuing cores would close theirs via traceIssue anyway, but a
+    // core with no op due this schedule cycle never issues, and its span
+    // would silently swallow the uncharged no-op slots until its next
+    // issue — overstating the stall to any trace consumer.
+    if (trace_)
+        for (Core &core : cores_)
+            traceCloseStall(core);
 
     const u32 g = group_.blockCycle;
 
@@ -854,6 +872,8 @@ Machine::attributeCycle()
         ev.core = 0;
         ev.kind = TraceEventKind::RegionEnter;
         ev.arg32 = region;
+        if (region < prog_.regions.size())
+            ev.arg8 = static_cast<u8>(prog_.regions[region].mode) + 1;
         trace_->emit(ev);
         traceRegion_ = region;
     }
@@ -1055,6 +1075,12 @@ collect_metrics(const Machine &machine, const MachineResult &result)
     m.addStatSet("mem.", machine.memStats());
     m.addStatSet("", machine.netStats());
     m.addStatSet("", machine.tmStats());
+    // Distribution summaries. Skipped when empty (serial runs send no
+    // messages) so the JSON carries no all-zero noise.
+    if (machine.network().hopLatency().count() != 0)
+        m.addHistogram("net.hopLatency", machine.network().hopLatency());
+    if (machine.network().queueDepth().count() != 0)
+        m.addHistogram("net.queueDepth", machine.network().queueDepth());
     return m;
 }
 

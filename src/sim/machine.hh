@@ -134,6 +134,9 @@ class Machine
     const StatSet &netStats() const { return net_.stats(); }
     const StatSet &tmStats() const { return tm_.stats(); }
 
+    /** The operand network (histogram accessors for collect_metrics). */
+    const OperandNetwork &network() const { return net_; }
+
   private:
     /**
      * Flat register-ready scoreboard: one contiguous bank of ready times
@@ -268,8 +271,10 @@ class Machine
 
     void stall(Core &core, StallCat cat);
 
-    /** Close @p core's open stall span (StallEnd carrying the length). */
-    void traceCloseStall(Core &core);
+    /** Close @p core's open stall span (StallEnd carrying the length);
+     * @p include_now extends the span over the closing cycle (coupled
+     * group formation, where the barrier stall charged it). */
+    void traceCloseStall(Core &core, bool include_now = false);
     /** traceCloseStall + an Issue event for @p op. */
     void traceIssue(Core &core, const Operation &op);
     void enterBlock(Core &core, BlockId block);

@@ -1,8 +1,78 @@
 #include "trace/metrics.hh"
 
+#include <algorithm>
 #include <fstream>
 
+#include "support/error.hh"
+
 namespace voltron {
+
+u64
+Histogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested sample, 1-based; walk the buckets until the
+    // cumulative count reaches it.
+    const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+    u64 below = 0;
+    for (size_t b = 0; b < buckets_.size(); ++b) {
+        if (buckets_[b] == 0)
+            continue;
+        if (static_cast<double>(below + buckets_[b]) < rank) {
+            below += buckets_[b];
+            continue;
+        }
+        // Interpolate inside [lo, hi), the value range of bucket b.
+        const u64 lo = b == 0 ? 0 : u64{1} << (b - 1);
+        const u64 hi = b == 0 ? 1 : u64{1} << b;
+        const double into =
+            (rank - static_cast<double>(below)) /
+            static_cast<double>(buckets_[b]);
+        const u64 est =
+            lo + static_cast<u64>(static_cast<double>(hi - lo - 1) * into);
+        return std::clamp(est, min_, max_);
+    }
+    return max_;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    for (size_t b = 0; b < buckets_.size(); ++b)
+        buckets_[b] += other.buckets_[b];
+    min_ = count_ == 0 ? other.min_ : std::min(min_, other.min_);
+    max_ = count_ == 0 ? other.max_ : std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+MetricsRegistry::addHistogram(const std::string &name,
+                              const Histogram &hist)
+{
+    const std::pair<const char *, u64> derived[] = {
+        {".count", hist.count()},
+        {".sum", hist.sum()},
+        {".min", hist.min()},
+        {".max", hist.max()},
+        {".mean", static_cast<u64>(hist.mean() + 0.5)},
+        {".p50", hist.p50()},
+        {".p95", hist.p95()},
+        {".p99", hist.p99()},
+    };
+    for (const auto &[suffix, value] : derived) {
+        const std::string key = name + suffix;
+        panic_if_not(counters_.count(key) == 0,
+                     "duplicate metric name '", key,
+                     "' — histogram registered twice or colliding with "
+                     "a scalar counter");
+        counters_[key] = value;
+    }
+}
 
 namespace {
 

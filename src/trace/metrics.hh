@@ -1,6 +1,8 @@
 /**
  * @file
- * MetricsRegistry — one named-counter namespace for a whole run.
+ * MetricsRegistry — one named-counter namespace for a whole run — and
+ * Histogram, the fixed log-bucket distribution accumulator behind the
+ * namespace's quantile counters.
  *
  * The machine's counters historically lived in four places: the three
  * component StatSets (memStats/netStats/tmStats) and the MachineResult
@@ -13,6 +15,7 @@
  *   sim.region<R>.cycles
  *   mem.core<N>.l1d.misses ... (every MemHierarchy counter)
  *   net.messages, net.receives ... (every OperandNetwork counter)
+ *   net.hopLatency.p50 / .p95 / .p99 ... (registered histograms)
  *   tm.begins, tm.commits ...     (every TransactionalMemory counter)
  *
  * The sim.* names come from collect_metrics (sim/machine.hh), which is
@@ -22,6 +25,8 @@
 #ifndef VOLTRON_TRACE_METRICS_HH_
 #define VOLTRON_TRACE_METRICS_HH_
 
+#include <array>
+#include <bit>
 #include <map>
 #include <ostream>
 #include <string>
@@ -30,6 +35,72 @@
 #include "support/types.hh"
 
 namespace voltron {
+
+/**
+ * Fixed log-bucket distribution accumulator.
+ *
+ * Bucket i holds values whose bit width is i (bucket 0: the value 0,
+ * bucket i >= 1: values in [2^(i-1), 2^i)), so recording is one
+ * bit_width and one increment — cheap enough for per-message hot paths
+ * — and the memory footprint is constant (65 u64 buckets) no matter
+ * how many samples arrive. Quantiles are estimated by linear
+ * interpolation inside the bucket the requested rank lands in; the
+ * exact min/max are tracked separately so the tails never report a
+ * value outside the observed range.
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t kBuckets = 65;
+
+    void
+    record(u64 value)
+    {
+        buckets_[bucketOf(value)]++;
+        count_++;
+        sum_ += value;
+        min_ = count_ == 1 ? value : std::min(min_, value);
+        max_ = count_ == 1 ? value : std::max(max_, value);
+    }
+
+    u64 count() const { return count_; }
+    u64 sum() const { return sum_; }
+    u64 min() const { return count_ ? min_ : 0; }
+    u64 max() const { return count_ ? max_ : 0; }
+
+    double
+    mean() const
+    {
+        return count_ ? static_cast<double>(sum_) /
+                            static_cast<double>(count_)
+                      : 0.0;
+    }
+
+    /** Estimated value at quantile @p q in [0, 1] (0 when empty). */
+    u64 quantile(double q) const;
+
+    u64 p50() const { return quantile(0.50); }
+    u64 p95() const { return quantile(0.95); }
+    u64 p99() const { return quantile(0.99); }
+
+    /** Sum another histogram into this one (bench aggregation). */
+    void merge(const Histogram &other);
+
+    const std::array<u64, kBuckets> &buckets() const { return buckets_; }
+
+    static size_t
+    bucketOf(u64 value)
+    {
+        return static_cast<size_t>(std::bit_width(value));
+    }
+
+  private:
+    std::array<u64, kBuckets> buckets_{};
+    u64 count_ = 0;
+    u64 sum_ = 0;
+    u64 min_ = 0;
+    u64 max_ = 0;
+};
 
 /** A named scalar-counter namespace, JSON-serializable. */
 class MetricsRegistry
@@ -57,6 +128,16 @@ class MetricsRegistry
         for (const auto &[name, value] : stats.counters())
             counters_[prefix + name] += value;
     }
+
+    /**
+     * Register @p hist's summary counters under @p name (".count",
+     * ".sum", ".min", ".max", ".mean", ".p50", ".p95", ".p99").
+     * Histogram names are claims on a namespace subtree, not additive
+     * counters, so colliding with any existing dotted name panics —
+     * two components silently folding distributions into the same
+     * slot would corrupt both.
+     */
+    void addHistogram(const std::string &name, const Histogram &hist);
 
     /** Sum another registry into this one (bench aggregation). */
     void

@@ -9,6 +9,8 @@
 #include <sstream>
 #include <tuple>
 
+#include "trace/profiler.hh"
+
 namespace voltron {
 
 namespace {
@@ -321,6 +323,10 @@ summarize_trace(std::ostream &os, const TraceHeader &header,
         }
         os << "\n";
     }
+
+    // Per-region attribution via the profiler — the same aggregation
+    // voltron-prof reports, so the two tools can never disagree.
+    os << "  regions:\n" << format_region_table(profile_trace(header, events));
 }
 
 // --- JSON validation ------------------------------------------------------

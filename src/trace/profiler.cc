@@ -1,0 +1,426 @@
+#include "trace/profiler.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/error.hh"
+
+namespace voltron {
+
+StallCat
+RegionProfile::topStall() const
+{
+    size_t best = 0;
+    for (size_t s = 1; s < kNumCats; ++s)
+        if (stalls[s] > stalls[best])
+            best = s;
+    return stalls[best] == 0 ? StallCat::None : static_cast<StallCat>(best);
+}
+
+double
+RegionProfile::stallFrac(StallCat cat, u16 num_cores) const
+{
+    const u64 denom = cycles * num_cores;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(
+                            stalls[static_cast<size_t>(cat)]) /
+                            static_cast<double>(denom);
+}
+
+double
+RegionProfile::occupancy(u16 num_cores) const
+{
+    const u64 denom = cycles * num_cores;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(issueCycles) /
+                            static_cast<double>(denom);
+}
+
+const RegionProfile *
+TraceProfile::region(RegionId id) const
+{
+    auto it = regions.find(id);
+    return it == regions.end() ? nullptr : &it->second;
+}
+
+double
+TraceProfile::occupancy() const
+{
+    const u64 denom = static_cast<u64>(totalCycles) * numCores;
+    if (denom == 0)
+        return 0.0;
+    u64 issue = 0;
+    for (const CoreProfile &core : cores)
+        issue += core.issueCycles;
+    return static_cast<double>(issue) / static_cast<double>(denom);
+}
+
+namespace {
+constexpr Cycle kNoCycle = ~static_cast<Cycle>(0);
+} // namespace
+
+Profiler::Profiler(u16 num_cores) : numCores_(num_cores)
+{
+    panic_if_not(num_cores >= 1, "profiler needs at least one core");
+    out_.numCores = num_cores;
+    out_.cores.resize(num_cores);
+    lastIssueCycle_.assign(num_cores, kNoCycle);
+    idleSince_.resize(num_cores);
+    chain_.resize(num_cores);
+    // Workers boot idle and poll for a spawn; the master boots running.
+    for (u16 c = 1; c < num_cores; ++c)
+        idleSince_[c] = 0;
+}
+
+RegionProfile &
+Profiler::regionRow(RegionId id)
+{
+    RegionProfile &row = out_.regions[id];
+    row.id = id;
+    return row;
+}
+
+RegionProfile &
+Profiler::regionAt(Cycle cycle)
+{
+    // Last interval with start <= cycle. The timeline always holds a
+    // cycle-0 interval, so the search cannot underflow.
+    auto it = std::upper_bound(
+        timeline_.begin(), timeline_.end(), cycle,
+        [](Cycle c, const Interval &iv) { return c < iv.start; });
+    return regionRow(std::prev(it)->region);
+}
+
+template <typename Fn>
+void
+Profiler::attributeSpan(Cycle begin, Cycle end, Fn &&apply)
+{
+    if (begin >= end)
+        return;
+    auto it = std::upper_bound(
+        timeline_.begin(), timeline_.end(), begin,
+        [](Cycle c, const Interval &iv) { return c < iv.start; });
+    --it;
+    for (; it != timeline_.end() && it->start < end; ++it) {
+        const Cycle lo = std::max(begin, it->start);
+        const Cycle hi = std::next(it) == timeline_.end()
+                             ? end
+                             : std::min(end, std::next(it)->start);
+        if (lo < hi)
+            apply(regionRow(it->region), hi - lo);
+    }
+}
+
+void
+Profiler::closeIdle(CoreId core, Cycle end)
+{
+    if (!idleSince_[core])
+        return;
+    const Cycle since = *idleSince_[core];
+    idleSince_[core].reset();
+    if (end <= since)
+        return;
+    out_.cores[core].idleCycles += end - since;
+    attributeSpan(since, end, [](RegionProfile &row, u64 len) {
+        row.idleCycles += len;
+    });
+}
+
+void
+Profiler::add(const TraceEvent &event)
+{
+    panic_if_not(event.cycle >= curCycle_,
+                 "trace stream went backwards: cycle ", event.cycle,
+                 " after ", curCycle_);
+    if (event.cycle != curCycle_) {
+        flushCycle();
+        curCycle_ = event.cycle;
+    }
+    curEvents_.push_back(event);
+}
+
+void
+Profiler::flushCycle()
+{
+    // The master emits RegionEnter *after* stepping, so Issue/StallEnd
+    // events at the same cycle precede it in the stream yet belong to
+    // the region it names. Apply the timeline update first, then
+    // attribute the cycle's events against the settled timeline.
+    for (const TraceEvent &ev : curEvents_) {
+        if (ev.kind != TraceEventKind::RegionEnter)
+            continue;
+        const RegionId region = ev.arg32;
+        if (timeline_.back().start == curCycle_)
+            timeline_.back().region = region;
+        else
+            timeline_.push_back({curCycle_, region});
+        if (region != kNoRegion) {
+            RegionProfile &row = regionRow(region);
+            row.entries++;
+            if (ev.arg8 != 0)
+                row.mode = ev.arg8;
+        }
+    }
+    for (const TraceEvent &ev : curEvents_)
+        processEvent(ev);
+    curEvents_.clear();
+}
+
+void
+Profiler::processEvent(const TraceEvent &ev)
+{
+    const CoreId c = ev.core;
+    panic_if_not(c < numCores_, "trace event from unknown core ", c);
+    CoreProfile &core = out_.cores[c];
+
+    switch (ev.kind) {
+      case TraceEventKind::Issue:
+        core.issuedOps++;
+        regionAt(curCycle_).issuedOps++;
+        if (lastIssueCycle_[c] != curCycle_) {
+            lastIssueCycle_[c] = curCycle_;
+            core.issueCycles++;
+            regionAt(curCycle_).issueCycles++;
+        }
+        break;
+
+      case TraceEventKind::StallEnd: {
+        // Span covers [cycle + arg16 - len, cycle + arg16) — arg16 marks
+        // the end-inclusive close at coupled-group formation.
+        const u64 len = ev.arg64;
+        const size_t cat = static_cast<size_t>(ev.arg8);
+        panic_if_not(cat < RegionProfile::kNumCats,
+                     "StallEnd with bad category ", cat);
+        if (len != 0) {
+            const Cycle end = curCycle_ + (ev.arg16 != 0 ? 1 : 0);
+            panic_if_not(len <= end, "stall span longer than the run");
+            core.stalls[cat] += len;
+            attributeSpan(end - len, end,
+                          [cat](RegionProfile &row, u64 piece) {
+                              row.stalls[cat] += piece;
+                          });
+        }
+        break;
+      }
+
+      case TraceEventKind::SpawnSend:
+        out_.spawns++;
+        break;
+
+      case TraceEventKind::SpawnWake:
+        out_.wakes++;
+        closeIdle(c, curCycle_);
+        break;
+
+      case TraceEventKind::Sleep:
+        out_.sleeps++;
+        // The SLEEP op itself issued this cycle; idle starts next.
+        idleSince_[c] = curCycle_ + 1;
+        break;
+
+      case TraceEventKind::NetSend: {
+        out_.messages++;
+        out_.hopLatency.record(ev.arg64 - ev.cycle);
+        out_.queueDepth.record(ev.arg32);
+        regionAt(curCycle_).netSends++;
+        // Critical path: the message carries the origin of the longest
+        // chain its sender has absorbed so far (or starts a new chain).
+        InFlight msg;
+        msg.origin = chain_[c].origin.value_or(curCycle_);
+        msg.hops = chain_[c].hops + 1;
+        inFlight_[{c, static_cast<CoreId>(ev.arg16), ev.arg8 != 0}]
+            .push_back(msg);
+        break;
+      }
+
+      case TraceEventKind::NetRecv: {
+        out_.recvWait.record(ev.arg64);
+        RegionProfile &row = regionAt(curCycle_);
+        row.netRecvs++;
+        row.recvWaitCycles += ev.arg64;
+        auto it = inFlight_.find({static_cast<CoreId>(ev.arg16), c,
+                                  ev.arg8 != 0});
+        if (it == inFlight_.end() || it->second.empty())
+            break; // lossy stream: the matching send was dropped
+        const InFlight msg = it->second.front();
+        it->second.pop_front();
+        const u64 span = curCycle_ - msg.origin + 1;
+        if (span > out_.criticalPathCycles ||
+            (span == out_.criticalPathCycles &&
+             msg.hops > out_.criticalPathHops)) {
+            out_.criticalPathCycles = span;
+            out_.criticalPathHops = msg.hops;
+        }
+        ChainState &chain = chain_[c];
+        chain.origin = std::min(chain.origin.value_or(msg.origin),
+                                msg.origin);
+        chain.hops = std::max(chain.hops, msg.hops);
+        break;
+      }
+
+      case TraceEventKind::TmBegin:
+        out_.tmBegins++;
+        break;
+      case TraceEventKind::TmCommit:
+        out_.tmCommits++;
+        break;
+      case TraceEventKind::TmAbort:
+        out_.tmAborts++;
+        break;
+      case TraceEventKind::TmResolve: {
+        out_.tmResolves++;
+        RegionProfile &row = regionAt(curCycle_);
+        row.tmResolves++;
+        if (ev.arg8 != 0) {
+            out_.tmViolations++;
+            row.tmViolations++;
+        }
+        break;
+      }
+
+      // Timeline bookkeeping handled in flushCycle; the remaining kinds
+      // carry no cycle attribution.
+      case TraceEventKind::RegionEnter:
+      case TraceEventKind::StallBegin:
+      case TraceEventKind::ModeBegin:
+      case TraceEventKind::ModeEnd:
+      case TraceEventKind::NetPut:
+      case TraceEventKind::NetGet:
+      case TraceEventKind::NetBcast:
+      case TraceEventKind::CacheMiss:
+      default:
+        break;
+    }
+}
+
+TraceProfile
+Profiler::finish(Cycle total_cycles, u64 total_events, u64 dropped)
+{
+    flushCycle();
+    for (u16 c = 0; c < numCores_; ++c)
+        closeIdle(c, total_cycles);
+
+    out_.totalCycles = total_cycles;
+    out_.totalEvents = total_events;
+    out_.droppedEvents = dropped;
+    out_.lossless = dropped == 0;
+
+    // Master-attributed region cycles: the timeline tiles
+    // [0, totalCycles) by construction.
+    for (size_t i = 0; i < timeline_.size(); ++i) {
+        const Cycle start = timeline_[i].start;
+        const Cycle end = i + 1 < timeline_.size() ? timeline_[i + 1].start
+                                                   : total_cycles;
+        if (end > start)
+            regionRow(timeline_[i].region).cycles += end - start;
+    }
+
+    // Close the books: the uncharged remainder of every bucket set is
+    // slack, and on a lossless stream it must be non-negative — a core
+    // cannot be attributed more cycles than the machine ran. This is the
+    // profiler's hard invariant; tripping it means the machine's event
+    // emission and its counters disagree.
+    for (u16 c = 0; c < numCores_; ++c) {
+        CoreProfile &core = out_.cores[c];
+        const u64 attributed =
+            core.issueCycles + core.stallSum() + core.idleCycles;
+        if (out_.lossless)
+            panic_if_not(attributed <= total_cycles,
+                         "profiler invariant violated: core ", c,
+                         " has ", attributed,
+                         " attributed cycles in a ", total_cycles,
+                         "-cycle run");
+        core.slackCycles =
+            attributed <= total_cycles ? total_cycles - attributed : 0;
+    }
+    for (auto &[id, row] : out_.regions) {
+        const u64 capacity = row.cycles * numCores_;
+        const u64 attributed =
+            row.issueCycles + row.stallSum() + row.idleCycles;
+        if (out_.lossless)
+            panic_if_not(attributed <= capacity,
+                         "profiler invariant violated: region ", id,
+                         " has ", attributed, " attributed core-cycles in ",
+                         capacity, " of capacity");
+        row.slackCycles = attributed <= capacity ? capacity - attributed : 0;
+    }
+    return out_;
+}
+
+TraceProfile
+profile_trace(const TraceHeader &header,
+              const std::vector<TraceEvent> &events)
+{
+    Profiler prof(header.numCores);
+    for (const TraceEvent &ev : events)
+        prof.add(ev);
+    return prof.finish(header.totalCycles, header.totalEvents,
+                       header.dropped);
+}
+
+bool
+profile_trace_file(const std::string &path, TraceProfile &out)
+{
+    TraceHeader header;
+    std::vector<TraceEvent> events;
+    if (!read_trace(path, header, events))
+        return false;
+    out = profile_trace(header, events);
+    return true;
+}
+
+std::string
+format_region_table(const TraceProfile &profile)
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%8s %-8s %7s %12s %6s %6s %s\n",
+                  "region", "mode", "entries", "cycles", "%run", "occ%",
+                  "top stall");
+    out += line;
+
+    // Hottest first; the glue bucket (kNoRegion) sorts by cycles like
+    // any other row but renders as "-".
+    std::vector<const RegionProfile *> rows;
+    for (const auto &[id, row] : profile.regions)
+        rows.push_back(&row);
+    std::sort(rows.begin(), rows.end(),
+              [](const RegionProfile *a, const RegionProfile *b) {
+                  return a->cycles != b->cycles ? a->cycles > b->cycles
+                                                : a->id < b->id;
+              });
+
+    for (const RegionProfile *row : rows) {
+        char id_buf[16];
+        if (row->id == kNoRegion)
+            std::snprintf(id_buf, sizeof(id_buf), "-");
+        else
+            std::snprintf(id_buf, sizeof(id_buf), "%u", row->id);
+        const double pct_run =
+            profile.totalCycles == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(row->cycles) /
+                      static_cast<double>(profile.totalCycles);
+        const StallCat top = row->topStall();
+        char stall_buf[48];
+        if (top == StallCat::None)
+            std::snprintf(stall_buf, sizeof(stall_buf), "-");
+        else
+            std::snprintf(stall_buf, sizeof(stall_buf), "%s %.1f%%",
+                          stall_cat_name(top),
+                          100.0 * row->stallFrac(top, profile.numCores));
+        std::snprintf(line, sizeof(line),
+                      "%8s %-8s %7" PRIu64 " %12" PRIu64
+                      " %5.1f%% %5.1f%% %s\n",
+                      id_buf,
+                      row->id == kNoRegion ? "-"
+                                           : region_mode_name(row->mode),
+                      row->entries, row->cycles, pct_run,
+                      100.0 * row->occupancy(profile.numCores), stall_buf);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace voltron

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Trace profiler — folds a TraceEvent stream into an attributed
+ * per-region / per-core cycle profile.
+ *
+ * The machine's own counters (MachineResult, collect_metrics) answer
+ * "how many cycles went where" for a whole run; the profiler answers
+ * the *attributed* version — which region was the master in when core 3
+ * spent 4k cycles in sendFull back-pressure — by replaying the event
+ * stream against the region timeline the RegionEnter events describe.
+ * It consumes either a `.vtrace` file (profile_trace) or a live sink
+ * (ProfilingTraceSink) and needs nothing but the stream: region modes
+ * ride in RegionEnter's arg8, so the compiled program is not required.
+ *
+ * Accounting model (mirrors sim/machine.cc exactly; test_profiler.cc
+ * holds the two sides together):
+ *
+ *  - Every cycle of every core lands in exactly one bucket: *issue*
+ *    (>= 1 Issue event that cycle), *stall* (inside a StallBegin/End
+ *    span), *idle* (asleep between Sleep/SpawnWake), or *slack* — the
+ *    uncharged remainder (coupled-mode no-op slots, spawn wake-up
+ *    cycles, post-halt workers). The hard invariant, enforced by
+ *    finish() on lossless streams:
+ *
+ *        issue + stalls + idle + slack == totalCycles,  slack >= 0
+ *
+ *    per core, and region interval lengths tile [0, totalCycles).
+ *
+ *  - Stall spans arrive as StallEnd carrying the span length and cover
+ *    [end - len, end); idle spans are reconstructed from Sleep /
+ *    SpawnWake (workers start idle at cycle 0, the wake cycle itself is
+ *    slack); spans crossing a region boundary are split across it.
+ *
+ *  - An Issue at cycle t can precede the RegionEnter that reassigns
+ *    cycle t (the master emits RegionEnter after stepping), so per-cycle
+ *    attribution is staged per cycle and flushed when the stream moves
+ *    past it.
+ *
+ * The SEND->RECV critical path is a DP over the FIFO-matched message
+ * graph: each core carries the earliest origin cycle and hop count of
+ * the longest chain it has absorbed; a RECV extends the chain and the
+ * longest closed span (recv cycle - origin + 1) is reported. It bounds
+ * how much of the run is serialized through the operand network.
+ */
+
+#ifndef VOLTRON_TRACE_PROFILER_HH_
+#define VOLTRON_TRACE_PROFILER_HH_
+
+#include <array>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+
+namespace voltron {
+
+/** Attributed activity of one region (or of un-regioned glue time,
+ * under id == kNoRegion). */
+struct RegionProfile
+{
+    static constexpr size_t kNumCats = static_cast<size_t>(StallCat::NumCats);
+
+    RegionId id = kNoRegion;
+    u8 mode = 0; //!< ExecMode + 1 (region_mode_name); 0 = unknown
+    u64 entries = 0;
+    u64 cycles = 0; //!< master-attributed cycles (== regionCycles slice)
+
+    // All-core buckets inside this region's intervals. Denominator for
+    // occupancy is cycles * numCores.
+    u64 issueCycles = 0;
+    u64 issuedOps = 0;
+    u64 idleCycles = 0;
+    u64 slackCycles = 0;
+    std::array<u64, kNumCats> stalls{};
+
+    u64 netSends = 0;
+    u64 netRecvs = 0;
+    u64 recvWaitCycles = 0; //!< buffered-wait sum over RECVs here
+
+    u64 tmResolves = 0;
+    u64 tmViolations = 0; //!< resolves that re-executed serially
+
+    u64
+    stallSum() const
+    {
+        u64 sum = 0;
+        for (u64 v : stalls)
+            sum += v;
+        return sum;
+    }
+
+    /** Dominant stall category (None when nothing stalled). */
+    StallCat topStall() const;
+
+    /** Fraction of this region's core-cycles in @p cat, in [0, 1]. */
+    double stallFrac(StallCat cat, u16 num_cores) const;
+
+    /** Fraction of this region's core-cycles that issued, in [0, 1]. */
+    double occupancy(u16 num_cores) const;
+};
+
+/** Whole-run per-core buckets (cross-checked against MachineResult). */
+struct CoreProfile
+{
+    u64 issueCycles = 0; //!< cycles with >= 1 issue
+    u64 issuedOps = 0;   //!< ops (== MachineResult::issued)
+    u64 idleCycles = 0;
+    u64 slackCycles = 0;
+    std::array<u64, RegionProfile::kNumCats> stalls{};
+
+    u64
+    stallSum() const
+    {
+        u64 sum = 0;
+        for (u64 v : stalls)
+            sum += v;
+        return sum;
+    }
+};
+
+/** Everything the profiler extracts from one stream. */
+struct TraceProfile
+{
+    Cycle totalCycles = 0;
+    u16 numCores = 0;
+    u64 totalEvents = 0;
+    u64 droppedEvents = 0;
+    /** False when the ring dropped events; the span-sum invariant and
+     * MachineResult agreement only hold on lossless streams. */
+    bool lossless = true;
+
+    std::vector<CoreProfile> cores;
+    /** Keyed by region id; the kNoRegion entry collects glue time. */
+    std::map<RegionId, RegionProfile> regions;
+
+    u64 criticalPathCycles = 0; //!< longest SEND->RECV chain span
+    u64 criticalPathHops = 0;   //!< messages on that chain
+
+    Histogram hopLatency; //!< per-message send-to-arrival cycles
+    Histogram queueDepth; //!< receiver depth after each enqueue
+    Histogram recvWait;   //!< cycles each message sat buffered
+
+    u64 messages = 0;
+    u64 spawns = 0; //!< SpawnSend count
+    u64 wakes = 0;  //!< SpawnWake count
+    u64 sleeps = 0;
+
+    u64 tmBegins = 0;
+    u64 tmCommits = 0;
+    u64 tmAborts = 0;
+    u64 tmResolves = 0;
+    u64 tmViolations = 0;
+
+    /** Region row or nullptr. */
+    const RegionProfile *region(RegionId id) const;
+
+    /** Whole-run issue occupancy across all cores, in [0, 1]. */
+    double occupancy() const;
+};
+
+/**
+ * Streaming profile builder. Feed events in emission order (cycles
+ * nondecreasing — what every sink receives and read_trace returns),
+ * then call finish() exactly once.
+ */
+class Profiler
+{
+  public:
+    explicit Profiler(u16 num_cores);
+
+    void add(const TraceEvent &event);
+
+    /**
+     * Finalize: close idle tails at @p total_cycles, set stream-loss
+     * metadata, and — when @p dropped is zero — panic unless every
+     * core's buckets tile [0, totalCycles) exactly.
+     */
+    TraceProfile finish(Cycle total_cycles, u64 total_events, u64 dropped);
+
+  private:
+    struct Interval
+    {
+        Cycle start = 0;
+        RegionId region = kNoRegion;
+    };
+
+    struct ChainState
+    {
+        std::optional<Cycle> origin;
+        u64 hops = 0;
+    };
+
+    struct InFlight
+    {
+        Cycle origin = 0;
+        u64 hops = 0;
+    };
+
+    void flushCycle();
+    void processEvent(const TraceEvent &event);
+    RegionProfile &regionAt(Cycle cycle);
+    RegionProfile &regionRow(RegionId id);
+    void closeIdle(CoreId core, Cycle end);
+
+    /** Split [begin, end) across region intervals; @p apply is called
+     * once per piece with (row, length). */
+    template <typename Fn>
+    void attributeSpan(Cycle begin, Cycle end, Fn &&apply);
+
+    u16 numCores_;
+    TraceProfile out_;
+
+    std::vector<Interval> timeline_{{0, kNoRegion}};
+    std::map<RegionId, u8> regionModes_;
+
+    Cycle curCycle_ = 0;
+    std::vector<TraceEvent> curEvents_;
+
+    std::vector<Cycle> lastIssueCycle_;
+    std::vector<std::optional<Cycle>> idleSince_;
+    std::vector<ChainState> chain_;
+    /** FIFO in-flight messages keyed (sender, receiver, isSpawn). */
+    std::map<std::tuple<CoreId, CoreId, bool>, std::deque<InFlight>>
+        inFlight_;
+};
+
+/** Profile an in-memory stream under its header's metadata. */
+TraceProfile profile_trace(const TraceHeader &header,
+                           const std::vector<TraceEvent> &events);
+
+/** read_trace + profile_trace; false on I/O or format failure. */
+bool profile_trace_file(const std::string &path, TraceProfile &out);
+
+/** Live sink: profiles as the machine runs, storing no events. */
+class ProfilingTraceSink final : public TraceSink
+{
+  public:
+    explicit ProfilingTraceSink(u16 num_cores)
+        : profiler_(num_cores)
+    {
+    }
+
+    void
+    emit(const TraceEvent &event) override
+    {
+        profiler_.add(event);
+        ++total_;
+    }
+
+    /** Call once, after Machine::run returns its cycle count. */
+    TraceProfile
+    finish(Cycle total_cycles)
+    {
+        return profiler_.finish(total_cycles, total_, 0);
+    }
+
+  private:
+    Profiler profiler_;
+    u64 total_ = 0;
+};
+
+/**
+ * Render the per-region table (id, mode, cycles, occupancy, top stall)
+ * shared by `voltron-trace summarize` and `voltron-prof report`.
+ */
+std::string format_region_table(const TraceProfile &profile);
+
+} // namespace voltron
+
+#endif // VOLTRON_TRACE_PROFILER_HH_

@@ -25,6 +25,22 @@ stall_cat_name(StallCat cat)
     }
 }
 
+const char *
+region_mode_name(u8 mode_plus_one)
+{
+    // Mirrors ExecMode (sim/machineprog.hh) shifted by one; 0 means the
+    // trace predates the mode byte or the region id was out of range.
+    switch (mode_plus_one) {
+      case 0: return "?";
+      case 1: return "serial";
+      case 2: return "coupled";
+      case 3: return "strands";
+      case 4: return "dswp";
+      case 5: return "doall";
+      default: return "?";
+    }
+}
+
 StallCat
 stall_cat_from_name(const std::string &name)
 {

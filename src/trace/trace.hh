@@ -22,11 +22,16 @@
  *
  *   Issue       core issued an op; arg8=Opcode
  *   StallBegin  arg8=StallCat
- *   StallEnd    arg8=StallCat, arg64=span length in cycles
+ *   StallEnd    arg8=StallCat, arg64=span length in cycles; arg16=1
+ *               when the span includes the event cycle itself (close at
+ *               coupled-group formation, which charged its own cycle) —
+ *               the span covers [cycle+arg16-arg64, cycle+arg16)
  *   ModeBegin   coupled-lockstep entry; one event per core; arg8=mode
  *   ModeEnd     coupled-lockstep exit; arg8=mode, arg64=span length
  *   RegionEnter master's attributed region changed; arg32=RegionId
- *               (kNoRegion when leaving attributed code)
+ *               (kNoRegion when leaving attributed code); arg8=the
+ *               region's ExecMode + 1 (0 = unknown), so tools can name
+ *               modes without the compiled program (region_mode_name)
  *   SpawnSend   core issued SPAWN; arg16=target core
  *   SpawnWake   idle core woke on a spawn; arg64=raw CodeRef value
  *   Sleep       core issued SLEEP and went idle
@@ -116,6 +121,13 @@ TraceEventKind trace_event_kind_from_name(const std::string &name);
 /** Execution-mode values carried in Mode* events' arg8. */
 inline constexpr u8 kTraceModeCoupled = 0;
 inline constexpr u8 kTraceModeDecoupled = 1;
+
+/**
+ * Name the ExecMode+1 byte carried in RegionEnter's arg8. Lives here
+ * (not sim/machineprog.hh) so trace-only tools can label regions from
+ * the stream alone; tests assert it agrees with exec_mode_name.
+ */
+const char *region_mode_name(u8 mode_plus_one);
 
 /** CacheMiss levels carried in arg8. */
 inline constexpr u8 kMissL2Hit = 1;        //!< L1 miss served by the L2

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Profiler tests: the attributed-cycle invariant (per-core buckets and
+ * region intervals tile the run exactly), agreement between the
+ * trace-derived profile and the machine's own counters, critical-path
+ * bounds, stream-mode independence (fast-forward vs naive stepping
+ * profiles identically), the traced-vs-untraced bit-identity guarantee
+ * under the profiling sink, and termination of the adaptive
+ * measured-feedback loop across the whole suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/voltron.hh"
+#include "sim/machine.hh"
+#include "trace/profiler.hh"
+#include "trace/trace.hh"
+#include "workloads/suite.hh"
+
+namespace voltron {
+namespace {
+
+/** Small scale keeps the profiled sweeps fast. */
+SuiteScale
+test_scale()
+{
+    SuiteScale scale;
+    scale.targetOps = 20'000;
+    return scale;
+}
+
+/** The benchmarks × strategies the agreement tests sweep: one per
+ * execution mode family so every attribution path is exercised. */
+const char *const kWorkloads[] = {"epic", "179.art", "gsmencode"};
+const Strategy kStrategies[] = {Strategy::SerialOnly, Strategy::IlpOnly,
+                                Strategy::TlpOnly, Strategy::Hybrid};
+
+CompileOptions
+options_for(Strategy strategy, u16 cores)
+{
+    CompileOptions options;
+    options.strategy = strategy;
+    options.numCores = cores;
+    return options;
+}
+
+void
+expect_identical(const MachineResult &a, const MachineResult &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.exitValue, b.exitValue) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.dynamicOps, b.dynamicOps) << what;
+    EXPECT_EQ(a.regionCycles, b.regionCycles) << what;
+    ASSERT_EQ(a.issued.size(), b.issued.size()) << what;
+    for (CoreId c = 0; c < a.issued.size(); ++c) {
+        EXPECT_EQ(a.issued[c], b.issued[c]) << what << " core " << c;
+        EXPECT_EQ(a.idleCycles[c], b.idleCycles[c]) << what << " core "
+                                                    << c;
+        EXPECT_EQ(a.stalls[c], b.stalls[c]) << what << " core " << c;
+    }
+}
+
+/** Per-core buckets and region intervals must tile [0, totalCycles)
+ * exactly — the profiler's hard invariant, re-asserted here from the
+ * outside (Profiler::finish also panics internally on violation). */
+void
+expect_tiles(const TraceProfile &profile, const std::string &what)
+{
+    ASSERT_TRUE(profile.lossless) << what;
+    ASSERT_EQ(profile.cores.size(), profile.numCores) << what;
+    for (size_t c = 0; c < profile.cores.size(); ++c) {
+        const CoreProfile &core = profile.cores[c];
+        EXPECT_EQ(core.issueCycles + core.stallSum() + core.idleCycles +
+                      core.slackCycles,
+                  profile.totalCycles)
+            << what << " core " << c;
+    }
+    u64 region_sum = 0, core_cycle_sum = 0;
+    for (const auto &[id, row] : profile.regions) {
+        region_sum += row.cycles;
+        core_cycle_sum += row.issueCycles + row.stallSum() +
+                          row.idleCycles + row.slackCycles;
+    }
+    EXPECT_EQ(region_sum, profile.totalCycles) << what;
+    EXPECT_EQ(core_cycle_sum,
+              static_cast<u64>(profile.totalCycles) * profile.numCores)
+        << what;
+}
+
+TEST(ProfilerNames, RegionModeNameAgreesWithExecModeName)
+{
+    EXPECT_STREQ(region_mode_name(0), "?");
+    for (u8 m = 0; m <= static_cast<u8>(ExecMode::Doall); ++m)
+        EXPECT_STREQ(region_mode_name(static_cast<u8>(m + 1)),
+                     exec_mode_name(static_cast<ExecMode>(m)))
+            << static_cast<int>(m);
+}
+
+TEST(ProfilerInvariants, BucketsTileTotalCyclesAcrossSweep)
+{
+    for (const char *name : kWorkloads) {
+        VoltronSystem sys(build_benchmark(name, test_scale()));
+        for (Strategy strategy : kStrategies) {
+            const u16 cores = strategy == Strategy::SerialOnly ? 1 : 4;
+            TraceProfile profile;
+            const RunOutcome outcome = sys.runProfiled(
+                options_for(strategy, cores), profile);
+            const std::string what = std::string(name) + "/" +
+                                     strategy_name(strategy);
+            ASSERT_TRUE(outcome.correct()) << what;
+            EXPECT_EQ(profile.totalCycles, outcome.result.cycles) << what;
+            expect_tiles(profile, what);
+        }
+    }
+}
+
+TEST(ProfilerAgreement, MatchesMachineResultCounters)
+{
+    for (const char *name : kWorkloads) {
+        VoltronSystem sys(build_benchmark(name, test_scale()));
+        for (Strategy strategy : kStrategies) {
+            const u16 cores = strategy == Strategy::SerialOnly ? 1 : 4;
+            TraceProfile profile;
+            const RunOutcome outcome = sys.runProfiled(
+                options_for(strategy, cores), profile);
+            const std::string what = std::string(name) + "/" +
+                                     strategy_name(strategy);
+            ASSERT_TRUE(outcome.correct()) << what;
+            const MachineResult &result = outcome.result;
+
+            // Per-core: ops, stalls by category, and idle must agree
+            // with the machine's own accounting exactly.
+            ASSERT_EQ(profile.cores.size(), result.issued.size()) << what;
+            u64 ops = 0;
+            for (CoreId c = 0; c < result.issued.size(); ++c) {
+                const CoreProfile &core = profile.cores[c];
+                EXPECT_EQ(core.issuedOps, result.issued[c])
+                    << what << " core " << c;
+                EXPECT_EQ(core.idleCycles, result.idleCycles[c])
+                    << what << " core " << c;
+                EXPECT_EQ(core.stalls, result.stalls[c])
+                    << what << " core " << c;
+                ops += core.issuedOps;
+            }
+            EXPECT_EQ(ops, result.dynamicOps) << what;
+
+            // Region slices: every machine-attributed region matches,
+            // and the profiler attributes no real region the machine
+            // did not (the glue row under kNoRegion absorbs the rest).
+            for (const auto &[id, row] : profile.regions) {
+                if (id == kNoRegion)
+                    continue;
+                auto it = result.regionCycles.find(id);
+                const u64 machine_cycles =
+                    it == result.regionCycles.end() ? 0 : it->second;
+                EXPECT_EQ(row.cycles, machine_cycles)
+                    << what << " region " << id;
+            }
+            for (const auto &[id, cycles] : result.regionCycles) {
+                const RegionProfile *row = profile.region(id);
+                ASSERT_NE(row, nullptr) << what << " region " << id;
+                EXPECT_EQ(row->cycles, cycles) << what << " region " << id;
+            }
+        }
+    }
+}
+
+TEST(ProfilerAgreement, CriticalPathAndHistogramsBounded)
+{
+    VoltronSystem sys(build_benchmark("epic", test_scale()));
+    TraceProfile profile;
+    const RunOutcome outcome =
+        sys.runProfiled(options_for(Strategy::Hybrid, 4), profile);
+    ASSERT_TRUE(outcome.correct());
+
+    EXPECT_LE(profile.criticalPathCycles, profile.totalCycles);
+    EXPECT_LE(profile.criticalPathHops, profile.messages);
+    EXPECT_GT(profile.messages, 0u);
+    EXPECT_EQ(profile.hopLatency.count(), profile.messages);
+
+    for (const Histogram *hist :
+         {&profile.hopLatency, &profile.queueDepth, &profile.recvWait}) {
+        EXPECT_LE(hist->min(), hist->p50());
+        EXPECT_LE(hist->p50(), hist->p95());
+        EXPECT_LE(hist->p95(), hist->p99());
+        EXPECT_LE(hist->p99(), hist->max());
+    }
+}
+
+TEST(ProfilerAgreement, ProfiledRunBitIdenticalToUntraced)
+{
+    for (const char *name : kWorkloads) {
+        VoltronSystem sys(build_benchmark(name, test_scale()));
+        const CompileOptions options = options_for(Strategy::Hybrid, 4);
+        const RunOutcome untraced = sys.run(options);
+        TraceProfile profile;
+        const RunOutcome profiled = sys.runProfiled(options, profile);
+        expect_identical(untraced.result, profiled.result,
+                         std::string(name) + " profiled-vs-untraced");
+    }
+}
+
+TEST(ProfilerAgreement, FastForwardAndNaiveSteppingProfileIdentically)
+{
+    VoltronSystem sys(build_benchmark("179.art", test_scale()));
+    const MachineProgram &mp =
+        sys.compile(options_for(Strategy::Hybrid, 4));
+
+    TraceProfile profiles[2];
+    MachineResult results[2];
+    for (int naive = 0; naive < 2; ++naive) {
+        RingBufferTraceSink ring(size_t{1} << 21);
+        MachineConfig config = MachineConfig::forCores(4);
+        config.traceSink = &ring;
+        config.forceNaiveStepping = naive != 0;
+        Machine machine(mp, config);
+        results[naive] = machine.run();
+        ASSERT_EQ(ring.dropped(), 0u);
+
+        TraceHeader header;
+        header.numCores = 4;
+        header.totalCycles = results[naive].cycles;
+        header.totalEvents = ring.total();
+        profiles[naive] = profile_trace(header, ring.events());
+    }
+    expect_identical(results[0], results[1], "fast-forward vs naive");
+
+    EXPECT_EQ(profiles[0].totalCycles, profiles[1].totalCycles);
+    EXPECT_EQ(profiles[0].totalEvents, profiles[1].totalEvents);
+    EXPECT_EQ(profiles[0].criticalPathCycles,
+              profiles[1].criticalPathCycles);
+    for (size_t c = 0; c < 4; ++c) {
+        EXPECT_EQ(profiles[0].cores[c].issuedOps,
+                  profiles[1].cores[c].issuedOps)
+            << c;
+        EXPECT_EQ(profiles[0].cores[c].stalls, profiles[1].cores[c].stalls)
+            << c;
+    }
+    ASSERT_EQ(profiles[0].regions.size(), profiles[1].regions.size());
+    for (const auto &[id, row] : profiles[0].regions) {
+        const RegionProfile *other = profiles[1].region(id);
+        ASSERT_NE(other, nullptr) << id;
+        EXPECT_EQ(row.cycles, other->cycles) << id;
+        EXPECT_EQ(row.mode, other->mode) << id;
+    }
+}
+
+TEST(Adaptive, TerminatesWithinBoundAndNeverLosesAcrossSuite)
+{
+    for (const std::string &name : benchmark_names()) {
+        VoltronSystem sys(build_benchmark(name, test_scale()));
+        CompileOptions options = options_for(Strategy::Adaptive, 4);
+        AdaptiveReport report;
+        const RunOutcome outcome = sys.runAdaptive(options, &report);
+        ASSERT_TRUE(outcome.correct()) << name;
+        EXPECT_LE(report.evaluations, options.maxAdaptiveRounds) << name;
+        EXPECT_TRUE(report.converged ||
+                    report.evaluations == options.maxAdaptiveRounds)
+            << name;
+        EXPECT_LE(report.finalCycles, report.hybridCycles) << name;
+        EXPECT_EQ(outcome.result.cycles, report.finalCycles) << name;
+        // The same region can be accepted twice (e.g. dswp -> coupled
+        // -> strands), so the override map can be smaller than the
+        // accepted list, but every accepted region must end up in it.
+        EXPECT_LE(report.overrides.size(), report.accepted.size()) << name;
+        for (const ModeSuggestion &s : report.accepted)
+            EXPECT_TRUE(report.overrides.count(s.region))
+                << name << " region " << s.region;
+
+        // A strategy-level Adaptive run must reach the same fixed
+        // point through the dispatching entry point.
+        const RunOutcome via_run = sys.run(options);
+        ASSERT_TRUE(via_run.correct()) << name;
+        EXPECT_EQ(via_run.result.cycles, report.finalCycles) << name;
+    }
+}
+
+} // namespace
+} // namespace voltron

@@ -10,7 +10,13 @@
 #  3. Trace smoke: record a benchmark with the ring-buffer sink, export
 #     Chrome trace JSON, and validate both the trace and the metrics
 #     documents with voltron-trace checkjson.
-#  4. Fuzz smoke: 50 fixed-seed random programs through the full
+#  4. Profiler smoke: fold the recorded trace into an attributed
+#     profile (voltron-prof report), re-record the same workload and
+#     diff the two profiles — the simulator is deterministic, so any
+#     non-zero delta (voltron-prof diff exits 1 on regression) means
+#     nondeterminism crept in — then run the adaptive-selection bench
+#     in --quick mode, which enforces adaptive <= static Hybrid.
+#  5. Fuzz smoke: 50 fixed-seed random programs through the full
 #     differential sweep (voltron-fuzz run). Any divergence from the
 #     golden model — wrong exit value, wrong memory image, or an
 #     invariant panic — fails the stage and leaves a replayable .vfuzz
@@ -62,6 +68,17 @@ echo "== trace smoke =="
 ./build/tools/voltron-trace checkjson "$SMOKE_DIR/trace-smoke.json"
 ./build/tools/voltron-trace checkjson "$SMOKE_DIR/trace-smoke.metrics.json"
 echo "trace smoke clean: record -> export -> valid Chrome trace JSON"
+
+echo "== profiler smoke =="
+./build/tools/voltron-prof report "$SMOKE_DIR/trace-smoke.vtrace"
+./build/tools/voltron-prof suggest "$SMOKE_DIR/trace-smoke.vtrace"
+./build/tools/voltron-trace record epic --strategy tlp --cores 4 \
+    --out "$SMOKE_DIR/trace-smoke-rerecord"
+./build/tools/voltron-prof diff "$SMOKE_DIR/trace-smoke.vtrace" \
+    "$SMOKE_DIR/trace-smoke-rerecord.vtrace"
+./build/bench/adaptive_selection --quick "$SMOKE_DIR/BENCH_adaptive.json"
+echo "profiler smoke clean: report -> deterministic re-record diff" \
+     "-> adaptive quick bench"
 
 echo "== fuzz smoke =="
 FUZZ_CORPUS="$SMOKE_DIR/fuzz-corpus"

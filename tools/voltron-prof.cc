@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Trace profiler CLI — the reporting front-end of src/trace/profiler.hh.
+ *
+ *   voltron-prof report FILE.vtrace
+ *       Fold the trace into an attributed profile and print it: the
+ *       per-region table (shared with `voltron-trace summarize`),
+ *       per-core cycle buckets, the SEND->RECV critical path, and the
+ *       network/recv-wait histograms.
+ *
+ *   voltron-prof diff BASE.vtrace NEW.vtrace [--tolerance PCT]
+ *       Compare two profiles region by region. Exit 0 when NEW is no
+ *       slower than BASE (total cycles and every region within the
+ *       tolerance, default 0%); exit 1 on a regression. tools/ci.sh
+ *       diffs a run against a fresh re-record of the same workload,
+ *       where anything but zero delta means nondeterminism.
+ *
+ *   voltron-prof suggest FILE.vtrace
+ *       Print the measured-feedback override candidates the adaptive
+ *       loop would evaluate (core/adaptive.hh rules). Advisory only:
+ *       with just a trace there is no SelectionReport, so glue regions
+ *       the compiler can never parallelize are not pre-filtered.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adaptive.hh"
+#include "sim/machineprog.hh"
+#include "trace/profiler.hh"
+#include "trace/trace.hh"
+
+using namespace voltron;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: voltron-prof report FILE.vtrace\n"
+        "       voltron-prof diff BASE.vtrace NEW.vtrace "
+        "[--tolerance PCT]\n"
+        "       voltron-prof suggest FILE.vtrace\n");
+    return 2;
+}
+
+bool
+load(const std::string &path, TraceProfile &out)
+{
+    if (!profile_trace_file(path, out)) {
+        std::fprintf(stderr, "error: cannot read trace %s\n", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+print_histogram(const char *name, const Histogram &hist)
+{
+    if (hist.count() == 0)
+        return;
+    std::printf("  %-12s n=%-8" PRIu64
+                " mean=%-8.1f p50=%-6" PRIu64 " p95=%-6" PRIu64
+                " p99=%-6" PRIu64 " max=%" PRIu64 "\n",
+                name, hist.count(), hist.mean(), hist.p50(), hist.p95(),
+                hist.p99(), hist.max());
+}
+
+int
+cmd_report(const std::string &path)
+{
+    TraceProfile profile;
+    if (!load(path, profile))
+        return 1;
+
+    std::printf("%s: %" PRIu64 " cycle(s), %u core(s), %" PRIu64
+                " event(s)%s\n",
+                path.c_str(), static_cast<u64>(profile.totalCycles),
+                profile.numCores, profile.totalEvents,
+                profile.lossless ? "" : " [LOSSY: ring dropped events; "
+                                        "totals are lower bounds]");
+    std::printf("occupancy %.1f%%  critical path %" PRIu64
+                " cycle(s) (%.1f%% of run) over %" PRIu64 " hop(s)\n",
+                100.0 * profile.occupancy(), profile.criticalPathCycles,
+                profile.totalCycles == 0
+                    ? 0.0
+                    : 100.0 *
+                          static_cast<double>(profile.criticalPathCycles) /
+                          static_cast<double>(profile.totalCycles),
+                profile.criticalPathHops);
+    std::printf("messages %" PRIu64 "  spawns %" PRIu64 "  wakes %" PRIu64
+                "  sleeps %" PRIu64 "\n",
+                profile.messages, profile.spawns, profile.wakes,
+                profile.sleeps);
+    if (profile.tmBegins != 0)
+        std::printf("tm: begins %" PRIu64 " commits %" PRIu64
+                    " aborts %" PRIu64 " resolves %" PRIu64
+                    " violations %" PRIu64 "\n",
+                    profile.tmBegins, profile.tmCommits, profile.tmAborts,
+                    profile.tmResolves, profile.tmViolations);
+
+    std::printf("\nregions:\n%s", format_region_table(profile).c_str());
+
+    std::printf("\ncores:\n%8s %12s %12s %12s %12s %12s\n", "core",
+                "issueCycles", "issuedOps", "stallCycles", "idleCycles",
+                "slackCycles");
+    for (size_t c = 0; c < profile.cores.size(); ++c) {
+        const CoreProfile &core = profile.cores[c];
+        std::printf("%8zu %12" PRIu64 " %12" PRIu64 " %12" PRIu64
+                    " %12" PRIu64 " %12" PRIu64 "\n",
+                    c, core.issueCycles, core.issuedOps, core.stallSum(),
+                    core.idleCycles, core.slackCycles);
+    }
+
+    if (profile.hopLatency.count() != 0 ||
+        profile.queueDepth.count() != 0 || profile.recvWait.count() != 0) {
+        std::printf("\nnetwork histograms (cycles / depth):\n");
+        print_histogram("hopLatency", profile.hopLatency);
+        print_histogram("queueDepth", profile.queueDepth);
+        print_histogram("recvWait", profile.recvWait);
+    }
+    return 0;
+}
+
+int
+cmd_diff(const std::string &base_path, const std::string &new_path,
+         double tolerance_pct)
+{
+    TraceProfile base, fresh;
+    if (!load(base_path, base) || !load(new_path, fresh))
+        return 1;
+
+    // A delta regresses when NEW exceeds BASE by more than the
+    // tolerance (in percent of the BASE value; a growth from zero is
+    // always a regression under any finite tolerance).
+    auto regressed = [&](u64 was, u64 now) {
+        if (now <= was)
+            return false;
+        const double slack =
+            static_cast<double>(was) * tolerance_pct / 100.0;
+        return static_cast<double>(now - was) > slack;
+    };
+
+    int regressions = 0;
+    auto report = [&](const std::string &what, u64 was, u64 now) {
+        if (was == now)
+            return;
+        const bool bad = regressed(was, now);
+        regressions += bad;
+        const double pct =
+            was == 0 ? 100.0
+                     : 100.0 * (static_cast<double>(now) -
+                                static_cast<double>(was)) /
+                           static_cast<double>(was);
+        std::printf("  %-24s %12" PRIu64 " -> %12" PRIu64
+                    "  (%+.2f%%)%s\n",
+                    what.c_str(), was, now, pct,
+                    bad ? "  REGRESSION" : "");
+    };
+
+    std::printf("%s -> %s (tolerance %.2f%%)\n", base_path.c_str(),
+                new_path.c_str(), tolerance_pct);
+    report("total cycles", base.totalCycles, fresh.totalCycles);
+    report("critical path", base.criticalPathCycles,
+           fresh.criticalPathCycles);
+    report("messages", base.messages, fresh.messages);
+
+    // Union of region ids; a region present on only one side compares
+    // against zero cycles on the other.
+    std::map<RegionId, std::pair<u64, u64>> cycles;
+    for (const auto &[id, row] : base.regions)
+        cycles[id].first = row.cycles;
+    for (const auto &[id, row] : fresh.regions)
+        cycles[id].second = row.cycles;
+    for (const auto &[id, pair] : cycles) {
+        char name[32];
+        if (id == kNoRegion)
+            std::snprintf(name, sizeof(name), "region - (glue)");
+        else
+            std::snprintf(name, sizeof(name), "region %u cycles", id);
+        report(name, pair.first, pair.second);
+    }
+
+    if (regressions != 0) {
+        std::printf("%d regression(s)\n", regressions);
+        return 1;
+    }
+    std::printf("no regression\n");
+    return 0;
+}
+
+int
+cmd_suggest(const std::string &path)
+{
+    TraceProfile profile;
+    if (!load(path, profile))
+        return 1;
+
+    const std::vector<ModeSuggestion> suggestions =
+        suggest_overrides(profile, nullptr);
+    if (suggestions.empty()) {
+        std::printf("no override candidates (profile looks healthy or "
+                    "regions are too cold)\n");
+        return 0;
+    }
+    std::printf("%8s %-8s %-8s %s\n", "region", "from", "to", "reason");
+    for (const ModeSuggestion &s : suggestions)
+        std::printf("%8u %-8s %-8s %s\n", s.region,
+                    exec_mode_name(s.from), exec_mode_name(s.to),
+                    s.reason.c_str());
+    std::printf("(candidates only: the adaptive loop keeps one when it "
+                "strictly lowers measured cycles)\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage();
+    const std::string cmd = args[0];
+
+    std::vector<std::string> inputs;
+    double tolerance = 0.0;
+    for (size_t i = 1; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "--tolerance") {
+            if (i + 1 >= args.size()) {
+                std::fprintf(stderr, "error: --tolerance needs a value\n");
+                return 2;
+            }
+            tolerance = std::stod(args[++i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+            return usage();
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+
+    if (cmd == "report" && inputs.size() == 1)
+        return cmd_report(inputs[0]);
+    if (cmd == "diff" && inputs.size() == 2)
+        return cmd_diff(inputs[0], inputs[1], tolerance);
+    if (cmd == "suggest" && inputs.size() == 1)
+        return cmd_suggest(inputs[0]);
+    return usage();
+}

@@ -61,7 +61,7 @@ strategy_from_name(const std::string &name)
 {
     static const Strategy kAll[] = {
         Strategy::SerialOnly, Strategy::IlpOnly, Strategy::TlpOnly,
-        Strategy::LlpOnly, Strategy::Hybrid,
+        Strategy::LlpOnly, Strategy::Hybrid, Strategy::Adaptive,
     };
     for (Strategy s : kAll)
         if (name == strategy_name(s))
