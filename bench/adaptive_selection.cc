@@ -96,6 +96,9 @@ write_row(std::ofstream &os, const Row &row)
        << "      \"adaptive_cycles\": " << row.adaptive << ",\n"
        << "      \"improvement_pct\": " << row.improvementPct() << ",\n"
        << "      \"evaluations\": " << row.report.evaluations << ",\n"
+       << "      \"batch_evaluations\": " << row.report.batchEvaluations
+       << ",\n"
+       << "      \"batch_accepts\": " << row.report.batchAccepts << ",\n"
        << "      \"converged\": "
        << (row.report.converged ? "true" : "false") << ",\n"
        << "      \"overrides\": [";

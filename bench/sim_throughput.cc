@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <fstream>
+#include <thread>
 
 #include "common.hh"
 #include "trace/metrics.hh"
@@ -62,9 +63,38 @@ run_pass(const std::vector<const MachineProgram *> &points, bool naive)
     return pass;
 }
 
+/** One point of the stepper-thread scaling sweep. */
+struct ThreadPoint
+{
+    u16 threads = 0;
+    Pass pass;
+};
+
+/** Simulate the 8-core point set with @p threads stepper threads. */
+Pass
+run_threaded_pass(const std::vector<const MachineProgram *> &points,
+                  u16 threads)
+{
+    Pass pass;
+    const auto start = std::chrono::steady_clock::now();
+    for (const MachineProgram *mp : points) {
+        MachineConfig config = MachineConfig::forCores(8);
+        config.stepperThreads = threads;
+        Machine machine(*mp, config);
+        MachineResult result = machine.run();
+        pass.simCycles += result.cycles;
+        pass.simOps += result.dynamicOps;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    pass.wallSeconds =
+        std::chrono::duration<double>(end - start).count();
+    return pass;
+}
+
 bool
 write_json(const std::string &path, const Pass &naive, const Pass &ff,
-           size_t points)
+           size_t points, const std::vector<ThreadPoint> &scaling,
+           size_t threaded_points)
 {
     std::ofstream os(path);
     os << std::fixed << std::setprecision(6);
@@ -94,6 +124,33 @@ write_json(const std::string &path, const Pass &naive, const Pass &ff,
           "on the same flat hot-path state; see EXPERIMENTS.md for the "
           "end-to-end fig12_stall_breakdown comparison against the "
           "pre-optimisation tree\",\n"
+       << "  \"threaded\": {\n"
+       << "    \"harness\": \"representative suite subset x TlpOnly @ 8 "
+          "cores, parallel stepper\",\n"
+       << "    \"points\": " << threaded_points << ",\n"
+       << "    \"host_cores\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "    \"note\": \"speedup is vs stepper_threads=1 (the "
+          "sequential stepper); results are bit-identical at every "
+          "thread count, so this is purely wall-clock. Scaling is "
+          "bounded by host_cores — on a single-core host the barrier "
+          "overhead makes threaded points slower, which is recorded "
+          "honestly rather than extrapolated.\",\n"
+       << "    \"sweep\": [";
+    for (size_t i = 0; i < scaling.size(); ++i) {
+        const ThreadPoint &tp = scaling[i];
+        const double base = scaling.front().pass.wallSeconds;
+        os << (i ? ",\n" : "\n")
+           << "      {\"stepper_threads\": " << tp.threads
+           << ", \"wall_seconds\": " << tp.pass.wallSeconds
+           << ", \"ops_per_second\": " << tp.pass.opsPerSecond()
+           << ", \"speedup\": "
+           << (tp.pass.wallSeconds > 0 ? base / tp.pass.wallSeconds
+                                       : 0.0)
+           << "}";
+    }
+    os << "\n    ]\n"
+       << "  },\n"
        << "  \"bench_threads\": " << bench_threads() << "\n"
        << "}\n";
     return os.good();
@@ -150,6 +207,37 @@ main(int argc, char **argv)
     const Pass naive = run_pass(points, /*naive=*/true);
     const Pass ff = run_pass(points, /*naive=*/false);
 
+    // Stepper-thread scaling: a representative benchmark per archetype
+    // on the largest simulated machine (8 cores, TlpOnly — decoupled
+    // execution, where the parallel stepper has work to split).
+    static const char *const kThreadedNames[] = {
+        "052.alvinn", "164.gzip", "197.parser",
+        "epic",       "177.mesa", "256.bzip2"};
+    std::vector<const MachineProgram *> points8;
+    for (const char *name : kThreadedNames) {
+        CompileOptions opts;
+        opts.strategy = Strategy::TlpOnly;
+        opts.numCores = 8;
+        points8.push_back(&shared_system(name).compile(opts));
+    }
+    // Consistency guard: the threaded stepper must be bit-identical
+    // before its wall-clock numbers are published.
+    {
+        MachineConfig seq_config = MachineConfig::forCores(8);
+        MachineConfig par_config = MachineConfig::forCores(8);
+        par_config.stepperThreads = 4;
+        Machine a(*points8[0], seq_config), b(*points8[0], par_config);
+        const MachineResult ra = a.run(), rb = b.run();
+        if (ra.cycles != rb.cycles || ra.exitValue != rb.exitValue ||
+            ra.dynamicOps != rb.dynamicOps) {
+            std::cout << "THREADED / SEQUENTIAL DIVERGENCE — aborting\n";
+            return 1;
+        }
+    }
+    std::vector<ThreadPoint> scaling;
+    for (u16 threads : {u16{1}, u16{2}, u16{4}, u16{8}})
+        scaling.push_back({threads, run_threaded_pass(points8, threads)});
+
     std::cout << std::fixed << std::setprecision(3);
     std::cout << "points simulated:     " << points.size() << "\n"
               << "naive stepping:       " << naive.wallSeconds << " s, "
@@ -162,8 +250,22 @@ main(int argc, char **argv)
               << (ff.wallSeconds > 0 ? naive.wallSeconds / ff.wallSeconds
                                      : 0.0)
               << "x\n";
+    std::cout << "stepper scaling (8-core machine, "
+              << points8.size() << " points, host has "
+              << std::thread::hardware_concurrency() << " core(s)):\n";
+    for (const ThreadPoint &tp : scaling) {
+        std::cout << "  threads=" << tp.threads << "  "
+                  << std::setprecision(3) << tp.pass.wallSeconds
+                  << " s  speedup " << std::setprecision(2)
+                  << (tp.pass.wallSeconds > 0
+                          ? scaling.front().pass.wallSeconds /
+                                tp.pass.wallSeconds
+                          : 0.0)
+                  << "x\n";
+    }
 
-    if (!write_json(out_path, naive, ff, points.size())) {
+    if (!write_json(out_path, naive, ff, points.size(), scaling,
+                    points8.size())) {
         std::cout << "FAILED to write " << out_path << "\n";
         return 1;
     }

@@ -63,8 +63,9 @@ compile_program(const Program &prog, const Profile &profile,
                 const CompileOptions &options, SelectionReport *report)
 {
     fatal_if_not(options.numCores == 1 || options.numCores == 2 ||
-                     options.numCores == 4,
-                 "supported core counts: 1, 2, 4");
+                     options.numCores == 4 || options.numCores == 8 ||
+                     options.numCores == 16,
+                 "supported core counts: 1, 2, 4, 8, 16");
     verify_or_die(prog, VerifyMode::Sequential);
 
     // Reassociation preserves exact integer semantics, so the golden

@@ -52,6 +52,13 @@ struct AdaptiveReport
     Cycle finalCycles = 0;  //!< best accepted (== hybrid if none won)
     u32 evaluations = 0;    //!< measured candidate runs
     bool converged = false; //!< candidate list drained before the bound
+    /** Batched evaluations: candidates whose regions' profiled timeline
+     * hulls are pairwise disjoint are tried as one override set in a
+     * single measured run; a batch accept lands every member at the cost
+     * of one evaluation. These count the batch trials (each also counts
+     * once in @ref evaluations) and the ones that were kept. */
+    u32 batchEvaluations = 0;
+    u32 batchAccepts = 0;
     std::map<RegionId, ExecMode> overrides; //!< the accepted set
     std::vector<ModeSuggestion> accepted;
     std::vector<ModeSuggestion> rejected;

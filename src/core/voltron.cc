@@ -170,28 +170,92 @@ VoltronSystem::runAdaptive(const CompileOptions &options,
                  "golden model");
     rep.hybridCycles = bestOutcome.result.cycles;
 
-    // Greedy with rollback: one candidate per measured run, kept only
-    // on a strict, still-correct improvement. Because acceptance is
-    // strictly monotone from the Hybrid starting point, the final
-    // selection can never lose to static Hybrid.
+    // Greedy with rollback: kept only on a strict, still-correct
+    // improvement. Because acceptance is strictly monotone from the
+    // Hybrid starting point, the final selection can never lose to
+    // static Hybrid. Candidates whose regions' measured timeline hulls
+    // are pairwise disjoint never ran concurrently, so their effects
+    // compose; such a set is batched into one evaluation, with the
+    // single-candidate trial as the fallback when a batch fails (a
+    // failed batch is remembered by its signature and never re-tried).
     std::set<std::pair<RegionId, ExecMode>> tried;
+    std::set<std::vector<std::pair<RegionId, ExecMode>>> failedBatches;
     while (rep.evaluations < options.maxAdaptiveRounds) {
         const std::vector<ModeSuggestion> suggestions =
             suggest_overrides(bestProfile, &bestOutcome.selection);
-        const ModeSuggestion *pick = nullptr;
+        std::vector<const ModeSuggestion *> eligible;
         for (const ModeSuggestion &s : suggestions) {
             if (tried.count({s.region, s.to}))
                 continue;
             auto it = best.modeOverrides.find(s.region);
             if (it != best.modeOverrides.end() && it->second == s.to)
                 continue;
-            pick = &s;
-            break;
+            eligible.push_back(&s);
         }
-        if (!pick) {
+        if (eligible.empty()) {
             rep.converged = true;
             break;
         }
+
+        // Assemble a batch, hottest-first: each joining candidate's
+        // hull must be disjoint from every member already in.
+        std::vector<const ModeSuggestion *> batch;
+        for (const ModeSuggestion *s : eligible) {
+            const RegionProfile *row = bestProfile.region(s->region);
+            if (!row || row->lastCycle <= row->firstCycle)
+                continue; // no measured hull to reason about
+            bool disjoint = true;
+            for (const ModeSuggestion *member : batch) {
+                const RegionProfile *other =
+                    bestProfile.region(member->region);
+                if (row->firstCycle < other->lastCycle &&
+                    other->firstCycle < row->lastCycle) {
+                    disjoint = false;
+                    break;
+                }
+            }
+            if (disjoint)
+                batch.push_back(s);
+        }
+
+        if (batch.size() >= 2) {
+            std::vector<std::pair<RegionId, ExecMode>> signature;
+            for (const ModeSuggestion *s : batch)
+                signature.emplace_back(s->region, s->to);
+            std::sort(signature.begin(), signature.end());
+            if (!failedBatches.count(signature)) {
+                CompileOptions trial = best;
+                for (const ModeSuggestion *s : batch)
+                    trial.modeOverrides[s->region] = s->to;
+                TraceProfile trialProfile;
+                RunOutcome trialOutcome = runConcrete(trial, config,
+                                                      nullptr,
+                                                      &trialProfile);
+                rep.evaluations++;
+                rep.batchEvaluations++;
+                if (trialOutcome.correct() &&
+                    trialOutcome.result.cycles <
+                        bestOutcome.result.cycles) {
+                    rep.batchAccepts++;
+                    for (const ModeSuggestion *s : batch) {
+                        tried.insert({s->region, s->to});
+                        rep.accepted.push_back(*s);
+                    }
+                    best = std::move(trial);
+                    bestOutcome = std::move(trialOutcome);
+                    bestProfile = std::move(trialProfile);
+                    continue;
+                }
+                // Some member hurt (or broke correctness): remember the
+                // set and fall through to single-candidate trials, which
+                // isolate the bad member over the following rounds.
+                failedBatches.insert(std::move(signature));
+                if (rep.evaluations >= options.maxAdaptiveRounds)
+                    break;
+            }
+        }
+
+        const ModeSuggestion *pick = eligible.front();
         tried.insert({pick->region, pick->to});
 
         CompileOptions trial = best;

@@ -35,6 +35,11 @@ struct SweepPoint
     u32 queueCapacity = 64;
     u32 queueBaseLatency = 1;
     u32 hopLatency = 1;
+    /** Host threads for the parallel stepper (0 = sequential). The
+     * threaded stepper is bit-identical by contract, so diffing a
+     * threaded sweep against the golden model is its acceptance
+     * harness (voltron-fuzz --stepper-threads). */
+    u16 stepperThreads = 0;
 };
 
 /**

@@ -277,4 +277,10 @@ MemHierarchy::l1dState(CoreId core, Addr addr) const
     return line ? static_cast<Moesi>(line->state) : Moesi::Invalid;
 }
 
+bool
+MemHierarchy::l1iHit(CoreId core, Addr addr) const
+{
+    return l1i_.at(core).peek(addr) != nullptr;
+}
+
 } // namespace voltron

@@ -81,6 +81,13 @@ class MemHierarchy
     /** MOESI state of @p addr in @p core's L1D (Invalid if absent). */
     Moesi l1dState(CoreId core, Addr addr) const;
 
+    /**
+     * True when a fetch of @p addr by @p core would hit its L1I. Pure
+     * (no LRU update, no counters) — the parallel stepper's classifier
+     * uses it to predict whether a fetch stays core-local.
+     */
+    bool l1iHit(CoreId core, Addr addr) const;
+
     /** Aggregated statistics. */
     const StatSet &stats() const
     {

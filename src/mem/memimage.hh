@@ -94,6 +94,26 @@ class MemoryImage
     /** Number of resident pages (for tests). */
     size_t residentPages() const { return pages_.size(); }
 
+    /**
+     * True when a write of @p len bytes at @p addr would land entirely in
+     * already-resident pages, i.e. writeBytes would not allocate. The
+     * parallel stepper uses this to prove a store is free of structural
+     * side effects before running it outside the serial section.
+     */
+    bool
+    writeInPlace(Addr addr, u64 len) const
+    {
+        while (len > 0) {
+            const u64 off = addr & (kPageSize - 1);
+            const u64 chunk = std::min(len, kPageSize - off);
+            if (!findPage(addr))
+                return false;
+            addr += chunk;
+            len -= chunk;
+        }
+        return true;
+    }
+
   private:
     using Page = std::array<u8, kPageSize>;
 

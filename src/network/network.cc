@@ -9,6 +9,7 @@ namespace voltron {
 OperandNetwork::OperandNetwork(const NetworkConfig &config) : config_(config)
 {
     fatal_if_not(config.rows >= 1 && config.cols >= 1, "empty mesh");
+    recvQueues_.resize(numCores());
 }
 
 u32
@@ -49,11 +50,10 @@ OperandNetwork::sendWouldStall(CoreId from, CoreId to, bool is_spawn) const
     // slower third core). Spawns and data messages are drained by
     // different consumers (trySpawn vs tryRecv), so each class only
     // counts against its own slots.
-    auto it = recvQueues_.find(to);
-    if (it == recvQueues_.end())
-        return false;
+    if (to >= recvQueues_.size())
+        return false; // send() will panic on the unknown target
     u32 in_flight = 0;
-    for (const Message &msg : it->second)
+    for (const Message &msg : recvQueues_[to])
         if (msg.from == from && msg.isSpawn == is_spawn)
             in_flight++;
     return in_flight >= config_.queueCapacity;
@@ -95,10 +95,9 @@ OperandNetwork::send(CoreId from, CoreId to, u64 value, Cycle now,
 std::optional<u64>
 OperandNetwork::tryRecv(CoreId me, CoreId from, Cycle now)
 {
-    auto it = recvQueues_.find(me);
-    if (it == recvQueues_.end())
+    if (me >= recvQueues_.size())
         return std::nullopt;
-    auto &queue = it->second;
+    auto &queue = recvQueues_[me];
     // CAM search: the oldest message from the requested sender. FIFO per
     // (sender, receiver) pair is preserved because we scan in order.
     for (auto mit = queue.begin(); mit != queue.end(); ++mit) {
@@ -128,10 +127,9 @@ OperandNetwork::tryRecv(CoreId me, CoreId from, Cycle now)
 std::optional<u64>
 OperandNetwork::trySpawn(CoreId me, Cycle now)
 {
-    auto it = recvQueues_.find(me);
-    if (it == recvQueues_.end())
+    if (me >= recvQueues_.size())
         return std::nullopt;
-    auto &queue = it->second;
+    auto &queue = recvQueues_[me];
     for (auto mit = queue.begin(); mit != queue.end(); ++mit) {
         if (!mit->isSpawn)
             continue;
@@ -157,18 +155,43 @@ OperandNetwork::trySpawn(CoreId me, Cycle now)
     return std::nullopt;
 }
 
+bool
+OperandNetwork::recvDue(CoreId me, CoreId from, Cycle now) const
+{
+    if (me >= recvQueues_.size())
+        return false;
+    for (const Message &msg : recvQueues_[me]) {
+        if (msg.from != from || msg.isSpawn)
+            continue;
+        return msg.arrivesAt <= now;
+    }
+    return false;
+}
+
+bool
+OperandNetwork::spawnDue(CoreId me, Cycle now) const
+{
+    if (me >= recvQueues_.size())
+        return false;
+    for (const Message &msg : recvQueues_[me]) {
+        if (!msg.isSpawn)
+            continue;
+        return msg.arrivesAt <= now;
+    }
+    return false;
+}
+
 size_t
 OperandNetwork::queuedFor(CoreId me) const
 {
-    auto it = recvQueues_.find(me);
-    return it == recvQueues_.end() ? 0 : it->second.size();
+    return me < recvQueues_.size() ? recvQueues_[me].size() : 0;
 }
 
 Cycle
 OperandNetwork::nextArrival(Cycle after) const
 {
     Cycle best = kNoArrival;
-    for (const auto &[core, queue] : recvQueues_)
+    for (const auto &queue : recvQueues_)
         for (const Message &msg : queue)
             if (msg.arrivesAt > after && msg.arrivesAt < best)
                 best = msg.arrivesAt;

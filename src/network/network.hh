@@ -28,6 +28,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "isa/opcode.hh"
 #include "support/stats.hh"
@@ -87,6 +88,17 @@ class OperandNetwork
     /** Idle-core poll for a spawn message (any sender). */
     std::optional<u64> trySpawn(CoreId me, Cycle now);
 
+    /**
+     * Pure mirror of tryRecv: true iff a tryRecv(me, from, now) would
+     * return a value. Follows the same CAM discipline — if the oldest
+     * matching message is still in flight the receive stalls even when a
+     * younger one has arrived.
+     */
+    bool recvDue(CoreId me, CoreId from, Cycle now) const;
+
+    /** Pure mirror of trySpawn. */
+    bool spawnDue(CoreId me, Cycle now) const;
+
     /** Messages buffered for @p me (tests/debug). */
     size_t queuedFor(CoreId me) const;
 
@@ -144,8 +156,11 @@ class OperandNetwork
     };
 
     NetworkConfig config_;
-    /** Receive queues: receiver -> FIFO of messages (CAM searched). */
-    std::map<CoreId, std::deque<Message>> recvQueues_;
+    /** Receive queues, indexed by receiver (CAM searched). Sized up
+     * front so queue-mode traffic never reshapes the container — the
+     * parallel stepper reads recvDue/spawnDue concurrently with other
+     * cores' queues staying untouched. */
+    std::vector<std::deque<Message>> recvQueues_;
     /** Direct-mode link latches: (core, dir) -> (value, cycle). */
     std::map<std::pair<CoreId, u8>, std::pair<u64, Cycle>> links_;
     /** Broadcast latch: (value, cycle, from). */

@@ -1,12 +1,17 @@
 #include "sim/machine.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
+#include <mutex>
+#include <optional>
 #include <sstream>
+#include <thread>
 
 #include "interp/semantics.hh"
 #include "isa/latencies.hh"
 #include "support/error.hh"
+#include "trace/mux.hh"
 
 namespace voltron {
 
@@ -44,8 +49,10 @@ MachineConfig::forCores(u16 cores)
       case 1: config.net.rows = 1; config.net.cols = 1; break;
       case 2: config.net.rows = 1; config.net.cols = 2; break;
       case 4: config.net.rows = 2; config.net.cols = 2; break;
+      case 8: config.net.rows = 4; config.net.cols = 2; break;
+      case 16: config.net.rows = 8; config.net.cols = 2; break;
       default:
-        fatal("unsupported core count ", cores, " (use 1, 2 or 4)");
+        fatal("unsupported core count ", cores, " (use 1, 2, 4, 8 or 16)");
     }
     return config;
 }
@@ -621,7 +628,6 @@ Machine::stepDecoupled(Core &core)
     if (trace_)
         traceIssue(core, op);
     core.issued++;
-    dynamicOps_++;
     if (core.busyUntil <= now_)
         core.busyUntil = now_ + 1;
     // Advance the PC unless the op transferred control or slept.
@@ -773,7 +779,6 @@ Machine::stepGroup()
             if (trace_)
                 traceIssue(core, *op);
             core.issued++;
-            dynamicOps_++;
             core.opIdx++;
             core.fetched = false;
         }
@@ -794,7 +799,6 @@ Machine::stepGroup()
         if (trace_)
             traceIssue(core, *op);
         core.issued++;
-        dynamicOps_++;
         core.opIdx++;
         core.fetched = false;
         max_busy = std::max(max_busy, core.busyUntil);
@@ -946,9 +950,96 @@ Machine::fastForward()
     now_ = wake;
 }
 
+u64
+Machine::issuedTotal() const
+{
+    u64 total = 0;
+    for (const Core &core : cores_)
+        total += core.issued;
+    return total;
+}
+
+void
+Machine::watchdogTick(u64 &last_dynamic)
+{
+    const u64 dyn = issuedTotal();
+    if (dyn != last_dynamic) {
+        last_dynamic = dyn;
+        lastProgress_ = now_;
+        return;
+    }
+    if (now_ - lastProgress_ <= config_.watchdogCycles)
+        return;
+    auto state_name = [](CoreRun s) {
+        switch (s) {
+          case CoreRun::Idle: return "idle";
+          case CoreRun::Run: return "running";
+          case CoreRun::Barrier: return "at barrier";
+          case CoreRun::Halted: return "halted";
+          default: return "?";
+        }
+    };
+    std::ostringstream os;
+    for (const Core &core : cores_) {
+        os << "  core " << core.id << ": " << state_name(core.state);
+        if (core.state == CoreRun::Run ||
+            core.state == CoreRun::Barrier) {
+            const BasicBlock &bb = curBlock(core);
+            os << " in f" << core.func << "/" << bb.name << " at op "
+               << core.opIdx << "/" << bb.ops.size();
+        }
+        if (core.busyUntil > now_)
+            os << ", busy until cycle " << core.busyUntil << " ("
+               << stall_cat_name(core.busyCat) << ")";
+        else if (core.lastWait != StallCat::None)
+            os << ", waiting on " << stall_cat_name(core.lastWait);
+        os << ", " << net_.queuedFor(core.id)
+           << " queued message(s)\n";
+    }
+    if (group_.active)
+        os << "  coupled group active at block cycle "
+           << group_.blockCycle << "\n";
+    fatal("machine deadlock: no instruction issued for ",
+          config_.watchdogCycles, " cycles (at cycle ", now_,
+          ")\n", os.str());
+}
+
+MachineResult
+Machine::buildResult() const
+{
+    MachineResult result;
+    result.exitValue = exitValue_;
+    result.cycles = now_;
+    result.dynamicOps = issuedTotal();
+    result.stalls.reserve(cores_.size());
+    result.issued.reserve(cores_.size());
+    result.idleCycles.reserve(cores_.size());
+    for (const Core &core : cores_) {
+        result.stalls.push_back(core.stalls);
+        result.issued.push_back(core.issued);
+        result.idleCycles.push_back(core.idleCycles);
+    }
+    for (RegionId r = 0; r < regionCycles_.size(); ++r) {
+        if (regionCycles_[r] != 0)
+            result.regionCycles[r] = regionCycles_[r];
+    }
+    result.coupledCycles = coupledCycles_;
+    result.decoupledCycles = decoupledCycles_;
+    return result;
+}
+
 MachineResult
 Machine::run()
 {
+    // The parallel stepper's one-cycle conservative window needs every
+    // cross-core message to arrive at least a cycle after its send; a
+    // zero-latency network (degenerate config) voids that, so it runs
+    // sequentially — results are identical by construction either way.
+    const u16 threads = std::min(config_.stepperThreads, config_.numCores);
+    if (threads > 1 &&
+        config_.net.queueBaseLatency + config_.net.hopLatency >= 1)
+        return runThreaded(threads);
+
     lastProgress_ = 0;
     u64 last_dynamic = 0;
 
@@ -972,44 +1063,7 @@ Machine::run()
         }
 
         attributeCycle();
-
-        if (dynamicOps_ != last_dynamic) {
-            last_dynamic = dynamicOps_;
-            lastProgress_ = now_;
-        } else if (now_ - lastProgress_ > config_.watchdogCycles) {
-            auto state_name = [](CoreRun s) {
-                switch (s) {
-                  case CoreRun::Idle: return "idle";
-                  case CoreRun::Run: return "running";
-                  case CoreRun::Barrier: return "at barrier";
-                  case CoreRun::Halted: return "halted";
-                  default: return "?";
-                }
-            };
-            std::ostringstream os;
-            for (const Core &core : cores_) {
-                os << "  core " << core.id << ": " << state_name(core.state);
-                if (core.state == CoreRun::Run ||
-                    core.state == CoreRun::Barrier) {
-                    const BasicBlock &bb = curBlock(core);
-                    os << " in f" << core.func << "/" << bb.name << " at op "
-                       << core.opIdx << "/" << bb.ops.size();
-                }
-                if (core.busyUntil > now_)
-                    os << ", busy until cycle " << core.busyUntil << " ("
-                       << stall_cat_name(core.busyCat) << ")";
-                else if (core.lastWait != StallCat::None)
-                    os << ", waiting on " << stall_cat_name(core.lastWait);
-                os << ", " << net_.queuedFor(core.id)
-                   << " queued message(s)\n";
-            }
-            if (group_.active)
-                os << "  coupled group active at block cycle "
-                   << group_.blockCycle << "\n";
-            fatal("machine deadlock: no instruction issued for ",
-                  config_.watchdogCycles, " cycles (at cycle ", now_,
-                  ")\n", os.str());
-        }
+        watchdogTick(last_dynamic);
         ++now_;
 
         if (!active && !halted_ && !config_.forceNaiveStepping)
@@ -1025,25 +1079,365 @@ Machine::run()
             dissolveGroup();
     }
 
-    MachineResult result;
-    result.exitValue = exitValue_;
-    result.cycles = now_;
-    result.dynamicOps = dynamicOps_;
-    result.stalls.reserve(cores_.size());
-    result.issued.reserve(cores_.size());
-    result.idleCycles.reserve(cores_.size());
-    for (const Core &core : cores_) {
-        result.stalls.push_back(core.stalls);
-        result.issued.push_back(core.issued);
-        result.idleCycles.push_back(core.idleCycles);
+    return buildResult();
+}
+
+Machine::StepClass
+Machine::classifyDecoupled(const Core &core) const
+{
+    if (core.state == CoreRun::Halted)
+        return StepClass::LocalNoMem;
+    if (core.state == CoreRun::Idle) {
+        // A due spawn dequeues from the network in the serial section;
+        // continuing to listen only bumps the core's own idle counter.
+        return net_.spawnDue(core.id, now_) ? StepClass::Shared
+                                            : StepClass::LocalNoMem;
     }
-    for (RegionId r = 0; r < regionCycles_.size(); ++r) {
-        if (regionCycles_[r] != 0)
-            result.regionCycles[r] = regionCycles_[r];
+    if (core.state == CoreRun::Barrier)
+        return StepClass::LocalNoMem; // barrier stall: own counters only
+    if (core.busyUntil > now_)
+        return StepClass::LocalNoMem; // busy stall: own counters only
+
+    // Side-effect-free mirror of stepDecoupled's fallthrough walk (the
+    // real step commits it; block transitions touch only the core).
+    const Function &fn = coreFunc(core.id, core.func);
+    const BasicBlock *bb = core.bb;
+    BlockId block = core.block;
+    size_t op_idx = core.opIdx;
+    u32 guard = 0;
+    while (op_idx >= bb->ops.size()) {
+        if (bb->fallthrough == kNoBlock || ++guard >= 10000)
+            return StepClass::Shared; // let the serial step panic
+        block = bb->fallthrough;
+        if (block >= fn.blocks.size())
+            return StepClass::Shared; // ditto (enterBlock panics)
+        bb = &fn.blocks[block];
+        op_idx = 0;
     }
-    result.coupledCycles = coupledCycles_;
-    result.decoupledCycles = decoupledCycles_;
-    return result;
+    const Operation &op = bb->ops[op_idx];
+
+    if (!core.fetched) {
+        const Addr addr =
+            blockAddr_[core.id][core.func][block] + op_idx * kOpBytes;
+        if (!hierarchy_.l1iHit(core.id, addr))
+            return StepClass::Shared; // ifetch miss arbitrates the bus
+    }
+    if (operandsReadyAt(core, op) > now_)
+        return StepClass::LocalNoMem; // scoreboard stall: own counters
+
+    switch (op.op) {
+      case Opcode::NOP:
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::REM: case Opcode::AND:
+      case Opcode::OR: case Opcode::XOR: case Opcode::SHL:
+      case Opcode::SHR: case Opcode::SRA: case Opcode::MIN:
+      case Opcode::MAX:
+      case Opcode::MOV: case Opcode::MOVI: case Opcode::CMP:
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FMOV: case Opcode::FMOVI:
+      case Opcode::FCMP: case Opcode::ITOF: case Opcode::FTOI:
+      case Opcode::PBR:
+      case Opcode::BR: case Opcode::BRU:
+      case Opcode::SLEEP:
+      case Opcode::MODE_SWITCH:
+        return StepClass::LocalNoMem;
+
+      case Opcode::CALL:
+      case Opcode::RET:
+        // Master-only by contract; on a worker the step panics, and
+        // panics must fire on the serial thread in sequential order.
+        return core.id == 0 ? StepClass::LocalNoMem : StepClass::Shared;
+
+      case Opcode::LOAD:
+      case Opcode::LOADF: {
+        const Addr addr = core.frames.back().regs.read(op.src0) +
+                          static_cast<u64>(op.imm);
+        const u8 size = op.op == Opcode::LOADF ? 8 : op.memSize;
+        // The timing model probes one line, but the data path reads the
+        // actual bytes: an access crossing into the next line can touch
+        // bytes outside the MOESI-exclusivity argument, so it defers.
+        const u32 line = config_.mem.l1d.lineBytes;
+        if ((addr & (line - 1)) + size > line)
+            return StepClass::Shared;
+        // Any valid line read-hits without touching the bus or peers.
+        return hierarchy_.l1dState(core.id, addr) != Moesi::Invalid
+                   ? StepClass::LocalMem
+                   : StepClass::Shared;
+      }
+      case Opcode::STORE:
+      case Opcode::STOREF: {
+        const Addr addr = core.frames.back().regs.read(op.src0) +
+                          static_cast<u64>(op.imm);
+        const u8 size = op.op == Opcode::STOREF ? 8 : op.memSize;
+        const u32 line = config_.mem.l1d.lineBytes;
+        if ((addr & (line - 1)) + size > line)
+            return StepClass::Shared; // line-crossing write: see LOAD
+        const Moesi state = hierarchy_.l1dState(core.id, addr);
+        if (state != Moesi::Modified && state != Moesi::Exclusive)
+            return StepClass::Shared; // miss or S/O upgrade: bus traffic
+        if (!tm_.active(core.id)) {
+            // A plain store writes mem_ through; page allocation would
+            // mutate the shared page table, so only already-resident
+            // destinations stay local. (A transactional store goes to
+            // the core's own write log instead.)
+            if (!mem_.writeInPlace(addr, size))
+                return StepClass::Shared;
+        }
+        return StepClass::LocalMem;
+      }
+
+      case Opcode::RECV:
+        // A due RECV dequeues; a stalled one only bumps own counters.
+        return net_.recvDue(core.id, static_cast<CoreId>(op.imm), now_)
+                   ? StepClass::Shared
+                   : StepClass::LocalNoMem;
+
+      default:
+        // SEND/SPAWN (enqueue), HALT, XBEGIN/XCOMMIT/XABORT/XVALIDATE,
+        // PUT/GET/BCAST (decoupled-mode panic), and anything new.
+        return StepClass::Shared;
+    }
+}
+
+namespace {
+
+/**
+ * Phase barrier for the parallel stepper. The last thread to arrive
+ * runs the serial callback inline, then releases the others. Waiters
+ * spin briefly and fall back to atomic waits — the stepper must not
+ * burn a host core per waiter when threads are oversubscribed.
+ */
+class StepBarrier
+{
+  public:
+    explicit StepBarrier(u32 parties) : parties_(parties) {}
+
+    template <typename Serial>
+    void
+    arrive(Serial &&serial)
+    {
+        const u64 phase = phase_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            serial();
+            arrived_.store(0, std::memory_order_relaxed);
+            phase_.fetch_add(1, std::memory_order_release);
+            phase_.notify_all();
+            return;
+        }
+        u32 spins = 0;
+        while (phase_.load(std::memory_order_acquire) == phase) {
+            if (++spins >= kSpinsBeforeWait) {
+                phase_.wait(phase, std::memory_order_acquire);
+                spins = 0;
+            }
+        }
+    }
+
+  private:
+    static constexpr u32 kSpinsBeforeWait = 1024;
+
+    const u32 parties_;
+    std::atomic<u32> arrived_{0};
+    std::atomic<u64> phase_{0};
+};
+
+constexpr u32 kNoSharedCore = std::numeric_limits<u32>::max();
+
+} // namespace
+
+MachineResult
+Machine::runThreaded(u16 nthreads)
+{
+    // Retarget every emitter at the ordering mux so the merged stream
+    // reproduces the sequential emission order exactly (restored below;
+    // the mux is stack-local).
+    std::optional<CycleTraceMux> mux;
+    TraceSink *const downstream = trace_;
+    if (downstream) {
+        mux.emplace(downstream, config_.numCores);
+        trace_ = &*mux;
+        net_.setTraceSink(trace_);
+        hierarchy_.setTraceSink(trace_);
+        tm_.setTraceSink(trace_, &now_);
+    }
+
+    const u16 n = config_.numCores;
+    StepBarrier barrier(nthreads);
+    // Lowest core id classified Shared this cycle. Hit-path memory cores
+    // above it defer to the serial section: a Shared step ahead of them
+    // in sequential order may snoop their lines or commit TM state.
+    std::atomic<u32> sharedMin{kNoSharedCore};
+    std::vector<u8> cls(n, 0);
+    std::vector<u8> stepped(n, 0);
+    std::atomic<bool> failed{false};
+    bool done = false;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    u64 last_dynamic = 0;
+    lastProgress_ = 0;
+
+    auto record_error = [&]() {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error)
+            error = std::current_exception();
+        failed.store(true, std::memory_order_release);
+    };
+
+    // Everything the sequential loop runs after the per-core steps:
+    // deferred Shared steps (in core-id order — the sequential order),
+    // group formation, attribution, the watchdog, fast-forward, whole
+    // coupled-lockstep episodes, and the halt epilogue.
+    auto serial_section = [&]() {
+        if (failed.load(std::memory_order_acquire)) {
+            done = true;
+            return;
+        }
+        try {
+            bool active = false;
+            for (u16 c = 0; c < n; ++c) {
+                active |= stepped[c] != 0;
+                stepped[c] = 0;
+            }
+            for (u16 c = 0; c < n; ++c)
+                if (cls[c] == static_cast<u8>(StepClass::Shared))
+                    active |= stepDecoupled(cores_[c]);
+            // Post-step machinery emits in sequential order *after* all
+            // per-core step events — route it to the post buffer.
+            if (mux)
+                mux->setMode(CycleTraceMux::Mode::Serial);
+            active |= maybeFormGroup();
+            attributeCycle();
+            watchdogTick(last_dynamic);
+            ++now_;
+            if (!active && !halted_ && !config_.forceNaiveStepping)
+                fastForward();
+            if (mux) {
+                mux->flushCycle();
+                mux->setMode(CycleTraceMux::Mode::Direct);
+            }
+            // Coupled lockstep is single-owner by construction (the
+            // whole group steps as one), so the episode runs here,
+            // mirroring the sequential loop cycle for cycle.
+            while (group_.active && !halted_) {
+                fatal_if_not(now_ < config_.maxCycles,
+                             "machine exceeded ", config_.maxCycles,
+                             " cycles");
+                for (Core &core : cores_) {
+                    core.lastWait = StallCat::None;
+                    core.lastIdle = false;
+                }
+                const bool gactive = stepGroup();
+                attributeCycle();
+                watchdogTick(last_dynamic);
+                ++now_;
+                if (!gactive && !halted_ && !config_.forceNaiveStepping)
+                    fastForward();
+            }
+            if (halted_) {
+                if (trace_) {
+                    for (Core &core : cores_)
+                        traceCloseStall(core);
+                    if (group_.active)
+                        dissolveGroup();
+                }
+                done = true;
+            } else {
+                fatal_if_not(now_ < config_.maxCycles,
+                             "machine exceeded ", config_.maxCycles,
+                             " cycles");
+                sharedMin.store(kNoSharedCore, std::memory_order_relaxed);
+                if (mux)
+                    mux->setMode(CycleTraceMux::Mode::PerCore);
+            }
+        } catch (...) {
+            record_error();
+            done = true;
+            if (mux) {
+                // Keep whatever the cycle buffered ahead of the panic
+                // (divergence repros read the trace up to the failure).
+                try { mux->flushCycle(); } catch (...) {}
+            }
+        }
+    };
+
+    auto worker = [&](u16 tid) {
+        const u16 lo = static_cast<u16>(tid * n / nthreads);
+        const u16 hi = static_cast<u16>((tid + 1) * n / nthreads);
+        for (;;) {
+            // Pass 1: classify own cores; step the provably-local ones.
+            if (!failed.load(std::memory_order_relaxed)) {
+                try {
+                    for (u16 c = lo; c < hi; ++c) {
+                        cores_[c].lastWait = StallCat::None;
+                        cores_[c].lastIdle = false;
+                    }
+                    for (u16 c = lo; c < hi; ++c) {
+                        const StepClass k = classifyDecoupled(cores_[c]);
+                        cls[c] = static_cast<u8>(k);
+                        if (k == StepClass::LocalNoMem) {
+                            stepped[c] = stepDecoupled(cores_[c]) ? 1 : 0;
+                        } else if (k == StepClass::Shared) {
+                            u32 cur =
+                                sharedMin.load(std::memory_order_relaxed);
+                            while (c < cur &&
+                                   !sharedMin.compare_exchange_weak(
+                                       cur, c, std::memory_order_relaxed)) {
+                            }
+                        }
+                    }
+                } catch (...) {
+                    record_error();
+                }
+            }
+            barrier.arrive([] {});
+            // Pass 2: hit-path memory steps below the Shared horizon.
+            // MOESI exclusivity makes concurrent hits conflict-free: a
+            // write hit requires M/E (no peer copy), so any concurrent
+            // peer access to that line would have missed — and missing
+            // cores are Shared, stepped serially.
+            if (!failed.load(std::memory_order_relaxed)) {
+                try {
+                    const u32 horizon =
+                        sharedMin.load(std::memory_order_relaxed);
+                    for (u16 c = lo; c < hi; ++c) {
+                        if (cls[c] != static_cast<u8>(StepClass::LocalMem))
+                            continue;
+                        if (c < horizon)
+                            stepped[c] = stepDecoupled(cores_[c]) ? 1 : 0;
+                        else
+                            cls[c] = static_cast<u8>(StepClass::Shared);
+                    }
+                } catch (...) {
+                    record_error();
+                }
+            }
+            barrier.arrive(serial_section);
+            if (done)
+                break;
+        }
+    };
+
+    fatal_if_not(now_ < config_.maxCycles,
+                 "machine exceeded ", config_.maxCycles, " cycles");
+
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads - 1);
+    for (u16 t = 1; t < nthreads; ++t)
+        pool.emplace_back(worker, t);
+    worker(0);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (downstream) {
+        trace_ = downstream;
+        net_.setTraceSink(trace_);
+        hierarchy_.setTraceSink(trace_);
+        tm_.setTraceSink(trace_, &now_);
+    }
+    if (error)
+        std::rethrow_exception(error);
+    return buildResult();
 }
 
 MetricsRegistry

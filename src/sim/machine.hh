@@ -76,7 +76,16 @@ struct MachineConfig
      */
     TraceSink *traceSink = nullptr;
 
-    /** Mesh shape for a core count (1x1, 2x1, 2x2). */
+    /**
+     * Host threads stepping this one machine's decoupled cores in
+     * parallel (0 or 1 = the sequential stepper). The parallel stepper
+     * is bit-identical to the sequential one — same MachineResult, same
+     * trace stream (tests/test_sim_parallel.cc asserts both) — so this
+     * is purely a wall-clock knob. Capped at numCores.
+     */
+    u16 stepperThreads = 0;
+
+    /** Mesh shape for a core count (1x1, 2x1, 2x2, 4x2, 8x2). */
     static MachineConfig forCores(u16 cores);
 };
 
@@ -243,7 +252,6 @@ class Machine
     Cycle now_ = 0;
     bool halted_ = false;
     u64 exitValue_ = 0;
-    u64 dynamicOps_ = 0;
     Cycle lastProgress_ = 0;
     /** Per-region cycle counts, indexed by RegionId (bumped every
      * attributed cycle, so kept flat; folded into the result map at the
@@ -310,6 +318,43 @@ class Machine
     void dissolveGroup();
 
     void attributeCycle();
+
+    /**
+     * How the parallel stepper may run one core's next decoupled step:
+     *
+     *   LocalNoMem  touches only core-private state — step it in the
+     *               first parallel pass.
+     *   LocalMem    an L1D hit (loads: any valid line; stores: an
+     *               M/E line, so MOESI guarantees no peer holds a
+     *               copy) — safe to run concurrently with other
+     *               hit-path cores, but only below the lowest Shared
+     *               core id (second pass).
+     *   Shared      touches shared machine state (bus, network queues,
+     *               TM resolution, spawn wake, HALT, or any panic
+     *               path) — defer to the serial section, stepped in
+     *               ascending core id, the sequential order.
+     */
+    enum class StepClass : u8 { LocalNoMem, LocalMem, Shared };
+
+    /** Side-effect-free classification of @p core's next decoupled
+     * step. Conservative: anything not provably core-local is Shared. */
+    StepClass classifyDecoupled(const Core &core) const;
+
+    /** The conservative-window parallel stepper (stepperThreads >= 2). */
+    MachineResult runThreaded(u16 nthreads);
+
+    /** Sum of per-core issued-op counters == the dynamic op count (every
+     * issue bumps exactly one core's counter). The watchdog and the
+     * result read this instead of a shared counter so parallel passes
+     * never write machine-global state. */
+    u64 issuedTotal() const;
+
+    /** Progress bookkeeping + no-issue watchdog for the cycle just
+     * stepped; @p last_dynamic is the caller's running issued count. */
+    void watchdogTick(u64 &last_dynamic);
+
+    /** Fold the finished run's state into a MachineResult. */
+    MachineResult buildResult() const;
 
     /**
      * Event-driven fast path: called after a cycle in which nothing

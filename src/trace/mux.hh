@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Per-cycle trace-event ordering mux for the parallel stepper.
+ *
+ * The sequential stepper emits a decoupled cycle's events core-major:
+ * every event of core 0's step, then core 1's, ..., then the events of
+ * the post-step serial work (coupled-group formation, region
+ * attribution). The parallel stepper steps cores concurrently, so its
+ * raw emission order is nondeterministic. This sink restores the exact
+ * sequential order by buffering a cycle's events per core and flushing
+ * them downstream in core-id order once the cycle's serial section
+ * completes.
+ *
+ * Modes (driven by the Machine, which owns all transitions — every
+ * setMode/flushCycle call happens in a serial section, so the mode
+ * field needs no synchronization; concurrent emit() calls only occur in
+ * PerCore mode and write disjoint per-core buffers):
+ *
+ *   PerCore  route by TraceEvent::core into that core's buffer. Used
+ *            while cores step (parallel phases and the deferred serial
+ *            steps) — every component tags its events with the stepping
+ *            core, so ev.core identifies the emitting step.
+ *   Serial   append to a post buffer flushed after all core buffers.
+ *            Used for the cycle's post-step work, whose events the
+ *            sequential stepper emits after every core has stepped.
+ *   Direct   forward immediately. Used for coupled-lockstep cycles and
+ *            the halt epilogue, which run single-threaded in the exact
+ *            sequential order (their emission interleaves cores within
+ *            a cycle, so buffering would reorder them).
+ */
+
+#ifndef VOLTRON_TRACE_MUX_HH_
+#define VOLTRON_TRACE_MUX_HH_
+
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace voltron {
+
+/** Order-restoring fan-in sink in front of a downstream TraceSink. */
+class CycleTraceMux final : public TraceSink
+{
+  public:
+    enum class Mode : u8 { PerCore, Serial, Direct };
+
+    CycleTraceMux(TraceSink *downstream, u16 num_cores)
+        : downstream_(downstream), coreBufs_(num_cores)
+    {
+    }
+
+    void
+    emit(const TraceEvent &ev) override
+    {
+        switch (mode_) {
+          case Mode::PerCore:
+            coreBufs_[ev.core].push_back(ev);
+            break;
+          case Mode::Serial:
+            postBuf_.push_back(ev);
+            break;
+          case Mode::Direct:
+            downstream_->emit(ev);
+            break;
+        }
+    }
+
+    void setMode(Mode mode) { mode_ = mode; }
+
+    /** Forward the buffered cycle: core buffers in id order, then the
+     * post buffer — the sequential stepper's emission order. */
+    void
+    flushCycle()
+    {
+        for (auto &buf : coreBufs_) {
+            for (const TraceEvent &ev : buf)
+                downstream_->emit(ev);
+            buf.clear();
+        }
+        for (const TraceEvent &ev : postBuf_)
+            downstream_->emit(ev);
+        postBuf_.clear();
+    }
+
+  private:
+    TraceSink *downstream_;
+    Mode mode_ = Mode::PerCore;
+    std::vector<std::vector<TraceEvent>> coreBufs_;
+    std::vector<TraceEvent> postBuf_;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_TRACE_MUX_HH_

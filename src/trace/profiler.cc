@@ -312,8 +312,14 @@ Profiler::finish(Cycle total_cycles, u64 total_events, u64 dropped)
         const Cycle start = timeline_[i].start;
         const Cycle end = i + 1 < timeline_.size() ? timeline_[i + 1].start
                                                    : total_cycles;
-        if (end > start)
-            regionRow(timeline_[i].region).cycles += end - start;
+        if (end > start) {
+            RegionProfile &row = regionRow(timeline_[i].region);
+            if (row.cycles == 0 || start < row.firstCycle)
+                row.firstCycle = start;
+            if (end > row.lastCycle)
+                row.lastCycle = end;
+            row.cycles += end - start;
+        }
     }
 
     // Close the books: the uncharged remainder of every bucket set is

@@ -70,6 +70,17 @@ struct RegionProfile
     u64 entries = 0;
     u64 cycles = 0; //!< master-attributed cycles (== regionCycles slice)
 
+    /**
+     * Timeline hull: the half-open cycle range [firstCycle, lastCycle)
+     * spanning every interval attributed to this region. Two regions
+     * whose hulls are disjoint never overlapped during the measured run
+     * — the adaptive loop batches their override candidates into one
+     * evaluation. Empty (lastCycle <= firstCycle) when the region never
+     * held the timeline.
+     */
+    Cycle firstCycle = 0;
+    Cycle lastCycle = 0;
+
     // All-core buckets inside this region's intervals. Denominator for
     // occupancy is cycles * numCores.
     u64 issueCycles = 0;

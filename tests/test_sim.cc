@@ -60,8 +60,11 @@ TEST(MachineConfigTest, MeshShapes)
     EXPECT_EQ(MachineConfig::forCores(2).net.cols, 2);
     EXPECT_EQ(MachineConfig::forCores(2).net.rows, 1);
     EXPECT_EQ(MachineConfig::forCores(4).net.rows, 2);
+    EXPECT_EQ(MachineConfig::forCores(8).net.rows, 4);
+    EXPECT_EQ(MachineConfig::forCores(8).net.cols, 2);
+    EXPECT_EQ(MachineConfig::forCores(16).net.rows, 8);
     EXPECT_THROW(MachineConfig::forCores(3), FatalError);
-    EXPECT_THROW(MachineConfig::forCores(8), FatalError);
+    EXPECT_THROW(MachineConfig::forCores(32), FatalError);
 }
 
 TEST(MachineTest, CoreCountMismatchIsFatal)

@@ -1,0 +1,358 @@
+/** @file Bit-identity tests for the conservative-window parallel
+ * stepper: every MachineResult field and every trace event must be
+ * byte-equal with stepperThreads >= 2 vs. the sequential stepper,
+ * across the workload suite, mesh shapes, adversarial network
+ * configurations, TM-abort-heavy fuzz programs, and traced runs. A
+ * divergence means the per-cycle classification let a step touch
+ * shared state outside the serial section. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "compiler/compile.hh"
+#include "core/voltron.hh"
+#include "fuzz/differ.hh"
+#include "fuzz/generator.hh"
+#include "ir/builder.hh"
+#include "workloads/suite.hh"
+
+namespace voltron {
+namespace {
+
+/** Small scale keeps the full (suite x strategy x threads) sweep fast. */
+SuiteScale
+test_scale()
+{
+    SuiteScale scale;
+    scale.targetOps = 20'000;
+    return scale;
+}
+
+void
+expect_identical(const MachineResult &par, const MachineResult &seq,
+                 const std::string &what)
+{
+    EXPECT_EQ(par.exitValue, seq.exitValue) << what;
+    EXPECT_EQ(par.cycles, seq.cycles) << what;
+    EXPECT_EQ(par.dynamicOps, seq.dynamicOps) << what;
+    EXPECT_EQ(par.coupledCycles, seq.coupledCycles) << what;
+    EXPECT_EQ(par.decoupledCycles, seq.decoupledCycles) << what;
+    EXPECT_EQ(par.regionCycles, seq.regionCycles) << what;
+    ASSERT_EQ(par.issued.size(), seq.issued.size()) << what;
+    for (CoreId c = 0; c < par.issued.size(); ++c) {
+        EXPECT_EQ(par.issued[c], seq.issued[c]) << what << " core " << c;
+        EXPECT_EQ(par.idleCycles[c], seq.idleCycles[c])
+            << what << " core " << c;
+        for (size_t cat = 0;
+             cat < static_cast<size_t>(StallCat::NumCats); ++cat) {
+            EXPECT_EQ(par.stalls[c][cat], seq.stalls[c][cat])
+                << what << " core " << c << " stall "
+                << stall_cat_name(static_cast<StallCat>(cat));
+        }
+    }
+}
+
+/** Run @p mp sequentially and with @p threads stepper threads (same
+ * config otherwise, shaped by @p mutate) and compare everything,
+ * including final architectural memory. */
+template <typename Mutate>
+void
+check_threaded(const MachineProgram &mp, u16 cores, u16 threads,
+               const std::string &what, Mutate mutate)
+{
+    MachineConfig seq_config = MachineConfig::forCores(cores);
+    mutate(seq_config);
+    Machine seq_machine(mp, seq_config);
+    MachineResult seq = seq_machine.run();
+
+    MachineConfig par_config = MachineConfig::forCores(cores);
+    mutate(par_config);
+    par_config.stepperThreads = threads;
+    Machine par_machine(mp, par_config);
+    MachineResult par = par_machine.run();
+
+    expect_identical(par, seq, what);
+    for (const DataObject &obj : mp.original.data) {
+        for (u64 off = 0; off < obj.size; off += 8) {
+            ASSERT_EQ(par_machine.memory().read(obj.base + off, 8),
+                      seq_machine.memory().read(obj.base + off, 8))
+                << what << " @" << obj.base + off;
+        }
+    }
+}
+
+void
+check_threaded(const MachineProgram &mp, u16 cores, u16 threads,
+               const std::string &what)
+{
+    check_threaded(mp, cores, threads, what, [](MachineConfig &) {});
+}
+
+struct GridPoint
+{
+    std::string bench;
+    Strategy strategy;
+    u16 cores;
+    u16 threads;
+};
+
+std::string
+point_name(const GridPoint &p)
+{
+    return p.bench + "/" + std::string(strategy_name(p.strategy)) + "c" +
+           std::to_string(p.cores) + "t" + std::to_string(p.threads);
+}
+
+class ParallelStepperSuite : public ::testing::TestWithParam<GridPoint>
+{
+};
+
+TEST_P(ParallelStepperSuite, ResultsMatchSequentialStepper)
+{
+    const GridPoint &p = GetParam();
+    VoltronSystem sys(build_benchmark(p.bench, test_scale()));
+    CompileOptions opts;
+    opts.strategy = p.strategy;
+    opts.numCores = p.cores;
+    const MachineProgram &mp = sys.compile(opts);
+    check_threaded(mp, p.cores, p.threads, point_name(p));
+}
+
+std::vector<GridPoint>
+sweep_points()
+{
+    std::vector<GridPoint> points;
+    // Every suite benchmark at the paper's machine size with a split
+    // partition.
+    for (const std::string &name : benchmark_names())
+        points.push_back({name, Strategy::Hybrid, 4, 2});
+    // A representative benchmark per archetype gets the wider grid:
+    // every strategy, uneven splits (3 threads over 4 cores),
+    // one-core-per-thread, and the smallest/largest meshes.
+    static const char *const kWide[] = {"052.alvinn", "164.gzip",
+                                        "197.parser", "epic",
+                                        "177.mesa",   "256.bzip2"};
+    for (const char *name : kWide) {
+        points.push_back({name, Strategy::IlpOnly, 4, 2});
+        points.push_back({name, Strategy::TlpOnly, 4, 3});
+        points.push_back({name, Strategy::LlpOnly, 4, 4});
+        points.push_back({name, Strategy::Hybrid, 2, 2});
+        points.push_back({name, Strategy::Hybrid, 8, 4});
+    }
+    return points;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, ParallelStepperSuite,
+                         ::testing::ValuesIn(sweep_points()),
+                         [](const auto &info) {
+                             std::string name = point_name(info.param);
+                             for (char &ch : name)
+                                 if (ch == '.' || ch == '/' || ch == '-')
+                                     ch = '_';
+                             return name;
+                         });
+
+/** Same 4-core program on a 1x4 row and the default 2x2 mesh: the hop
+ * distances (and so every queue-mode arrival cycle) differ between the
+ * shapes, and the threaded stepper must reproduce each shape exactly.
+ * Queue-mode-only strategies — direct-mode codegen assumes the forCores
+ * geometry. */
+TEST(ParallelStepperTest, MeshShapesRowAndSquare)
+{
+    VoltronSystem sys(build_benchmark("164.gzip", test_scale()));
+    CompileOptions opts;
+    opts.strategy = Strategy::TlpOnly;
+    opts.numCores = 4;
+    const MachineProgram &mp = sys.compile(opts);
+    for (u16 threads : {u16{2}, u16{4}}) {
+        check_threaded(mp, 4, threads, "2x2 mesh");
+        check_threaded(mp, 4, threads, "1x4 mesh",
+                       [](MachineConfig &config) {
+                           config.net.rows = 1;
+                           config.net.cols = 4;
+                       });
+    }
+}
+
+/** Adversarial networks: a single-slot receive queue makes senders
+ * stall on back-pressure; a slow network stretches every in-flight
+ * window. Both lean hard on the due-ness classification. */
+TEST(ParallelStepperTest, AdversarialNetworks)
+{
+    VoltronSystem sys(build_benchmark("197.parser", test_scale()));
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 4;
+    const MachineProgram &mp = sys.compile(opts);
+    for (u16 threads : {u16{2}, u16{4}}) {
+        check_threaded(mp, 4, threads, "qcap1",
+                       [](MachineConfig &config) {
+                           config.net.queueCapacity = 1;
+                       });
+        check_threaded(mp, 4, threads, "slownet",
+                       [](MachineConfig &config) {
+                           config.net.queueCapacity = 2;
+                           config.net.queueBaseLatency = 3;
+                           config.net.hopLatency = 3;
+                       });
+    }
+}
+
+/** A zero-latency network (send arrives the same cycle) invalidates the
+ * conservative window; run() must fall back to the sequential stepper
+ * and still produce identical results. */
+TEST(ParallelStepperTest, ZeroLatencyNetworkFallsBackSequential)
+{
+    VoltronSystem sys(build_benchmark("164.gzip", test_scale()));
+    CompileOptions opts;
+    opts.strategy = Strategy::TlpOnly;
+    opts.numCores = 4;
+    const MachineProgram &mp = sys.compile(opts);
+    check_threaded(mp, 4, 4, "zerolat", [](MachineConfig &config) {
+        config.net.queueBaseLatency = 0;
+        config.net.hopLatency = 0;
+    });
+}
+
+/** TM-abort-heavy: DOALL-forced fuzz programs drive speculative
+ * iterations through XBEGIN/XVALIDATE, where conflict resolution and
+ * abort rollback are pure shared-state steps. */
+TEST(ParallelStepperTest, TmAbortHeavyFuzzPrograms)
+{
+    for (u64 seed : {0x7a110001ull, 0x7a110002ull, 0x7a110003ull}) {
+        const Program prog = generate_fuzz_program(seed);
+        VoltronSystem sys(prog);
+        CompileOptions opts;
+        opts.strategy = Strategy::LlpOnly;
+        opts.numCores = 4;
+        opts.minOpsPerActivation = 1;
+        opts.minDoallTrip = 1.0;
+        const MachineProgram &mp = sys.compile(opts);
+        std::ostringstream what;
+        what << "tm-fuzz seed 0x" << std::hex << seed;
+        check_threaded(mp, 4, 4, what.str());
+    }
+}
+
+/** Traced runs: the merged per-cycle trace stream must be
+ * event-for-event identical to the sequential emission order, and the
+ * serialized .vtrace files must be byte-equal. */
+TEST(ParallelStepperTest, TracedRunsProduceIdenticalStreams)
+{
+    VoltronSystem sys(build_benchmark("052.alvinn", test_scale()));
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 4;
+    const MachineProgram &mp = sys.compile(opts);
+
+    RingBufferTraceSink seq_ring;
+    MachineConfig seq_config = MachineConfig::forCores(4);
+    seq_config.traceSink = &seq_ring;
+    Machine seq_machine(mp, seq_config);
+    MachineResult seq = seq_machine.run();
+
+    RingBufferTraceSink par_ring;
+    MachineConfig par_config = MachineConfig::forCores(4);
+    par_config.traceSink = &par_ring;
+    par_config.stepperThreads = 4;
+    Machine par_machine(mp, par_config);
+    MachineResult par = par_machine.run();
+
+    expect_identical(par, seq, "traced hybrid c4");
+
+    const std::vector<TraceEvent> seq_events = seq_ring.events();
+    const std::vector<TraceEvent> par_events = par_ring.events();
+    ASSERT_EQ(par_events.size(), seq_events.size());
+    EXPECT_EQ(par_ring.dropped(), seq_ring.dropped());
+    for (size_t i = 0; i < seq_events.size(); ++i)
+        ASSERT_TRUE(par_events[i] == seq_events[i]) << "event " << i;
+    EXPECT_EQ(event_stream_hash(par_events),
+              event_stream_hash(seq_events));
+
+    // Serialize both and compare the files byte-for-byte.
+    auto write_and_read = [&](const char *name, const Machine &,
+                              const MachineResult &result,
+                              const RingBufferTraceSink &ring,
+                              const std::vector<TraceEvent> &events) {
+        TraceHeader header;
+        header.numCores = 4;
+        header.totalCycles = result.cycles;
+        header.totalEvents = ring.total();
+        header.dropped = ring.dropped();
+        header.label = "parallel-stepper-test";
+        const std::string path =
+            testing::TempDir() + "/" + name + ".vtrace";
+        EXPECT_TRUE(write_trace(path, header, events));
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        std::remove(path.c_str());
+        return bytes.str();
+    };
+    const std::string seq_bytes =
+        write_and_read("seq", seq_machine, seq, seq_ring, seq_events);
+    const std::string par_bytes =
+        write_and_read("par", par_machine, par, par_ring, par_events);
+    ASSERT_FALSE(seq_bytes.empty());
+    EXPECT_EQ(par_bytes, seq_bytes);
+}
+
+/** The deadlock watchdog must fire identically under the threaded
+ * stepper — a wedged RECV is re-classified Shared only when its message
+ * is due, so the serial section sees the same no-progress cycles. */
+TEST(ParallelStepperTest, WatchdogFiresThreaded)
+{
+    ProgramBuilder b("wedge");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(7));
+    b.endFunction();
+    Program prog = b.take();
+    GoldenRun golden = run_golden(prog);
+    CompileOptions opts;
+    opts.strategy = Strategy::SerialOnly;
+    opts.numCores = 2;
+    MachineProgram mp = compile_program(prog, golden.profile, opts);
+    BasicBlock &bb = mp.perCore[0].functions[0].blocks[0];
+    bb.ops.insert(bb.ops.begin(), ops::recv(1, gpr(30)));
+
+    for (u16 threads : {u16{0}, u16{2}}) {
+        MachineConfig config = MachineConfig::forCores(2);
+        config.watchdogCycles = 2000;
+        config.stepperThreads = threads;
+        Machine machine(mp, config);
+        try {
+            machine.run();
+            FAIL() << "expected a deadlock fatal (threads=" << threads
+                   << ")";
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find("deadlock"),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+/** Fixed-seed fuzz batch through the full differential sweep with the
+ * threaded stepper — the smoke-sized version of the voltron-fuzz
+ * --stepper-threads acceptance run. */
+TEST(ParallelStepperTest, FuzzSweepBitIdentityBatch)
+{
+    std::vector<voltron::SweepPoint> sweep = default_sweep();
+    for (voltron::SweepPoint &point : sweep)
+        point.stepperThreads = 2;
+    for (u32 i = 0; i < 10; ++i) {
+        const u64 seed = 0x5eed'2026'0000ull + i;
+        const Program prog = generate_fuzz_program(seed);
+        auto div = diff_program(prog, sweep);
+        if (div) {
+            FAIL() << "seed 0x" << std::hex << seed << " diverged at "
+                   << div->point << ": " << div->message;
+        }
+    }
+}
+
+} // namespace
+} // namespace voltron

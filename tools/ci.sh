@@ -20,7 +20,13 @@
 #     differential sweep (voltron-fuzz run). Any divergence from the
 #     golden model — wrong exit value, wrong memory image, or an
 #     invariant panic — fails the stage and leaves a replayable .vfuzz
-#     repro in the log.
+#     repro in the log. A second, smaller batch repeats the sweep on
+#     the parallel stepper (--stepper-threads 2): the bit-identity
+#     contract makes any threaded-only divergence a stepper bug.
+#  6. TSan smoke (when the toolchain has libtsan): rebuild the parallel
+#     stepper tests under -fsanitize=thread and run the threaded
+#     subset. The stepper's determinism argument rests on its
+#     happens-before edges; TSan checks them mechanically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -89,5 +95,31 @@ if ! ./build/tools/voltron-fuzz run --seed 1 --count 50 \
     exit 1
 fi
 echo "fuzz smoke clean: 50 programs reproduce the golden model"
+
+if ! ./build/tools/voltron-fuzz run --seed 42 --count 25 --no-shrink \
+    --corpus "$FUZZ_CORPUS" --stepper-threads 2; then
+    echo "FAIL: threaded differential fuzz smoke found divergences" >&2
+    ls -l "$FUZZ_CORPUS" >&2 || true
+    exit 1
+fi
+echo "threaded fuzz smoke clean: 25 programs bit-identical on the" \
+     "parallel stepper"
+
+echo "== tsan smoke =="
+TSAN_PROBE="$SMOKE_DIR/tsan-probe"
+if echo 'int main(){return 0;}' > "$TSAN_PROBE.cc" &&
+    c++ -fsanitize=thread "$TSAN_PROBE.cc" -o "$TSAN_PROBE" 2>/dev/null &&
+    "$TSAN_PROBE" 2>/dev/null; then
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+        -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+    cmake --build build-tsan -j --target test_sim_parallel
+    ./build-tsan/tests/test_sim_parallel \
+        --gtest_filter='ParallelStepperTest.*:*alvinn*:*gzip*:*parser*'
+    echo "tsan smoke clean: threaded stepper races checked"
+else
+    echo "tsan smoke skipped: toolchain has no usable libtsan"
+fi
 
 echo "ci: OK"

@@ -4,11 +4,15 @@
  *
  *   voltron-fuzz run [--seed S] [--count N] [--corpus DIR]
  *                    [--no-shrink] [--max-shrink-evals K]
+ *                    [--stepper-threads T]
  *       Generate N programs from seed S, diff each against the full
  *       default sweep, shrink any divergence, and write a replayable
  *       .vfuzz repro into DIR. Exit 1 if any divergence was found.
+ *       --stepper-threads runs every sweep point on the parallel
+ *       stepper, turning the sweep into its bit-identity acceptance
+ *       harness.
  *
- *   voltron-fuzz replay FILE...
+ *   voltron-fuzz replay FILE... [--stepper-threads T]
  *       Re-execute each repro's program against the default sweep.
  *       Exit 1 if any repro still diverges (so a fixed bug's corpus
  *       replays clean).
@@ -112,14 +116,28 @@ record_divergence_trace(const std::string &repro_path, const Program &prog,
                      repro_path.c_str());
 }
 
+/** Run the whole sweep on the parallel stepper (the bit-identity
+ * acceptance harness: any divergence a threaded sweep finds that a
+ * sequential one does not is a stepper bug). */
+std::vector<SweepPoint>
+with_stepper_threads(std::vector<SweepPoint> sweep, u16 threads)
+{
+    for (SweepPoint &point : sweep)
+        point.stepperThreads = threads;
+    return sweep;
+}
+
 int
 cmd_run(u64 master_seed, u32 count, const std::string &corpus_dir,
-        bool do_shrink, u32 max_shrink_evals)
+        bool do_shrink, u32 max_shrink_evals, u16 stepper_threads)
 {
-    const std::vector<SweepPoint> sweep = default_sweep();
-    std::printf("fuzz: %u programs x %zu sweep points, master seed %llu\n",
+    const std::vector<SweepPoint> sweep =
+        with_stepper_threads(default_sweep(), stepper_threads);
+    std::printf("fuzz: %u programs x %zu sweep points, master seed %llu, "
+                "%u stepper thread(s)\n",
                 count, sweep.size(),
-                static_cast<unsigned long long>(master_seed));
+                static_cast<unsigned long long>(master_seed),
+                stepper_threads);
 
     u32 divergences = 0;
     for (u32 i = 0; i < count; ++i) {
@@ -180,9 +198,10 @@ cmd_run(u64 master_seed, u32 count, const std::string &corpus_dir,
 }
 
 int
-cmd_replay(const std::vector<std::string> &files)
+cmd_replay(const std::vector<std::string> &files, u16 stepper_threads)
 {
-    const std::vector<SweepPoint> sweep = default_sweep();
+    const std::vector<SweepPoint> sweep =
+        with_stepper_threads(default_sweep(), stepper_threads);
     u32 failing = 0;
     for (const std::string &path : files) {
         FuzzRepro repro;
@@ -213,7 +232,8 @@ usage()
         stderr,
         "usage: voltron-fuzz run [--seed S] [--count N] [--corpus DIR]\n"
         "                        [--no-shrink] [--max-shrink-evals K]\n"
-        "       voltron-fuzz replay FILE...\n");
+        "                        [--stepper-threads T]\n"
+        "       voltron-fuzz replay FILE... [--stepper-threads T]\n");
     return 2;
 }
 
@@ -235,6 +255,7 @@ main(int argc, char **argv)
         u32 max_shrink_evals = 300;
         std::string corpus = "fuzz-corpus";
         bool do_shrink = true;
+        u16 stepper_threads = 0;
         for (int i = 2; i < argc; ++i) {
             if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc)
                 seed = std::strtoull(argv[++i], nullptr, 0);
@@ -249,16 +270,30 @@ main(int argc, char **argv)
                      i + 1 < argc)
                 max_shrink_evals = static_cast<u32>(
                     std::strtoul(argv[++i], nullptr, 0));
+            else if (std::strcmp(argv[i], "--stepper-threads") == 0 &&
+                     i + 1 < argc)
+                stepper_threads = static_cast<u16>(
+                    std::strtoul(argv[++i], nullptr, 0));
             else
                 return usage();
         }
-        return cmd_run(seed, count, corpus, do_shrink, max_shrink_evals);
+        return cmd_run(seed, count, corpus, do_shrink, max_shrink_evals,
+                       stepper_threads);
     }
     if (cmd == "replay") {
-        std::vector<std::string> files(argv + 2, argv + argc);
+        std::vector<std::string> files;
+        u16 stepper_threads = 0;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--stepper-threads") == 0 &&
+                i + 1 < argc)
+                stepper_threads = static_cast<u16>(
+                    std::strtoul(argv[++i], nullptr, 0));
+            else
+                files.emplace_back(argv[i]);
+        }
         if (files.empty())
             return usage();
-        return cmd_replay(files);
+        return cmd_replay(files, stepper_threads);
     }
     return usage();
 }
