@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Mesh-scaling benchmark: simulated speedup and host simulation
+ * throughput as the machine grows past the paper's 4-core evaluation
+ * point — every mode family at {4, 8, 16, 32, 64} cores across three
+ * mesh shapes (flat 1xN row, closest-to-square, and a 2-row "tiled"
+ * fold), with queue-depth and hop-latency distribution quantiles from
+ * the network's histograms. Writes BENCH_mesh_scaling.json (argv[1]
+ * overrides; --quick shrinks the grid for CI smoke).
+ *
+ * The bench also *enforces* the scalable-network bound: the indexed
+ * queue model must simulate at least kMinThroughputRatio of the legacy
+ * CAM-scan model's core-cycles/second on a queue-heavy 16-core point.
+ * The two models are bit-identical by contract (tests assert it); this
+ * guards the reason the indexed model exists — speed at scale.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common.hh"
+#include "fuzz/differ.hh"
+
+using namespace voltron;
+using namespace voltron::bench;
+
+namespace {
+
+/** Indexed model must reach this fraction of legacy throughput at 16
+ * cores (it is expected to exceed 1.0 comfortably; the margin absorbs
+ * host noise on small machines). */
+constexpr double kMinThroughputRatio = 0.9;
+
+const char *kBenchName = "164.gzip";
+
+struct ModeSpec
+{
+    const char *name;
+    Strategy strategy;
+    double dswpThreshold; //!< <0 keeps the default
+};
+
+const ModeSpec kModes[] = {
+    {"ilp", Strategy::IlpOnly, -1.0},
+    {"strands", Strategy::TlpOnly, 1e9},
+    {"dswp", Strategy::TlpOnly, 0.0},
+    {"doall", Strategy::LlpOnly, -1.0},
+    {"hybrid", Strategy::Hybrid, -1.0},
+};
+
+struct Shape
+{
+    const char *label;
+    u16 rows, cols;
+};
+
+/** The three shape families for @p cores, deduplicated (at 4 cores the
+ * square and the 2-row fold are both 2x2). */
+std::vector<Shape>
+shapes_for(u16 cores)
+{
+    std::vector<Shape> shapes;
+    shapes.push_back({"flat", 1, cores});
+    u16 cols = 1;
+    for (u16 c = 2; c * c <= cores; ++c)
+        if (cores % c == 0)
+            cols = c;
+    const Shape square{"square", static_cast<u16>(cores / cols), cols};
+    shapes.push_back(square);
+    if (cores >= 4) {
+        const Shape tiled{"tiles2xN", 2, static_cast<u16>(cores / 2)};
+        if (tiled.rows != square.rows || tiled.cols != square.cols)
+            shapes.push_back(tiled);
+    }
+    return shapes;
+}
+
+CompileOptions
+options_for(const ModeSpec &mode, u16 cores, const Shape &shape)
+{
+    CompileOptions opts;
+    opts.strategy = mode.strategy;
+    opts.numCores = cores;
+    opts.meshRows = shape.rows;
+    opts.meshCols = shape.cols;
+    opts.minOpsPerActivation = 1;
+    if (mode.strategy == Strategy::LlpOnly)
+        opts.minDoallTrip = 1.0;
+    if (mode.dswpThreshold >= 0.0)
+        opts.dswpThreshold = mode.dswpThreshold;
+    return opts;
+}
+
+struct Row
+{
+    std::string mode;
+    u16 cores = 0;
+    Shape shape{};
+    u64 simCycles = 0;
+    u64 simOps = 0;
+    double speedup = 0;
+    double wallSeconds = 0;
+    bool correct = false;
+    u64 hopP50 = 0, hopP95 = 0, hopP99 = 0;
+    u64 depthP50 = 0, depthP95 = 0, depthP99 = 0;
+
+    double
+    coreCyclesPerSecond() const
+    {
+        return wallSeconds > 0 ? static_cast<double>(simCycles) * cores /
+                                     wallSeconds
+                               : 0.0;
+    }
+};
+
+/** Simulate one point; compile/golden work stays outside the timed
+ * region (the shared suite cache already holds the artifact). */
+Row
+run_point(const ModeSpec &mode, u16 cores, const Shape &shape)
+{
+    VoltronSystem &sys = shared_system(kBenchName);
+    const CompileOptions opts = options_for(mode, cores, shape);
+    const MachineProgram &mp = sys.compile(opts);
+
+    Row row;
+    row.mode = mode.name;
+    row.cores = cores;
+    row.shape = shape;
+
+    MachineConfig config = MachineConfig::forMesh(shape.rows, shape.cols);
+    const auto start = std::chrono::steady_clock::now();
+    Machine machine(mp, config);
+    const MachineResult result = machine.run();
+    const auto end = std::chrono::steady_clock::now();
+    row.wallSeconds = std::chrono::duration<double>(end - start).count();
+    row.simCycles = result.cycles;
+    row.simOps = result.dynamicOps;
+    row.speedup = static_cast<double>(sys.baselineCycles()) /
+                  static_cast<double>(result.cycles);
+    row.correct = result.exitValue == sys.goldenResult().exitValue;
+    const OperandNetwork &net = machine.network();
+    row.hopP50 = net.hopLatency().p50();
+    row.hopP95 = net.hopLatency().p95();
+    row.hopP99 = net.hopLatency().p99();
+    row.depthP50 = net.queueDepth().p50();
+    row.depthP95 = net.queueDepth().p95();
+    row.depthP99 = net.queueDepth().p99();
+    return row;
+}
+
+/** Core-cycles/second for one pass of the queue-heavy 16-core bound
+ * harness under one queue model. */
+double
+bound_pass(bool legacy_scan)
+{
+    VoltronSystem &sys = shared_system(kBenchName);
+    const Shape square{"square", 4, 4};
+    u64 cycles = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const char *mode : {"dswp", "hybrid"}) {
+        const ModeSpec *spec = nullptr;
+        for (const ModeSpec &m : kModes)
+            if (std::string(mode) == m.name)
+                spec = &m;
+        const MachineProgram &mp =
+            sys.compile(options_for(*spec, 16, square));
+        MachineConfig config = MachineConfig::forMesh(4, 4);
+        config.net.legacyScanQueues = legacy_scan;
+        Machine machine(mp, config);
+        cycles += machine.run().cycles;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(end - start).count();
+    return wall > 0 ? static_cast<double>(cycles) * 16 / wall : 0.0;
+}
+
+std::string
+json_escape_free(const Row &row)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(6);
+    os << "    {\"mode\": \"" << row.mode << "\", \"cores\": " << row.cores
+       << ", \"shape\": \"" << row.shape.label << "\""
+       << ", \"rows\": " << row.shape.rows
+       << ", \"cols\": " << row.shape.cols
+       << ", \"sim_cycles\": " << row.simCycles
+       << ", \"sim_ops\": " << row.simOps
+       << ", \"sim_speedup\": " << row.speedup
+       << ", \"correct\": " << (row.correct ? "true" : "false")
+       << ", \"wall_seconds\": " << row.wallSeconds
+       << ", \"core_cycles_per_second\": " << row.coreCyclesPerSecond()
+       << ", \"hop_latency\": {\"p50\": " << row.hopP50
+       << ", \"p95\": " << row.hopP95 << ", \"p99\": " << row.hopP99
+       << "}, \"queue_depth\": {\"p50\": " << row.depthP50
+       << ", \"p95\": " << row.depthP95 << ", \"p99\": " << row.depthP99
+       << "}}";
+    return os.str();
+}
+
+bool
+write_json(const std::string &path, const std::vector<Row> &rows,
+           const std::vector<u16> &core_counts, bool quick,
+           double idx_ccps, double leg_ccps)
+{
+    std::ofstream os(path);
+    os << std::fixed << std::setprecision(6);
+    os << "{\n"
+       << "  \"harness\": \"" << kBenchName
+       << " x {ilp,strands,dswp,doall,hybrid} x core counts x mesh "
+          "shapes\",\n"
+       << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+       << "  \"host_cores\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"core_counts\": [";
+    for (size_t i = 0; i < core_counts.size(); ++i)
+        os << (i ? ", " : "") << core_counts[i];
+    os << "],\n"
+       << "  \"network_bound\": {\n"
+       << "    \"note\": \"indexed vs legacy CAM-scan queue model, "
+          "dswp+hybrid @ 4x4; the bench fails below min_ratio\",\n"
+       << "    \"indexed_core_cycles_per_second\": " << idx_ccps << ",\n"
+       << "    \"legacy_core_cycles_per_second\": " << leg_ccps << ",\n"
+       << "    \"ratio\": " << (leg_ccps > 0 ? idx_ccps / leg_ccps : 0.0)
+       << ",\n"
+       << "    \"min_ratio\": " << kMinThroughputRatio << "\n"
+       << "  },\n"
+       << "  \"rows\": [";
+    for (size_t i = 0; i < rows.size(); ++i)
+        os << (i ? ",\n" : "\n") << json_escape_free(rows[i]);
+    os << "\n  ]\n"
+       << "}\n";
+    return os.good();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_mesh_scaling.json";
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick")
+            quick = true;
+        else
+            out_path = arg;
+    }
+    banner("Mesh scaling: per-mode speedup curves and host throughput "
+           "at 4..64 cores",
+           "extends Fig. 10/11/13 past the paper's 4-core machine");
+
+    const std::vector<u16> core_counts =
+        quick ? std::vector<u16>{4, 16}
+              : std::vector<u16>{4, 8, 16, 32, 64};
+
+    struct Point
+    {
+        const ModeSpec *mode;
+        u16 cores;
+        Shape shape;
+    };
+    std::vector<Point> points;
+    for (const ModeSpec &mode : kModes)
+        for (u16 cores : core_counts)
+            for (const Shape &shape : shapes_for(cores))
+                points.push_back({&mode, cores, shape});
+
+    // Compile every point concurrently; rows are then simulated
+    // sequentially so per-row wall clocks don't fight for the host.
+    parallel_for(points.size(), [&](size_t i) {
+        shared_system(kBenchName)
+            .compile(options_for(*points[i].mode, points[i].cores,
+                                 points[i].shape));
+    });
+    std::vector<Row> rows;
+    rows.reserve(points.size());
+    for (const Point &p : points)
+        rows.push_back(run_point(*p.mode, p.cores, p.shape));
+
+    std::cout << std::left << std::setw(9) << "mode" << std::right
+              << std::setw(6) << "cores" << std::setw(10) << "shape"
+              << std::setw(11) << "speedup" << std::setw(14)
+              << "Mcc/s" << std::setw(12) << "hop p50/p99"
+              << std::setw(12) << "q p50/p99" << "\n";
+    bool all_correct = true;
+    for (const Row &row : rows) {
+        all_correct = all_correct && row.correct;
+        std::ostringstream shape_label;
+        shape_label << row.shape.rows << "x" << row.shape.cols;
+        std::cout << std::left << std::setw(9) << row.mode << std::right
+                  << std::setw(6) << row.cores << std::setw(10)
+                  << shape_label.str() << std::setw(11) << std::fixed
+                  << std::setprecision(2) << row.speedup << std::setw(14)
+                  << std::setprecision(2)
+                  << row.coreCyclesPerSecond() / 1e6 << std::setw(7)
+                  << row.hopP50 << "/" << std::left << std::setw(4)
+                  << row.hopP99 << std::right << std::setw(7)
+                  << row.depthP50 << "/" << std::left << std::setw(4)
+                  << row.depthP99 << std::right
+                  << (row.correct ? "" : "  WRONG-RESULT") << "\n";
+    }
+    if (!all_correct) {
+        std::cout << "FAIL: a scaled point diverged from the golden "
+                     "model\n";
+        return 1;
+    }
+
+    // Enforced bound: the indexed model must not be slower than the
+    // legacy scan it replaced (modulo host noise). Alternate the two
+    // models and keep each one's best pass so a slow spell on a busy
+    // host can't penalise only whichever model ran during it.
+    const int reps = quick ? 2 : 5;
+    double leg_ccps = 0, idx_ccps = 0;
+    bound_pass(/*legacy_scan=*/true); // warm both code paths
+    bound_pass(/*legacy_scan=*/false);
+    for (int r = 0; r < reps; ++r) {
+        leg_ccps = std::max(leg_ccps, bound_pass(/*legacy_scan=*/true));
+        idx_ccps = std::max(idx_ccps, bound_pass(/*legacy_scan=*/false));
+    }
+    const double ratio = leg_ccps > 0 ? idx_ccps / leg_ccps : 0.0;
+    std::cout << std::setprecision(2) << "network bound @ 16 cores: "
+              << "indexed " << idx_ccps / 1e6 << " Mcc/s vs legacy "
+              << leg_ccps / 1e6 << " Mcc/s (ratio " << ratio << ", min "
+              << kMinThroughputRatio << ")\n";
+
+    if (!write_json(out_path, rows, core_counts, quick, idx_ccps,
+                    leg_ccps)) {
+        std::cout << "FAILED to write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << " (" << rows.size()
+              << " rows)\n";
+
+    if (ratio < kMinThroughputRatio) {
+        std::cout << "FAIL: indexed network model throughput ratio "
+                  << ratio << " below " << kMinThroughputRatio << "\n";
+        return 1;
+    }
+    return 0;
+}

@@ -9,6 +9,7 @@
  * the fields.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <thread>
@@ -68,6 +69,24 @@ struct ThreadPoint
 {
     u16 threads = 0;
     Pass pass;
+    unsigned hostCores = 0; //!< host cores observed when this row ran
+};
+
+/** Verdict on the "threads help at all" expectation, evaluated only on
+ * hosts that can actually run two stepper threads at once. */
+struct ScalingCheck
+{
+    double minSpeedup = 2.0;
+    double bestSpeedup = 0.0;
+    unsigned hostCores = 0;
+    bool skipped = false;
+    bool passed = false;
+
+    const char *
+    status() const
+    {
+        return skipped ? "skipped" : passed ? "pass" : "fail";
+    }
 };
 
 /** Simulate the 8-core point set with @p threads stepper threads. */
@@ -94,7 +113,7 @@ run_threaded_pass(const std::vector<const MachineProgram *> &points,
 bool
 write_json(const std::string &path, const Pass &naive, const Pass &ff,
            size_t points, const std::vector<ThreadPoint> &scaling,
-           size_t threaded_points)
+           size_t threaded_points, const ScalingCheck &check)
 {
     std::ofstream os(path);
     os << std::fixed << std::setprecision(6);
@@ -133,15 +152,17 @@ write_json(const std::string &path, const Pass &naive, const Pass &ff,
        << "    \"note\": \"speedup is vs stepper_threads=1 (the "
           "sequential stepper); results are bit-identical at every "
           "thread count, so this is purely wall-clock. Scaling is "
-          "bounded by host_cores — on a single-core host the barrier "
-          "overhead makes threaded points slower, which is recorded "
-          "honestly rather than extrapolated.\",\n"
+          "bounded by the per-row host_cores measured at runtime — on "
+          "a single-core host the barrier overhead makes threaded "
+          "points slower, which is recorded honestly rather than "
+          "extrapolated.\",\n"
        << "    \"sweep\": [";
     for (size_t i = 0; i < scaling.size(); ++i) {
         const ThreadPoint &tp = scaling[i];
         const double base = scaling.front().pass.wallSeconds;
         os << (i ? ",\n" : "\n")
            << "      {\"stepper_threads\": " << tp.threads
+           << ", \"host_cores\": " << tp.hostCores
            << ", \"wall_seconds\": " << tp.pass.wallSeconds
            << ", \"ops_per_second\": " << tp.pass.opsPerSecond()
            << ", \"speedup\": "
@@ -149,7 +170,22 @@ write_json(const std::string &path, const Pass &naive, const Pass &ff,
                                        : 0.0)
            << "}";
     }
-    os << "\n    ]\n"
+    os << "\n    ],\n"
+       << "    \"scaling_check\": {\n"
+       << "      \"expectation\": \"best threaded speedup >= "
+          "min_speedup vs stepper_threads=1\",\n"
+       << "      \"min_speedup\": " << check.minSpeedup << ",\n"
+       << "      \"best_speedup\": " << check.bestSpeedup << ",\n"
+       << "      \"host_cores\": " << check.hostCores << ",\n"
+       << "      \"status\": \"" << check.status() << "\"";
+    if (check.skipped) {
+        os << ",\n"
+           << "      \"note\": \"host has fewer than 2 cores, so "
+              "threaded scaling cannot materialise; sweep rows are "
+              "recorded for reference only and the expectation is not "
+              "enforced\"";
+    }
+    os << "\n    }\n"
        << "  },\n"
        << "  \"bench_threads\": " << bench_threads() << "\n"
        << "}\n";
@@ -236,7 +272,20 @@ main(int argc, char **argv)
     }
     std::vector<ThreadPoint> scaling;
     for (u16 threads : {u16{1}, u16{2}, u16{4}, u16{8}})
-        scaling.push_back({threads, run_threaded_pass(points8, threads)});
+        scaling.push_back({threads, run_threaded_pass(points8, threads),
+                           std::thread::hardware_concurrency()});
+
+    ScalingCheck check;
+    check.hostCores = std::thread::hardware_concurrency();
+    for (const ThreadPoint &tp : scaling) {
+        if (tp.pass.wallSeconds <= 0)
+            continue;
+        check.bestSpeedup =
+            std::max(check.bestSpeedup,
+                     scaling.front().pass.wallSeconds / tp.pass.wallSeconds);
+    }
+    check.skipped = check.hostCores < 2;
+    check.passed = !check.skipped && check.bestSpeedup >= check.minSpeedup;
 
     std::cout << std::fixed << std::setprecision(3);
     std::cout << "points simulated:     " << points.size() << "\n"
@@ -263,9 +312,20 @@ main(int argc, char **argv)
                           : 0.0)
                   << "x\n";
     }
+    if (check.skipped) {
+        std::cout << "scaling check: SKIPPED (host has "
+                  << check.hostCores
+                  << " core(s); threaded scaling cannot materialise)\n";
+    } else {
+        std::cout << "scaling check: " << check.status()
+                  << " (best speedup " << std::setprecision(2)
+                  << check.bestSpeedup << "x, expected >= "
+                  << check.minSpeedup << "x on " << check.hostCores
+                  << " host cores)\n";
+    }
 
     if (!write_json(out_path, naive, ff, points.size(), scaling,
-                    points8.size())) {
+                    points8.size(), check)) {
         std::cout << "FAILED to write " << out_path << "\n";
         return 1;
     }
@@ -291,6 +351,12 @@ main(int argc, char **argv)
         }
         std::cout << "wrote " << metrics_path << " (" << metrics.size()
                   << " counters)\n";
+    }
+    if (!check.skipped && !check.passed) {
+        std::cout << "FAIL: threaded stepper reached only "
+                  << std::setprecision(2) << check.bestSpeedup
+                  << "x on a " << check.hostCores << "-core host\n";
+        return 1;
     }
     return 0;
 }

@@ -206,6 +206,15 @@ class Codegen
         for (FuncId f = 0; f < prog.functions.size(); ++f)
             genFunction(f);
 
+        // Only coupled-mode hop chains are routed against the mesh;
+        // programs without them run on any shape with the right core
+        // count, so they stay shape-agnostic (rows/cols = 0) and the
+        // simulator's geometry check does not bind them.
+        if (routedGeometry_) {
+            out_.meshRows = meshRows();
+            out_.meshCols = meshCols();
+        }
+
         return std::move(out_);
     }
 
@@ -218,6 +227,8 @@ class Codegen
     const FuncAnalyses *fa_ = nullptr;
     std::unique_ptr<Liveness> live_;
     u32 nextTransferId_ = kTransferIdBase;
+    /** Whether any emitted transfer was routed against the mesh. */
+    bool routedGeometry_ = false;
     /** Master preamble per non-serial region (for the entry rewire). */
     std::map<RegionId, BlockId> masterPreamble_;
 
@@ -225,7 +236,18 @@ class Codegen
 
     Function &clone(CoreId c) { return out_.perCore[c].functions.back(); }
 
-    u16 meshCols() const { return in_.numCores >= 4 ? 2 : in_.numCores; }
+    /** Geometry is a codegen input: clamped to numCores for callers
+     * that build a CodegenInput by hand and never set a shape. */
+    MeshShape
+    meshShape() const
+    {
+        return in_.mesh.cores() == in_.numCores
+                   ? in_.mesh
+                   : default_mesh_shape(in_.numCores);
+    }
+
+    u16 meshCols() const { return meshShape().cols; }
+    u16 meshRows() const { return meshShape().rows; }
 
     /** XY route: column moves then row moves. */
     std::vector<Dir>
@@ -919,6 +941,7 @@ class Codegen
                         }
                     } else {
                         CoreId cur = home;
+                        routedGeometry_ = true;
                         for (Dir dir : route(home, remote[0])) {
                             const CoreId next = stepCore(cur, dir);
                             const u32 tid = nextTransferId_++;

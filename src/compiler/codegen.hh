@@ -55,6 +55,10 @@ struct CodegenInput
     const Profile *profile = nullptr;
     u16 numCores = 1;
 
+    /** Mesh geometry the coupled-mode hop chains are routed against
+     * (rows * cols == numCores; the driver resolves defaults). */
+    MeshShape mesh;
+
     /** Regions per function, with global ids and modes already chosen. */
     std::vector<std::vector<CompilerRegion>> regionsOf;
 

@@ -62,10 +62,12 @@ MachineProgram
 compile_program(const Program &prog, const Profile &profile,
                 const CompileOptions &options, SelectionReport *report)
 {
-    fatal_if_not(options.numCores == 1 || options.numCores == 2 ||
-                     options.numCores == 4 || options.numCores == 8 ||
-                     options.numCores == 16,
-                 "supported core counts: 1, 2, 4, 8, 16");
+    fatal_if_not(options.numCores >= 1 && options.numCores <= kMaxCores,
+                 "supported core counts: 1..", kMaxCores);
+    const MeshShape mesh = options.meshShape();
+    fatal_if_not(mesh.cores() == options.numCores,
+                 "mesh ", mesh.rows, "x", mesh.cols, " does not hold ",
+                 options.numCores, " cores");
     verify_or_die(prog, VerifyMode::Sequential);
 
     // Reassociation preserves exact integer semantics, so the golden
@@ -79,6 +81,7 @@ compile_program(const Program &prog, const Profile &profile,
     input.prog = &unit;
     input.profile = &profile;
     input.numCores = options.numCores;
+    input.mesh = mesh;
     input.allowCrossCoreMemDep = options.allowCrossCoreMemDep;
 
     std::vector<std::unique_ptr<FuncAnalyses>> analyses;

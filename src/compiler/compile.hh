@@ -40,6 +40,26 @@ struct CompileOptions
     u16 numCores = 4;
     Strategy strategy = Strategy::Hybrid;
 
+    /**
+     * Target mesh geometry (rows * cols must equal numCores when set).
+     * 0/0 — the default — compiles for default_mesh_shape(numCores).
+     * Codegen routes coupled-mode PUT/GET hop chains against this
+     * shape, so it is part of the compiled artifact's identity (the
+     * cache hashes it) and is stamped into the MachineProgram for the
+     * simulator's compatibility check.
+     */
+    u16 meshRows = 0;
+    u16 meshCols = 0;
+
+    /** The resolved geometry this compilation targets. */
+    MeshShape
+    meshShape() const
+    {
+        if (meshRows != 0 || meshCols != 0)
+            return {meshRows, meshCols};
+        return default_mesh_shape(numCores);
+    }
+
     /** Regions with fewer profiled ops per entry run serially. */
     u64 minOpsPerActivation = 48;
 

@@ -160,10 +160,21 @@ schedule_block(const std::vector<ScheduleSlot> &slots, u16 num_cores)
         }
     }
 
+    // The broadcast wire is a single shared bus: at most one BCAST may
+    // issue per cycle machine-wide, or same-cycle broadcasts would
+    // overwrite each other in the wire latch.
+    auto group_broadcasts = [&](u32 gi) {
+        for (u32 m : groups[gi])
+            if (nodes[m].op->op == Opcode::BCAST)
+                return true;
+        return false;
+    };
+
     u32 cycle = 0;
     const u32 kScheduleCap = 200000;
     while (remaining > 0) {
         panic_if_not(cycle < kScheduleCap, "scheduler failed to converge");
+        bool bcast_busy = false;
         // Collect groups ready at this cycle, sorted by priority.
         std::vector<u32> ready;
         for (auto &[gi, members] : groups) {
@@ -196,6 +207,8 @@ schedule_block(const std::vector<ScheduleSlot> &slots, u16 num_cores)
         for (u32 gi : ready) {
             if (group_done[gi])
                 continue;
+            if (group_broadcasts(gi) && bcast_busy)
+                continue;
             bool free = true;
             for (u32 m : groups[gi])
                 if (core_busy[{nodes[m].core, cycle}])
@@ -206,6 +219,8 @@ schedule_block(const std::vector<ScheduleSlot> &slots, u16 num_cores)
                 nodes[m].cycle = cycle;
                 core_busy[{nodes[m].core, cycle}] = true;
             }
+            if (group_broadcasts(gi))
+                bcast_busy = true;
             group_done[gi] = true;
             remaining--;
         }

@@ -131,6 +131,11 @@ options_hash(const CompileOptions &options)
 {
     ByteWriter w;
     w.u16v(options.numCores);
+    // The *resolved* shape, so explicit-default and implicit-default
+    // requests share one cache line (they compile identically).
+    const MeshShape shape = options.meshShape();
+    w.u16v(shape.rows);
+    w.u16v(shape.cols);
     w.u8v(static_cast<u8>(options.strategy));
     w.u64v(options.minOpsPerActivation);
     w.f64v(options.minDoallTrip);

@@ -106,7 +106,9 @@ struct CacheEntryHeader
 };
 
 inline constexpr u32 kCacheMagic = 0x31414356; // "VCA1", little-endian
-inline constexpr u32 kCacheFormatVersion = 1;
+// v2: MachineProgram gained mesh geometry fields (meshRows/meshCols);
+// older entries decode shifted and must fall back to a cold pass.
+inline constexpr u32 kCacheFormatVersion = 2;
 
 /** Filename of the entry for (kind, key) within the cache dir. */
 std::string cache_entry_filename(ArtifactKind kind, u64 key);

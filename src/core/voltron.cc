@@ -103,8 +103,9 @@ VoltronSystem::runConcrete(const CompileOptions &options,
     const std::shared_ptr<const MachineArtifact> artifact =
         acquire(options);
     outcome.selection = artifact->selection;
+    const MeshShape shape = options.meshShape();
     MachineConfig mc =
-        config ? *config : MachineConfig::forCores(options.numCores);
+        config ? *config : MachineConfig::forMesh(shape.rows, shape.cols);
     std::optional<ProfilingTraceSink> sink;
     if (profile) {
         fatal_if_not(mc.traceSink == nullptr,

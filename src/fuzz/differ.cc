@@ -52,6 +52,15 @@ with_net(SweepPoint p, const std::string &suffix, u32 capacity,
     return p;
 }
 
+SweepPoint
+with_mesh(SweepPoint p, u16 rows, u16 cols)
+{
+    p.label += "/mesh" + std::to_string(rows) + "x" + std::to_string(cols);
+    p.options.meshRows = rows;
+    p.options.meshCols = cols;
+    return p;
+}
+
 } // namespace
 
 std::vector<SweepPoint>
@@ -106,13 +115,37 @@ default_sweep()
         sweep.push_back(with_net(make_point("dswp-xmem", options), "qcap1",
                                  1, 1, 1));
     }
+
+    // Mesh-shape points: the same core count on different geometries.
+    // Hop chains are routed per shape, so each point is a distinct
+    // compiled artifact; the 16-core square is the largest machine in
+    // the default sweep.
+    {
+        CompileOptions options = mode_options(Strategy::IlpOnly, 8);
+        sweep.push_back(with_mesh(make_point("ilp", options), 2, 4));
+    }
+    {
+        CompileOptions options = mode_options(Strategy::Hybrid, 8);
+        sweep.push_back(with_mesh(make_point("hybrid", options), 1, 8));
+    }
+    {
+        CompileOptions options = mode_options(Strategy::TlpOnly, 8);
+        options.dswpThreshold = 0.0;
+        sweep.push_back(with_net(
+            with_mesh(make_point("dswp", options), 2, 4), "qcap1", 1, 1, 1));
+    }
+    {
+        CompileOptions options = mode_options(Strategy::Hybrid, 16);
+        sweep.push_back(with_mesh(make_point("hybrid", options), 4, 4));
+    }
     return sweep;
 }
 
 MachineConfig
 machine_config_for(const SweepPoint &point)
 {
-    MachineConfig config = MachineConfig::forCores(point.options.numCores);
+    const MeshShape shape = point.options.meshShape();
+    MachineConfig config = MachineConfig::forMesh(shape.rows, shape.cols);
     if (point.overrideNet) {
         config.net.queueCapacity = point.queueCapacity;
         config.net.queueBaseLatency = point.queueBaseLatency;

@@ -28,9 +28,12 @@ namespace voltron {
 struct SweepPoint
 {
     std::string label;
+    /** Compile options, including the mesh geometry: the machine is
+     * built from options.meshShape(), so sweep points vary the shape
+     * (1x8 vs 2x4 vs 4x2, ...) as freely as any other knob — codegen
+     * routes hop chains against whatever shape the point asks for. */
     CompileOptions options;
-    /** Network overrides applied onto MachineConfig::forCores — the mesh
-     * shape itself is never varied (codegen assumes forCores geometry). */
+    /** Network timing overrides applied onto the mesh config. */
     bool overrideNet = false;
     u32 queueCapacity = 64;
     u32 queueBaseLatency = 1;
@@ -44,15 +47,17 @@ struct SweepPoint
 
 /**
  * The default sweep: {coupled ILP, decoupled strands, decoupled DSWP,
- * DOALL, hybrid} × {1, 2, 4} cores, plus adversarial network points
- * (queueCapacity 1 and 2, non-default latencies) and option variants
+ * DOALL, hybrid} × {1, 2, 4, 8} cores, plus adversarial network points
+ * (queueCapacity 1 and 2, non-default latencies), option variants
  * (reassociation off, cross-core memory deps on) for the multi-core
- * families.
+ * families, and mesh-shape points (non-default geometries at 8 and 16
+ * cores) exercising geometry-aware codegen.
  */
 std::vector<SweepPoint> default_sweep();
 
-/** The MachineConfig @p point runs under (forCores + net overrides) —
- * shared by the differ and tools that replay a failing point. */
+/** The MachineConfig @p point runs under (the point's mesh shape + net
+ * overrides) — shared by the differ and tools that replay a failing
+ * point. */
 MachineConfig machine_config_for(const SweepPoint &point);
 
 /** A compiled run that failed to reproduce the golden model. */

@@ -9,7 +9,18 @@ namespace voltron {
 OperandNetwork::OperandNetwork(const NetworkConfig &config) : config_(config)
 {
     fatal_if_not(config.rows >= 1 && config.cols >= 1, "empty mesh");
-    recvQueues_.resize(numCores());
+    fatal_if_not(numCores() <= kMaxCores, "mesh larger than ", kMaxCores,
+                 " cores");
+    const size_t n = numCores();
+    if (config_.legacyScanQueues) {
+        recvQueues_.resize(n);
+    } else {
+        dataLinks_.resize(n * n);
+        spawnQueues_.resize(n);
+        spawnInFlight_.assign(n * n, 0);
+        totalQueued_.assign(n, 0);
+    }
+    links_.resize(n * 4);
 }
 
 u32
@@ -50,12 +61,19 @@ OperandNetwork::sendWouldStall(CoreId from, CoreId to, bool is_spawn) const
     // slower third core). Spawns and data messages are drained by
     // different consumers (trySpawn vs tryRecv), so each class only
     // counts against its own slots.
-    if (to >= recvQueues_.size())
+    if (to >= numCores())
         return false; // send() will panic on the unknown target
-    u32 in_flight = 0;
-    for (const Message &msg : recvQueues_[to])
-        if (msg.from == from && msg.isSpawn == is_spawn)
-            in_flight++;
+    if (config_.legacyScanQueues) {
+        u32 in_flight = 0;
+        for (const Message &msg : recvQueues_[to])
+            if (msg.from == from && msg.isSpawn == is_spawn)
+                in_flight++;
+        return in_flight >= config_.queueCapacity;
+    }
+    const u32 in_flight = is_spawn
+                              ? spawnInFlight_[linkIdx(to, from)]
+                              : static_cast<u32>(
+                                    dataLinks_[linkIdx(to, from)].size());
     return in_flight >= config_.queueCapacity;
 }
 
@@ -73,12 +91,24 @@ OperandNetwork::send(CoreId from, CoreId to, u64 value, Cycle now,
     msg.arrivesAt = now + config_.queueBaseLatency +
                     hops(from, to) * config_.hopLatency;
     msg.isSpawn = is_spawn;
-    recvQueues_[to].push_back(msg);
+    size_t depth;
+    if (config_.legacyScanQueues) {
+        recvQueues_[to].push_back(msg);
+        depth = recvQueues_[to].size();
+    } else {
+        if (is_spawn) {
+            spawnQueues_[to].push_back(msg);
+            spawnInFlight_[linkIdx(to, from)]++;
+        } else {
+            dataLinks_[linkIdx(to, from)].push_back(msg);
+        }
+        depth = ++totalQueued_[to];
+    }
     stats_.add("net.messages");
     if (is_spawn)
         stats_.add("net.spawns");
     hopLatency_.record(msg.arrivesAt - now);
-    queueDepth_.record(recvQueues_[to].size());
+    queueDepth_.record(depth);
     if (trace_) {
         TraceEvent ev;
         ev.cycle = now;
@@ -86,115 +116,173 @@ OperandNetwork::send(CoreId from, CoreId to, u64 value, Cycle now,
         ev.kind = TraceEventKind::NetSend;
         ev.arg16 = to;
         ev.arg8 = is_spawn ? 1 : 0;
-        ev.arg32 = static_cast<u32>(recvQueues_[to].size());
+        ev.arg32 = static_cast<u32>(depth);
         ev.arg64 = msg.arrivesAt;
         trace_->emit(ev);
     }
 }
 
+void
+OperandNetwork::traceRecv(CoreId me, CoreId from, bool is_spawn, Cycle now,
+                          Cycle arrived, size_t depth_after)
+{
+    TraceEvent ev;
+    ev.cycle = now;
+    ev.core = me;
+    ev.kind = TraceEventKind::NetRecv;
+    ev.arg16 = from;
+    ev.arg8 = is_spawn ? 1 : 0;
+    ev.arg32 = static_cast<u32>(depth_after);
+    ev.arg64 = now - arrived;
+    trace_->emit(ev);
+}
+
 std::optional<u64>
 OperandNetwork::tryRecv(CoreId me, CoreId from, Cycle now)
 {
-    if (me >= recvQueues_.size())
+    if (me >= numCores())
         return std::nullopt;
-    auto &queue = recvQueues_[me];
-    // CAM search: the oldest message from the requested sender. FIFO per
-    // (sender, receiver) pair is preserved because we scan in order.
-    for (auto mit = queue.begin(); mit != queue.end(); ++mit) {
-        if (mit->from != from || mit->isSpawn)
-            continue;
-        if (mit->arrivesAt > now)
-            return std::nullopt; // in flight; keep FIFO order — stall
-        u64 value = mit->value;
-        const Cycle arrived = mit->arrivesAt;
-        queue.erase(mit);
-        stats_.add("net.receives");
-        if (trace_) {
-            TraceEvent ev;
-            ev.cycle = now;
-            ev.core = me;
-            ev.kind = TraceEventKind::NetRecv;
-            ev.arg16 = from;
-            ev.arg32 = static_cast<u32>(queue.size());
-            ev.arg64 = now - arrived;
-            trace_->emit(ev);
+    if (config_.legacyScanQueues) {
+        auto &queue = recvQueues_[me];
+        // CAM search: the oldest message from the requested sender. FIFO
+        // per (sender, receiver) pair is preserved because we scan in
+        // order.
+        for (auto mit = queue.begin(); mit != queue.end(); ++mit) {
+            if (mit->from != from || mit->isSpawn)
+                continue;
+            if (mit->arrivesAt > now)
+                return std::nullopt; // in flight; keep FIFO order — stall
+            u64 value = mit->value;
+            const Cycle arrived = mit->arrivesAt;
+            queue.erase(mit);
+            stats_.add("net.receives");
+            if (trace_)
+                traceRecv(me, from, false, now, arrived, queue.size());
+            return value;
         }
-        return value;
+        return std::nullopt;
     }
-    return std::nullopt;
+    // Indexed: the virtual link *is* the per-pair FIFO; its head is the
+    // oldest message from this sender, and an in-flight head stalls the
+    // receive exactly as the CAM scan does.
+    auto &link = dataLinks_[linkIdx(me, from)];
+    if (link.empty() || link.front().arrivesAt > now)
+        return std::nullopt;
+    const u64 value = link.front().value;
+    const Cycle arrived = link.front().arrivesAt;
+    link.pop_front();
+    const size_t depth = --totalQueued_[me];
+    stats_.add("net.receives");
+    if (trace_)
+        traceRecv(me, from, false, now, arrived, depth);
+    return value;
 }
 
 std::optional<u64>
 OperandNetwork::trySpawn(CoreId me, Cycle now)
 {
-    if (me >= recvQueues_.size())
+    if (me >= numCores())
         return std::nullopt;
-    auto &queue = recvQueues_[me];
-    for (auto mit = queue.begin(); mit != queue.end(); ++mit) {
-        if (!mit->isSpawn)
-            continue;
-        if (mit->arrivesAt > now)
-            return std::nullopt;
-        u64 value = mit->value;
-        const CoreId from = mit->from;
-        const Cycle arrived = mit->arrivesAt;
-        queue.erase(mit);
-        if (trace_) {
-            TraceEvent ev;
-            ev.cycle = now;
-            ev.core = me;
-            ev.kind = TraceEventKind::NetRecv;
-            ev.arg16 = from;
-            ev.arg8 = 1;
-            ev.arg32 = static_cast<u32>(queue.size());
-            ev.arg64 = now - arrived;
-            trace_->emit(ev);
+    if (config_.legacyScanQueues) {
+        auto &queue = recvQueues_[me];
+        for (auto mit = queue.begin(); mit != queue.end(); ++mit) {
+            if (!mit->isSpawn)
+                continue;
+            if (mit->arrivesAt > now)
+                return std::nullopt;
+            u64 value = mit->value;
+            const CoreId from = mit->from;
+            const Cycle arrived = mit->arrivesAt;
+            queue.erase(mit);
+            if (trace_)
+                traceRecv(me, from, true, now, arrived, queue.size());
+            return value;
         }
-        return value;
+        return std::nullopt;
     }
-    return std::nullopt;
+    // Indexed: spawns keep their own insertion-order queue, so the head
+    // is the oldest *enqueued* spawn across senders — the message the
+    // CAM scan would find first — and an in-flight head stalls the poll.
+    auto &queue = spawnQueues_[me];
+    if (queue.empty() || queue.front().arrivesAt > now)
+        return std::nullopt;
+    const u64 value = queue.front().value;
+    const CoreId from = queue.front().from;
+    const Cycle arrived = queue.front().arrivesAt;
+    queue.pop_front();
+    spawnInFlight_[linkIdx(me, from)]--;
+    const size_t depth = --totalQueued_[me];
+    if (trace_)
+        traceRecv(me, from, true, now, arrived, depth);
+    return value;
 }
 
 bool
 OperandNetwork::recvDue(CoreId me, CoreId from, Cycle now) const
 {
-    if (me >= recvQueues_.size())
+    if (me >= numCores())
         return false;
-    for (const Message &msg : recvQueues_[me]) {
-        if (msg.from != from || msg.isSpawn)
-            continue;
-        return msg.arrivesAt <= now;
+    if (config_.legacyScanQueues) {
+        for (const Message &msg : recvQueues_[me]) {
+            if (msg.from != from || msg.isSpawn)
+                continue;
+            return msg.arrivesAt <= now;
+        }
+        return false;
     }
-    return false;
+    const auto &link = dataLinks_[linkIdx(me, from)];
+    return !link.empty() && link.front().arrivesAt <= now;
 }
 
 bool
 OperandNetwork::spawnDue(CoreId me, Cycle now) const
 {
-    if (me >= recvQueues_.size())
+    if (me >= numCores())
         return false;
-    for (const Message &msg : recvQueues_[me]) {
-        if (!msg.isSpawn)
-            continue;
-        return msg.arrivesAt <= now;
+    if (config_.legacyScanQueues) {
+        for (const Message &msg : recvQueues_[me]) {
+            if (!msg.isSpawn)
+                continue;
+            return msg.arrivesAt <= now;
+        }
+        return false;
     }
-    return false;
+    const auto &queue = spawnQueues_[me];
+    return !queue.empty() && queue.front().arrivesAt <= now;
 }
 
 size_t
 OperandNetwork::queuedFor(CoreId me) const
 {
-    return me < recvQueues_.size() ? recvQueues_[me].size() : 0;
+    if (me >= numCores())
+        return 0;
+    if (config_.legacyScanQueues)
+        return recvQueues_[me].size();
+    return totalQueued_[me];
 }
 
 Cycle
 OperandNetwork::nextArrival(Cycle after) const
 {
     Cycle best = kNoArrival;
-    for (const auto &queue : recvQueues_)
+    auto scan = [&](const std::deque<Message> &queue) {
         for (const Message &msg : queue)
             if (msg.arrivesAt > after && msg.arrivesAt < best)
                 best = msg.arrivesAt;
+    };
+    if (config_.legacyScanQueues) {
+        for (const auto &queue : recvQueues_)
+            scan(queue);
+        return best;
+    }
+    // O(active messages): only buffered messages are visited; the empty
+    // links cost one size check each.
+    for (const auto &link : dataLinks_)
+        if (!link.empty())
+            scan(link);
+    for (const auto &queue : spawnQueues_)
+        if (!queue.empty())
+            scan(queue);
     return best;
 }
 
@@ -203,7 +291,7 @@ OperandNetwork::putDirect(CoreId core, Dir dir, u64 value, Cycle now)
 {
     panic_if_not(neighbor(core, dir) != kNoCore,
                  "PUT off the edge of the mesh");
-    links_[{core, static_cast<u8>(dir)}] = {value, now};
+    links_[core * 4 + static_cast<u8>(dir)] = {value, now};
     stats_.add("net.puts");
     if (trace_) {
         TraceEvent ev;
@@ -220,8 +308,9 @@ OperandNetwork::getDirect(CoreId me, Dir dir, Cycle now)
 {
     const CoreId from = neighbor(me, dir);
     panic_if_not(from != kNoCore, "GET off the edge of the mesh");
-    auto it = links_.find({from, static_cast<u8>(opposite(dir))});
-    panic_if_not(it != links_.end() && it->second.second == now,
+    const LinkLatch &latch =
+        links_[from * 4 + static_cast<u8>(opposite(dir))];
+    panic_if_not(latch.cycle == now,
                  "GET with no same-cycle PUT on the link (core ", me,
                  " dir ", dir_name(dir), " cycle ", now,
                  ") — coupled-mode schedule bug");
@@ -234,12 +323,18 @@ OperandNetwork::getDirect(CoreId me, Dir dir, Cycle now)
         ev.arg8 = static_cast<u8>(dir);
         trace_->emit(ev);
     }
-    return it->second.first;
+    return latch.value;
 }
 
 void
 OperandNetwork::broadcast(CoreId from, u64 value, Cycle now)
 {
+    // One shared wire: a second same-cycle BCAST would silently
+    // overwrite the first for every reader. The scheduler serialises
+    // broadcasts, so hitting this means a compiler bug.
+    panic_if_not(!bcast_ || bcast_->second != now || bcastFrom_ == from,
+                 "two BCASTs in one cycle (cores ", bcastFrom_, " and ",
+                 from, ", cycle ", now, ") — coupled-mode schedule bug");
     bcast_ = {value, now};
     bcastFrom_ = from;
     stats_.add("net.bcasts");

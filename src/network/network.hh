@@ -20,13 +20,22 @@
  *
  * SPAWN is a queue-mode message carrying a start address; idle cores poll
  * for it.
+ *
+ * **Scalable queue model.** The architectural CAM is *modelled* with
+ * per-(sender, receiver, class) indexed FIFOs — one virtual link per
+ * pair, in the spirit of Virtual-Link-style MPMC queues — so every
+ * queue-mode operation is O(1) instead of an O(messages-to-receiver)
+ * scan. Back-pressure, FIFO-per-pair, in-flight stalling, per-class
+ * slot reservation, and every observable counter/trace field are
+ * bit-identical to the historical scan model, which is kept behind
+ * NetworkConfig::legacyScanQueues as the reference for equivalence
+ * tests and the bench/mesh_scaling enforced bound.
  */
 
 #ifndef VOLTRON_NETWORK_NETWORK_HH_
 #define VOLTRON_NETWORK_NETWORK_HH_
 
 #include <deque>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -46,6 +55,15 @@ struct NetworkConfig
     u32 queueCapacity = 64; //!< per-receiver buffered messages
     u32 queueBaseLatency = 1; //!< send-queue write cost (cycles)
     u32 hopLatency = 1;       //!< per-hop cycles (both modes)
+
+    /**
+     * Use the pre-indexed O(messages) CAM-scan queue implementation.
+     * Timing, counters, histograms, and trace streams are bit-identical
+     * either way (tests assert it); this exists as the reference model
+     * for that comparison and as the baseline the mesh_scaling bench
+     * measures the indexed model against.
+     */
+    bool legacyScanQueues = false;
 };
 
 /** The operand network. */
@@ -155,14 +173,38 @@ class OperandNetwork
         bool isSpawn;
     };
 
+    /** Direct-mode link latch: kNoArrival marks "never driven". */
+    struct LinkLatch
+    {
+        u64 value = 0;
+        Cycle cycle = kNoArrival;
+    };
+
     NetworkConfig config_;
-    /** Receive queues, indexed by receiver (CAM searched). Sized up
-     * front so queue-mode traffic never reshapes the container — the
-     * parallel stepper reads recvDue/spawnDue concurrently with other
-     * cores' queues staying untouched. */
+
+    /**
+     * Indexed (default) queue model: one FIFO per virtual link. Data
+     * messages live in dataLinks_[to * numCores + from]; spawns keep a
+     * per-receiver insertion-order queue (trySpawn pops the oldest
+     * *enqueued* spawn across senders — the CAM scan order) with
+     * per-pair in-flight counts for O(1) back-pressure. totalQueued_
+     * mirrors the receiver's total buffered messages (both classes) for
+     * queuedFor, the queue-depth histogram, and the trace fields. All
+     * containers are sized up front so queue-mode traffic never
+     * reshapes them — the parallel stepper reads recvDue/spawnDue
+     * concurrently with other cores' links staying untouched.
+     */
+    std::vector<std::deque<Message>> dataLinks_;
+    std::vector<std::deque<Message>> spawnQueues_;
+    std::vector<u32> spawnInFlight_; //!< [to * numCores + from]
+    std::vector<u32> totalQueued_;   //!< [to]
+
+    /** Legacy scan model: receive queues indexed by receiver only,
+     * CAM-searched message by message (legacyScanQueues == true). */
     std::vector<std::deque<Message>> recvQueues_;
-    /** Direct-mode link latches: (core, dir) -> (value, cycle). */
-    std::map<std::pair<CoreId, u8>, std::pair<u64, Cycle>> links_;
+
+    /** Direct-mode link latches, indexed [core * 4 + dir]. */
+    std::vector<LinkLatch> links_;
     /** Broadcast latch: (value, cycle, from). */
     std::optional<std::pair<u64, Cycle>> bcast_;
     CoreId bcastFrom_ = kNoCore;
@@ -173,6 +215,13 @@ class OperandNetwork
 
     u16 rowOf(CoreId c) const { return static_cast<u16>(c / config_.cols); }
     u16 colOf(CoreId c) const { return static_cast<u16>(c % config_.cols); }
+    size_t linkIdx(CoreId to, CoreId from) const
+    {
+        return static_cast<size_t>(to) * numCores() + from;
+    }
+
+    void traceRecv(CoreId me, CoreId from, bool is_spawn, Cycle now,
+                   Cycle arrived, size_t depth_after);
 };
 
 } // namespace voltron

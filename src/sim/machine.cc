@@ -43,17 +43,23 @@ exec_mode_name(ExecMode mode)
 MachineConfig
 MachineConfig::forCores(u16 cores)
 {
+    fatal_if_not(cores >= 1 && cores <= kMaxCores,
+                 "unsupported core count ", cores, " (use 1..", kMaxCores,
+                 ")");
+    const MeshShape shape = default_mesh_shape(cores);
+    return forMesh(shape.rows, shape.cols);
+}
+
+MachineConfig
+MachineConfig::forMesh(u16 rows, u16 cols)
+{
+    fatal_if_not(rows >= 1 && cols >= 1, "empty mesh");
+    fatal_if_not(rows * cols <= kMaxCores, "mesh ", rows, "x", cols,
+                 " exceeds ", kMaxCores, " cores");
     MachineConfig config;
-    config.numCores = cores;
-    switch (cores) {
-      case 1: config.net.rows = 1; config.net.cols = 1; break;
-      case 2: config.net.rows = 1; config.net.cols = 2; break;
-      case 4: config.net.rows = 2; config.net.cols = 2; break;
-      case 8: config.net.rows = 4; config.net.cols = 2; break;
-      case 16: config.net.rows = 8; config.net.cols = 2; break;
-      default:
-        fatal("unsupported core count ", cores, " (use 1, 2, 4, 8 or 16)");
-    }
+    config.numCores = static_cast<u16>(rows * cols);
+    config.net.rows = rows;
+    config.net.cols = cols;
     return config;
 }
 
@@ -67,6 +73,16 @@ Machine::Machine(const MachineProgram &prog, const MachineConfig &config)
     fatal_if_not(config.numCores ==
                      config.net.rows * config.net.cols,
                  "mesh shape does not match core count");
+    // Coupled-mode PUT/GET hop chains are routed at compile time against
+    // the target geometry, so a program compiled for one mesh must not
+    // run on another. Hand-built programs (tests) that never recorded a
+    // shape skip the check.
+    fatal_if_not(prog.meshRows == 0 ||
+                     (prog.meshRows == config.net.rows &&
+                      prog.meshCols == config.net.cols),
+                 "program compiled for a ", prog.meshRows, "x",
+                 prog.meshCols, " mesh but machine is ", config.net.rows,
+                 "x", config.net.cols);
 
     mem_.loadProgram(prog.original);
     layoutCode();

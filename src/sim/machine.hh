@@ -85,8 +85,12 @@ struct MachineConfig
      */
     u16 stepperThreads = 0;
 
-    /** Mesh shape for a core count (1x1, 2x1, 2x2, 4x2, 8x2). */
+    /** Machine with the default mesh shape for @p cores (any count in
+     * [1, kMaxCores]; see default_mesh_shape for the fold). */
     static MachineConfig forCores(u16 cores);
+
+    /** Machine with an explicit @p rows x @p cols mesh. */
+    static MachineConfig forMesh(u16 rows, u16 cols);
 };
 
 /** Result of a completed machine run. */

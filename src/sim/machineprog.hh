@@ -65,6 +65,13 @@ struct MachineProgram
     std::string name;
     u16 numCores = 1;
 
+    /** Mesh geometry the coupled-mode hop chains were routed against
+     * (rows * cols == numCores). 0 means "not recorded" — hand-built
+     * test programs — and skips the machine's shape-compatibility
+     * check. */
+    u16 meshRows = 0;
+    u16 meshCols = 0;
+
     /** The original sequential program (data segment + golden source). */
     Program original;
 

@@ -33,6 +33,8 @@ serialize(ByteWriter &w, const MachineProgram &mp)
 {
     w.str(mp.name);
     w.u16v(mp.numCores);
+    w.u16v(mp.meshRows);
+    w.u16v(mp.meshCols);
     serialize(w, mp.original);
     w.u64v(mp.perCore.size());
     for (const Program &core : mp.perCore)
@@ -47,6 +49,8 @@ deserialize(ByteReader &r, MachineProgram &mp)
 {
     mp.name = r.str();
     mp.numCores = r.u16v();
+    mp.meshRows = r.u16v();
+    mp.meshCols = r.u16v();
     if (!deserialize(r, mp.original))
         return false;
     const u64 num_cores = r.count(/*min program size*/ 24);

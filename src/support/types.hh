@@ -50,6 +50,49 @@ using RegionId = u32;
 /** Sentinel for "no region". */
 inline constexpr RegionId kNoRegion = std::numeric_limits<RegionId>::max();
 
+/** Largest core count any mesh may carry. */
+inline constexpr u16 kMaxCores = 64;
+
+/** A 2-D mesh geometry (cores are numbered row-major). */
+struct MeshShape
+{
+    u16 rows = 1;
+    u16 cols = 1;
+
+    u16 cores() const { return static_cast<u16>(rows * cols); }
+    bool operator==(const MeshShape &o) const
+    {
+        return rows == o.rows && cols == o.cols;
+    }
+    bool operator!=(const MeshShape &o) const { return !(*this == o); }
+};
+
+/**
+ * The default mesh for a core count. The historical shapes (1x1, 1x2,
+ * 2x2, 4x2, 8x2) are pinned so existing configs stay bit-identical;
+ * other counts fold as close to square as their divisors allow, with
+ * rows >= cols (tall meshes, matching the 4x2/8x2 convention). Every
+ * count in [1, kMaxCores] has a shape — primes degrade to an Nx1
+ * column.
+ */
+inline MeshShape
+default_mesh_shape(u16 cores)
+{
+    switch (cores) {
+      case 1: return {1, 1};
+      case 2: return {1, 2};
+      case 4: return {2, 2};
+      case 8: return {4, 2};
+      case 16: return {8, 2};
+      default: break;
+    }
+    u16 cols = 1;
+    for (u16 c = 2; c * c <= cores; ++c)
+        if (cores % c == 0)
+            cols = c;
+    return {static_cast<u16>(cores / cols), cols};
+}
+
 } // namespace voltron
 
 #endif // VOLTRON_SUPPORT_TYPES_HH_

@@ -566,7 +566,14 @@ TEST(Compile, RejectsUnsupportedCoreCounts)
     Program prog = loop_glue_program();
     GoldenRun run = run_golden(prog);
     CompileOptions opts;
-    opts.numCores = 3;
+    opts.numCores = kMaxCores + 1;
+    EXPECT_THROW(compile_program(prog, run.profile, opts), FatalError);
+    opts.numCores = 0;
+    EXPECT_THROW(compile_program(prog, run.profile, opts), FatalError);
+    // A mesh that does not hold numCores is rejected up front.
+    opts.numCores = 4;
+    opts.meshRows = 2;
+    opts.meshCols = 3;
     EXPECT_THROW(compile_program(prog, run.profile, opts), FatalError);
 }
 

@@ -1,0 +1,253 @@
+/** @file Geometry-aware codegen and scalable-network acceptance tests.
+ *
+ * Two contracts from the mesh-scaling work:
+ *
+ *  1. **Bit-identity of the indexed queue model.** The Virtual-Link
+ *     style indexed FIFOs must reproduce the legacy CAM-scan model's
+ *     MachineResult and trace stream exactly, event for event, across
+ *     real compiled workloads (the unit-level randomized face lives in
+ *     test_network.cc).
+ *
+ *  2. **Geometry-correct codegen.** A program compiled for an explicit
+ *     mesh shape routes its coupled-mode hop chains against that shape
+ *     and still reproduces the golden model; a shape-bound program
+ *     refuses to run on a machine with different geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/compile.hh"
+#include "core/voltron.hh"
+#include "workloads/suite.hh"
+
+namespace voltron {
+namespace {
+
+SuiteScale
+test_scale()
+{
+    SuiteScale scale;
+    scale.targetOps = 20'000;
+    return scale;
+}
+
+void
+expect_identical(const MachineResult &a, const MachineResult &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.exitValue, b.exitValue) << what;
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.dynamicOps, b.dynamicOps) << what;
+    EXPECT_EQ(a.coupledCycles, b.coupledCycles) << what;
+    EXPECT_EQ(a.decoupledCycles, b.decoupledCycles) << what;
+    EXPECT_EQ(a.regionCycles, b.regionCycles) << what;
+    ASSERT_EQ(a.issued.size(), b.issued.size()) << what;
+    for (CoreId c = 0; c < a.issued.size(); ++c) {
+        EXPECT_EQ(a.issued[c], b.issued[c]) << what << " core " << c;
+        EXPECT_EQ(a.idleCycles[c], b.idleCycles[c])
+            << what << " core " << c;
+        for (size_t cat = 0;
+             cat < static_cast<size_t>(StallCat::NumCats); ++cat) {
+            EXPECT_EQ(a.stalls[c][cat], b.stalls[c][cat])
+                << what << " core " << c << " stall "
+                << stall_cat_name(static_cast<StallCat>(cat));
+        }
+    }
+}
+
+/** Run @p mp under both queue models (same config otherwise, shaped by
+ * @p mutate) and require identical results, memory, and trace events. */
+template <typename Mutate>
+void
+check_models_identical(const MachineProgram &mp, const MachineConfig &base,
+                       const std::string &what, Mutate mutate)
+{
+    RingBufferTraceSink idx_ring;
+    MachineConfig idx_config = base;
+    mutate(idx_config);
+    idx_config.net.legacyScanQueues = false;
+    idx_config.traceSink = &idx_ring;
+    Machine idx_machine(mp, idx_config);
+    const MachineResult idx = idx_machine.run();
+
+    RingBufferTraceSink leg_ring;
+    MachineConfig leg_config = base;
+    mutate(leg_config);
+    leg_config.net.legacyScanQueues = true;
+    leg_config.traceSink = &leg_ring;
+    Machine leg_machine(mp, leg_config);
+    const MachineResult leg = leg_machine.run();
+
+    expect_identical(idx, leg, what);
+    for (const DataObject &obj : mp.original.data) {
+        for (u64 off = 0; off < obj.size; off += 8) {
+            ASSERT_EQ(idx_machine.memory().read(obj.base + off, 8),
+                      leg_machine.memory().read(obj.base + off, 8))
+                << what << " @" << obj.base + off;
+        }
+    }
+
+    const std::vector<TraceEvent> idx_events = idx_ring.events();
+    const std::vector<TraceEvent> leg_events = leg_ring.events();
+    ASSERT_EQ(idx_events.size(), leg_events.size()) << what;
+    EXPECT_EQ(idx_ring.dropped(), leg_ring.dropped()) << what;
+    for (size_t i = 0; i < idx_events.size(); ++i)
+        ASSERT_TRUE(idx_events[i] == leg_events[i])
+            << what << " event " << i;
+
+    // The network's own observables agree too.
+    const OperandNetwork &in = idx_machine.network();
+    const OperandNetwork &ln = leg_machine.network();
+    EXPECT_EQ(in.stats().get("net.messages"),
+              ln.stats().get("net.messages"))
+        << what;
+    EXPECT_EQ(in.stats().get("net.receives"),
+              ln.stats().get("net.receives"))
+        << what;
+    EXPECT_EQ(in.hopLatency().count(), ln.hopLatency().count()) << what;
+    EXPECT_EQ(in.hopLatency().sum(), ln.hopLatency().sum()) << what;
+    EXPECT_EQ(in.queueDepth().count(), ln.queueDepth().count()) << what;
+    EXPECT_EQ(in.queueDepth().sum(), ln.queueDepth().sum()) << what;
+    EXPECT_EQ(in.queueDepth().max(), ln.queueDepth().max()) << what;
+}
+
+TEST(MeshBitIdentity, IndexedMatchesLegacyAcrossSuiteAndModes)
+{
+    static const char *const kBenches[] = {"164.gzip", "197.parser",
+                                           "052.alvinn"};
+    static const Strategy kStrategies[] = {
+        Strategy::IlpOnly, Strategy::TlpOnly, Strategy::LlpOnly,
+        Strategy::Hybrid};
+    for (const char *bench : kBenches) {
+        VoltronSystem sys(build_benchmark(bench, test_scale()));
+        for (Strategy strategy : kStrategies) {
+            CompileOptions opts;
+            opts.strategy = strategy;
+            opts.numCores = 4;
+            opts.minOpsPerActivation = 1;
+            const MachineProgram &mp = sys.compile(opts);
+            const std::string what = std::string(bench) + "/" +
+                                     strategy_name(strategy) + "/c4";
+            check_models_identical(mp, MachineConfig::forCores(4), what,
+                                   [](MachineConfig &) {});
+        }
+    }
+}
+
+TEST(MeshBitIdentity, IndexedMatchesLegacyOnAdversarialNetworks)
+{
+    VoltronSystem sys(build_benchmark("197.parser", test_scale()));
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 4;
+    const MachineProgram &mp = sys.compile(opts);
+    check_models_identical(mp, MachineConfig::forCores(4), "qcap1",
+                           [](MachineConfig &config) {
+                               config.net.queueCapacity = 1;
+                           });
+    check_models_identical(mp, MachineConfig::forCores(4), "slownet",
+                           [](MachineConfig &config) {
+                               config.net.queueCapacity = 2;
+                               config.net.queueBaseLatency = 3;
+                               config.net.hopLatency = 3;
+                           });
+}
+
+TEST(MeshBitIdentity, IndexedMatchesLegacyOn16CoreMesh)
+{
+    VoltronSystem sys(build_benchmark("164.gzip", test_scale()));
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 16;
+    opts.minOpsPerActivation = 1;
+    const MachineProgram &mp = sys.compile(opts);
+    check_models_identical(mp, MachineConfig::forCores(16), "hybrid/c16",
+                           [](MachineConfig &) {});
+}
+
+/** Every suite benchmark, compiled for non-default shapes, still
+ * reproduces the golden interpreter run — hop chains route correctly
+ * on wide, flat, and square geometries. */
+TEST(MeshCodegen, ExplicitShapesReproduceGoldenAcrossSuite)
+{
+    struct Shape
+    {
+        u16 rows, cols;
+    };
+    static const Shape kShapes[] = {{2, 4}, {1, 8}, {4, 4}};
+    for (const std::string &bench : benchmark_names()) {
+        VoltronSystem sys(build_benchmark(bench, test_scale()));
+        for (const Shape &shape : kShapes) {
+            CompileOptions opts;
+            opts.strategy = Strategy::Hybrid;
+            opts.numCores = static_cast<u16>(shape.rows * shape.cols);
+            opts.meshRows = shape.rows;
+            opts.meshCols = shape.cols;
+            opts.minOpsPerActivation = 1;
+            const RunOutcome outcome = sys.run(opts);
+            EXPECT_TRUE(outcome.exitMatches)
+                << bench << " " << shape.rows << "x" << shape.cols;
+            EXPECT_TRUE(outcome.memoryMatches)
+                << bench << " " << shape.rows << "x" << shape.cols;
+        }
+    }
+}
+
+/** Coupled-mode ILP at 8+ cores regression: wide schedules used to
+ * place two BCASTs in the same cycle, so half the broadcast GETs read
+ * the other transfer's value off the single wire — a silent wrong
+ * result (early loop exits via a corrupted exit predicate). The
+ * scheduler now serialises broadcasts and the network panics on a
+ * same-cycle collision; these runs diverged before that fix. */
+TEST(MeshCodegen, CoupledIlpReproducesGoldenAtScale)
+{
+    static const char *const kBenches[] = {"164.gzip", "197.parser",
+                                           "179.art"};
+    for (const char *bench : kBenches) {
+        VoltronSystem sys(build_benchmark(bench, test_scale()));
+        for (u16 cores : {8, 16}) {
+            CompileOptions opts;
+            opts.strategy = Strategy::IlpOnly;
+            opts.numCores = cores;
+            opts.minOpsPerActivation = 1;
+            const RunOutcome outcome = sys.run(opts);
+            EXPECT_TRUE(outcome.exitMatches) << bench << " c" << cores;
+            EXPECT_TRUE(outcome.memoryMatches) << bench << " c" << cores;
+        }
+    }
+}
+
+TEST(MeshCodegen, LargestMachineReproducesGolden)
+{
+    VoltronSystem sys(build_benchmark("164.gzip", test_scale()));
+    CompileOptions opts;
+    opts.strategy = Strategy::Hybrid;
+    opts.numCores = 64;
+    opts.minOpsPerActivation = 1;
+    const RunOutcome outcome = sys.run(opts);
+    EXPECT_TRUE(outcome.exitMatches);
+    EXPECT_TRUE(outcome.memoryMatches);
+}
+
+/** A shape-bound program (coupled hop chains routed for 2x4) must not
+ * run on an 8-core machine with different geometry, while the same
+ * options on the matching mesh run fine. */
+TEST(MeshCodegen, ShapeBoundProgramRejectsMismatchedMachine)
+{
+    VoltronSystem sys(build_benchmark("164.gzip", test_scale()));
+    CompileOptions opts;
+    opts.strategy = Strategy::IlpOnly; // coupled: geometry-routed
+    opts.numCores = 8;
+    opts.meshRows = 2;
+    opts.meshCols = 4;
+    opts.minOpsPerActivation = 1;
+    const MachineProgram &mp = sys.compile(opts);
+    ASSERT_EQ(mp.meshRows, 2);
+    ASSERT_EQ(mp.meshCols, 4);
+    EXPECT_NO_THROW(Machine(mp, MachineConfig::forMesh(2, 4)));
+    EXPECT_THROW(Machine(mp, MachineConfig::forMesh(1, 8)), FatalError);
+    EXPECT_THROW(Machine(mp, MachineConfig::forMesh(4, 2)), FatalError);
+}
+
+} // namespace
+} // namespace voltron

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <utility>
+
 #include "network/network.hh"
 
 namespace voltron {
@@ -162,6 +165,19 @@ TEST(Network, BroadcastReachesEveryOtherCore)
     EXPECT_THROW(net.getBroadcast(2, 4), PanicError);
     // Next cycle it is gone.
     EXPECT_THROW(net.getBroadcast(0, 5), PanicError);
+}
+
+TEST(Network, SameCycleBroadcastCollisionPanics)
+{
+    // One shared wire: a second BCAST in the same cycle from a
+    // different core would silently overwrite the first, so the
+    // network treats it as a compiler scheduling bug.
+    OperandNetwork net(mesh2x2());
+    net.broadcast(0, 0x111, 7);
+    EXPECT_THROW(net.broadcast(1, 0x222, 7), PanicError);
+    // A different cycle is fine.
+    net.broadcast(1, 0x222, 8);
+    EXPECT_EQ(net.getBroadcast(0, 8), 0x222u);
 }
 
 TEST(Network, SpawnDoesNotConsumeDataSlotAtCapacityOne)
@@ -332,6 +348,204 @@ TEST(Network, StatsCountTraffic)
     EXPECT_EQ(net.stats().get("net.puts"), 1u);
     EXPECT_EQ(net.stats().get("net.gets"), 1u);
     EXPECT_EQ(net.stats().get("net.bcasts"), 1u);
+}
+
+NetworkConfig
+mesh(u16 rows, u16 cols)
+{
+    NetworkConfig config;
+    config.rows = rows;
+    config.cols = cols;
+    return config;
+}
+
+TEST(Network, LargeMeshHopCounts)
+{
+    // 4x4: corner to corner is 3 + 3 hops; XY distance is symmetric.
+    OperandNetwork m4x4(mesh(4, 4));
+    EXPECT_EQ(m4x4.numCores(), 16);
+    EXPECT_EQ(m4x4.hops(0, 15), 6u);
+    EXPECT_EQ(m4x4.hops(15, 0), 6u);
+    EXPECT_EQ(m4x4.hops(0, 5), 2u);  // one east, one south
+    EXPECT_EQ(m4x4.hops(3, 12), 6u); // opposite corners
+
+    // 2x8: the wide fold stretches the row distance.
+    OperandNetwork m2x8(mesh(2, 8));
+    EXPECT_EQ(m2x8.numCores(), 16);
+    EXPECT_EQ(m2x8.hops(0, 15), 8u); // 7 cols + 1 row
+    EXPECT_EQ(m2x8.hops(7, 8), 8u);  // row end to next row start
+
+    // 8x8: the largest supported machine.
+    OperandNetwork m8x8(mesh(8, 8));
+    EXPECT_EQ(m8x8.numCores(), 64);
+    EXPECT_EQ(m8x8.hops(0, 63), 14u);
+    EXPECT_EQ(m8x8.hops(63, 0), 14u);
+    EXPECT_EQ(m8x8.hops(0, 8), 1u); // straight south
+}
+
+TEST(Network, XyRoutingSymmetryAcrossShapes)
+{
+    // hops(a, b) == hops(b, a) for every pair on every shape — XY
+    // routing turns the corner in one direction but the Manhattan
+    // distance cannot depend on it.
+    for (const auto &[rows, cols] :
+         {std::pair<u16, u16>{4, 4}, {2, 8}, {8, 8}, {3, 5}}) {
+        OperandNetwork net(mesh(rows, cols));
+        const u16 n = net.numCores();
+        for (CoreId a = 0; a < n; ++a)
+            for (CoreId b = 0; b < n; ++b)
+                EXPECT_EQ(net.hops(a, b), net.hops(b, a))
+                    << rows << "x" << cols << " cores " << int(a) << ","
+                    << int(b);
+    }
+}
+
+TEST(Network, LargeMeshHopLatencyAccounting)
+{
+    // Queue latency = base + hops * hopLatency on a 4x4 mesh with
+    // non-default timing: 0 -> 15 is 6 hops, base 2, hop 3 -> send at
+    // 100 arrives at 100 + 2 + 18 = 120.
+    NetworkConfig config = mesh(4, 4);
+    config.queueBaseLatency = 2;
+    config.hopLatency = 3;
+    OperandNetwork net(config);
+    net.send(0, 15, 1234, 100);
+    EXPECT_FALSE(net.tryRecv(15, 0, 119).has_value());
+    auto v = net.tryRecv(15, 0, 120);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 1234u);
+    // The latency histogram recorded exactly send-to-arrival.
+    EXPECT_EQ(net.hopLatency().count(), 1u);
+    EXPECT_EQ(net.hopLatency().max(), 20u);
+}
+
+TEST(Network, EdgePanicsOnNonSquareMesh)
+{
+    // 2x8: north edge spans 8 cores, west edge only 2.
+    OperandNetwork net(mesh(2, 8));
+    EXPECT_THROW(net.putDirect(3, Dir::North, 1, 0), PanicError);
+    EXPECT_THROW(net.putDirect(8, Dir::West, 1, 0), PanicError);
+    EXPECT_THROW(net.putDirect(15, Dir::East, 1, 0), PanicError);
+    net.putDirect(0, Dir::South, 5, 7);
+    EXPECT_EQ(net.getDirect(8, Dir::North, 7), 5u);
+}
+
+TEST(Network, CapacityOneWedgeRegressionOn16CoreMesh)
+{
+    // The PR-4 wedge scenario replayed on a 16-core mesh: an in-flight
+    // SPAWN must not consume the single data slot of any pair, on any
+    // shape that holds 16 cores.
+    for (const auto &[rows, cols] :
+         {std::pair<u16, u16>{4, 4}, {2, 8}, {8, 2}}) {
+        NetworkConfig config = mesh(rows, cols);
+        config.queueCapacity = 1;
+        OperandNetwork net(config);
+        const CoreId far = static_cast<CoreId>(net.numCores() - 1);
+        net.send(0, far, 0xcafe, 0, /*is_spawn=*/true);
+        EXPECT_FALSE(net.sendWouldStall(0, far));
+        net.send(0, far, 42, 0);
+        EXPECT_TRUE(net.sendWouldStall(0, far));
+        EXPECT_TRUE(net.sendWouldStall(0, far, /*is_spawn=*/true));
+        // Other pairs to the same receiver are independent.
+        EXPECT_FALSE(net.sendWouldStall(5, far));
+        EXPECT_EQ(*net.tryRecv(far, 0, 1000), 42u);
+        EXPECT_FALSE(net.sendWouldStall(0, far));
+        EXPECT_EQ(*net.trySpawn(far, 1000), 0xcafeu);
+        EXPECT_FALSE(net.sendWouldStall(0, far, /*is_spawn=*/true));
+    }
+}
+
+/**
+ * Drive the indexed model and the legacy CAM-scan model with the same
+ * randomized queue-mode workload and require bit-identical observable
+ * behaviour at every step: operation results, due-ness, queue depths,
+ * nextArrival, counters, and both histograms. This is the unit-level
+ * face of the bit-identity contract (the machine-level face is the
+ * fuzz sweep diffing both models against the golden run).
+ */
+TEST(Network, IndexedModelMatchesLegacyScanExactly)
+{
+    for (const auto &[rows, cols] :
+         {std::pair<u16, u16>{2, 2}, {1, 4}, {4, 4}, {2, 8}}) {
+        NetworkConfig base = mesh(rows, cols);
+        base.queueCapacity = 2; // tight: exercise back-pressure often
+        NetworkConfig legacy = base;
+        legacy.legacyScanQueues = true;
+        OperandNetwork a(base);
+        OperandNetwork b(legacy);
+        const u16 n = a.numCores();
+
+        std::mt19937_64 rng(0x5ca1ab1eULL + rows * 100 + cols);
+        std::uniform_int_distribution<u32> core(0, n - 1);
+        std::uniform_int_distribution<u32> op(0, 5);
+        for (Cycle now = 0; now < 2000; ++now) {
+            for (int k = 0; k < 4; ++k) {
+                const CoreId from = static_cast<CoreId>(core(rng));
+                const CoreId to = static_cast<CoreId>(core(rng));
+                if (from == to)
+                    continue;
+                switch (op(rng)) {
+                  case 0: case 1: {
+                    const bool spawn = (op(rng) == 0);
+                    const bool sa = a.sendWouldStall(from, to, spawn);
+                    const bool sb = b.sendWouldStall(from, to, spawn);
+                    ASSERT_EQ(sa, sb);
+                    if (!sa) {
+                        a.send(from, to, now * 16 + k, now, spawn);
+                        b.send(from, to, now * 16 + k, now, spawn);
+                    }
+                    break;
+                  }
+                  case 2: {
+                    ASSERT_EQ(a.recvDue(to, from, now),
+                              b.recvDue(to, from, now));
+                    auto va = a.tryRecv(to, from, now);
+                    auto vb = b.tryRecv(to, from, now);
+                    ASSERT_EQ(va, vb);
+                    break;
+                  }
+                  case 3: {
+                    ASSERT_EQ(a.spawnDue(to, now), b.spawnDue(to, now));
+                    auto va = a.trySpawn(to, now);
+                    auto vb = b.trySpawn(to, now);
+                    ASSERT_EQ(va, vb);
+                    break;
+                  }
+                  case 4:
+                    ASSERT_EQ(a.queuedFor(to), b.queuedFor(to));
+                    break;
+                  case 5:
+                    ASSERT_EQ(a.nextArrival(now), b.nextArrival(now));
+                    break;
+                }
+            }
+        }
+        // Drain everything still queued and compare the totals.
+        for (CoreId me = 0; me < n; ++me) {
+            for (Cycle now = 2000; now < 2100; ++now) {
+                for (CoreId from = 0; from < n; ++from) {
+                    if (from == me)
+                        continue;
+                    auto va = a.tryRecv(me, from, now);
+                    auto vb = b.tryRecv(me, from, now);
+                    ASSERT_EQ(va, vb);
+                }
+                auto sa = a.trySpawn(me, now);
+                auto sb = b.trySpawn(me, now);
+                ASSERT_EQ(sa, sb);
+            }
+            ASSERT_EQ(a.queuedFor(me), b.queuedFor(me));
+        }
+        EXPECT_EQ(a.stats().get("net.messages"),
+                  b.stats().get("net.messages"));
+        EXPECT_EQ(a.stats().get("net.receives"),
+                  b.stats().get("net.receives"));
+        EXPECT_EQ(a.hopLatency().count(), b.hopLatency().count());
+        EXPECT_EQ(a.hopLatency().sum(), b.hopLatency().sum());
+        EXPECT_EQ(a.queueDepth().count(), b.queueDepth().count());
+        EXPECT_EQ(a.queueDepth().sum(), b.queueDepth().sum());
+        EXPECT_EQ(a.queueDepth().max(), b.queueDepth().max());
+    }
 }
 
 } // namespace

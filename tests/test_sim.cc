@@ -63,8 +63,21 @@ TEST(MachineConfigTest, MeshShapes)
     EXPECT_EQ(MachineConfig::forCores(8).net.rows, 4);
     EXPECT_EQ(MachineConfig::forCores(8).net.cols, 2);
     EXPECT_EQ(MachineConfig::forCores(16).net.rows, 8);
-    EXPECT_THROW(MachineConfig::forCores(3), FatalError);
-    EXPECT_THROW(MachineConfig::forCores(32), FatalError);
+    // Non-power-of-two and large counts take the generic default shape:
+    // closest-to-square with rows >= cols, primes degenerate to a row.
+    EXPECT_EQ(MachineConfig::forCores(3).net.rows, 3);
+    EXPECT_EQ(MachineConfig::forCores(3).net.cols, 1);
+    EXPECT_EQ(MachineConfig::forCores(32).net.rows, 8);
+    EXPECT_EQ(MachineConfig::forCores(32).net.cols, 4);
+    EXPECT_EQ(MachineConfig::forCores(64).net.rows, 8);
+    EXPECT_EQ(MachineConfig::forCores(64).net.cols, 8);
+    EXPECT_THROW(MachineConfig::forCores(0), FatalError);
+    EXPECT_THROW(MachineConfig::forCores(kMaxCores + 1), FatalError);
+    // Explicit geometry: any rows x cols factorization up to kMaxCores.
+    EXPECT_EQ(MachineConfig::forMesh(2, 8).numCores, 16);
+    EXPECT_EQ(MachineConfig::forMesh(1, 64).net.cols, 64);
+    EXPECT_THROW(MachineConfig::forMesh(0, 4), FatalError);
+    EXPECT_THROW(MachineConfig::forMesh(9, 8), FatalError);
 }
 
 TEST(MachineTest, CoreCountMismatchIsFatal)

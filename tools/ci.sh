@@ -105,6 +105,15 @@ fi
 echo "threaded fuzz smoke clean: 25 programs bit-identical on the" \
      "parallel stepper"
 
+echo "== mesh-scaling smoke =="
+# Quick per-mode scaling sweep at {4,16} cores across mesh shapes. The
+# bench itself fails on any divergence from the golden model and when
+# the indexed queue model underruns the legacy scan's throughput; the
+# strict validator then checks the emitted record is well-formed JSON.
+./build/bench/mesh_scaling --quick "$SMOKE_DIR/BENCH_mesh_scaling.json"
+./build/tools/voltron-trace checkjson "$SMOKE_DIR/BENCH_mesh_scaling.json"
+echo "mesh-scaling smoke clean: quick sweep correct, JSON validates"
+
 echo "== tsan smoke =="
 TSAN_PROBE="$SMOKE_DIR/tsan-probe"
 if echo 'int main(){return 0;}' > "$TSAN_PROBE.cc" &&
