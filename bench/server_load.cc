@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Closed-loop load replay against a live voltron-served instance.
+ *
+ * Boots the daemon in-process on a throwaway socket with a deliberately
+ * tight disk budget, then drives it with a fleet of client threads,
+ * each a closed loop (next request only after the previous response):
+ *
+ *   phase 1 (cold)  — every distinct request key once; all misses,
+ *                     every response says "source":"cold";
+ *   phase 2 (warm)  — thousands of requests, mostly replays of the hot
+ *                     pool (response-cache hits) with a trickle of
+ *                     never-seen seeds so the cold path stays exercised
+ *                     and the disk tier keeps churning under budget.
+ *
+ * Records per-request latency tagged by the response's actual source,
+ * and writes BENCH_server.json with percentiles, dedup/hit-rate stats,
+ * and the cache eviction counters. Exit status enforces the regression
+ * gates: >= 90% warm hit rate, >= 5x cold-vs-warm median latency, disk
+ * tier never observed over budget, and evictions > 0 (the budget
+ * actually bit).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_cache.hh"
+#include "server/client.hh"
+#include "server/json.hh"
+#include "server/server.hh"
+#include "workloads/suite.hh"
+
+using namespace voltron;
+
+namespace {
+
+constexpr size_t kClients = 4;
+constexpr size_t kHotPool = 24;       // distinct hot request keys
+constexpr size_t kWarmRequests = 2000;
+constexpr size_t kColdTrickle = 20;   // every Nth warm request is new
+// Tight enough that the suite's artifact set (several MB) churns the
+// evictor constantly, but comfortably above the largest single machine
+// artifact (~320 KB) — an entry bigger than the whole budget would make
+// the bound unsatisfiable by construction.
+constexpr u64 kDiskBudget = 1'048'576;
+
+struct Sample
+{
+    u64 us;
+    bool warmPhase;
+    std::string source; // cold | cached | follower
+};
+
+std::string
+run_line(const std::string &benchmark, u64 target_ops)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("op", "run");
+    w.field("benchmark", benchmark);
+    if (target_ops != 0)
+        w.field("targetOps", target_ops);
+    w.key("options");
+    w.beginObject();
+    w.field("cores", 4);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+u64
+percentile(std::vector<u64> sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const size_t idx = static_cast<size_t>(
+        p * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+u64
+disk_bytes(const std::string &dir)
+{
+    u64 total = 0;
+    for_each_cache_file(dir, [&](const std::filesystem::path &p) {
+        std::error_code ec;
+        const u64 size = std::filesystem::file_size(p, ec);
+        if (!ec)
+            total += size;
+    });
+    return total;
+}
+
+struct LatencyStats
+{
+    u64 count = 0;
+    u64 p50 = 0;
+    u64 p90 = 0;
+    u64 p99 = 0;
+    double meanUs = 0.0;
+};
+
+LatencyStats
+summarize(std::vector<u64> lat)
+{
+    LatencyStats s;
+    s.count = lat.size();
+    if (lat.empty())
+        return s;
+    std::sort(lat.begin(), lat.end());
+    s.p50 = percentile(lat, 0.50);
+    s.p90 = percentile(lat, 0.90);
+    s.p99 = percentile(lat, 0.99);
+    double sum = 0;
+    for (u64 v : lat)
+        sum += static_cast<double>(v);
+    s.meanUs = sum / static_cast<double>(lat.size());
+    return s;
+}
+
+void
+write_latency(JsonWriter &w, const std::string &key, const LatencyStats &s)
+{
+    w.key(key);
+    w.beginObject();
+    w.field("count", s.count);
+    w.field("p50Us", s.p50);
+    w.field("p90Us", s.p90);
+    w.field("p99Us", s.p99);
+    w.field("meanUs", s.meanUs);
+    w.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "BENCH_server.json";
+
+    const std::filesystem::path cache_dir =
+        std::filesystem::temp_directory_path() /
+        ("vserver-bench-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(cache_dir);
+    ArtifactCache::instance().setDiskDir(cache_dir.string());
+    ArtifactCache::instance().resetStats();
+
+    ServerConfig config;
+    config.socketPath = (cache_dir / "bench.sock").string();
+    config.workers = 2;
+    config.cacheMaxBytes = kDiskBudget;
+    config.evictIntervalMs = 200;
+    Server server(config);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "server_load: %s\n", err.c_str());
+        return 1;
+    }
+
+    std::mutex samplesMutex;
+    std::vector<Sample> samples;
+    std::atomic<u64> overBudgetObservations{0};
+    std::atomic<u64> maxDiskObserved{0};
+    std::atomic<u64> failures{0};
+
+    auto drive = [&](const std::vector<std::string> &lines, bool warm) {
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> live{kClients};
+        std::vector<std::thread> clients;
+        for (size_t c = 0; c < kClients; ++c) {
+            clients.emplace_back([&] {
+                struct Depart
+                {
+                    std::atomic<size_t> &live;
+                    ~Depart() { --live; }
+                } depart{live};
+                Client client;
+                std::string cerr2;
+                if (!client.connect(config.socketPath, &cerr2)) {
+                    ++failures;
+                    return;
+                }
+                for (size_t i = next.fetch_add(1); i < lines.size();
+                     i = next.fetch_add(1)) {
+                    const std::string &line = lines[i];
+                    const auto t0 = std::chrono::steady_clock::now();
+                    std::string response;
+                    if (!client.request(line, response, &cerr2)) {
+                        ++failures;
+                        return;
+                    }
+                    const u64 us = static_cast<u64>(
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+                    JsonValue v;
+                    if (!JsonValue::parse(response, v) ||
+                        v.str("status") != "ok") {
+                        ++failures;
+                        continue;
+                    }
+                    std::lock_guard<std::mutex> lock(samplesMutex);
+                    samples.push_back({us, warm, v.str("source")});
+                }
+            });
+        }
+        // The main thread polls the disk tier while clients run: the
+        // budget must hold at every observable point, not just at the
+        // end.
+        while (live.load() > 0) {
+            const u64 bytes = disk_bytes(cache_dir.string());
+            u64 seen = maxDiskObserved.load();
+            while (bytes > seen &&
+                   !maxDiskObserved.compare_exchange_weak(seen, bytes)) {
+            }
+            if (bytes > kDiskBudget)
+                ++overBudgetObservations;
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        for (std::thread &t : clients)
+            t.join();
+    };
+
+    // The hot pool is the paper suite itself: one request key per
+    // benchmark at the default scale.
+    const std::vector<std::string> &names = benchmark_names();
+    std::vector<std::string> hot;
+    for (size_t i = 0; i < kHotPool && i < names.size(); ++i)
+        hot.push_back(run_line(names[i], 0));
+
+    // Phase 1: every hot key once, cold.
+    drive(hot, /*warm=*/false);
+
+    // Phase 2: replay the hot pool with a trickle of never-seen keys
+    // (same benchmark, unique scale -> unique content hash) mixed in.
+    std::vector<std::string> warm_lines;
+    u64 fresh_ops = 50'000;
+    for (size_t i = 0; i < kWarmRequests; ++i) {
+        if (i % kColdTrickle == kColdTrickle - 1)
+            warm_lines.push_back(
+                run_line(names[i % names.size()], fresh_ops++));
+        else
+            warm_lines.push_back(hot[(i * 7) % hot.size()]);
+    }
+    drive(warm_lines, /*warm=*/true);
+
+    // Final numbers straight from the daemon.
+    Client statsClient;
+    std::string statsLine;
+    u64 evictions = 0;
+    u64 evictedBytes = 0;
+    u64 serverRuns = 0;
+    u64 responseHits = 0;
+    u64 followerHits = 0;
+    if (statsClient.connect(config.socketPath) &&
+        statsClient.request("{\"op\":\"stats\"}", statsLine)) {
+        JsonValue v;
+        if (JsonValue::parse(statsLine, v)) {
+            const JsonValue *result = v.find("result");
+            if (result) {
+                evictions = result->u64At("cache.evictions");
+                evictedBytes = result->u64At("cache.evictedBytes");
+                serverRuns = result->u64At("server.runs");
+                responseHits = result->u64At("server.responseHits");
+                followerHits = result->u64At("server.followerHits");
+            }
+        }
+    }
+    statsClient.close();
+    server.stop();
+
+    const u64 finalDisk = disk_bytes(cache_dir.string());
+
+    std::vector<u64> coldLat;
+    std::vector<u64> warmHitLat;
+    u64 warmTotal = 0;
+    u64 warmHits = 0;
+    for (const Sample &s : samples) {
+        if (!s.warmPhase) {
+            coldLat.push_back(s.us);
+            continue;
+        }
+        ++warmTotal;
+        if (s.source == "cached" || s.source == "follower") {
+            ++warmHits;
+            warmHitLat.push_back(s.us);
+        }
+    }
+    const LatencyStats cold = summarize(coldLat);
+    const LatencyStats warm = summarize(warmHitLat);
+    const double hitRate =
+        warmTotal ? static_cast<double>(warmHits) /
+                        static_cast<double>(warmTotal)
+                  : 0.0;
+    const double medianSpeedup =
+        warm.p50 ? static_cast<double>(cold.p50) /
+                       static_cast<double>(warm.p50)
+                 : 0.0;
+
+    const bool hitRateOk = hitRate >= 0.90;
+    const bool latencyOk = medianSpeedup >= 5.0;
+    const bool diskBoundOk =
+        overBudgetObservations.load() == 0 && finalDisk <= kDiskBudget;
+    const bool evictionsOk = evictions > 0;
+    const bool cleanRun = failures.load() == 0;
+    const bool pass =
+        hitRateOk && latencyOk && diskBoundOk && evictionsOk && cleanRun;
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("config");
+    w.beginObject();
+    w.field("clients", static_cast<u64>(kClients));
+    w.field("hotPool", static_cast<u64>(kHotPool));
+    w.field("warmRequests", static_cast<u64>(kWarmRequests));
+    w.field("coldTrickleEvery", static_cast<u64>(kColdTrickle));
+    w.field("diskBudgetBytes", kDiskBudget);
+    w.field("workers", static_cast<u64>(config.workers));
+    w.endObject();
+    w.key("requests");
+    w.beginObject();
+    w.field("total", static_cast<u64>(samples.size()));
+    w.field("serverRuns", serverRuns);
+    w.field("responseHits", responseHits);
+    w.field("followerHits", followerHits);
+    w.field("warmPhase", warmTotal);
+    w.field("warmPhaseHits", warmHits);
+    w.field("warmHitRate", hitRate);
+    w.field("failures", failures.load());
+    w.endObject();
+    w.key("latency");
+    w.beginObject();
+    write_latency(w, "cold", cold);
+    write_latency(w, "warmHit", warm);
+    w.field("medianColdOverWarm", medianSpeedup);
+    w.endObject();
+    w.key("disk");
+    w.beginObject();
+    w.field("budgetBytes", kDiskBudget);
+    w.field("maxObservedBytes", maxDiskObserved.load());
+    w.field("finalBytes", finalDisk);
+    w.field("overBudgetObservations", overBudgetObservations.load());
+    w.field("evictions", evictions);
+    w.field("evictedBytes", evictedBytes);
+    w.endObject();
+    w.key("gates");
+    w.beginObject();
+    w.field("hitRateAtLeast90", hitRateOk);
+    w.field("medianSpeedupAtLeast5x", latencyOk);
+    w.field("diskUnderBudget", diskBoundOk);
+    w.field("evictionsPositive", evictionsOk);
+    w.field("noClientFailures", cleanRun);
+    w.field("pass", pass);
+    w.endObject();
+    w.endObject();
+
+    std::ofstream out(out_path);
+    out << w.str() << "\n";
+    out.close();
+
+    std::printf("server_load: %zu requests, warm hit rate %.1f%%, "
+                "cold p50 %llu us vs warm p50 %llu us (%.1fx), "
+                "disk max %llu / budget %llu, %llu evictions -> %s\n",
+                samples.size(), hitRate * 100.0,
+                static_cast<unsigned long long>(cold.p50),
+                static_cast<unsigned long long>(warm.p50), medianSpeedup,
+                static_cast<unsigned long long>(maxDiskObserved.load()),
+                static_cast<unsigned long long>(kDiskBudget),
+                static_cast<unsigned long long>(evictions),
+                pass ? "PASS" : "FAIL");
+
+    ArtifactCache::instance().setDiskDir(std::nullopt);
+    ArtifactCache::instance().setDiskBudget(std::nullopt);
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir, ec);
+    return pass ? 0 : 1;
+}

@@ -1,6 +1,8 @@
 #include "compiler/codegen.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <limits>
 
 #include "compiler/schedule.hh"
@@ -275,6 +277,77 @@ class Codegen
           case Dir::North: return static_cast<CoreId>(from - cols);
           default: panic("bad dir");
         }
+    }
+
+    /** XY (Manhattan) hop count between two cores on the resolved mesh. */
+    u16
+    hopDistance(CoreId a, CoreId b) const
+    {
+        const u16 cols = meshCols();
+        const int ac = a % cols, ar = a / cols;
+        const int bc = b % cols, br = b / cols;
+        return static_cast<u16>(std::abs(ac - bc) + std::abs(ar - br));
+    }
+
+    /** Master-side serial cost of adding one DOALL worker (spawn +
+     * parameterise SENDs + join/partial RECVs + TM bookkeeping), in
+     * body-op-equivalents. Fitted against the suite's chunk loops:
+     * large enough that a 512-trip loop stops widening near 8 cores
+     * (where measured speedup peaks), small enough that 4096-trip
+     * loops use 16+ cores. */
+    static constexpr double kDoallPerWorkerOverheadOps = 80.0;
+
+    /** Trip estimate when the profile never saw the loop execute. */
+    static constexpr double kDoallDefaultTrip = 64.0;
+
+    /**
+     * How many cores (master included) a DOALL chunking should use.
+     *
+     * Workers are not free: the master serially spawns, parameterises,
+     * and joins each one — a per-worker cost that is flat in machine
+     * size — while each extra worker saves only ~(trip * bodyOps) /
+     * width^2 cycles of chunk work. Balancing the two gives width ~
+     * sqrt(trip * bodyOps / overhead), clamped to the resolved mesh.
+     * The old behaviour split numCores ways unconditionally, which
+     * made 16–64-core meshes *slower* than 4-core ones at suite trip
+     * counts (the per-worker preamble dominated the shrinking chunks).
+     */
+    u16
+    doallWidth(const CompilerRegion &region) const
+    {
+        if (in_.numCores <= 2)
+            return in_.numCores;
+        const Loop &loop = fa_->loops->loops()[region.loopIdx];
+        double trip = in_.profile->avgTripCount(fn_->id, loop.header);
+        if (trip <= 0.0)
+            trip = kDoallDefaultTrip;
+        u64 body_ops = 0;
+        for (BlockId b : region.blocks)
+            body_ops += fn_->block(b).ops.size();
+        const double work = trip * static_cast<double>(body_ops);
+        const double ideal =
+            std::sqrt(work / kDoallPerWorkerOverheadOps);
+        return static_cast<u16>(std::clamp(
+            ideal, 2.0, static_cast<double>(in_.numCores)));
+    }
+
+    /** Worker cores for a DOALL of @p width cores total (the master,
+     * core 0, is not in the list): nearest cores on the resolved mesh
+     * first, so a narrow chunking on a wide machine pays minimal
+     * SEND/RECV hop latency; ties break toward low core ids so the
+     * selection is deterministic across shapes with equal distances. */
+    std::vector<CoreId>
+    doallWorkerCores(u16 width) const
+    {
+        std::vector<CoreId> workers;
+        for (CoreId c = 1; c < in_.numCores; ++c)
+            workers.push_back(c);
+        std::stable_sort(workers.begin(), workers.end(),
+                         [&](CoreId a, CoreId b) {
+                             return hopDistance(0, a) < hopDistance(0, b);
+                         });
+        workers.resize(width > 0 ? width - 1 : 0);
+        return workers;
     }
 
     void
@@ -1131,7 +1204,11 @@ class Codegen
         panic_if_not(plan.feasible, "DOALL codegen on infeasible loop: ",
                      plan.reason);
         const CountedLoop &cl = plan.counted;
-        const u16 cores = in_.numCores;
+        // Chunking width is a cost-model decision, not the machine
+        // size: see doallWidth(). Chunk ordinal k runs on
+        // worker_cores[k-1] (ordinal 0 is the master, core 0).
+        const u16 cores = doallWidth(region);
+        const std::vector<CoreId> worker_cores = doallWorkerCores(cores);
         panic_if_not(region.exitEdges.size() >= 1, "DOALL without exit");
         const BlockId exit_target = region.exitEdges.front().second;
 
@@ -1143,7 +1220,8 @@ class Codegen
 
         // --- Worker side ------------------------------------------------
         std::map<CoreId, BlockId> worker_preamble;
-        for (CoreId w = 1; w < cores; ++w) {
+        for (size_t wi = 0; wi < worker_cores.size(); ++wi) {
+            const CoreId w = worker_cores[wi];
             Function &wf = clone(w);
             BlockId we = wf.addBlock("doall.epi.c" + std::to_string(w));
             wf.block(we).region = region.id;
@@ -1167,7 +1245,7 @@ class Codegen
                     rv.commTag = Operation::CommTag::LiveIn;
                     pb.append(rv);
                 }
-                pb.append(ops::xbegin(w));
+                pb.append(ops::xbegin(static_cast<i64>(wi + 1)));
                 for (const auto &acc : plan.accumulators)
                     pb.append(ops::movi(acc.reg, acc.identity));
                 pb.fallthrough = chunk_header;
@@ -1243,18 +1321,20 @@ class Codegen
             p.append(ops::addi(chunk, n, cores - 1));
             p.append(ops::alui(Opcode::DIV, chunk, chunk, cores));
 
-            // Spawn + parameterise each worker.
-            for (CoreId w = 1; w < cores; ++w) {
+            // Spawn + parameterise each worker (chunk ordinal wi + 1).
+            for (size_t wi = 0; wi < worker_cores.size(); ++wi) {
+                const CoreId w = worker_cores[wi];
+                const i64 ord = static_cast<i64>(wi + 1);
                 RegId btr_reg = master.freshReg(RegClass::BTR);
                 p.append(ops::pbr(
                     btr_reg, CodeRef::to_block(f, worker_preamble[w])));
                 p.append(ops::spawn(w, btr_reg));
 
-                // start_w = ivar + (w * chunk) * step
+                // start_w = ivar + (ord * chunk) * step
                 RegId off = master.freshReg(RegClass::GPR);
-                p.append(ops::alui(Opcode::MUL, off, chunk, w));
+                p.append(ops::alui(Opcode::MUL, off, chunk, ord));
                 RegId cnt_hi = master.freshReg(RegClass::GPR);
-                p.append(ops::alui(Opcode::MUL, cnt_hi, chunk, w + 1));
+                p.append(ops::alui(Opcode::MUL, cnt_hi, chunk, ord + 1));
                 p.append(ops::alu(Opcode::MIN, cnt_hi, cnt_hi, n));
                 // Clamp the start index too (cnt_lo = min(w*chunk, N)).
                 p.append(ops::alu(Opcode::MIN, off, off, n));
@@ -1292,14 +1372,15 @@ class Codegen
             // Validate block.
             BasicBlock &v = master.block(vb);
             v.append(ops::xcommit());
-            std::vector<std::vector<RegId>> partials(cores);
-            for (CoreId w = 1; w < cores; ++w) {
+            std::vector<std::vector<RegId>> partials(worker_cores.size());
+            for (size_t wi = 0; wi < worker_cores.size(); ++wi) {
+                const CoreId w = worker_cores[wi];
                 for (size_t k = 0; k < plan.accumulators.size(); ++k) {
                     RegId pr_reg = master.freshReg(RegClass::GPR);
                     Operation recv = ops::recv(w, pr_reg);
                     recv.commTag = Operation::CommTag::LiveOut;
                     v.append(recv);
-                    partials[w].push_back(pr_reg);
+                    partials[wi].push_back(pr_reg);
                 }
                 RegId jr = master.freshReg(RegClass::GPR);
                 Operation recv = ops::recv(w, jr);
@@ -1317,9 +1398,9 @@ class Codegen
             for (size_t k = 0; k < plan.accumulators.size(); ++k) {
                 const auto &acc = plan.accumulators[k];
                 v.append(ops::alu(acc.op, acc.reg, acc.reg, acc_saves[k]));
-                for (CoreId w = 1; w < cores; ++w)
+                for (size_t wi = 0; wi < worker_cores.size(); ++wi)
                     v.append(
-                        ops::alu(acc.op, acc.reg, acc.reg, partials[w][k]));
+                        ops::alu(acc.op, acc.reg, acc.reg, partials[wi][k]));
             }
             // Final induction value: i_save + N * step.
             RegId fin = master.freshReg(RegClass::GPR);

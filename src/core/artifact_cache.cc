@@ -6,11 +6,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 
 #include <unistd.h>
 
 #include "ir/serialize.hh"
 #include "support/error.hh"
+#include "trace/metrics.hh"
 
 namespace voltron {
 
@@ -206,6 +208,40 @@ cache_entry_filename(ArtifactKind kind, u64 key)
            ".vcache";
 }
 
+std::string
+cache_shard_name(size_t shard)
+{
+    static const char digits[] = "0123456789abcdef";
+    return std::string(1, digits[shard & 0xf]);
+}
+
+void
+for_each_cache_file(
+    const std::string &dir,
+    const std::function<void(const std::filesystem::directory_entry &)>
+        &visit)
+{
+    std::error_code ec;
+    for (const auto &de : std::filesystem::directory_iterator(dir, ec)) {
+        if (de.is_regular_file()) {
+            visit(de);
+            continue;
+        }
+        if (!de.is_directory())
+            continue;
+        const std::string name = de.path().filename().string();
+        if (name.size() != 1 ||
+            std::string("0123456789abcdef").find(name[0]) ==
+                std::string::npos)
+            continue;
+        std::error_code sec;
+        for (const auto &se :
+             std::filesystem::directory_iterator(de.path(), sec))
+            if (se.is_regular_file())
+                visit(se);
+    }
+}
+
 bool
 is_cache_temp_name(const std::string &filename)
 {
@@ -223,24 +259,86 @@ size_t
 sweep_cache_temps(const std::string &dir, u64 min_age_seconds)
 {
     size_t removed = 0;
-    std::error_code ec;
     const auto cutoff = std::filesystem::file_time_type::clock::now() -
                         std::chrono::seconds(min_age_seconds);
-    for (const auto &de : std::filesystem::directory_iterator(dir, ec)) {
-        if (!de.is_regular_file())
-            continue;
+    for_each_cache_file(dir, [&](const auto &de) {
         if (!is_cache_temp_name(de.path().filename().string()))
-            continue;
+            return;
+        std::error_code ec;
         if (min_age_seconds != 0) {
             const auto mtime =
                 std::filesystem::last_write_time(de.path(), ec);
             if (ec || mtime > cutoff)
-                continue; // fresh: likely a live store being published
+                return; // fresh: likely a live store being published
         }
         if (std::filesystem::remove(de.path(), ec) && !ec)
             ++removed;
-    }
+    });
     return removed;
+}
+
+CacheEvictionReport
+evict_cache_to_size(const std::string &dir, u64 max_bytes,
+                    u64 temp_age_seconds)
+{
+    CacheEvictionReport report;
+    report.orphanTemps = sweep_cache_temps(dir, temp_age_seconds);
+
+    struct Victim
+    {
+        std::filesystem::path path;
+        std::filesystem::file_time_type mtime;
+        u64 bytes = 0;
+        u64 key = 0;
+        bool keyKnown = false;
+    };
+    std::vector<Victim> victims;
+    for_each_cache_file(dir, [&](const auto &de) {
+        if (de.path().extension() != ".vcache")
+            return;
+        std::error_code ec;
+        Victim v;
+        v.path = de.path();
+        v.bytes = de.file_size(ec);
+        if (ec)
+            return; // unlinked by a concurrent evictor
+        v.mtime = std::filesystem::last_write_time(de.path(), ec);
+        if (ec)
+            return;
+        // Shard attribution comes from the filename's hex key, so a
+        // corrupt (unreadable-header) entry still counts somewhere.
+        const std::string stem = de.path().stem().string();
+        const size_t dash = stem.rfind('-');
+        if (dash != std::string::npos && stem.size() - dash - 1 == 16) {
+            v.key = std::strtoull(stem.c_str() + dash + 1, nullptr, 16);
+            v.keyKnown = true;
+        }
+        report.scannedEntries++;
+        report.scannedBytes += v.bytes;
+        victims.push_back(std::move(v));
+    });
+
+    std::sort(victims.begin(), victims.end(),
+              [](const Victim &a, const Victim &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+
+    u64 total = report.scannedBytes;
+    for (const Victim &v : victims) {
+        if (total <= max_bytes)
+            break;
+        std::error_code ec;
+        if (!std::filesystem::remove(v.path, ec) || ec)
+            continue; // lost a race with another evictor: its problem now
+        total -= std::min(total, v.bytes);
+        report.evictedEntries++;
+        report.evictedBytes += v.bytes;
+        if (v.keyKnown)
+            report.evictedByShard[cache_shard_of(v.key)]++;
+    }
+    report.remainingBytes = total;
+    return report;
 }
 
 bool
@@ -341,19 +439,34 @@ ArtifactCache::loadDisk(ArtifactKind kind, u64 key)
     if (dir.empty())
         return {};
     sweepTempsOnce(dir);
-    const std::string path =
-        dir + "/" + cache_entry_filename(kind, key);
+    const size_t shard = cache_shard_of(key);
+    const std::string name = cache_entry_filename(kind, key);
+    std::string path = dir + "/" + cache_shard_name(shard) + "/" + name;
     std::error_code ec;
-    if (!std::filesystem::exists(path, ec))
-        return {};
+    if (!std::filesystem::exists(path, ec)) {
+        // Legacy flat entry, written before the shard fan-out.
+        path = dir + "/" + name;
+        if (!std::filesystem::exists(path, ec)) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.byShard[shard].misses;
+            return {};
+        }
+    }
     CacheEntryHeader header;
     std::vector<u8> payload;
     if (!read_cache_entry(path, header, &payload) || header.key != key ||
         header.kind != static_cast<u32>(kind)) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.corrupt;
+        ++stats_.byShard[shard].misses;
         return {};
     }
+    // LRU is use-recency: a hit touches the entry so budget eviction
+    // (oldest mtime first) spares the hot set.
+    std::filesystem::last_write_time(
+        path, std::filesystem::file_time_type::clock::now(), ec);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.byShard[shard].diskHits;
     return payload;
 }
 
@@ -365,12 +478,24 @@ ArtifactCache::storeDisk(ArtifactKind kind, u64 key,
     if (dir.empty())
         return;
     sweepTempsOnce(dir);
+    const size_t shard = cache_shard_of(key);
+    const std::string shard_dir = dir + "/" + cache_shard_name(shard);
     std::error_code ec;
-    std::filesystem::create_directories(dir, ec);
+    std::filesystem::create_directories(shard_dir, ec);
     if (ec)
         return; // persistent level unavailable; in-process level suffices
+
+    // One store at a time per process: budget enforcement scans the
+    // tier, and overlapped scans from bench threads would multiply the
+    // cost for no benefit.
+    std::lock_guard<std::mutex> disk_lock(diskMutex_);
+    const u64 entry_bytes = payload.size() + 36; // header is 36 bytes
+    const u64 budget = diskBudget();
+    if (budget != 0)
+        makeRoom(dir, budget, entry_bytes);
+
     const std::string path =
-        dir + "/" + cache_entry_filename(kind, key);
+        shard_dir + "/" + cache_entry_filename(kind, key);
     const std::string tmp =
         path + ".tmp" + std::to_string(::getpid());
     {
@@ -397,8 +522,64 @@ ArtifactCache::storeDisk(ArtifactKind kind, u64 key,
     // Atomic publish; concurrent writers of the same key race benignly
     // (identical content).
     std::filesystem::rename(tmp, path, ec);
-    if (ec)
+    if (ec) {
         std::filesystem::remove(tmp, ec);
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.byShard[shard].stores;
+}
+
+void
+ArtifactCache::setDiskBudget(std::optional<u64> max_bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    budgetOverride_ = max_bytes;
+}
+
+u64
+ArtifactCache::diskBudget() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (budgetOverride_)
+        return *budgetOverride_;
+    if (const char *env = std::getenv("VOLTRON_CACHE_MAX_BYTES"))
+        return std::strtoull(env, nullptr, 10);
+    return 0;
+}
+
+void
+ArtifactCache::makeRoom(const std::string &dir, u64 budget, u64 incoming)
+{
+    // Shrink to (budget - incoming) so the tier, observed at any point
+    // around the store — temp write included — stays under budget.
+    const u64 target = budget > incoming ? budget - incoming : 0;
+    noteEviction(evict_cache_to_size(dir, target));
+}
+
+CacheEvictionReport
+ArtifactCache::enforceBudget()
+{
+    const std::string dir = diskDir();
+    const u64 budget = diskBudget();
+    if (dir.empty() || budget == 0)
+        return {};
+    std::lock_guard<std::mutex> disk_lock(diskMutex_);
+    CacheEvictionReport report = evict_cache_to_size(dir, budget);
+    noteEviction(report);
+    return report;
+}
+
+void
+ArtifactCache::noteEviction(const CacheEvictionReport &report)
+{
+    if (report.evictedEntries == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.evictions += report.evictedEntries;
+    stats_.evictedBytes += report.evictedBytes;
+    for (size_t s = 0; s < kCacheShards; ++s)
+        stats_.byShard[s].evicted += report.evictedByShard[s];
 }
 
 std::shared_ptr<const GoldenArtifact>
@@ -536,6 +717,50 @@ ArtifactCache::resetStats()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     stats_ = ArtifactCacheStats{};
+}
+
+void
+collect_cache_metrics(MetricsRegistry &metrics)
+{
+    ArtifactCache &cache = ArtifactCache::instance();
+    const ArtifactCacheStats stats = cache.stats();
+
+    metrics.set("cache.memHits", stats.memHits());
+    metrics.set("cache.diskHits", stats.diskHits());
+    metrics.set("cache.hits", stats.hits());
+    metrics.set("cache.misses", stats.misses());
+    metrics.set("cache.stores", stats.stores());
+    metrics.set("cache.corrupt", stats.corrupt);
+    metrics.set("cache.evictions", stats.evictions);
+    metrics.set("cache.evictedBytes", stats.evictedBytes);
+
+    for (size_t k = 0; k < static_cast<size_t>(ArtifactKind::NumKinds);
+         ++k) {
+        const ArtifactCacheStats::Line &l = stats.byKind[k];
+        const std::string prefix =
+            std::string("cache.") +
+            artifact_kind_name(static_cast<ArtifactKind>(k)) + ".";
+        metrics.set(prefix + "memHits", l.memHits);
+        metrics.set(prefix + "diskHits", l.diskHits);
+        metrics.set(prefix + "misses", l.misses);
+        metrics.set(prefix + "stores", l.stores);
+    }
+
+    for (size_t s = 0; s < kCacheShards; ++s) {
+        const ArtifactCacheStats::Shard &sh = stats.byShard[s];
+        if (sh.diskHits == 0 && sh.misses == 0 && sh.stores == 0 &&
+            sh.evicted == 0)
+            continue; // untouched shards would be 64 lines of zeros
+        const std::string prefix =
+            "cache.shard" + cache_shard_name(s) + ".";
+        metrics.set(prefix + "diskHits", sh.diskHits);
+        metrics.set(prefix + "misses", sh.misses);
+        metrics.set(prefix + "stores", sh.stores);
+        metrics.set(prefix + "evicted", sh.evicted);
+    }
+
+    metrics.set("cache.disk.enabled", cache.diskEnabled() ? 1 : 0);
+    metrics.set("cache.disk.budget", cache.diskBudget());
 }
 
 } // namespace voltron

@@ -22,12 +22,27 @@
  * counted and treated as a miss (cold recompute), never a crash or a
  * wrong figure. Set VOLTRON_CACHE_STATS=1 to print hit/miss counters to
  * stderr at process exit.
+ *
+ * The disk level is sharded: entries fan out into kCacheShards
+ * subdirectories keyed by the top nibble of the entry hash, so a
+ * long-lived server's cache directory never accumulates one giant flat
+ * listing and eviction scans touch shards independently. Legacy flat
+ * entries (written before sharding) are still found on load. A disk
+ * budget (setDiskBudget / $VOLTRON_CACHE_MAX_BYTES) bounds the tier
+ * with LRU-by-mtime eviction — disk hits touch the entry's mtime — and
+ * the same library routine (evict_cache_to_size) backs `cachectl evict
+ * --max-bytes` and the sweep server's background eviction. Eviction is
+ * safe under the multi-process `.vcache.tmp` publish protocol: it only
+ * unlinks published entries and aged orphan temps, and a concurrent
+ * rename simply resurfaces the entry for the next pass.
  */
 
 #ifndef VOLTRON_CORE_ARTIFACT_CACHE_HH_
 #define VOLTRON_CORE_ARTIFACT_CACHE_HH_
 
 #include <array>
+#include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -70,6 +85,33 @@ struct MachineArtifact
  * including missPenalty, which the old string key dropped). */
 u64 options_hash(const CompileOptions &options);
 
+/** Disk-level shard fan-out: entries land in dir/<nibble>/ keyed by
+ * the top nibble of the entry hash. */
+inline constexpr size_t kCacheShards = 16;
+
+/** Shard index of a cache key (top nibble — the first character of the
+ * entry's hex name, so listings and shards agree). */
+inline constexpr size_t
+cache_shard_of(u64 key)
+{
+    return static_cast<size_t>(key >> 60);
+}
+
+/** Subdirectory name of shard @p shard ("0".."f"). */
+std::string cache_shard_name(size_t shard);
+
+/**
+ * Visit every regular file of the cache tier at @p dir: the directory
+ * itself (legacy flat entries, orphan temps) plus its single-hex-char
+ * shard subdirectories. Unknown subdirectories are not descended into —
+ * the cache only owns its own fan-out. Shared by the runtime cache,
+ * evict_cache_to_size, and cachectl so all three agree on the layout.
+ */
+void for_each_cache_file(
+    const std::string &dir,
+    const std::function<void(const std::filesystem::directory_entry &)>
+        &visit);
+
 /** Hit/miss counters, per artifact kind. */
 struct ArtifactCacheStats
 {
@@ -80,8 +122,19 @@ struct ArtifactCacheStats
         u64 misses = 0;   //!< cold recompute
         u64 stores = 0;   //!< entries written
     };
+    /** Per-shard disk-tier counters (for server dashboards). */
+    struct Shard
+    {
+        u64 diskHits = 0;
+        u64 misses = 0;
+        u64 stores = 0;
+        u64 evicted = 0; //!< entries this process evicted from the shard
+    };
     std::array<Line, static_cast<size_t>(ArtifactKind::NumKinds)> byKind;
+    std::array<Shard, kCacheShards> byShard;
     u64 corrupt = 0; //!< disk entries rejected (bad magic/version/hash)
+    u64 evictions = 0;    //!< entries evicted by budget enforcement
+    u64 evictedBytes = 0; //!< bytes reclaimed by budget enforcement
 
     const Line &of(ArtifactKind k) const
     {
@@ -122,16 +175,46 @@ std::string cache_entry_filename(ArtifactKind kind, u64 key);
 bool is_cache_temp_name(const std::string &filename);
 
 /**
- * Remove orphaned store temps from @p dir; returns how many. With
- * @p min_age_seconds nonzero only temps whose mtime is at least that
- * old are removed — a concurrent process's in-flight store (written
- * then renamed within milliseconds) is never touched.
+ * Remove orphaned store temps from @p dir (and its shard
+ * subdirectories); returns how many. With @p min_age_seconds nonzero
+ * only temps whose mtime is at least that old are removed — a
+ * concurrent process's in-flight store (written then renamed within
+ * milliseconds) is never touched.
  */
 size_t sweep_cache_temps(const std::string &dir, u64 min_age_seconds = 0);
 
 /** Age threshold for the automatic startup sweep: any temp this stale
  * is an orphan from a killed process, not an in-flight store. */
 inline constexpr u64 kCacheTempSweepAgeSeconds = 3600;
+
+/** What one evict_cache_to_size pass saw and did. */
+struct CacheEvictionReport
+{
+    u64 scannedEntries = 0; //!< published entries found
+    u64 scannedBytes = 0;   //!< their total size
+    u64 evictedEntries = 0;
+    u64 evictedBytes = 0;
+    u64 orphanTemps = 0;   //!< aged .vcache.tmp orphans removed
+    u64 remainingBytes = 0; //!< scannedBytes - evictedBytes
+    /** Per-shard evicted-entry counts (legacy flat entries count
+     * against the shard their key hashes to). */
+    std::array<u64, kCacheShards> evictedByShard{};
+};
+
+/**
+ * Shrink the disk tier at @p dir to at most @p max_bytes, evicting
+ * published entries in LRU order (oldest mtime first; disk hits touch
+ * mtime, so recency is use-recency, not write-recency). Aged orphan
+ * temps are swept first and never counted against the bound; temps
+ * younger than @p temp_age_seconds — a concurrent writer's in-flight
+ * publish — are left alone. @p max_bytes == 0 evicts every published
+ * entry. Races with concurrent put/get are benign: an entry renamed
+ * into place after the scan is picked up by the next pass, and a
+ * concurrently-unlinked file is skipped.
+ */
+CacheEvictionReport
+evict_cache_to_size(const std::string &dir, u64 max_bytes,
+                    u64 temp_age_seconds = kCacheTempSweepAgeSeconds);
 
 /**
  * Read a cache entry file. Returns false when the file is unreadable or
@@ -172,12 +255,28 @@ class ArtifactCache
     std::string diskDir() const;
     bool diskEnabled() const { return !diskDir().empty(); }
 
+    /**
+     * Bound the disk tier to @p max_bytes (0 — the default — leaves it
+     * unbounded; nullopt defers to $VOLTRON_CACHE_MAX_BYTES). With a
+     * budget set, every store first makes room: the tier is evicted
+     * (LRU by mtime) until the incoming payload fits, so the on-disk
+     * footprint never exceeds the budget at any observable point.
+     */
+    void setDiskBudget(std::optional<u64> max_bytes);
+    u64 diskBudget() const;
+
+    /** Run one eviction pass against the current budget now (server
+     * background sweeps; no-op when unbounded or disk-disabled). */
+    CacheEvictionReport enforceBudget();
+
   private:
     ArtifactCache() = default;
 
     std::vector<u8> loadDisk(ArtifactKind kind, u64 key);
     void storeDisk(ArtifactKind kind, u64 key, const std::vector<u8> &payload);
     void sweepTempsOnce(const std::string &dir);
+    void makeRoom(const std::string &dir, u64 budget, u64 incoming);
+    void noteEviction(const CacheEvictionReport &report);
 
     ArtifactCacheStats::Line &line(ArtifactKind k)
     {
@@ -190,8 +289,27 @@ class ArtifactCache
     std::map<u64, Cycle> baseline_;
     ArtifactCacheStats stats_;
     std::optional<std::string> dirOverride_;
+    std::optional<u64> budgetOverride_;
     std::vector<std::string> sweptDirs_; //!< dirs already auto-swept
+    /** Serializes this process's stores + budget eviction so two bench
+     * threads don't both scan the tier; cross-process races stay
+     * benign (see evict_cache_to_size). */
+    std::mutex diskMutex_;
 };
+
+class MetricsRegistry;
+
+/**
+ * Publish the process-wide cache counters into @p metrics under the
+ * dotted "cache." namespace: cache.memHits / diskHits / hits / misses /
+ * stores / corrupt / evictions / evictedBytes, per-kind lines
+ * (cache.golden.*, cache.machine.*, cache.baseline.*), and per-shard
+ * disk-tier lines (cache.shard<x>.{diskHits,misses,stores,evicted}
+ * with <x> the shard's hex digit, zero shards skipped). Every
+ * collect_metrics document carries these, so server dashboards and
+ * BENCH_server.json report hit rates without parsing cachectl output.
+ */
+void collect_cache_metrics(MetricsRegistry &metrics);
 
 } // namespace voltron
 

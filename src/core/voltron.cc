@@ -118,8 +118,12 @@ VoltronSystem::runConcrete(const CompileOptions &options,
     outcome.exitMatches =
         outcome.result.exitValue == golden_->result.exitValue;
     outcome.memoryMatches = memoryMatchesGolden(machine.memory());
-    if (metrics)
+    if (metrics) {
         *metrics = collect_metrics(machine, outcome.result);
+        // The process-wide cache.* counters ride along so server
+        // responses and bench JSONs report hit rates for free.
+        collect_cache_metrics(*metrics);
+    }
     if (profile)
         *profile = sink->finish(outcome.result.cycles);
     return outcome;

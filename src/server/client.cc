@@ -1,0 +1,106 @@
+#include "server/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace voltron {
+
+namespace {
+
+void
+set_err(std::string *err, const std::string &what)
+{
+    if (err)
+        *err = what + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+bool
+Client::connect(const std::string &socket_path, std::string *err)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = "socket path empty or too long";
+        return false;
+    }
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        set_err(err, "socket");
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        set_err(err, "connect");
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::request(const std::string &line, std::string &response,
+                std::string *err)
+{
+    if (fd_ < 0) {
+        if (err)
+            *err = "not connected";
+        return false;
+    }
+    std::string out = line;
+    out.push_back('\n');
+    size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t w = ::send(fd_, out.data() + sent, out.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (w <= 0) {
+            set_err(err, "send");
+            close();
+            return false;
+        }
+        sent += static_cast<size_t>(w);
+    }
+
+    char chunk[4096];
+    for (;;) {
+        const size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            response = buffer_.substr(0, nl);
+            buffer_.erase(0, nl + 1);
+            return true;
+        }
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n <= 0) {
+            set_err(err, "read");
+            close();
+            return false;
+        }
+        buffer_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+} // namespace voltron

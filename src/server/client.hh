@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Blocking line-oriented client for voltron-served.
+ *
+ * One connection, one request/response pair at a time: send a JSON
+ * line, read the JSON line back. The bench harness runs one Client per
+ * closed-loop worker thread; the ctl tool runs one for its single
+ * command. Not thread-safe — share nothing, one Client per thread.
+ */
+
+#ifndef VOLTRON_SERVER_CLIENT_HH_
+#define VOLTRON_SERVER_CLIENT_HH_
+
+#include <string>
+
+namespace voltron {
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to the daemon at @p socket_path. */
+    bool connect(const std::string &socket_path, std::string *err = nullptr);
+
+    bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /**
+     * Send @p line (newline appended) and block for the response line
+     * (newline stripped). False on any I/O failure or EOF, after which
+     * the connection is closed.
+     */
+    bool request(const std::string &line, std::string &response,
+                 std::string *err = nullptr);
+
+  private:
+    int fd_ = -1;
+    std::string buffer_; //!< bytes read past the last response line
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SERVER_CLIENT_HH_

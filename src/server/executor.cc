@@ -1,0 +1,114 @@
+#include "server/executor.hh"
+
+namespace voltron {
+
+Executor::Executor(size_t workers)
+{
+    if (workers == 0)
+        workers = 1;
+    queues_.resize(workers);
+    threads_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+Executor::~Executor()
+{
+    stop();
+}
+
+void
+Executor::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!stopping_) {
+            ++stats_.submitted;
+            ++pending_;
+            queues_[nextQueue_].tasks.push_back(std::move(task));
+            nextQueue_ = (nextQueue_ + 1) % queues_.size();
+            lock.unlock();
+            cv_.notify_one();
+            return;
+        }
+        ++stats_.submitted;
+        ++stats_.inline_;
+    }
+    // Pool drained: run on the caller so no request is ever dropped.
+    task();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.executed;
+}
+
+void
+Executor::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        if (t.joinable())
+            t.join();
+}
+
+ExecutorStats
+Executor::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+bool
+Executor::takeOwn(size_t self, std::function<void()> &task)
+{
+    Queue &q = queues_[self];
+    if (q.tasks.empty())
+        return false;
+    task = std::move(q.tasks.back());
+    q.tasks.pop_back();
+    return true;
+}
+
+bool
+Executor::stealOther(size_t self, std::function<void()> &task)
+{
+    for (size_t i = 1; i < queues_.size(); ++i) {
+        Queue &q = queues_[(self + i) % queues_.size()];
+        if (q.tasks.empty())
+            continue;
+        task = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        ++stats_.stolen;
+        return true;
+    }
+    return false;
+}
+
+void
+Executor::workerLoop(size_t self)
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] {
+                return stopping_ || pending_ > 0;
+            });
+            if (!takeOwn(self, task) && !stealOther(self, task)) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            --pending_;
+        }
+        task();
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.executed;
+    }
+}
+
+} // namespace voltron

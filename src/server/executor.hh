@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Work-stealing thread-pool executor for server requests.
+ *
+ * Each worker owns a deque: it pushes and pops its own work at the back
+ * (LIFO — the task it just unblocked is cache-hot) and steals from
+ * other workers' fronts (FIFO — the oldest, likely largest, stranded
+ * work first), the classic Chase–Lev discipline in mutex-per-deque
+ * form. External submitters distribute round-robin, so a burst of
+ * requests fans out even before anyone steals; a worker that drains
+ * its own deque scans the others before sleeping on the shared
+ * condition variable.
+ *
+ * Tasks are plain std::function<void()>; request handlers wrap their
+ * result delivery in a promise. The executor never rejects work:
+ * submit after stop() runs the task inline on the submitter, so
+ * shutdown cannot strand a waiting connection.
+ */
+
+#ifndef VOLTRON_SERVER_EXECUTOR_HH_
+#define VOLTRON_SERVER_EXECUTOR_HH_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace voltron {
+
+/** Counters for the stats endpoint (monotonic over the pool's life). */
+struct ExecutorStats
+{
+    u64 submitted = 0; //!< tasks accepted
+    u64 executed = 0;  //!< tasks completed
+    u64 stolen = 0;    //!< tasks a worker took from another's deque
+    u64 inline_ = 0;   //!< tasks run on the submitter (post-stop)
+};
+
+class Executor
+{
+  public:
+    explicit Executor(size_t workers);
+    ~Executor();
+
+    Executor(const Executor &) = delete;
+    Executor &operator=(const Executor &) = delete;
+
+    /** Enqueue @p task; runs it inline if the pool is stopped. */
+    void submit(std::function<void()> task);
+
+    /** Drain: no new tasks queue after this; workers finish what is
+     * queued, then exit. Idempotent. */
+    void stop();
+
+    size_t workers() const { return queues_.size(); }
+    ExecutorStats stats() const;
+
+  private:
+    struct Queue
+    {
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(size_t self);
+    bool takeOwn(size_t self, std::function<void()> &task);
+    bool stealOther(size_t self, std::function<void()> &task);
+
+    mutable std::mutex mutex_; //!< guards queues_, stats_, stopping_
+    std::condition_variable cv_;
+    std::vector<Queue> queues_;
+    std::vector<std::thread> threads_;
+    ExecutorStats stats_;
+    size_t nextQueue_ = 0; //!< round-robin submission cursor
+    u64 pending_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SERVER_EXECUTOR_HH_

@@ -1,0 +1,507 @@
+#include "server/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace voltron {
+
+u64
+JsonValue::asU64(u64 fallback) const
+{
+    if (kind_ != Kind::Number && kind_ != Kind::String)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const u64 v = std::strtoull(text_.c_str(), &end, 10);
+    if (end == text_.c_str() || errno != 0)
+        return fallback;
+    return v;
+}
+
+i64
+JsonValue::asI64(i64 fallback) const
+{
+    if (kind_ != Kind::Number && kind_ != Kind::String)
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const i64 v = std::strtoll(text_.c_str(), &end, 10);
+    if (end == text_.c_str() || errno != 0)
+        return fallback;
+    return v;
+}
+
+double
+JsonValue::asF64(double fallback) const
+{
+    if (kind_ != Kind::Number && kind_ != Kind::String)
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(text_.c_str(), &end);
+    if (end == text_.c_str())
+        return fallback;
+    return v;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    auto it = fields_.find(key);
+    return it == fields_.end() ? nullptr : &it->second;
+}
+
+std::string
+JsonValue::str(const std::string &key, const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->text() : fallback;
+}
+
+u64
+JsonValue::u64At(const std::string &key, u64 fallback) const
+{
+    const JsonValue *v = find(key);
+    return v ? v->asU64(fallback) : fallback;
+}
+
+double
+JsonValue::f64At(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v ? v->asF64(fallback) : fallback;
+}
+
+bool
+JsonValue::boolAt(const std::string &key, bool fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isBool() ? v->boolean() : fallback;
+}
+
+/** The recursive-descent parser. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    run(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after value");
+        return true;
+    }
+
+  private:
+    const std::string &text_;
+    std::string *err_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err_)
+            *err_ = what + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word, size_t len)
+    {
+        if (text_.compare(pos_, len, word) != 0)
+            return fail(std::string("bad literal, expected ") + word);
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (depth_ >= kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        switch (text_[pos_]) {
+          case '{': return parseObject(out);
+          case '[': return parseArray(out);
+          case '"':
+            out.kind_ = JsonValue::Kind::String;
+            return parseString(out.text_);
+          case 't':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.flag_ = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.flag_ = false;
+            return literal("false", 5);
+          case 'n':
+            out.kind_ = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind_ = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        ++depth_;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string k;
+            if (!parseString(k))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.fields_[k] = std::move(v); // duplicate keys: last wins
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind_ = JsonValue::Kind::Array;
+        ++pos_; // '['
+        ++depth_;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.items_.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                ++pos_;
+                continue;
+            }
+            if (pos_ + 1 >= text_.size())
+                return fail("dangling escape");
+            const char e = text_[pos_ + 1];
+            pos_ += 2;
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                u32 cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_ + i];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<u32>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<u32>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<u32>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                pos_ += 4;
+                // BMP-only UTF-8 encoding; surrogates pass through as
+                // replacement-free raw code points (the protocol never
+                // carries them).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3F)));
+                } else {
+                    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3F)));
+                }
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            while (pos_ < text_.size() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                ++pos_;
+        }
+        if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+            return fail("bad number");
+        out.kind_ = JsonValue::Kind::Number;
+        out.text_ = text_.substr(start, pos_ - start);
+        return true;
+    }
+};
+
+bool
+JsonValue::parse(const std::string &text, JsonValue &out, std::string *err)
+{
+    out = JsonValue();
+    return JsonParser(text, err).run(out);
+}
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            out_.push_back(',');
+        needComma_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_.push_back('{');
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_.push_back('}');
+    needComma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_.push_back('[');
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_.push_back(']');
+    needComma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    separate();
+    out_.push_back('"');
+    out_ += json_escape(k);
+    out_ += "\":";
+    // The upcoming value must not emit another comma.
+    if (!needComma_.empty())
+        needComma_.back() = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    separate();
+    out_.push_back('"');
+    out_ += json_escape(s);
+    out_.push_back('"');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(u64 v)
+{
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(i64 v)
+{
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separate();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    out_ += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &json)
+{
+    separate();
+    out_ += json;
+    return *this;
+}
+
+} // namespace voltron

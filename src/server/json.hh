@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Minimal JSON for the server's line-delimited protocol.
+ *
+ * A deliberately small recursive-descent parser and a value tree —
+ * objects, arrays, strings, numbers, booleans, null — sized for
+ * one-line requests, not documents. Numbers keep their raw source text
+ * so u64 keys (content hashes, byte budgets) round-trip without a
+ * double's 53-bit mantissa silently truncating them; asU64/asI64/asF64
+ * convert on demand. Escapes cover the JSON set (\uXXXX parses to
+ * UTF-8 for the BMP; writing escapes control characters numerically).
+ *
+ * Writing is string-building via JsonWriter, which tracks commas and
+ * nesting so handlers can stream a response object field by field.
+ */
+
+#ifndef VOLTRON_SERVER_JSON_HH_
+#define VOLTRON_SERVER_JSON_HH_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace voltron {
+
+/** One parsed JSON value. */
+class JsonValue
+{
+  public:
+    enum class Kind : u8 { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool boolean() const { return flag_; }
+    /** String payload (String), or the raw number text (Number). */
+    const std::string &text() const { return text_; }
+
+    u64 asU64(u64 fallback = 0) const;
+    i64 asI64(i64 fallback = 0) const;
+    double asF64(double fallback = 0.0) const;
+
+    const std::vector<JsonValue> &items() const { return items_; }
+    const std::map<std::string, JsonValue> &fields() const
+    {
+        return fields_;
+    }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Convenience member accessors with fallbacks. */
+    std::string str(const std::string &key,
+                    const std::string &fallback = "") const;
+    u64 u64At(const std::string &key, u64 fallback = 0) const;
+    double f64At(const std::string &key, double fallback = 0.0) const;
+    bool boolAt(const std::string &key, bool fallback = false) const;
+
+    /**
+     * Parse @p text into @p out. False on any syntax error, with a
+     * position-annotated message in @p err (when non-null). Trailing
+     * non-whitespace after the value is an error: one line, one value.
+     */
+    static bool parse(const std::string &text, JsonValue &out,
+                      std::string *err = nullptr);
+
+  private:
+    friend class JsonParser;
+    Kind kind_ = Kind::Null;
+    bool flag_ = false;
+    std::string text_;
+    std::vector<JsonValue> items_;
+    std::map<std::string, JsonValue> fields_;
+};
+
+/** Escape @p s for embedding in a JSON string literal (no quotes). */
+std::string json_escape(const std::string &s);
+
+/** Comma-and-nesting-tracking JSON emitter. */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Start a keyed member inside an object (then call a value). */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(u64 v);
+    JsonWriter &value(i64 v);
+    JsonWriter &value(int v) { return value(static_cast<i64>(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+    /** Splice @p json in verbatim (a pre-rendered subobject). */
+    JsonWriter &raw(const std::string &json);
+
+    /** Shorthand: key + value. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    const std::string &str() const { return out_; }
+
+  private:
+    void separate();
+    std::string out_;
+    std::vector<bool> needComma_;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SERVER_JSON_HH_

@@ -1,0 +1,197 @@
+#include "server/protocol.hh"
+
+#include "core/artifact_cache.hh"
+#include "support/serialize.hh"
+
+namespace voltron {
+
+namespace {
+
+int
+hex_digit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+bool
+fail(std::string *err, const std::string &message)
+{
+    if (err)
+        *err = message;
+    return false;
+}
+
+} // namespace
+
+std::string
+hex_encode(const std::vector<u8> &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (u8 b : bytes) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+bool
+hex_decode(const std::string &hex, std::vector<u8> &out)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    out.clear();
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hex_digit(hex[i]);
+        const int lo = hex_digit(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(static_cast<u8>((hi << 4) | lo));
+    }
+    return true;
+}
+
+bool
+parse_strategy(const std::string &name, Strategy &out)
+{
+    static const Strategy all[] = {
+        Strategy::SerialOnly, Strategy::IlpOnly, Strategy::TlpOnly,
+        Strategy::LlpOnly,    Strategy::Hybrid,  Strategy::Adaptive,
+    };
+    for (Strategy s : all) {
+        if (name == strategy_name(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ServerRequest::parse(const std::string &line, ServerRequest &out,
+                     std::string *err)
+{
+    out = ServerRequest{};
+    JsonValue root;
+    std::string jerr;
+    if (!JsonValue::parse(line, root, &jerr))
+        return fail(err, "bad json: " + jerr);
+    if (!root.isObject())
+        return fail(err, "request must be a json object");
+
+    out.op = root.str("op");
+    out.id = root.str("id");
+    if (out.op != "run" && out.op != "ping" && out.op != "stats" &&
+        out.op != "evict" && out.op != "shutdown")
+        return fail(err, "unknown op '" + out.op + "'");
+
+    if (out.op == "evict")
+        out.evictMaxBytes = root.u64At("maxBytes", 0);
+    if (out.op != "run")
+        return true;
+
+    int sources = 0;
+    if (const JsonValue *v = root.find("benchmark"); v && v->isString()) {
+        out.source = ProgramSource::Benchmark;
+        out.benchmark = v->text();
+        out.targetOps = root.u64At("targetOps", 0);
+        ++sources;
+    }
+    if (const JsonValue *v = root.find("seed"); v && v->isNumber()) {
+        out.source = ProgramSource::Seed;
+        out.seed = v->asU64();
+        ++sources;
+    }
+    if (const JsonValue *v = root.find("program"); v && v->isString()) {
+        out.source = ProgramSource::ProgramHex;
+        out.programHex = v->text();
+        ++sources;
+    }
+    if (sources == 0)
+        return fail(err, "run needs one of benchmark/seed/program");
+    if (sources > 1)
+        return fail(err, "run sources are mutually exclusive");
+    if (out.source == ProgramSource::ProgramHex) {
+        std::vector<u8> bytes;
+        if (!hex_decode(out.programHex, bytes))
+            return fail(err, "program is not valid hex");
+    }
+
+    if (const JsonValue *opts = root.find("options")) {
+        if (!opts->isObject())
+            return fail(err, "options must be an object");
+        const std::string strat = opts->str("strategy", "hybrid");
+        if (!parse_strategy(strat, out.options.strategy))
+            return fail(err, "unknown strategy '" + strat + "'");
+        out.options.numCores = static_cast<u16>(
+            opts->u64At("cores", out.options.numCores));
+        out.options.meshRows =
+            static_cast<u16>(opts->u64At("meshRows", 0));
+        out.options.meshCols =
+            static_cast<u16>(opts->u64At("meshCols", 0));
+        out.options.minOpsPerActivation = opts->u64At(
+            "minOpsPerActivation", out.options.minOpsPerActivation);
+        out.options.minDoallTrip =
+            opts->f64At("minDoallTrip", out.options.minDoallTrip);
+    }
+    if (out.options.numCores == 0)
+        return fail(err, "cores must be >= 1");
+    if ((out.options.meshRows == 0) != (out.options.meshCols == 0))
+        return fail(err, "meshRows and meshCols come together");
+    if (out.options.meshRows != 0 &&
+        static_cast<u32>(out.options.meshRows) * out.options.meshCols !=
+            out.options.numCores)
+        return fail(err, "mesh shape must cover exactly numCores");
+
+    out.trace = root.boolAt("trace", false);
+    out.metrics = root.boolAt("metrics", false);
+    return true;
+}
+
+u64
+ServerRequest::programIdentityHash() const
+{
+    // The generators are deterministic, so the descriptor is as good an
+    // identity as the serialized program — and available before any IR
+    // is built, which is what lets followers dedup against a leader
+    // that has not finished constructing the program yet.
+    ByteWriter w;
+    w.u8v(static_cast<u8>(source));
+    switch (source) {
+    case ProgramSource::Benchmark:
+        w.str(benchmark);
+        w.u64v(targetOps);
+        break;
+    case ProgramSource::Seed:
+        w.u64v(seed);
+        break;
+    case ProgramSource::ProgramHex: {
+        std::vector<u8> bytes;
+        hex_decode(programHex, bytes);
+        w.u64v(fnv1a(bytes));
+        break;
+    }
+    case ProgramSource::None:
+        break;
+    }
+    return fnv1a(w.bytes());
+}
+
+u64
+ServerRequest::contentHash() const
+{
+    u64 h = programIdentityHash();
+    h = hash_combine(h, options_hash(options));
+    h = hash_combine(h, trace ? 1 : 0);
+    return h;
+}
+
+} // namespace voltron

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The voltron-served wire protocol: one JSON object per line.
+ *
+ * Requests name an op ("run", "ping", "stats", "evict", "shutdown")
+ * and, for run, a program source — a suite benchmark name, a fuzz
+ * generator seed, or a hex-encoded canonical Program serialization —
+ * plus compile options and response flags (trace, metrics). Responses
+ * echo the client's "id" and carry "status": "ok" or "error".
+ *
+ * A request's identity for deduplication is contentHash(): the FNV-1a
+ * mix of the program identity (which source, and its parameters — all
+ * generators are deterministic, so the descriptor IS the program),
+ * the CompileOptions hash (which already covers the resolved mesh
+ * shape), and the trace flag, since a traced run produces an artifact
+ * an untraced one does not. Two requests with equal content hashes are
+ * answerable by one compile+simulate.
+ */
+
+#ifndef VOLTRON_SERVER_PROTOCOL_HH_
+#define VOLTRON_SERVER_PROTOCOL_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/compile.hh"
+#include "server/json.hh"
+
+namespace voltron {
+
+/** Program source for a run request (exactly one is set). */
+enum class ProgramSource : u8 { None, Benchmark, Seed, ProgramHex };
+
+/** One parsed request line. */
+struct ServerRequest
+{
+    std::string op;
+    std::string id; //!< client correlation tag, echoed back verbatim
+
+    ProgramSource source = ProgramSource::None;
+    std::string benchmark; //!< suite benchmark name
+    u64 targetOps = 0;     //!< benchmark scale (0 = suite default)
+    u64 seed = 0;          //!< fuzz generator seed
+    std::string programHex; //!< hex of canonical Program bytes
+
+    CompileOptions options;
+    bool trace = false;   //!< run under a sink, write a .vtrace handle
+    bool metrics = false; //!< embed the MetricsRegistry JSON
+
+    u64 evictMaxBytes = 0; //!< evict op: disk target (0 = clear all)
+
+    /**
+     * Parse one line into @p out. False with a message in @p err on
+     * malformed JSON, an unknown op/strategy, or a run request whose
+     * program source is missing or ambiguous.
+     */
+    static bool parse(const std::string &line, ServerRequest &out,
+                      std::string *err);
+
+    /** Identity of the program alone (ignores options and flags). */
+    u64 programIdentityHash() const;
+
+    /** Full dedup key: program + options + trace. */
+    u64 contentHash() const;
+};
+
+/** Lowercase hex of @p bytes. */
+std::string hex_encode(const std::vector<u8> &bytes);
+
+/** Decode lowercase/uppercase hex; false on odd length or bad digit. */
+bool hex_decode(const std::string &hex, std::vector<u8> &out);
+
+/** Parse a strategy by its strategy_name(); false on unknown. */
+bool parse_strategy(const std::string &name, Strategy &out);
+
+} // namespace voltron
+
+#endif // VOLTRON_SERVER_PROTOCOL_HH_

@@ -1,0 +1,648 @@
+#include "server/server.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <sstream>
+
+#include "core/artifact_cache.hh"
+#include "core/voltron.hh"
+#include "fuzz/generator.hh"
+#include "ir/serialize.hh"
+#include "ir/verifier.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
+#include "workloads/suite.hh"
+
+namespace voltron {
+
+namespace {
+
+std::string
+hex_u64(u64 v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+render_error(const std::string &id, const std::string &message)
+{
+    JsonWriter w;
+    w.beginObject();
+    if (!id.empty())
+        w.field("id", id);
+    w.field("status", "error");
+    w.field("error", message);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+render_ok(const std::string &id, const std::string &op,
+          const std::string &source, u64 elapsed_us,
+          const std::string &result_object)
+{
+    JsonWriter w;
+    w.beginObject();
+    if (!id.empty())
+        w.field("id", id);
+    w.field("status", "ok");
+    w.field("op", op);
+    if (!source.empty())
+        w.field("source", source);
+    w.field("elapsedUs", elapsed_us);
+    if (!result_object.empty()) {
+        w.key("result");
+        w.raw(result_object);
+    }
+    w.endObject();
+    return w.str();
+}
+
+/**
+ * MetricsRegistry::writeJson pretty-prints with newlines; the wire
+ * protocol is one line per message, so embedded registries must be
+ * flattened. Counter names and values never contain whitespace, so
+ * stripping newlines and their indent is safe.
+ */
+std::string
+compact_json(const std::string &pretty)
+{
+    std::string out;
+    out.reserve(pretty.size());
+    size_t i = 0;
+    while (i < pretty.size()) {
+        const char c = pretty[i];
+        if (c == '\n' || c == '\r') {
+            ++i;
+            while (i < pretty.size() && pretty[i] == ' ')
+                ++i;
+            continue;
+        }
+        out.push_back(c);
+        ++i;
+    }
+    return out;
+}
+
+u64
+elapsed_us_since(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+/** Build the program a run request describes; false with a message on
+ * a source that cannot produce one. */
+bool
+build_request_program(const ServerRequest &req, Program &out,
+                      std::string &err)
+{
+    switch (req.source) {
+    case ProgramSource::Benchmark: {
+        const std::vector<std::string> &names = benchmark_names();
+        bool known = false;
+        for (const std::string &n : names)
+            known = known || n == req.benchmark;
+        if (!known) {
+            err = "unknown benchmark '" + req.benchmark + "'";
+            return false;
+        }
+        SuiteScale scale;
+        if (req.targetOps != 0)
+            scale.targetOps = req.targetOps;
+        out = build_benchmark(req.benchmark, scale);
+        return true;
+    }
+    case ProgramSource::Seed:
+        out = generate_fuzz_program(req.seed);
+        return true;
+    case ProgramSource::ProgramHex: {
+        std::vector<u8> bytes;
+        if (!hex_decode(req.programHex, bytes)) {
+            err = "program is not valid hex";
+            return false;
+        }
+        ByteReader r(bytes);
+        Program prog;
+        if (!deserialize(r, prog) || !r.atEnd()) {
+            err = "program bytes do not deserialize";
+            return false;
+        }
+        VerifyResult vr = verify_program(prog);
+        if (!vr.ok()) {
+            err = "program fails verification: " + vr.joined();
+            return false;
+        }
+        out = std::move(prog);
+        return true;
+    }
+    case ProgramSource::None:
+        break;
+    }
+    err = "run request has no program source";
+    return false;
+}
+
+} // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), executor_(config_.workers)
+{
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string *err)
+{
+    if (config_.cacheMaxBytes != 0)
+        ArtifactCache::instance().setDiskBudget(config_.cacheMaxBytes);
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socketPath.empty() ||
+        config_.socketPath.size() >= sizeof(addr.sun_path)) {
+        if (err)
+            *err = "socket path empty or too long";
+        return false;
+    }
+    std::memcpy(addr.sun_path, config_.socketPath.c_str(),
+                config_.socketPath.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (err)
+            *err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    ::unlink(config_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd_, 64) != 0) {
+        if (err)
+            *err = std::string("bind/listen: ") + std::strerror(errno);
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    sweepThread_ = std::thread([this] { sweepLoop(); });
+    return true;
+}
+
+void
+Server::wait()
+{
+    std::unique_lock<std::mutex> lock(lifecycleMutex_);
+    lifecycleCv_.wait(lock, [&] { return stopping_; });
+}
+
+void
+Server::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(lifecycleMutex_);
+        stopping_ = true;
+    }
+    lifecycleCv_.notify_all();
+
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(config_.socketPath.c_str());
+    }
+
+    std::vector<std::thread> conns;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (int fd : connFds_)
+            ::shutdown(fd, SHUT_RDWR);
+        conns.swap(connThreads_);
+    }
+    // Join without connMutex_ held: an exiting connection thread takes
+    // it to deregister its fd.
+    for (std::thread &t : conns)
+        if (t.joinable())
+            t.join();
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        for (int fd : connFds_)
+            ::close(fd);
+        connFds_.clear();
+    }
+
+    if (sweepThread_.joinable())
+        sweepThread_.join();
+    executor_.stop();
+}
+
+ServerCounters
+Server::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+void
+Server::bumpError()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.errors;
+}
+
+std::string
+Server::handleLine(const std::string &line)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.requests;
+    }
+    ServerRequest req;
+    std::string err;
+    if (!ServerRequest::parse(line, req, &err)) {
+        bumpError();
+        return render_error("", err);
+    }
+    if (req.op == "run")
+        return handleRun(req);
+    if (req.op == "ping")
+        return handlePing(req);
+    if (req.op == "stats")
+        return handleStats(req);
+    if (req.op == "evict")
+        return handleEvict(req);
+
+    // shutdown: acknowledge, then let wait() return so the daemon's
+    // main thread tears everything down (a connection thread cannot
+    // join itself).
+    {
+        std::lock_guard<std::mutex> lock(lifecycleMutex_);
+        stopping_ = true;
+    }
+    lifecycleCv_.notify_all();
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    return render_ok(req.id, "shutdown", "", 0, "");
+}
+
+std::string
+Server::handlePing(const ServerRequest &req)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("workers", static_cast<u64>(executor_.workers()));
+    w.field("socket", config_.socketPath);
+    w.endObject();
+    return render_ok(req.id, "ping", "", 0, w.str());
+}
+
+std::string
+Server::handleStats(const ServerRequest &req)
+{
+    MetricsRegistry reg;
+    collect_cache_metrics(reg);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        reg.set("server.requests", counters_.requests);
+        reg.set("server.runs", counters_.runs);
+        reg.set("server.responseHits", counters_.responseHits);
+        reg.set("server.followerHits", counters_.followerHits);
+        reg.set("server.errors", counters_.errors);
+        reg.set("server.evictOps", counters_.evictOps);
+        reg.set("server.sweeps", counters_.sweeps);
+        reg.set("server.traceFiles", counters_.traceFiles);
+        reg.set("server.responseCacheEntries", responseCache_.size());
+        reg.set("server.inflight", inflight_.size());
+    }
+    {
+        std::lock_guard<std::mutex> lock(systemsMutex_);
+        reg.set("server.systems", systems_.size());
+    }
+    const ExecutorStats ex = executor_.stats();
+    reg.set("server.executor.submitted", ex.submitted);
+    reg.set("server.executor.executed", ex.executed);
+    reg.set("server.executor.stolen", ex.stolen);
+    reg.set("server.executor.inline", ex.inline_);
+    reg.set("server.executor.workers", executor_.workers());
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    return render_ok(req.id, "stats", "", 0, compact_json(os.str()));
+}
+
+std::string
+Server::handleEvict(const ServerRequest &req)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        responseCache_.clear();
+        ++counters_.evictOps;
+    }
+    {
+        // Dropping the facades drops their in-instance compiled
+        // variants and golden artifacts; the next identical request
+        // rebuilds from the (possibly also evicted) disk tier or cold.
+        std::lock_guard<std::mutex> lock(systemsMutex_);
+        systems_.clear();
+    }
+    ArtifactCache &cache = ArtifactCache::instance();
+    cache.clearMemory();
+    CacheEvictionReport report;
+    if (cache.diskEnabled())
+        report = evict_cache_to_size(cache.diskDir(), req.evictMaxBytes);
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("maxBytes", req.evictMaxBytes);
+    w.field("scannedEntries", report.scannedEntries);
+    w.field("scannedBytes", report.scannedBytes);
+    w.field("evictedEntries", report.evictedEntries);
+    w.field("evictedBytes", report.evictedBytes);
+    w.field("orphanTemps", report.orphanTemps);
+    w.field("remainingBytes", report.remainingBytes);
+    w.endObject();
+    return render_ok(req.id, "evict", "", elapsed_us_since(t0), w.str());
+}
+
+std::shared_ptr<Server::SystemSlot>
+Server::slotFor(u64 identity)
+{
+    std::lock_guard<std::mutex> lock(systemsMutex_);
+    std::shared_ptr<SystemSlot> &slot = systems_[identity];
+    if (!slot)
+        slot = std::make_shared<SystemSlot>();
+    return slot;
+}
+
+bool
+Server::computeRun(const ServerRequest &req, std::string &body,
+                   std::string &error)
+{
+    // One facade per program identity, built at most once; concurrent
+    // requests for different options on the same program share it (its
+    // own locks make compile/run thread-safe).
+    std::shared_ptr<SystemSlot> slot = slotFor(req.programIdentityHash());
+    VoltronSystem *sys = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(slot->m);
+        if (!slot->sys && slot->buildError.empty()) {
+            Program prog;
+            std::string err;
+            if (!build_request_program(req, prog, err))
+                slot->buildError = err;
+            else
+                slot->sys =
+                    std::make_unique<VoltronSystem>(std::move(prog));
+        }
+        if (!slot->buildError.empty()) {
+            error = slot->buildError;
+            return false;
+        }
+        sys = slot->sys.get();
+    }
+
+    MachineConfig config =
+        req.options.meshRows != 0
+            ? MachineConfig::forMesh(req.options.meshRows,
+                                     req.options.meshCols)
+            : MachineConfig::forCores(req.options.numCores);
+    std::unique_ptr<RingBufferTraceSink> sink;
+    if (req.trace) {
+        sink = std::make_unique<RingBufferTraceSink>();
+        config.traceSink = sink.get();
+    }
+    MetricsRegistry metrics;
+    RunOutcome outcome =
+        sys->run(req.options, config, req.metrics ? &metrics : nullptr);
+    const double speedup = sys->speedup(outcome);
+
+    std::string trace_path;
+    if (req.trace) {
+        std::error_code ec;
+        std::filesystem::create_directories(config_.traceDir, ec);
+        trace_path = config_.traceDir + "/trace-" +
+                     hex_u64(req.contentHash()).substr(2) + ".vtrace";
+        TraceHeader header;
+        header.numCores = req.options.numCores;
+        header.totalCycles = outcome.result.cycles;
+        header.totalEvents = sink->total();
+        header.dropped = sink->dropped();
+        header.label = strategy_name(req.options.strategy);
+        if (!write_trace(trace_path, header, sink->events())) {
+            error = "failed to write trace file " + trace_path;
+            return false;
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.traceFiles;
+    }
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("contentHash", hex_u64(req.contentHash()));
+    w.field("programHash", hex_u64(sys->programHash()));
+    w.field("strategy", strategy_name(req.options.strategy));
+    w.field("cores", static_cast<u64>(req.options.numCores));
+    w.field("correct", outcome.correct());
+    w.field("exitValue", outcome.result.exitValue);
+    w.field("cycles", outcome.result.cycles);
+    w.field("dynamicOps", outcome.result.dynamicOps);
+    w.field("speedup", speedup);
+    if (!trace_path.empty())
+        w.field("trace", trace_path);
+    if (req.metrics) {
+        std::ostringstream os;
+        metrics.writeJson(os);
+        w.key("metrics");
+        w.raw(compact_json(os.str()));
+    }
+    w.endObject();
+    body = w.str();
+    return true;
+}
+
+std::string
+Server::handleRun(const ServerRequest &req)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const u64 key = req.contentHash();
+
+    std::shared_ptr<Inflight> waitOn;
+    std::shared_ptr<Inflight> mine;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto hit = responseCache_.find(key);
+        if (hit != responseCache_.end()) {
+            ++counters_.responseHits;
+            return render_ok(req.id, "run", "cached",
+                             elapsed_us_since(t0), hit->second);
+        }
+        auto inf = inflight_.find(key);
+        if (inf != inflight_.end()) {
+            waitOn = inf->second;
+            ++counters_.followerHits;
+        } else {
+            mine = std::make_shared<Inflight>();
+            inflight_.emplace(key, mine);
+            ++counters_.runs;
+        }
+    }
+
+    if (waitOn) {
+        std::unique_lock<std::mutex> lock(waitOn->m);
+        waitOn->cv.wait(lock, [&] { return waitOn->done; });
+        if (waitOn->failed) {
+            bumpError();
+            return render_error(req.id, waitOn->error);
+        }
+        return render_ok(req.id, "run", "follower", elapsed_us_since(t0),
+                         waitOn->body);
+    }
+
+    // Leader: compute on the executor (the connection thread blocks —
+    // the pool bounds how many simulations run at once).
+    std::string body;
+    std::string error;
+    bool ok = false;
+    std::promise<void> finished;
+    executor_.submit([&] {
+        // A request that trips a compiler/simulator panic must come
+        // back as an error response, not take the daemon down.
+        try {
+            ok = computeRun(req, body, error);
+        } catch (const std::exception &e) {
+            ok = false;
+            error = e.what();
+        }
+        finished.set_value();
+    });
+    finished.get_future().wait();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (ok)
+            responseCache_[key] = body;
+        inflight_.erase(key);
+    }
+    {
+        std::lock_guard<std::mutex> lock(mine->m);
+        mine->done = true;
+        mine->failed = !ok;
+        mine->body = body;
+        mine->error = error;
+    }
+    mine->cv.notify_all();
+
+    if (!ok) {
+        bumpError();
+        return render_error(req.id, error);
+    }
+    return render_ok(req.id, "run", "cold", elapsed_us_since(t0), body);
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listen socket shut down
+        }
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connFds_.push_back(fd);
+        connThreads_.emplace_back(
+            [this, fd] { serveConnection(fd); });
+    }
+}
+
+void
+Server::serveConnection(int fd)
+{
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+        const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n <= 0)
+            break;
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t nl;
+        while ((nl = buffer.find('\n')) != std::string::npos) {
+            const std::string line = buffer.substr(0, nl);
+            buffer.erase(0, nl + 1);
+            if (line.empty())
+                continue;
+            std::string response = handleLine(line);
+            response.push_back('\n');
+            size_t sent = 0;
+            while (sent < response.size()) {
+                // MSG_NOSIGNAL: a vanished client is a closed
+                // connection, not a fatal SIGPIPE.
+                const ssize_t w =
+                    ::send(fd, response.data() + sent,
+                           response.size() - sent, MSG_NOSIGNAL);
+                if (w <= 0) {
+                    open = false;
+                    break;
+                }
+                sent += static_cast<size_t>(w);
+            }
+            if (!open)
+                break;
+        }
+    }
+    // Deregister-and-close atomically so stop() never shuts down a
+    // reused descriptor.
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (size_t i = 0; i < connFds_.size(); ++i) {
+        if (connFds_[i] == fd) {
+            connFds_.erase(connFds_.begin() + static_cast<long>(i));
+            break;
+        }
+    }
+    ::close(fd);
+}
+
+void
+Server::sweepLoop()
+{
+    std::unique_lock<std::mutex> lock(lifecycleMutex_);
+    while (!stopping_) {
+        lifecycleCv_.wait_for(
+            lock, std::chrono::milliseconds(config_.evictIntervalMs));
+        if (stopping_)
+            return;
+        lock.unlock();
+        ArtifactCache &cache = ArtifactCache::instance();
+        if (cache.diskEnabled() && cache.diskBudget() != 0) {
+            cache.enforceBudget();
+            std::lock_guard<std::mutex> statsLock(mutex_);
+            ++counters_.sweeps;
+        }
+        lock.lock();
+    }
+}
+
+} // namespace voltron

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * voltron-served — the compile-and-simulate daemon.
+ *
+ * One long-lived process holds the hot state a fleet of short client
+ * invocations would otherwise rebuild from scratch: VoltronSystem
+ * instances (golden pass + profile per program), the in-process
+ * artifact cache levels, and the warm disk tier. Clients connect over
+ * a Unix domain socket and exchange one JSON object per line
+ * (server/protocol.hh).
+ *
+ * Request handling dedupes at three levels, checked in order under one
+ * lock:
+ *
+ *   1. response cache — a completed identical request's body is
+ *      replayed verbatim ("source":"cached"); nothing recomputes;
+ *   2. in-flight map — an identical request already computing makes
+ *      this one a follower that sleeps on the leader's condvar and
+ *      wakes with the leader's body ("source":"follower");
+ *   3. otherwise this request is the leader: it queues the compute on
+ *      the work-stealing executor, publishes the body to both maps,
+ *      and wakes its followers ("source":"cold").
+ *
+ * A background thread periodically re-asserts the disk budget
+ * (ArtifactCache::enforceBudget), so the tier stays bounded even when
+ * other processes publish into the shared directory. The "evict" op
+ * drops all three dedup levels plus the in-process cache and shrinks
+ * the disk tier to a requested size — after it, an identical request
+ * is a true cold miss (the CI smoke test pins this).
+ *
+ * handleLine() is the whole protocol brain and is callable without any
+ * socket, which is how the unit tests drive it.
+ */
+
+#ifndef VOLTRON_SERVER_SERVER_HH_
+#define VOLTRON_SERVER_SERVER_HH_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/executor.hh"
+#include "server/protocol.hh"
+
+namespace voltron {
+
+class VoltronSystem;
+
+/** Daemon knobs. */
+struct ServerConfig
+{
+    std::string socketPath;    //!< AF_UNIX path (start() binds it)
+    size_t workers = 2;        //!< executor threads
+    u64 cacheMaxBytes = 0;     //!< disk budget override (0 = env/none)
+    std::string traceDir = "."; //!< where .vtrace handles are written
+    u32 evictIntervalMs = 2000; //!< background budget-sweep cadence
+};
+
+/** Monotonic request counters for the stats op. */
+struct ServerCounters
+{
+    u64 requests = 0;      //!< lines parsed (good or bad)
+    u64 runs = 0;          //!< run computes actually executed
+    u64 responseHits = 0;  //!< served from the response cache
+    u64 followerHits = 0;  //!< coalesced onto an in-flight leader
+    u64 errors = 0;        //!< error responses sent
+    u64 evictOps = 0;      //!< evict requests handled
+    u64 sweeps = 0;        //!< background budget sweeps completed
+    u64 traceFiles = 0;    //!< .vtrace handles written
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind + listen + spawn the accept and sweep threads. */
+    bool start(std::string *err = nullptr);
+
+    /** Block until a shutdown request (or stop()) lands. */
+    void wait();
+
+    /** Stop accepting, close connections, join the threads. */
+    void stop();
+
+    /**
+     * Handle one request line, return one response line (no newline).
+     * The full protocol, socket-free — tests and tools call this
+     * directly.
+     */
+    std::string handleLine(const std::string &line);
+
+    ServerCounters counters() const;
+    const ServerConfig &config() const { return config_; }
+
+  private:
+    /** One leader computing; followers sleep on cv. */
+    struct Inflight
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        bool failed = false;
+        std::string body;  //!< rendered result object on success
+        std::string error; //!< message on failure
+    };
+
+    /** Once-built facade per distinct program identity. */
+    struct SystemSlot
+    {
+        std::mutex m;
+        std::unique_ptr<VoltronSystem> sys;
+        std::string buildError;
+    };
+
+    std::string handleRun(const ServerRequest &req);
+    std::string handlePing(const ServerRequest &req);
+    std::string handleStats(const ServerRequest &req);
+    std::string handleEvict(const ServerRequest &req);
+
+    /** The leader's compute: build, run, render the result object. */
+    bool computeRun(const ServerRequest &req, std::string &body,
+                    std::string &error);
+
+    std::shared_ptr<SystemSlot> slotFor(u64 identity);
+
+    void acceptLoop();
+    void serveConnection(int fd);
+    void sweepLoop();
+    void bumpError();
+
+    ServerConfig config_;
+    Executor executor_;
+
+    mutable std::mutex mutex_; //!< dedup maps + counters
+    std::unordered_map<u64, std::string> responseCache_;
+    std::unordered_map<u64, std::shared_ptr<Inflight>> inflight_;
+    ServerCounters counters_;
+
+    std::mutex systemsMutex_;
+    std::unordered_map<u64, std::shared_ptr<SystemSlot>> systems_;
+
+    std::mutex lifecycleMutex_;
+    std::condition_variable lifecycleCv_;
+    bool stopping_ = false;
+
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+    std::thread sweepThread_;
+    std::mutex connMutex_;
+    std::vector<std::thread> connThreads_;
+    std::vector<int> connFds_;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SERVER_SERVER_HH_

@@ -18,6 +18,8 @@
 
 #include "compiler/compile.hh"
 #include "core/voltron.hh"
+#include "ir/builder.hh"
+#include "workloads/archetypes.hh"
 #include "workloads/suite.hh"
 
 namespace voltron {
@@ -227,6 +229,69 @@ TEST(MeshCodegen, LargestMachineReproducesGolden)
     const RunOutcome outcome = sys.run(opts);
     EXPECT_TRUE(outcome.exitMatches);
     EXPECT_TRUE(outcome.memoryMatches);
+}
+
+/** One long embarrassingly parallel counted loop (a DOALL stream
+ * phase), called directly from main. */
+Program
+doall_stream_program(u64 trips, u64 elems)
+{
+    Rng rng(4242);
+    ProgramBuilder b("doall_scaling");
+    b.beginFunction("main");
+    b.emitHalt(b.emitImm(0));
+    b.endFunction();
+    PhaseParams pp;
+    pp.trips = trips;
+    pp.elems = elems;
+    pp.width = 5;
+    const FuncId f =
+        emit_phase(b, Archetype::DoallStream, "stream", pp, rng);
+    Program prog = b.take();
+    Function &main_fn = prog.function(0);
+    main_fn.blocks.clear();
+    main_fn.addBlock("entry");
+    BasicBlock &bb = main_fn.block(0);
+    bb.append(ops::movi(gpr(1), 1));
+    RegId bt = main_fn.freshReg(RegClass::BTR);
+    bb.append(ops::pbr(bt, CodeRef::to_function(f)));
+    bb.append(ops::call(bt));
+    bb.append(ops::halt(gpr(0)));
+    return prog;
+}
+
+/**
+ * DOALL chunking must widen with the machine: on an embarrassingly
+ * parallel loop, a 16-core mesh has to beat the 4-core mesh strictly,
+ * and the largest machine must never fall behind the 4-core number
+ * (the historical failure mode: chunking split numCores ways with a
+ * flat per-worker spawn/parameterise cost, so 16–64-core meshes ran
+ * *slower* than 4-core ones — 64 cores dipped below serial).
+ */
+TEST(MeshCodegen, DoallSpeedupWidensWithTheMachine)
+{
+    VoltronSystem sys(doall_stream_program(4096, 512));
+    const Cycle serial = sys.baselineCycles();
+    ASSERT_GT(serial, 0u);
+
+    const auto speedup_at = [&](u16 cores) {
+        CompileOptions opts;
+        opts.strategy = Strategy::LlpOnly;
+        opts.numCores = cores;
+        opts.minOpsPerActivation = 1;
+        opts.minDoallTrip = 1.0;
+        const RunOutcome outcome = sys.run(opts);
+        EXPECT_TRUE(outcome.correct()) << cores << " cores";
+        return static_cast<double>(serial) /
+               static_cast<double>(outcome.result.cycles);
+    };
+
+    const double s4 = speedup_at(4);
+    const double s16 = speedup_at(16);
+    const double s64 = speedup_at(64);
+    EXPECT_GT(s4, 1.5) << "4-core DOALL barely parallelises";
+    EXPECT_GT(s16, s4) << "16-core mesh must strictly beat 4-core";
+    EXPECT_GT(s64, s4) << "64-core mesh fell behind the 4-core number";
 }
 
 /** A shape-bound program (coupled hop chains routed for 2x4) must not

@@ -304,16 +304,16 @@ TEST(ArtifactCache, DiskRoundTripAndStats)
     EXPECT_EQ(warm.misses(), 0u);
     EXPECT_GE(warm.diskHits(), 3u);
 
-    // The entries verify via the tool-facing reader.
+    // The entries verify via the tool-facing reader (walking the shard
+    // fan-out, like cachectl does).
     size_t entries = 0;
-    for (const auto &de :
-         std::filesystem::directory_iterator(cache.path())) {
+    for_each_cache_file(cache.path().string(), [&](const auto &de) {
         CacheEntryHeader header;
         std::vector<u8> payload;
         EXPECT_TRUE(read_cache_entry(de.path().string(), header, &payload))
             << de.path();
         ++entries;
-    }
+    });
     EXPECT_GE(entries, 3u);
 }
 
@@ -352,20 +352,19 @@ TEST(ArtifactCache, OrphanedStoreTempIsDebrisNotAnEntry)
     EXPECT_EQ(warm.corrupt, 0u);
 
     // The sweep removes the temp and nothing else.
-    size_t published = 0;
-    for (const auto &de :
-         std::filesystem::directory_iterator(cache.path()))
-        if (de.path().extension() == ".vcache")
-            ++published;
+    const auto count_published = [&] {
+        size_t published = 0;
+        for_each_cache_file(cache.path().string(), [&](const auto &de) {
+            if (de.path().extension() == ".vcache")
+                ++published;
+        });
+        return published;
+    };
+    const size_t published = count_published();
     ASSERT_GT(published, 0u);
     EXPECT_EQ(sweep_cache_temps(cache.path().string()), 1u);
     EXPECT_FALSE(std::filesystem::exists(orphan));
-    size_t survivors = 0;
-    for (const auto &de :
-         std::filesystem::directory_iterator(cache.path()))
-        if (de.path().extension() == ".vcache")
-            ++survivors;
-    EXPECT_EQ(survivors, published);
+    EXPECT_EQ(count_published(), published);
 }
 
 TEST(ArtifactCache, CorruptedEntryFallsBackToColdCompile)
@@ -377,8 +376,7 @@ TEST(ArtifactCache, CorruptedEntryFallsBackToColdCompile)
         cold_cycles = sys.run(Strategy::IlpOnly, 2).result.cycles;
     }
     // Flip a byte in the middle of every payload on disk.
-    for (const auto &de :
-         std::filesystem::directory_iterator(cache.path())) {
+    for_each_cache_file(cache.path().string(), [&](const auto &de) {
         std::fstream f(de.path(),
                        std::ios::in | std::ios::out | std::ios::binary);
         f.seekg(0, std::ios::end);
@@ -391,7 +389,7 @@ TEST(ArtifactCache, CorruptedEntryFallsBackToColdCompile)
         byte = static_cast<char>(byte ^ 0x5a);
         f.seekp(size / 2 + 18, std::ios::beg);
         f.write(&byte, 1);
-    }
+    });
     ArtifactCache::instance().clearMemory();
     ArtifactCache::instance().resetStats();
     {
@@ -416,14 +414,13 @@ TEST(ArtifactCache, VersionMismatchIsAMiss)
         sys.compile(CompileOptions{});
     }
     // Bump the version field (offset 4) in every entry.
-    for (const auto &de :
-         std::filesystem::directory_iterator(cache.path())) {
+    for_each_cache_file(cache.path().string(), [&](const auto &de) {
         std::fstream f(de.path(),
                        std::ios::in | std::ios::out | std::ios::binary);
         u32 version = kCacheFormatVersion + 1;
         f.seekp(4, std::ios::beg);
         f.write(reinterpret_cast<const char *>(&version), 4);
-    }
+    });
     ArtifactCache::instance().clearMemory();
     ArtifactCache::instance().resetStats();
     {

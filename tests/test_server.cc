@@ -1,0 +1,474 @@
+/**
+ * @file
+ * The server stack, bottom-up: JSON parse/emit round-trips, request
+ * parsing and content-hash identity, the work-stealing executor, and
+ * the whole protocol brain via Server::handleLine — dedup levels
+ * (cold / cached / follower), evict-then-miss, stats — plus one real
+ * socket loopback through Client.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_cache.hh"
+#include "ir/serialize.hh"
+#include "server/client.hh"
+#include "server/json.hh"
+#include "server/protocol.hh"
+#include "server/server.hh"
+#include "support/serialize.hh"
+#include "trace/trace.hh"
+#include "workloads/suite.hh"
+
+using namespace voltron;
+
+namespace {
+
+/** Fresh cache dir per test; restores the env on destruction. */
+class ScopedCacheDir
+{
+  public:
+    ScopedCacheDir()
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("vserver-test-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter_++));
+        std::filesystem::create_directories(dir_);
+        ::setenv("VOLTRON_CACHE_DIR", dir_.c_str(), 1);
+        ArtifactCache::instance().setDiskDir(dir_.string());
+        ArtifactCache::instance().clearMemory();
+        ArtifactCache::instance().resetStats();
+    }
+
+    ~ScopedCacheDir()
+    {
+        ArtifactCache::instance().setDiskDir(std::nullopt);
+        ArtifactCache::instance().setDiskBudget(std::nullopt);
+        ::unsetenv("VOLTRON_CACHE_DIR");
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    const std::filesystem::path &path() const { return dir_; }
+
+  private:
+    static inline int counter_ = 0;
+    std::filesystem::path dir_;
+};
+
+} // namespace
+
+// --- JSON -----------------------------------------------------------------
+
+TEST(ServerJson, ParsesScalarsObjectsAndArrays)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(
+        R"({"a":1,"b":-2.5,"c":"x\ny","d":[true,false,null],"e":{"f":18446744073709551615}})",
+        v, &err))
+        << err;
+    EXPECT_EQ(v.u64At("a"), 1u);
+    EXPECT_DOUBLE_EQ(v.find("b")->asF64(), -2.5);
+    EXPECT_EQ(v.str("c"), "x\ny");
+    ASSERT_TRUE(v.find("d")->isArray());
+    EXPECT_EQ(v.find("d")->items().size(), 3u);
+    EXPECT_TRUE(v.find("d")->items()[0].boolean());
+    // u64 keys survive without a double mantissa truncating them.
+    EXPECT_EQ(v.find("e")->u64At("f"), 0xffffffffffffffffULL);
+}
+
+TEST(ServerJson, RejectsMalformedInput)
+{
+    JsonValue v;
+    EXPECT_FALSE(JsonValue::parse("", v));
+    EXPECT_FALSE(JsonValue::parse("{", v));
+    EXPECT_FALSE(JsonValue::parse("{\"a\":}", v));
+    EXPECT_FALSE(JsonValue::parse("[1,]", v));
+    EXPECT_FALSE(JsonValue::parse("{} trailing", v));
+    EXPECT_FALSE(JsonValue::parse("\"unterminated", v));
+}
+
+TEST(ServerJson, WriterRoundTripsThroughParser)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("s", std::string("quote\"back\\slash"));
+    w.field("n", u64{1234567890123456789ULL});
+    w.field("f", 2.5);
+    w.field("b", true);
+    w.key("arr");
+    w.beginArray();
+    w.value(1).value(2).value(3);
+    w.endArray();
+    w.key("nested");
+    w.beginObject();
+    w.field("x", 7);
+    w.endObject();
+    w.endObject();
+
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(JsonValue::parse(w.str(), v, &err)) << w.str() << " " << err;
+    EXPECT_EQ(v.str("s"), "quote\"back\\slash");
+    EXPECT_EQ(v.u64At("n"), 1234567890123456789ULL);
+    EXPECT_TRUE(v.boolAt("b"));
+    EXPECT_EQ(v.find("arr")->items().size(), 3u);
+    EXPECT_EQ(v.find("nested")->u64At("x"), 7u);
+}
+
+// --- Protocol -------------------------------------------------------------
+
+TEST(ServerProtocol, HexRoundTrips)
+{
+    const std::vector<u8> bytes = {0x00, 0x0f, 0xf0, 0xab, 0xff};
+    const std::string hex = hex_encode(bytes);
+    EXPECT_EQ(hex, "000ff0abff");
+    std::vector<u8> back;
+    ASSERT_TRUE(hex_decode(hex, back));
+    EXPECT_EQ(back, bytes);
+    EXPECT_FALSE(hex_decode("abc", back));  // odd length
+    EXPECT_FALSE(hex_decode("zz", back));   // bad digit
+}
+
+TEST(ServerProtocol, ParsesRunRequestWithOptions)
+{
+    ServerRequest req;
+    std::string err;
+    ASSERT_TRUE(ServerRequest::parse(
+        R"({"op":"run","id":"r1","benchmark":"djpeg","targetOps":50000,)"
+        R"("options":{"strategy":"llp","cores":16,"meshRows":4,"meshCols":4,)"
+        R"("minDoallTrip":2.0,"minOpsPerActivation":10},"trace":true})",
+        req, &err))
+        << err;
+    EXPECT_EQ(req.op, "run");
+    EXPECT_EQ(req.id, "r1");
+    EXPECT_EQ(req.source, ProgramSource::Benchmark);
+    EXPECT_EQ(req.benchmark, "djpeg");
+    EXPECT_EQ(req.targetOps, 50000u);
+    EXPECT_EQ(req.options.strategy, Strategy::LlpOnly);
+    EXPECT_EQ(req.options.numCores, 16);
+    EXPECT_EQ(req.options.meshRows, 4);
+    EXPECT_EQ(req.options.meshCols, 4);
+    EXPECT_DOUBLE_EQ(req.options.minDoallTrip, 2.0);
+    EXPECT_EQ(req.options.minOpsPerActivation, 10u);
+    EXPECT_TRUE(req.trace);
+    EXPECT_FALSE(req.metrics);
+}
+
+TEST(ServerProtocol, RejectsBadRequests)
+{
+    ServerRequest req;
+    std::string err;
+    EXPECT_FALSE(ServerRequest::parse("not json", req, &err));
+    EXPECT_FALSE(ServerRequest::parse(R"({"op":"frobnicate"})", req, &err));
+    // run with no source, with two sources, with a bad strategy, with a
+    // mesh that does not cover the cores.
+    EXPECT_FALSE(ServerRequest::parse(R"({"op":"run"})", req, &err));
+    EXPECT_FALSE(ServerRequest::parse(
+        R"({"op":"run","benchmark":"djpeg","seed":1})", req, &err));
+    EXPECT_FALSE(ServerRequest::parse(
+        R"({"op":"run","seed":1,"options":{"strategy":"warp"}})", req,
+        &err));
+    EXPECT_FALSE(ServerRequest::parse(
+        R"({"op":"run","seed":1,"options":{"cores":8,"meshRows":3,"meshCols":2}})",
+        req, &err));
+    EXPECT_FALSE(ServerRequest::parse(
+        R"({"op":"run","program":"abc"})", req, &err)); // odd hex
+}
+
+TEST(ServerProtocol, ContentHashSeparatesProgramOptionsAndTrace)
+{
+    auto parse = [](const std::string &line) {
+        ServerRequest req;
+        std::string err;
+        EXPECT_TRUE(ServerRequest::parse(line, req, &err)) << err;
+        return req;
+    };
+    const ServerRequest a =
+        parse(R"({"op":"run","seed":7,"options":{"cores":4}})");
+    const ServerRequest same =
+        parse(R"({"op":"run","id":"other","seed":7,"options":{"cores":4}})");
+    const ServerRequest cores =
+        parse(R"({"op":"run","seed":7,"options":{"cores":8}})");
+    const ServerRequest seed =
+        parse(R"({"op":"run","seed":8,"options":{"cores":4}})");
+    const ServerRequest traced =
+        parse(R"({"op":"run","seed":7,"options":{"cores":4},"trace":true})");
+
+    // The id is a correlation tag, not identity.
+    EXPECT_EQ(a.contentHash(), same.contentHash());
+    EXPECT_NE(a.contentHash(), cores.contentHash());
+    EXPECT_NE(a.contentHash(), seed.contentHash());
+    EXPECT_NE(a.contentHash(), traced.contentHash());
+    // Options do not change which program it is.
+    EXPECT_EQ(a.programIdentityHash(), cores.programIdentityHash());
+    EXPECT_NE(a.programIdentityHash(), seed.programIdentityHash());
+}
+
+TEST(ServerProtocol, HexProgramIdentityMatchesContentHash)
+{
+    const Program prog = build_benchmark("djpeg");
+    ByteWriter w;
+    serialize(w, prog);
+    const std::string hex = hex_encode(w.bytes());
+
+    ServerRequest req;
+    std::string err;
+    ASSERT_TRUE(ServerRequest::parse(
+        R"({"op":"run","program":")" + hex + R"("})", req, &err))
+        << err;
+    EXPECT_EQ(req.source, ProgramSource::ProgramHex);
+    // Two hex submissions of the same program dedup to one identity.
+    ServerRequest again;
+    ASSERT_TRUE(ServerRequest::parse(
+        R"({"op":"run","id":"x","program":")" + hex + R"("})", again,
+        &err));
+    EXPECT_EQ(req.programIdentityHash(), again.programIdentityHash());
+}
+
+// --- Executor -------------------------------------------------------------
+
+TEST(ServerExecutor, RunsEverySubmittedTask)
+{
+    Executor pool(4);
+    std::atomic<u64> sum{0};
+    for (u64 i = 1; i <= 200; ++i)
+        pool.submit([&sum, i] { sum.fetch_add(i); });
+    pool.stop();
+    EXPECT_EQ(sum.load(), 200u * 201u / 2);
+    const ExecutorStats stats = pool.stats();
+    EXPECT_EQ(stats.submitted, 200u);
+    EXPECT_EQ(stats.executed, 200u);
+}
+
+TEST(ServerExecutor, SubmitAfterStopRunsInline)
+{
+    Executor pool(2);
+    pool.stop();
+    bool ran = false;
+    pool.submit([&] { ran = true; });
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(pool.stats().inline_, 1u);
+}
+
+TEST(ServerExecutor, ParallelSubmittersDontLoseWork)
+{
+    Executor pool(3);
+    std::atomic<u64> count{0};
+    std::vector<std::thread> producers;
+    for (int t = 0; t < 4; ++t)
+        producers.emplace_back([&] {
+            for (int i = 0; i < 50; ++i)
+                pool.submit([&count] { count.fetch_add(1); });
+        });
+    for (std::thread &t : producers)
+        t.join();
+    pool.stop();
+    EXPECT_EQ(count.load(), 200u);
+}
+
+// --- Server (socket-free, via handleLine) ---------------------------------
+
+namespace {
+
+JsonValue
+handle(Server &server, const std::string &line)
+{
+    const std::string response = server.handleLine(line);
+    JsonValue v;
+    std::string err;
+    EXPECT_TRUE(JsonValue::parse(response, v, &err))
+        << response << " " << err;
+    return v;
+}
+
+/** A small-but-real run request (tiny benchmark scale keeps it fast). */
+std::string
+run_line(const std::string &id, u64 seed, int cores)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("op", "run");
+    w.field("id", id);
+    w.field("seed", seed);
+    w.key("options");
+    w.beginObject();
+    w.field("cores", cores);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace
+
+TEST(ServerBrain, ColdThenCachedThenEvictThenCold)
+{
+    ScopedCacheDir cache;
+    Server server(ServerConfig{});
+
+    JsonValue cold = handle(server, run_line("c1", 11, 4));
+    ASSERT_EQ(cold.str("status"), "ok");
+    EXPECT_EQ(cold.str("source"), "cold");
+    const JsonValue *result = cold.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_TRUE(result->boolAt("correct"));
+    const u64 cycles = result->u64At("cycles");
+    EXPECT_GT(cycles, 0u);
+
+    JsonValue warm = handle(server, run_line("c2", 11, 4));
+    EXPECT_EQ(warm.str("source"), "cached");
+    EXPECT_EQ(warm.find("result")->u64At("cycles"), cycles);
+
+    JsonValue evict = handle(server, R"({"op":"evict","maxBytes":0})");
+    ASSERT_EQ(evict.str("status"), "ok");
+    EXPECT_GT(evict.find("result")->u64At("evictedEntries"), 0u);
+
+    JsonValue cold2 = handle(server, run_line("c3", 11, 4));
+    EXPECT_EQ(cold2.str("source"), "cold");
+    EXPECT_EQ(cold2.find("result")->u64At("cycles"), cycles);
+
+    const ServerCounters counters = server.counters();
+    EXPECT_EQ(counters.runs, 2u);
+    EXPECT_EQ(counters.responseHits, 1u);
+    EXPECT_EQ(counters.errors, 0u);
+}
+
+TEST(ServerBrain, ConcurrentIdenticalRequestsCoalesceOntoOneLeader)
+{
+    ScopedCacheDir cache;
+    ServerConfig config;
+    config.workers = 2;
+    Server server(config);
+
+    constexpr int kClients = 6;
+    std::vector<std::string> responses(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i)
+        clients.emplace_back([&, i] {
+            responses[i] = server.handleLine(
+                run_line("t" + std::to_string(i), 77, 4));
+        });
+    for (std::thread &t : clients)
+        t.join();
+
+    u64 cycles = 0;
+    for (const std::string &response : responses) {
+        JsonValue v;
+        ASSERT_TRUE(JsonValue::parse(response, v)) << response;
+        ASSERT_EQ(v.str("status"), "ok") << response;
+        const u64 c = v.find("result")->u64At("cycles");
+        if (cycles == 0)
+            cycles = c;
+        EXPECT_EQ(c, cycles);
+    }
+    // However the threads interleaved, the simulation ran exactly once
+    // per *distinct* content hash: every non-leader either coalesced
+    // in-flight or hit the response cache.
+    const ServerCounters counters = server.counters();
+    EXPECT_EQ(counters.runs, 1u);
+    EXPECT_EQ(counters.followerHits + counters.responseHits,
+              static_cast<u64>(kClients - 1));
+    EXPECT_EQ(counters.errors, 0u);
+}
+
+TEST(ServerBrain, ErrorsAreReportedNotCached)
+{
+    ScopedCacheDir cache;
+    Server server(ServerConfig{});
+
+    JsonValue bad = handle(server, R"({"op":"run","id":"e1",)"
+                                   R"("benchmark":"no-such-benchmark"})");
+    EXPECT_EQ(bad.str("status"), "error");
+    EXPECT_NE(bad.str("error"), "");
+
+    JsonValue malformed = handle(server, "{{{{");
+    EXPECT_EQ(malformed.str("status"), "error");
+
+    EXPECT_EQ(server.counters().errors, 2u);
+}
+
+TEST(ServerBrain, StatsExposeServerAndCacheNamespaces)
+{
+    ScopedCacheDir cache;
+    Server server(ServerConfig{});
+    handle(server, run_line("s1", 5, 2));
+    handle(server, run_line("s2", 5, 2));
+
+    JsonValue stats = handle(server, R"({"op":"stats"})");
+    ASSERT_EQ(stats.str("status"), "ok");
+    const JsonValue *result = stats.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(result->u64At("server.requests"), 3u);
+    EXPECT_EQ(result->u64At("server.runs"), 1u);
+    EXPECT_EQ(result->u64At("server.responseHits"), 1u);
+    // "submitted" is bumped synchronously at submit time; "executed"
+    // lands after the worker's post-task bookkeeping and may lag.
+    EXPECT_GE(result->u64At("server.executor.submitted"), 1u);
+    // The cache.* namespace rides along (satellite: collect_cache_metrics).
+    EXPECT_GT(result->u64At("cache.stores"), 0u);
+    EXPECT_EQ(result->u64At("cache.disk.enabled"), 1u);
+}
+
+TEST(ServerBrain, TraceRequestWritesAReadableHandle)
+{
+    ScopedCacheDir cache;
+    ServerConfig config;
+    config.traceDir = (cache.path() / "traces").string();
+    Server server(config);
+
+    JsonValue v = handle(
+        server,
+        R"({"op":"run","id":"tr","seed":3,"options":{"cores":4},"trace":true})");
+    ASSERT_EQ(v.str("status"), "ok");
+    const std::string path = v.find("result")->str("trace");
+    ASSERT_NE(path, "");
+    TraceHeader header;
+    std::vector<TraceEvent> events;
+    ASSERT_TRUE(read_trace(path, header, events));
+    EXPECT_EQ(header.numCores, 4);
+    EXPECT_GT(events.size(), 0u);
+}
+
+// --- Socket loopback ------------------------------------------------------
+
+TEST(ServerSocket, ClientRoundTripsOverAUnixSocket)
+{
+    ScopedCacheDir cache;
+    ServerConfig config;
+    config.socketPath =
+        (cache.path() / "loopback.sock").string();
+    config.workers = 2;
+    Server server(config);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    Client client;
+    ASSERT_TRUE(client.connect(config.socketPath, &err)) << err;
+    std::string response;
+    ASSERT_TRUE(client.request(R"({"op":"ping"})", response, &err)) << err;
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse(response, v));
+    EXPECT_EQ(v.str("status"), "ok");
+
+    ASSERT_TRUE(client.request(run_line("sock1", 9, 4), response, &err));
+    ASSERT_TRUE(JsonValue::parse(response, v));
+    ASSERT_EQ(v.str("status"), "ok");
+    EXPECT_EQ(v.str("source"), "cold");
+
+    // Second connection sees the warm response cache.
+    Client second;
+    ASSERT_TRUE(second.connect(config.socketPath, &err)) << err;
+    ASSERT_TRUE(second.request(run_line("sock2", 9, 4), response, &err));
+    ASSERT_TRUE(JsonValue::parse(response, v));
+    EXPECT_EQ(v.str("source"), "cached");
+
+    ASSERT_TRUE(client.request(R"({"op":"shutdown"})", response, &err));
+    server.stop();
+    EXPECT_FALSE(std::filesystem::exists(config.socketPath));
+}

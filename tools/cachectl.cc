@@ -8,13 +8,23 @@
  *   cachectl stats  [--dir DIR]            per-kind entry counts + bytes
  *   cachectl evict  [--dir DIR] [PREFIX]   remove entries (all, or those
  *                                          whose hex key starts PREFIX)
+ *   cachectl evict  [--dir DIR] --max-bytes N
+ *                                          shrink the tier to <= N bytes,
+ *                                          LRU by mtime (oldest first),
+ *                                          sweeping aged orphan temps —
+ *                                          the same library routine
+ *                                          (evict_cache_to_size) behind
+ *                                          voltron-served's background
+ *                                          eviction
  *
- * Corrupt entries are reported, never fatal: the runtime cache treats
- * them as misses, and `evict` is the cleanup. Orphaned store temps
- * (".vcache.tmp<pid>" left by a process killed mid-publish) show up as
- * kind "orphan" and are likewise swept by `evict`. Process-level hit/miss
- * counters come from the runtime itself — run any harness with
- * VOLTRON_CACHE_STATS=1 to print them at exit.
+ * All subcommands see both the sharded layout (dir/<nibble>/) and
+ * legacy flat entries. Corrupt entries are reported, never fatal: the
+ * runtime cache treats them as misses, and `evict` is the cleanup.
+ * Orphaned store temps (".vcache.tmp<pid>" left by a process killed
+ * mid-publish) show up as kind "orphan" and are likewise swept by
+ * `evict`. Process-level hit/miss counters come from the runtime
+ * itself — run any harness with VOLTRON_CACHE_STATS=1 to print them at
+ * exit, or read the cache.* namespace in any collect_metrics JSON.
  */
 
 #include <algorithm>
@@ -23,6 +33,7 @@
 #include <filesystem>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -47,14 +58,12 @@ std::vector<Entry>
 scan(const std::string &dir)
 {
     std::vector<Entry> entries;
-    std::error_code ec;
-    for (const auto &de : fs::directory_iterator(dir, ec)) {
-        if (!de.is_regular_file())
-            continue;
+    for_each_cache_file(dir, [&](const fs::directory_entry &de) {
         const bool orphan =
             is_cache_temp_name(de.path().filename().string());
         if (!orphan && de.path().extension() != ".vcache")
-            continue;
+            return;
+        std::error_code ec;
         Entry e;
         e.path = de.path();
         e.orphan = orphan;
@@ -62,7 +71,7 @@ scan(const std::string &dir)
         e.headerOk =
             !orphan && read_cache_entry(e.path.string(), e.header, nullptr);
         entries.push_back(std::move(e));
-    }
+    });
     std::sort(entries.begin(), entries.end(),
               [](const Entry &a, const Entry &b) { return a.path < b.path; });
     return entries;
@@ -190,10 +199,23 @@ cmd_evict(const std::string &dir, const std::string &prefix)
 }
 
 int
+cmd_evict_max_bytes(const std::string &dir, u64 max_bytes)
+{
+    const CacheEvictionReport report = evict_cache_to_size(dir, max_bytes);
+    std::cout << "scanned " << report.scannedEntries << " entries ("
+              << report.scannedBytes << " bytes), evicted "
+              << report.evictedEntries << " (" << report.evictedBytes
+              << " bytes), swept " << report.orphanTemps
+              << " orphan temps; " << report.remainingBytes
+              << " bytes remain (bound " << max_bytes << ")\n";
+    return 0;
+}
+
+int
 usage()
 {
     std::cerr << "usage: cachectl <list|verify|stats|evict> [--dir DIR] "
-                 "[key-prefix]\n"
+                 "[--max-bytes N] [key-prefix]\n"
               << "DIR defaults to $VOLTRON_CACHE_DIR\n";
     return 2;
 }
@@ -204,12 +226,15 @@ int
 main(int argc, char **argv)
 {
     std::string cmd, dir, prefix;
+    std::optional<u64> max_bytes;
     if (const char *env = std::getenv("VOLTRON_CACHE_DIR"))
         dir = env;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc)
             dir = argv[++i];
+        else if (std::strcmp(argv[i], "--max-bytes") == 0 && i + 1 < argc)
+            max_bytes = std::strtoull(argv[++i], nullptr, 10);
         else
             positional.push_back(argv[i]);
     }
@@ -239,7 +264,16 @@ main(int argc, char **argv)
         return cmd_verify(dir);
     if (cmd == "stats")
         return cmd_stats(dir);
-    if (cmd == "evict")
+    if (cmd == "evict") {
+        if (max_bytes) {
+            if (!prefix.empty()) {
+                std::cerr << "cachectl: --max-bytes and a key prefix are "
+                             "mutually exclusive\n";
+                return 2;
+            }
+            return cmd_evict_max_bytes(dir, *max_bytes);
+        }
         return cmd_evict(dir, prefix);
+    }
     return usage();
 }

@@ -105,6 +105,21 @@ fi
 echo "threaded fuzz smoke clean: 25 programs bit-identical on the" \
      "parallel stepper"
 
+echo "== corpus replay =="
+# Replay every checked-in .vfuzz repro against the current build. The
+# corpus starts empty — the stage is dormant until a fuzz divergence is
+# found in the wild and its shrunk repro is committed to tests/corpus/;
+# from then on this stage keeps the bug fixed forever.
+shopt -s nullglob
+REPROS=(tests/corpus/*.vfuzz)
+shopt -u nullglob
+if [ "${#REPROS[@]}" -gt 0 ]; then
+    ./build/tools/voltron-fuzz replay "${REPROS[@]}"
+    echo "corpus replay clean: ${#REPROS[@]} repro(s) stay fixed"
+else
+    echo "corpus replay dormant: no .vfuzz repros under tests/corpus/"
+fi
+
 echo "== mesh-scaling smoke =="
 # Quick per-mode scaling sweep at {4,16} cores across mesh shapes. The
 # bench itself fails on any divergence from the golden model and when
@@ -113,6 +128,57 @@ echo "== mesh-scaling smoke =="
 ./build/bench/mesh_scaling --quick "$SMOKE_DIR/BENCH_mesh_scaling.json"
 ./build/tools/voltron-trace checkjson "$SMOKE_DIR/BENCH_mesh_scaling.json"
 echo "mesh-scaling smoke clean: quick sweep correct, JSON validates"
+
+echo "== server smoke =="
+# Boot the daemon on a throwaway socket with an isolated cache dir and
+# walk the three-request lifecycle the server exists for: a cold
+# compile+run, the identical request again (must be served from the
+# response cache), then a full evict followed by the same request once
+# more (must be cold again). Each response is captured and asserted on
+# before the next request goes out; servectl itself exits non-zero on
+# any "status":"error" response.
+SERVER_SOCK="$SMOKE_DIR/ci-served.sock"
+SERVER_CACHE="$SMOKE_DIR/ci-served-cache"
+mkdir -p "$SERVER_CACHE"
+VOLTRON_CACHE_DIR="$SERVER_CACHE" ./build/tools/voltron-served \
+    --socket "$SERVER_SOCK" --workers 2 \
+    > "$SMOKE_DIR/ci-served.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SERVER_SOCK" ] && break
+    sleep 0.1
+done
+if ! [ -S "$SERVER_SOCK" ]; then
+    echo "FAIL: voltron-served never created its socket" >&2
+    cat "$SMOKE_DIR/ci-served.log" >&2
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+fi
+
+SERVER_REQ='{"op":"run","id":"ci-smoke","benchmark":"epic","options":{"cores":4}}'
+server_expect() {  # server_expect <label> <expected-source>
+    local resp
+    resp="$(./build/tools/voltron-servectl --socket "$SERVER_SOCK" \
+        send "$SERVER_REQ")"
+    echo "$resp" > "$SMOKE_DIR/ci-served-$1.json"
+    if ! echo "$resp" | grep -q "\"source\":\"$2\""; then
+        echo "FAIL: $1 request did not come back \"source\":\"$2\"" >&2
+        echo "$resp" >&2
+        kill "$SERVER_PID" 2>/dev/null || true
+        exit 1
+    fi
+}
+server_expect cold cold
+server_expect warm cached
+./build/tools/voltron-servectl --socket "$SERVER_SOCK" evict 0 > /dev/null
+server_expect evicted cold
+./build/tools/voltron-servectl --socket "$SERVER_SOCK" shutdown > /dev/null
+if ! wait "$SERVER_PID"; then
+    echo "FAIL: voltron-served exited non-zero after shutdown" >&2
+    cat "$SMOKE_DIR/ci-served.log" >&2
+    exit 1
+fi
+echo "server smoke clean: cold -> cached -> evict -> cold, clean shutdown"
 
 echo "== tsan smoke =="
 TSAN_PROBE="$SMOKE_DIR/tsan-probe"

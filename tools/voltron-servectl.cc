@@ -1,0 +1,91 @@
+/**
+ * @file
+ * One-shot client for voltron-served.
+ *
+ *   voltron-servectl [--socket PATH] ping
+ *   voltron-servectl [--socket PATH] stats
+ *   voltron-servectl [--socket PATH] evict [MAX_BYTES]
+ *   voltron-servectl [--socket PATH] shutdown
+ *   voltron-servectl [--socket PATH] send '<json request line>'
+ *
+ * Prints the daemon's response line on stdout. Exit status is 0 when
+ * the response says "status":"ok", 1 otherwise — so shell scripts (CI
+ * smoke) can chain on it directly.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/client.hh"
+#include "server/json.hh"
+
+using namespace voltron;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: voltron-servectl [--socket PATH] "
+        "(ping|stats|shutdown|evict [MAX_BYTES]|send JSON)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socket_path = "/tmp/voltron-served.sock";
+    int i = 1;
+    while (i < argc && argv[i][0] == '-') {
+        if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+            socket_path = argv[i + 1];
+            i += 2;
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (i >= argc) {
+        usage();
+        return 2;
+    }
+
+    const std::string cmd = argv[i++];
+    std::string line;
+    if (cmd == "ping" || cmd == "stats" || cmd == "shutdown") {
+        line = "{\"op\":\"" + cmd + "\"}";
+    } else if (cmd == "evict") {
+        line = "{\"op\":\"evict\"";
+        if (i < argc)
+            line += std::string(",\"maxBytes\":") + argv[i++];
+        line += "}";
+    } else if (cmd == "send" && i < argc) {
+        line = argv[i++];
+    } else {
+        usage();
+        return 2;
+    }
+
+    Client client;
+    std::string err;
+    if (!client.connect(socket_path, &err)) {
+        std::fprintf(stderr, "voltron-servectl: %s\n", err.c_str());
+        return 1;
+    }
+    std::string response;
+    if (!client.request(line, response, &err)) {
+        std::fprintf(stderr, "voltron-servectl: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("%s\n", response.c_str());
+
+    JsonValue parsed;
+    if (!JsonValue::parse(response, parsed))
+        return 1;
+    return parsed.str("status") == "ok" ? 0 : 1;
+}

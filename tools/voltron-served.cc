@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The voltron-served daemon entry point.
+ *
+ * Binds a Unix domain socket, serves the line-delimited JSON protocol
+ * (src/server/protocol.hh) until a shutdown request arrives, then
+ * tears down cleanly. Typical session:
+ *
+ *   VOLTRON_CACHE_DIR=/tmp/vcache \
+ *     voltron-served --socket /tmp/voltron.sock --workers 4 \
+ *                    --max-bytes 67108864 &
+ *   voltron-servectl --socket /tmp/voltron.sock \
+ *     send '{"op":"run","benchmark":"djpeg","options":{"cores":8}}'
+ *   voltron-servectl --socket /tmp/voltron.sock shutdown
+ *
+ * The daemon prints one "ready <socket>" line to stdout once it is
+ * accepting, so scripts can poll for liveness without sleeping.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.hh"
+
+using namespace voltron;
+
+namespace {
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: voltron-served [--socket PATH] [--workers N]\n"
+                 "                      [--max-bytes N] [--trace-dir DIR]\n"
+                 "                      [--evict-interval-ms N]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerConfig config;
+    config.socketPath = "/tmp/voltron-served.sock";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const bool has_value = i + 1 < argc;
+        if (arg == "--socket" && has_value) {
+            config.socketPath = argv[++i];
+        } else if (arg == "--workers" && has_value) {
+            config.workers = std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--max-bytes" && has_value) {
+            config.cacheMaxBytes = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--trace-dir" && has_value) {
+            config.traceDir = argv[++i];
+        } else if (arg == "--evict-interval-ms" && has_value) {
+            config.evictIntervalMs =
+                static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (config.workers == 0)
+        config.workers = 2;
+
+    Server server(config);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "voltron-served: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("ready %s\n", config.socketPath.c_str());
+    std::fflush(stdout);
+    server.wait();
+    server.stop();
+
+    const ServerCounters c = server.counters();
+    std::printf("served %llu requests (%llu runs, %llu cached, "
+                "%llu coalesced, %llu errors)\n",
+                static_cast<unsigned long long>(c.requests),
+                static_cast<unsigned long long>(c.runs),
+                static_cast<unsigned long long>(c.responseHits),
+                static_cast<unsigned long long>(c.followerHits),
+                static_cast<unsigned long long>(c.errors));
+    return 0;
+}
