@@ -13,12 +13,17 @@
  *                     never-seen seeds so the cold path stays exercised
  *                     and the disk tier keeps churning under budget.
  *
+ * Every request asks for its span timeline ("timing":true) and the
+ * bench checks per response that queue wait plus the service phases
+ * never exceeds the request's total wall time.
+ *
  * Records per-request latency tagged by the response's actual source,
  * and writes BENCH_server.json with percentiles, dedup/hit-rate stats,
- * and the cache eviction counters. Exit status enforces the regression
- * gates: >= 90% warm hit rate, >= 5x cold-vs-warm median latency, disk
- * tier never observed over budget, and evictions > 0 (the budget
- * actually bit).
+ * the daemon's own per-phase p50/p95/p99 ("phases" section), and the
+ * cache eviction counters. Exit status enforces the regression gates:
+ * >= 90% warm hit rate, >= 5x cold-vs-warm median latency, disk tier
+ * never observed over budget, evictions > 0 (the budget actually bit),
+ * and zero span-accounting violations.
  */
 
 #include <algorithm>
@@ -68,12 +73,38 @@ run_line(const std::string &benchmark, u64 target_ops)
     w.field("benchmark", benchmark);
     if (target_ops != 0)
         w.field("targetOps", target_ops);
+    // The per-request timeline rides along so the bench can check the
+    // span accounting on every single response.
+    w.field("timing", true);
     w.key("options");
     w.beginObject();
     w.field("cores", 4);
     w.endObject();
     w.endObject();
     return w.str();
+}
+
+/**
+ * Per-request span-accounting check: the time queued plus the time in
+ * the service phases can never exceed the request's total wall time
+ * (they are disjoint spans of one timeline). False means the telemetry
+ * is broken, not the server.
+ */
+bool
+timing_accounts(const JsonValue &response)
+{
+    const JsonValue *timing = response.find("timing");
+    if (!timing || !timing->isObject())
+        return false; // requested but absent
+    const JsonValue *phases = timing->find("phases");
+    if (!phases || !phases->isObject())
+        return false;
+    const u64 total = timing->u64At("totalUs");
+    const u64 queue_wait = phases->u64At("queueWait");
+    const u64 service =
+        phases->u64At("cacheProbe") + phases->u64At("goldenRun") +
+        phases->u64At("compile") + phases->u64At("simulate");
+    return queue_wait + service <= total;
 }
 
 u64
@@ -171,6 +202,7 @@ main(int argc, char **argv)
     std::atomic<u64> overBudgetObservations{0};
     std::atomic<u64> maxDiskObserved{0};
     std::atomic<u64> failures{0};
+    std::atomic<u64> timingViolations{0};
 
     auto drive = [&](const std::vector<std::string> &lines, bool warm) {
         std::atomic<size_t> next{0};
@@ -209,6 +241,8 @@ main(int argc, char **argv)
                         ++failures;
                         continue;
                     }
+                    if (!timing_accounts(v))
+                        ++timingViolations;
                     std::lock_guard<std::mutex> lock(samplesMutex);
                     samples.push_back({us, warm, v.str("source")});
                 }
@@ -262,12 +296,14 @@ main(int argc, char **argv)
     u64 serverRuns = 0;
     u64 responseHits = 0;
     u64 followerHits = 0;
+    JsonValue statsResult; // kept whole for the per-phase percentiles
     if (statsClient.connect(config.socketPath) &&
         statsClient.request("{\"op\":\"stats\"}", statsLine)) {
         JsonValue v;
         if (JsonValue::parse(statsLine, v)) {
             const JsonValue *result = v.find("result");
             if (result) {
+                statsResult = *result;
                 evictions = result->u64At("cache.evictions");
                 evictedBytes = result->u64At("cache.evictedBytes");
                 serverRuns = result->u64At("server.runs");
@@ -313,8 +349,9 @@ main(int argc, char **argv)
         overBudgetObservations.load() == 0 && finalDisk <= kDiskBudget;
     const bool evictionsOk = evictions > 0;
     const bool cleanRun = failures.load() == 0;
-    const bool pass =
-        hitRateOk && latencyOk && diskBoundOk && evictionsOk && cleanRun;
+    const bool timingOk = timingViolations.load() == 0;
+    const bool pass = hitRateOk && latencyOk && diskBoundOk &&
+                      evictionsOk && cleanRun && timingOk;
 
     JsonWriter w;
     w.beginObject();
@@ -337,12 +374,41 @@ main(int argc, char **argv)
     w.field("warmPhaseHits", warmHits);
     w.field("warmHitRate", hitRate);
     w.field("failures", failures.load());
+    w.field("timingViolations", timingViolations.load());
     w.endObject();
     w.key("latency");
     w.beginObject();
     write_latency(w, "cold", cold);
     write_latency(w, "warmHit", warm);
     w.field("medianColdOverWarm", medianSpeedup);
+    w.endObject();
+    // Daemon-side per-phase percentiles: every timed run feeds the
+    // server's phase histograms, so this is the service-time breakdown
+    // exactly as the daemon measured it (client latencies above include
+    // the socket round-trip; these do not).
+    w.key("phases");
+    w.beginObject();
+    {
+        static const char *const kPhaseRows[] = {
+            "server.latency.total",    "server.phase.parse",
+            "server.phase.classify",   "server.phase.queueWait",
+            "server.phase.cacheProbe", "server.phase.goldenRun",
+            "server.phase.compile",    "server.phase.simulate",
+            "server.phase.serialize",  "server.phase.reply",
+        };
+        for (const char *row : kPhaseRows) {
+            const std::string base = row;
+            if (!statsResult.find(base + ".count"))
+                continue;
+            w.key(base.substr(base.rfind('.') + 1));
+            w.beginObject();
+            w.field("count", statsResult.u64At(base + ".count"));
+            w.field("p50Us", statsResult.u64At(base + ".p50"));
+            w.field("p95Us", statsResult.u64At(base + ".p95"));
+            w.field("p99Us", statsResult.u64At(base + ".p99"));
+            w.endObject();
+        }
+    }
     w.endObject();
     w.key("disk");
     w.beginObject();
@@ -360,6 +426,7 @@ main(int argc, char **argv)
     w.field("diskUnderBudget", diskBoundOk);
     w.field("evictionsPositive", evictionsOk);
     w.field("noClientFailures", cleanRun);
+    w.field("timingAccounting", timingOk);
     w.field("pass", pass);
     w.endObject();
     w.endObject();
@@ -370,13 +437,15 @@ main(int argc, char **argv)
 
     std::printf("server_load: %zu requests, warm hit rate %.1f%%, "
                 "cold p50 %llu us vs warm p50 %llu us (%.1fx), "
-                "disk max %llu / budget %llu, %llu evictions -> %s\n",
+                "disk max %llu / budget %llu, %llu evictions, "
+                "%llu timing violations -> %s\n",
                 samples.size(), hitRate * 100.0,
                 static_cast<unsigned long long>(cold.p50),
                 static_cast<unsigned long long>(warm.p50), medianSpeedup,
                 static_cast<unsigned long long>(maxDiskObserved.load()),
                 static_cast<unsigned long long>(kDiskBudget),
                 static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(timingViolations.load()),
                 pass ? "PASS" : "FAIL");
 
     ArtifactCache::instance().setDiskDir(std::nullopt);

@@ -12,6 +12,7 @@
 
 #include "ir/serialize.hh"
 #include "support/error.hh"
+#include "support/log.hh"
 #include "trace/metrics.hh"
 
 namespace voltron {
@@ -456,11 +457,16 @@ ArtifactCache::loadDisk(ArtifactKind kind, u64 key)
     std::vector<u8> payload;
     if (!read_cache_entry(path, header, &payload) || header.key != key ||
         header.kind != static_cast<u32>(kind)) {
+        log_warn("cache.disk", "corrupt entry", {{"path", path}});
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.corrupt;
         ++stats_.byShard[shard].misses;
         return {};
     }
+    log_trace("cache.disk", "hit",
+              {{"kind", artifact_kind_name(kind)},
+               {"key", hex16(key)},
+               {"bytes", static_cast<u64>(payload.size())}});
     // LRU is use-recency: a hit touches the entry so budget eviction
     // (oldest mtime first) spares the hot set.
     std::filesystem::last_write_time(
@@ -526,6 +532,10 @@ ArtifactCache::storeDisk(ArtifactKind kind, u64 key,
         std::filesystem::remove(tmp, ec);
         return;
     }
+    log_trace("cache.disk", "store",
+              {{"kind", artifact_kind_name(kind)},
+               {"key", hex16(key)},
+               {"bytes", static_cast<u64>(payload.size())}});
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.byShard[shard].stores;
 }
@@ -575,6 +585,10 @@ ArtifactCache::noteEviction(const CacheEvictionReport &report)
 {
     if (report.evictedEntries == 0)
         return;
+    log_debug("cache.evict", "evicted",
+              {{"entries", report.evictedEntries},
+               {"bytes", report.evictedBytes},
+               {"remainingBytes", report.remainingBytes}});
     std::lock_guard<std::mutex> lock(mutex_);
     stats_.evictions += report.evictedEntries;
     stats_.evictedBytes += report.evictedBytes;

@@ -5,6 +5,7 @@
 
 #include "ir/serialize.hh"
 #include "support/error.hh"
+#include "support/phase.hh"
 
 namespace voltron {
 
@@ -28,12 +29,14 @@ VoltronSystem::VoltronSystem(Program prog) : prog_(std::move(prog))
 {
     progHash_ = program_content_hash(prog_);
     ArtifactCache &cache = ArtifactCache::instance();
+    phase_mark(Phase::CacheProbe);
     golden_ = cache.getGolden(progHash_);
     // A hit must describe this very data segment; anything else means a
     // key collision or stale entry — fall back to the cold path.
     if (golden_ && golden_->image.size() != prog_.data.size())
         golden_ = nullptr;
     if (!golden_) {
+        phase_mark(Phase::GoldenRun);
         auto fresh = cold_golden(prog_);
         cache.putGolden(progHash_, fresh);
         golden_ = std::move(fresh);
@@ -48,11 +51,13 @@ VoltronSystem::acquire(const CompileOptions &options)
     auto it = machines_.find(key);
     if (it == machines_.end()) {
         ArtifactCache &cache = ArtifactCache::instance();
+        phase_mark(Phase::CacheProbe);
         std::shared_ptr<const MachineArtifact> artifact =
             cache.getMachine(key);
         if (artifact && artifact->program.numCores != options.numCores)
             artifact = nullptr; // collision/stale guard: never simulate it
         if (!artifact) {
+            phase_mark(Phase::Compile);
             auto fresh = std::make_shared<MachineArtifact>();
             fresh->program = compile_program(prog_, golden_->profile,
                                              options, &fresh->selection);
@@ -113,6 +118,7 @@ VoltronSystem::runConcrete(const CompileOptions &options,
         sink.emplace(artifact->program.numCores);
         mc.traceSink = &*sink;
     }
+    phase_mark(Phase::Simulate);
     Machine machine(artifact->program, mc);
     outcome.result = machine.run();
     outcome.exitMatches =
@@ -306,6 +312,7 @@ VoltronSystem::baselineCycles()
         options.numCores = 1;
         const u64 key = hash_combine(progHash_, options_hash(options));
         ArtifactCache &cache = ArtifactCache::instance();
+        phase_mark(Phase::CacheProbe);
         if (std::optional<Cycle> cached = cache.getBaseline(key)) {
             baseline_ = *cached;
         } else {

@@ -85,6 +85,17 @@ Client::request(const std::string &line, std::string &response,
         sent += static_cast<size_t>(w);
     }
 
+    return readLine(response, err);
+}
+
+bool
+Client::readLine(std::string &response, std::string *err)
+{
+    if (fd_ < 0) {
+        if (err)
+            *err = "not connected";
+        return false;
+    }
     char chunk[4096];
     for (;;) {
         const size_t nl = buffer_.find('\n');

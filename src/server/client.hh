@@ -38,6 +38,13 @@ class Client
     bool request(const std::string &line, std::string &response,
                  std::string *err = nullptr);
 
+    /**
+     * Block for the next response line without sending anything. The
+     * streaming "watch" op answers one request with several lines;
+     * request() returns the first and readLine() fetches the rest.
+     */
+    bool readLine(std::string &response, std::string *err = nullptr);
+
   private:
     int fd_ = -1;
     std::string buffer_; //!< bytes read past the last response line

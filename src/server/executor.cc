@@ -1,5 +1,7 @@
 #include "server/executor.hh"
 
+#include "support/log.hh"
+
 namespace voltron {
 
 Executor::Executor(size_t workers)
@@ -91,6 +93,8 @@ Executor::stealOther(size_t self, std::function<void()> &task)
 void
 Executor::workerLoop(size_t self)
 {
+    log_debug("server.executor", "worker start",
+              {{"worker", static_cast<u64>(self)}});
     for (;;) {
         std::function<void()> task;
         {
@@ -99,8 +103,12 @@ Executor::workerLoop(size_t self)
                 return stopping_ || pending_ > 0;
             });
             if (!takeOwn(self, task) && !stealOther(self, task)) {
-                if (stopping_)
+                if (stopping_) {
+                    lock.unlock();
+                    log_debug("server.executor", "worker exit",
+                              {{"worker", static_cast<u64>(self)}});
                     return;
+                }
                 continue;
             }
             --pending_;

@@ -90,11 +90,17 @@ ServerRequest::parse(const std::string &line, ServerRequest &out,
     out.op = root.str("op");
     out.id = root.str("id");
     if (out.op != "run" && out.op != "ping" && out.op != "stats" &&
-        out.op != "evict" && out.op != "shutdown")
+        out.op != "evict" && out.op != "shutdown" &&
+        out.op != "slowlog" && out.op != "watch")
         return fail(err, "unknown op '" + out.op + "'");
 
     if (out.op == "evict")
         out.evictMaxBytes = root.u64At("maxBytes", 0);
+    if (out.op == "watch") {
+        out.watchCount = root.u64At("count", 1);
+        if (out.watchCount == 0)
+            return fail(err, "watch count must be >= 1");
+    }
     if (out.op != "run")
         return true;
 
@@ -153,6 +159,10 @@ ServerRequest::parse(const std::string &line, ServerRequest &out,
 
     out.trace = root.boolAt("trace", false);
     out.metrics = root.boolAt("metrics", false);
+    // Like metrics, timing shapes only the response envelope, never the
+    // computed result — it is deliberately absent from contentHash() so
+    // a timed request still dedups against an untimed one.
+    out.timing = root.boolAt("timing", false);
     return true;
 }
 

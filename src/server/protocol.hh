@@ -2,11 +2,14 @@
  * @file
  * The voltron-served wire protocol: one JSON object per line.
  *
- * Requests name an op ("run", "ping", "stats", "evict", "shutdown")
- * and, for run, a program source — a suite benchmark name, a fuzz
- * generator seed, or a hex-encoded canonical Program serialization —
- * plus compile options and response flags (trace, metrics). Responses
- * echo the client's "id" and carry "status": "ok" or "error".
+ * Requests name an op ("run", "ping", "stats", "evict", "shutdown",
+ * "slowlog", "watch") and, for run, a program source — a suite
+ * benchmark name, a fuzz generator seed, or a hex-encoded canonical
+ * Program serialization — plus compile options and response flags
+ * (trace, metrics, timing). Responses echo the client's "id" and carry
+ * "status": "ok" or "error". "watch" is the one streaming op: the
+ * daemon sends "count" snapshot lines (each a complete response
+ * object), one per stats-plane sampling tick.
  *
  * A request's identity for deduplication is contentHash(): the FNV-1a
  * mix of the program identity (which source, and its parameters — all
@@ -47,8 +50,10 @@ struct ServerRequest
     CompileOptions options;
     bool trace = false;   //!< run under a sink, write a .vtrace handle
     bool metrics = false; //!< embed the MetricsRegistry JSON
+    bool timing = false;  //!< attach the request's phase timeline
 
     u64 evictMaxBytes = 0; //!< evict op: disk target (0 = clear all)
+    u64 watchCount = 1;    //!< watch op: snapshots to stream
 
     /**
      * Parse one line into @p out. False with a message in @p err on

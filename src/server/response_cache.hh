@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ResponseCache — the daemon's bounded replay cache of rendered run
+ * responses.
+ *
+ * PR 9 left this as an unbounded unordered_map: correct, but a daemon
+ * fed an endless stream of distinct requests (the fuzz sweep, a
+ * parameter scan) grows without limit. This is the LRU-bounded
+ * replacement: at most @p capacity entries, get() refreshes recency,
+ * put() evicts the least-recently-used entry when full. An evicted
+ * response is not an error path — the next identical request is simply
+ * a cold miss that re-derives the same body from the (still-warm)
+ * artifact cache, which the eviction test pins.
+ *
+ * NOT internally synchronized: the server already serializes all dedup
+ * state under one mutex, and a second lock here would only add a
+ * deadlock surface.
+ */
+
+#ifndef VOLTRON_SERVER_RESPONSE_CACHE_HH_
+#define VOLTRON_SERVER_RESPONSE_CACHE_HH_
+
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "support/types.hh"
+
+namespace voltron {
+
+class ResponseCache
+{
+  public:
+    explicit ResponseCache(size_t capacity) : capacity_(capacity) {}
+
+    /** Body for @p key, or nullptr. A hit refreshes recency. The
+     * pointer is valid until the next put()/clear(). */
+    const std::string *
+    get(u64 key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end()) {
+            ++misses_;
+            return nullptr;
+        }
+        ++hits_;
+        entries_.splice(entries_.begin(), entries_, it->second);
+        return &it->second->second;
+    }
+
+    /** Insert (or refresh) @p key; evicts the LRU entry when full. */
+    void
+    put(u64 key, std::string body)
+    {
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            it->second->second = std::move(body);
+            entries_.splice(entries_.begin(), entries_, it->second);
+            return;
+        }
+        if (capacity_ != 0 && entries_.size() >= capacity_) {
+            index_.erase(entries_.back().first);
+            entries_.pop_back();
+            ++evictions_;
+        }
+        entries_.emplace_front(key, std::move(body));
+        index_[key] = entries_.begin();
+        ++insertions_;
+    }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        index_.clear();
+    }
+
+    size_t size() const { return entries_.size(); }
+    size_t capacity() const { return capacity_; }
+    u64 hits() const { return hits_; }
+    u64 misses() const { return misses_; }
+    u64 insertions() const { return insertions_; }
+    u64 evictions() const { return evictions_; }
+
+  private:
+    const size_t capacity_; //!< 0 = unbounded (tests only)
+    std::list<std::pair<u64, std::string>> entries_; //!< MRU at front
+    std::unordered_map<u64,
+                       std::list<std::pair<u64, std::string>>::iterator>
+        index_;
+    u64 hits_ = 0;
+    u64 misses_ = 0;
+    u64 insertions_ = 0;
+    u64 evictions_ = 0;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SERVER_RESPONSE_CACHE_HH_

@@ -16,6 +16,8 @@
 #include "fuzz/generator.hh"
 #include "ir/serialize.hh"
 #include "ir/verifier.hh"
+#include "support/log.hh"
+#include "support/phase.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
 #include "workloads/suite.hh"
@@ -49,7 +51,8 @@ render_error(const std::string &id, const std::string &message)
 std::string
 render_ok(const std::string &id, const std::string &op,
           const std::string &source, u64 elapsed_us,
-          const std::string &result_object)
+          const std::string &result_object,
+          const std::string &timing_object = std::string())
 {
     JsonWriter w;
     w.beginObject();
@@ -64,7 +67,25 @@ render_ok(const std::string &id, const std::string &op,
         w.key("result");
         w.raw(result_object);
     }
+    if (!timing_object.empty()) {
+        w.key("timing");
+        w.raw(timing_object);
+    }
     w.endObject();
+    return w.str();
+}
+
+/** The "timing" object for a response, or "" when not requested. The
+ * snapshot is taken mid-serialize — the reply span cannot be in the
+ * payload that precedes it; histograms and the slowlog get the full
+ * timeline from finish(). */
+std::string
+timing_json(const ServerRequest &req, const TimelineRecorder &rec)
+{
+    if (!req.timing)
+        return {};
+    JsonWriter w;
+    rec.snapshot().writeJson(w);
     return w.str();
 }
 
@@ -101,6 +122,32 @@ elapsed_us_since(std::chrono::steady_clock::time_point t0)
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
+}
+
+u64
+wall_us_now()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Write all of @p data (plus nothing else) to @p fd; false when the
+ * peer is gone. MSG_NOSIGNAL: a vanished client is a closed connection,
+ * not a fatal SIGPIPE. */
+bool
+send_all(int fd, const std::string &data)
+{
+    size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t w = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
+        if (w <= 0)
+            return false;
+        sent += static_cast<size_t>(w);
+    }
+    return true;
 }
 
 /** Build the program a run request describes; false with a message on
@@ -158,7 +205,10 @@ build_request_program(const ServerRequest &req, Program &out,
 } // namespace
 
 Server::Server(ServerConfig config)
-    : config_(std::move(config)), executor_(config_.workers)
+    : config_(std::move(config)), executor_(config_.workers),
+      epoch_(std::chrono::steady_clock::now()),
+      responseCache_(config_.maxResponses),
+      slowlog_(config_.slowlogWorst, config_.slowlogErrors)
 {
 }
 
@@ -179,6 +229,8 @@ Server::start(std::string *err)
         config_.socketPath.size() >= sizeof(addr.sun_path)) {
         if (err)
             *err = "socket path empty or too long";
+        log_error("server", "socket path empty or too long",
+                  {{"path", config_.socketPath}});
         return false;
     }
     std::memcpy(addr.sun_path, config_.socketPath.c_str(),
@@ -188,6 +240,8 @@ Server::start(std::string *err)
     if (listenFd_ < 0) {
         if (err)
             *err = std::string("socket: ") + std::strerror(errno);
+        log_error("server", "socket() failed",
+                  {{"errno", std::strerror(errno)}});
         return false;
     }
     ::unlink(config_.socketPath.c_str());
@@ -196,6 +250,9 @@ Server::start(std::string *err)
         ::listen(listenFd_, 64) != 0) {
         if (err)
             *err = std::string("bind/listen: ") + std::strerror(errno);
+        log_error("server", "bind/listen failed",
+                  {{"path", config_.socketPath},
+                   {"errno", std::strerror(errno)}});
         ::close(listenFd_);
         listenFd_ = -1;
         return false;
@@ -203,6 +260,14 @@ Server::start(std::string *err)
 
     acceptThread_ = std::thread([this] { acceptLoop(); });
     sweepThread_ = std::thread([this] { sweepLoop(); });
+    if (config_.statsIntervalMs != 0)
+        statsThread_ = std::thread([this] { statsLoop(); });
+    log_info("server", "listening",
+             {{"socket", config_.socketPath},
+              {"workers", static_cast<u64>(config_.workers)},
+              {"maxResponses", static_cast<u64>(config_.maxResponses)},
+              {"statsIntervalMs",
+               static_cast<u64>(config_.statsIntervalMs)}});
     return true;
 }
 
@@ -214,16 +279,24 @@ Server::wait()
 }
 
 void
-Server::stop()
+Server::requestStop()
 {
     {
         std::lock_guard<std::mutex> lock(lifecycleMutex_);
         stopping_ = true;
     }
+    stopRequested_.store(true);
     lifecycleCv_.notify_all();
-
+    snapCv_.notify_all(); // wake streaming watchers
     if (listenFd_ >= 0)
         ::shutdown(listenFd_, SHUT_RDWR);
+}
+
+void
+Server::stop()
+{
+    requestStop();
+
     if (acceptThread_.joinable())
         acceptThread_.join();
     if (listenFd_ >= 0) {
@@ -253,7 +326,18 @@ Server::stop()
 
     if (sweepThread_.joinable())
         sweepThread_.join();
+    if (statsThread_.joinable())
+        statsThread_.join();
     executor_.stop();
+
+    // stop() runs again from the destructor after an explicit stop;
+    // the summary line should appear once.
+    const ServerCounters c = counters();
+    if (c.requests != 0 && !stopLogged_.exchange(true))
+        log_info("server", "stopped",
+                 {{"requests", c.requests},
+                  {"runs", c.runs},
+                  {"errors", c.errors}});
 }
 
 ServerCounters
@@ -273,35 +357,67 @@ Server::bumpError()
 std::string
 Server::handleLine(const std::string &line)
 {
+    return handleLine(line, LineSink());
+}
+
+std::string
+Server::handleLine(const std::string &line, const LineSink &sink)
+{
+    TimelineRecorder rec(epoch_, Phase::Accept);
+    const std::string response = dispatchLine(line, rec, sink);
+    rec.mark(Phase::Reply);
+    finishRequest(rec);
+    return response;
+}
+
+std::string
+Server::dispatchLine(const std::string &line, TimelineRecorder &rec,
+                     const LineSink &sink)
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++counters_.requests;
     }
+    rec.meta().requestId = nextRequestId_.fetch_add(1);
+    rec.mark(Phase::Parse);
+
     ServerRequest req;
     std::string err;
     if (!ServerRequest::parse(line, req, &err)) {
         bumpError();
+        rec.meta().op = "?";
+        rec.meta().error = true;
+        rec.meta().errorMessage = err;
+        rec.mark(Phase::Serialize);
         return render_error("", err);
     }
-    if (req.op == "run")
-        return handleRun(req);
+    rec.meta().op = req.op;
+    rec.meta().id = req.id;
+
+    if (req.op == "run") {
+        rec.meta().contentHash = req.contentHash();
+        return handleRun(req, rec);
+    }
+
+    // Non-run ops have no queue/compute pipeline; everything after the
+    // parse is building the response.
+    rec.mark(Phase::Serialize);
     if (req.op == "ping")
         return handlePing(req);
     if (req.op == "stats")
         return handleStats(req);
     if (req.op == "evict")
         return handleEvict(req);
+    if (req.op == "slowlog")
+        return handleSlowlog(req);
+    if (req.op == "watch")
+        return handleWatch(req, sink);
 
     // shutdown: acknowledge, then let wait() return so the daemon's
     // main thread tears everything down (a connection thread cannot
     // join itself).
-    {
-        std::lock_guard<std::mutex> lock(lifecycleMutex_);
-        stopping_ = true;
-    }
-    lifecycleCv_.notify_all();
-    if (listenFd_ >= 0)
-        ::shutdown(listenFd_, SHUT_RDWR);
+    log_info("server", "shutdown requested", {{"id", req.id}});
+    requestStop();
     return render_ok(req.id, "shutdown", "", 0, "");
 }
 
@@ -316,10 +432,9 @@ Server::handlePing(const ServerRequest &req)
     return render_ok(req.id, "ping", "", 0, w.str());
 }
 
-std::string
-Server::handleStats(const ServerRequest &req)
+void
+Server::collectStats(MetricsRegistry &reg)
 {
-    MetricsRegistry reg;
     collect_cache_metrics(reg);
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -331,7 +446,22 @@ Server::handleStats(const ServerRequest &req)
         reg.set("server.evictOps", counters_.evictOps);
         reg.set("server.sweeps", counters_.sweeps);
         reg.set("server.traceFiles", counters_.traceFiles);
+        reg.set("server.slowlogOps", counters_.slowlogOps);
+        reg.set("server.watchOps", counters_.watchOps);
+        reg.set("server.watchLines", counters_.watchLines);
+        reg.set("server.snapshots", counters_.snapshots);
+        // Legacy name kept alongside the response_cache.* namespace so
+        // existing consumers keep working.
         reg.set("server.responseCacheEntries", responseCache_.size());
+        reg.set("server.response_cache.entries", responseCache_.size());
+        reg.set("server.response_cache.capacity",
+                responseCache_.capacity());
+        reg.set("server.response_cache.hits", responseCache_.hits());
+        reg.set("server.response_cache.misses", responseCache_.misses());
+        reg.set("server.response_cache.insertions",
+                responseCache_.insertions());
+        reg.set("server.response_cache.evictions",
+                responseCache_.evictions());
         reg.set("server.inflight", inflight_.size());
     }
     {
@@ -343,8 +473,30 @@ Server::handleStats(const ServerRequest &req)
     reg.set("server.executor.executed", ex.executed);
     reg.set("server.executor.stolen", ex.stolen);
     reg.set("server.executor.inline", ex.inline_);
+    reg.set("server.executor.pending",
+            ex.submitted >= ex.executed ? ex.submitted - ex.executed : 0);
     reg.set("server.executor.workers", executor_.workers());
+    reg.set("server.log.lines", Logger::instance().linesWritten());
+    reg.set("server.slowlog.worstEntries", slowlog_.worst().size());
+    reg.set("server.slowlog.errorEntries", slowlog_.errors().size());
+    {
+        std::lock_guard<std::mutex> lock(telemetryMutex_);
+        if (totalHist_.count() != 0)
+            reg.addHistogram("server.latency.total", totalHist_);
+        for (size_t p = 0; p < kNumPhases; ++p)
+            if (phaseHist_[p].count() != 0)
+                reg.addHistogram(
+                    std::string("server.phase.") +
+                        phase_name(static_cast<Phase>(p)),
+                    phaseHist_[p]);
+    }
+}
 
+std::string
+Server::handleStats(const ServerRequest &req)
+{
+    MetricsRegistry reg;
+    collectStats(reg);
     std::ostringstream os;
     reg.writeJson(os);
     return render_ok(req.id, "stats", "", 0, compact_json(os.str()));
@@ -366,11 +518,17 @@ Server::handleEvict(const ServerRequest &req)
         std::lock_guard<std::mutex> lock(systemsMutex_);
         systems_.clear();
     }
+    slowlog_.clear();
     ArtifactCache &cache = ArtifactCache::instance();
     cache.clearMemory();
     CacheEvictionReport report;
     if (cache.diskEnabled())
         report = evict_cache_to_size(cache.diskDir(), req.evictMaxBytes);
+    log_info("server.evict", "evicted",
+             {{"maxBytes", req.evictMaxBytes},
+              {"evictedEntries", report.evictedEntries},
+              {"evictedBytes", report.evictedBytes},
+              {"remainingBytes", report.remainingBytes}});
 
     JsonWriter w;
     w.beginObject();
@@ -385,6 +543,151 @@ Server::handleEvict(const ServerRequest &req)
     return render_ok(req.id, "evict", "", elapsed_us_since(t0), w.str());
 }
 
+std::string
+Server::handleSlowlog(const ServerRequest &req)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.slowlogOps;
+    }
+    JsonWriter w;
+    w.beginObject();
+    w.field("worstCapacity",
+            static_cast<u64>(slowlog_.worstCapacity()));
+    w.field("errorCapacity",
+            static_cast<u64>(slowlog_.errorCapacity()));
+    w.key("worst");
+    w.beginArray();
+    for (const RequestTimeline &t : slowlog_.worst())
+        t.writeJson(w);
+    w.endArray();
+    w.key("errors");
+    w.beginArray();
+    for (const RequestTimeline &t : slowlog_.errors())
+        t.writeJson(w);
+    w.endArray();
+    w.endObject();
+    return render_ok(req.id, "slowlog", "", 0, w.str());
+}
+
+StatsSnapshot
+Server::sampleStatsNow()
+{
+    MetricsRegistry reg;
+    collectStats(reg);
+
+    StatsSnapshot snap;
+    snap.tUs = elapsed_us_since(epoch_);
+    snap.wallUs = wall_us_now();
+    snap.totals = reg.counters();
+    {
+        std::lock_guard<std::mutex> lock(snapMutex_);
+        snap.seq = ++snapSeq_;
+        if (snap.seq > 1) {
+            snap.intervalUs =
+                snap.tUs >= prevTUs_ ? snap.tUs - prevTUs_ : 0;
+            for (const auto &[name, value] : snap.totals) {
+                auto it = prevTotals_.find(name);
+                const u64 prev =
+                    it == prevTotals_.end() ? 0 : it->second;
+                // Saturating: registered histogram gauges (p50 etc.)
+                // can legitimately move down.
+                snap.deltas[name] = value >= prev ? value - prev : 0;
+            }
+        }
+        prevTotals_ = snap.totals;
+        prevTUs_ = snap.tUs;
+        snapRing_.push_back(snap);
+        while (snapRing_.size() > kStatsRingCapacity)
+            snapRing_.pop_front();
+    }
+    snapCv_.notify_all();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.snapshots;
+    }
+    return snap;
+}
+
+std::string
+Server::renderSnapshot(const std::string &id, const StatsSnapshot &snap)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("seq", snap.seq);
+    w.field("tUs", snap.tUs);
+    w.field("wallUs", snap.wallUs);
+    w.field("intervalUs", snap.intervalUs);
+    w.key("totals");
+    w.beginObject();
+    for (const auto &[name, value] : snap.totals)
+        w.field(name, value);
+    w.endObject();
+    // Deltas are sparse: a counter that did not move since the last
+    // sample is omitted, which keeps idle snapshots short.
+    w.key("deltas");
+    w.beginObject();
+    for (const auto &[name, value] : snap.deltas)
+        if (value != 0)
+            w.field(name, value);
+    w.endObject();
+    w.endObject();
+    return render_ok(id, "watch", "", 0, w.str());
+}
+
+std::string
+Server::handleWatch(const ServerRequest &req, const LineSink &sink)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.watchOps;
+    }
+    // Without a sink there is nowhere to stream intermediate lines, so
+    // the op degrades to one immediate snapshot.
+    const u64 count = sink ? req.watchCount : 1;
+    u64 lastSeq = 0;
+    for (u64 i = 0; i < count; ++i) {
+        StatsSnapshot snap;
+        bool have = false;
+        if (i == 0) {
+            // First snapshot is always fresh, so a one-shot watch (and
+            // the CI round-trip) never waits out a sampling tick.
+            snap = sampleStatsNow();
+            have = true;
+        } else {
+            std::unique_lock<std::mutex> lock(snapMutex_);
+            snapCv_.wait_for(
+                lock,
+                std::chrono::milliseconds(config_.statsIntervalMs + 250),
+                [&] {
+                    return stopRequested_.load() || snapSeq_ > lastSeq;
+                });
+            if (stopRequested_.load())
+                return render_ok(req.id, "watch", "", 0, "");
+            if (snapSeq_ > lastSeq && !snapRing_.empty()) {
+                snap = snapRing_.back();
+                have = true;
+            }
+        }
+        if (!have) {
+            // No background snapshotter (statsIntervalMs == 0, or it
+            // fell behind): take our own sample rather than stall.
+            snap = sampleStatsNow();
+        }
+        lastSeq = snap.seq;
+        const std::string rendered = renderSnapshot(req.id, snap);
+        if (i + 1 == count)
+            return rendered;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.watchLines;
+        }
+        if (!sink(rendered))
+            return rendered; // client went away; upstream send fails too
+    }
+    return render_ok(req.id, "watch", "", 0, "");
+}
+
 std::shared_ptr<Server::SystemSlot>
 Server::slotFor(u64 identity)
 {
@@ -396,9 +699,16 @@ Server::slotFor(u64 identity)
 }
 
 bool
-Server::computeRun(const ServerRequest &req, std::string &body,
-                   std::string &error)
+Server::computeRun(const ServerRequest &req, TimelineRecorder &rec,
+                   std::string &body, std::string &error)
 {
+    // Route the core layers' phase marks (cache probe, golden run,
+    // compile, simulate) to this request's recorder for the duration
+    // of the compute; the probe is thread-local, so concurrent leaders
+    // on other workers are unaffected.
+    ScopedPhaseProbe probe(&rec);
+    rec.mark(Phase::Parse); // program construction is parsing work
+
     // One facade per program identity, built at most once; concurrent
     // requests for different options on the same program share it (its
     // own locks make compile/run thread-safe).
@@ -437,6 +747,7 @@ Server::computeRun(const ServerRequest &req, std::string &body,
         sys->run(req.options, config, req.metrics ? &metrics : nullptr);
     const double speedup = sys->speedup(outcome);
 
+    rec.mark(Phase::Serialize);
     std::string trace_path;
     if (req.trace) {
         std::error_code ec;
@@ -453,6 +764,8 @@ Server::computeRun(const ServerRequest &req, std::string &body,
             error = "failed to write trace file " + trace_path;
             return false;
         }
+        log_debug("server.trace", "wrote trace",
+                  {{"path", trace_path}, {"events", sink->total()}});
         std::lock_guard<std::mutex> lock(mutex_);
         ++counters_.traceFiles;
     }
@@ -482,45 +795,64 @@ Server::computeRun(const ServerRequest &req, std::string &body,
 }
 
 std::string
-Server::handleRun(const ServerRequest &req)
+Server::handleRun(const ServerRequest &req, TimelineRecorder &rec)
 {
     const auto t0 = std::chrono::steady_clock::now();
     const u64 key = req.contentHash();
+    rec.mark(Phase::Classify);
 
     std::shared_ptr<Inflight> waitOn;
     std::shared_ptr<Inflight> mine;
+    std::string cachedBody;
+    bool cachedHit = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        auto hit = responseCache_.find(key);
-        if (hit != responseCache_.end()) {
+        if (const std::string *hit = responseCache_.get(key)) {
             ++counters_.responseHits;
-            return render_ok(req.id, "run", "cached",
-                             elapsed_us_since(t0), hit->second);
-        }
-        auto inf = inflight_.find(key);
-        if (inf != inflight_.end()) {
-            waitOn = inf->second;
-            ++counters_.followerHits;
+            cachedBody = *hit;
+            cachedHit = true;
         } else {
-            mine = std::make_shared<Inflight>();
-            inflight_.emplace(key, mine);
-            ++counters_.runs;
+            auto inf = inflight_.find(key);
+            if (inf != inflight_.end()) {
+                waitOn = inf->second;
+                ++counters_.followerHits;
+            } else {
+                mine = std::make_shared<Inflight>();
+                inflight_.emplace(key, mine);
+                ++counters_.runs;
+            }
         }
     }
 
+    if (cachedHit) {
+        rec.meta().source = "cached";
+        rec.mark(Phase::Serialize);
+        return render_ok(req.id, "run", "cached", elapsed_us_since(t0),
+                         cachedBody, timing_json(req, rec));
+    }
+
     if (waitOn) {
+        rec.meta().source = "follower";
+        rec.mark(Phase::QueueWait); // waiting out the leader's compute
         std::unique_lock<std::mutex> lock(waitOn->m);
         waitOn->cv.wait(lock, [&] { return waitOn->done; });
         if (waitOn->failed) {
             bumpError();
+            rec.meta().error = true;
+            rec.meta().errorMessage = waitOn->error;
+            rec.mark(Phase::Serialize);
             return render_error(req.id, waitOn->error);
         }
+        rec.mark(Phase::Serialize);
         return render_ok(req.id, "run", "follower", elapsed_us_since(t0),
-                         waitOn->body);
+                         waitOn->body, timing_json(req, rec));
     }
 
     // Leader: compute on the executor (the connection thread blocks —
-    // the pool bounds how many simulations run at once).
+    // the pool bounds how many simulations run at once). The queue-wait
+    // span ends when computeRun's first mark lands on the worker.
+    rec.meta().source = "cold";
+    rec.mark(Phase::QueueWait);
     std::string body;
     std::string error;
     bool ok = false;
@@ -529,7 +861,7 @@ Server::handleRun(const ServerRequest &req)
         // A request that trips a compiler/simulator panic must come
         // back as an error response, not take the daemon down.
         try {
-            ok = computeRun(req, body, error);
+            ok = computeRun(req, rec, body, error);
         } catch (const std::exception &e) {
             ok = false;
             error = e.what();
@@ -541,7 +873,7 @@ Server::handleRun(const ServerRequest &req)
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (ok)
-            responseCache_[key] = body;
+            responseCache_.put(key, body);
         inflight_.erase(key);
     }
     {
@@ -555,9 +887,48 @@ Server::handleRun(const ServerRequest &req)
 
     if (!ok) {
         bumpError();
+        rec.meta().error = true;
+        rec.meta().errorMessage = error;
+        rec.mark(Phase::Serialize);
         return render_error(req.id, error);
     }
-    return render_ok(req.id, "run", "cold", elapsed_us_since(t0), body);
+    rec.mark(Phase::Serialize); // no-op: computeRun already marked it
+    return render_ok(req.id, "run", "cold", elapsed_us_since(t0), body,
+                     timing_json(req, rec));
+}
+
+void
+Server::finishRequest(TimelineRecorder &rec)
+{
+    const RequestTimeline t = rec.finish();
+    if (t.op == "run") {
+        std::lock_guard<std::mutex> lock(telemetryMutex_);
+        totalHist_.record(t.totalUs);
+        // A phase's histogram counts requests that entered it, so a
+        // cached hit (which never compiles) does not drag compile's
+        // percentiles toward zero.
+        std::array<bool, kNumPhases> seen{};
+        for (const PhaseSpan &s : t.spans)
+            seen[static_cast<size_t>(s.phase)] = true;
+        const std::array<u64, kNumPhases> us = t.phaseUs();
+        for (size_t p = 0; p < kNumPhases; ++p)
+            if (seen[p])
+                phaseHist_[p].record(us[p]);
+    }
+    if (t.op == "run" || t.error)
+        slowlog_.record(t);
+    if (t.error)
+        log_warn("server.request", "failed",
+                 {{"req", t.requestId},
+                  {"op", t.op},
+                  {"error", t.errorMessage},
+                  {"totalUs", t.totalUs}});
+    else
+        log_debug("server.request", "done",
+                  {{"req", t.requestId},
+                   {"op", t.op},
+                   {"source", t.source},
+                   {"totalUs", t.totalUs}});
 }
 
 void
@@ -570,6 +941,7 @@ Server::acceptLoop()
                 continue;
             return; // listen socket shut down
         }
+        log_debug("server.conn", "accepted", {{"fd", fd}});
         std::lock_guard<std::mutex> lock(connMutex_);
         connFds_.push_back(fd);
         connThreads_.emplace_back(
@@ -594,25 +966,23 @@ Server::serveConnection(int fd)
             buffer.erase(0, nl + 1);
             if (line.empty())
                 continue;
-            std::string response = handleLine(line);
+            // The recorder spans from the line coming off the wire to
+            // the last response byte hitting the socket, so the reply
+            // span includes the actual send.
+            TimelineRecorder rec(epoch_, Phase::Accept);
+            const LineSink sink = [fd](const std::string &l) {
+                return send_all(fd, l + "\n");
+            };
+            std::string response = dispatchLine(line, rec, sink);
+            rec.mark(Phase::Reply);
             response.push_back('\n');
-            size_t sent = 0;
-            while (sent < response.size()) {
-                // MSG_NOSIGNAL: a vanished client is a closed
-                // connection, not a fatal SIGPIPE.
-                const ssize_t w =
-                    ::send(fd, response.data() + sent,
-                           response.size() - sent, MSG_NOSIGNAL);
-                if (w <= 0) {
-                    open = false;
-                    break;
-                }
-                sent += static_cast<size_t>(w);
-            }
+            open = send_all(fd, response);
+            finishRequest(rec);
             if (!open)
                 break;
         }
     }
+    log_debug("server.conn", "closed", {{"fd", fd}});
     // Deregister-and-close atomically so stop() never shuts down a
     // reused descriptor.
     std::lock_guard<std::mutex> lock(connMutex_);
@@ -638,9 +1008,25 @@ Server::sweepLoop()
         ArtifactCache &cache = ArtifactCache::instance();
         if (cache.diskEnabled() && cache.diskBudget() != 0) {
             cache.enforceBudget();
+            log_debug("server.sweep", "budget sweep", {});
             std::lock_guard<std::mutex> statsLock(mutex_);
             ++counters_.sweeps;
         }
+        lock.lock();
+    }
+}
+
+void
+Server::statsLoop()
+{
+    std::unique_lock<std::mutex> lock(lifecycleMutex_);
+    while (!stopping_) {
+        lifecycleCv_.wait_for(
+            lock, std::chrono::milliseconds(config_.statsIntervalMs));
+        if (stopping_)
+            return;
+        lock.unlock();
+        sampleStatsNow();
         lock.lock();
     }
 }

@@ -13,13 +13,29 @@
  * lock:
  *
  *   1. response cache — a completed identical request's body is
- *      replayed verbatim ("source":"cached"); nothing recomputes;
+ *      replayed verbatim ("source":"cached"); nothing recomputes; the
+ *      cache is LRU-bounded at config.maxResponses entries, and an
+ *      evicted entry simply recomputes cold;
  *   2. in-flight map — an identical request already computing makes
  *      this one a follower that sleeps on the leader's condvar and
  *      wakes with the leader's body ("source":"follower");
  *   3. otherwise this request is the leader: it queues the compute on
  *      the work-stealing executor, publishes the body to both maps,
  *      and wakes its followers ("source":"cold").
+ *
+ * Telemetry (this PR): every request gets a monotonically-increasing
+ * id and a TimelineRecorder whose phase spans — accept, parse,
+ * classify, queue-wait, cache-probe, golden-run, compile, simulate,
+ * serialize, reply — tile its total wall time (server/timeline.hh; the
+ * deep phases are marked by the core layers through the thread-local
+ * PhaseProbe). Completed run timelines feed per-phase latency
+ * histograms (the "stats" op exports server.phase.<name>.p50/p95/p99),
+ * the worst-N + recent-errors SlowLog (the "slowlog" op), and — with
+ * the request's "timing" flag — come back embedded in the response. A
+ * background snapshotter samples the full server+cache counter
+ * namespace every config.statsIntervalMs into a fixed ring of
+ * totals+deltas; the "watch" op streams those snapshots as line-JSON
+ * to the client (voltron-servectl top renders them live).
  *
  * A background thread periodically re-asserts the disk budget
  * (ArtifactCache::enforceBudget), so the tier stays bounded even when
@@ -35,7 +51,11 @@
 #ifndef VOLTRON_SERVER_SERVER_HH_
 #define VOLTRON_SERVER_SERVER_HH_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -46,6 +66,10 @@
 
 #include "server/executor.hh"
 #include "server/protocol.hh"
+#include "server/response_cache.hh"
+#include "server/slowlog.hh"
+#include "server/timeline.hh"
+#include "trace/metrics.hh"
 
 namespace voltron {
 
@@ -59,6 +83,10 @@ struct ServerConfig
     u64 cacheMaxBytes = 0;     //!< disk budget override (0 = env/none)
     std::string traceDir = "."; //!< where .vtrace handles are written
     u32 evictIntervalMs = 2000; //!< background budget-sweep cadence
+    size_t maxResponses = 4096; //!< response-cache entry cap (LRU)
+    u32 statsIntervalMs = 1000; //!< stats-plane sampling cadence
+    size_t slowlogWorst = 32;   //!< slowlog worst-N compartment size
+    size_t slowlogErrors = 32;  //!< slowlog recent-error ring size
 };
 
 /** Monotonic request counters for the stats op. */
@@ -72,6 +100,22 @@ struct ServerCounters
     u64 evictOps = 0;      //!< evict requests handled
     u64 sweeps = 0;        //!< background budget sweeps completed
     u64 traceFiles = 0;    //!< .vtrace handles written
+    u64 slowlogOps = 0;    //!< slowlog requests handled
+    u64 watchOps = 0;      //!< watch requests handled
+    u64 watchLines = 0;    //!< snapshot lines streamed to watchers
+    u64 snapshots = 0;     //!< stats-plane samples taken
+};
+
+/** One stats-plane sample: the full counter namespace at an instant,
+ * plus the (saturating) delta against the previous sample. */
+struct StatsSnapshot
+{
+    u64 seq = 0;
+    u64 tUs = 0;       //!< steady us since server construction
+    u64 wallUs = 0;    //!< epoch us
+    u64 intervalUs = 0; //!< tUs - previous sample's tUs (0 for first)
+    std::map<std::string, u64> totals;
+    std::map<std::string, u64> deltas;
 };
 
 class Server
@@ -83,7 +127,7 @@ class Server
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
 
-    /** Bind + listen + spawn the accept and sweep threads. */
+    /** Bind + listen + spawn the accept, sweep, and stats threads. */
     bool start(std::string *err = nullptr);
 
     /** Block until a shutdown request (or stop()) lands. */
@@ -92,15 +136,25 @@ class Server
     /** Stop accepting, close connections, join the threads. */
     void stop();
 
+    /** Receiver for a streaming op's intermediate response lines. */
+    using LineSink = std::function<bool(const std::string &)>;
+
     /**
      * Handle one request line, return one response line (no newline).
      * The full protocol, socket-free — tests and tools call this
-     * directly.
+     * directly. A streaming op ("watch") sends all lines but its last
+     * through @p sink; with no sink it degrades to one snapshot.
      */
     std::string handleLine(const std::string &line);
+    std::string handleLine(const std::string &line, const LineSink &sink);
+
+    /** Take one stats-plane sample right now (also what the background
+     * snapshotter calls each tick). */
+    StatsSnapshot sampleStatsNow();
 
     ServerCounters counters() const;
     const ServerConfig &config() const { return config_; }
+    const SlowLog &slowlog() const { return slowlog_; }
 
   private:
     /** One leader computing; followers sleep on cv. */
@@ -122,40 +176,82 @@ class Server
         std::string buildError;
     };
 
-    std::string handleRun(const ServerRequest &req);
+    /** Route one parsed line; phase marks land on @p rec. */
+    std::string dispatchLine(const std::string &line,
+                             TimelineRecorder &rec, const LineSink &sink);
+
+    std::string handleRun(const ServerRequest &req, TimelineRecorder &rec);
     std::string handlePing(const ServerRequest &req);
     std::string handleStats(const ServerRequest &req);
     std::string handleEvict(const ServerRequest &req);
+    std::string handleSlowlog(const ServerRequest &req);
+    std::string handleWatch(const ServerRequest &req,
+                            const LineSink &sink);
 
     /** The leader's compute: build, run, render the result object. */
-    bool computeRun(const ServerRequest &req, std::string &body,
-                    std::string &error);
+    bool computeRun(const ServerRequest &req, TimelineRecorder &rec,
+                    std::string &body, std::string &error);
+
+    /** Fold every server.*, cache.*, and executor counter plus the
+     * phase histograms into @p reg (the stats op and the snapshotter
+     * share this). */
+    void collectStats(MetricsRegistry &reg);
+
+    /** Close @p rec, feed histograms + slowlog, emit the request log
+     * line. Call exactly once per request, after the reply mark. */
+    void finishRequest(TimelineRecorder &rec);
+
+    /** Render one snapshot as a complete "watch" response line. */
+    static std::string renderSnapshot(const std::string &id,
+                                      const StatsSnapshot &snap);
 
     std::shared_ptr<SystemSlot> slotFor(u64 identity);
 
     void acceptLoop();
     void serveConnection(int fd);
     void sweepLoop();
+    void statsLoop();
+    void requestStop();
     void bumpError();
 
     ServerConfig config_;
     Executor executor_;
+    std::chrono::steady_clock::time_point epoch_;
+    std::atomic<u64> nextRequestId_{1};
 
     mutable std::mutex mutex_; //!< dedup maps + counters
-    std::unordered_map<u64, std::string> responseCache_;
+    ResponseCache responseCache_;
     std::unordered_map<u64, std::shared_ptr<Inflight>> inflight_;
     ServerCounters counters_;
 
     std::mutex systemsMutex_;
     std::unordered_map<u64, std::shared_ptr<SystemSlot>> systems_;
 
+    /** Per-phase + total latency histograms over completed runs. */
+    std::mutex telemetryMutex_;
+    std::array<Histogram, kNumPhases> phaseHist_;
+    Histogram totalHist_;
+    SlowLog slowlog_;
+
+    /** Stats-plane ring (snapshotter output, watch input). */
+    static constexpr size_t kStatsRingCapacity = 128;
+    std::mutex snapMutex_;
+    std::condition_variable snapCv_;
+    std::deque<StatsSnapshot> snapRing_;
+    u64 snapSeq_ = 0;
+    std::map<std::string, u64> prevTotals_;
+    u64 prevTUs_ = 0;
+
     std::mutex lifecycleMutex_;
     std::condition_variable lifecycleCv_;
     bool stopping_ = false;
+    std::atomic<bool> stopRequested_{false};
+    std::atomic<bool> stopLogged_{false};
 
     int listenFd_ = -1;
     std::thread acceptThread_;
     std::thread sweepThread_;
+    std::thread statsThread_;
     std::mutex connMutex_;
     std::vector<std::thread> connThreads_;
     std::vector<int> connFds_;

@@ -1,0 +1,68 @@
+#include "server/slowlog.hh"
+
+#include <algorithm>
+
+namespace voltron {
+
+void
+SlowLog::record(const RequestTimeline &timeline)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (timeline.error) {
+        errors_.push_front(timeline);
+        while (errors_.size() > errorCapacity_)
+            errors_.pop_back();
+    }
+    if (worstCapacity_ == 0)
+        return;
+    if (worst_.size() < worstCapacity_) {
+        worst_.push_back(timeline);
+        ++admitted_;
+        return;
+    }
+    auto fastest = std::min_element(
+        worst_.begin(), worst_.end(),
+        [](const RequestTimeline &a, const RequestTimeline &b) {
+            return a.totalUs < b.totalUs;
+        });
+    if (timeline.totalUs > fastest->totalUs) {
+        *fastest = timeline;
+        ++admitted_;
+    }
+}
+
+std::vector<RequestTimeline>
+SlowLog::worst() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<RequestTimeline> out = worst_;
+    std::sort(out.begin(), out.end(),
+              [](const RequestTimeline &a, const RequestTimeline &b) {
+                  return a.totalUs > b.totalUs;
+              });
+    return out;
+}
+
+std::vector<RequestTimeline>
+SlowLog::errors() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {errors_.begin(), errors_.end()};
+}
+
+void
+SlowLog::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    worst_.clear();
+    errors_.clear();
+}
+
+u64
+SlowLog::admitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return admitted_;
+}
+
+} // namespace voltron

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SlowLog — the daemon's bounded ring of requests worth a second look.
+ *
+ * Two compartments, both fixed-size so an unattended daemon can never
+ * grow without bound:
+ *
+ *  - worst-N by total latency: a request is admitted when it is slower
+ *    than the current N-th worst (or the compartment has room) and
+ *    displaces the fastest member. The compartment converges on the
+ *    daemon's all-time worst offenders, which is what you want on the
+ *    3 a.m. page — a snapshot-in-time stats counter can't tell you
+ *    *which* request blew the p99.
+ *  - recent errors: a plain ring of the last M failed requests, every
+ *    error always admitted (errors are rare and all interesting).
+ *
+ * Retrieval is the "slowlog" op; each entry is the request's full
+ * RequestTimeline, so the response shows exactly which phase ate the
+ * time. Internally synchronized — record() is called from every
+ * connection thread.
+ */
+
+#ifndef VOLTRON_SERVER_SLOWLOG_HH_
+#define VOLTRON_SERVER_SLOWLOG_HH_
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "server/timeline.hh"
+
+namespace voltron {
+
+class SlowLog
+{
+  public:
+    explicit SlowLog(size_t worstCapacity = 32,
+                     size_t errorCapacity = 32)
+        : worstCapacity_(worstCapacity), errorCapacity_(errorCapacity)
+    {
+    }
+
+    /** Consider @p timeline for both compartments. */
+    void record(const RequestTimeline &timeline);
+
+    /** Worst-by-latency entries, slowest first. */
+    std::vector<RequestTimeline> worst() const;
+
+    /** Recent errors, newest first. */
+    std::vector<RequestTimeline> errors() const;
+
+    /** Drop everything (the evict op clears telemetry too). */
+    void clear();
+
+    size_t worstCapacity() const { return worstCapacity_; }
+    size_t errorCapacity() const { return errorCapacity_; }
+
+    /** Total record() calls admitted into the worst compartment. */
+    u64 admitted() const;
+
+  private:
+    const size_t worstCapacity_;
+    const size_t errorCapacity_;
+    mutable std::mutex mutex_;
+    std::vector<RequestTimeline> worst_; //!< unsorted; sorted on read
+    std::deque<RequestTimeline> errors_; //!< newest at front
+    u64 admitted_ = 0;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SERVER_SLOWLOG_HH_

@@ -1,0 +1,109 @@
+#include "server/timeline.hh"
+
+#include "server/json.hh"
+
+namespace voltron {
+
+namespace {
+
+u64
+us_between(TimelineRecorder::Clock::time_point a,
+           TimelineRecorder::Clock::time_point b)
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+            .count());
+}
+
+} // namespace
+
+std::array<u64, kNumPhases>
+RequestTimeline::phaseUs() const
+{
+    std::array<u64, kNumPhases> totals{};
+    for (const PhaseSpan &span : spans)
+        totals[static_cast<size_t>(span.phase)] += span.durationUs();
+    return totals;
+}
+
+void
+RequestTimeline::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.field("requestId", requestId);
+    w.field("op", op);
+    if (!id.empty())
+        w.field("id", id);
+    if (!source.empty())
+        w.field("source", source);
+    if (error)
+        w.field("error", errorMessage);
+    w.field("startUs", startUs);
+    w.field("totalUs", totalUs);
+    w.key("phases");
+    w.beginObject();
+    const std::array<u64, kNumPhases> totals = phaseUs();
+    for (size_t p = 0; p < kNumPhases; ++p)
+        if (totals[p] != 0 || p == static_cast<size_t>(Phase::Parse))
+            w.field(phase_name(static_cast<Phase>(p)), totals[p]);
+    w.endObject();
+    w.key("spans");
+    w.beginArray();
+    for (const PhaseSpan &span : spans) {
+        w.beginObject();
+        w.field("phase", phase_name(span.phase));
+        w.field("startUs", span.startUs);
+        w.field("endUs", span.endUs);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+TimelineRecorder::TimelineRecorder(Clock::time_point epoch, Phase phase)
+    : epoch_(epoch), start_(Clock::now()), currentStart_(start_),
+      currentPhase_(phase)
+{
+}
+
+void
+TimelineRecorder::mark(Phase phase)
+{
+    if (finished_ || phase == currentPhase_)
+        return;
+    const Clock::time_point now = Clock::now();
+    closed_.push_back({currentPhase_, us_between(start_, currentStart_),
+                       us_between(start_, now)});
+    currentStart_ = now;
+    currentPhase_ = phase;
+}
+
+RequestTimeline
+TimelineRecorder::assemble(Clock::time_point end) const
+{
+    RequestTimeline t = meta_;
+    t.startUs = us_between(epoch_, start_);
+    t.totalUs = us_between(start_, end);
+    t.spans = closed_;
+    t.spans.push_back({currentPhase_, us_between(start_, currentStart_),
+                       t.totalUs});
+    return t;
+}
+
+RequestTimeline
+TimelineRecorder::finish()
+{
+    if (!finished_) {
+        finished_ = true;
+        final_ = assemble(Clock::now());
+    }
+    return final_;
+}
+
+RequestTimeline
+TimelineRecorder::snapshot() const
+{
+    return finished_ ? final_ : assemble(Clock::now());
+}
+
+} // namespace voltron

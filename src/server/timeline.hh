@@ -1,0 +1,117 @@
+/**
+ * @file
+ * RequestTimeline — where one server request's wall time went.
+ *
+ * A TimelineRecorder is a PhaseProbe (support/phase.hh) bound to one
+ * request: created when the request line comes off the wire, marked at
+ * every phase transition (by the server's own handlers and, via the
+ * thread-local probe, by the artifact cache / golden pass / compiler /
+ * simulator deep inside VoltronSystem), and finished after the reply is
+ * sent. Because marks are transitions — each one closes the span the
+ * previous mark opened — the recorded spans tile the request's total
+ * wall time exactly: span[0] starts at 0, span[i+1] starts where
+ * span[i] ends, and the last span ends at totalUs. The acceptance test
+ * pins this invariant.
+ *
+ * A request may enter the same phase several times (a cold run probes
+ * the cache once for the golden artifact and again for the machine
+ * artifact; an adaptive run compiles and simulates repeatedly); the
+ * spans keep the full sequence and phaseUs() folds them into per-phase
+ * totals for histograms and the response's "timing" object.
+ *
+ * The recorder crosses threads (connection thread -> executor worker ->
+ * connection thread) but never runs on two at once; the executor's
+ * promise/future hand-off provides the happens-before edges.
+ */
+
+#ifndef VOLTRON_SERVER_TIMELINE_HH_
+#define VOLTRON_SERVER_TIMELINE_HH_
+
+#include <array>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "support/phase.hh"
+
+namespace voltron {
+
+class JsonWriter;
+
+/** One contiguous stretch of a request spent in one phase. */
+struct PhaseSpan
+{
+    Phase phase;
+    u64 startUs; //!< offset from the request's start
+    u64 endUs;   //!< offset from the request's start (>= startUs)
+
+    u64 durationUs() const { return endUs - startUs; }
+};
+
+/** The finished record of one request's journey. */
+struct RequestTimeline
+{
+    u64 requestId = 0;   //!< daemon-unique, monotonically increasing
+    u64 contentHash = 0; //!< dedup key (0 for non-run ops)
+    std::string op;
+    std::string id;     //!< client correlation tag
+    std::string source; //!< cold | cached | follower ("" otherwise)
+    bool error = false;
+    std::string errorMessage;
+    u64 startUs = 0; //!< steady offset from server start
+    u64 totalUs = 0;
+    std::vector<PhaseSpan> spans;
+
+    /** Total duration per phase (spans folded). */
+    std::array<u64, kNumPhases> phaseUs() const;
+
+    /** Render the "timing" object: requestId, totalUs, per-phase sums,
+     * and the span sequence. */
+    void writeJson(JsonWriter &w) const;
+};
+
+/** Phase-transition clock for one request. */
+class TimelineRecorder final : public PhaseProbe
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Starts the clock (and the first span) at @p phase, now. The
+     * @p epoch is the server's start time so timelines are mutually
+     * comparable. */
+    TimelineRecorder(Clock::time_point epoch, Phase phase);
+
+    /** Close the current span and open one for @p phase. Re-marking
+     * the current phase is a no-op (spans stay maximal). */
+    void mark(Phase phase) override;
+
+    /** Close the last span and return the assembled timeline. Further
+     * marks are ignored. */
+    RequestTimeline finish();
+
+    /**
+     * Snapshot the timeline as of now *without* ending recording: the
+     * current span is closed at the snapshot instant. Used to embed the
+     * "timing" object in the response body while the reply span is
+     * still to come.
+     */
+    RequestTimeline snapshot() const;
+
+    RequestTimeline &meta() { return meta_; }
+
+  private:
+    RequestTimeline assemble(Clock::time_point end) const;
+
+    Clock::time_point epoch_;
+    Clock::time_point start_;
+    Clock::time_point currentStart_;
+    Phase currentPhase_;
+    bool finished_ = false;
+    std::vector<PhaseSpan> closed_;
+    RequestTimeline meta_;  //!< id/op/source filled in by handlers
+    RequestTimeline final_; //!< cached result once finished
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SERVER_TIMELINE_HH_

@@ -1,0 +1,259 @@
+#include "support/log.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace voltron {
+
+namespace {
+
+/** Escape for a JSON string body (no surrounding quotes). Kept local:
+ * support sits below the server's json library in the layering. */
+std::string
+escape_json(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+i64
+steady_us_now()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+i64
+wall_us_now()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+LogField::LogField(std::string k, double v) : key(std::move(k)), quoted(false)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    value = buf;
+}
+
+const char *
+log_level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Trace: return "trace";
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Error: return "error";
+      case LogLevel::Off: return "off";
+    }
+    return "unknown";
+}
+
+bool
+parse_log_level(std::string_view name, LogLevel &out)
+{
+    static constexpr LogLevel all[] = {
+        LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+        LogLevel::Warn,  LogLevel::Error, LogLevel::Off,
+    };
+    for (LogLevel level : all) {
+        if (name == log_level_name(level)) {
+            out = level;
+            return true;
+        }
+    }
+    return false;
+}
+
+Logger::Logger() : steadyEpochUs_(steady_us_now())
+{
+    if (const char *spec = std::getenv("VOLTRON_LOG"); spec && *spec)
+        configure(spec);
+}
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+bool
+Logger::configure(const std::string &spec, std::string *err)
+{
+    LogLevel defaultLevel = static_cast<LogLevel>(defaultLevel_.load());
+    bool json = json_.load();
+    std::vector<std::pair<std::string, LogLevel>> overrides;
+
+    size_t pos = 0;
+    while (pos <= spec.size()) {
+        const size_t comma = spec.find(',', pos);
+        const std::string token = spec.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+        if (token.empty())
+            continue;
+        if (token == "json") {
+            json = true;
+            continue;
+        }
+        if (token == "text") {
+            json = false;
+            continue;
+        }
+        const size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+            if (!parse_log_level(token, defaultLevel)) {
+                if (err)
+                    *err = "unknown log level '" + token + "'";
+                return false;
+            }
+            continue;
+        }
+        const std::string sub = token.substr(0, eq);
+        LogLevel level;
+        if (sub.empty() || !parse_log_level(token.substr(eq + 1), level)) {
+            if (err)
+                *err = "bad log override '" + token + "'";
+            return false;
+        }
+        overrides.emplace_back(sub, level);
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        overrides_ = std::move(overrides);
+    }
+    defaultLevel_.store(static_cast<u8>(defaultLevel));
+    json_.store(json);
+    return true;
+}
+
+void
+Logger::setSink(std::ostream *os)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sink_ = os;
+}
+
+LogLevel
+Logger::levelFor(std::string_view subsystem) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Longest matching dotted prefix wins: "cache.disk=trace" governs
+    // "cache.disk" and "cache.disk.evict" but not "cache.diskette".
+    size_t bestLen = 0;
+    LogLevel best = static_cast<LogLevel>(defaultLevel_.load());
+    for (const auto &[prefix, level] : overrides_) {
+        if (prefix.size() > subsystem.size() ||
+            subsystem.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        if (subsystem.size() != prefix.size() &&
+            subsystem[prefix.size()] != '.')
+            continue;
+        if (prefix.size() >= bestLen) {
+            bestLen = prefix.size();
+            best = level;
+        }
+    }
+    return best;
+}
+
+void
+Logger::write(LogLevel level, std::string_view subsystem,
+              std::string_view message, const std::vector<LogField> &fields)
+{
+    if (!enabled(level, subsystem))
+        return;
+
+    const i64 t_us = steady_us_now() - steadyEpochUs_;
+    std::string line;
+    line.reserve(96 + message.size());
+    if (json_.load()) {
+        line += "{\"t\":";
+        line += std::to_string(t_us);
+        line += ",\"wall\":";
+        line += std::to_string(wall_us_now());
+        line += ",\"level\":\"";
+        line += log_level_name(level);
+        line += "\",\"sub\":\"";
+        line += escape_json(subsystem);
+        line += "\",\"msg\":\"";
+        line += escape_json(message);
+        line += "\"";
+        for (const LogField &f : fields) {
+            line += ",\"";
+            line += escape_json(f.key);
+            line += "\":";
+            if (f.quoted) {
+                line += "\"";
+                line += escape_json(f.value);
+                line += "\"";
+            } else {
+                line += f.value;
+            }
+        }
+        line += "}\n";
+    } else {
+        char tag[8] = {};
+        std::snprintf(tag, sizeof(tag), "%s", log_level_name(level));
+        for (char *c = tag; *c; ++c)
+            *c = static_cast<char>(*c - 'a' + 'A');
+        char stamp[40];
+        std::snprintf(stamp, sizeof(stamp), "[%11.6f] %-5s ",
+                      static_cast<double>(t_us) / 1e6, tag);
+        line += stamp;
+        line += subsystem;
+        line += ": ";
+        line += message;
+        for (const LogField &f : fields) {
+            line += " ";
+            line += f.key;
+            line += "=";
+            line += f.value;
+        }
+        line += "\n";
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostream &os = sink_ ? *sink_ : std::cerr;
+    os << line;
+    os.flush();
+    linesWritten_.fetch_add(1);
+}
+
+void
+log_line(LogLevel level, std::string_view subsystem,
+         std::string_view message, const std::vector<LogField> &fields)
+{
+    Logger::instance().write(level, subsystem, message, fields);
+}
+
+} // namespace voltron

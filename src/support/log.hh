@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Structured logging for long-lived processes (the voltron-served
+ * daemon foremost): levels, dotted subsystems, steady+wall timestamps,
+ * and an optional JSON-lines mode so the daemon's behavior is both
+ * greppable and machine-parseable.
+ *
+ * Every line carries a level, a dotted subsystem name ("server.request",
+ * "cache.disk", "server.executor"), a message, and zero or more typed
+ * key=value fields. Text mode renders
+ *
+ *   [     12.345678] INFO  server.request: done id=r1 totalUs=532
+ *
+ * (the bracket is seconds since process start on the steady clock);
+ * JSON-lines mode renders one strict-JSON object per line
+ *
+ *   {"t":12345678,"wall":1691580000000000,"level":"info",
+ *    "sub":"server.request","msg":"done","id":"r1","totalUs":532}
+ *
+ * with "t" steady microseconds since process start and "wall" epoch
+ * microseconds, so lines from restarts interleave correctly.
+ *
+ * Filtering is per-subsystem: a spec like
+ *
+ *   info,server=debug,cache.disk=trace,json
+ *
+ * sets the default level, overrides whole dotted subtrees (the longest
+ * matching prefix at a '.' boundary wins), and flips the output mode.
+ * The daemon reads the spec from --log or $VOLTRON_LOG.
+ *
+ * Thread-safe: lines are formatted outside the lock and emitted whole
+ * under it, so concurrent writers never interleave bytes.
+ */
+
+#ifndef VOLTRON_SUPPORT_LOG_HH_
+#define VOLTRON_SUPPORT_LOG_HH_
+
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace voltron {
+
+enum class LogLevel : u8 { Trace = 0, Debug, Info, Warn, Error, Off };
+
+const char *log_level_name(LogLevel level);
+
+/** Parse "trace|debug|info|warn|error|off"; false on anything else. */
+bool parse_log_level(std::string_view name, LogLevel &out);
+
+/** One typed key=value attachment on a log line. */
+struct LogField
+{
+    std::string key;
+    std::string value;
+    bool quoted; //!< true: JSON string; false: raw number/bool token
+
+    LogField(std::string k, const char *v)
+        : key(std::move(k)), value(v), quoted(true)
+    {
+    }
+    LogField(std::string k, const std::string &v)
+        : key(std::move(k)), value(v), quoted(true)
+    {
+    }
+    LogField(std::string k, u64 v)
+        : key(std::move(k)), value(std::to_string(v)), quoted(false)
+    {
+    }
+    LogField(std::string k, i64 v)
+        : key(std::move(k)), value(std::to_string(v)), quoted(false)
+    {
+    }
+    LogField(std::string k, int v)
+        : LogField(std::move(k), static_cast<i64>(v))
+    {
+    }
+    LogField(std::string k, double v);
+    LogField(std::string k, bool v)
+        : key(std::move(k)), value(v ? "true" : "false"), quoted(false)
+    {
+    }
+};
+
+class Logger
+{
+  public:
+    /** The process-wide logger; first use applies $VOLTRON_LOG. */
+    static Logger &instance();
+
+    /**
+     * Apply a filter spec: comma-separated tokens, each a default level
+     * ("debug"), a subtree override ("cache.disk=trace"), or an output
+     * mode ("json" / "text"). Replaces all previous overrides. False
+     * with a message in @p err on an unknown token.
+     */
+    bool configure(const std::string &spec, std::string *err = nullptr);
+
+    /** Redirect output (default: std::cerr). Pass nullptr to restore
+     * the default. Tests capture through an ostringstream. */
+    void setSink(std::ostream *os);
+
+    void setJsonMode(bool json) { json_.store(json); }
+    bool jsonMode() const { return json_.load(); }
+
+    /** Effective level for @p subsystem (longest-prefix override). */
+    LogLevel levelFor(std::string_view subsystem) const;
+
+    bool
+    enabled(LogLevel level, std::string_view subsystem) const
+    {
+        return level != LogLevel::Off && level >= levelFor(subsystem);
+    }
+
+    /** Emit one line (if enabled). Fields render as key=value in text
+     * mode and as extra members in JSON mode. */
+    void write(LogLevel level, std::string_view subsystem,
+               std::string_view message,
+               const std::vector<LogField> &fields = {});
+
+    /** Lines actually emitted (post-filter) — tests and stats. */
+    u64 linesWritten() const { return linesWritten_.load(); }
+
+  private:
+    Logger();
+
+    mutable std::mutex mutex_; //!< overrides + sink + emission
+    std::atomic<u8> defaultLevel_{
+        static_cast<u8>(LogLevel::Info)};
+    std::atomic<bool> json_{false};
+    std::vector<std::pair<std::string, LogLevel>> overrides_;
+    std::ostream *sink_ = nullptr; //!< nullptr = std::cerr
+    std::atomic<u64> linesWritten_{0};
+    i64 steadyEpochUs_ = 0; //!< steady-clock us at construction
+};
+
+/** Convenience wrappers over Logger::instance(). */
+void log_line(LogLevel level, std::string_view subsystem,
+              std::string_view message,
+              const std::vector<LogField> &fields = {});
+
+inline void
+log_trace(std::string_view sub, std::string_view msg,
+          const std::vector<LogField> &fields = {})
+{
+    log_line(LogLevel::Trace, sub, msg, fields);
+}
+
+inline void
+log_debug(std::string_view sub, std::string_view msg,
+          const std::vector<LogField> &fields = {})
+{
+    log_line(LogLevel::Debug, sub, msg, fields);
+}
+
+inline void
+log_info(std::string_view sub, std::string_view msg,
+         const std::vector<LogField> &fields = {})
+{
+    log_line(LogLevel::Info, sub, msg, fields);
+}
+
+inline void
+log_warn(std::string_view sub, std::string_view msg,
+         const std::vector<LogField> &fields = {})
+{
+    log_line(LogLevel::Warn, sub, msg, fields);
+}
+
+inline void
+log_error(std::string_view sub, std::string_view msg,
+          const std::vector<LogField> &fields = {})
+{
+    log_line(LogLevel::Error, sub, msg, fields);
+}
+
+} // namespace voltron
+
+#endif // VOLTRON_SUPPORT_LOG_HH_

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Request-phase attribution hooks.
+ *
+ * A request travelling through voltron-served crosses layers that know
+ * nothing about each other: the connection loop parses and classifies,
+ * the executor queues, and deep inside VoltronSystem the artifact cache
+ * is probed, the golden interpreter runs, the compiler compiles, and
+ * the machine simulates. To attribute a request's wall time to those
+ * stages without threading a timer object through every signature, the
+ * server installs a PhaseProbe on the thread that executes the request;
+ * the lower layers call phase_mark() at each stage transition and the
+ * probe timestamps it. With no probe installed (every non-server
+ * harness, and the simulator's own worker threads) a mark is one
+ * thread-local load and a branch — nothing.
+ *
+ * Marks are *transitions*, not bracketed begin/end pairs: each mark
+ * closes the span opened by the previous one. A recorder built on this
+ * contract produces spans that tile the observed window with no gaps
+ * and no overlaps by construction (server/timeline.hh).
+ */
+
+#ifndef VOLTRON_SUPPORT_PHASE_HH_
+#define VOLTRON_SUPPORT_PHASE_HH_
+
+#include "support/types.hh"
+
+namespace voltron {
+
+/** The phases a server request's lifetime divides into. */
+enum class Phase : u8 {
+    Accept = 0, //!< taking the request line off the wire
+    Parse,      //!< JSON parse + building the program from its source
+    Classify,   //!< dedup lookup: cached / follower / cold
+    QueueWait,  //!< leader waiting for an executor slot, follower
+                //!< sleeping on its leader's condvar
+    CacheProbe, //!< artifact-cache lookups (golden/machine/baseline)
+    GoldenRun,  //!< cold golden interpreter pass
+    Compile,    //!< cold compile
+    Simulate,   //!< the cycle-level machine run (incl. verification)
+    Serialize,  //!< rendering the response body / writing .vtrace
+    Reply,      //!< sending the response line back
+    NumPhases,
+};
+
+inline constexpr size_t kNumPhases =
+    static_cast<size_t>(Phase::NumPhases);
+
+inline const char *
+phase_name(Phase p)
+{
+    switch (p) {
+      case Phase::Accept: return "accept";
+      case Phase::Parse: return "parse";
+      case Phase::Classify: return "classify";
+      case Phase::QueueWait: return "queueWait";
+      case Phase::CacheProbe: return "cacheProbe";
+      case Phase::GoldenRun: return "goldenRun";
+      case Phase::Compile: return "compile";
+      case Phase::Simulate: return "simulate";
+      case Phase::Serialize: return "serialize";
+      case Phase::Reply: return "reply";
+      default: return "unknown";
+    }
+}
+
+/** Receiver of phase transitions for the current thread's request. */
+class PhaseProbe
+{
+  public:
+    virtual ~PhaseProbe() = default;
+    /** The request just entered @p phase (closing the previous one). */
+    virtual void mark(Phase phase) = 0;
+};
+
+namespace detail {
+inline thread_local PhaseProbe *t_phase_probe = nullptr;
+} // namespace detail
+
+/** Install @p probe for this thread; returns the previous one so
+ * nested scopes can restore it. */
+inline PhaseProbe *
+set_phase_probe(PhaseProbe *probe)
+{
+    PhaseProbe *prev = detail::t_phase_probe;
+    detail::t_phase_probe = probe;
+    return prev;
+}
+
+inline PhaseProbe *
+phase_probe()
+{
+    return detail::t_phase_probe;
+}
+
+/** Mark a phase transition on whatever probe the thread carries. */
+inline void
+phase_mark(Phase phase)
+{
+    if (PhaseProbe *probe = detail::t_phase_probe)
+        probe->mark(phase);
+}
+
+/** RAII: install a probe for a scope, restore the previous on exit. */
+class ScopedPhaseProbe
+{
+  public:
+    explicit ScopedPhaseProbe(PhaseProbe *probe)
+        : prev_(set_phase_probe(probe))
+    {
+    }
+    ~ScopedPhaseProbe() { set_phase_probe(prev_); }
+
+    ScopedPhaseProbe(const ScopedPhaseProbe &) = delete;
+    ScopedPhaseProbe &operator=(const ScopedPhaseProbe &) = delete;
+
+  private:
+    PhaseProbe *prev_;
+};
+
+} // namespace voltron
+
+#endif // VOLTRON_SUPPORT_PHASE_HH_

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Logger coverage: level filtering, dotted-subtree overrides
+ * (longest-prefix-at-a-boundary), spec parsing and its all-or-nothing
+ * commit, JSON-lines strictness (validated with the same parser CI
+ * uses on the daemon's log), text-mode shape, and concurrent-writer
+ * line atomicity.
+ */
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/log.hh"
+#include "trace/perfetto.hh"
+
+using namespace voltron;
+
+namespace {
+
+/**
+ * Point the process-wide logger at a local buffer for one test and
+ * restore the defaults on the way out — the Logger is a singleton, so
+ * every test must leave it the way the next expects to find it.
+ */
+class LogCapture
+{
+  public:
+    LogCapture()
+    {
+        Logger::instance().configure("info,text");
+        Logger::instance().setSink(&buffer_);
+    }
+    ~LogCapture()
+    {
+        Logger::instance().setSink(nullptr);
+        Logger::instance().configure("info,text");
+    }
+
+    std::string text() const { return buffer_.str(); }
+
+    std::vector<std::string>
+    lines() const
+    {
+        std::vector<std::string> out;
+        std::istringstream is(buffer_.str());
+        std::string line;
+        while (std::getline(is, line))
+            out.push_back(line);
+        return out;
+    }
+
+  private:
+    std::ostringstream buffer_;
+};
+
+TEST(Log, ParseLevelRoundTrips)
+{
+    for (LogLevel level :
+         {LogLevel::Trace, LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+          LogLevel::Error, LogLevel::Off}) {
+        LogLevel parsed;
+        ASSERT_TRUE(parse_log_level(log_level_name(level), parsed));
+        EXPECT_EQ(parsed, level);
+    }
+    LogLevel parsed;
+    EXPECT_FALSE(parse_log_level("verbose", parsed));
+    EXPECT_FALSE(parse_log_level("", parsed));
+    EXPECT_FALSE(parse_log_level("INFO", parsed)); // spec is lowercase
+}
+
+TEST(Log, DefaultLevelFiltersLowerSeverities)
+{
+    LogCapture capture;
+    ASSERT_TRUE(Logger::instance().configure("warn"));
+
+    log_trace("server.test", "t");
+    log_debug("server.test", "d");
+    log_info("server.test", "i");
+    log_warn("server.test", "w");
+    log_error("server.test", "e");
+
+    const std::vector<std::string> lines = capture.lines();
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("WARN"), std::string::npos);
+    EXPECT_NE(lines[1].find("ERROR"), std::string::npos);
+}
+
+TEST(Log, SubtreeOverrideLongestDottedPrefixWins)
+{
+    LogCapture capture;
+    ASSERT_TRUE(Logger::instance().configure(
+        "info,server=debug,server.executor=trace,cache.disk=trace"));
+
+    Logger &log = Logger::instance();
+    EXPECT_EQ(log.levelFor("server"), LogLevel::Debug);
+    EXPECT_EQ(log.levelFor("server.request"), LogLevel::Debug);
+    EXPECT_EQ(log.levelFor("server.executor"), LogLevel::Trace);
+    EXPECT_EQ(log.levelFor("server.executor.queue"), LogLevel::Trace);
+    EXPECT_EQ(log.levelFor("cache.disk"), LogLevel::Trace);
+    EXPECT_EQ(log.levelFor("cache.disk.evict"), LogLevel::Trace);
+    // Prefix matches bind only at a '.' boundary.
+    EXPECT_EQ(log.levelFor("serverx"), LogLevel::Info);
+    EXPECT_EQ(log.levelFor("cache.diskette"), LogLevel::Info);
+    // No override at all: the default applies.
+    EXPECT_EQ(log.levelFor("mesh"), LogLevel::Info);
+
+    EXPECT_TRUE(log.enabled(LogLevel::Trace, "server.executor"));
+    EXPECT_FALSE(log.enabled(LogLevel::Trace, "server.request"));
+    EXPECT_FALSE(log.enabled(LogLevel::Debug, "mesh"));
+}
+
+TEST(Log, ConfigureRejectsBadSpecsWithoutPartialCommit)
+{
+    LogCapture capture;
+    ASSERT_TRUE(Logger::instance().configure("debug,server=trace"));
+
+    std::string err;
+    EXPECT_FALSE(Logger::instance().configure("verbose", &err));
+    EXPECT_NE(err.find("verbose"), std::string::npos);
+    EXPECT_FALSE(Logger::instance().configure("server=", &err));
+    EXPECT_FALSE(Logger::instance().configure("=debug", &err));
+    EXPECT_FALSE(Logger::instance().configure("server=loud", &err));
+
+    // A rejected spec leaves the previous configuration untouched.
+    EXPECT_EQ(Logger::instance().levelFor("mesh"), LogLevel::Debug);
+    EXPECT_EQ(Logger::instance().levelFor("server.request"),
+              LogLevel::Trace);
+}
+
+TEST(Log, JsonModeEmitsOneStrictJsonObjectPerLine)
+{
+    LogCapture capture;
+    ASSERT_TRUE(Logger::instance().configure("info,json"));
+
+    log_info("server.request", "done",
+             {{"id", "r1"}, {"totalUs", u64{532}}, {"ok", true}});
+    log_warn("cache.disk", "corrupt \"entry\"\nrecovered",
+             {{"delta", i64{-3}}, {"ratio", 0.25}});
+
+    const std::vector<std::string> lines = capture.lines();
+    ASSERT_EQ(lines.size(), 2u);
+    for (const std::string &line : lines) {
+        std::string error;
+        EXPECT_TRUE(validate_json(line, &error))
+            << line << ": " << error;
+    }
+    EXPECT_NE(lines[0].find("\"sub\":\"server.request\""),
+              std::string::npos);
+    EXPECT_NE(lines[0].find("\"totalUs\":532"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"ok\":true"), std::string::npos);
+    // Quotes and newlines in the message arrive escaped, not raw.
+    EXPECT_NE(lines[1].find("corrupt \\\"entry\\\"\\nrecovered"),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("\"delta\":-3"), std::string::npos);
+}
+
+TEST(Log, TextModeCarriesLevelSubsystemAndFields)
+{
+    LogCapture capture;
+    ASSERT_TRUE(Logger::instance().configure("info,text"));
+
+    log_info("server.request", "done", {{"id", "r1"}, {"totalUs", 532}});
+
+    const std::vector<std::string> lines = capture.lines();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("INFO"), std::string::npos);
+    EXPECT_NE(lines[0].find("server.request: done"), std::string::npos);
+    EXPECT_NE(lines[0].find("id=r1"), std::string::npos);
+    EXPECT_NE(lines[0].find("totalUs=532"), std::string::npos);
+}
+
+TEST(Log, LinesWrittenCountsOnlyEmittedLines)
+{
+    LogCapture capture;
+    ASSERT_TRUE(Logger::instance().configure("warn"));
+
+    const u64 before = Logger::instance().linesWritten();
+    log_debug("server.test", "suppressed");
+    log_info("server.test", "suppressed");
+    log_warn("server.test", "emitted");
+    log_error("server.test", "emitted");
+    EXPECT_EQ(Logger::instance().linesWritten() - before, 2u);
+}
+
+TEST(Log, ConcurrentWritersNeverInterleaveBytes)
+{
+    LogCapture capture;
+    ASSERT_TRUE(Logger::instance().configure("info,json"));
+
+    constexpr size_t kThreads = 8;
+    constexpr size_t kPerThread = 200;
+    std::vector<std::thread> writers;
+    for (size_t t = 0; t < kThreads; ++t)
+        writers.emplace_back([t] {
+            for (size_t i = 0; i < kPerThread; ++i)
+                log_info("server.test", "w",
+                         {{"thread", static_cast<u64>(t)},
+                          {"seq", static_cast<u64>(i)}});
+        });
+    for (std::thread &t : writers)
+        t.join();
+
+    // Whole-line emission under the lock means exactly thread*count
+    // lines, each one a complete JSON document — a torn line fails
+    // validation, a merged pair changes the count.
+    const std::vector<std::string> lines = capture.lines();
+    ASSERT_EQ(lines.size(), kThreads * kPerThread);
+    for (const std::string &line : lines) {
+        std::string error;
+        ASSERT_TRUE(validate_json(line, &error)) << line << ": " << error;
+        ASSERT_NE(line.find("\"msg\":\"w\""), std::string::npos);
+    }
+}
+
+} // namespace

@@ -435,6 +435,235 @@ TEST(ServerBrain, TraceRequestWritesAReadableHandle)
     EXPECT_GT(events.size(), 0u);
 }
 
+// --- Telemetry ------------------------------------------------------------
+
+namespace {
+
+/** run_line plus the per-request timeline flag. */
+std::string
+timed_run_line(const std::string &id, u64 seed, int cores)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("op", "run");
+    w.field("id", id);
+    w.field("seed", seed);
+    w.field("timing", true);
+    w.key("options");
+    w.beginObject();
+    w.field("cores", cores);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+/**
+ * The tiling property marks-as-transitions guarantees by construction:
+ * the first span starts at 0, each span ends exactly where the next
+ * begins, and the last span ends exactly at totalUs. No gaps, no
+ * overlaps, no unaccounted wall time.
+ */
+void
+expect_spans_tile(const JsonValue &timing)
+{
+    const JsonValue *spans = timing.find("spans");
+    ASSERT_NE(spans, nullptr);
+    ASSERT_TRUE(spans->isArray());
+    const std::vector<JsonValue> &items = spans->items();
+    ASSERT_FALSE(items.empty());
+    EXPECT_EQ(items.front().u64At("startUs"), 0u);
+    for (size_t i = 0; i + 1 < items.size(); ++i)
+        EXPECT_EQ(items[i].u64At("endUs"), items[i + 1].u64At("startUs"))
+            << "gap/overlap between span " << i << " and " << i + 1;
+    EXPECT_EQ(items.back().u64At("endUs"), timing.u64At("totalUs"));
+}
+
+bool
+spans_contain(const JsonValue &timing, const std::string &phase)
+{
+    const JsonValue *spans = timing.find("spans");
+    if (!spans || !spans->isArray())
+        return false;
+    for (const JsonValue &span : spans->items())
+        if (span.str("phase") == phase)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(ServerTiming, ColdRunSpansTileTotalWallTime)
+{
+    ScopedCacheDir cache;
+    Server server(ServerConfig{});
+
+    JsonValue v = handle(server, timed_run_line("t1", 21, 4));
+    ASSERT_EQ(v.str("status"), "ok");
+    EXPECT_EQ(v.str("source"), "cold");
+    const JsonValue *timing = v.find("timing");
+    ASSERT_NE(timing, nullptr);
+    ASSERT_TRUE(timing->isObject());
+    EXPECT_GT(timing->u64At("requestId"), 0u);
+    EXPECT_EQ(timing->str("op"), "run");
+    expect_spans_tile(*timing);
+    // A cold run walks the whole service pipeline.
+    EXPECT_TRUE(spans_contain(*timing, "queueWait"));
+    EXPECT_TRUE(spans_contain(*timing, "goldenRun"));
+    EXPECT_TRUE(spans_contain(*timing, "compile"));
+    EXPECT_TRUE(spans_contain(*timing, "simulate"));
+    EXPECT_TRUE(spans_contain(*timing, "serialize"));
+}
+
+TEST(ServerTiming, TimingFlagNeitherChangesIdentityNorLeaksUnrequested)
+{
+    ScopedCacheDir cache;
+    Server server(ServerConfig{});
+
+    // No flag: no timing object on the wire.
+    JsonValue cold = handle(server, run_line("p1", 33, 4));
+    ASSERT_EQ(cold.str("status"), "ok");
+    EXPECT_EQ(cold.find("timing"), nullptr);
+
+    // The flag is excluded from the content hash, so a timed replay of
+    // the same work dedups against the untimed original — and its
+    // timeline describes the cached path (no simulation re-ran).
+    JsonValue warm = handle(server, timed_run_line("p2", 33, 4));
+    EXPECT_EQ(warm.str("source"), "cached");
+    const JsonValue *timing = warm.find("timing");
+    ASSERT_NE(timing, nullptr);
+    expect_spans_tile(*timing);
+    EXPECT_FALSE(spans_contain(*timing, "simulate"));
+}
+
+TEST(ServerTiming, StatsExposePhaseHistogramsAndResponseCacheCounters)
+{
+    ScopedCacheDir cache;
+    Server server(ServerConfig{});
+    handle(server, timed_run_line("h1", 66, 2));
+
+    JsonValue stats = handle(server, R"({"op":"stats"})");
+    ASSERT_EQ(stats.str("status"), "ok");
+    const JsonValue *r = stats.find("result");
+    ASSERT_NE(r, nullptr);
+    EXPECT_GE(r->u64At("server.latency.total.count"), 1u);
+    EXPECT_GE(r->u64At("server.phase.compile.count"), 1u);
+    EXPECT_GE(r->u64At("server.phase.simulate.count"), 1u);
+    EXPECT_NE(r->find("server.phase.simulate.p50"), nullptr);
+    EXPECT_NE(r->find("server.phase.simulate.p99"), nullptr);
+    EXPECT_EQ(r->u64At("server.response_cache.entries"), 1u);
+    EXPECT_EQ(r->u64At("server.response_cache.capacity"),
+              ServerConfig{}.maxResponses);
+    EXPECT_NE(r->find("server.log.lines"), nullptr);
+    EXPECT_GE(r->u64At("server.slowlog.worstEntries"), 1u);
+}
+
+TEST(ServerBrain, SlowlogKeepsWorstRequestsAndRecentErrors)
+{
+    ScopedCacheDir cache;
+    Server server(ServerConfig{});
+    handle(server, run_line("s1", 44, 2));
+    JsonValue bad = handle(server, R"({"op":"run","id":"oops",)"
+                                   R"("benchmark":"no-such-benchmark"})");
+    EXPECT_EQ(bad.str("status"), "error");
+
+    JsonValue slow = handle(server, R"({"op":"slowlog"})");
+    ASSERT_EQ(slow.str("status"), "ok");
+    const JsonValue *result = slow.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_GT(result->u64At("worstCapacity"), 0u);
+
+    const JsonValue *worst = result->find("worst");
+    ASSERT_NE(worst, nullptr);
+    ASSERT_TRUE(worst->isArray());
+    ASSERT_FALSE(worst->items().empty());
+    bool sawRun = false;
+    for (const JsonValue &entry : worst->items())
+        if (entry.str("op") == "run" && entry.u64At("totalUs") > 0)
+            sawRun = true;
+    EXPECT_TRUE(sawRun);
+
+    const JsonValue *errors = result->find("errors");
+    ASSERT_NE(errors, nullptr);
+    ASSERT_TRUE(errors->isArray());
+    ASSERT_FALSE(errors->items().empty());
+    EXPECT_NE(errors->items()[0].str("error"), "");
+}
+
+TEST(ServerBrain, ResponseCacheEvictsLruAndReDerivesEvictedKeys)
+{
+    ScopedCacheDir cache;
+    ServerConfig config;
+    config.maxResponses = 2;
+    Server server(config);
+
+    JsonValue a = handle(server, run_line("a", 1, 2));
+    ASSERT_EQ(a.str("status"), "ok");
+    const u64 cyclesA = a.find("result")->u64At("cycles");
+    handle(server, run_line("b", 2, 2));
+    handle(server, run_line("c", 3, 2)); // capacity 2: evicts "a"
+
+    JsonValue stats = handle(server, R"({"op":"stats"})");
+    const JsonValue *r = stats.find("result");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->u64At("server.response_cache.entries"), 2u);
+    EXPECT_EQ(r->u64At("server.response_cache.capacity"), 2u);
+    EXPECT_GE(r->u64At("server.response_cache.evictions"), 1u);
+
+    // The evicted key re-derives cold — and deterministically: the
+    // re-derived response carries the same cycle count.
+    JsonValue again = handle(server, run_line("a2", 1, 2));
+    EXPECT_EQ(again.str("source"), "cold");
+    EXPECT_EQ(again.find("result")->u64At("cycles"), cyclesA);
+    // The most-recent key survived both evictions and still hits.
+    EXPECT_EQ(handle(server, run_line("c2", 3, 2)).str("source"),
+              "cached");
+}
+
+TEST(ServerBrain, WatchReturnsOneSnapshotAndStreamsWithASink)
+{
+    ScopedCacheDir cache;
+    ServerConfig config;
+    config.statsIntervalMs = 0; // no background snapshotter: self-sample
+    Server server(config);
+    handle(server, run_line("w1", 55, 2));
+
+    // Without a sink there is nowhere to stream, so any count degrades
+    // to one immediate snapshot.
+    JsonValue one = handle(server, R"({"op":"watch","count":5})");
+    ASSERT_EQ(one.str("status"), "ok");
+    const JsonValue *result = one.find("result");
+    ASSERT_NE(result, nullptr);
+    EXPECT_GE(result->u64At("seq"), 1u);
+    ASSERT_NE(result->find("deltas"), nullptr);
+    const JsonValue *totals = result->find("totals");
+    ASSERT_NE(totals, nullptr);
+    ASSERT_TRUE(totals->isObject());
+    EXPECT_GE(totals->u64At("server.requests"), 1u);
+
+    // With a sink: count-1 streamed lines plus the returned final one,
+    // each a complete response, sequence strictly increasing.
+    std::vector<std::string> streamed;
+    const std::string last = server.handleLine(
+        R"({"op":"watch","count":3})", [&](const std::string &line) {
+            streamed.push_back(line);
+            return true;
+        });
+    ASSERT_EQ(streamed.size(), 2u);
+    u64 prevSeq = 0;
+    for (const std::string &line : streamed) {
+        JsonValue v;
+        ASSERT_TRUE(JsonValue::parse(line, v)) << line;
+        ASSERT_EQ(v.str("status"), "ok");
+        const u64 seq = v.find("result")->u64At("seq");
+        EXPECT_GT(seq, prevSeq);
+        prevSeq = seq;
+    }
+    JsonValue fin;
+    ASSERT_TRUE(JsonValue::parse(last, fin));
+    ASSERT_EQ(fin.str("status"), "ok");
+    EXPECT_GT(fin.find("result")->u64At("seq"), prevSeq);
+}
+
 // --- Socket loopback ------------------------------------------------------
 
 TEST(ServerSocket, ClientRoundTripsOverAUnixSocket)

@@ -140,9 +140,14 @@ echo "== server smoke =="
 SERVER_SOCK="$SMOKE_DIR/ci-served.sock"
 SERVER_CACHE="$SMOKE_DIR/ci-served-cache"
 mkdir -p "$SERVER_CACHE"
+# The daemon logs structured JSON lines to stderr; stdout keeps the
+# human "ready"/summary lines. The log is validated as strict JSON
+# lines at the end of the stage, so the plain-text atexit cache-stats
+# dump (VOLTRON_CACHE_STATS, exported above) must stay off here.
+VOLTRON_CACHE_STATS=0 \
 VOLTRON_CACHE_DIR="$SERVER_CACHE" ./build/tools/voltron-served \
-    --socket "$SERVER_SOCK" --workers 2 \
-    > "$SMOKE_DIR/ci-served.log" 2>&1 &
+    --socket "$SERVER_SOCK" --workers 2 --log 'debug,json' \
+    > "$SMOKE_DIR/ci-served.log" 2> "$SMOKE_DIR/ci-served.jsonl" &
 SERVER_PID=$!
 for _ in $(seq 1 100); do
     [ -S "$SERVER_SOCK" ] && break
@@ -172,13 +177,56 @@ server_expect cold cold
 server_expect warm cached
 ./build/tools/voltron-servectl --socket "$SERVER_SOCK" evict 0 > /dev/null
 server_expect evicted cold
+
+# Telemetry round-trips: a timed request must come back with a span
+# timeline, the slowlog must remember the runs just served, and a
+# two-snapshot watch must stream exactly two strict-JSON lines.
+TIMED_REQ='{"op":"run","id":"ci-timed","benchmark":"epic","options":{"cores":4},"timing":true}'
+TIMED_RESP="$(./build/tools/voltron-servectl --socket "$SERVER_SOCK" \
+    send "$TIMED_REQ")"
+if ! echo "$TIMED_RESP" | grep -q '"timing":{'; then
+    echo "FAIL: timed request came back without a timing object" >&2
+    echo "$TIMED_RESP" >&2
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+fi
+./build/tools/voltron-servectl --socket "$SERVER_SOCK" slowlog \
+    > "$SMOKE_DIR/ci-served-slowlog.txt"
+if ! grep -q 'run/' "$SMOKE_DIR/ci-served-slowlog.txt"; then
+    echo "FAIL: slowlog does not list the runs just served" >&2
+    cat "$SMOKE_DIR/ci-served-slowlog.txt" >&2
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+fi
+./build/tools/voltron-servectl --socket "$SERVER_SOCK" watch 2 \
+    > "$SMOKE_DIR/ci-served-watch.jsonl"
+if [ "$(wc -l < "$SMOKE_DIR/ci-served-watch.jsonl")" -ne 2 ]; then
+    echo "FAIL: watch 2 did not stream exactly two snapshot lines" >&2
+    cat "$SMOKE_DIR/ci-served-watch.jsonl" >&2
+    kill "$SERVER_PID" 2>/dev/null || true
+    exit 1
+fi
+./build/tools/voltron-trace checkjsonl "$SMOKE_DIR/ci-served-watch.jsonl"
+./build/tools/voltron-servectl --socket "$SERVER_SOCK" stats \
+    > "$SMOKE_DIR/ci-served-stats.txt"
+grep -q '^server\.phase\.simulate\.p50 ' "$SMOKE_DIR/ci-served-stats.txt"
+
 ./build/tools/voltron-servectl --socket "$SERVER_SOCK" shutdown > /dev/null
 if ! wait "$SERVER_PID"; then
     echo "FAIL: voltron-served exited non-zero after shutdown" >&2
     cat "$SMOKE_DIR/ci-served.log" >&2
+    cat "$SMOKE_DIR/ci-served.jsonl" >&2
     exit 1
 fi
-echo "server smoke clean: cold -> cached -> evict -> cold, clean shutdown"
+# Every line the daemon logged must be a standalone strict-JSON object.
+./build/tools/voltron-trace checkjsonl "$SMOKE_DIR/ci-served.jsonl"
+if ! grep -q '"msg":"listening"' "$SMOKE_DIR/ci-served.jsonl"; then
+    echo "FAIL: daemon JSON log is missing the startup line" >&2
+    cat "$SMOKE_DIR/ci-served.jsonl" >&2
+    exit 1
+fi
+echo "server smoke clean: cold -> cached -> evict -> cold, timing +" \
+     "slowlog + watch round-trips, JSON log validates, clean shutdown"
 
 echo "== tsan smoke =="
 TSAN_PROBE="$SMOKE_DIR/tsan-probe"
@@ -189,10 +237,13 @@ if echo 'int main(){return 0;}' > "$TSAN_PROBE.cc" &&
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
         -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-    cmake --build build-tsan -j --target test_sim_parallel
+    cmake --build build-tsan -j --target test_sim_parallel --target test_log
     ./build-tsan/tests/test_sim_parallel \
         --gtest_filter='ParallelStepperTest.*:*alvinn*:*gzip*:*parser*'
-    echo "tsan smoke clean: threaded stepper races checked"
+    # The logger's whole-line emission contract is a concurrency claim;
+    # let TSan check the lock discipline behind it.
+    ./build-tsan/tests/test_log
+    echo "tsan smoke clean: threaded stepper + logger races checked"
 else
     echo "tsan smoke skipped: toolchain has no usable libtsan"
 fi

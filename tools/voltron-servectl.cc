@@ -4,19 +4,32 @@
  *
  *   voltron-servectl [--socket PATH] ping
  *   voltron-servectl [--socket PATH] stats
+ *   voltron-servectl [--socket PATH] slowlog
+ *   voltron-servectl [--socket PATH] watch [N]
+ *   voltron-servectl [--socket PATH] top [N]
  *   voltron-servectl [--socket PATH] evict [MAX_BYTES]
  *   voltron-servectl [--socket PATH] shutdown
  *   voltron-servectl [--socket PATH] send '<json request line>'
  *
- * Prints the daemon's response line on stdout. Exit status is 0 when
- * the response says "status":"ok", 1 otherwise — so shell scripts (CI
- * smoke) can chain on it directly.
+ * "stats" prints the counter namespace one sorted "name value" per
+ * line, so two invocations diff cleanly. "slowlog" prints the daemon's
+ * worst-by-latency and recent-error request timelines. "watch" streams
+ * N stats-plane snapshot lines (default 1) verbatim. "top" renders the
+ * same stream as a live dashboard — requests/sec, cache hit rate,
+ * queue depth, per-phase p50/p95/p99 — for N ticks (default: until
+ * interrupted). "send" prints the raw response line.
+ *
+ * Exit status is 0 when the (final) response says "status":"ok", 1
+ * otherwise — so shell scripts (CI smoke) can chain on it directly.
  */
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "server/client.hh"
 #include "server/json.hh"
@@ -31,7 +44,213 @@ usage()
     std::fprintf(
         stderr,
         "usage: voltron-servectl [--socket PATH] "
-        "(ping|stats|shutdown|evict [MAX_BYTES]|send JSON)\n");
+        "(ping|stats|slowlog|watch [N]|top [N]|shutdown|"
+        "evict [MAX_BYTES]|send JSON)\n");
+}
+
+int
+status_of(const std::string &response)
+{
+    JsonValue parsed;
+    if (!JsonValue::parse(response, parsed))
+        return 1;
+    return parsed.str("status") == "ok" ? 0 : 1;
+}
+
+/** Print the stats result object one sorted "name value" per line.
+ * JsonValue objects iterate in std::map order, so the output order is
+ * stable across daemons and runs — two snapshots diff cleanly. */
+int
+print_stats(const std::string &response)
+{
+    JsonValue parsed;
+    if (!JsonValue::parse(response, parsed) ||
+        parsed.str("status") != "ok") {
+        std::printf("%s\n", response.c_str());
+        return 1;
+    }
+    const JsonValue *result = parsed.find("result");
+    if (!result || !result->isObject()) {
+        std::printf("%s\n", response.c_str());
+        return 1;
+    }
+    for (const auto &[name, value] : result->fields())
+        std::printf("%s %s\n", name.c_str(), value.text().c_str());
+    return 0;
+}
+
+void
+print_timeline_entry(const JsonValue &entry)
+{
+    std::string phases;
+    if (const JsonValue *ph = entry.find("phases"); ph && ph->isObject())
+        for (const auto &[name, us] : ph->fields()) {
+            if (!phases.empty())
+                phases += " ";
+            phases += name + "=" + us.text();
+        }
+    std::printf("  #%llu %s",
+                static_cast<unsigned long long>(entry.u64At("requestId")),
+                entry.str("op", "?").c_str());
+    const std::string source = entry.str("source");
+    if (!source.empty())
+        std::printf("/%s", source.c_str());
+    std::printf(" totalUs=%llu",
+                static_cast<unsigned long long>(entry.u64At("totalUs")));
+    const std::string error = entry.str("error");
+    if (!error.empty())
+        std::printf(" error=\"%s\"", error.c_str());
+    if (!phases.empty())
+        std::printf("  [%s]", phases.c_str());
+    std::printf("\n");
+}
+
+int
+print_slowlog(const std::string &response)
+{
+    JsonValue parsed;
+    if (!JsonValue::parse(response, parsed) ||
+        parsed.str("status") != "ok") {
+        std::printf("%s\n", response.c_str());
+        return 1;
+    }
+    const JsonValue *result = parsed.find("result");
+    if (!result || !result->isObject()) {
+        std::printf("%s\n", response.c_str());
+        return 1;
+    }
+    const JsonValue *worst = result->find("worst");
+    std::printf("worst %zu/%llu (by total latency):\n",
+                worst && worst->isArray() ? worst->items().size() : 0,
+                static_cast<unsigned long long>(
+                    result->u64At("worstCapacity")));
+    if (worst && worst->isArray())
+        for (const JsonValue &entry : worst->items())
+            print_timeline_entry(entry);
+    const JsonValue *errors = result->find("errors");
+    std::printf("errors %zu/%llu (newest first):\n",
+                errors && errors->isArray() ? errors->items().size() : 0,
+                static_cast<unsigned long long>(
+                    result->u64At("errorCapacity")));
+    if (errors && errors->isArray())
+        for (const JsonValue &entry : errors->items())
+            print_timeline_entry(entry);
+    return 0;
+}
+
+double
+rate_per_sec(const JsonValue &deltas, const char *name, u64 interval_us)
+{
+    if (interval_us == 0)
+        return 0.0;
+    return static_cast<double>(deltas.u64At(name)) * 1e6 /
+           static_cast<double>(interval_us);
+}
+
+/** Render one stats-plane snapshot as a dashboard frame. */
+int
+render_top_frame(const std::string &response, bool clear)
+{
+    JsonValue parsed;
+    if (!JsonValue::parse(response, parsed) ||
+        parsed.str("status") != "ok") {
+        std::printf("%s\n", response.c_str());
+        return 1;
+    }
+    const JsonValue *result = parsed.find("result");
+    if (!result || !result->isObject())
+        return 1;
+    const JsonValue *totals = result->find("totals");
+    const JsonValue *deltas = result->find("deltas");
+    if (!totals || !totals->isObject())
+        return 1;
+    static const JsonValue empty;
+    const JsonValue &d = deltas && deltas->isObject() ? *deltas : empty;
+
+    const u64 interval_us = result->u64At("intervalUs");
+    if (clear)
+        std::printf("\x1b[H\x1b[2J");
+    std::printf("voltron-served  up %.1fs  snapshot #%llu  interval %.2fs\n",
+                static_cast<double>(result->u64At("tUs")) / 1e6,
+                static_cast<unsigned long long>(result->u64At("seq")),
+                static_cast<double>(interval_us) / 1e6);
+
+    std::printf("requests/s %.1f   runs/s %.1f   errors/s %.1f   "
+                "(totals: %llu req, %llu runs, %llu errors)\n",
+                rate_per_sec(d, "server.requests", interval_us),
+                rate_per_sec(d, "server.runs", interval_us),
+                rate_per_sec(d, "server.errors", interval_us),
+                static_cast<unsigned long long>(
+                    totals->u64At("server.requests")),
+                static_cast<unsigned long long>(
+                    totals->u64At("server.runs")),
+                static_cast<unsigned long long>(
+                    totals->u64At("server.errors")));
+
+    const u64 rc_hits = totals->u64At("server.response_cache.hits");
+    const u64 rc_misses = totals->u64At("server.response_cache.misses");
+    const double hit_pct =
+        rc_hits + rc_misses
+            ? 100.0 * static_cast<double>(rc_hits) /
+                  static_cast<double>(rc_hits + rc_misses)
+            : 0.0;
+    std::printf("response cache: %llu/%llu entries  hit %.1f%%  "
+                "evictions %llu (+%llu)\n",
+                static_cast<unsigned long long>(
+                    totals->u64At("server.response_cache.entries")),
+                static_cast<unsigned long long>(
+                    totals->u64At("server.response_cache.capacity")),
+                hit_pct,
+                static_cast<unsigned long long>(
+                    totals->u64At("server.response_cache.evictions")),
+                static_cast<unsigned long long>(
+                    d.u64At("server.response_cache.evictions")));
+    std::printf("artifact cache: hits %llu  misses %llu  "
+                "evictions %llu (+%llu)\n",
+                static_cast<unsigned long long>(
+                    totals->u64At("cache.hits")),
+                static_cast<unsigned long long>(
+                    totals->u64At("cache.misses")),
+                static_cast<unsigned long long>(
+                    totals->u64At("cache.evictions")),
+                static_cast<unsigned long long>(
+                    d.u64At("cache.evictions")));
+    std::printf("executor: pending %llu  workers %llu  inflight %llu\n",
+                static_cast<unsigned long long>(
+                    totals->u64At("server.executor.pending")),
+                static_cast<unsigned long long>(
+                    totals->u64At("server.executor.workers")),
+                static_cast<unsigned long long>(
+                    totals->u64At("server.inflight")));
+
+    std::printf("latency us      %10s %10s %10s %10s\n", "count", "p50",
+                "p95", "p99");
+    static const char *const kRows[] = {
+        "server.latency.total", "server.phase.parse",
+        "server.phase.classify", "server.phase.queueWait",
+        "server.phase.cacheProbe", "server.phase.goldenRun",
+        "server.phase.compile", "server.phase.simulate",
+        "server.phase.serialize", "server.phase.reply",
+    };
+    for (const char *row : kRows) {
+        const std::string base = row;
+        if (!totals->find(base + ".count"))
+            continue;
+        // Strip the namespace prefix for the label column.
+        const size_t dot = base.rfind('.');
+        std::printf("  %-13s %10llu %10llu %10llu %10llu\n",
+                    base.substr(dot + 1).c_str(),
+                    static_cast<unsigned long long>(
+                        totals->u64At(base + ".count")),
+                    static_cast<unsigned long long>(
+                        totals->u64At(base + ".p50")),
+                    static_cast<unsigned long long>(
+                        totals->u64At(base + ".p95")),
+                    static_cast<unsigned long long>(
+                        totals->u64At(base + ".p99")));
+    }
+    std::fflush(stdout);
+    return 0;
 }
 
 } // namespace
@@ -56,9 +275,23 @@ main(int argc, char **argv)
     }
 
     const std::string cmd = argv[i++];
+    u64 stream_count = 1;
     std::string line;
-    if (cmd == "ping" || cmd == "stats" || cmd == "shutdown") {
+    if (cmd == "ping" || cmd == "stats" || cmd == "shutdown" ||
+        cmd == "slowlog") {
         line = "{\"op\":\"" + cmd + "\"}";
+    } else if (cmd == "watch" || cmd == "top") {
+        if (i < argc)
+            stream_count = std::strtoull(argv[i++], nullptr, 10);
+        else if (cmd == "top")
+            stream_count = 0; // until interrupted
+        if (stream_count == 0 && cmd == "watch")
+            stream_count = 1;
+        // "until interrupted" is a count the daemon will never finish.
+        const u64 wire_count =
+            stream_count == 0 ? 1000000000ull : stream_count;
+        line = "{\"op\":\"watch\",\"count\":" +
+               std::to_string(wire_count) + "}";
     } else if (cmd == "evict") {
         line = "{\"op\":\"evict\"";
         if (i < argc)
@@ -82,10 +315,33 @@ main(int argc, char **argv)
         std::fprintf(stderr, "voltron-servectl: %s\n", err.c_str());
         return 1;
     }
-    std::printf("%s\n", response.c_str());
 
-    JsonValue parsed;
-    if (!JsonValue::parse(response, parsed))
-        return 1;
-    return parsed.str("status") == "ok" ? 0 : 1;
+    if (cmd == "stats")
+        return print_stats(response);
+    if (cmd == "slowlog")
+        return print_slowlog(response);
+    if (cmd == "watch" || cmd == "top") {
+        const bool top = cmd == "top";
+        const bool clear = top && ::isatty(STDOUT_FILENO);
+        u64 seen = 0;
+        int rc = 0;
+        for (;;) {
+            if (top)
+                rc = render_top_frame(response, clear);
+            else
+                std::printf("%s\n", response.c_str());
+            ++seen;
+            if (stream_count != 0 && seen >= stream_count)
+                break;
+            if (!client.readLine(response, &err)) {
+                // The daemon shut down mid-stream: what we rendered
+                // stands; only an explicit error response fails.
+                break;
+            }
+        }
+        return top ? rc : status_of(response);
+    }
+
+    std::printf("%s\n", response.c_str());
+    return status_of(response);
 }

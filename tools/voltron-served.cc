@@ -23,6 +23,7 @@
 #include <string>
 
 #include "server/server.hh"
+#include "support/log.hh"
 
 using namespace voltron;
 
@@ -34,7 +35,14 @@ usage()
     std::fprintf(stderr,
                  "usage: voltron-served [--socket PATH] [--workers N]\n"
                  "                      [--max-bytes N] [--trace-dir DIR]\n"
-                 "                      [--evict-interval-ms N]\n");
+                 "                      [--evict-interval-ms N]\n"
+                 "                      [--max-responses N]\n"
+                 "                      [--stats-interval-ms N]\n"
+                 "                      [--log SPEC]\n"
+                 "\n"
+                 "  --log SPEC   e.g. 'debug,cache.disk=trace,json'\n"
+                 "               (default level, subtree overrides,\n"
+                 "               output mode; also read from $VOLTRON_LOG)\n");
 }
 
 } // namespace
@@ -58,6 +66,18 @@ main(int argc, char **argv)
         } else if (arg == "--evict-interval-ms" && has_value) {
             config.evictIntervalMs =
                 static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--max-responses" && has_value) {
+            config.maxResponses = std::strtoul(argv[++i], nullptr, 10);
+        } else if (arg == "--stats-interval-ms" && has_value) {
+            config.statsIntervalMs =
+                static_cast<u32>(std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--log" && has_value) {
+            std::string log_err;
+            if (!Logger::instance().configure(argv[++i], &log_err)) {
+                std::fprintf(stderr, "voltron-served: --log: %s\n",
+                             log_err.c_str());
+                return 2;
+            }
         } else {
             usage();
             return 2;

@@ -21,10 +21,16 @@
  *
  *   voltron-trace checkjson FILE.json
  *       Validate JSON syntax (used by tools/ci.sh for trace smoke).
+ *
+ *   voltron-trace checkjsonl FILE
+ *       Validate every non-empty line as a standalone strict-JSON
+ *       document — the shape of the daemon's JSON-lines log and the
+ *       watch op's snapshot stream (used by tools/ci.sh).
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -52,7 +58,8 @@ usage()
         "       voltron-trace export FILE.vtrace [--out FILE.json] "
         "[--issues]\n"
         "       voltron-trace summarize FILE.vtrace\n"
-        "       voltron-trace checkjson FILE.json\n");
+        "       voltron-trace checkjson FILE.json\n"
+        "       voltron-trace checkjsonl FILE\n");
     return 2;
 }
 
@@ -245,6 +252,32 @@ cmd_checkjson(const std::string &input)
     return 0;
 }
 
+int
+cmd_checkjsonl(const std::string &input)
+{
+    std::ifstream is(input);
+    if (!is) {
+        std::fprintf(stderr, "error: cannot read %s\n", input.c_str());
+        return 1;
+    }
+    std::string line;
+    size_t lineno = 0, checked = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::string error;
+        if (!validate_json(line, &error)) {
+            std::fprintf(stderr, "%s:%zu: INVALID: %s\n", input.c_str(),
+                         lineno, error.c_str());
+            return 1;
+        }
+        ++checked;
+    }
+    std::printf("%s: ok (%zu line(s))\n", input.c_str(), checked);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -308,5 +341,7 @@ main(int argc, char **argv)
         return cmd_summarize(input);
     if (cmd == "checkjson")
         return cmd_checkjson(input);
+    if (cmd == "checkjsonl")
+        return cmd_checkjsonl(input);
     return usage();
 }
